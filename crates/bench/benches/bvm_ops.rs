@@ -1,0 +1,117 @@
+//! Criterion benches for the BVM algorithm library (experiments E2–E4 —
+//! wall-clock of the simulator; the instruction counts are asserted in
+//! the unit tests and reported by the `experiments` binary).
+
+use bvm::isa::Dest;
+use bvm::machine::Bvm;
+use bvm::ops::{arith, broadcast, cycle_id, processor_id, RegAlloc};
+use bvm::plane::BitPlane;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// Section 4.1: cycle-ID across machine sizes.
+fn bench_cycle_id(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvm_cycle_id");
+    for r in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut m = Bvm::new(r);
+                cycle_id(&mut m, 0);
+                black_box(m.executed())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Section 4.2: processor-ID across machine sizes.
+fn bench_processor_id(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvm_processor_id");
+    for r in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut m = Bvm::new(r);
+                let mut al = RegAlloc::new();
+                let dims = m.topo().dims();
+                let q = m.topo().q();
+                let pid = al.regs(dims);
+                let scratch = al.regs(q.max(4));
+                processor_id(&mut m, &pid, &scratch);
+                black_box(m.executed())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Section 4.3: broadcast across machine sizes.
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvm_broadcast");
+    for r in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut m = Bvm::new(r);
+                let mut al = RegAlloc::new();
+                let data = al.reg();
+                let sender = al.reg();
+                let scratch = al.regs(4);
+                m.load_register(Dest::R(data), BitPlane::from_fn(m.n(), |pe| pe == 0));
+                broadcast::seed_sender_via_chain(&mut m, sender);
+                broadcast::broadcast(&mut m, data, sender, &scratch);
+                black_box(m.executed())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Bit-serial arithmetic: add and min across widths (the `w` factor of
+/// the paper's time bound).
+fn bench_arith(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvm_arith");
+    for w in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("add", w), &w, |b, &w| {
+            let mut m = Bvm::new(2);
+            let mut al = RegAlloc::new();
+            let x = al.num(w);
+            let y = al.num(w);
+            let vals: Vec<Option<u64>> = (0..m.n()).map(|pe| Some(pe as u64)).collect();
+            arith::host_load(&mut m, &x, &vals);
+            arith::host_load(&mut m, &y, &vals);
+            b.iter(|| {
+                arith::add_assign(&mut m, &x, &y);
+                black_box(m.executed())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("min", w), &w, |b, &w| {
+            let mut m = Bvm::new(2);
+            let mut al = RegAlloc::new();
+            let x = al.num(w);
+            let y = al.num(w);
+            let s = al.reg();
+            let vals: Vec<Option<u64>> = (0..m.n()).map(|pe| Some(pe as u64)).collect();
+            arith::host_load(&mut m, &x, &vals);
+            arith::host_load(&mut m, &y, &vals);
+            b.iter(|| {
+                arith::min_assign(&mut m, &x, &y, s);
+                black_box(m.executed())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cycle_id, bench_processor_id, bench_broadcast, bench_arith
+}
+criterion_main!(benches);

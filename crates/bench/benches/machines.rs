@@ -1,0 +1,168 @@
+//! Criterion benches for the machine simulations (experiments E8–E10 —
+//! wall-clock side; the step counts those experiments report come from
+//! the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, hyper};
+use tt_workloads::random::RandomConfig;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn instance(k: usize, n: usize) -> tt_core::instance::TtInstance {
+    RandomConfig { k, n_tests: n / 2, n_treatments: n - n / 2, max_cost: 6, max_weight: 4 }
+        .generate(11)
+}
+
+/// E9: the hypercube TT program, sweeping k (PE count 2^{k + log N}).
+fn bench_hypercube_tt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypercube_tt");
+    for k in [4usize, 6, 8, 10] {
+        let inst = instance(k, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| black_box(hyper::solve(inst).cost))
+        });
+    }
+    g.finish();
+}
+
+/// E10: the same program through the CCC (constant-factor slowdown).
+fn bench_ccc_tt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ccc_tt");
+    for k in [4usize, 6, 8] {
+        let inst = instance(k, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| black_box(ccc_tt::solve(inst).cost))
+        });
+    }
+    g.finish();
+}
+
+/// E8: the bit-serial BVM program (small sizes; every iteration simulates
+/// thousands of machine cycles over all PEs).
+fn bench_bvm_tt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvm_tt");
+    g.sample_size(10);
+    for (k, n) in [(3usize, 4usize), (4, 4), (4, 8)] {
+        let inst = instance(k, n);
+        let id = format!("k{k}_n{n}");
+        g.bench_with_input(BenchmarkId::from_parameter(id), &inst, |b, inst| {
+            b.iter(|| black_box(bvm_tt::solve(inst).cost))
+        });
+    }
+    g.finish();
+}
+
+/// E10 substrate: raw ASCEND passes, hypercube vs CCC, same op.
+fn bench_ascend_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ascend_substrate");
+    for r in [2usize, 3] {
+        let d = (1usize << r) + r;
+        g.bench_with_input(BenchmarkId::new("hypercube", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut cube = hypercube::SimdHypercube::new(d, |x| x as u64).sequential();
+                for dim in 0..d {
+                    cube.exchange_step(dim, |_, lo, hi| {
+                        let m = (*lo).min(*hi);
+                        *lo = m;
+                        *hi = m;
+                    });
+                }
+                black_box(*cube.pe(0))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ccc", d), &r, |b, &r| {
+            b.iter(|| {
+                let mut ccc = hypercube::CccMachine::new(r, |x| x as u64);
+                let d = ccc.dims();
+                ccc.ascend(0..d, |_, _, lo, hi| {
+                    let m = (*lo).min(*hi);
+                    *lo = m;
+                    *hi = m;
+                });
+                black_box(*ccc.pe(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Extension: bitonic sort on both machines (ASCEND/DESCEND beyond TT).
+fn bench_bitonic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitonic_sort");
+    for d in [8usize, 12] {
+        g.bench_with_input(BenchmarkId::new("hypercube", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut cube = hypercube::SimdHypercube::new(d, |x| {
+                    (x as u64).wrapping_mul(2654435761) % 9973
+                })
+                .sequential();
+                hypercube::sort::bitonic_sort(&mut cube);
+                black_box(*cube.pe(0))
+            })
+        });
+    }
+    {
+        let r = 2usize;
+        g.bench_with_input(BenchmarkId::new("ccc", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut ccc = hypercube::CccMachine::new(r, |x| {
+                    (x as u64).wrapping_mul(2654435761) % 9973
+                });
+                hypercube::sort::bitonic_sort_ccc(&mut ccc);
+                black_box(*ccc.pe(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Benes control-bit precalculation cost across sizes.
+fn bench_benes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_routing");
+    for d in [6usize, 8, 10] {
+        let perm = hypercube::route::bit_reversal_perm(d);
+        g.bench_with_input(BenchmarkId::from_parameter(1 << d), &perm, |b, perm| {
+            b.iter(|| black_box(hypercube::benes::route_permutation(perm).depth()))
+        });
+    }
+    g.finish();
+}
+
+/// Parallel prefix across sizes.
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    for d in [10usize, 14] {
+        let values: Vec<u64> = (0..1usize << d).map(|x| x as u64 % 97).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(1 << d), &values, |b, v| {
+            b.iter(|| black_box(hypercube::scan::scan_values(v).len()))
+        });
+    }
+    g.finish();
+}
+
+/// E20: the blocked TT run across physical PE counts.
+fn bench_blocked(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocked_tt");
+    let inst = instance(8, 8);
+    for phys in [0usize, 6, 11] {
+        g.bench_with_input(BenchmarkId::from_parameter(phys), &phys, |b, &phys| {
+            b.iter(|| black_box(tt_parallel::hyper::solve_blocked(&inst, phys).cost))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hypercube_tt, bench_ccc_tt, bench_bvm_tt, bench_ascend_substrate,
+        bench_bitonic, bench_benes, bench_scan, bench_blocked
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for the solver family (experiments E12, E14, E15 —
+//! wall-clock side).
+//!
+//! One group per reported table: sequential-vs-rayon scaling in `k`,
+//! per-workload solve times, heuristic construction cost, and the
+//! binary-testing reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tt_core::binary_testing::{complete_unit_tests, BinaryTesting};
+use tt_core::solver::{branch_and_bound, greedy, memo, sequential};
+use tt_parallel::rayon_solver;
+use tt_workloads::random_adequate;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+/// E12: `T₁` vs the rayon realization vs the memoized ablation, sweeping k.
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_scaling");
+    for k in [8usize, 10, 12, 14] {
+        let inst = random_adequate(k, 5);
+        g.bench_with_input(BenchmarkId::new("sequential", k), &inst, |b, inst| {
+            b.iter(|| black_box(sequential::solve_tables(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", k), &inst, |b, inst| {
+            b.iter(|| black_box(rayon_solver::solve_tables(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("memo", k), &inst, |b, inst| {
+            b.iter(|| black_box(memo::solve(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("branch_and_bound", k), &inst, |b, inst| {
+            b.iter(|| black_box(branch_and_bound::solve(inst).cost))
+        });
+    }
+    g.finish();
+}
+
+/// E14/E15 wall-clock: per-domain workloads at a fixed size.
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_solve");
+    let cases: Vec<(&str, tt_core::instance::TtInstance)> = vec![
+        ("random", random_adequate(12, 1)),
+        ("medical", tt_workloads::medical::medical(12, 1)),
+        ("faults", tt_workloads::faults::fault_location(12, 1)),
+        ("biology", tt_workloads::biology::identification_key(9, 1)),
+    ];
+    for (name, inst) in &cases {
+        g.bench_with_input(BenchmarkId::new("exact_dp", name), inst, |b, inst| {
+            b.iter(|| black_box(sequential::solve_tables(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_split", name), inst, |b, inst| {
+            b.iter(|| black_box(greedy::solve(inst, greedy::Heuristic::SplitBalance)))
+        });
+    }
+    g.finish();
+}
+
+/// Binary-testing reduction: DP through the embedding vs the Huffman
+/// closed form on complete test sets.
+fn bench_binary_testing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binary_testing");
+    for k in [4usize, 6, 8] {
+        let weights: Vec<u64> = (0..k).map(|j| 1 + (j as u64 * 5) % 9).collect();
+        let bt = BinaryTesting::new(k, weights.clone(), complete_unit_tests(k)).unwrap();
+        g.bench_with_input(BenchmarkId::new("dp_reduction", k), &bt, |b, bt| {
+            b.iter(|| black_box(bt.solve().cost))
+        });
+        g.bench_with_input(BenchmarkId::new("huffman_oracle", k), &weights, |b, w| {
+            b.iter(|| black_box(tt_core::binary_testing::huffman_cost(w)))
+        });
+    }
+    g.finish();
+}
+
+/// E19 wall-clock: the depth-budgeted DP (cost grows with the budget).
+fn bench_depth_bounded(c: &mut Criterion) {
+    use tt_core::solver::depth_bounded;
+    let mut g = c.benchmark_group("depth_bounded");
+    let inst = random_adequate(10, 5);
+    for d in [2usize, 6, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| black_box(depth_bounded::solve(&inst, d).curve.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_solver_scaling, bench_workloads, bench_binary_testing,
+        bench_depth_bounded
+}
+criterion_main!(benches);

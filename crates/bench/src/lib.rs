@@ -1,0 +1,59 @@
+//! Shared helpers for the experiment harnesses and criterion benches.
+//!
+//! The `experiments` binary (`src/bin/experiments.rs`) regenerates every
+//! figure and claim of the paper as text tables — see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for recorded outputs. The
+//! criterion benches measure wall-clock for the solvers and simulators.
+
+/// Prints a row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a header row plus a rule.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    println!("{}", "-".repeat(total));
+}
+
+/// Geometric-mean helper for summarizing ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Least-squares fit of `y = c` for `y = measured / model` ratios; returns
+/// `(mean, min, max)` to judge whether a model captures the scaling.
+pub fn ratio_stats(ratios: &[f64]) -> (f64, f64, f64) {
+    let mean = geomean(ratios);
+    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_values() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn ratio_stats_bounds() {
+        let (mean, min, max) = ratio_stats(&[1.0, 2.0, 4.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 4.0);
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+}

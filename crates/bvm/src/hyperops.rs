@@ -1,0 +1,176 @@
+//! Hypercube dimension-exchange on the BVM.
+//!
+//! The TT algorithm is an ASCEND/DESCEND program over the `(Q+r)`-dim
+//! hypercube; on the CCC only three physical links exist per PE, so a
+//! dimension exchange must be *routed*:
+//!
+//! * **low dimensions** `e < r` pair positions `p` and `p ⊕ 2^e` inside a
+//!   cycle — realized with `2^e` successor shifts one way, `2^e`
+//!   predecessor shifts the other way, and a position-gated merge
+//!   (dimension 0 is a single `XS` fetch);
+//! * **high dimensions** `r + j` pair cycles `c` and `c ⊕ 2^j`, physically
+//!   available only at cycle position `j` — realized by walking a copy of
+//!   the operand once around the ring and swapping it across the lateral
+//!   link as it passes position `j` (`2Q + 1` instructions per register).
+//!
+//! This is the *turn-taking* schedule: each high dimension costs `O(Q)`
+//! instructions per bit-plane. (Preparata–Vuillemin pipelining — all `Q`
+//! high dimensions in one `2Q`-slot sweep — is reproduced at word level in
+//! the `hypercube` crate's `CccMachine`; at the bit level it would require
+//! the per-dimension control predicates of the TT program to rotate with
+//! the data, which costs the same `O(Q)` factor it saves. DESIGN.md
+//! records this substitution.)
+
+use crate::isa::{Dest, Gate, Instruction, Neighbor, RegSel};
+use crate::machine::Bvm;
+
+/// Fetches, into register `scratch`, the value register `src` holds at
+/// each PE's **hypercube-dimension-`dim` partner**
+/// (`scratch[x] = src[x ⊕ 2^dim]` for every hypercube address `x`).
+///
+/// `scratch2` is clobbered for low dimensions `1 ≤ dim < r`.
+pub fn fetch_partner(m: &mut Bvm, dim: usize, src: u8, scratch: u8, scratch2: u8) {
+    let topo = *m.topo();
+    let r = topo.r();
+    let q = topo.q();
+    assert!(dim < topo.dims(), "dim {dim} out of range");
+    if dim == 0 {
+        // Position partner p ⊕ 1 is exactly the XS neighbour.
+        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), Some(Neighbor::XS)));
+    } else if dim < r {
+        let e = dim;
+        let step = 1usize << e;
+        // scratch(p) = src(p + 2^e) via successive successor reads.
+        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), Some(Neighbor::S)));
+        for _ in 1..step {
+            m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::S)));
+        }
+        // scratch2(p) = src(p − 2^e) via predecessor reads.
+        m.exec(&Instruction::mov(Dest::R(scratch2), RegSel::R(src), Some(Neighbor::P)));
+        for _ in 1..step {
+            m.exec(&Instruction::mov(Dest::R(scratch2), RegSel::R(scratch2), Some(Neighbor::P)));
+        }
+        // Positions with bit e set have their partner below them.
+        let mask = (0..q).filter(|p| p & step != 0).fold(0u64, |m, p| m | 1 << p);
+        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch2), None).gated(Gate::If(mask)));
+    } else {
+        // High dimension: walk a copy once around the ring, swapping across
+        // the lateral link each time it passes position j.
+        let j = dim - r;
+        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), None));
+        for _ in 0..q {
+            // Move the copy forward one position…
+            m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::P)));
+            // …and swap it across the lateral link at position j.
+            m.exec(
+                &Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::L))
+                    .gated(Gate::If(1 << j)),
+            );
+        }
+        // After Q move+swap rounds the copy is back at its origin position,
+        // holding the lateral cycle's value.
+    }
+}
+
+/// Fetches partner planes for several registers at once:
+/// `scratches[i][x] = srcs[i][x ⊕ 2^dim]`.
+pub fn fetch_partners(m: &mut Bvm, dim: usize, srcs: &[u8], scratches: &[u8], scratch2: u8) {
+    assert_eq!(srcs.len(), scratches.len());
+    for (&s, &d) in srcs.iter().zip(scratches) {
+        fetch_partner(m, dim, s, d, scratch2);
+    }
+}
+
+/// The number of instructions [`fetch_partner`] issues for `dim` on a
+/// machine with cycle length `q = 2^r` — the cost model used by the
+/// complexity experiments.
+pub fn fetch_cost(r: usize, dim: usize) -> u64 {
+    let q = 1u64 << r;
+    if dim == 0 {
+        1
+    } else if dim < r {
+        2 * (1u64 << dim) + 1
+    } else {
+        1 + 2 * q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::BitPlane;
+
+    /// Checks `fetch_partner` against the specification for every
+    /// dimension on a machine of the given `r`.
+    fn check_all_dims(r: usize) {
+        let mut m = Bvm::new(r);
+        let n = m.n();
+        let dims = m.topo().dims();
+        // A pattern where every PE's bit differs from most partners'.
+        let pattern = |pe: usize| (pe.wrapping_mul(0x9E3779B9) >> 7) & 1 == 1;
+        for dim in 0..dims {
+            m.load_register(Dest::R(0), BitPlane::from_fn(n, pattern));
+            let before = m.executed();
+            fetch_partner(&mut m, dim, 0, 1, 2);
+            assert_eq!(
+                m.executed() - before,
+                fetch_cost(r, dim),
+                "cost model r={r} dim={dim}"
+            );
+            for pe in 0..n {
+                assert_eq!(
+                    m.read_bit(RegSel::R(1), pe),
+                    pattern(pe ^ (1 << dim)),
+                    "r={r} dim={dim} pe={pe}"
+                );
+            }
+            // Source register untouched.
+            for pe in 0..n {
+                assert_eq!(m.read_bit(RegSel::R(0), pe), pattern(pe));
+            }
+        }
+    }
+
+    #[test]
+    fn partner_fetch_r1() {
+        check_all_dims(1);
+    }
+
+    #[test]
+    fn partner_fetch_r2() {
+        check_all_dims(2);
+    }
+
+    #[test]
+    fn partner_fetch_r3() {
+        check_all_dims(3);
+    }
+
+    #[test]
+    fn fetch_partners_batch() {
+        let mut m = Bvm::new(2);
+        let n = m.n();
+        m.load_register(Dest::R(10), BitPlane::from_fn(n, |pe| pe & 1 == 1));
+        m.load_register(Dest::R(11), BitPlane::from_fn(n, |pe| pe & 2 == 2));
+        fetch_partners(&mut m, 3, &[10, 11], &[20, 21], 30);
+        for pe in 0..n {
+            assert_eq!(m.read_bit(RegSel::R(20), pe), (pe ^ 8) & 1 == 1);
+            assert_eq!(m.read_bit(RegSel::R(21), pe), (pe ^ 8) & 2 == 2);
+        }
+    }
+
+    #[test]
+    fn double_fetch_is_identity() {
+        let mut m = Bvm::new(2);
+        let n = m.n();
+        let pattern = |pe: usize| pe.is_multiple_of(3);
+        m.load_register(Dest::R(0), BitPlane::from_fn(n, pattern));
+        for dim in 0..m.topo().dims() {
+            fetch_partner(&mut m, dim, 0, 1, 2);
+            fetch_partner(&mut m, dim, 1, 3, 2);
+            for pe in 0..n {
+                assert_eq!(m.read_bit(RegSel::R(3), pe), pattern(pe), "dim={dim}");
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The BVM instruction set, following Section 2 of the paper:
+//!
+//! ```text
+//! {A or R[j]}, B = f(F, D, B), g(F, D, B)   (IF|NF) <set>;
+//! ```
+//!
+//! One instruction performs two simultaneous assignments in every active
+//! PE: the named destination receives `f(F, D, B)` and register `B`
+//! receives `g(F, D, B)`. `F` is the PE's own `A` or `R[j]`; `D` is `A` or
+//! `R[j]`, optionally fetched from a neighbour; `B` is always the PE's own
+//! `B`. An `IF <set>` (resp. `NF <set>`) clause activates exactly the PEs
+//! whose cycle position lies in (resp. outside) the set; independently,
+//! the `E` register disables PEs bit by bit. Deactivated or disabled PEs
+//! keep all their values, except that the `E` register itself is always
+//! enabled.
+
+use std::fmt;
+
+/// A 3-input Boolean function as an 8-bit truth table: bit
+/// `(f << 2) | (d << 1) | b` is the output on inputs `(f, d, b)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoolFn(pub u8);
+
+impl BoolFn {
+    /// Constant 0.
+    pub const ZERO: BoolFn = BoolFn(0x00);
+    /// Constant 1.
+    pub const ONE: BoolFn = BoolFn(0xFF);
+    /// Projection onto `F`.
+    pub const F: BoolFn = BoolFn(0b1111_0000);
+    /// Projection onto `D`.
+    pub const D: BoolFn = BoolFn(0b1100_1100);
+    /// Projection onto `B` (the "leave B unchanged" function for `g`).
+    pub const B: BoolFn = BoolFn(0b1010_1010);
+    /// `F & D`.
+    pub const F_AND_D: BoolFn = BoolFn(0b1100_0000);
+    /// `F | D`.
+    pub const F_OR_D: BoolFn = BoolFn(0b1111_1100);
+    /// `F ^ D`.
+    pub const F_XOR_D: BoolFn = BoolFn(0b0011_1100);
+    /// `!D`.
+    pub const NOT_D: BoolFn = BoolFn(0b0011_0011);
+    /// `!F`.
+    pub const NOT_F: BoolFn = BoolFn(0b0000_1111);
+    /// Full-adder sum `F ^ D ^ B`.
+    pub const SUM: BoolFn = BoolFn(0b1001_0110);
+    /// Full-adder carry (majority of `F`, `D`, `B`).
+    pub const MAJ: BoolFn = BoolFn(0b1110_1000);
+    /// Multiplex: `B ? F : D` (select `F` where `B` set).
+    pub const MUX_B: BoolFn = BoolFn(0b1110_0100);
+    /// `F & !D`.
+    pub const F_ANDN_D: BoolFn = BoolFn(0b0011_0000);
+    /// `(F | D) & B` — used for gated accumulation.
+    pub const OR_AND_B: BoolFn = BoolFn(0b1010_1000);
+
+    /// Builds a truth table from a closure.
+    pub fn from_fn(f: impl Fn(bool, bool, bool) -> bool) -> BoolFn {
+        let mut tt = 0u8;
+        for idx in 0..8u8 {
+            if f(idx & 4 != 0, idx & 2 != 0, idx & 1 != 0) {
+                tt |= 1 << idx;
+            }
+        }
+        BoolFn(tt)
+    }
+
+    /// Evaluates the function on scalar inputs.
+    pub fn eval(self, f: bool, d: bool, b: bool) -> bool {
+        let idx = (u8::from(f) << 2) | (u8::from(d) << 1) | u8::from(b);
+        self.0 >> idx & 1 != 0
+    }
+}
+
+/// A register selector for the `F` and `D` operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegSel {
+    /// The accumulator row `A`.
+    A,
+    /// The `B` row (readable as an operand; always written by `g`).
+    B,
+    /// The `E` (enable) row.
+    E,
+    /// General register `R[j]`, `j < L`.
+    R(u8),
+}
+
+/// The destination of the `f` assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// The accumulator row `A`.
+    A,
+    /// General register `R[j]`.
+    R(u8),
+    /// The enable row `E` (always enabled: `E` writes ignore the current
+    /// `E` bits, though they respect the activate set).
+    E,
+    /// The `B` row. In the paper's ISA `B` is only written by the `g`
+    /// assignment; this destination is a simulator convenience (host loads
+    /// and `f`-writes to `B`), applied before the simultaneous `g` write.
+    B,
+}
+
+/// Neighbour selectors for the `D` operand (Section 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Neighbor {
+    /// Successor `(c, p+1 mod Q)`.
+    S,
+    /// Predecessor `(c, p−1 mod Q)`.
+    P,
+    /// Lateral `(c ⊕ 2^p, p)`.
+    L,
+    /// Even-successor exchange: partner `(c, p ⊕ 1)`.
+    XS,
+    /// Even-predecessor exchange: pairs `(1,2), (3,4), …, (Q−1, 0)`.
+    XP,
+    /// The I/O chain: each PE reads its chain predecessor; PE `(0,0)`
+    /// reads the next input bit and PE `(2^Q−1, Q−1)` emits to the output
+    /// stream.
+    I,
+}
+
+/// The activate/deactivate clause. Positions are cycle positions
+/// `0 ≤ j < Q`, represented as a bitmask (bit `j` = position `j`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// No clause: all PEs active.
+    All,
+    /// `IF <set>`: active iff the PE's position is in the set.
+    If(u64),
+    /// `NF <set>`: active iff the PE's position is *not* in the set.
+    Nf(u64),
+}
+
+impl Gate {
+    /// Is cycle position `pos` active under this gate?
+    #[inline]
+    pub fn active(self, pos: usize) -> bool {
+        match self {
+            Gate::All => true,
+            Gate::If(mask) => mask >> pos & 1 != 0,
+            Gate::Nf(mask) => mask >> pos & 1 == 0,
+        }
+    }
+
+    /// An `IF` gate from an iterator of positions.
+    pub fn if_positions<I: IntoIterator<Item = usize>>(ps: I) -> Gate {
+        Gate::If(ps.into_iter().fold(0u64, |m, p| m | 1 << p))
+    }
+}
+
+/// One BVM instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instruction {
+    /// Destination of the `f` assignment.
+    pub dest: Dest,
+    /// The `f` function computing the destination bit.
+    pub f: BoolFn,
+    /// The `g` function computing the new `B` bit (use [`BoolFn::B`] to
+    /// leave `B` unchanged).
+    pub g: BoolFn,
+    /// The `F` operand.
+    pub fsrc: RegSel,
+    /// The `D` operand register.
+    pub dsrc: RegSel,
+    /// If set, the `D` operand is fetched from this neighbour.
+    pub dneigh: Option<Neighbor>,
+    /// The activate/deactivate clause.
+    pub gate: Gate,
+}
+
+impl Instruction {
+    /// `dest = f(F, D, B)` with `B` unchanged, no neighbour, all active.
+    pub fn compute(dest: Dest, f: BoolFn, fsrc: RegSel, dsrc: RegSel) -> Instruction {
+        Instruction { dest, f, g: BoolFn::B, fsrc, dsrc, dneigh: None, gate: Gate::All }
+    }
+
+    /// `dest = D` (a plain move), optionally from a neighbour.
+    pub fn mov(dest: Dest, dsrc: RegSel, dneigh: Option<Neighbor>) -> Instruction {
+        Instruction {
+            dest,
+            f: BoolFn::D,
+            g: BoolFn::B,
+            fsrc: RegSel::A,
+            dsrc,
+            dneigh,
+            gate: Gate::All,
+        }
+    }
+
+    /// `dest = constant` for every active PE.
+    pub fn set_const(dest: Dest, v: bool) -> Instruction {
+        Instruction {
+            dest,
+            f: if v { BoolFn::ONE } else { BoolFn::ZERO },
+            g: BoolFn::B,
+            fsrc: RegSel::A,
+            dsrc: RegSel::A,
+            dneigh: None,
+            gate: Gate::All,
+        }
+    }
+
+    /// Replaces the gate.
+    pub fn gated(mut self, gate: Gate) -> Instruction {
+        self.gate = gate;
+        self
+    }
+
+    /// Replaces the `g` (B-assignment) function.
+    pub fn with_g(mut self, g: BoolFn) -> Instruction {
+        self.g = g;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_boolfns_match_their_definitions() {
+        for f in [false, true] {
+            for d in [false, true] {
+                for b in [false, true] {
+                    assert!(!BoolFn::ZERO.eval(f, d, b));
+                    assert!(BoolFn::ONE.eval(f, d, b));
+                    assert_eq!(BoolFn::F.eval(f, d, b), f);
+                    assert_eq!(BoolFn::D.eval(f, d, b), d);
+                    assert_eq!(BoolFn::B.eval(f, d, b), b);
+                    assert_eq!(BoolFn::F_AND_D.eval(f, d, b), f & d);
+                    assert_eq!(BoolFn::F_OR_D.eval(f, d, b), f | d);
+                    assert_eq!(BoolFn::F_XOR_D.eval(f, d, b), f ^ d);
+                    assert_eq!(BoolFn::NOT_D.eval(f, d, b), !d);
+                    assert_eq!(BoolFn::NOT_F.eval(f, d, b), !f);
+                    assert_eq!(BoolFn::SUM.eval(f, d, b), f ^ d ^ b);
+                    assert_eq!(
+                        BoolFn::MAJ.eval(f, d, b),
+                        (f & d) | (f & b) | (d & b)
+                    );
+                    assert_eq!(BoolFn::MUX_B.eval(f, d, b), if b { f } else { d });
+                    assert_eq!(BoolFn::F_ANDN_D.eval(f, d, b), f & !d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_roundtrips() {
+        let xor3 = BoolFn::from_fn(|f, d, b| f ^ d ^ b);
+        assert_eq!(xor3, BoolFn::SUM);
+    }
+
+    #[test]
+    fn gates() {
+        assert!(Gate::All.active(5));
+        let g = Gate::if_positions([0, 2]);
+        assert!(g.active(0) && g.active(2) && !g.active(1));
+        let n = Gate::Nf(0b101);
+        assert!(!n.active(0) && n.active(1) && !n.active(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disassembly: render instructions in the paper's syntax.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for BoolFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match *self {
+            BoolFn::ZERO => "0",
+            BoolFn::ONE => "1",
+            BoolFn::F => "F",
+            BoolFn::D => "D",
+            BoolFn::B => "B",
+            BoolFn::F_AND_D => "F&D",
+            BoolFn::F_OR_D => "F|D",
+            BoolFn::F_XOR_D => "F^D",
+            BoolFn::NOT_D => "!D",
+            BoolFn::NOT_F => "!F",
+            BoolFn::SUM => "F^D^B",
+            BoolFn::MAJ => "maj(F,D,B)",
+            BoolFn::MUX_B => "B?F:D",
+            BoolFn::F_ANDN_D => "F&!D",
+            _ => return write!(f, "f[{:#04x}]", self.0),
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl fmt::Display for RegSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegSel::A => write!(f, "A"),
+            RegSel::B => write!(f, "B"),
+            RegSel::E => write!(f, "E"),
+            RegSel::R(j) => write!(f, "R[{j}]"),
+        }
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::A => write!(f, "A"),
+            Dest::B => write!(f, "B"),
+            Dest::E => write!(f, "E"),
+            Dest::R(j) => write!(f, "R[{j}]"),
+        }
+    }
+}
+
+impl fmt::Display for Neighbor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Neighbor::S => "S",
+            Neighbor::P => "P",
+            Neighbor::L => "L",
+            Neighbor::XS => "XS",
+            Neighbor::XP => "XP",
+            Neighbor::I => "I",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kw, mask) = match self {
+            Gate::All => return Ok(()),
+            Gate::If(m) => ("IF", m),
+            Gate::Nf(m) => ("NF", m),
+        };
+        write!(f, " {kw} {{")?;
+        let mut first = true;
+        for p in 0..64 {
+            if mask >> p & 1 != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{p}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, B = {}, {}", self.dest, self.f, self.g)?;
+        write!(f, "  [F={}, D={}", self.fsrc, self.dsrc)?;
+        if let Some(n) = self.dneigh {
+            write!(f, ".{n}")?;
+        }
+        write!(f, "]{}", self.gate)
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_style_syntax() {
+        let ins = Instruction::compute(Dest::R(5), BoolFn::SUM, RegSel::R(5), RegSel::R(9))
+            .with_g(BoolFn::MAJ)
+            .gated(Gate::if_positions([0, 2]));
+        assert_eq!(
+            ins.to_string(),
+            "R[5], B = F^D^B, maj(F,D,B)  [F=R[5], D=R[9]] IF {0,2}"
+        );
+        let mov = Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::L));
+        assert_eq!(mov.to_string(), "A, B = D, B  [F=A, D=A.L]");
+    }
+
+    #[test]
+    fn anonymous_boolfns_fall_back_to_hex() {
+        let weird = BoolFn(0x6A);
+        assert_eq!(weird.to_string(), "f[0x6a]");
+    }
+}

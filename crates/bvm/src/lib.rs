@@ -1,0 +1,55 @@
+//! # bvm — a cycle-accurate Boolean Vector Machine simulator
+//!
+//! The **Boolean Vector Machine** (BVM) is the parallel computer the paper
+//! targets: a bit-serial SIMD machine whose PEs — simple enough that `2^20`
+//! of them were implementable in 1985 VLSI — form a cube-connected-cycles
+//! network with one-bit-wide links. Logically the machine is a bit array
+//! (Fig. 2): each **row** of bits is a register (ours has the paper's
+//! `L = 256`), each **column** is a PE.
+//!
+//! Every instruction has the paper's Section 2 form
+//!
+//! ```text
+//! {A or R[j]}, B = f(F, D, B), g(F, D, B)   (IF|NF) <set>;
+//! ```
+//!
+//! performing two simultaneous bit assignments in every active PE: `f` and
+//! `g` are arbitrary 3-input Boolean functions, `F` is the PE's own `A` or
+//! `R[j]`, `D` may additionally be fetched from a neighbour (`S`uccessor,
+//! `P`redecessor, `L`ateral, `XS`/`XP` parity exchanges, or the `I`/O
+//! chain), the `IF/NF <set>` mask activates cycle positions, and the `E`
+//! register enables/disables individual PEs.
+//!
+//! Modules:
+//!
+//! * [`topology`] — CCC addressing and the five neighbour maps.
+//! * [`isa`] — instructions, 3-input Boolean functions, gates.
+//! * [`plane`] — packed bit-plane storage.
+//! * [`machine`] — the simulator: executes instructions, counts them,
+//!   models the I/O chain.
+//! * [`ops`] — the paper's Section 4 algorithm library (cycle-ID,
+//!   processor-ID, broadcasting, propagation) plus the bit-serial
+//!   arithmetic the TT program needs.
+//! * [`hyperops`] — hypercube dimension-exchange on the BVM (turn-taking
+//!   routing over the three physical links).
+//! * [`program`] — instruction-stream recording, replay, disassembly and
+//!   static instruction-mix analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hyperops;
+pub mod isa;
+pub mod machine;
+pub mod ops;
+pub mod plane;
+pub mod program;
+pub mod topology;
+
+pub use isa::{BoolFn, Dest, Gate, Instruction, Neighbor, RegSel};
+pub use machine::Bvm;
+pub use topology::CccTopology;
+
+/// Number of general registers, as in the Duke BVM ("Our BVM has L = 256
+/// registers").
+pub const NUM_REGISTERS: usize = 256;

@@ -1,0 +1,459 @@
+//! The BVM simulator: bit-plane register file plus instruction execution.
+//!
+//! Cycle accuracy is at the ISA level: every [`Instruction`] executed
+//! counts as one machine cycle (the paper's unit of time), all PEs read
+//! their operands simultaneously from the pre-instruction state, and only
+//! active (gate) and enabled (`E`) PEs commit their writes.
+//!
+//! Instance data can enter the machine two ways: honestly through the
+//! bit-serial I/O chain (`Neighbor::I`, one bit per instruction), or via
+//! [`Bvm::load_register`] — a host-side bulk load that models
+//! pre-loaded memory and is tracked separately from executed instructions
+//! (the paper's time bounds count algorithm steps, not input).
+
+use crate::isa::{Dest, Gate, Instruction, Neighbor, RegSel};
+use crate::plane::BitPlane;
+use crate::topology::CccTopology;
+use crate::NUM_REGISTERS;
+use std::collections::VecDeque;
+
+/// The Boolean Vector Machine.
+///
+/// # Examples
+/// One instruction, all 64 PEs of the `r = 2` machine at once:
+/// ```
+/// use bvm::isa::{BoolFn, Dest, Instruction, RegSel};
+/// use bvm::machine::Bvm;
+/// use bvm::plane::BitPlane;
+/// let mut m = Bvm::new(2);
+/// m.load_register(Dest::R(0), BitPlane::from_fn(m.n(), |pe| pe % 2 == 0));
+/// m.load_register(Dest::R(1), BitPlane::from_fn(m.n(), |pe| pe < 32));
+/// m.exec(&Instruction::compute(Dest::A, BoolFn::F_AND_D, RegSel::R(0), RegSel::R(1)));
+/// assert_eq!(m.read(RegSel::A).count_ones(), 16);
+/// assert_eq!(m.executed(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bvm {
+    topo: CccTopology,
+    regs: Vec<BitPlane>,
+    a: BitPlane,
+    b: BitPlane,
+    e: BitPlane,
+    maps: [Vec<u32>; 6],
+    pos_of: Vec<u8>,
+    input: VecDeque<bool>,
+    output: Vec<bool>,
+    executed: u64,
+    host_loads: u64,
+    phases: Vec<(String, u64)>,
+    recording: Option<Vec<Instruction>>,
+}
+
+/// Writes `new` into `dst` under an optional mask (`None` = overwrite).
+fn apply(dst: &mut BitPlane, new: BitPlane, mask: &Option<BitPlane>) {
+    match mask {
+        None => *dst = new,
+        Some(m) => dst.merge(&new, m),
+    }
+}
+
+fn map_index(n: Neighbor) -> usize {
+    match n {
+        Neighbor::S => 0,
+        Neighbor::P => 1,
+        Neighbor::L => 2,
+        Neighbor::XS => 3,
+        Neighbor::XP => 4,
+        Neighbor::I => 5,
+    }
+}
+
+impl Bvm {
+    /// Builds the machine for cycle-length exponent `r` with all registers
+    /// zeroed and every PE enabled.
+    pub fn new(r: usize) -> Bvm {
+        let topo = CccTopology::new(r);
+        let n = topo.n();
+        let maps = [
+            topo.src_map(Neighbor::S),
+            topo.src_map(Neighbor::P),
+            topo.src_map(Neighbor::L),
+            topo.src_map(Neighbor::XS),
+            topo.src_map(Neighbor::XP),
+            topo.src_map(Neighbor::I),
+        ];
+        let pos_of = (0..n).map(|pe| topo.pos(pe) as u8).collect();
+        let mut e = BitPlane::zero(n);
+        e.fill(true);
+        Bvm {
+            topo,
+            regs: vec![BitPlane::zero(n); NUM_REGISTERS],
+            a: BitPlane::zero(n),
+            b: BitPlane::zero(n),
+            e,
+            maps,
+            pos_of,
+            input: VecDeque::new(),
+            output: Vec::new(),
+            executed: 0,
+            host_loads: 0,
+            phases: Vec::new(),
+            recording: None,
+        }
+    }
+
+    /// The machine geometry.
+    pub fn topo(&self) -> &CccTopology {
+        &self.topo
+    }
+
+    /// Total PE count.
+    pub fn n(&self) -> usize {
+        self.topo.n()
+    }
+
+    /// Number of instructions executed so far (the paper's time measure).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of host-side bulk register loads performed.
+    pub fn host_loads(&self) -> u64 {
+        self.host_loads
+    }
+
+    /// Resets the instruction counter (not the state).
+    pub fn reset_counters(&mut self) {
+        self.executed = 0;
+        self.host_loads = 0;
+        self.phases.clear();
+    }
+
+    /// Starts capturing executed instructions (see
+    /// [`take_recording`](Self::take_recording)).
+    pub fn start_recording(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    /// Stops capturing and returns the instruction stream executed since
+    /// [`start_recording`](Self::start_recording) as a replayable
+    /// [`crate::program::Program`].
+    pub fn take_recording(&mut self) -> crate::program::Program {
+        crate::program::Program {
+            instructions: self.recording.take().unwrap_or_default(),
+        }
+    }
+
+    /// Marks the start of a named program phase at the current instruction
+    /// count (free — host-side bookkeeping).
+    pub fn mark_phase(&mut self, name: &str) {
+        self.phases.push((name.to_string(), self.executed));
+    }
+
+    /// Instructions spent per marked phase, in order (the final phase runs
+    /// to the current instruction count).
+    pub fn phase_breakdown(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.phases.len());
+        for (idx, (name, start)) in self.phases.iter().enumerate() {
+            let end = self
+                .phases
+                .get(idx + 1)
+                .map_or(self.executed, |(_, s)| *s);
+            out.push((name.clone(), end - start));
+        }
+        out
+    }
+
+    /// Read access to a register row.
+    pub fn read(&self, sel: RegSel) -> &BitPlane {
+        match sel {
+            RegSel::A => &self.a,
+            RegSel::B => &self.b,
+            RegSel::E => &self.e,
+            RegSel::R(j) => &self.regs[j as usize],
+        }
+    }
+
+    /// One bit of a register row.
+    pub fn read_bit(&self, sel: RegSel, pe: usize) -> bool {
+        self.read(sel).get(pe)
+    }
+
+    /// Host-side bulk load of a register row (pre-loaded data; counted in
+    /// [`host_loads`](Self::host_loads), not in executed instructions).
+    pub fn load_register(&mut self, dest: Dest, plane: BitPlane) {
+        assert_eq!(plane.len(), self.n());
+        self.host_loads += 1;
+        match dest {
+            Dest::A => self.a = plane,
+            Dest::E => self.e = plane,
+            Dest::B => self.b = plane,
+            Dest::R(j) => self.regs[j as usize] = plane,
+        }
+    }
+
+    /// Queues bits for the input end of the I/O chain (consumed by
+    /// instructions whose `D` operand is [`Neighbor::I`]).
+    pub fn feed_input<I: IntoIterator<Item = bool>>(&mut self, bits: I) {
+        self.input.extend(bits);
+    }
+
+    /// Drains the output stream (one bit per `I` instruction executed,
+    /// emitted by PE `(2^Q − 1, Q − 1)`).
+    pub fn take_output(&mut self) -> Vec<bool> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// The activate plane for a gate (`None` = all PEs active; avoids an
+    /// allocation per instruction on the common ungated path).
+    fn gate_plane(&self, gate: Gate) -> Option<BitPlane> {
+        match gate {
+            Gate::All => None,
+            _ => Some(BitPlane::from_fn(self.n(), |pe| {
+                gate.active(self.pos_of[pe] as usize)
+            })),
+        }
+    }
+
+    /// Executes one instruction (one machine cycle).
+    pub fn exec(&mut self, ins: &Instruction) {
+        self.executed += 1;
+        if let Some(rec) = &mut self.recording {
+            rec.push(*ins);
+        }
+        let n = self.n();
+        // Only a neighbour fetch needs a materialized D plane; plain
+        // operands are read in place.
+        let gathered: Option<BitPlane> = match ins.dneigh {
+            None => None,
+            Some(nb) => {
+                let base = self.read(ins.dsrc);
+                let outbit = base.get(n - 1);
+                let mut g = BitPlane::gather(base, &self.maps[map_index(nb)]);
+                if nb == Neighbor::I {
+                    // PE (0,0) consumes an input bit; the last PE emits one.
+                    let inbit = self.input.pop_front().unwrap_or(false);
+                    self.output.push(outbit);
+                    g.set(0, inbit);
+                }
+                Some(g)
+            }
+        };
+        let f_plane = self.read(ins.fsrc);
+        let d_plane = gathered.as_ref().unwrap_or_else(|| self.read(ins.dsrc));
+        let new_dest = BitPlane::eval3(ins.f.0, f_plane, d_plane, &self.b);
+        let new_b = BitPlane::eval3(ins.g.0, f_plane, d_plane, &self.b);
+
+        let gate_active = self.gate_plane(ins.gate);
+        // E writes ignore the enable bits ("register E is always enabled");
+        // everything else is gated by E as well.
+        let dest_mask: Option<BitPlane> = match (&gate_active, matches!(ins.dest, Dest::E)) {
+            (None, true) => None,                       // unmasked E write
+            (Some(g), true) => Some(g.clone()),         // gate only
+            (None, false) => Some(self.e.clone()),      // enable only
+            (Some(g), false) => Some(g.and(&self.e)),   // gate ∧ enable
+        };
+
+        match ins.dest {
+            Dest::A => apply(&mut self.a, new_dest, &dest_mask),
+            Dest::E => apply(&mut self.e, new_dest, &dest_mask),
+            Dest::B => {
+                // Simulator extension: an f-write to B replaces the g
+                // assignment (there is only one B row).
+                apply(&mut self.b, new_dest, &dest_mask);
+                return;
+            }
+            Dest::R(j) => apply(&mut self.regs[j as usize], new_dest, &dest_mask),
+        }
+        let b_mask = match gate_active {
+            None => Some(self.e.clone()),
+            Some(g) => Some(g.and(&self.e)),
+        };
+        apply(&mut self.b, new_b, &b_mask);
+    }
+
+    /// Executes a sequence of instructions.
+    pub fn run(&mut self, program: &[Instruction]) {
+        for ins in program {
+            self.exec(ins);
+        }
+    }
+
+    /// Dumps a register row grouped by cycle, in the style of the paper's
+    /// Fig. 3: one line per cycle, one digit per position.
+    pub fn dump_by_cycle(&self, sel: RegSel) -> String {
+        let plane = self.read(sel);
+        let mut s = String::new();
+        for c in 0..self.topo.cycles() {
+            for p in 0..self.topo.q() {
+                s.push(if plane.get(self.topo.join(c, p)) { '1' } else { '0' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::BoolFn;
+
+    fn bvm() -> Bvm {
+        Bvm::new(2) // 64 PEs
+    }
+
+    #[test]
+    fn set_const_writes_every_pe() {
+        let mut m = bvm();
+        m.exec(&Instruction::set_const(Dest::A, true));
+        assert_eq!(m.read(RegSel::A).count_ones(), 64);
+        assert_eq!(m.executed(), 1);
+    }
+
+    #[test]
+    fn compute_f_and_d() {
+        let mut m = bvm();
+        m.load_register(Dest::R(0), BitPlane::from_fn(64, |pe| pe % 2 == 0));
+        m.load_register(Dest::R(1), BitPlane::from_fn(64, |pe| pe < 32));
+        m.exec(&Instruction::compute(
+            Dest::R(2),
+            BoolFn::F_AND_D,
+            RegSel::R(0),
+            RegSel::R(1),
+        ));
+        for pe in 0..64 {
+            assert_eq!(m.read_bit(RegSel::R(2), pe), pe % 2 == 0 && pe < 32);
+        }
+    }
+
+    #[test]
+    fn neighbor_fetch_successor() {
+        let mut m = bvm();
+        // Put a 1 only at cycle 3, position 2; successor-read moves it to
+        // position 1 of the same cycle.
+        let src = m.topo().join(3, 2);
+        m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe == src));
+        m.exec(&Instruction::mov(Dest::R(0), RegSel::A, Some(Neighbor::S)));
+        let dst = m.topo().join(3, 1);
+        for pe in 0..64 {
+            assert_eq!(m.read_bit(RegSel::R(0), pe), pe == dst, "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn neighbor_fetch_lateral() {
+        let mut m = bvm();
+        let src = m.topo().join(0b0100, 2); // lateral partner of (0b0000, 2)
+        m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe == src));
+        m.exec(&Instruction::mov(Dest::R(0), RegSel::A, Some(Neighbor::L)));
+        let dst = m.topo().join(0b0000, 2);
+        assert!(m.read_bit(RegSel::R(0), dst));
+        assert_eq!(m.read(RegSel::R(0)).count_ones(), 1);
+    }
+
+    #[test]
+    fn gate_if_restricts_to_positions() {
+        let mut m = bvm();
+        m.exec(&Instruction::set_const(Dest::A, true).gated(Gate::if_positions([1, 3])));
+        for pe in 0..64 {
+            let pos = m.topo().pos(pe);
+            assert_eq!(m.read_bit(RegSel::A, pe), pos == 1 || pos == 3);
+        }
+    }
+
+    #[test]
+    fn gate_nf_is_complementary() {
+        let mut m = bvm();
+        m.exec(&Instruction::set_const(Dest::A, true).gated(Gate::Nf(0b0010)));
+        for pe in 0..64 {
+            assert_eq!(m.read_bit(RegSel::A, pe), m.topo().pos(pe) != 1);
+        }
+    }
+
+    #[test]
+    fn disabled_pes_hold_their_values() {
+        let mut m = bvm();
+        // Disable odd PEs.
+        m.load_register(Dest::E, BitPlane::from_fn(64, |pe| pe % 2 == 0));
+        m.exec(&Instruction::set_const(Dest::A, true));
+        for pe in 0..64 {
+            assert_eq!(m.read_bit(RegSel::A, pe), pe % 2 == 0);
+        }
+        // The E register itself is always enabled: re-enable everyone with
+        // an instruction even though odd PEs are disabled.
+        m.exec(&Instruction::set_const(Dest::E, true));
+        m.exec(&Instruction::set_const(Dest::A, true));
+        assert_eq!(m.read(RegSel::A).count_ones(), 64);
+    }
+
+    #[test]
+    fn dual_assignment_full_adder() {
+        let mut m = bvm();
+        // F = R0, D = R1, B = carry. One instruction computes sum into R2
+        // and the new carry into B, simultaneously.
+        m.load_register(Dest::R(0), BitPlane::from_fn(64, |pe| pe & 1 != 0));
+        m.load_register(Dest::R(1), BitPlane::from_fn(64, |pe| pe & 2 != 0));
+        m.load_register(Dest::B, BitPlane::from_fn(64, |pe| pe & 4 != 0));
+        m.exec(
+            &Instruction::compute(Dest::R(2), BoolFn::SUM, RegSel::R(0), RegSel::R(1))
+                .with_g(BoolFn::MAJ),
+        );
+        for pe in 0..64 {
+            let (a, b, c) = (pe & 1 != 0, pe & 2 != 0, pe & 4 != 0);
+            assert_eq!(m.read_bit(RegSel::R(2), pe), a ^ b ^ c, "sum pe={pe}");
+            let maj = (a & b) | (a & c) | (b & c);
+            assert_eq!(m.read_bit(RegSel::B, pe), maj, "carry pe={pe}");
+        }
+    }
+
+    #[test]
+    fn simultaneous_read_before_write() {
+        let mut m = bvm();
+        // A = A.S with a ring pattern: every PE must read the OLD value of
+        // its successor, i.e. the whole row rotates by one position.
+        m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe % 4 == 0)); // pos 0 of each cycle
+        m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::S)));
+        for pe in 0..64 {
+            // Position 3 now holds what was at position 0.
+            assert_eq!(m.read_bit(RegSel::A, pe), m.topo().pos(pe) == 3);
+        }
+    }
+
+    #[test]
+    fn io_chain_shifts_and_streams() {
+        let mut m = bvm();
+        m.feed_input([true, false, true]);
+        m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe == 63));
+        // Three chain shifts: input bits enter PE 0; PE 63's values leave.
+        for _ in 0..3 {
+            m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::I)));
+        }
+        let out = m.take_output();
+        assert_eq!(out, vec![true, false, false]);
+        // The first injected bit has marched to PE 2.
+        assert!(m.read_bit(RegSel::A, 2));
+        assert!(!m.read_bit(RegSel::A, 0) || m.input.is_empty());
+    }
+
+    #[test]
+    fn executed_counts_cycles_and_loads_separately() {
+        let mut m = bvm();
+        m.load_register(Dest::R(5), BitPlane::zero(64));
+        m.run(&[
+            Instruction::set_const(Dest::A, true),
+            Instruction::set_const(Dest::A, false),
+        ]);
+        assert_eq!(m.executed(), 2);
+        assert_eq!(m.host_loads(), 1);
+    }
+
+    #[test]
+    fn dump_by_cycle_shape() {
+        let m = bvm();
+        let dump = m.dump_by_cycle(RegSel::A);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| l.len() == 4));
+    }
+}

@@ -1,0 +1,397 @@
+//! Vertical (bit-serial) arithmetic on the BVM.
+//!
+//! A `w`-bit number is stored "vertically": bit `i` of every PE's value
+//! lives in register plane `bits[i]`, plus one plane for an explicit
+//! **INF flag** — the saturating sentinel the TT recurrence needs
+//! (`INF` absorbs under `+` and loses every `min`). This mirrors
+//! `tt_core::Cost` exactly, so BVM results can be compared for bit
+//! equality with the sequential DP.
+//!
+//! The dual-assignment instruction earns its keep here: a full adder is
+//! **one instruction per bit** (`dest = F ⊕ D ⊕ B`, `B = maj(F, D, B)`
+//! simultaneously, with `B` as the carry chain), and an unsigned
+//! comparison is one instruction per bit (`B = "a<b so far"` folded LSB to
+//! MSB).
+//!
+//! All routines respect the `E` register: the TT program gates them by
+//! loading predicates into `E`, exactly as Section 7 of the paper
+//! prescribes ("the enable register can provide any kind of enable/disable
+//! patterns").
+//!
+//! **Width contract:** finite values must stay below `2^w` at all times;
+//! the machine cannot detect overflow. `required_width` in the
+//! `tt-parallel` crate computes a safe `w` per instance.
+
+use crate::isa::{BoolFn, Dest, Instruction, RegSel};
+use crate::machine::Bvm;
+use crate::plane::BitPlane;
+
+/// A `w`-bit vertical number: `bits[i]` is the register plane of value bit
+/// `i` (LSB first), `inf` the INF-flag plane.
+#[derive(Clone, Debug)]
+pub struct Num {
+    /// Value bit planes, LSB first.
+    pub bits: Vec<u8>,
+    /// The INF flag plane (set ⇒ the value planes are ignored).
+    pub inf: u8,
+}
+
+impl Num {
+    /// The width `w` in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Sets the number to finite zero in every enabled PE.
+pub fn clear(m: &mut Bvm, n: &Num) {
+    for &b in &n.bits {
+        m.exec(&Instruction::set_const(Dest::R(b), false));
+    }
+    m.exec(&Instruction::set_const(Dest::R(n.inf), false));
+}
+
+/// Sets the number to INF in every enabled PE.
+pub fn set_inf(m: &mut Bvm, n: &Num) {
+    for &b in &n.bits {
+        m.exec(&Instruction::set_const(Dest::R(b), true));
+    }
+    m.exec(&Instruction::set_const(Dest::R(n.inf), true));
+}
+
+/// Writes the same finite constant into every enabled PE.
+pub fn write_const(m: &mut Bvm, n: &Num, v: u64) {
+    assert!(n.width() == 64 || v < 1u64 << n.width(), "constant exceeds width");
+    for (i, &b) in n.bits.iter().enumerate() {
+        m.exec(&Instruction::set_const(Dest::R(b), v >> i & 1 != 0));
+    }
+    m.exec(&Instruction::set_const(Dest::R(n.inf), false));
+}
+
+/// `dst = src` (per-PE copy; `w + 1` instructions).
+pub fn copy(m: &mut Bvm, dst: &Num, src: &Num) {
+    assert_eq!(dst.width(), src.width());
+    for (&d, &s) in dst.bits.iter().zip(&src.bits) {
+        m.exec(&Instruction::mov(Dest::R(d), RegSel::R(s), None));
+    }
+    m.exec(&Instruction::mov(Dest::R(dst.inf), RegSel::R(src.inf), None));
+}
+
+/// `dst += src` with INF absorption (`w + 2` instructions).
+pub fn add_assign(m: &mut Bvm, dst: &Num, src: &Num) {
+    assert_eq!(dst.width(), src.width());
+    m.exec(&Instruction::set_const(Dest::B, false));
+    for (&d, &s) in dst.bits.iter().zip(&src.bits) {
+        // dest = F ⊕ D ⊕ carry; carry = maj(F, D, carry) — one instruction.
+        m.exec(
+            &Instruction::compute(Dest::R(d), BoolFn::SUM, RegSel::R(d), RegSel::R(s))
+                .with_g(BoolFn::MAJ),
+        );
+    }
+    m.exec(&Instruction::compute(
+        Dest::R(dst.inf),
+        BoolFn::F_OR_D,
+        RegSel::R(dst.inf),
+        RegSel::R(src.inf),
+    ));
+}
+
+/// `n += c` for a host-known constant `c` (INF flag untouched;
+/// `w + 1` instructions).
+pub fn add_const(m: &mut Bvm, n: &Num, c: u64) {
+    assert!(n.width() == 64 || c < 1u64 << n.width(), "constant exceeds width");
+    m.exec(&Instruction::set_const(Dest::B, false));
+    for (i, &b) in n.bits.iter().enumerate() {
+        let (f, g) = if c >> i & 1 != 0 {
+            // sum = F ⊕ carry ⊕ 1, carry' = F ∨ carry
+            (
+                BoolFn::from_fn(|f, _, b| !(f ^ b)),
+                BoolFn::from_fn(|f, _, b| f | b),
+            )
+        } else {
+            // sum = F ⊕ carry, carry' = F ∧ carry
+            (
+                BoolFn::from_fn(|f, _, b| f ^ b),
+                BoolFn::from_fn(|f, _, b| f & b),
+            )
+        };
+        m.exec(&Instruction::compute(Dest::R(b), f, RegSel::R(b), RegSel::A).with_g(g));
+    }
+}
+
+/// Computes `lt = (a < b)` per PE into register `lt`, honouring INF
+/// (`INF` is greater than everything, `INF < INF` is false). Clobbers `B`.
+/// `w + 3` instructions.
+pub fn less_than(m: &mut Bvm, a: &Num, b: &Num, lt: u8) {
+    assert_eq!(a.width(), b.width());
+    m.exec(&Instruction::set_const(Dest::B, false));
+    // LSB→MSB fold: lt' = (!a & b) | ((a == b) & lt), one instruction per
+    // bit with the running flag in B (the f-write goes to a dead plane).
+    let fold = BoolFn::from_fn(|f, d, b| (!f & d) | (!(f ^ d) & b));
+    for (&ab, &bb) in a.bits.iter().zip(&b.bits) {
+        m.exec(
+            &Instruction::compute(Dest::R(lt), BoolFn::ZERO, RegSel::R(ab), RegSel::R(bb))
+                .with_g(fold),
+        );
+    }
+    // lt_val is in B. Fold in the INF flags in two steps:
+    // lt = b.inf | lt_val, then lt = !a.inf & lt.
+    m.exec(&Instruction::compute(
+        Dest::R(lt),
+        BoolFn::from_fn(|_, d, b| d | b),
+        RegSel::A, // unused
+        RegSel::R(b.inf),
+    ));
+    m.exec(&Instruction::compute(
+        Dest::R(lt),
+        BoolFn::from_fn(|f, d, _| !f & d),
+        RegSel::R(a.inf),
+        RegSel::R(lt),
+    ));
+}
+
+/// `dst = cond ? src : dst` per PE (`w + 2` instructions; clobbers `B`).
+pub fn select_assign(m: &mut Bvm, dst: &Num, src: &Num, cond: u8) {
+    assert_eq!(dst.width(), src.width());
+    m.exec(&Instruction::mov(Dest::B, RegSel::R(cond), None));
+    for (&d, &s) in dst.bits.iter().zip(&src.bits) {
+        m.exec(&Instruction::compute(Dest::R(d), BoolFn::MUX_B, RegSel::R(s), RegSel::R(d)));
+    }
+    m.exec(&Instruction::compute(
+        Dest::R(dst.inf),
+        BoolFn::MUX_B,
+        RegSel::R(src.inf),
+        RegSel::R(dst.inf),
+    ));
+}
+
+/// `dst = min(dst, src)` with INF semantics (`2w + 5` instructions;
+/// clobbers `B` and the scratch register).
+pub fn min_assign(m: &mut Bvm, dst: &Num, src: &Num, scratch: u8) {
+    less_than(m, src, dst, scratch);
+    select_assign(m, dst, src, scratch);
+}
+
+/// Host-side bulk load: `values[pe]` (`None` = INF) into the number.
+pub fn host_load(m: &mut Bvm, n: &Num, values: &[Option<u64>]) {
+    assert_eq!(values.len(), m.n());
+    let w = n.width();
+    for v in values.iter().flatten() {
+        assert!(w == 64 || *v < 1u64 << w, "value {v} exceeds width {w}");
+    }
+    for (i, &b) in n.bits.iter().enumerate() {
+        let plane =
+            BitPlane::from_fn(m.n(), |pe| values[pe].is_some_and(|v| v >> i & 1 != 0));
+        m.load_register(Dest::R(b), plane);
+    }
+    let infp = BitPlane::from_fn(m.n(), |pe| values[pe].is_none());
+    m.load_register(Dest::R(n.inf), infp);
+}
+
+/// Host-side read-back of the number (`None` = INF).
+pub fn host_read(m: &Bvm, n: &Num) -> Vec<Option<u64>> {
+    (0..m.n())
+        .map(|pe| {
+            if m.read_bit(RegSel::R(n.inf), pe) {
+                None
+            } else {
+                let mut v = 0u64;
+                for (i, &b) in n.bits.iter().enumerate() {
+                    if m.read_bit(RegSel::R(b), pe) {
+                        v |= 1 << i;
+                    }
+                }
+                Some(v)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RegAlloc;
+
+    const W: usize = 10;
+
+    fn setup() -> (Bvm, RegAlloc) {
+        (Bvm::new(2), RegAlloc::new())
+    }
+
+    fn vals(n: usize, f: impl Fn(usize) -> Option<u64>) -> Vec<Option<u64>> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn load_read_roundtrip() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let v = vals(m.n(), |pe| if pe % 7 == 0 { None } else { Some((pe as u64 * 13) % 1000) });
+        host_load(&mut m, &x, &v);
+        assert_eq!(host_read(&m, &x), v);
+    }
+
+    #[test]
+    fn add_matches_u64() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let y = a.num(W);
+        let vx = vals(m.n(), |pe| if pe == 5 { None } else { Some(pe as u64 % 500) });
+        let vy = vals(m.n(), |pe| if pe == 9 { None } else { Some((pe as u64 * 3) % 500) });
+        host_load(&mut m, &x, &vx);
+        host_load(&mut m, &y, &vy);
+        add_assign(&mut m, &x, &y);
+        let got = host_read(&m, &x);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            let expect = match (vx[pe], vy[pe]) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            assert_eq!(got[pe], expect, "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn add_const_matches_u64() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let vx = vals(m.n(), |pe| Some(pe as u64 * 2));
+        host_load(&mut m, &x, &vx);
+        add_const(&mut m, &x, 137);
+        let got = host_read(&m, &x);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            assert_eq!(got[pe], Some(pe as u64 * 2 + 137));
+        }
+    }
+
+    #[test]
+    fn less_than_matches_u64_with_inf() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let y = a.num(W);
+        let lt = a.reg();
+        let vx = vals(m.n(), |pe| match pe % 4 {
+            0 => None,
+            _ => Some((pe as u64 * 7) % 900),
+        });
+        let vy = vals(m.n(), |pe| match pe % 3 {
+            0 => None,
+            _ => Some((pe as u64 * 11) % 900),
+        });
+        host_load(&mut m, &x, &vx);
+        host_load(&mut m, &y, &vy);
+        less_than(&mut m, &x, &y, lt);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            let expect = match (vx[pe], vy[pe]) {
+                (None, _) => false,
+                (Some(_), None) => true,
+                (Some(a), Some(b)) => a < b,
+            };
+            assert_eq!(m.read_bit(RegSel::R(lt), pe), expect, "pe={pe} {:?} {:?}", vx[pe], vy[pe]);
+        }
+    }
+
+    #[test]
+    fn min_matches_cost_semantics() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let y = a.num(W);
+        let s = a.reg();
+        let vx = vals(m.n(), |pe| if pe % 5 == 0 { None } else { Some(pe as u64) });
+        let vy = vals(m.n(), |pe| if pe % 2 == 0 { None } else { Some(63 - pe as u64 % 64) });
+        host_load(&mut m, &x, &vx);
+        host_load(&mut m, &y, &vy);
+        min_assign(&mut m, &x, &y, s);
+        let got = host_read(&m, &x);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            let expect = match (vx[pe], vy[pe]) {
+                (None, b) => b,
+                (a, None) => a,
+                (Some(a), Some(b)) => Some(a.min(b)),
+            };
+            assert_eq!(got[pe], expect, "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn select_assign_switches_per_pe() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let y = a.num(W);
+        let c = a.reg();
+        let v111 = vals(m.n(), |_| Some(111));
+        host_load(&mut m, &x, &v111);
+        let v222 = vals(m.n(), |pe| if pe < 32 { Some(222) } else { None });
+        host_load(&mut m, &y, &v222);
+        m.load_register(Dest::R(c), BitPlane::from_fn(m.n(), |pe| pe % 2 == 0));
+        select_assign(&mut m, &x, &y, c);
+        let got = host_read(&m, &x);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            let expect = if pe % 2 == 0 {
+                if pe < 32 {
+                    Some(222)
+                } else {
+                    None
+                }
+            } else {
+                Some(111)
+            };
+            assert_eq!(got[pe], expect, "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn enable_register_gates_arithmetic() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let v10 = vals(m.n(), |_| Some(10));
+        host_load(&mut m, &x, &v10);
+        // Disable the upper half of the machine and add 5.
+        m.load_register(Dest::E, BitPlane::from_fn(m.n(), |pe| pe < 32));
+        add_const(&mut m, &x, 5);
+        m.load_register(Dest::E, BitPlane::from_fn(m.n(), |_| true));
+        let got = host_read(&m, &x);
+        #[allow(clippy::needless_range_loop)]
+        for pe in 0..m.n() {
+            assert_eq!(got[pe], Some(if pe < 32 { 15 } else { 10 }), "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn clear_set_inf_write_const() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        set_inf(&mut m, &x);
+        assert!(host_read(&m, &x).iter().all(Option::is_none));
+        clear(&mut m, &x);
+        assert!(host_read(&m, &x).iter().all(|v| *v == Some(0)));
+        write_const(&mut m, &x, 777);
+        assert!(host_read(&m, &x).iter().all(|v| *v == Some(777)));
+    }
+
+    #[test]
+    fn instruction_costs() {
+        let (mut m, mut a) = setup();
+        let x = a.num(W);
+        let y = a.num(W);
+        let s = a.reg();
+        let v1 = vals(m.n(), |_| Some(1));
+        host_load(&mut m, &x, &v1);
+        let v2 = vals(m.n(), |_| Some(2));
+        host_load(&mut m, &y, &v2);
+        let t0 = m.executed();
+        add_assign(&mut m, &x, &y);
+        assert_eq!(m.executed() - t0, W as u64 + 2);
+        let t1 = m.executed();
+        less_than(&mut m, &x, &y, s);
+        assert_eq!(m.executed() - t1, W as u64 + 3);
+        let t2 = m.executed();
+        min_assign(&mut m, &x, &y, s);
+        assert_eq!(m.executed() - t2, 2 * W as u64 + 5);
+    }
+}

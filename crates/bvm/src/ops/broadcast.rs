@@ -1,0 +1,139 @@
+//! Broadcasting on the BVM (Section 4.3, Fig. 6).
+//!
+//! One SENDER-flagged PE's data bit reaches every PE in one ASCEND sweep:
+//! at dimension `i`, every PE whose dimension-`i` partner is a sender and
+//! which is not itself one copies the data *and* the sender flag — so the
+//! sender set doubles per dimension, exactly the Fig. 6 schedule. The
+//! paper's control-bit scheme is reproduced literally: "set every bit of
+//! SENDER to 0 … input a bit 1 to the bit belonging to both PE[0] and
+//! register SENDER; afterwards this bit will be broadcast … and the
+//! content of register SENDER will be used to identify the sender."
+
+use crate::hyperops::fetch_partner;
+use crate::isa::{BoolFn, Dest, Instruction, RegSel};
+use crate::machine::Bvm;
+
+/// Broadcasts the data bits of the SENDER-flagged PEs to all PEs.
+///
+/// `data` and `sender` are register planes; `scratch` needs 4 registers.
+/// On return every PE's `data` holds the (OR of the) original senders'
+/// data and every `sender` bit is 1. With a single initial sender this is
+/// the paper's broadcast; the caller seeds `sender` (see
+/// [`seed_sender_via_chain`] for the paper's input method).
+pub fn broadcast(m: &mut Bvm, data: u8, sender: u8, scratch: &[u8]) {
+    assert!(scratch.len() >= 4);
+    let (s_data, s_send, t, s2) = (scratch[0], scratch[1], scratch[2], scratch[3]);
+    let dims = m.topo().dims();
+    for dim in 0..dims {
+        fetch_partner(m, dim, data, s_data, s2);
+        fetch_partner(m, dim, sender, s_send, s2);
+        // t = partner_sender & !sender  (this PE should receive)
+        m.exec(&Instruction::compute(
+            Dest::R(t),
+            BoolFn::from_fn(|f, d, _| f & !d),
+            RegSel::R(s_send),
+            RegSel::R(sender),
+        ));
+        // B = t; data = B ? partner_data : data
+        m.exec(&Instruction::mov(Dest::B, RegSel::R(t), None));
+        m.exec(&Instruction::compute(
+            Dest::R(data),
+            BoolFn::MUX_B,
+            RegSel::R(s_data),
+            RegSel::R(data),
+        ));
+        // sender |= partner_sender
+        m.exec(&Instruction::compute(
+            Dest::R(sender),
+            BoolFn::F_OR_D,
+            RegSel::R(sender),
+            RegSel::R(s_send),
+        ));
+    }
+}
+
+/// Seeds the SENDER register exactly as the paper describes: zero the
+/// plane with one instruction, then input a single 1 bit to PE `(0,0)`
+/// through the I/O chain (one more instruction).
+pub fn seed_sender_via_chain(m: &mut Bvm, sender: u8) {
+    m.exec(&Instruction::set_const(Dest::R(sender), false));
+    m.feed_input([true]);
+    m.exec(&Instruction::mov(Dest::R(sender), RegSel::R(sender), Some(crate::isa::Neighbor::I)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RegAlloc;
+    use crate::plane::BitPlane;
+
+    #[test]
+    fn broadcast_from_pe0_reaches_all() {
+        let mut m = Bvm::new(2);
+        let mut a = RegAlloc::new();
+        let data = a.reg();
+        let sender = a.reg();
+        let scratch = a.regs(4);
+        // Data bit 1 at PE 0 only; sender seeded via the I/O chain.
+        m.load_register(Dest::R(data), BitPlane::from_fn(m.n(), |pe| pe == 0));
+        seed_sender_via_chain(&mut m, sender);
+        assert!(m.read_bit(RegSel::R(sender), 0));
+        assert_eq!(m.read(RegSel::R(sender)).count_ones(), 1);
+        broadcast(&mut m, data, sender, &scratch);
+        assert_eq!(m.read(RegSel::R(data)).count_ones(), m.n());
+        assert_eq!(m.read(RegSel::R(sender)).count_ones(), m.n());
+    }
+
+    #[test]
+    fn broadcast_of_a_zero_bit() {
+        let mut m = Bvm::new(2);
+        let mut a = RegAlloc::new();
+        let data = a.reg();
+        let sender = a.reg();
+        let scratch = a.regs(4);
+        // Pollute data everywhere except the sender; broadcast must
+        // overwrite with the sender's 0.
+        m.load_register(Dest::R(data), BitPlane::from_fn(m.n(), |pe| pe != 0));
+        seed_sender_via_chain(&mut m, sender);
+        broadcast(&mut m, data, sender, &scratch);
+        assert_eq!(m.read(RegSel::R(data)).count_ones(), 0);
+    }
+
+    #[test]
+    fn broadcast_from_an_interior_pe() {
+        let mut m = Bvm::new(2);
+        let mut a = RegAlloc::new();
+        let data = a.reg();
+        let sender = a.reg();
+        let scratch = a.regs(4);
+        let src = 37;
+        m.load_register(Dest::R(data), BitPlane::from_fn(m.n(), |pe| pe == src));
+        m.load_register(Dest::R(sender), BitPlane::from_fn(m.n(), |pe| pe == src));
+        broadcast(&mut m, data, sender, &scratch);
+        assert_eq!(m.read(RegSel::R(data)).count_ones(), m.n());
+    }
+
+    #[test]
+    fn k_bit_broadcast_costs_k_sweeps() {
+        // "If the number of bits to be broadcast is k, then the algorithm
+        // takes O(km) time": broadcast two bits, check both and the cost.
+        let mut m = Bvm::new(1);
+        let mut a = RegAlloc::new();
+        let d0 = a.reg();
+        let d1 = a.reg();
+        let sender = a.reg();
+        let sender2 = a.reg();
+        let scratch = a.regs(4);
+        m.load_register(Dest::R(d0), BitPlane::from_fn(m.n(), |pe| pe == 3));
+        m.load_register(Dest::R(d1), BitPlane::from_fn(m.n(), |_| false));
+        m.load_register(Dest::R(sender), BitPlane::from_fn(m.n(), |pe| pe == 3));
+        m.load_register(Dest::R(sender2), BitPlane::from_fn(m.n(), |pe| pe == 3));
+        let t0 = m.executed();
+        broadcast(&mut m, d0, sender, &scratch);
+        let per_sweep = m.executed() - t0;
+        broadcast(&mut m, d1, sender2, &scratch);
+        assert_eq!(m.executed() - t0, 2 * per_sweep);
+        assert_eq!(m.read(RegSel::R(d0)).count_ones(), m.n());
+        assert_eq!(m.read(RegSel::R(d1)).count_ones(), 0);
+    }
+}

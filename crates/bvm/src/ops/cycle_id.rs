@@ -1,0 +1,131 @@
+//! The cycle-ID pattern (Section 4.1, Fig. 3).
+//!
+//! After this algorithm, PE `(i, j)` holds bit `j` of its cycle number `i`
+//! in the destination register: the bits held by the `Q` PEs of cycle `i`
+//! jointly spell `i`. Equivalently, a PE holds 1 iff it is at the 1-end of
+//! its lateral link — the control bit every lateral-communication
+//! algorithm on the BVM needs.
+//!
+//! The algorithm is the paper's (reconstructed from its listing): a first
+//! sweep interleaving I/O-chain shifts (injecting zeros at the head) with
+//! lateral ANDs builds the "unary threshold" pattern `A(i,j) = [i > j]`,
+//! and a second sweep interleaving predecessor rotations with lateral ANDs
+//! converts it into the binary cycle number. `O(Q) = O(log n)`
+//! instructions, as the paper claims.
+
+use crate::isa::{BoolFn, Dest, Instruction, Neighbor, RegSel};
+use crate::machine::Bvm;
+
+/// Computes the cycle-ID into register `dest` (clobbers `A`).
+pub fn cycle_id(m: &mut Bvm, dest: u8) {
+    let q = m.topo().q();
+    // The first sweep consumes Q zero bits from the input chain.
+    m.feed_input(std::iter::repeat_n(false, q));
+
+    // A = 1;
+    m.exec(&Instruction::set_const(Dest::A, true));
+    // A = A.I;  (inject the first 0)
+    m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::I)));
+    for _ in 1..q {
+        // A = A & A.L;
+        m.exec(&Instruction {
+            dest: Dest::A,
+            f: BoolFn::F_AND_D,
+            g: BoolFn::B,
+            fsrc: RegSel::A,
+            dsrc: RegSel::A,
+            dneigh: Some(Neighbor::L),
+            gate: crate::isa::Gate::All,
+        });
+        // A = A.I;
+        m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::I)));
+    }
+    // A = A.P;
+    m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::P)));
+    for _ in 1..q {
+        // A = A & A.L;
+        m.exec(&Instruction {
+            dest: Dest::A,
+            f: BoolFn::F_AND_D,
+            g: BoolFn::B,
+            fsrc: RegSel::A,
+            dsrc: RegSel::A,
+            dneigh: Some(Neighbor::L),
+            gate: crate::isa::Gate::All,
+        });
+        // A = A.P;
+        m.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::P)));
+    }
+    // R[dest] = A.
+    m.exec(&Instruction::mov(Dest::R(dest), RegSel::A, None));
+}
+
+/// The number of instructions [`cycle_id`] issues on a machine with cycle
+/// length `q`.
+pub fn cycle_id_cost(q: usize) -> u64 {
+    (2 + 2 * (q as u64 - 1) + 1 + 2 * (q as u64 - 1)) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(r: usize) {
+        let mut m = Bvm::new(r);
+        let before = m.executed();
+        cycle_id(&mut m, 0);
+        assert_eq!(m.executed() - before, cycle_id_cost(m.topo().q()));
+        for pe in 0..m.n() {
+            let (c, p) = m.topo().split(pe);
+            assert_eq!(
+                m.read_bit(RegSel::R(0), pe),
+                c >> p & 1 != 0,
+                "r={r} cycle={c} pos={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_r1() {
+        check(1);
+    }
+
+    #[test]
+    fn pattern_r2() {
+        check(2);
+    }
+
+    #[test]
+    fn pattern_r3() {
+        check(3);
+    }
+
+    #[test]
+    fn fig3_dump_for_64_pes() {
+        // Fig. 3 of the paper shows the 64-PE (r=2) cycle-ID: cycle i's
+        // four digits spell i in binary, LSB at position 0.
+        let mut m = Bvm::new(2);
+        cycle_id(&mut m, 0);
+        let dump = m.dump_by_cycle(RegSel::R(0));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 16);
+        for (i, line) in lines.iter().enumerate() {
+            let expect: String =
+                (0..4).map(|j| if i >> j & 1 != 0 { '1' } else { '0' }).collect();
+            assert_eq!(*line, expect, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn one_end_interpretation() {
+        // The alternative view: the bit is 1 iff the PE is at the 1-end of
+        // its lateral link (i.e. its cycle number exceeds its partner's).
+        let mut m = Bvm::new(2);
+        cycle_id(&mut m, 0);
+        for pe in 0..m.n() {
+            let (c, p) = m.topo().split(pe);
+            let partner_cycle = c ^ (1 << p);
+            assert_eq!(m.read_bit(RegSel::R(0), pe), c > partner_cycle);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The paper's Section 4 algorithm library, plus the bit-serial arithmetic
+//! the TT program is built from.
+//!
+//! * [`cycle_id`] — the cycle-ID pattern (Fig. 3): PE `(i, j)` computes bit
+//!   `j` of its cycle number `i` with `O(Q)` instructions.
+//! * [`processor_id`] — every PE assembles its full `(Q+r)`-bit address
+//!   (Figs. 4–5).
+//! * [`broadcast`] — one PE's bit to all PEs, SENDER-controlled.
+//! * [`propagate`] — the two propagation schemes of Section 4.4.
+//! * [`arith`] — `w`-bit vertical (bit-serial) arithmetic with an explicit
+//!   INF flag: add, add-constant, compare, min, select — the building
+//!   blocks of the TT inner loop.
+//! * [`reduce`] — machine-wide OR/AND/MIN reductions (Fig. 7 generalized
+//!   to whole vertical numbers).
+
+pub mod arith;
+pub mod broadcast;
+pub mod cycle_id;
+pub mod processor_id;
+pub mod propagate;
+pub mod reduce;
+
+pub use arith::Num;
+pub use broadcast::broadcast;
+pub use cycle_id::cycle_id;
+pub use processor_id::processor_id;
+pub use propagate::{propagation1, propagation2};
+
+/// Streams a full bit plane into register `dest` through the I/O chain —
+/// the machine's *honest* input path: one instruction per PE. The first
+/// bit fed ends up at the highest PE address, so `bits[pe]` is fed in
+/// reverse.
+///
+/// The paper's time bounds assume the instance is resident; this utility
+/// makes the `Θ(n)`-per-plane input cost measurable (it dominates the
+/// whole TT program for small instances — see the `complexity-bvm`
+/// experiment notes).
+pub fn load_plane_via_chain(m: &mut crate::machine::Bvm, dest: u8, bits: &[bool]) {
+    use crate::isa::{Dest, Instruction, Neighbor, RegSel};
+    let n = m.n();
+    assert_eq!(bits.len(), n);
+    m.feed_input(bits.iter().rev().copied());
+    for _ in 0..n {
+        m.exec(&Instruction::mov(Dest::R(dest), RegSel::R(dest), Some(Neighbor::I)));
+    }
+}
+
+/// A trivial bump allocator over the BVM's 256 general registers.
+#[derive(Clone, Debug, Default)]
+pub struct RegAlloc {
+    next: usize,
+}
+
+impl RegAlloc {
+    /// A fresh allocator (register 0 upward).
+    pub fn new() -> RegAlloc {
+        RegAlloc { next: 0 }
+    }
+
+    /// Allocates one register row.
+    pub fn reg(&mut self) -> u8 {
+        assert!(self.next < crate::NUM_REGISTERS, "out of BVM registers (L = 256)");
+        let r = self.next as u8;
+        self.next += 1;
+        r
+    }
+
+    /// Allocates `n` consecutive register rows.
+    pub fn regs(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.reg()).collect()
+    }
+
+    /// Allocates a `w`-bit number (plus its INF flag row).
+    pub fn num(&mut self, w: usize) -> arith::Num {
+        arith::Num { bits: self.regs(w), inf: self.reg() }
+    }
+
+    /// Registers allocated so far.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation() {
+        let mut a = RegAlloc::new();
+        assert_eq!(a.reg(), 0);
+        assert_eq!(a.reg(), 1);
+        let v = a.regs(3);
+        assert_eq!(v, vec![2, 3, 4]);
+        let n = a.num(4);
+        assert_eq!(n.bits.len(), 4);
+        assert_eq!(a.used(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of BVM registers")]
+    fn exhaustion_panics() {
+        let mut a = RegAlloc::new();
+        for _ in 0..257 {
+            a.reg();
+        }
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::isa::RegSel;
+    use crate::machine::Bvm;
+
+    #[test]
+    fn chain_load_places_every_bit() {
+        let mut m = Bvm::new(1);
+        let bits: Vec<bool> = (0..m.n()).map(|pe| pe % 3 == 0).collect();
+        let t0 = m.executed();
+        load_plane_via_chain(&mut m, 9, &bits);
+        assert_eq!(m.executed() - t0, m.n() as u64);
+        for (pe, &b) in bits.iter().enumerate() {
+            assert_eq!(m.read_bit(RegSel::R(9), pe), b, "pe={pe}");
+        }
+    }
+
+    #[test]
+    fn machine_recording_captures_chain_load() {
+        let mut m = Bvm::new(1);
+        let bits = vec![true; m.n()];
+        m.start_recording();
+        load_plane_via_chain(&mut m, 3, &bits);
+        let prog = m.take_recording();
+        assert_eq!(prog.len(), m.n());
+        assert_eq!(prog.mix().io, m.n() as u64);
+    }
+}

@@ -1,0 +1,126 @@
+//! The processor-ID pattern (Section 4.2, Figs. 4–5): every PE assembles
+//! its own `(Q+r)`-bit hypercube address in registers.
+//!
+//! The low `r` bits are the PE's position within its cycle — the host
+//! knows each position's value, so they are written with `IF <set>` gated
+//! constants (the paper's step 4). The high `Q` bits are the cycle number:
+//! the cycle-ID gives each PE *one* bit of it (bit `p` at position `p`);
+//! `Q−1` successor copies fan all `Q` bits out to every PE of the cycle,
+//! after which each PE's copy is rotated by its own position, and a
+//! position-gated un-rotation (the role of the paper's XS/XP network in
+//! step 3) aligns register `t` with cycle bit `t`. `O(Q²) = O(log² n)`
+//! instructions.
+
+use crate::isa::{Dest, Gate, Instruction, Neighbor, RegSel};
+use crate::machine::Bvm;
+use crate::ops::cycle_id::cycle_id;
+
+/// Computes the processor-ID: afterwards, register `dest[t]` holds bit `t`
+/// of each PE's hypercube address (`(cycle << r) | position`), for
+/// `t < Q + r`. Requires `dest.len() == Q + r` plus `Q` scratch registers.
+/// Clobbers `A`.
+pub fn processor_id(m: &mut Bvm, dest: &[u8], scratch: &[u8]) {
+    let topo = *m.topo();
+    let q = topo.q();
+    let r = topo.r();
+    assert_eq!(dest.len(), q + r, "need one destination register per address bit");
+    assert!(scratch.len() >= q, "need Q scratch registers");
+
+    // Step 4 (done first here): position bits via IF-gated constants.
+    for (t, &reg) in dest.iter().enumerate().take(r) {
+        let mask = (0..q).filter(|p| p >> t & 1 != 0).fold(0u64, |m, p| m | 1 << p);
+        m.exec(&Instruction::set_const(Dest::R(reg), false));
+        m.exec(&Instruction::set_const(Dest::R(reg), true).gated(Gate::If(mask)));
+    }
+
+    // Step 1: cycle-ID into scratch[0]: PE (c,p) holds bit p of c.
+    cycle_id(m, scratch[0]);
+
+    // Step 2: ring fan-out. scratch[x](c,p) = bit_{(p+x) mod Q}(c).
+    for x in 1..q {
+        m.exec(&Instruction::mov(
+            Dest::R(scratch[x]),
+            RegSel::R(scratch[x - 1]),
+            Some(Neighbor::S),
+        ));
+    }
+
+    // Step 3: position-gated un-rotation: at position p, cycle bit t lives
+    // in scratch[(t + Q − p) mod Q].
+    for p in 0..q {
+        let gate = Gate::If(1 << p);
+        for t in 0..q {
+            let src = scratch[(t + q - p) % q];
+            m.exec(&Instruction::mov(Dest::R(dest[r + t]), RegSel::R(src), None).gated(gate));
+        }
+    }
+}
+
+/// The number of instructions [`processor_id`] issues on a machine with
+/// cycle length `q` and `r = log₂ q`.
+pub fn processor_id_cost(q: usize, r: usize) -> u64 {
+    2 * r as u64
+        + crate::ops::cycle_id::cycle_id_cost(q)
+        + (q as u64 - 1)
+        + (q as u64) * (q as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RegAlloc;
+
+    fn check(r: usize) {
+        let mut m = Bvm::new(r);
+        let dims = m.topo().dims();
+        let q = m.topo().q();
+        let mut alloc = RegAlloc::new();
+        let dest = alloc.regs(dims);
+        let scratch = alloc.regs(q);
+        let before = m.executed();
+        processor_id(&mut m, &dest, &scratch);
+        assert_eq!(m.executed() - before, processor_id_cost(q, r), "cost model r={r}");
+        for pe in 0..m.n() {
+            for (t, &reg) in dest.iter().enumerate() {
+                assert_eq!(
+                    m.read_bit(RegSel::R(reg), pe),
+                    pe >> t & 1 != 0,
+                    "r={r} pe={pe} bit={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_r1() {
+        check(1);
+    }
+
+    #[test]
+    fn pattern_r2() {
+        check(2);
+    }
+
+    #[test]
+    fn pattern_r3() {
+        check(3);
+    }
+
+    #[test]
+    fn fig4_shape_for_8_pes() {
+        // Fig. 4 of the paper shows the 8-PE processor-ID: PE j's column of
+        // bits spells j. Our smallest machine (r=1) has 8 PEs — exactly
+        // the figure's width.
+        let mut m = Bvm::new(1);
+        let mut alloc = RegAlloc::new();
+        let dest = alloc.regs(3);
+        let scratch = alloc.regs(2);
+        processor_id(&mut m, &dest, &scratch);
+        for pe in 0..8 {
+            let spelled: usize = (0..3)
+                .map(|t| usize::from(m.read_bit(RegSel::R(dest[t]), pe)) << t)
+                .sum();
+            assert_eq!(spelled, pe);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Global reductions on the BVM: every PE ends up holding the reduction
+//! of all PEs' values — the ASCEND minimization of the paper's Fig. 7,
+//! generalized to whole vertical numbers and to Boolean reductions.
+//!
+//! `log n` dimension exchanges, each routed over the CCC links by
+//! [`crate::hyperops::fetch_partner`].
+
+use crate::hyperops::fetch_partner;
+use crate::isa::{BoolFn, Dest, Instruction, RegSel};
+use crate::machine::Bvm;
+use crate::ops::arith::{self, Num};
+
+/// OR-reduce a single bit plane: afterwards every PE holds the OR of all
+/// PEs' bits. Needs 2 scratch registers.
+pub fn or_reduce_bit(m: &mut Bvm, reg: u8, scratch: &[u8]) {
+    assert!(scratch.len() >= 2);
+    let dims = m.topo().dims();
+    for dim in 0..dims {
+        fetch_partner(m, dim, reg, scratch[0], scratch[1]);
+        m.exec(&Instruction::compute(
+            Dest::R(reg),
+            BoolFn::F_OR_D,
+            RegSel::R(reg),
+            RegSel::R(scratch[0]),
+        ));
+    }
+}
+
+/// AND-reduce a single bit plane.
+pub fn and_reduce_bit(m: &mut Bvm, reg: u8, scratch: &[u8]) {
+    assert!(scratch.len() >= 2);
+    let dims = m.topo().dims();
+    for dim in 0..dims {
+        fetch_partner(m, dim, reg, scratch[0], scratch[1]);
+        m.exec(&Instruction::compute(
+            Dest::R(reg),
+            BoolFn::F_AND_D,
+            RegSel::R(reg),
+            RegSel::R(scratch[0]),
+        ));
+    }
+}
+
+/// MIN-reduce a vertical number (with INF semantics): afterwards every PE
+/// holds the global minimum — the machine-wide version of the TT
+/// minimization. `partner` must be a distinct `Num` of the same width;
+/// `scratch` needs 3 registers.
+pub fn min_reduce_num(m: &mut Bvm, num: &Num, partner: &Num, scratch: &[u8]) {
+    assert!(scratch.len() >= 3);
+    let dims = m.topo().dims();
+    for dim in 0..dims {
+        for (&s, &d) in num.bits.iter().zip(&partner.bits) {
+            fetch_partner(m, dim, s, d, scratch[0]);
+        }
+        fetch_partner(m, dim, num.inf, partner.inf, scratch[0]);
+        arith::min_assign(m, num, partner, scratch[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RegAlloc;
+    use crate::plane::BitPlane;
+
+    #[test]
+    fn or_reduce_finds_any_set_bit() {
+        for r in [1usize, 2] {
+            let mut m = Bvm::new(r);
+            let mut al = RegAlloc::new();
+            let reg = al.reg();
+            let scratch = al.regs(2);
+            m.load_register(Dest::R(reg), BitPlane::from_fn(m.n(), |pe| pe == 5));
+            or_reduce_bit(&mut m, reg, &scratch);
+            assert_eq!(m.read(RegSel::R(reg)).count_ones(), m.n(), "r={r}");
+
+            // All-zero stays all-zero.
+            m.load_register(Dest::R(reg), BitPlane::zero(m.n()));
+            or_reduce_bit(&mut m, reg, &scratch);
+            assert_eq!(m.read(RegSel::R(reg)).count_ones(), 0);
+        }
+    }
+
+    #[test]
+    fn and_reduce_detects_any_clear_bit() {
+        let mut m = Bvm::new(2);
+        let mut al = RegAlloc::new();
+        let reg = al.reg();
+        let scratch = al.regs(2);
+        m.load_register(Dest::R(reg), BitPlane::from_fn(m.n(), |pe| pe != 40));
+        and_reduce_bit(&mut m, reg, &scratch);
+        assert_eq!(m.read(RegSel::R(reg)).count_ones(), 0);
+
+        m.load_register(Dest::R(reg), BitPlane::from_fn(m.n(), |_| true));
+        and_reduce_bit(&mut m, reg, &scratch);
+        assert_eq!(m.read(RegSel::R(reg)).count_ones(), m.n());
+    }
+
+    #[test]
+    fn min_reduce_broadcasts_the_global_minimum() {
+        let w = 10;
+        let mut m = Bvm::new(2);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let p = al.num(w);
+        let scratch = al.regs(3);
+        let vals: Vec<Option<u64>> = (0..m.n())
+            .map(|pe| if pe % 9 == 0 { None } else { Some(((pe as u64) * 37 + 11) % 500) })
+            .collect();
+        let expect = vals.iter().flatten().copied().min();
+        arith::host_load(&mut m, &x, &vals);
+        min_reduce_num(&mut m, &x, &p, &scratch);
+        let got = arith::host_read(&m, &x);
+        assert!(got.iter().all(|v| *v == expect));
+    }
+
+    #[test]
+    fn min_reduce_of_all_inf_stays_inf() {
+        let w = 6;
+        let mut m = Bvm::new(1);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let p = al.num(w);
+        let scratch = al.regs(3);
+        let all_inf = vec![None; m.n()];
+        arith::host_load(&mut m, &x, &all_inf);
+        min_reduce_num(&mut m, &x, &p, &scratch);
+        assert!(arith::host_read(&m, &x).iter().all(Option::is_none));
+    }
+}

@@ -1,0 +1,234 @@
+//! Packed bit-plane storage: one bit per PE, `u64`-packed.
+//!
+//! A register of the BVM is a row of the logical bit array of Fig. 2 —
+//! one bit per PE. Planes support the word-parallel evaluation of 3-input
+//! Boolean functions (via Shannon expansion over the truth table) and
+//! arbitrary gather permutations (for the neighbour operand).
+
+/// A row of the BVM bit array: one bit per PE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitPlane {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitPlane {
+    /// An all-zero plane over `len` PEs.
+    pub fn zero(len: usize) -> BitPlane {
+        BitPlane { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// A plane initialized from a predicate on PE indices.
+    pub fn from_fn(len: usize, f: impl Fn(usize) -> bool) -> BitPlane {
+        let mut p = BitPlane::zero(len);
+        for pe in 0..len {
+            if f(pe) {
+                p.set(pe, true);
+            }
+        }
+        p
+    }
+
+    /// Number of PEs covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the plane covers zero PEs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit of PE `pe`.
+    #[inline]
+    pub fn get(&self, pe: usize) -> bool {
+        debug_assert!(pe < self.len);
+        self.words[pe / 64] >> (pe % 64) & 1 != 0
+    }
+
+    /// Sets the bit of PE `pe`.
+    #[inline]
+    pub fn set(&mut self, pe: usize, v: bool) {
+        debug_assert!(pe < self.len);
+        let mask = 1u64 << (pe % 64);
+        if v {
+            self.words[pe / 64] |= mask;
+        } else {
+            self.words[pe / 64] &= !mask;
+        }
+    }
+
+    /// Sets every bit to `v`.
+    pub fn fill(&mut self, v: bool) {
+        let w = if v { u64::MAX } else { 0 };
+        self.words.fill(w);
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The raw words (low bit of word 0 = PE 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Gathers `src` through a permutation: `out[pe] = src[map[pe]]`.
+    pub fn gather(src: &BitPlane, map: &[u32]) -> BitPlane {
+        debug_assert_eq!(src.len, map.len());
+        let mut out = BitPlane::zero(src.len);
+        for (pe, &s) in map.iter().enumerate() {
+            if src.get(s as usize) {
+                out.set(pe, true);
+            }
+        }
+        out
+    }
+
+    /// Word-parallel evaluation of a 3-input Boolean function given by its
+    /// truth table `tt` (bit `(f<<2)|(d<<1)|b` of `tt` is the output for
+    /// inputs `f`, `d`, `b`): returns the plane `tt(f, d, b)` per PE.
+    pub fn eval3(tt: u8, f: &BitPlane, d: &BitPlane, b: &BitPlane) -> BitPlane {
+        debug_assert_eq!(f.len, d.len);
+        debug_assert_eq!(f.len, b.len);
+        let mut out = BitPlane::zero(f.len);
+        for i in 0..out.words.len() {
+            let fw = f.words[i];
+            let dw = d.words[i];
+            let bw = b.words[i];
+            let mut r = 0u64;
+            for idx in 0..8u8 {
+                if tt >> idx & 1 != 0 {
+                    let fm = if idx & 0b100 != 0 { fw } else { !fw };
+                    let dm = if idx & 0b010 != 0 { dw } else { !dw };
+                    let bm = if idx & 0b001 != 0 { bw } else { !bw };
+                    r |= fm & dm & bm;
+                }
+            }
+            out.words[i] = r;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Merges `new` into `self` where `mask` is set:
+    /// `self[pe] = mask[pe] ? new[pe] : self[pe]`.
+    pub fn merge(&mut self, new: &BitPlane, mask: &BitPlane) {
+        debug_assert_eq!(self.len, new.len);
+        debug_assert_eq!(self.len, mask.len);
+        for i in 0..self.words.len() {
+            self.words[i] =
+                (new.words[i] & mask.words[i]) | (self.words[i] & !mask.words[i]);
+        }
+    }
+
+    /// Bitwise AND of two planes.
+    pub fn and(&self, other: &BitPlane) -> BitPlane {
+        debug_assert_eq!(self.len, other.len);
+        let mut out = self.clone();
+        for i in 0..out.words.len() {
+            out.words[i] &= other.words[i];
+        }
+        out
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The bits as a `Vec<bool>` (for tests and pattern dumps).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|pe| self.get(pe)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut p = BitPlane::zero(130);
+        p.set(0, true);
+        p.set(64, true);
+        p.set(129, true);
+        assert!(p.get(0) && p.get(64) && p.get(129));
+        assert!(!p.get(1) && !p.get(65));
+        assert_eq!(p.count_ones(), 3);
+        p.set(64, false);
+        assert!(!p.get(64));
+    }
+
+    #[test]
+    fn fill_masks_tail_bits() {
+        let mut p = BitPlane::zero(70);
+        p.fill(true);
+        assert_eq!(p.count_ones(), 70);
+        assert_eq!(p.words()[1], (1u64 << 6) - 1);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let p = BitPlane::from_fn(100, |pe| pe % 3 == 0);
+        for pe in 0..100 {
+            assert_eq!(p.get(pe), pe % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn gather_applies_src_map() {
+        let src = BitPlane::from_fn(8, |pe| pe < 4);
+        // Reverse permutation.
+        let map: Vec<u32> = (0..8).rev().collect();
+        let out = BitPlane::gather(&src, &map);
+        for pe in 0..8 {
+            assert_eq!(out.get(pe), pe >= 4);
+        }
+    }
+
+    #[test]
+    fn eval3_exhaustive_against_reference() {
+        // Check every truth table on every input combination via small
+        // planes that enumerate all 8 combinations.
+        let f = BitPlane::from_fn(8, |pe| pe & 0b100 != 0);
+        let d = BitPlane::from_fn(8, |pe| pe & 0b010 != 0);
+        let b = BitPlane::from_fn(8, |pe| pe & 0b001 != 0);
+        for tt in 0..=255u8 {
+            let out = BitPlane::eval3(tt, &f, &d, &b);
+            for pe in 0..8 {
+                let expect = tt >> pe & 1 != 0;
+                assert_eq!(out.get(pe), expect, "tt={tt:#010b} pe={pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_respects_mask() {
+        let mut dst = BitPlane::from_fn(8, |pe| pe % 2 == 0);
+        let new = BitPlane::from_fn(8, |_| true);
+        let mask = BitPlane::from_fn(8, |pe| pe >= 4);
+        dst.merge(&new, &mask);
+        for pe in 0..8 {
+            let expect = if pe >= 4 { true } else { pe % 2 == 0 };
+            assert_eq!(dst.get(pe), expect);
+        }
+    }
+
+    #[test]
+    fn eval3_masks_tail() {
+        let f = BitPlane::zero(70);
+        let d = BitPlane::zero(70);
+        let b = BitPlane::zero(70);
+        // tt = 1 outputs 1 when all inputs are 0 — every live bit fires,
+        // but bits past len must stay clear.
+        let out = BitPlane::eval3(1, &f, &d, &b);
+        assert_eq!(out.count_ones(), 70);
+    }
+}

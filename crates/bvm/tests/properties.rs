@@ -1,0 +1,163 @@
+//! Property tests for the BVM: vertical arithmetic against `u64`
+//! semantics, communication primitives against their specs, and
+//! instruction-count determinism.
+
+use bvm::isa::{Dest, RegSel};
+use bvm::machine::Bvm;
+use bvm::ops::{arith, broadcast, RegAlloc};
+use bvm::plane::BitPlane;
+use proptest::prelude::*;
+
+fn values(n: usize, seed: u64, inf_mod: u64, range: u64) -> Vec<Option<u64>> {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| {
+            if inf_mod > 0 && next() % inf_mod == 0 {
+                None
+            } else {
+                Some(next() % range)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn add_const_matches_u64(seed in any::<u64>(), c in 0u64..500) {
+        let w = 12;
+        let mut m = Bvm::new(2);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let vx = values(m.n(), seed, 0, 1000);
+        arith::host_load(&mut m, &x, &vx);
+        arith::add_const(&mut m, &x, c);
+        let got = arith::host_read(&m, &x);
+        for pe in 0..m.n() {
+            prop_assert_eq!(got[pe], Some(vx[pe].unwrap() + c));
+        }
+    }
+
+    #[test]
+    fn copy_select_compose(seed in any::<u64>()) {
+        let w = 10;
+        let mut m = Bvm::new(2);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let y = al.num(w);
+        let z = al.num(w);
+        let cond = al.reg();
+        let vx = values(m.n(), seed, 6, 800);
+        let vy = values(m.n(), seed ^ 0xABCD, 4, 800);
+        arith::host_load(&mut m, &x, &vx);
+        arith::host_load(&mut m, &y, &vy);
+        arith::copy(&mut m, &z, &x);
+        m.load_register(Dest::R(cond), BitPlane::from_fn(m.n(), |pe| pe % 3 == 0));
+        arith::select_assign(&mut m, &z, &y, cond);
+        let got = arith::host_read(&m, &z);
+        for pe in 0..m.n() {
+            let expect = if pe % 3 == 0 { vy[pe] } else { vx[pe] };
+            prop_assert_eq!(got[pe], expect);
+        }
+    }
+
+    #[test]
+    fn less_than_is_a_strict_order(seed in any::<u64>()) {
+        let w = 10;
+        let mut m = Bvm::new(1);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let y = al.num(w);
+        let lt_xy = al.reg();
+        let lt_yx = al.reg();
+        let vx = values(m.n(), seed, 5, 900);
+        let vy = values(m.n(), seed ^ 0x5555, 5, 900);
+        arith::host_load(&mut m, &x, &vx);
+        arith::host_load(&mut m, &y, &vy);
+        arith::less_than(&mut m, &x, &y, lt_xy);
+        arith::less_than(&mut m, &y, &x, lt_yx);
+        for pe in 0..m.n() {
+            let a = m.read_bit(RegSel::R(lt_xy), pe);
+            let b = m.read_bit(RegSel::R(lt_yx), pe);
+            // Irreflexive/antisymmetric: never both.
+            prop_assert!(!(a && b), "pe={pe}: both x<y and y<x");
+            // Trichotomy against host semantics.
+            let expect = match (vx[pe], vy[pe]) {
+                (None, _) => false,
+                (Some(_), None) => true,
+                (Some(p), Some(q)) => p < q,
+            };
+            prop_assert_eq!(a, expect);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_any_pe(seed in any::<u64>(), r in 1usize..=2) {
+        let mut m = Bvm::new(r);
+        let mut al = RegAlloc::new();
+        let data = al.reg();
+        let sender = al.reg();
+        let scratch = al.regs(4);
+        let src = (seed as usize) % m.n();
+        let bit = seed & 1 == 1;
+        m.load_register(
+            Dest::R(data),
+            BitPlane::from_fn(m.n(), |pe| if pe == src { bit } else { !bit }),
+        );
+        m.load_register(Dest::R(sender), BitPlane::from_fn(m.n(), |pe| pe == src));
+        broadcast::broadcast(&mut m, data, sender, &scratch);
+        let want = if bit { m.n() } else { 0 };
+        prop_assert_eq!(m.read(RegSel::R(data)).count_ones(), want);
+    }
+
+    #[test]
+    fn instruction_counts_are_data_independent(sa in any::<u64>(), sb in any::<u64>()) {
+        // SIMD programs take the same number of cycles regardless of data
+        // — a property the complexity experiments rely on.
+        let run = |seed: u64| {
+            let w = 8;
+            let mut m = Bvm::new(1);
+            let mut al = RegAlloc::new();
+            let x = al.num(w);
+            let y = al.num(w);
+            let s = al.reg();
+            let vx = values(m.n(), seed, 3, 200);
+            let vy = values(m.n(), seed ^ 99, 3, 200);
+            arith::host_load(&mut m, &x, &vx);
+            arith::host_load(&mut m, &y, &vy);
+            m.reset_counters();
+            arith::add_assign(&mut m, &x, &y);
+            arith::min_assign(&mut m, &x, &y, s);
+            m.executed()
+        };
+        prop_assert_eq!(run(sa), run(sb));
+    }
+}
+
+/// Deterministic: the documented instruction-cost formulas for the
+/// Section 4 library.
+#[test]
+fn op_cost_formulas() {
+    use bvm::ops::cycle_id::{cycle_id, cycle_id_cost};
+    use bvm::ops::processor_id::{processor_id, processor_id_cost};
+    for r in [1usize, 2, 3] {
+        let mut m = Bvm::new(r);
+        let q = m.topo().q();
+        cycle_id(&mut m, 0);
+        assert_eq!(m.executed(), cycle_id_cost(q), "cycle_id r={r}");
+
+        let mut m = Bvm::new(r);
+        let mut al = RegAlloc::new();
+        let pid = al.regs(m.topo().dims());
+        let scratch = al.regs(q.max(4));
+        processor_id(&mut m, &pid, &scratch);
+        assert_eq!(m.executed(), processor_id_cost(q, r), "processor_id r={r}");
+    }
+}

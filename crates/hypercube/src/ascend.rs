@@ -1,0 +1,354 @@
+//! ASCEND/DESCEND drivers and the paper's Section 4 algorithms at word
+//! level: broadcasting (Fig. 6), minimization-to-all (Fig. 7), and the two
+//! propagation schemes.
+//!
+//! An algorithm is in ASCEND form if it is a sequence of pairwise basic
+//! operations on data whose addresses differ successively in bit 0, bit 1,
+//! …, bit `d−1` (DESCEND: the reverse). Everything in this module is
+//! expressed through [`SimdHypercube::exchange_step`], so the identical
+//! program can be replayed on the CCC machine for the slowdown experiments.
+
+use crate::cube::SimdHypercube;
+use std::ops::Range;
+
+/// Runs `op` as an ASCEND pass over dimensions `dims` (ascending order).
+///
+/// `op(dim, lo_addr, lo, hi)` is invoked once per pair per dimension.
+pub fn ascend<T: Send + Sync>(
+    cube: &mut SimdHypercube<T>,
+    dims: Range<usize>,
+    op: impl Fn(usize, usize, &mut T, &mut T) + Sync,
+) {
+    for dim in dims {
+        cube.exchange_step(dim, |lo_addr, lo, hi| op(dim, lo_addr, lo, hi));
+    }
+}
+
+/// Runs `op` as a DESCEND pass over dimensions `dims` (descending order).
+pub fn descend<T: Send + Sync>(
+    cube: &mut SimdHypercube<T>,
+    dims: Range<usize>,
+    op: impl Fn(usize, usize, &mut T, &mut T) + Sync,
+) {
+    for dim in dims.rev() {
+        cube.exchange_step(dim, |lo_addr, lo, hi| op(dim, lo_addr, lo, hi));
+    }
+}
+
+/// PE state for broadcast/propagation demos: a data word plus the SENDER
+/// flag of the paper's control-bit scheme.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlaggedPe {
+    /// The payload.
+    pub data: u64,
+    /// The paper's SENDER control bit.
+    pub sender: bool,
+}
+
+/// Broadcasts the data of PE `src` to every PE (the paper's
+/// `Broadcasting()` algorithm generalized from `src = 0`), using SENDER
+/// control bits exactly as Section 4.3 prescribes: a receiver copies data
+/// *and* the sender flag, so the sender set doubles along each dimension.
+///
+/// Takes `m = cube.dims()` exchange steps — optimal by the fan-in bound.
+pub fn broadcast_from(cube: &mut SimdHypercube<FlaggedPe>, src: usize) {
+    cube.local_step(|addr, pe| pe.sender = addr == src);
+    let dims = 0..cube.dims();
+    ascend(cube, dims, |_, _, lo, hi| {
+        if lo.sender && !hi.sender {
+            hi.data = lo.data;
+            hi.sender = true;
+        } else if hi.sender && !lo.sender {
+            lo.data = hi.data;
+            lo.sender = true;
+        }
+    });
+}
+
+/// The stage-by-stage sender→receiver pairs of a broadcast from PE 0 on
+/// `2^m` PEs — the contents of the paper's Fig. 6.
+///
+/// Stage `i` (0-based) transfers from every current sender `j` (which has
+/// bit `i` clear) to `j | 2^i`.
+pub fn broadcast_trace(m: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut stages = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut stage = Vec::new();
+        // After i stages the senders are exactly 0..2^i.
+        for j in 0..1usize << i {
+            stage.push((j, j | (1 << i)));
+        }
+        stages.push(stage);
+    }
+    stages
+}
+
+/// ASCEND minimization-to-all over a dimension range: afterwards every PE
+/// in each `2^|dims|`-aligned block (w.r.t. the chosen dims) holds the
+/// block minimum. With `dims = 0..log N` this is the paper's Section 6
+/// minimization (`M[S,i] = min(M[S,i], M[S,i#t])`, Fig. 7): every PE
+/// associated with a set `S` ends up with `C(S)`.
+pub fn min_reduce_all(cube: &mut SimdHypercube<u64>, dims: Range<usize>) {
+    ascend(cube, dims, |_, _, lo, hi| {
+        let m = (*lo).min(*hi);
+        *lo = m;
+        *hi = m;
+    });
+}
+
+/// Snapshots of the PE values after each ASCEND minimization step, for the
+/// Fig. 7 example (`p = 3`, i.e. 8 values).
+pub fn min_reduce_trace(values: &[u64]) -> Vec<Vec<u64>> {
+    assert!(values.len().is_power_of_two());
+    let dims = values.len().trailing_zeros() as usize;
+    let mut cube = SimdHypercube::new(dims, |x| values[x]);
+    let mut out = Vec::with_capacity(dims);
+    for t in 0..dims {
+        cube.exchange_step(t, |_, lo, hi| {
+            let m = (*lo).min(*hi);
+            *lo = m;
+            *hi = m;
+        });
+        out.push(cube.pes().to_vec());
+    }
+    out
+}
+
+/// Propagation of the **first kind** (Section 4.4): one pass moves data
+/// from the current senders to every PE one 1-bit "above" them; senders do
+/// not change during the pass. With senders = the `N`-PE group (addresses
+/// with exactly `N` one-bits), PE `j` in the `(N+1)`-group combines the
+/// data of every `N`-group PE `k` with `k ⊆ j`.
+///
+/// `is_sender` reads the (frozen) sender predicate; `receive(dst, src)`
+/// folds a sender's state into a receiver. Costs `cube.dims()` exchange
+/// steps.
+pub fn propagation1<T: Send + Sync + Clone>(
+    cube: &mut SimdHypercube<T>,
+    is_sender: impl Fn(&T) -> bool + Sync,
+    receive: impl Fn(&mut T, &T) + Sync,
+) {
+    let dims = 0..cube.dims();
+    ascend(cube, dims, |_, _, lo, hi| {
+        // The receiver is the PE at the 1-end of the link (the `hi` side);
+        // per the paper, sender state does not move up within the pass.
+        if is_sender(&*lo) && !is_sender(&*hi) {
+            receive(hi, lo);
+        }
+    });
+}
+
+/// Propagation of the **second kind** (Section 4.4): receivers become
+/// senders immediately, so one pass floods data from the `N`-group all the
+/// way up to any higher group; PE `k` in the `M`-group obtains the data of
+/// every `N`-group PE `j ⊆ k`. The `receive` closure must transfer the
+/// sender flag (combine with logical or), exactly as the paper specifies.
+pub fn propagation2<T: Send + Sync>(
+    cube: &mut SimdHypercube<T>,
+    is_sender: impl Fn(&T) -> bool + Sync,
+    receive: impl Fn(&mut T, &T) + Sync,
+) {
+    let dims = 0..cube.dims();
+    ascend(cube, dims, |_, _, lo, hi| {
+        if is_sender(&*lo) {
+            receive(hi, lo);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_reaches_every_pe() {
+        for src in [0usize, 5, 15] {
+            let mut cube = SimdHypercube::new(4, |addr| FlaggedPe {
+                data: if addr == src { 42 } else { 0 },
+                sender: false,
+            });
+            broadcast_from(&mut cube, src);
+            assert!(cube.pes().iter().all(|pe| pe.data == 42 && pe.sender), "src={src}");
+            assert_eq!(cube.counts().exchange, 4);
+        }
+    }
+
+    #[test]
+    fn broadcast_trace_matches_fig6() {
+        // Fig. 6 of the paper: 16-PE broadcast from PE 0.
+        let stages = broadcast_trace(4);
+        assert_eq!(stages[0], vec![(0b0000, 0b0001)]);
+        assert_eq!(stages[1], vec![(0b0000, 0b0010), (0b0001, 0b0011)]);
+        assert_eq!(
+            stages[2],
+            vec![
+                (0b0000, 0b0100),
+                (0b0001, 0b0101),
+                (0b0010, 0b0110),
+                (0b0011, 0b0111)
+            ]
+        );
+        assert_eq!(
+            stages[3],
+            (0..8).map(|j| (j, j | 8)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn broadcast_trace_is_what_broadcast_executes() {
+        // Simulate the traced schedule by hand and compare to the machine.
+        let m = 4;
+        let src = 0usize;
+        let mut data = vec![0u64; 1 << m];
+        data[src] = 7;
+        for stage in broadcast_trace(m) {
+            let snapshot = data.clone();
+            for (from, to) in stage {
+                data[to] = snapshot[from];
+            }
+        }
+        let mut cube = SimdHypercube::new(m, |addr| FlaggedPe {
+            data: if addr == src { 7 } else { 0 },
+            sender: false,
+        });
+        broadcast_from(&mut cube, src);
+        let machine: Vec<u64> = cube.pes().iter().map(|pe| pe.data).collect();
+        assert_eq!(machine, data);
+    }
+
+    #[test]
+    fn min_reduce_all_leaves_minimum_everywhere() {
+        let vals: Vec<u64> = vec![9, 3, 7, 5, 8, 1, 6, 4];
+        let mut cube = SimdHypercube::new(3, |x| vals[x]);
+        min_reduce_all(&mut cube, 0..3);
+        assert!(cube.pes().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn min_reduce_trace_matches_fig7_block_structure() {
+        // Fig. 7 example shape (p=3): after step t, each aligned block of
+        // 2^{t+1} PEs shares its block minimum.
+        let vals: Vec<u64> = vec![9, 3, 7, 5, 8, 1, 6, 4];
+        let trace = min_reduce_trace(&vals);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0], vec![3, 3, 5, 5, 1, 1, 4, 4]);
+        assert_eq!(trace[1], vec![3, 3, 3, 3, 1, 1, 1, 1]);
+        assert_eq!(trace[2], vec![1; 8]);
+    }
+
+    #[test]
+    fn min_reduce_partial_range_reduces_within_blocks() {
+        // Reducing over dims 1..3 of a 3-cube: blocks {0,2,4,6} share with
+        // stride structure; PEs differing only in bit 0 stay independent.
+        let vals: Vec<u64> = vec![9, 3, 7, 5, 8, 1, 6, 4];
+        let mut cube = SimdHypercube::new(3, |x| vals[x]);
+        min_reduce_all(&mut cube, 1..3);
+        // Even addresses reduce among {0,2,4,6} = min(9,7,8,6)=6;
+        // odd among {1,3,5,7} = min(3,5,1,4)=1.
+        assert_eq!(cube.pes(), &[6, 1, 6, 1, 6, 1, 6, 1]);
+    }
+
+    /// State for the propagation examples: a set of origin addresses
+    /// (bitmask over 16 PEs) plus the sender flag.
+    #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+    struct Prop {
+        got: u32,
+        sender: bool,
+    }
+
+    #[test]
+    fn propagation1_matches_paper_example() {
+        // Paper: N=2 on 16 PEs — PE 0111 receives from 0110, 0101, 0011.
+        let mut cube = SimdHypercube::new(4, |addr| Prop {
+            got: 1 << addr,
+            sender: (addr as u32).count_ones() == 2,
+        });
+        propagation1(&mut cube, |p| p.sender, |dst, src| dst.got |= src.got);
+        let pe = cube.pe(0b0111);
+        assert_eq!(
+            pe.got & !(1 << 0b0111),
+            (1 << 0b0110) | (1 << 0b0101) | (1 << 0b0011)
+        );
+        // And a 2-group PE receives nothing (its lower neighbours are in
+        // the 1-group, not senders).
+        let pe2 = cube.pe(0b0011);
+        assert_eq!(pe2.got, 1 << 0b0011);
+    }
+
+    #[test]
+    fn propagation1_covers_all_n_plus_1_receivers() {
+        let n = 1usize;
+        let mut cube = SimdHypercube::new(4, |addr| Prop {
+            got: 1 << addr,
+            sender: (addr as u32).count_ones() == n as u32,
+        });
+        propagation1(&mut cube, |p| p.sender, |dst, src| dst.got |= src.got);
+        for addr in 0..16usize {
+            if (addr as u32).count_ones() == (n + 1) as u32 {
+                // Receiver must have combined every subset one below it.
+                for bit in 0..4 {
+                    if addr & (1 << bit) != 0 {
+                        let below = addr & !(1 << bit);
+                        assert!(
+                            cube.pe(addr).got & (1 << below) != 0,
+                            "PE {addr:04b} missing {below:04b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation2_matches_paper_example() {
+        // Paper: M=3, N=1 — PE 0111 gets data from 0001, 0010, 0100.
+        let mut cube = SimdHypercube::new(4, |addr| Prop {
+            got: if (addr as u32).count_ones() == 1 { 1 << addr } else { 0 },
+            sender: (addr as u32).count_ones() == 1,
+        });
+        propagation2(
+            &mut cube,
+            |p| p.sender,
+            |dst, src| {
+                dst.got |= src.got;
+                dst.sender |= src.sender;
+            },
+        );
+        let pe = cube.pe(0b0111);
+        assert_eq!(pe.got, (1 << 0b0001) | (1 << 0b0010) | (1 << 0b0100));
+        // The full-universe PE collects all four singletons.
+        assert_eq!(
+            cube.pe(0b1111).got,
+            (1 << 1) | (1 << 2) | (1 << 4) | (1 << 8)
+        );
+    }
+
+    #[test]
+    fn propagation2_flood_from_zero_is_a_broadcast() {
+        let mut cube = SimdHypercube::new(5, |addr| Prop {
+            got: if addr == 0 { 0xBEEF } else { 0 },
+            sender: addr == 0,
+        });
+        propagation2(
+            &mut cube,
+            |p| p.sender,
+            |dst, src| {
+                dst.got |= src.got;
+                dst.sender |= src.sender;
+            },
+        );
+        assert!(cube.pes().iter().all(|p| p.got == 0xBEEF && p.sender));
+    }
+
+    #[test]
+    fn descend_applies_dims_in_reverse() {
+        let mut order = std::sync::Mutex::new(Vec::new());
+        let mut cube = SimdHypercube::new(3, |_| 0u8).sequential();
+        descend(&mut cube, 0..3, |dim, lo_addr, _, _| {
+            if lo_addr == 0 {
+                order.lock().unwrap().push(dim);
+            }
+        });
+        assert_eq!(*order.get_mut().unwrap(), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Benes rearrangeable permutation network and its looping algorithm.
+//!
+//! Section 2 of the paper: "since the BVM communication network resembles
+//! the Benes permutation network, it can accomplish any permutation
+//! within `O(log n)` time if the control bits are precalculated". This
+//! module does the precalculation: the classic recursive **looping
+//! algorithm** computes 2×2 switch settings realizing any permutation of
+//! `n = 2^d` terminals in `2d − 1` switch stages, and the network can be
+//! applied to data to verify the routing (and to count the stages an
+//! oblivious route would congest — compare `route::bit_fixing_congestion`).
+
+/// A configured Benes network for `n = 2^d` terminals.
+///
+/// `Base` is the 2-terminal network (one switch). `Rec` is the recursive
+/// shape: an input column of `n/2` switches, top and bottom half-size
+/// subnetworks, and an output column of `n/2` switches. A switch setting
+/// of `true` means *cross* (terminal `2p` exits to the bottom leg).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Benes {
+    /// Two terminals, one switch (`true` = cross).
+    Base(bool),
+    /// The recursive case.
+    Rec {
+        /// Input-column settings, one per terminal pair.
+        input: Vec<bool>,
+        /// Output-column settings, one per terminal pair.
+        output: Vec<bool>,
+        /// The upper half-size subnetwork.
+        top: Box<Benes>,
+        /// The lower half-size subnetwork.
+        bottom: Box<Benes>,
+    },
+}
+
+impl Benes {
+    /// Number of terminals.
+    pub fn len(&self) -> usize {
+        match self {
+            Benes::Base(_) => 2,
+            Benes::Rec { input, .. } => input.len() * 2,
+        }
+    }
+
+    /// True iff the network is the 2-terminal base (never "empty", but
+    /// clippy likes the pair).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Switch-stage depth: `2·log₂ n − 1`.
+    pub fn depth(&self) -> usize {
+        match self {
+            Benes::Base(_) => 1,
+            Benes::Rec { top, .. } => top.depth() + 2,
+        }
+    }
+
+    /// Total number of 2×2 switches.
+    pub fn switch_count(&self) -> usize {
+        match self {
+            Benes::Base(_) => 1,
+            Benes::Rec { input, output, top, bottom } => {
+                input.len() + output.len() + top.switch_count() + bottom.switch_count()
+            }
+        }
+    }
+
+    /// Routes `data` through the configured network.
+    pub fn apply<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len());
+        match self {
+            Benes::Base(cross) => {
+                if *cross {
+                    vec![data[1].clone(), data[0].clone()]
+                } else {
+                    data.to_vec()
+                }
+            }
+            Benes::Rec { input, output, top, bottom } => {
+                let half = data.len() / 2;
+                let mut top_in = Vec::with_capacity(half);
+                let mut bot_in = Vec::with_capacity(half);
+                for (p, &cross) in input.iter().enumerate() {
+                    let (a, b) = (data[2 * p].clone(), data[2 * p + 1].clone());
+                    if cross {
+                        top_in.push(b);
+                        bot_in.push(a);
+                    } else {
+                        top_in.push(a);
+                        bot_in.push(b);
+                    }
+                }
+                let top_out = top.apply(&top_in);
+                let bot_out = bottom.apply(&bot_in);
+                let mut out = Vec::with_capacity(data.len());
+                for (p, &cross) in output.iter().enumerate() {
+                    let (a, b) = (top_out[p].clone(), bot_out[p].clone());
+                    if cross {
+                        out.push(b.clone());
+                        out.push(a.clone());
+                    } else {
+                        out.push(a.clone());
+                        out.push(b.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Computes switch settings realizing `perm` (`out[i] = in[perm[i]]` — the
+/// value at input `perm[i]` appears at output `i`) via the looping
+/// algorithm. `perm.len()` must be a power of two ≥ 2.
+///
+/// # Examples
+/// ```
+/// use hypercube::benes::route_permutation;
+/// let perm = vec![2, 0, 3, 1];
+/// let net = route_permutation(&perm);
+/// assert_eq!(net.depth(), 3); // 2·log2(4) − 1
+/// assert_eq!(net.apply(&[10, 11, 12, 13]), vec![12, 10, 13, 11]);
+/// ```
+pub fn route_permutation(perm: &[usize]) -> Benes {
+    let n = perm.len();
+    assert!(n >= 2 && n.is_power_of_two(), "need a power-of-two size");
+    {
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+    }
+    build(perm)
+}
+
+fn build(perm: &[usize]) -> Benes {
+    let n = perm.len();
+    if n == 2 {
+        return Benes::Base(perm[0] == 1);
+    }
+    let half = n / 2;
+    // Subnet assignment per terminal: 0 = top, 1 = bottom, usize::MAX =
+    // unassigned. `inp[i]` for input terminals, `out[o]` for outputs.
+    let mut in_net = vec![usize::MAX; n];
+    let mut out_net = vec![usize::MAX; n];
+    // inverse permutation: input i feeds output inv[i].
+    let mut inv = vec![0usize; n];
+    for (o, &i) in perm.iter().enumerate() {
+        inv[i] = o;
+    }
+    // Looping: repeatedly pick an unassigned output, send it through the
+    // top net, and chase the forced constraints around the cycle.
+    for start in 0..n {
+        if out_net[start] != usize::MAX {
+            continue;
+        }
+        let mut o = start;
+        let mut net = 0usize;
+        loop {
+            out_net[o] = net;
+            let i = perm[o];
+            in_net[i] = net;
+            // The partner input (same input switch) must use the other net…
+            let i2 = i ^ 1;
+            if in_net[i2] != usize::MAX {
+                break;
+            }
+            in_net[i2] = 1 - net;
+            // …and its output's partner continues the loop in that net's
+            // complement at the output switch.
+            let o2 = inv[i2];
+            out_net[o2] = 1 - net;
+            let o3 = o2 ^ 1;
+            if out_net[o3] != usize::MAX {
+                break;
+            }
+            o = o3;
+            net = out_net[o2] ^ 1;
+        }
+    }
+    // Switch settings: input pair p crosses iff terminal 2p goes bottom.
+    let input: Vec<bool> = (0..half).map(|p| in_net[2 * p] == 1).collect();
+    let output: Vec<bool> = (0..half).map(|p| out_net[2 * p] == 1).collect();
+    // Sub-permutations: input i sits at subnet position i/2; output o at
+    // position o/2.
+    let mut top_perm = vec![0usize; half];
+    let mut bot_perm = vec![0usize; half];
+    for o in 0..n {
+        let i = perm[o];
+        debug_assert_eq!(out_net[o], in_net[i], "loop assignment consistent");
+        if out_net[o] == 0 {
+            top_perm[o / 2] = i / 2;
+        } else {
+            bot_perm[o / 2] = i / 2;
+        }
+    }
+    Benes::Rec {
+        input,
+        output,
+        top: Box::new(build(&top_perm)),
+        bottom: Box::new(build(&bot_perm)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::bit_reversal_perm;
+
+    fn check(perm: &[usize]) {
+        let net = route_permutation(perm);
+        let data: Vec<usize> = (0..perm.len()).collect();
+        let routed = net.apply(&data);
+        for (o, &got) in routed.iter().enumerate() {
+            assert_eq!(got, perm[o], "output {o} of {perm:?}");
+        }
+    }
+
+    #[test]
+    fn routes_identity_and_swap() {
+        check(&[0, 1]);
+        check(&[1, 0]);
+        check(&[0, 1, 2, 3]);
+        check(&[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn routes_all_permutations_of_4_and_8() {
+        // Exhaustive for n = 4 (24 perms) and a structured family for 8.
+        let mut perm = [0usize, 1, 2, 3];
+        permute_all(&mut perm, 0);
+        fn permute_all(p: &mut [usize; 4], i: usize) {
+            if i == 4 {
+                check(p);
+                return;
+            }
+            for j in i..4 {
+                p.swap(i, j);
+                permute_all(p, i + 1);
+                p.swap(i, j);
+            }
+        }
+        for shift in 0..8usize {
+            let p: Vec<usize> = (0..8).map(|x| (x + shift) % 8).collect();
+            check(&p);
+        }
+    }
+
+    #[test]
+    fn routes_random_large_permutations() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for d in [4usize, 6, 8] {
+            let n = 1 << d;
+            let mut perm: Vec<usize> = (0..n).collect();
+            // Fisher–Yates.
+            for i in (1..n).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+            check(&perm);
+        }
+    }
+
+    #[test]
+    fn routes_the_bit_fixing_adversary() {
+        // Bit-reversal congests oblivious routing; Benes handles it in
+        // 2d−1 stages with zero conflicts.
+        for d in [4usize, 6, 8] {
+            let perm = bit_reversal_perm(d);
+            let net = route_permutation(&perm);
+            assert_eq!(net.depth(), 2 * d - 1);
+            check(&perm);
+        }
+    }
+
+    #[test]
+    fn depth_and_switch_count_closed_forms() {
+        for d in 1..=8usize {
+            let n = 1usize << d;
+            let perm: Vec<usize> = (0..n).collect();
+            let net = route_permutation(&perm);
+            assert_eq!(net.depth(), 2 * d - 1, "depth at n={n}");
+            // Switches: n/2 per stage × (2d − 1) stages.
+            assert_eq!(net.switch_count(), (n / 2) * (2 * d - 1), "count at n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutations() {
+        route_permutation(&[0, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Blocked (virtualized) hypercube execution — Brent's theorem in code.
+//!
+//! The paper's algorithm wants `N·2^k` PEs; a real machine has `P = 2^q`
+//! of them. The standard remedy assigns each physical PE a *block* of
+//! `2^{d−q}` consecutive virtual PEs: virtual address
+//! `v = (phys << (d−q)) | local`. Exchanges along the low `d−q`
+//! dimensions stay inside a block (no communication — just local work);
+//! exchanges along the high `q` dimensions move whole blocks' worth of
+//! words between physical partners. Total parallel time degrades by the
+//! block factor — `T_P ≈ (V/P)·T_V` — while the answer stays identical,
+//! which the tests assert.
+//!
+//! [`BlockedCounts`] separates the two costs so the Brent trade-off can
+//! be measured rather than assumed (experiment `blocked-brent`).
+
+/// Work/communication counters for a blocked run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockedCounts {
+    /// Pair operations executed inside blocks (no wires involved).
+    pub local_pair_ops: u64,
+    /// Pair operations whose operands lived on different physical PEs.
+    pub remote_pair_ops: u64,
+    /// Physical message words (one per remote pair operand exchange).
+    pub words_communicated: u64,
+    /// Whole-machine steps: one per virtual dimension exchange.
+    pub virtual_steps: u64,
+}
+
+impl BlockedCounts {
+    /// The physical-time estimate: every virtual step costs its block's
+    /// serialized work on the busiest physical PE.
+    pub fn physical_time(&self, block: u64) -> u64 {
+        self.virtual_steps * (block / 2).max(1)
+    }
+}
+
+/// A hypercube of `2^dims` *virtual* PEs executed by `2^phys` physical
+/// ones (`phys ≤ dims`).
+#[derive(Clone, Debug)]
+pub struct BlockedHypercube<T> {
+    dims: usize,
+    phys: usize,
+    pes: Vec<T>,
+    counts: BlockedCounts,
+}
+
+impl<T: Send + Sync> BlockedHypercube<T> {
+    /// Builds the machine; virtual PE `v` is initialized to `init(v)` and
+    /// hosted by physical PE `v >> (dims − phys)`.
+    pub fn new(dims: usize, phys: usize, init: impl Fn(usize) -> T) -> BlockedHypercube<T> {
+        assert!(phys <= dims, "cannot have more physical than virtual PEs");
+        assert!(dims < 31);
+        BlockedHypercube {
+            dims,
+            phys,
+            pes: (0..1usize << dims).map(init).collect(),
+            counts: BlockedCounts::default(),
+        }
+    }
+
+    /// Virtual dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Physical PE count `2^phys`.
+    pub fn physical_pes(&self) -> usize {
+        1 << self.phys
+    }
+
+    /// Virtual PEs per physical PE.
+    pub fn block_size(&self) -> usize {
+        1 << (self.dims - self.phys)
+    }
+
+    /// The counters so far.
+    pub fn counts(&self) -> BlockedCounts {
+        self.counts
+    }
+
+    /// The virtual PE states.
+    pub fn pes(&self) -> &[T] {
+        &self.pes
+    }
+
+    /// One virtual PE's state.
+    pub fn pe(&self, v: usize) -> &T {
+        &self.pes[v]
+    }
+
+    /// A local step over every virtual PE (each physical PE serializes
+    /// its block).
+    pub fn local_step(&mut self, f: impl Fn(usize, &mut T) + Sync) {
+        self.counts.virtual_steps += 1;
+        for (v, pe) in self.pes.iter_mut().enumerate() {
+            f(v, pe);
+        }
+    }
+
+    /// A virtual dimension exchange, with communication accounted by
+    /// whether the pair crosses a physical boundary.
+    pub fn exchange_step(&mut self, dim: usize, f: impl Fn(usize, &mut T, &mut T) + Sync) {
+        assert!(dim < self.dims);
+        self.counts.virtual_steps += 1;
+        let internal = dim < self.dims - self.phys;
+        let half = 1usize << dim;
+        let block = half << 1;
+        let pairs = (self.pes.len() / 2) as u64;
+        if internal {
+            self.counts.local_pair_ops += pairs;
+        } else {
+            self.counts.remote_pair_ops += pairs;
+            // Each remote pair moves both operands across the wires once.
+            self.counts.words_communicated += 2 * pairs;
+        }
+        for (chunk_idx, chunk) in self.pes.chunks_mut(block).enumerate() {
+            let base = chunk_idx * block;
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (off, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                f(base + off, l, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::SimdHypercube;
+
+    fn scramble(dim: usize, lo_addr: usize, lo: &mut u64, hi: &mut u64) {
+        let a = lo.wrapping_mul(31).wrapping_add(*hi ^ dim as u64);
+        let b = hi.rotate_left(5).wrapping_add(*lo ^ lo_addr as u64);
+        *lo = a;
+        *hi = b;
+    }
+
+    #[test]
+    fn blocked_matches_full_machine_for_every_blocking() {
+        let d = 8;
+        let init = |x: usize| (x as u64).wrapping_mul(0x9E37_79B9);
+        let mut reference = SimdHypercube::new(d, init).sequential();
+        for dim in 0..d {
+            reference.exchange_step(dim, |la, lo, hi| scramble(dim, la, lo, hi));
+        }
+        for phys in 0..=d {
+            let mut blocked = BlockedHypercube::new(d, phys, init);
+            for dim in 0..d {
+                blocked.exchange_step(dim, |la, lo, hi| scramble(dim, la, lo, hi));
+            }
+            assert_eq!(blocked.pes(), reference.pes(), "phys={phys}");
+        }
+    }
+
+    #[test]
+    fn communication_scales_with_physical_dims() {
+        let d = 6;
+        for phys in [0usize, 3, 6] {
+            let mut m = BlockedHypercube::new(d, phys, |x| x as u64);
+            for dim in 0..d {
+                m.exchange_step(dim, |_, lo, hi| {
+                    let s = *lo + *hi;
+                    *lo = s;
+                    *hi = s;
+                });
+            }
+            let c = m.counts();
+            // Exactly `phys` of the d exchanges cross wires.
+            assert_eq!(c.remote_pair_ops, phys as u64 * (1 << (d - 1)));
+            assert_eq!(
+                c.local_pair_ops,
+                (d - phys) as u64 * (1 << (d - 1))
+            );
+            assert_eq!(c.words_communicated, 2 * c.remote_pair_ops);
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let m: BlockedHypercube<u8> = BlockedHypercube::new(10, 4, |_| 0);
+        assert_eq!(m.physical_pes(), 16);
+        assert_eq!(m.block_size(), 64);
+        assert_eq!(m.dims(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "more physical")]
+    fn rejects_oversubscription() {
+        let _ = BlockedHypercube::new(3, 4, |_| 0u8);
+    }
+}

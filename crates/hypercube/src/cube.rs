@@ -1,0 +1,251 @@
+//! A word-level SIMD hypercube: `2^d` PEs, each holding one state value.
+//!
+//! The two primitives match the machine model the paper's complexity
+//! accounting assumes: a **local step** (every PE updates its own state —
+//! free of communication) and an **exchange step** along one hypercube
+//! dimension (every PE communicates with the neighbour whose address
+//! differs in that bit; both sides may be updated). An ASCEND or DESCEND
+//! algorithm is a sequence of exchange steps with dimensions in ascending
+//! or descending order.
+
+use rayon::prelude::*;
+
+/// Parallel-step counters for a hypercube run.
+///
+/// `exchange` is the quantity the paper's `O(k(k + log N))` word-level time
+/// bound counts; `local` steps are the "free" SIMD updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepCounts {
+    /// Number of local (communication-free) parallel steps.
+    pub local: u64,
+    /// Number of dimension-exchange parallel steps.
+    pub exchange: u64,
+}
+
+impl StepCounts {
+    /// Total parallel steps.
+    pub fn total(&self) -> u64 {
+        self.local + self.exchange
+    }
+}
+
+/// Minimum PE count before rayon is engaged for a step (below this the
+/// fork/join overhead dominates).
+const PARALLEL_THRESHOLD: usize = 1 << 12;
+
+/// A simulated SIMD hypercube of `2^dims` PEs with state `T` per PE.
+///
+/// # Examples
+/// All-to-all sum by an ASCEND pass:
+/// ```
+/// use hypercube::cube::SimdHypercube;
+/// let mut cube = SimdHypercube::new(4, |x| x as u64);
+/// for dim in 0..4 {
+///     cube.exchange_step(dim, |_, lo, hi| {
+///         let s = *lo + *hi;
+///         *lo = s;
+///         *hi = s;
+///     });
+/// }
+/// assert!(cube.pes().iter().all(|&v| v == (0..16).sum::<u64>()));
+/// assert_eq!(cube.counts().exchange, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimdHypercube<T> {
+    dims: usize,
+    pes: Vec<T>,
+    counts: StepCounts,
+    parallel: bool,
+}
+
+impl<T: Send + Sync> SimdHypercube<T> {
+    /// Creates a machine of `2^dims` PEs, PE `x` initialized to `init(x)`.
+    pub fn new(dims: usize, init: impl Fn(usize) -> T) -> SimdHypercube<T> {
+        assert!(dims < 31, "2^{dims} PEs will not fit in memory");
+        let pes = (0..1usize << dims).map(init).collect();
+        SimdHypercube { dims, pes, counts: StepCounts::default(), parallel: true }
+    }
+
+    /// Disables rayon execution (steps run on the calling thread). Useful
+    /// for deterministic profiling of the simulation itself.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Number of hypercube dimensions `d`.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of PEs, `2^d`.
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Always false: a hypercube has at least one PE.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The state of PE `addr`.
+    pub fn pe(&self, addr: usize) -> &T {
+        &self.pes[addr]
+    }
+
+    /// All PE states, indexed by address.
+    pub fn pes(&self) -> &[T] {
+        &self.pes
+    }
+
+    /// Consumes the machine, returning the PE states.
+    pub fn into_pes(self) -> Vec<T> {
+        self.pes
+    }
+
+    /// The step counters so far.
+    pub fn counts(&self) -> StepCounts {
+        self.counts
+    }
+
+    /// Resets the step counters.
+    pub fn reset_counts(&mut self) {
+        self.counts = StepCounts::default();
+    }
+
+    /// One local parallel step: every PE updates its own state.
+    pub fn local_step(&mut self, f: impl Fn(usize, &mut T) + Sync) {
+        self.counts.local += 1;
+        if self.parallel && self.pes.len() >= PARALLEL_THRESHOLD {
+            self.pes
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(addr, pe)| f(addr, pe));
+        } else {
+            for (addr, pe) in self.pes.iter_mut().enumerate() {
+                f(addr, pe);
+            }
+        }
+    }
+
+    /// One exchange step along dimension `dim`: `f` is invoked once per
+    /// PE pair `(x, x | 2^dim)` with `x`'s bit `dim` clear, receiving the
+    /// lower address and mutable access to both states.
+    pub fn exchange_step(&mut self, dim: usize, f: impl Fn(usize, &mut T, &mut T) + Sync) {
+        assert!(dim < self.dims, "dimension {dim} out of range 0..{}", self.dims);
+        self.counts.exchange += 1;
+        let half = 1usize << dim;
+        let block = half << 1;
+        if self.parallel && self.pes.len() >= PARALLEL_THRESHOLD {
+            self.pes
+                .par_chunks_mut(block)
+                .enumerate()
+                .for_each(|(chunk_idx, chunk)| {
+                    let base = chunk_idx * block;
+                    let (lo, hi) = chunk.split_at_mut(half);
+                    for (off, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                        f(base + off, l, h);
+                    }
+                });
+        } else {
+            for (chunk_idx, chunk) in self.pes.chunks_mut(block).enumerate() {
+                let base = chunk_idx * block;
+                let (lo, hi) = chunk.split_at_mut(half);
+                for (off, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                    f(base + off, l, h);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_addresses_pes() {
+        let cube = SimdHypercube::new(3, |x| x * 10);
+        assert_eq!(cube.len(), 8);
+        assert_eq!(cube.dims(), 3);
+        assert_eq!(*cube.pe(5), 50);
+    }
+
+    #[test]
+    fn local_step_touches_every_pe_once() {
+        let mut cube = SimdHypercube::new(4, |_| 0u64);
+        cube.local_step(|addr, v| *v += addr as u64);
+        for (addr, v) in cube.pes().iter().enumerate() {
+            assert_eq!(*v, addr as u64);
+        }
+        assert_eq!(cube.counts(), StepCounts { local: 1, exchange: 0 });
+    }
+
+    #[test]
+    fn exchange_step_pairs_by_dimension() {
+        for dim in 0..4 {
+            let mut cube = SimdHypercube::new(4, |x| x);
+            // Swap each pair: PE x ends up holding x ^ 2^dim.
+            cube.exchange_step(dim, |_, lo, hi| std::mem::swap(lo, hi));
+            for (addr, v) in cube.pes().iter().enumerate() {
+                assert_eq!(*v, addr ^ (1 << dim), "dim={dim} addr={addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_step_reports_lo_address() {
+        let mut cube = SimdHypercube::new(3, |_| 0usize);
+        cube.exchange_step(1, |lo_addr, lo, hi| {
+            assert_eq!(lo_addr & 0b010, 0);
+            *lo = lo_addr;
+            *hi = lo_addr | 0b010;
+        });
+        for (addr, v) in cube.pes().iter().enumerate() {
+            assert_eq!(*v, addr);
+        }
+    }
+
+    #[test]
+    fn sum_reduce_via_ascend_sequence() {
+        // Classic ASCEND all-sum: after all dims, every PE holds the total.
+        let mut cube = SimdHypercube::new(5, |x| x as u64);
+        for dim in 0..5 {
+            cube.exchange_step(dim, |_, lo, hi| {
+                let s = *lo + *hi;
+                *lo = s;
+                *hi = s;
+            });
+        }
+        let expect: u64 = (0..32).sum();
+        assert!(cube.pes().iter().all(|&v| v == expect));
+        assert_eq!(cube.counts().exchange, 5);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let build = |seq: bool| {
+            let mut cube = SimdHypercube::new(13, |x| (x as u64).wrapping_mul(0x9E3779B9));
+            if seq {
+                cube = cube.sequential();
+            }
+            for dim in 0..13 {
+                cube.exchange_step(dim, |addr, lo, hi| {
+                    let a = lo.wrapping_add(*hi).rotate_left((dim % 7) as u32);
+                    let b = hi.wrapping_mul(3).wrapping_add(addr as u64);
+                    *lo = a;
+                    *hi = b;
+                });
+            }
+            cube.into_pes()
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn exchange_rejects_bad_dim() {
+        let mut cube = SimdHypercube::new(2, |_| 0u8);
+        cube.exchange_step(2, |_, _, _| {});
+    }
+}

@@ -1,0 +1,51 @@
+//! # hypercube — word-level SIMD hypercube and CCC machine models
+//!
+//! The paper designs its parallel TT algorithm in the **ASCEND/DESCEND**
+//! framework of Preparata and Vuillemin: a sequence of pairwise operations
+//! on PEs whose addresses differ in bit 0, bit 1, …, bit `d−1` (ASCEND) or
+//! in the reverse order (DESCEND). Such algorithms run natively on a
+//! hypercube and, crucially, on the far cheaper **cube-connected-cycles
+//! (CCC)** network — `3n/2` links instead of `n·log n/2` — with only a
+//! constant-factor (the paper says "4 to 6") slowdown.
+//!
+//! This crate provides both machines at word level, with exact
+//! parallel-step accounting, so the slowdown claim and the communication
+//! lower bounds can be measured rather than asserted:
+//!
+//! * [`cube::SimdHypercube`] — `2^d` PEs, one state value each;
+//!   `local_step` and `exchange_step(dim)` primitives; optional rayon
+//!   execution.
+//! * [`ascend`] — ASCEND/DESCEND drivers plus the paper's Section 4
+//!   algorithms at word level: broadcasting (Fig. 6), minimization
+//!   (Fig. 7), and the two propagation schemes.
+//! * [`ccc::CccMachine`] — a complete CCC (`Q = 2^r` PEs per cycle, `2^Q`
+//!   cycles) that executes the *same* ASCEND/DESCEND programs through the
+//!   pipelined Preparata–Vuillemin schedule, counting rotations and lateral
+//!   exchanges; results are bit-identical to the hypercube's.
+//! * [`route`] — bit-fixing routing utilities and the fan-in lower bound
+//!   `Ω(log p)` the paper invokes for its `Ω(k + log N)` communication
+//!   bound.
+//! * [`benes`] — the Benes rearrangeable network with the looping
+//!   algorithm for control-bit precalculation (the paper's §2 remark that
+//!   the BVM network "resembles the Benes permutation network").
+//! * [`sort`] — Batcher's bitonic sort in ASCEND/DESCEND form, runnable
+//!   on both machines.
+//! * [`scan`] — Blelloch's parallel prefix as gated dimension exchanges
+//!   (the PE-allocation primitive).
+//! * [`blocked`] — Brent's-theorem execution: the same programs on fewer
+//!   physical PEs, with local-vs-remote work accounted separately.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascend;
+pub mod benes;
+pub mod blocked;
+pub mod ccc;
+pub mod cube;
+pub mod route;
+pub mod scan;
+pub mod sort;
+
+pub use ccc::{CccMachine, CccStepCounts};
+pub use cube::{SimdHypercube, StepCounts};

@@ -1,0 +1,154 @@
+//! Bit-fixing routing and the fan-in communication lower bound.
+//!
+//! The paper remarks that "as can be shown by a simple fan-in argument,
+//! `Ω(k + log N)` time is required for the communication among `O(N·2^k)`
+//! PEs". This module provides the computational side of that discussion:
+//! the fan-in bound itself, greedy bit-fixing (e-cube) routes, and the
+//! congestion a permutation imposes on hypercube links — the quantities
+//! that justify precomputing Benes control bits on the BVM, whose network
+//! "resembles the Benes permutation network" (Section 2).
+
+/// The fan-in lower bound: with bounded-degree PEs, gathering information
+/// from `n` sources into one PE needs at least `⌈log₂ n⌉` steps; so does
+/// broadcasting from one PE to `n`.
+pub fn fan_in_lower_bound(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The greedy bit-fixing (e-cube) route from `from` to `to` on a
+/// `d`-dimensional hypercube: corrects differing address bits from the
+/// least significant upward. Returns the sequence of nodes visited,
+/// starting at `from` and ending at `to`.
+pub fn bit_fixing_route(from: usize, to: usize, d: usize) -> Vec<usize> {
+    assert!(from < (1 << d) && to < (1 << d));
+    let mut path = vec![from];
+    let mut cur = from;
+    for bit in 0..d {
+        let mask = 1usize << bit;
+        if (cur ^ to) & mask != 0 {
+            cur ^= mask;
+            path.push(cur);
+        }
+    }
+    path
+}
+
+/// The links (as `(node, dim)` pairs, from the lower-address endpoint)
+/// used by the bit-fixing route of a single packet.
+fn route_links(from: usize, to: usize, d: usize) -> Vec<(usize, usize)> {
+    let path = bit_fixing_route(from, to, d);
+    path.windows(2)
+        .map(|w| {
+            let dim = (w[0] ^ w[1]).trailing_zeros() as usize;
+            (w[0].min(w[1]), dim)
+        })
+        .collect()
+}
+
+/// Maximum link congestion when every node `x` sends one packet to
+/// `perm[x]` by bit-fixing. Worst-case permutations congest a single link
+/// with `Θ(√n)` packets — the reason oblivious routing needs Benes-style
+/// precomputed control bits for guaranteed `O(log n)` permutation time.
+pub fn bit_fixing_congestion(perm: &[usize], d: usize) -> usize {
+    assert_eq!(perm.len(), 1 << d);
+    let mut load = std::collections::HashMap::new();
+    for (from, &to) in perm.iter().enumerate() {
+        for link in route_links(from, to, d) {
+            *load.entry(link).or_insert(0usize) += 1;
+        }
+    }
+    load.values().copied().max().unwrap_or(0)
+}
+
+/// The bit-reversal permutation on `d`-bit addresses — the classic
+/// congestion adversary for bit-fixing.
+pub fn bit_reversal_perm(d: usize) -> Vec<usize> {
+    (0..1usize << d)
+        .map(|x| {
+            let mut y = 0usize;
+            for bit in 0..d {
+                if x & (1 << bit) != 0 {
+                    y |= 1 << (d - 1 - bit);
+                }
+            }
+            y
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ascend::{broadcast_from, FlaggedPe};
+    use crate::cube::SimdHypercube;
+
+    #[test]
+    fn fan_in_bound_values() {
+        assert_eq!(fan_in_lower_bound(1), 0);
+        assert_eq!(fan_in_lower_bound(2), 1);
+        assert_eq!(fan_in_lower_bound(3), 2);
+        assert_eq!(fan_in_lower_bound(1024), 10);
+        assert_eq!(fan_in_lower_bound(1025), 11);
+    }
+
+    #[test]
+    fn broadcast_meets_the_fan_in_bound_with_equality() {
+        // The ASCEND broadcast uses exactly ⌈log₂ n⌉ exchange steps — the
+        // lower bound is tight on the hypercube.
+        for d in 1..8 {
+            let mut cube = SimdHypercube::new(d, |a| FlaggedPe {
+                data: u64::from(a == 0),
+                sender: false,
+            });
+            broadcast_from(&mut cube, 0);
+            assert_eq!(cube.counts().exchange, u64::from(fan_in_lower_bound(1 << d)));
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_paths() {
+        let d = 5;
+        for (from, to) in [(0usize, 31usize), (5, 9), (17, 17), (1, 2)] {
+            let path = bit_fixing_route(from, to, d);
+            assert_eq!(path.first(), Some(&from));
+            assert_eq!(path.last(), Some(&to));
+            assert_eq!(path.len() - 1, (from ^ to).count_ones() as usize);
+            for w in path.windows(2) {
+                assert_eq!((w[0] ^ w[1]).count_ones(), 1, "non-edge hop");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_has_zero_congestion() {
+        let d = 4;
+        let perm: Vec<usize> = (0..1 << d).collect();
+        assert_eq!(bit_fixing_congestion(&perm, d), 0);
+    }
+
+    #[test]
+    fn bit_reversal_congests_like_sqrt_n() {
+        // For even d, bit-fixing the reversal funnels 2^{d/2} packets
+        // through one link.
+        for d in [4usize, 6, 8] {
+            let perm = bit_reversal_perm(d);
+            let congestion = bit_fixing_congestion(&perm, d);
+            assert!(
+                congestion >= 1 << (d / 2 - 1),
+                "d={d}: congestion {congestion} unexpectedly small"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        let perm = bit_reversal_perm(6);
+        for (x, &y) in perm.iter().enumerate() {
+            assert_eq!(perm[y], x);
+        }
+    }
+}

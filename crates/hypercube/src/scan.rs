@@ -1,0 +1,173 @@
+//! Parallel prefix (scan) in ASCEND/DESCEND form.
+//!
+//! The third canonical Preparata–Vuillemin algorithm (after broadcast and
+//! reduction): a gated up-sweep ASCEND builds block sums at block roots,
+//! a gated down-sweep DESCEND distributes prefixes, giving every PE the
+//! sum of all values at addresses `< its own` (exclusive scan) in `2·d`
+//! exchange steps — Blelloch's scan expressed as dimension exchanges.
+//! Like everything in this crate it runs unchanged on the CCC.
+//!
+//! Scans are the workhorse for PE *allocation* on SIMD machines —
+//! numbering the active PEs of a wavefront, compacting sparse data — the
+//! "processor allocation problem" the paper's abstract highlights.
+
+use crate::ccc::CccMachine;
+use crate::cube::SimdHypercube;
+
+/// Per-PE scan state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanPe {
+    /// Input on entry; on exit, the exclusive prefix sum.
+    pub value: u64,
+    /// Scratch: block sums (meaningful at block roots during the sweeps).
+    pub block: u64,
+}
+
+/// Is `lo_addr` the root of the left half of its `2^{dim+1}` block (all
+/// bits below `dim` set)? Only those pairs participate in the tree sweeps.
+#[inline]
+fn is_root_pair(dim: usize, lo_addr: usize) -> bool {
+    let mask = (1usize << dim) - 1;
+    lo_addr & mask == mask
+}
+
+/// The gated up-sweep op: the block root accumulates the left half's sum.
+fn up_op(dim: usize, lo_addr: usize, lo: &mut ScanPe, hi: &mut ScanPe) {
+    if is_root_pair(dim, lo_addr) {
+        hi.block = hi.block.wrapping_add(lo.block);
+    }
+}
+
+/// The gated down-sweep op: the left child inherits the parent's prefix,
+/// the right child gets parent prefix + left sum.
+fn down_op(dim: usize, lo_addr: usize, lo: &mut ScanPe, hi: &mut ScanPe) {
+    if is_root_pair(dim, lo_addr) {
+        lo.value = hi.value;
+        hi.value = hi.value.wrapping_add(lo.block);
+    }
+}
+
+/// Exclusive prefix sum over PE addresses on the hypercube:
+/// `out[x] = Σ_{y < x} in[y]` (wrapping). `2d` exchange steps + 1 local.
+pub fn exclusive_scan(cube: &mut SimdHypercube<ScanPe>) {
+    let d = cube.dims();
+    cube.local_step(|_, pe| {
+        pe.block = pe.value;
+        pe.value = 0;
+    });
+    for dim in 0..d {
+        cube.exchange_step(dim, |lo_addr, lo, hi| up_op(dim, lo_addr, lo, hi));
+    }
+    for dim in (0..d).rev() {
+        cube.exchange_step(dim, |lo_addr, lo, hi| down_op(dim, lo_addr, lo, hi));
+    }
+}
+
+/// Convenience wrapper: scans a slice (length must be a power of two).
+///
+/// # Examples
+/// ```
+/// assert_eq!(hypercube::scan::scan_values(&[3, 1, 4, 1]), vec![0, 3, 4, 8]);
+/// ```
+pub fn scan_values(values: &[u64]) -> Vec<u64> {
+    assert!(values.len().is_power_of_two());
+    let d = values.len().trailing_zeros() as usize;
+    let mut cube = SimdHypercube::new(d, |x| ScanPe { value: values[x], block: 0 });
+    exclusive_scan(&mut cube);
+    cube.pes().iter().map(|pe| pe.value).collect()
+}
+
+/// The same scan on the CCC (one ASCEND segment up, one DESCEND down).
+pub fn scan_values_ccc(values: &[u64], r: usize) -> Vec<u64> {
+    let mut ccc = CccMachine::new(r, |x| ScanPe { value: values[x], block: 0 });
+    let d = ccc.dims();
+    assert_eq!(values.len(), 1 << d);
+    ccc.local_step(|_, pe| {
+        pe.block = pe.value;
+        pe.value = 0;
+    });
+    ccc.ascend(0..d, up_op);
+    ccc.descend(0..d, down_op);
+    ccc.pes().iter().map(|pe| pe.value).collect()
+}
+
+/// Enumerate the active PEs: given a 0/1 flag per PE, the scan of the
+/// flags gives each active PE its rank among the active ones — the PE
+/// allocation primitive.
+pub fn rank_active(flags: &[bool]) -> Vec<Option<u64>> {
+    let values: Vec<u64> = flags.iter().map(|&f| u64::from(f)).collect();
+    let ranks = scan_values(&values);
+    flags
+        .iter()
+        .zip(ranks)
+        .map(|(&f, r)| if f { Some(r) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_scan(values: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0u64;
+        for &v in values {
+            out.push(acc);
+            acc = acc.wrapping_add(v);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_for_all_small_sizes() {
+        for d in 0..=10usize {
+            let n = 1usize << d;
+            let values: Vec<u64> =
+                (0..n).map(|x| (x as u64).wrapping_mul(37) % 101 + 1).collect();
+            assert_eq!(scan_values(&values), reference_scan(&values), "d={d}");
+        }
+    }
+
+    #[test]
+    fn uses_2d_exchange_steps() {
+        let d = 6;
+        let mut cube = SimdHypercube::new(d, |x| ScanPe { value: x as u64, block: 0 });
+        exclusive_scan(&mut cube);
+        assert_eq!(cube.counts().exchange, 2 * d as u64);
+    }
+
+    #[test]
+    fn ccc_scan_matches_hypercube_scan() {
+        for r in [1usize, 2] {
+            let d = (1 << r) + r;
+            let values: Vec<u64> =
+                (0..1usize << d).map(|x| (x as u64 * 13) % 29).collect();
+            assert_eq!(scan_values_ccc(&values, r), scan_values(&values), "r={r}");
+        }
+    }
+
+    #[test]
+    fn rank_active_numbers_the_wavefront() {
+        let flags = [true, false, true, true, false, false, true, false];
+        let ranks = rank_active(&flags);
+        assert_eq!(
+            ranks,
+            vec![Some(0), None, Some(1), Some(2), None, None, Some(3), None]
+        );
+    }
+
+    #[test]
+    fn scan_of_ones_is_the_address() {
+        let values = vec![1u64; 64];
+        let out = scan_values(&values);
+        for (x, v) in out.iter().enumerate() {
+            assert_eq!(*v, x as u64);
+        }
+    }
+
+    #[test]
+    fn wrapping_semantics_near_u64_max() {
+        let values = vec![u64::MAX, 2, u64::MAX, 1];
+        assert_eq!(scan_values(&values), reference_scan(&values));
+    }
+}

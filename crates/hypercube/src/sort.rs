@@ -1,0 +1,119 @@
+//! Batcher's bitonic sort in ASCEND/DESCEND form.
+//!
+//! The canonical demonstration that a nontrivial global operation fits
+//! the Preparata–Vuillemin framework: stage `s` of bitonic sort is a
+//! DESCEND pass over dimensions `s, s−1, …, 0` with the compare-exchange
+//! direction taken from address bit `s+1`. Because every stage is a
+//! DESCEND segment, the whole sort runs unchanged on the CCC through
+//! [`crate::ccc::CccMachine::descend`] — which the tests exploit to check
+//! the two machines produce identical results.
+//!
+//! `d(d+1)/2` exchange steps on `2^d` keys — `O(log² n)` like the paper's
+//! processor-ID, and the standard price for obliviousness.
+
+use crate::ccc::CccMachine;
+use crate::cube::SimdHypercube;
+
+/// The compare-exchange for stage `s`, dimension `dim`: ascending blocks
+/// (address bit `s+1` clear) keep (min, max), descending blocks (max, min).
+#[inline]
+fn compare_exchange(stage: usize, lo_addr: usize, lo: &mut u64, hi: &mut u64) {
+    let ascending = lo_addr >> (stage + 1) & 1 == 0;
+    if (*lo > *hi) == ascending {
+        std::mem::swap(lo, hi);
+    }
+}
+
+/// Sorts the hypercube's values into ascending address order.
+pub fn bitonic_sort(cube: &mut SimdHypercube<u64>) {
+    let d = cube.dims();
+    for stage in 0..d {
+        for dim in (0..=stage).rev() {
+            cube.exchange_step(dim, |lo_addr, lo, hi| {
+                compare_exchange(stage, lo_addr, lo, hi)
+            });
+        }
+    }
+}
+
+/// The same sort on the CCC: one DESCEND segment per stage.
+pub fn bitonic_sort_ccc(ccc: &mut CccMachine<u64>) {
+    let d = ccc.dims();
+    for stage in 0..d {
+        ccc.descend(0..stage + 1, |_, lo_addr, lo, hi| {
+            compare_exchange(stage, lo_addr, lo, hi)
+        });
+    }
+}
+
+/// Exchange steps the hypercube sort uses on `2^d` keys: `d(d+1)/2`.
+pub fn bitonic_steps(d: usize) -> u64 {
+    (d as u64 * (d as u64 + 1)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(d: usize, salt: u64) -> Vec<u64> {
+        (0..1usize << d)
+            .map(|x| (x as u64).wrapping_mul(salt | 1).rotate_left(17) % 1000)
+            .collect()
+    }
+
+    #[test]
+    fn sorts_on_the_hypercube() {
+        for d in 1..=8 {
+            let vals = keys(d, 0x9E37_79B9);
+            let mut cube = SimdHypercube::new(d, |x| vals[x]);
+            bitonic_sort(&mut cube);
+            let mut expect = vals.clone();
+            expect.sort_unstable();
+            assert_eq!(cube.pes(), &expect[..], "d={d}");
+            assert_eq!(cube.counts().exchange, bitonic_steps(d));
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse_inputs() {
+        let d = 6;
+        for vals in [
+            (0..64u64).collect::<Vec<_>>(),
+            (0..64u64).rev().collect::<Vec<_>>(),
+            vec![7; 64],
+        ] {
+            let mut cube = SimdHypercube::new(d, |x| vals[x]);
+            bitonic_sort(&mut cube);
+            let mut expect = vals.clone();
+            expect.sort_unstable();
+            assert_eq!(cube.pes(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn ccc_sort_matches_hypercube_sort() {
+        for r in [1usize, 2] {
+            let d = (1 << r) + r;
+            let vals = keys(d, 0xC2B2_AE3D);
+            let mut cube = SimdHypercube::new(d, |x| vals[x]);
+            bitonic_sort(&mut cube);
+            let mut ccc = CccMachine::new(r, |x| vals[x]);
+            bitonic_sort_ccc(&mut ccc);
+            assert_eq!(ccc.pes(), cube.pes(), "r={r}");
+            let mut expect = vals.clone();
+            expect.sort_unstable();
+            assert_eq!(ccc.pes(), &expect[..], "r={r}");
+        }
+    }
+
+    #[test]
+    fn ccc_sort_slowdown_is_bounded() {
+        let r = 2;
+        let d = 6;
+        let vals = keys(d, 3);
+        let mut ccc = CccMachine::new(r, |x| vals[x]);
+        bitonic_sort_ccc(&mut ccc);
+        let slowdown = ccc.counts().total_comm() as f64 / bitonic_steps(d) as f64;
+        assert!(slowdown < 12.0, "slowdown {slowdown}");
+    }
+}

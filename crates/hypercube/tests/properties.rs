@@ -1,0 +1,99 @@
+//! Property tests for the hypercube crate: Benes routing over random
+//! permutations, bitonic sorting over random keys, and step-count
+//! invariants.
+
+use hypercube::benes::route_permutation;
+use hypercube::cube::SimdHypercube;
+use hypercube::route::{bit_fixing_congestion, bit_fixing_route};
+use hypercube::sort::{bitonic_sort, bitonic_steps};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn benes_realizes_random_permutations(d in 1usize..=7, perm_seed in any::<u64>()) {
+        let n = 1usize << d;
+        let mut x = perm_seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let net = route_permutation(&perm);
+        prop_assert_eq!(net.depth(), 2 * d - 1);
+        let data: Vec<usize> = (0..n).collect();
+        let routed = net.apply(&data);
+        for (o, &v) in routed.iter().enumerate() {
+            prop_assert_eq!(v, perm[o]);
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_random_keys(d in 1usize..=9, seed in any::<u64>()) {
+        let n = 1usize << d;
+        let keys: Vec<u64> = (0..n)
+            .map(|x| (x as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) % 10_000)
+            .collect();
+        let mut cube = SimdHypercube::new(d, |x| keys[x]);
+        bitonic_sort(&mut cube);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(cube.pes(), &expect[..]);
+        prop_assert_eq!(cube.counts().exchange, bitonic_steps(d));
+    }
+
+    #[test]
+    fn bit_fixing_routes_are_monotone_shortest(d in 2usize..=10, from_s in any::<u32>(), to_s in any::<u32>()) {
+        let mask = (1usize << d) - 1;
+        let from = from_s as usize & mask;
+        let to = to_s as usize & mask;
+        let path = bit_fixing_route(from, to, d);
+        prop_assert_eq!(path.len() - 1, (from ^ to).count_ones() as usize);
+        // Bits are fixed from least significant upward, never unfixed.
+        for w in path.windows(2) {
+            let fixed = (w[0] ^ w[1]).trailing_zeros();
+            prop_assert_eq!(w[1] & ((1 << fixed) - 1), to & ((1 << fixed) - 1));
+        }
+    }
+
+    #[test]
+    fn congestion_of_a_random_perm_is_modest(d in 3usize..=8, seed in any::<u64>()) {
+        let n = 1usize << d;
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let c = bit_fixing_congestion(&perm, d);
+        // Random permutations congest O(log n) w.h.p. — allow slack but
+        // catch pathological regressions.
+        prop_assert!(c <= 4 * d, "congestion {c} on d={d}");
+    }
+}
+
+/// Deterministic: the Benes network of the identity still has full depth
+/// (the network shape is fixed; only settings change).
+#[test]
+fn benes_identity_has_standard_shape() {
+    for d in 1..=6usize {
+        let perm: Vec<usize> = (0..1usize << d).collect();
+        let net = route_permutation(&perm);
+        assert_eq!(net.depth(), 2 * d - 1);
+        let data: Vec<u32> = (0..1u32 << d).collect();
+        assert_eq!(net.apply(&data), data);
+    }
+}

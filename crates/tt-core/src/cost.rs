@@ -1,0 +1,211 @@
+//! Saturating cost arithmetic with an `INF` sentinel.
+//!
+//! The paper initializes `M[S, i]` to `INF` and relies on `INF` being
+//! absorbing under addition so that infeasible actions (e.g. a test with
+//! `S ∩ T_i = ∅`) are "excluded in the minimization automatically". We
+//! reproduce that algebra exactly: [`Cost`] is a `u64` with `u64::MAX` as
+//! `INF`, absorbing under `+` and `·`.
+//!
+//! Every solver in the workspace — the sequential DP, the rayon solver, the
+//! hypercube and CCC simulations and the bit-serial BVM program — computes
+//! in this integer algebra, so their results can be compared for **exact**
+//! equality instead of floating-point closeness.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An expected cost (or partial cost) in the TT dynamic program.
+///
+/// Finite values live in `0 ..= u64::MAX − 1`; `u64::MAX` is the `INF`
+/// sentinel. Addition and multiplication saturate to `INF`, which makes
+/// `INF` absorbing — the property the paper's recurrence depends on.
+///
+/// # Examples
+/// ```
+/// use tt_core::cost::Cost;
+/// assert_eq!(Cost::new(3) + Cost::new(4), Cost::new(7));
+/// assert_eq!(Cost::new(3) + Cost::INF, Cost::INF);
+/// assert_eq!(Cost::INF.min(Cost::new(9)), Cost::new(9));
+/// assert_eq!(Cost::new(5).saturating_mul_weight(6), Cost::new(30));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost(pub u64);
+
+impl Cost {
+    /// The zero cost (`C(∅) = 0`).
+    pub const ZERO: Cost = Cost(0);
+
+    /// The infinite cost used to exclude infeasible actions.
+    pub const INF: Cost = Cost(u64::MAX);
+
+    /// Creates a finite cost. Panics if `v` collides with the sentinel.
+    #[inline]
+    pub fn new(v: u64) -> Cost {
+        assert!(v != u64::MAX, "cost value collides with INF sentinel");
+        Cost(v)
+    }
+
+    /// Is this cost finite (i.e. not `INF`)?
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 != u64::MAX
+    }
+
+    /// Is this cost the `INF` sentinel?
+    #[inline]
+    pub fn is_inf(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The finite value, or `None` if `INF`.
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        if self.is_inf() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// Saturating, `INF`-absorbing addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Cost) -> Cost {
+        if self.is_inf() || rhs.is_inf() {
+            Cost::INF
+        } else {
+            Cost(self.0.checked_add(rhs.0).unwrap_or(u64::MAX - 1).min(u64::MAX - 1))
+        }
+    }
+
+    /// `t_i · p(S)`: cost-times-weight with saturation. `INF · 0 = INF`
+    /// (an infeasible action stays infeasible even on weightless sets).
+    #[inline]
+    pub fn saturating_mul_weight(self, w: u64) -> Cost {
+        if self.is_inf() {
+            Cost::INF
+        } else {
+            Cost(self.0.checked_mul(w).unwrap_or(u64::MAX - 1).min(u64::MAX - 1))
+        }
+    }
+
+    /// The smaller of two costs (`INF` loses to anything finite).
+    #[inline]
+    pub fn min(self, rhs: Cost) -> Cost {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl From<u64> for Cost {
+    #[inline]
+    fn from(v: u64) -> Cost {
+        Cost::new(v)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = self.saturating_add(rhs);
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::saturating_add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "INF")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_absorbing_under_add() {
+        assert_eq!(Cost::INF + Cost::ZERO, Cost::INF);
+        assert_eq!(Cost::ZERO + Cost::INF, Cost::INF);
+        assert_eq!(Cost::INF + Cost::INF, Cost::INF);
+        assert_eq!(Cost::new(7) + Cost::new(5), Cost::new(12));
+    }
+
+    #[test]
+    fn inf_is_absorbing_under_mul() {
+        assert_eq!(Cost::INF.saturating_mul_weight(0), Cost::INF);
+        assert_eq!(Cost::INF.saturating_mul_weight(3), Cost::INF);
+        assert_eq!(Cost::new(4).saturating_mul_weight(3), Cost::new(12));
+        assert_eq!(Cost::new(4).saturating_mul_weight(0), Cost::ZERO);
+    }
+
+    #[test]
+    fn overflow_saturates_below_inf() {
+        let big = Cost::new(u64::MAX - 2);
+        let sum = big + big;
+        assert!(sum.is_finite(), "overflow must not fabricate INF");
+        assert_eq!(sum, Cost(u64::MAX - 1));
+        let prod = big.saturating_mul_weight(u64::MAX - 2);
+        assert!(prod.is_finite());
+    }
+
+    #[test]
+    fn min_prefers_finite() {
+        assert_eq!(Cost::INF.min(Cost::new(3)), Cost::new(3));
+        assert_eq!(Cost::new(3).min(Cost::INF), Cost::new(3));
+        assert_eq!(Cost::new(3).min(Cost::new(2)), Cost::new(2));
+        assert_eq!(Cost::INF.min(Cost::INF), Cost::INF);
+    }
+
+    #[test]
+    fn ordering_puts_inf_last() {
+        let mut v = vec![Cost::INF, Cost::new(5), Cost::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Cost::ZERO, Cost::new(5), Cost::INF]);
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = [1u64, 2, 3].into_iter().map(Cost::new).sum();
+        assert_eq!(total, Cost::new(6));
+        let with_inf: Cost = [Cost::new(1), Cost::INF].into_iter().sum();
+        assert_eq!(with_inf, Cost::INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "INF sentinel")]
+    fn new_rejects_sentinel_value() {
+        let _ = Cost::new(u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cost::new(42).to_string(), "42");
+        assert_eq!(Cost::INF.to_string(), "INF");
+    }
+}

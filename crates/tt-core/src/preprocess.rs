@@ -1,0 +1,183 @@
+//! Instance preprocessing: dominance reduction.
+//!
+//! The DP's cost is `Θ(N·2^k)`, so shrinking `N` before solving pays off
+//! directly (and shrinks the parallel machine by the same factor, since it
+//! allocates `N·2^k` PEs). Two sound reductions:
+//!
+//! * **Duplicate-set dominance** — among actions of the same kind with the
+//!   same set, only the cheapest can ever appear in an optimal procedure.
+//! * **Complement-test dominance** — a test on `T` and a test on `U − T`
+//!   yield identical information at every live set (`S ∩ T` and `S − T`
+//!   swap roles), so only the cheaper of such a pair is needed.
+//!
+//! Both preserve the optimal cost *exactly* (property-tested), and the
+//! reduction keeps a map back to original action indices so extracted
+//! trees can be reported in the caller's numbering.
+
+use crate::instance::{ActionKind, TtInstance, TtInstanceBuilder};
+use crate::subset::Subset;
+use std::collections::HashMap;
+
+/// The result of preprocessing: the reduced instance plus, for every
+/// retained action, the index it had in the original instance.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The reduced (still valid, equivalent-optimum) instance.
+    pub instance: TtInstance,
+    /// `original_index[i]` = position of reduced action `i` in the input.
+    pub original_index: Vec<usize>,
+    /// How many actions dominance removed.
+    pub removed: usize,
+}
+
+/// Canonical key for a test set: tests on `T` and on `U − T` are
+/// informationally identical, so both map to the lexicographically
+/// smaller mask.
+fn test_key(set: Subset, k: usize) -> u32 {
+    let comp = set.complement(k);
+    set.0.min(comp.0)
+}
+
+/// Applies dominance reduction.
+pub fn reduce(inst: &TtInstance) -> Reduced {
+    let k = inst.k();
+    // Best (cheapest) action per equivalence class; ties keep the earliest
+    // action so reductions are deterministic.
+    let mut best: HashMap<(ActionKind, u32), usize> = HashMap::new();
+    for (i, a) in inst.actions().iter().enumerate() {
+        let key = match a.kind {
+            ActionKind::Test => (ActionKind::Test, test_key(a.set, k)),
+            ActionKind::Treatment => (ActionKind::Treatment, a.set.0),
+        };
+        match best.get(&key) {
+            Some(&j) if inst.action(j).cost <= a.cost => {}
+            _ => {
+                best.insert(key, i);
+            }
+        }
+    }
+    let mut keep: Vec<usize> = best.into_values().collect();
+    keep.sort_unstable();
+    let mut b = TtInstanceBuilder::new(k).weights(inst.weights().iter().copied());
+    for &i in &keep {
+        b = b.action(*inst.action(i));
+    }
+    let reduced = b.build().expect("reduction of a valid instance is valid");
+    // The builder reorders tests-first; recover the mapping by matching
+    // kinds in order (stable within each kind).
+    let mut original_index = Vec::with_capacity(keep.len());
+    for kind in [ActionKind::Test, ActionKind::Treatment] {
+        for &i in &keep {
+            if inst.action(i).kind == kind {
+                original_index.push(i);
+            }
+        }
+    }
+    Reduced { removed: inst.n_actions() - keep.len(), instance: reduced, original_index }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::sequential;
+
+    #[test]
+    fn removes_duplicate_sets_keeping_cheapest() {
+        let inst = TtInstanceBuilder::new(3)
+            .test(Subset::from_iter([0, 1]), 5)
+            .test(Subset::from_iter([0, 1]), 2) // cheaper duplicate
+            .treatment(Subset::from_iter([0, 1, 2]), 9)
+            .treatment(Subset::from_iter([0, 1, 2]), 4) // cheaper duplicate
+            .build()
+            .unwrap();
+        let red = reduce(&inst);
+        assert_eq!(red.removed, 2);
+        assert_eq!(red.instance.n_actions(), 2);
+        assert_eq!(red.instance.tests()[0].cost, 2);
+        assert_eq!(red.instance.treatments()[0].cost, 4);
+    }
+
+    #[test]
+    fn complement_tests_are_merged() {
+        let inst = TtInstanceBuilder::new(3)
+            .test(Subset::from_iter([0]), 7)
+            .test(Subset::from_iter([1, 2]), 3) // complement of {0}
+            .treatment(Subset::universe(3), 1)
+            .build()
+            .unwrap();
+        let red = reduce(&inst);
+        assert_eq!(red.instance.n_tests(), 1);
+        assert_eq!(red.instance.tests()[0].cost, 3);
+    }
+
+    #[test]
+    fn complement_treatments_are_not_merged() {
+        // A treatment's complement is NOT equivalent (it cures different
+        // objects).
+        let inst = TtInstanceBuilder::new(3)
+            .treatment(Subset::from_iter([0]), 2)
+            .treatment(Subset::from_iter([1, 2]), 2)
+            .build()
+            .unwrap();
+        let red = reduce(&inst);
+        assert_eq!(red.removed, 0);
+        assert_eq!(red.instance.n_treatments(), 2);
+    }
+
+    #[test]
+    fn reduction_preserves_the_optimum() {
+        for seed in 0..20u64 {
+            // Build instances with deliberate redundancy.
+            let base = tt_workload_like(seed);
+            let red = reduce(&base);
+            let c1 = sequential::solve(&base).cost;
+            let c2 = sequential::solve(&red.instance).cost;
+            assert_eq!(c1, c2, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn original_index_maps_back_correctly() {
+        let inst = TtInstanceBuilder::new(3)
+            .test(Subset::from_iter([0]), 7)
+            .test(Subset::from_iter([0, 1]), 1)
+            .treatment(Subset::universe(3), 5)
+            .build()
+            .unwrap();
+        let red = reduce(&inst);
+        for (new_i, &old_i) in red.original_index.iter().enumerate() {
+            assert_eq!(red.instance.action(new_i), inst.action(old_i));
+        }
+    }
+
+    /// Deterministic redundant instance for the preservation test.
+    fn tt_workload_like(seed: u64) -> TtInstance {
+        let k = 5;
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let full = (1u32 << k) - 1;
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1 + next() % 6));
+        for _ in 0..4 {
+            let s = Subset(1 + (next() as u32) % full);
+            let c = 1 + next() % 8;
+            // Add the test, a duplicate with a different cost, and its
+            // complement.
+            b = b.test(s, c).test(s, 1 + next() % 8);
+            let comp = s.complement(k);
+            if !comp.is_empty() {
+                b = b.test(comp, 1 + next() % 8);
+            }
+        }
+        for _ in 0..3 {
+            let s = Subset(1 + (next() as u32) % full);
+            b = b.treatment(s, 1 + next() % 8).treatment(s, 1 + next() % 8);
+        }
+        b = b.treatment(Subset::universe(k), 9);
+        b.build().unwrap()
+    }
+}

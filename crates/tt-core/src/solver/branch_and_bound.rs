@@ -1,0 +1,223 @@
+//! Branch-and-bound: the memoized DP with admissible pruning.
+//!
+//! At every live set the candidate actions are ordered by their
+//! optimistic estimates ([`Bounds::action_estimate`]); once the running
+//! best is no larger than the next estimate, the remaining candidates are
+//! pruned — soundly, because the estimate lower-bounds the candidate's
+//! exact value. Results are exact and memoized per subset, so the solver
+//! returns the same answers as `sequential::solve` while often touching a
+//! fraction of the `(S, i)` plane (experiment E16).
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::solver::bounds::Bounds;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+use std::collections::HashMap;
+
+/// Work counters for the branch-and-bound run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Candidates whose children were actually evaluated.
+    pub expanded: u64,
+    /// Candidates skipped by the bound.
+    pub pruned: u64,
+    /// Distinct subsets evaluated.
+    pub subsets: usize,
+}
+
+/// Result of the branch-and-bound solver.
+#[derive(Clone, Debug)]
+pub struct BnbSolution {
+    /// `C(U)` (exact).
+    pub cost: Cost,
+    /// An optimal tree, or `None` when `C(U) = INF`.
+    pub tree: Option<TtTree>,
+    /// Work counters.
+    pub stats: BnbStats,
+}
+
+struct Bnb<'a> {
+    inst: &'a TtInstance,
+    bounds: Bounds<'a>,
+    weight_table: Vec<u64>,
+    memo: HashMap<u32, (Cost, Option<u16>)>,
+    stats: BnbStats,
+}
+
+impl Bnb<'_> {
+    fn c(&mut self, s: Subset) -> Cost {
+        if s.is_empty() {
+            return Cost::ZERO;
+        }
+        if let Some(&(c, _)) = self.memo.get(&s.0) {
+            return c;
+        }
+        // Order candidates by optimistic estimate.
+        let mut order: Vec<(Cost, usize)> = (0..self.inst.n_actions())
+            .map(|i| (self.bounds.action_estimate(s, i), i))
+            .filter(|(est, _)| est.is_finite())
+            .collect();
+        order.sort_unstable();
+
+        let mut best = Cost::INF;
+        let mut arg: Option<u16> = None;
+        for (est, i) in order {
+            if est >= best {
+                // Sorted ⇒ every remaining candidate is pruned too.
+                self.stats.pruned += 1;
+                continue;
+            }
+            self.stats.expanded += 1;
+            let a = self.inst.action(i);
+            let inter = s.intersect(a.set);
+            let diff = s.difference(a.set);
+            let mut m =
+                Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
+            m += self.c(diff);
+            if a.is_test() {
+                m += self.c(inter);
+            }
+            if m < best {
+                best = m;
+                arg = Some(i as u16);
+            }
+        }
+        self.memo.insert(s.0, (best, arg));
+        best
+    }
+
+    fn tree(&self, s: Subset) -> Option<TtTree> {
+        if s.is_empty() {
+            return None;
+        }
+        let &(c, arg) = self.memo.get(&s.0)?;
+        if c.is_inf() {
+            return None;
+        }
+        let i = arg? as usize;
+        let a = self.inst.action(i);
+        if a.is_test() {
+            Some(TtTree::test(
+                i,
+                self.tree(s.intersect(a.set))?,
+                self.tree(s.difference(a.set))?,
+            ))
+        } else {
+            let remaining = s.difference(a.set);
+            if remaining.is_empty() {
+                Some(TtTree::leaf(i))
+            } else {
+                Some(TtTree::treat_then(i, self.tree(remaining)?))
+            }
+        }
+    }
+}
+
+/// Solves `inst` exactly with branch-and-bound pruning.
+///
+/// # Examples
+/// ```
+/// use tt_core::{instance::TtInstanceBuilder, subset::Subset};
+/// use tt_core::solver::{branch_and_bound, sequential};
+/// let inst = TtInstanceBuilder::new(3)
+///     .test(Subset::singleton(0), 1)
+///     .treatment(Subset::universe(3), 4)
+///     .treatment(Subset::singleton(0), 1)
+///     .build()
+///     .unwrap();
+/// let bnb = branch_and_bound::solve(&inst);
+/// assert_eq!(bnb.cost, sequential::solve(&inst).cost);
+/// ```
+pub fn solve(inst: &TtInstance) -> BnbSolution {
+    let mut bnb = Bnb {
+        inst,
+        bounds: Bounds::new(inst),
+        weight_table: inst.weight_table(),
+        memo: HashMap::new(),
+        stats: BnbStats::default(),
+    };
+    let cost = bnb.c(inst.universe());
+    bnb.stats.subsets = bnb.memo.len();
+    let tree = bnb.tree(inst.universe());
+    BnbSolution { cost, tree, stats: bnb.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::{memo, sequential};
+
+    fn redundant_instance(seed: u64) -> TtInstance {
+        let k = 6;
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let full = (1u32 << k) - 1;
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1 + next() % 7));
+        for _ in 0..k {
+            b = b.test(Subset(1 + (next() as u32) % full), 1 + next() % 9);
+        }
+        for _ in 0..k / 2 {
+            b = b.treatment(Subset(1 + (next() as u32) % full), 1 + next() % 9);
+        }
+        b = b.treatment(Subset::universe(k), 10);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_against_sequential() {
+        for seed in 0..25u64 {
+            let i = redundant_instance(seed);
+            let bnb = solve(&i);
+            let seq = sequential::solve(&i);
+            assert_eq!(bnb.cost, seq.cost, "seed={seed}");
+            let t = bnb.tree.unwrap();
+            t.validate(&i).unwrap();
+            assert_eq!(t.expected_cost(&i), seq.cost, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn prunes_relative_to_plain_memoization() {
+        let mut total_bnb = 0u64;
+        let mut total_memo = 0u64;
+        for seed in 0..10u64 {
+            let i = redundant_instance(seed);
+            let bnb = solve(&i);
+            let mm = memo::solve(&i);
+            assert_eq!(bnb.cost, mm.cost);
+            total_bnb += bnb.stats.expanded;
+            total_memo += mm.candidates;
+        }
+        assert!(
+            total_bnb < total_memo,
+            "bnb expanded {total_bnb} ≥ memo {total_memo}"
+        );
+    }
+
+    #[test]
+    fn counts_pruned_candidates() {
+        let i = redundant_instance(1);
+        let bnb = solve(&i);
+        assert!(bnb.stats.pruned > 0);
+        assert!(bnb.stats.subsets >= 1);
+    }
+
+    #[test]
+    fn inadequate_instance_is_inf() {
+        let i = TtInstanceBuilder::new(3)
+            .test(Subset::singleton(0), 1)
+            .treatment(Subset::from_iter([0, 1]), 2)
+            .build()
+            .unwrap();
+        let bnb = solve(&i);
+        assert!(bnb.cost.is_inf());
+        assert!(bnb.tree.is_none());
+    }
+}

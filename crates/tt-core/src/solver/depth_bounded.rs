@@ -1,0 +1,228 @@
+//! Depth-budgeted dynamic programming: the best procedure whose every
+//! path performs at most `d` actions.
+//!
+//! Real protocols rarely tolerate unbounded cascades: a clinic caps the
+//! number of interventions per patient, a repair shop the number of
+//! probe/swap rounds. The recurrence gains a depth coordinate:
+//!
+//! ```text
+//! C_0(∅) = 0,   C_0(S) = INF for S ≠ ∅
+//! C_d(S) = min_i  t_i·p(S) + C_{d−1}(S∩T_i) + C_{d−1}(S−T_i)   (tests)
+//!                 t_i·p(S) + C_{d−1}(S−T_i)                    (treatments)
+//! ```
+//!
+//! `C_d(U)` is non-increasing in `d` and reaches the unbounded optimum
+//! `C(U)` once `d` covers the longest path of some optimal tree (at most
+//! `k + #treatment-rounds ≤ 2k` for adequate instances, since an optimal
+//! procedure never repeats a useless action). The *anytime curve*
+//! `d ↦ C_d(U)` quantifies the price of short protocols.
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+
+/// Result of the depth-budgeted solver.
+#[derive(Clone, Debug)]
+pub struct DepthBoundedSolution {
+    /// `curve[d] = C_d(U)` for `d = 0 ..= max_depth`.
+    pub curve: Vec<Cost>,
+    /// The best procedure within the budget, or `None` if none exists.
+    pub tree: Option<TtTree>,
+    /// The smallest depth whose cost equals the final entry (the budget
+    /// beyond which this instance gains nothing).
+    pub saturation_depth: usize,
+}
+
+/// Solves the depth-`max_depth` budgeted problem.
+///
+/// # Examples
+/// ```
+/// use tt_core::{instance::TtInstanceBuilder, subset::Subset};
+/// use tt_core::solver::depth_bounded;
+/// let inst = TtInstanceBuilder::new(2)
+///     .treatment(Subset::singleton(0), 1)
+///     .treatment(Subset::singleton(1), 1)
+///     .build()
+///     .unwrap();
+/// let sol = depth_bounded::solve(&inst, 2);
+/// assert!(sol.curve[1].is_inf());   // one action cannot treat both
+/// assert!(sol.curve[2].is_finite());
+/// ```
+pub fn solve(inst: &TtInstance, max_depth: usize) -> DepthBoundedSolution {
+    let k = inst.k();
+    let size = 1usize << k;
+    let weight_table = inst.weight_table();
+
+    // cost[d][S]; argmin recorded per level for extraction.
+    let mut cost_prev = vec![Cost::INF; size];
+    cost_prev[0] = Cost::ZERO;
+    let mut best: Vec<Vec<Option<u16>>> = Vec::with_capacity(max_depth + 1);
+    best.push(vec![None; size]);
+    let mut curve = vec![cost_prev[Subset::universe(k).index()]];
+    let mut levels = vec![cost_prev.clone()];
+
+    for _d in 1..=max_depth {
+        let mut cost_cur = vec![Cost::INF; size];
+        let mut best_cur = vec![None; size];
+        cost_cur[0] = Cost::ZERO;
+        for mask in 1..size {
+            let s = Subset(mask as u32);
+            let mut c = Cost::INF;
+            let mut b = None;
+            for (i, a) in inst.actions().iter().enumerate() {
+                let inter = s.intersect(a.set);
+                let diff = s.difference(a.set);
+                if inter.is_empty() || (a.is_test() && diff.is_empty()) {
+                    continue;
+                }
+                let mut m =
+                    Cost::new(a.cost).saturating_mul_weight(weight_table[mask]);
+                m += cost_prev[diff.index()];
+                if a.is_test() {
+                    m += cost_prev[inter.index()];
+                }
+                if m < c {
+                    c = m;
+                    b = Some(i as u16);
+                }
+            }
+            // A deeper budget may never hurt: keep the shallower solution
+            // when it is at least as good (ensures monotone extraction).
+            if cost_prev[mask] <= c {
+                cost_cur[mask] = cost_prev[mask];
+                best_cur[mask] = best[best.len() - 1][mask];
+            } else {
+                cost_cur[mask] = c;
+                best_cur[mask] = b;
+            }
+        }
+        curve.push(cost_cur[Subset::universe(k).index()]);
+        levels.push(cost_cur.clone());
+        best.push(best_cur);
+        cost_prev = cost_cur;
+    }
+
+    let final_cost = *curve.last().expect("curve non-empty");
+    let saturation_depth =
+        curve.iter().position(|&c| c == final_cost).unwrap_or(max_depth);
+    let tree = extract(inst, &levels, &best, Subset::universe(k), max_depth);
+    DepthBoundedSolution { curve, tree, saturation_depth }
+}
+
+fn extract(
+    inst: &TtInstance,
+    levels: &[Vec<Cost>],
+    best: &[Vec<Option<u16>>],
+    s: Subset,
+    d: usize,
+) -> Option<TtTree> {
+    if s.is_empty() || levels[d][s.index()].is_inf() {
+        return None;
+    }
+    let i = best[d][s.index()]? as usize;
+    let a = inst.action(i);
+    debug_assert!(d >= 1);
+    if a.is_test() {
+        Some(TtTree::test(
+            i,
+            extract(inst, levels, best, s.intersect(a.set), d - 1)?,
+            extract(inst, levels, best, s.difference(a.set), d - 1)?,
+        ))
+    } else {
+        let remaining = s.difference(a.set);
+        if remaining.is_empty() {
+            Some(TtTree::leaf(i))
+        } else {
+            Some(TtTree::treat_then(i, extract(inst, levels, best, remaining, d - 1)?))
+        }
+    }
+}
+
+/// A depth that always saturates: every optimal procedure path applies at
+/// most `k` strictly-shrinking tests plus at most `k` treatments.
+pub fn saturating_depth(inst: &TtInstance) -> usize {
+    2 * inst.k()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+    use crate::stats::tree_stats;
+
+    fn inst() -> TtInstance {
+        TtInstanceBuilder::new(4)
+            .weights([4, 3, 2, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2]), 2)
+            .treatment(Subset::from_iter([0]), 3)
+            .treatment(Subset::from_iter([1, 2]), 4)
+            .treatment(Subset::from_iter([3]), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn curve_is_monotone_and_saturates_to_the_optimum() {
+        let i = inst();
+        let sol = solve(&i, saturating_depth(&i));
+        for w in sol.curve.windows(2) {
+            assert!(w[1] <= w[0], "curve not monotone: {:?}", sol.curve);
+        }
+        let opt = sequential::solve(&i).cost;
+        assert_eq!(*sol.curve.last().unwrap(), opt);
+        assert!(sol.saturation_depth <= saturating_depth(&i));
+    }
+
+    #[test]
+    fn zero_and_tiny_budgets() {
+        let i = inst();
+        let sol = solve(&i, 1);
+        assert!(sol.curve[0].is_inf(), "no 0-action procedure");
+        // Depth 1 requires a single treatment covering everything — none
+        // exists here.
+        assert!(sol.curve[1].is_inf());
+        assert!(sol.tree.is_none());
+    }
+
+    #[test]
+    fn budgeted_tree_respects_its_budget() {
+        let i = inst();
+        for d in 2..=6 {
+            let sol = solve(&i, d);
+            if let Some(t) = &sol.tree {
+                t.validate(&i).unwrap();
+                let st = tree_stats(t, &i);
+                assert!(st.worst_case_actions <= d, "budget {d} violated");
+                assert_eq!(t.expected_cost(&i), sol.curve[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budgets_cost_more() {
+        // With only 3 actions allowed the protocol must use pricier broad
+        // treatments; the anytime curve shows the premium.
+        let i = inst();
+        let sol = solve(&i, saturating_depth(&i));
+        let opt = *sol.curve.last().unwrap();
+        let d3 = sol.curve[3.min(sol.curve.len() - 1)];
+        assert!(d3 >= opt);
+    }
+
+    #[test]
+    fn single_blanket_treatment_saturates_at_depth_one() {
+        let i = TtInstanceBuilder::new(3)
+            .weights([1, 1, 1])
+            .treatment(Subset::universe(3), 5)
+            .build()
+            .unwrap();
+        let sol = solve(&i, 4);
+        assert_eq!(sol.curve[1], Cost::new(15));
+        assert_eq!(sol.saturation_depth, 1);
+        let t = sol.tree.unwrap();
+        assert_eq!(tree_stats(&t, &i).worst_case_actions, 1);
+    }
+}

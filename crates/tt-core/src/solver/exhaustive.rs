@@ -1,0 +1,257 @@
+//! Exhaustive procedure-tree enumeration — ground truth for tiny instances.
+//!
+//! Enumerates **every** valid TT procedure tree for the instance (actions
+//! that strictly shrink the live set only — useless actions can never
+//! improve a procedure when costs are non-negative) and costs each tree
+//! with the first-principles evaluator in [`crate::tree`]. Because the
+//! evaluator shares no code with the DP recurrence, agreement between this
+//! module and the DP solvers is a genuinely independent correctness check.
+//!
+//! Complexity is wildly exponential; intended for `k ≤ 4` and a handful of
+//! actions. [`enumerate_trees`] aborts politely past a tree-count budget.
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+
+/// Hard ceiling on the number of trees materialized per live set before
+/// enumeration gives up (prevents accidental memory blow-ups in tests).
+pub const TREE_BUDGET: usize = 2_000_000;
+
+/// Enumerates every valid procedure tree for live set `live`.
+///
+/// Returns `None` if the budget was exceeded, `Some(vec)` otherwise (the
+/// vector is empty iff no successful procedure exists for `live`, i.e. the
+/// instance restricted to `live` is inadequate).
+pub fn enumerate_trees(inst: &TtInstance, live: Subset) -> Option<Vec<TtTree>> {
+    if live.is_empty() {
+        // By convention the "empty procedure" handles the empty set; it is
+        // represented by the *absence* of a subtree, so no trees here.
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for (i, a) in inst.actions().iter().enumerate() {
+        let inter = live.intersect(a.set);
+        let diff = live.difference(a.set);
+        if inter.is_empty() {
+            continue;
+        }
+        if a.is_test() {
+            if diff.is_empty() {
+                continue;
+            }
+            let pos = enumerate_trees(inst, inter)?;
+            let neg = enumerate_trees(inst, diff)?;
+            for p in &pos {
+                for n in &neg {
+                    out.push(TtTree::test(i, p.clone(), n.clone()));
+                    if out.len() > TREE_BUDGET {
+                        return None;
+                    }
+                }
+            }
+        } else if diff.is_empty() {
+            out.push(TtTree::leaf(i));
+        } else {
+            for f in enumerate_trees(inst, diff)? {
+                out.push(TtTree::treat_then(i, f));
+                if out.len() > TREE_BUDGET {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// The minimum expected cost over all enumerated trees, with an argmin
+/// tree; `(INF, None)` when no successful procedure exists.
+///
+/// # Panics
+/// Panics if the enumeration budget is exceeded — use only on tiny
+/// instances (this is a test oracle, not a solver).
+pub fn best_tree(inst: &TtInstance) -> (Cost, Option<TtTree>) {
+    best_tree_from(inst, inst.universe())
+}
+
+/// As [`best_tree`] but from an arbitrary live set.
+pub fn best_tree_from(inst: &TtInstance, live: Subset) -> (Cost, Option<TtTree>) {
+    let trees = enumerate_trees(inst, live)
+        .expect("exhaustive enumeration exceeded its budget; instance too large");
+    let mut best_cost = Cost::INF;
+    let mut best = None;
+    for t in trees {
+        let c = t.expected_cost_from(inst, live);
+        if c < best_cost {
+            best_cost = c;
+            best = Some(t);
+        }
+    }
+    (best_cost, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+
+    fn tiny() -> TtInstance {
+        TtInstanceBuilder::new(3)
+            .weights([3, 2, 1])
+            .test(Subset::from_iter([0]), 1)
+            .test(Subset::from_iter([0, 1]), 2)
+            .treatment(Subset::from_iter([0, 1]), 2)
+            .treatment(Subset::from_iter([1, 2]), 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn enumeration_produces_only_valid_trees() {
+        let inst = tiny();
+        let trees = enumerate_trees(&inst, inst.universe()).unwrap();
+        assert!(!trees.is_empty());
+        for t in &trees {
+            t.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn enumeration_agrees_with_dp() {
+        let inst = tiny();
+        let (c, t) = best_tree(&inst);
+        let sol = sequential::solve(&inst);
+        assert_eq!(c, sol.cost);
+        let t = t.unwrap();
+        assert_eq!(t.expected_cost(&inst), sol.cost);
+    }
+
+    #[test]
+    fn enumeration_agrees_with_dp_on_every_live_set() {
+        let inst = tiny();
+        let sol = sequential::solve(&inst);
+        for s in Subset::all(inst.k()) {
+            if s.is_empty() {
+                continue;
+            }
+            let (c, _) = best_tree_from(&inst, s);
+            assert_eq!(c, sol.tables.cost[s.index()], "S={s}");
+        }
+    }
+
+    #[test]
+    fn inadequate_live_set_has_no_trees() {
+        let inst = TtInstanceBuilder::new(2)
+            .treatment(Subset::singleton(0), 1)
+            .build()
+            .unwrap();
+        let (c, t) = best_tree(&inst);
+        assert!(c.is_inf());
+        assert!(t.is_none());
+        // Restricted to {0} it's adequate.
+        let (c0, t0) = best_tree_from(&inst, Subset::singleton(0));
+        assert_eq!(c0, Cost::new(1));
+        assert!(t0.is_some());
+    }
+}
+
+/// Counts the valid procedure trees for `live` without materializing
+/// them (memoized over live sets): the size of the search space the DP
+/// tames. Saturates at `u64::MAX`.
+pub fn count_trees(inst: &TtInstance, live: Subset) -> u64 {
+    fn go(
+        inst: &TtInstance,
+        live: Subset,
+        memo: &mut std::collections::HashMap<u32, u64>,
+    ) -> u64 {
+        if live.is_empty() {
+            return 1; // the absent subtree
+        }
+        if let Some(&c) = memo.get(&live.0) {
+            return c;
+        }
+        let mut total = 0u64;
+        for a in inst.actions() {
+            let inter = live.intersect(a.set);
+            let diff = live.difference(a.set);
+            if inter.is_empty() {
+                continue;
+            }
+            let contribution = if a.is_test() {
+                if diff.is_empty() {
+                    0
+                } else {
+                    go(inst, inter, memo).saturating_mul(go(inst, diff, memo))
+                }
+            } else {
+                go(inst, diff, memo)
+            };
+            total = total.saturating_add(contribution);
+        }
+        memo.insert(live.0, total);
+        total
+    }
+    go(inst, live, &mut std::collections::HashMap::new())
+}
+
+#[cfg(test)]
+mod count_tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+
+    #[test]
+    fn count_matches_enumeration() {
+        let inst = TtInstanceBuilder::new(3)
+            .weights([3, 2, 1])
+            .test(Subset::from_iter([0]), 1)
+            .test(Subset::from_iter([0, 1]), 2)
+            .treatment(Subset::from_iter([0, 1]), 2)
+            .treatment(Subset::from_iter([1, 2]), 3)
+            .build()
+            .unwrap();
+        for s in Subset::all(3) {
+            if s.is_empty() {
+                continue;
+            }
+            let listed = enumerate_trees(&inst, s).unwrap().len() as u64;
+            assert_eq!(count_trees(&inst, s), listed, "S={s}");
+        }
+    }
+
+    #[test]
+    fn inadequate_set_has_zero_trees() {
+        let inst = TtInstanceBuilder::new(2)
+            .treatment(Subset::singleton(0), 1)
+            .build()
+            .unwrap();
+        assert_eq!(count_trees(&inst, Subset::universe(2)), 0);
+        assert_eq!(count_trees(&inst, Subset::singleton(0)), 1);
+    }
+
+    #[test]
+    fn search_space_grows_fast() {
+        // Even modest instances have large tree spaces — the reason the
+        // DP (sharing subtrees across the lattice) matters.
+        let mut b = TtInstanceBuilder::new(5).weights([1, 1, 1, 1, 1]);
+        for j in 0..5 {
+            b = b.test(Subset::singleton(j), 1);
+            b = b.treatment(Subset::singleton(j), 1);
+        }
+        let inst = b.build().unwrap();
+        let n = count_trees(&inst, inst.universe());
+        assert_eq!(n, 1920, "singleton-actions closed form: n! · 2^(n−1) / …");
+        // Add one broad test and the space explodes.
+        let mut b2 = TtInstanceBuilder::new(5).weights([1, 1, 1, 1, 1]);
+        for a in inst.actions() {
+            b2 = b2.action(*a);
+        }
+        let rich = b2.test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 1, 2]), 1)
+            .build()
+            .unwrap();
+        let n2 = count_trees(&rich, rich.universe());
+        assert!(n2 > n, "richer action set must enlarge the space: {n2} vs {n}");
+    }
+}

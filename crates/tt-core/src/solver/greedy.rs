@@ -1,0 +1,226 @@
+//! Greedy heuristic baselines.
+//!
+//! The TT problem is NP-hard, so practical sequential systems in the
+//! domains the paper cites (medical diagnosis, fault location, systematic
+//! biology) use myopic heuristics. These baselines quantify the optimality
+//! gap the exact (DP) solvers close — experiment E15 in DESIGN.md.
+//!
+//! All heuristics build a valid procedure top-down in polynomial time and
+//! return a tree costed by the first-principles evaluator.
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+
+/// Which myopic rule to use at each node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Tests scored by `p(S∩T)·p(S−T) / t` (balanced, cheap splits first);
+    /// treatments by `p(S∩T)² / t` (heavy, cheap coverage first). The
+    /// quadratic numerator makes the two scores commensurable: both are
+    /// "weight² resolved per unit cost".
+    SplitBalance,
+    /// Ignore tests entirely; repeatedly apply the treatment with the best
+    /// cost-effectiveness `t·p(S) / p(S∩T)` (weighted greedy set cover).
+    /// Shows how much tests help.
+    TreatOnlyCover,
+    /// Information-theoretic: actions scored by entropy reduction per unit
+    /// cost, treating a treatment's success branch as fully resolved.
+    EntropyGain,
+}
+
+/// Result of a heuristic run.
+#[derive(Clone, Debug)]
+pub struct GreedySolution {
+    /// Expected cost of the constructed procedure.
+    pub cost: Cost,
+    /// The constructed procedure.
+    pub tree: TtTree,
+}
+
+/// Builds a procedure for `inst` with the chosen heuristic.
+///
+/// Returns `None` when the instance restricted to the universe is
+/// inadequate (no treatment covers some object).
+pub fn solve(inst: &TtInstance, h: Heuristic) -> Option<GreedySolution> {
+    if !inst.is_adequate() {
+        return None;
+    }
+    let tree = build(inst, inst.universe(), h)?;
+    let cost = tree.expected_cost(inst);
+    Some(GreedySolution { cost, tree })
+}
+
+fn entropy(parts: impl Iterator<Item = u64>, total: u64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for w in parts {
+        if w > 0 {
+            let p = w as f64 / total as f64;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+fn set_entropy(inst: &TtInstance, s: Subset) -> f64 {
+    entropy(s.iter().map(|j| inst.weight(j)), inst.weight_of(s))
+}
+
+fn score(inst: &TtInstance, live: Subset, i: usize, h: Heuristic) -> Option<f64> {
+    let a = inst.action(i);
+    let inter = live.intersect(a.set);
+    let diff = live.difference(a.set);
+    if inter.is_empty() || (a.is_test() && diff.is_empty()) {
+        return None;
+    }
+    let t = (a.cost.max(1)) as f64;
+    let p_inter = inst.weight_of(inter) as f64;
+    let p_diff = inst.weight_of(diff) as f64;
+    match h {
+        Heuristic::SplitBalance => {
+            if a.is_test() {
+                Some(p_inter * p_diff / t)
+            } else {
+                Some(p_inter * p_inter / t)
+            }
+        }
+        Heuristic::TreatOnlyCover => {
+            if a.is_test() {
+                None
+            } else {
+                // Minimize t·p(S)/p(S∩T): return its negation as a score.
+                let p_s = inst.weight_of(live) as f64;
+                Some(-(t * p_s / p_inter))
+            }
+        }
+        Heuristic::EntropyGain => {
+            let p_s = inst.weight_of(live) as f64;
+            let h_s = set_entropy(inst, live);
+            let gain = if a.is_test() {
+                let h_pos = set_entropy(inst, inter);
+                let h_neg = set_entropy(inst, diff);
+                h_s - (p_inter / p_s) * h_pos - (p_diff / p_s) * h_neg
+            } else {
+                // Success resolves inter entirely; failure leaves diff.
+                let h_fail = set_entropy(inst, diff);
+                h_s - (p_diff / p_s) * h_fail
+            };
+            Some(gain / t)
+        }
+    }
+}
+
+fn build(inst: &TtInstance, live: Subset, h: Heuristic) -> Option<TtTree> {
+    debug_assert!(!live.is_empty());
+    // Base case / fallback: when only one object remains, or no test
+    // scores, the cheapest applicable treatment wins by definition of the
+    // recurrence on singletons.
+    let mut best: Option<(f64, usize)> = None;
+    for i in 0..inst.n_actions() {
+        if let Some(s) = score(inst, live, i, h) {
+            if best.is_none_or(|(bs, _)| s > bs) {
+                best = Some((s, i));
+            }
+        }
+    }
+    let (_, i) = best.or_else(|| cheapest_treatment(inst, live).map(|i| (0.0, i)))?;
+    let a = inst.action(i);
+    let inter = live.intersect(a.set);
+    let diff = live.difference(a.set);
+    if a.is_test() {
+        let pos = build(inst, inter, h)?;
+        let neg = build(inst, diff, h)?;
+        Some(TtTree::test(i, pos, neg))
+    } else if diff.is_empty() {
+        Some(TtTree::leaf(i))
+    } else {
+        Some(TtTree::treat_then(i, build(inst, diff, h)?))
+    }
+}
+
+fn cheapest_treatment(inst: &TtInstance, live: Subset) -> Option<usize> {
+    (inst.n_tests()..inst.n_actions())
+        .filter(|&i| inst.action(i).set.intersects(live))
+        .min_by_key(|&i| inst.action(i).cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+
+    fn inst() -> TtInstance {
+        TtInstanceBuilder::new(5)
+            .weights([8, 4, 2, 1, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2]), 1)
+            .test(Subset::from_iter([1, 3]), 2)
+            .treatment(Subset::from_iter([0]), 2)
+            .treatment(Subset::from_iter([1, 2]), 3)
+            .treatment(Subset::from_iter([2, 3, 4]), 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_heuristics_build_valid_procedures() {
+        let i = inst();
+        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+            let g = solve(&i, h).unwrap();
+            g.tree.validate(&i).unwrap();
+            assert_eq!(g.tree.expected_cost(&i), g.cost);
+        }
+    }
+
+    #[test]
+    fn heuristics_are_upper_bounds_on_the_optimum() {
+        let i = inst();
+        let opt = sequential::solve(&i).cost;
+        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+            let g = solve(&i, h).unwrap();
+            assert!(g.cost >= opt, "{h:?}: {} < optimal {}", g.cost, opt);
+        }
+    }
+
+    #[test]
+    fn treat_only_is_dominated_when_tests_are_cheap() {
+        // One very cheap perfectly-splitting test; expensive treatments.
+        let i = TtInstanceBuilder::new(4)
+            .weights([1, 1, 1, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2]), 1)
+            .treatment(Subset::singleton(0), 50)
+            .treatment(Subset::singleton(1), 50)
+            .treatment(Subset::singleton(2), 50)
+            .treatment(Subset::singleton(3), 50)
+            .build()
+            .unwrap();
+        let with_tests = solve(&i, Heuristic::SplitBalance).unwrap().cost;
+        let cover = solve(&i, Heuristic::TreatOnlyCover).unwrap().cost;
+        assert!(with_tests < cover);
+    }
+
+    #[test]
+    fn inadequate_instance_returns_none() {
+        let i = TtInstanceBuilder::new(2)
+            .treatment(Subset::singleton(0), 1)
+            .build()
+            .unwrap();
+        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+            assert!(solve(&i, h).is_none());
+        }
+    }
+
+    #[test]
+    fn entropy_helper_sane() {
+        // Uniform 2-way split = 1 bit.
+        let h = entropy([1u64, 1].into_iter(), 2);
+        assert!((h - 1.0).abs() < 1e-12);
+        assert_eq!(entropy([0u64].into_iter(), 0), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Top-down memoized DP over reachable subsets only.
+//!
+//! The paper's parallel algorithm allocates a PE to **every** `(S, i)` pair
+//! because a SIMD machine cannot cheaply skip lattice levels. A sequential
+//! machine can: only subsets reachable from `U` through test splits and
+//! treatment failures ever matter, and for structured instances this is a
+//! tiny fraction of `2^k`. This solver quantifies that ablation
+//! (experiment E14 in DESIGN.md).
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+use std::collections::HashMap;
+
+/// Result of the memoized solver.
+#[derive(Clone, Debug)]
+pub struct MemoSolution {
+    /// `C(U)`.
+    pub cost: Cost,
+    /// An optimal tree, or `None` when `C(U) = INF`.
+    pub tree: Option<TtTree>,
+    /// Number of distinct subsets actually evaluated (compare `2^k`).
+    pub reachable_subsets: usize,
+    /// Number of `(S, i)` candidate evaluations performed.
+    pub candidates: u64,
+}
+
+struct Memo<'a> {
+    inst: &'a TtInstance,
+    cost: HashMap<u32, (Cost, Option<u16>)>,
+    candidates: u64,
+}
+
+impl Memo<'_> {
+    fn c(&mut self, s: Subset) -> Cost {
+        if s.is_empty() {
+            return Cost::ZERO;
+        }
+        if let Some(&(c, _)) = self.cost.get(&s.0) {
+            return c;
+        }
+        let mut best = Cost::INF;
+        let mut arg = None;
+        for i in 0..self.inst.n_actions() {
+            let a = self.inst.action(i);
+            let inter = s.intersect(a.set);
+            let diff = s.difference(a.set);
+            if inter.is_empty() || (a.is_test() && diff.is_empty()) {
+                continue;
+            }
+            self.candidates += 1;
+            let charged =
+                Cost::new(a.cost).saturating_mul_weight(self.inst.weight_of(s));
+            let m = if a.is_test() {
+                charged + self.c(inter) + self.c(diff)
+            } else {
+                charged + self.c(diff)
+            };
+            if m < best {
+                best = m;
+                arg = Some(i as u16);
+            }
+        }
+        self.cost.insert(s.0, (best, arg));
+        best
+    }
+
+    fn tree(&self, s: Subset) -> Option<TtTree> {
+        if s.is_empty() {
+            return None;
+        }
+        let &(c, arg) = self.cost.get(&s.0)?;
+        if c.is_inf() {
+            return None;
+        }
+        let i = arg? as usize;
+        let a = self.inst.action(i);
+        if a.is_test() {
+            let pos = self.tree(s.intersect(a.set))?;
+            let neg = self.tree(s.difference(a.set))?;
+            Some(TtTree::test(i, pos, neg))
+        } else {
+            let remaining = s.difference(a.set);
+            if remaining.is_empty() {
+                Some(TtTree::leaf(i))
+            } else {
+                Some(TtTree::treat_then(i, self.tree(remaining)?))
+            }
+        }
+    }
+}
+
+/// Solves `inst` top-down, touching only reachable subsets.
+pub fn solve(inst: &TtInstance) -> MemoSolution {
+    let mut memo = Memo { inst, cost: HashMap::new(), candidates: 0 };
+    let cost = memo.c(inst.universe());
+    let tree = memo.tree(inst.universe());
+    MemoSolution {
+        cost,
+        tree,
+        reachable_subsets: memo.cost.len(),
+        candidates: memo.candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+
+    fn inst() -> TtInstance {
+        TtInstanceBuilder::new(5)
+            .weights([5, 4, 3, 2, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2, 4]), 2)
+            .treatment(Subset::from_iter([0, 1, 2]), 3)
+            .treatment(Subset::from_iter([2, 3]), 1)
+            .treatment(Subset::from_iter([4]), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_bottom_up() {
+        let i = inst();
+        let memo = solve(&i);
+        let seq = sequential::solve(&i);
+        assert_eq!(memo.cost, seq.cost);
+        let t = memo.tree.unwrap();
+        t.validate(&i).unwrap();
+        assert_eq!(t.expected_cost(&i), seq.cost);
+    }
+
+    #[test]
+    fn touches_fewer_subsets_than_the_lattice() {
+        let i = inst();
+        let memo = solve(&i);
+        assert!(memo.reachable_subsets < (1 << i.k()));
+        assert!(memo.reachable_subsets >= 1);
+    }
+
+    #[test]
+    fn inadequate_instance() {
+        let i = TtInstanceBuilder::new(3)
+            .test(Subset::singleton(0), 1)
+            .treatment(Subset::from_iter([0, 1]), 1)
+            .build()
+            .unwrap();
+        let memo = solve(&i);
+        assert!(memo.cost.is_inf());
+        assert!(memo.tree.is_none());
+    }
+
+    #[test]
+    fn candidate_count_is_bounded_by_full_lattice_work() {
+        let i = inst();
+        let memo = solve(&i);
+        let full = ((1u64 << i.k()) - 1) * i.n_actions() as u64;
+        assert!(memo.candidates <= full);
+    }
+}

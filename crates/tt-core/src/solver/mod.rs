@@ -1,0 +1,28 @@
+//! Solvers for the TT problem.
+//!
+//! * [`sequential`] — bottom-up dynamic programming over the full subset
+//!   lattice, `O(N·2^k)`: the paper's sequential baseline (`T_1`), obtained
+//!   by "modifying the backward induction algorithm given by Garey".
+//! * [`memo`] — top-down memoized DP over *reachable* subsets only; an
+//!   ablation of the full-lattice scheme (the parallel algorithm cannot
+//!   exploit reachability, a sequential solver can).
+//! * [`exhaustive`] — explicit enumeration of every valid procedure tree,
+//!   costed by the first-principles tree evaluator; ground truth for small
+//!   instances.
+//! * [`greedy`] — classic one-step heuristics from the binary-testing
+//!   literature, as approximation baselines.
+//! * [`bounds`] — admissible lower bounds on `C(S)`.
+//! * [`branch_and_bound`] — the memoized DP with bound-ordered candidate
+//!   pruning; exact, often far cheaper than the full recurrence.
+//! * [`depth_bounded`] — the best procedure within a path-length budget,
+//!   with the anytime curve `d ↦ C_d(U)`.
+
+pub mod bounds;
+pub mod branch_and_bound;
+pub mod depth_bounded;
+pub mod exhaustive;
+pub mod greedy;
+pub mod memo;
+pub mod sequential;
+
+pub use sequential::{solve, DpStats, DpTables, Solution};

@@ -1,0 +1,148 @@
+//! Procedure statistics: what a TT tree *does* in expectation.
+//!
+//! The expected cost optimized by the solvers is one summary; operators
+//! of a real diagnostic protocol also care about the expected number of
+//! tests and treatments administered, the distribution of procedure
+//! lengths, and per-object outcomes. Everything here is derived from the
+//! same first-principles walk as the tree evaluator.
+
+use crate::instance::TtInstance;
+use crate::subset::Subset;
+use crate::tree::TtTree;
+
+/// Summary statistics of a procedure tree against an instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Expected number of tests performed (weight-averaged).
+    pub expected_tests: f64,
+    /// Expected number of treatments performed.
+    pub expected_treatments: f64,
+    /// Expected number of actions (tests + treatments).
+    pub expected_actions: f64,
+    /// Maximum number of actions on any realized path.
+    pub worst_case_actions: usize,
+    /// Per-object action counts: `(tests, treatments)` when object `j`
+    /// is the faulty one.
+    pub per_object: Vec<(usize, usize)>,
+}
+
+/// Computes [`TreeStats`] for a valid tree (panics on malformed trees —
+/// validate first).
+pub fn tree_stats(tree: &TtTree, inst: &TtInstance) -> TreeStats {
+    let mut per_object = vec![(0usize, 0usize); inst.k()];
+    walk(tree, inst, inst.universe(), 0, 0, &mut per_object);
+    let total_w = inst.total_weight() as f64;
+    let mut e_tests = 0.0;
+    let mut e_treats = 0.0;
+    let mut worst = 0usize;
+    for (j, &(t, r)) in per_object.iter().enumerate() {
+        let w = inst.weight(j) as f64 / total_w;
+        e_tests += w * t as f64;
+        e_treats += w * r as f64;
+        worst = worst.max(t + r);
+    }
+    TreeStats {
+        expected_tests: e_tests,
+        expected_treatments: e_treats,
+        expected_actions: e_tests + e_treats,
+        worst_case_actions: worst,
+        per_object,
+    }
+}
+
+fn walk(
+    tree: &TtTree,
+    inst: &TtInstance,
+    live: Subset,
+    tests: usize,
+    treats: usize,
+    out: &mut [(usize, usize)],
+) {
+    if live.is_empty() {
+        return;
+    }
+    match tree {
+        TtTree::Test { action, positive, negative } => {
+            let a = inst.action(*action);
+            walk(positive, inst, live.intersect(a.set), tests + 1, treats, out);
+            walk(negative, inst, live.difference(a.set), tests + 1, treats, out);
+        }
+        TtTree::Treatment { action, failure } => {
+            let a = inst.action(*action);
+            for j in live.intersect(a.set).iter() {
+                out[j] = (tests, treats + 1);
+            }
+            if let Some(f) = failure {
+                walk(f, inst, live.difference(a.set), tests, treats + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+
+    fn inst() -> TtInstance {
+        TtInstanceBuilder::new(3)
+            .weights([3, 2, 1])
+            .test(Subset::from_iter([0]), 1)
+            .treatment(Subset::from_iter([0, 1]), 2)
+            .treatment(Subset::from_iter([2]), 1)
+            .build()
+            .unwrap()
+    }
+
+    /// test {0}: + -> treat {0,1}; − -> treat {0,1} then treat {2}.
+    fn tree() -> TtTree {
+        TtTree::test(0, TtTree::leaf(1), TtTree::treat_then(1, TtTree::leaf(2)))
+    }
+
+    #[test]
+    fn per_object_counts() {
+        let s = tree_stats(&tree(), &inst());
+        // object 0: 1 test + 1 treatment; object 1: 1 + 1; object 2: 1 + 2.
+        assert_eq!(s.per_object, vec![(1, 1), (1, 1), (1, 2)]);
+        assert_eq!(s.worst_case_actions, 3);
+    }
+
+    #[test]
+    fn expectations_are_weight_averages() {
+        let s = tree_stats(&tree(), &inst());
+        // weights 3,2,1 / 6.
+        let e_tests = (3.0 + 2.0 + 1.0) / 6.0;
+        let e_treats = (3.0 * 1.0 + 2.0 * 1.0 + 1.0 * 2.0) / 6.0;
+        assert!((s.expected_tests - e_tests).abs() < 1e-12);
+        assert!((s.expected_treatments - e_treats).abs() < 1e-12);
+        assert!((s.expected_actions - (e_tests + e_treats)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_with_expected_cost_on_unit_costs() {
+        // With all action costs = 1, expected cost / total weight equals
+        // expected actions.
+        let mut b = TtInstanceBuilder::new(3).weights([3, 2, 1]);
+        for a in inst().actions() {
+            let mut a2 = *a;
+            a2.cost = 1;
+            b = b.action(a2);
+        }
+        let unit = b.build().unwrap();
+        let sol = sequential::solve(&unit);
+        let tree = sol.tree.unwrap();
+        let s = tree_stats(&tree, &unit);
+        let per_unit = sol.cost.0 as f64 / unit.total_weight() as f64;
+        assert!((s.expected_actions - per_unit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_tree_stats_are_finite_and_bounded() {
+        let i = inst();
+        let sol = sequential::solve(&i);
+        let s = tree_stats(&sol.tree.unwrap(), &i);
+        assert!(s.expected_actions >= 1.0);
+        assert!(s.worst_case_actions <= i.n_actions() * i.k());
+    }
+}

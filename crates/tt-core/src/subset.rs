@@ -1,0 +1,366 @@
+//! Bitmask subsets of the universe `U = {0, …, k−1}`.
+//!
+//! The parallel algorithm addresses one processing element per `(S, i)`
+//! pair, with `S` encoded in the high bits of the PE address; this module is
+//! the shared vocabulary for that encoding. Object `a ∈ S` iff bit `a` of
+//! the mask is 1, exactly as in Section 7 of the paper ("`a ∈ S` iff `a`-th
+//! bit of `i` is 1").
+
+use std::fmt;
+
+/// A subset of the universe, stored as a 32-bit mask (object `j` present iff
+/// bit `j` is set). Supports universes up to [`crate::MAX_K`] objects.
+///
+/// # Examples
+/// ```
+/// use tt_core::subset::Subset;
+/// let s = Subset::from_iter([0, 2]);
+/// let t = Subset::from_iter([2, 3]);
+/// assert_eq!(s.union(t), Subset::from_iter([0, 2, 3]));
+/// assert_eq!(s.intersect(t), Subset::singleton(2));
+/// assert_eq!(s.difference(t), Subset::singleton(0));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.to_string(), "{0,2}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Subset(pub u32);
+
+impl Subset {
+    /// The empty set `∅`.
+    pub const EMPTY: Subset = Subset(0);
+
+    /// The full universe `{0, …, k−1}`.
+    #[inline]
+    pub fn universe(k: usize) -> Subset {
+        debug_assert!(k <= 32);
+        if k == 32 {
+            Subset(u32::MAX)
+        } else {
+            Subset((1u32 << k) - 1)
+        }
+    }
+
+    /// The singleton `{j}`.
+    #[inline]
+    pub fn singleton(j: usize) -> Subset {
+        debug_assert!(j < 32);
+        Subset(1u32 << j)
+    }
+
+    /// Builds a subset from an iterator of object indices.
+    ///
+    /// (An inherent method rather than a `FromIterator` impl so that
+    /// `Subset::from_iter([0, 2])` works without a trait import.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = usize>>(objs: I) -> Subset {
+        let mut s = Subset::EMPTY;
+        for j in objs {
+            s = s.with(j);
+        }
+        s
+    }
+
+    /// Does the subset contain object `j`?
+    #[inline]
+    pub fn contains(self, j: usize) -> bool {
+        debug_assert!(j < 32);
+        self.0 & (1u32 << j) != 0
+    }
+
+    /// The subset with object `j` added.
+    #[inline]
+    pub fn with(self, j: usize) -> Subset {
+        debug_assert!(j < 32);
+        Subset(self.0 | (1u32 << j))
+    }
+
+    /// The subset with object `j` removed.
+    #[inline]
+    pub fn without(self, j: usize) -> Subset {
+        debug_assert!(j < 32);
+        Subset(self.0 & !(1u32 << j))
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub fn union(self, other: Subset) -> Subset {
+        Subset(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub fn intersect(self, other: Subset) -> Subset {
+        Subset(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`.
+    #[inline]
+    pub fn difference(self, other: Subset) -> Subset {
+        Subset(self.0 & !other.0)
+    }
+
+    /// Complement within a `k`-object universe.
+    #[inline]
+    pub fn complement(self, k: usize) -> Subset {
+        Subset::universe(k).difference(self)
+    }
+
+    /// Number of objects in the subset (`#S` in the paper).
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is this the empty set?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset_of(self, other: Subset) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Do the two sets intersect?
+    #[inline]
+    pub fn intersects(self, other: Subset) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The raw mask, used as an array index by the DP solvers and as the
+    /// high part of a PE address by the parallel algorithm.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The smallest object in the set, if any.
+    #[inline]
+    pub fn min_object(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterates over the objects of the subset in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut rest = self.0;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let j = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(j)
+            }
+        })
+    }
+
+    /// Iterates over all `2^k` subsets of a `k`-object universe in mask
+    /// order (`∅` first, `U` last).
+    pub fn all(k: usize) -> impl Iterator<Item = Subset> {
+        debug_assert!(k < 32);
+        (0..=Subset::universe(k).0).map(Subset)
+    }
+
+    /// Iterates over the subsets of a `k`-object universe that contain
+    /// exactly `size` objects, in increasing mask order (Gosper's hack).
+    ///
+    /// This is the paper's `#S = j` wavefront: the `j`-th iteration of the
+    /// outer DP loop touches exactly these sets.
+    pub fn of_size(k: usize, size: usize) -> impl Iterator<Item = Subset> {
+        debug_assert!(k < 32);
+        let limit = Subset::universe(k).0;
+        let mut cur: u32 = if size == 0 {
+            0
+        } else if size > k {
+            // No subsets of that size: start beyond the limit.
+            limit.wrapping_add(1).max(1)
+        } else {
+            (1u32 << size) - 1
+        };
+        let mut done = size > k;
+        let mut emitted_empty = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            if size == 0 {
+                if emitted_empty {
+                    return None;
+                }
+                emitted_empty = true;
+                return Some(Subset(0));
+            }
+            if cur > limit {
+                done = true;
+                return None;
+            }
+            let out = Subset(cur);
+            // Gosper's hack: next mask with the same popcount.
+            let c = cur & cur.wrapping_neg();
+            let r = cur.wrapping_add(c);
+            if c == 0 || r == 0 {
+                done = true;
+            } else {
+                cur = (((r ^ cur) >> 2) / c) | r;
+            }
+            Some(out)
+        })
+    }
+
+    /// Iterates over all subsets of `self` (including `∅` and `self`
+    /// itself), in decreasing mask order of the standard submask walk.
+    pub fn subsets(self) -> impl Iterator<Item = Subset> {
+        let mask = self.0;
+        let mut cur = mask;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let out = Subset(cur);
+            if cur == 0 {
+                done = true;
+            } else {
+                cur = (cur - 1) & mask;
+            }
+            Some(out)
+        })
+    }
+}
+
+impl fmt::Debug for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Subset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for j in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{j}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_and_singleton() {
+        assert_eq!(Subset::universe(3).0, 0b111);
+        assert_eq!(Subset::universe(0).0, 0);
+        assert_eq!(Subset::singleton(2).0, 0b100);
+        assert!(Subset::universe(5).contains(4));
+        assert!(!Subset::universe(5).contains(5));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = Subset::from_iter([0, 1, 3]);
+        let b = Subset::from_iter([1, 2]);
+        assert_eq!(a.union(b), Subset::from_iter([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), Subset::from_iter([1]));
+        assert_eq!(a.difference(b), Subset::from_iter([0, 3]));
+        assert_eq!(b.complement(4), Subset::from_iter([0, 3]));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Subset::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = Subset::from_iter([1, 3]);
+        let b = Subset::from_iter([0, 1, 3]);
+        assert!(a.is_subset_of(b));
+        assert!(!b.is_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(Subset::EMPTY.is_subset_of(a));
+        assert!(a.intersects(b));
+        assert!(!a.intersects(Subset::singleton(2)));
+    }
+
+    #[test]
+    fn iter_yields_sorted_objects() {
+        let s = Subset::from_iter([4, 0, 2]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(Subset::EMPTY.iter().count(), 0);
+        assert_eq!(s.min_object(), Some(0));
+        assert_eq!(Subset::EMPTY.min_object(), None);
+    }
+
+    #[test]
+    fn all_enumerates_every_mask() {
+        let v: Vec<_> = Subset::all(3).collect();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0], Subset::EMPTY);
+        assert_eq!(v[7], Subset::universe(3));
+    }
+
+    #[test]
+    fn of_size_matches_binomials() {
+        for k in 0..8usize {
+            for j in 0..=k {
+                let count = Subset::of_size(k, j).count();
+                let binom = (0..j).fold(1usize, |acc, x| acc * (k - x) / (x + 1));
+                assert_eq!(count, binom, "k={k} j={j}");
+                for s in Subset::of_size(k, j) {
+                    assert_eq!(s.len(), j);
+                    assert!(s.is_subset_of(Subset::universe(k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn of_size_oversize_is_empty() {
+        assert_eq!(Subset::of_size(3, 4).count(), 0);
+        assert_eq!(Subset::of_size(0, 0).collect::<Vec<_>>(), vec![Subset::EMPTY]);
+    }
+
+    #[test]
+    fn of_size_levels_partition_the_lattice() {
+        let k = 6;
+        let mut seen = vec![false; 1 << k];
+        for j in 0..=k {
+            for s in Subset::of_size(k, j) {
+                assert!(!seen[s.index()], "duplicate {s}");
+                seen[s.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn submask_walk_covers_powerset() {
+        let s = Subset::from_iter([0, 2, 3]);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        for sub in &subs {
+            assert!(sub.is_subset_of(s));
+        }
+        let mut sorted = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(Subset::from_iter([2, 0, 1]).to_string(), "{0,1,2}");
+        assert_eq!(Subset::EMPTY.to_string(), "{}");
+    }
+}

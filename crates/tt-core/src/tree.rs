@@ -1,0 +1,493 @@
+//! TT procedure trees (Fig. 1 of the paper).
+//!
+//! A TT procedure is a binary decision tree with test and treatment nodes.
+//! Test nodes branch on the outcome (positive branch drawn left in the
+//! paper); treatment nodes end the procedure for the treated objects and
+//! continue on the failure branch for the rest. Every branch of a
+//! *successful* procedure terminates in a treatment.
+//!
+//! The evaluator here computes
+//! `Cost(Tree) = Σ_{j∈U} (cost of actions encountered if j is faulty) · P_j`
+//! literally from that first-principles definition — deliberately *not* via
+//! the DP recurrence — so that it serves as an independent cross-check of
+//! every solver in the workspace.
+
+use crate::cost::Cost;
+use crate::instance::{ActionKind, TtInstance};
+use crate::subset::Subset;
+use std::fmt;
+
+/// A node of a TT procedure tree. Action indices refer to
+/// [`TtInstance::actions`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TtTree {
+    /// Apply test `action`; `positive` handles `S ∩ T_i`, `negative`
+    /// handles `S − T_i`.
+    Test {
+        /// Index of the test in the instance's action list.
+        action: usize,
+        /// Subtree for a positive response (live set `S ∩ T_i`).
+        positive: Box<TtTree>,
+        /// Subtree for a negative response (live set `S − T_i`).
+        negative: Box<TtTree>,
+    },
+    /// Apply treatment `action`; objects of `S ∩ T_i` are cured, `failure`
+    /// (if any) handles `S − T_i`.
+    Treatment {
+        /// Index of the treatment in the instance's action list.
+        action: usize,
+        /// Subtree for treatment failure, or `None` when `S − T_i = ∅`.
+        failure: Option<Box<TtTree>>,
+    },
+}
+
+/// Why a tree failed validation against an instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A node references an action index `≥ N`.
+    ActionOutOfRange {
+        /// The offending action index.
+        action: usize,
+    },
+    /// A `Test` node references a treatment or vice versa.
+    KindMismatch {
+        /// The offending action index.
+        action: usize,
+    },
+    /// A test node does not split its live set (one branch would be empty,
+    /// so the test yields no information and the procedure cannot make
+    /// progress).
+    TrivialTest {
+        /// The offending action index.
+        action: usize,
+        /// The live set at the node.
+        live: Subset,
+    },
+    /// A treatment node treats nothing (`S ∩ T_i = ∅`).
+    UselessTreatment {
+        /// The offending action index.
+        action: usize,
+        /// The live set at the node.
+        live: Subset,
+    },
+    /// A treatment node is missing its failure branch although candidates
+    /// remain (`S − T_i ≠ ∅` but `failure` is `None`).
+    MissingFailureBranch {
+        /// The offending action index.
+        action: usize,
+        /// The untreated remainder.
+        remaining: Subset,
+    },
+    /// A treatment node has a failure branch although none is needed.
+    SpuriousFailureBranch {
+        /// The offending action index.
+        action: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::ActionOutOfRange { action } => {
+                write!(f, "node references action {action} outside the instance")
+            }
+            TreeError::KindMismatch { action } => {
+                write!(f, "node kind does not match action {action}'s kind")
+            }
+            TreeError::TrivialTest { action, live } => {
+                write!(f, "test {action} does not split live set {live}")
+            }
+            TreeError::UselessTreatment { action, live } => {
+                write!(f, "treatment {action} treats nothing of live set {live}")
+            }
+            TreeError::MissingFailureBranch { action, remaining } => {
+                write!(f, "treatment {action} leaves {remaining} untreated with no failure branch")
+            }
+            TreeError::SpuriousFailureBranch { action } => {
+                write!(f, "treatment {action} has a failure branch but nothing can remain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl TtTree {
+    /// A treatment leaf (no failure branch).
+    pub fn leaf(action: usize) -> TtTree {
+        TtTree::Treatment { action, failure: None }
+    }
+
+    /// A treatment node with a failure branch.
+    pub fn treat_then(action: usize, failure: TtTree) -> TtTree {
+        TtTree::Treatment { action, failure: Some(Box::new(failure)) }
+    }
+
+    /// A test node.
+    pub fn test(action: usize, positive: TtTree, negative: TtTree) -> TtTree {
+        TtTree::Test { action, positive: Box::new(positive), negative: Box::new(negative) }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            TtTree::Test { positive, negative, .. } => 1 + positive.size() + negative.size(),
+            TtTree::Treatment { failure, .. } => {
+                1 + failure.as_ref().map_or(0, |t| t.size())
+            }
+        }
+    }
+
+    /// Height of the tree (a single node has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            TtTree::Test { positive, negative, .. } => {
+                1 + positive.depth().max(negative.depth())
+            }
+            TtTree::Treatment { failure, .. } => {
+                1 + failure.as_ref().map_or(0, |t| t.depth())
+            }
+        }
+    }
+
+    /// Validates the tree as a successful TT procedure for `inst`, starting
+    /// from the full universe.
+    pub fn validate(&self, inst: &TtInstance) -> Result<(), TreeError> {
+        self.validate_from(inst, inst.universe())
+    }
+
+    /// Validates the tree starting from live set `live`.
+    pub fn validate_from(&self, inst: &TtInstance, live: Subset) -> Result<(), TreeError> {
+        match self {
+            TtTree::Test { action, positive, negative } => {
+                let a = check_action(inst, *action, ActionKind::Test)?;
+                let pos = live.intersect(a.set);
+                let neg = live.difference(a.set);
+                if pos.is_empty() || neg.is_empty() {
+                    return Err(TreeError::TrivialTest { action: *action, live });
+                }
+                positive.validate_from(inst, pos)?;
+                negative.validate_from(inst, neg)
+            }
+            TtTree::Treatment { action, failure } => {
+                let a = check_action(inst, *action, ActionKind::Treatment)?;
+                let treated = live.intersect(a.set);
+                let remaining = live.difference(a.set);
+                if treated.is_empty() {
+                    return Err(TreeError::UselessTreatment { action: *action, live });
+                }
+                match (remaining.is_empty(), failure) {
+                    (true, None) => Ok(()),
+                    (true, Some(_)) => {
+                        Err(TreeError::SpuriousFailureBranch { action: *action })
+                    }
+                    (false, None) => {
+                        Err(TreeError::MissingFailureBranch { action: *action, remaining })
+                    }
+                    (false, Some(f)) => f.validate_from(inst, remaining),
+                }
+            }
+        }
+    }
+
+    /// Per-object path costs: `out[j]` is the total cost of the actions
+    /// encountered when object `j` is the faulty one. Objects outside the
+    /// root live set get cost 0.
+    pub fn path_costs(&self, inst: &TtInstance) -> Vec<Cost> {
+        let mut out = vec![Cost::ZERO; inst.k()];
+        self.accumulate_path_costs(inst, inst.universe(), Cost::ZERO, &mut out);
+        out
+    }
+
+    fn accumulate_path_costs(
+        &self,
+        inst: &TtInstance,
+        live: Subset,
+        so_far: Cost,
+        out: &mut [Cost],
+    ) {
+        if live.is_empty() {
+            return;
+        }
+        match self {
+            TtTree::Test { action, positive, negative } => {
+                let a = inst.action(*action);
+                let here = so_far + Cost::new(a.cost);
+                positive.accumulate_path_costs(inst, live.intersect(a.set), here, out);
+                negative.accumulate_path_costs(inst, live.difference(a.set), here, out);
+            }
+            TtTree::Treatment { action, failure } => {
+                let a = inst.action(*action);
+                let here = so_far + Cost::new(a.cost);
+                for j in live.intersect(a.set).iter() {
+                    out[j] = here;
+                }
+                if let Some(f) = failure {
+                    f.accumulate_path_costs(inst, live.difference(a.set), here, out);
+                }
+            }
+        }
+    }
+
+    /// Expected cost from first principles:
+    /// `Σ_j path_cost(j) · P_j` over the full universe.
+    pub fn expected_cost(&self, inst: &TtInstance) -> Cost {
+        self.path_costs(inst)
+            .iter()
+            .enumerate()
+            .map(|(j, c)| c.saturating_mul_weight(inst.weight(j)))
+            .sum()
+    }
+
+    /// Expected cost restricted to a live set `S` at the root (used by the
+    /// DP cross-checks, which compare against `C(S)` for arbitrary `S`).
+    pub fn expected_cost_from(&self, inst: &TtInstance, live: Subset) -> Cost {
+        let mut out = vec![Cost::ZERO; inst.k()];
+        self.accumulate_path_costs(inst, live, Cost::ZERO, &mut out);
+        out.iter()
+            .enumerate()
+            .filter(|(j, _)| live.contains(*j))
+            .map(|(j, c)| c.saturating_mul_weight(inst.weight(j)))
+            .sum()
+    }
+
+    /// Renders the tree as indented ASCII, one node per line, in the style
+    /// of Fig. 1 (`+` branch = positive/treated, `-` branch = negative /
+    /// treatment failure).
+    pub fn render(&self, inst: &TtInstance) -> String {
+        let mut s = String::new();
+        self.render_into(inst, inst.universe(), 0, "", &mut s);
+        s
+    }
+
+    fn render_into(
+        &self,
+        inst: &TtInstance,
+        live: Subset,
+        depth: usize,
+        label: &str,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            TtTree::Test { action, positive, negative } => {
+                let a = inst.action(*action);
+                let _ = writeln!(
+                    out,
+                    "{pad}{label}test T{action} {} (cost {}) on {live}",
+                    a.set, a.cost
+                );
+                positive.render_into(inst, live.intersect(a.set), depth + 1, "+ ", out);
+                negative.render_into(inst, live.difference(a.set), depth + 1, "- ", out);
+            }
+            TtTree::Treatment { action, failure } => {
+                let a = inst.action(*action);
+                let _ = writeln!(
+                    out,
+                    "{pad}{label}treat T{action} {} (cost {}) on {live} => cures {}",
+                    a.set,
+                    a.cost,
+                    live.intersect(a.set)
+                );
+                if let Some(f) = failure {
+                    f.render_into(inst, live.difference(a.set), depth + 1, "- ", out);
+                }
+            }
+        }
+    }
+
+    /// Renders the tree in Graphviz DOT format (double-edged terminal
+    /// treatments drawn as boxes, matching the paper's double-arc
+    /// convention).
+    pub fn to_dot(&self, inst: &TtInstance) -> String {
+        let mut s = String::from("digraph tt {\n  node [fontname=\"monospace\"];\n");
+        let mut next_id = 0usize;
+        self.dot_into(inst, inst.universe(), &mut next_id, &mut s);
+        s.push_str("}\n");
+        s
+    }
+
+    fn dot_into(
+        &self,
+        inst: &TtInstance,
+        live: Subset,
+        next_id: &mut usize,
+        out: &mut String,
+    ) -> usize {
+        use std::fmt::Write as _;
+        let id = *next_id;
+        *next_id += 1;
+        match self {
+            TtTree::Test { action, positive, negative } => {
+                let a = inst.action(*action);
+                let _ = writeln!(
+                    out,
+                    "  n{id} [shape=ellipse, label=\"T{action} {} @ {live}\"];",
+                    a.set
+                );
+                let p = positive.dot_into(inst, live.intersect(a.set), next_id, out);
+                let n = negative.dot_into(inst, live.difference(a.set), next_id, out);
+                let _ = writeln!(out, "  n{id} -> n{p} [label=\"+\"];");
+                let _ = writeln!(out, "  n{id} -> n{n} [label=\"-\"];");
+            }
+            TtTree::Treatment { action, failure } => {
+                let a = inst.action(*action);
+                let shape = if failure.is_none() { "box, peripheries=2" } else { "box" };
+                let _ = writeln!(
+                    out,
+                    "  n{id} [shape={shape}, label=\"Rx T{action} {} @ {live}\"];",
+                    a.set
+                );
+                if let Some(f) = failure {
+                    let c = f.dot_into(inst, live.difference(a.set), next_id, out);
+                    let _ = writeln!(out, "  n{id} -> n{c} [label=\"fail\"];");
+                }
+            }
+        }
+        id
+    }
+}
+
+fn check_action(
+    inst: &TtInstance,
+    action: usize,
+    expect: ActionKind,
+) -> Result<&crate::instance::Action, TreeError> {
+    if action >= inst.n_actions() {
+        return Err(TreeError::ActionOutOfRange { action });
+    }
+    let a = inst.action(action);
+    if a.kind != expect {
+        return Err(TreeError::KindMismatch { action });
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+
+    /// 3 objects, 1 test, 2 treatments; hand-checkable.
+    fn inst() -> TtInstance {
+        TtInstanceBuilder::new(3)
+            .weights([3, 2, 1])
+            .test(Subset::from_iter([0]), 1) // T0: test {0}, cost 1
+            .treatment(Subset::from_iter([0, 1]), 2) // T1: treat {0,1}, cost 2
+            .treatment(Subset::from_iter([2]), 1) // T2: treat {2}, cost 1
+            .build()
+            .unwrap()
+    }
+
+    /// test T0 on {0,1,2}: + -> treat T1 (cures {0}), − -> treat T1 then T2.
+    fn tree() -> TtTree {
+        TtTree::test(
+            0,
+            TtTree::leaf(1),
+            TtTree::treat_then(1, TtTree::leaf(2)),
+        )
+    }
+
+    #[test]
+    fn validates_successful_procedure() {
+        tree().validate(&inst()).unwrap();
+    }
+
+    #[test]
+    fn path_costs_from_first_principles() {
+        let i = inst();
+        let pc = tree().path_costs(&i);
+        // object 0: test(1) + treat T1(2) = 3
+        // object 1: test(1) + treat T1(2) = 3
+        // object 2: test(1) + treat T1(2) + treat T2(1) = 4
+        assert_eq!(pc, vec![Cost::new(3), Cost::new(3), Cost::new(4)]);
+        // expected = 3·3 + 3·2 + 4·1 = 19
+        assert_eq!(tree().expected_cost(&i), Cost::new(19));
+    }
+
+    #[test]
+    fn expected_cost_from_sub_universe() {
+        let i = inst();
+        // Only {1,2} live: tree's test sends 1,2 down the negative branch.
+        let sub = TtTree::treat_then(1, TtTree::leaf(2));
+        // object1: 2 ; object2: 2+1=3 → 2·2 + 3·1 = 7
+        assert_eq!(sub.expected_cost_from(&i, Subset::from_iter([1, 2])), Cost::new(7));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = tree();
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(TtTree::leaf(1).size(), 1);
+        assert_eq!(TtTree::leaf(1).depth(), 1);
+    }
+
+    #[test]
+    fn rejects_trivial_test() {
+        let i = inst();
+        // Test {0} on live {0} alone would be trivial: construct a tree
+        // applying T0 twice in the positive branch.
+        let t = TtTree::test(
+            0,
+            TtTree::test(0, TtTree::leaf(1), TtTree::leaf(1)),
+            TtTree::treat_then(1, TtTree::leaf(2)),
+        );
+        assert!(matches!(t.validate(&i), Err(TreeError::TrivialTest { action: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_useless_treatment() {
+        let i = inst();
+        // Treat {2} while live is {0,1}.
+        let t = TtTree::test(
+            0,
+            TtTree::leaf(2), // live {0}, T2 = {2}: useless
+            TtTree::treat_then(1, TtTree::leaf(2)),
+        );
+        assert!(matches!(t.validate(&i), Err(TreeError::UselessTreatment { action: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_missing_and_spurious_failure_branches() {
+        let i = inst();
+        // Root treats {0,1} but leaves {2} untreated with no branch.
+        let t = TtTree::leaf(1);
+        assert!(matches!(
+            t.validate(&i),
+            Err(TreeError::MissingFailureBranch { action: 1, .. })
+        ));
+        // Positive branch of T0 is {0}; treating with T1 covers it fully, so
+        // a failure branch there is spurious.
+        let t2 = TtTree::test(
+            0,
+            TtTree::treat_then(1, TtTree::leaf(2)),
+            TtTree::treat_then(1, TtTree::leaf(2)),
+        );
+        assert!(matches!(
+            t2.validate(&i),
+            Err(TreeError::SpuriousFailureBranch { action: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_kind_mismatch_and_range() {
+        let i = inst();
+        let t = TtTree::test(1, TtTree::leaf(1), TtTree::leaf(2));
+        assert!(matches!(t.validate(&i), Err(TreeError::KindMismatch { action: 1 })));
+        let t2 = TtTree::leaf(9);
+        assert!(matches!(t2.validate(&i), Err(TreeError::ActionOutOfRange { action: 9 })));
+    }
+
+    #[test]
+    fn render_mentions_every_action() {
+        let txt = tree().render(&inst());
+        assert!(txt.contains("test T0"));
+        assert!(txt.contains("treat T1"));
+        assert!(txt.contains("treat T2"));
+        let dot = tree().to_dot(&inst());
+        assert!(dot.starts_with("digraph tt {"));
+        assert!(dot.contains("peripheries=2"));
+    }
+}

@@ -1,0 +1,242 @@
+//! A compact s-expression format for procedure trees.
+//!
+//! Lets solutions be stored next to the instances that produced them
+//! (`tt_core::io`) and diffed across solver versions:
+//!
+//! ```text
+//! (test 0 (treat 2) (treat 3 (treat 4)))
+//! ```
+//!
+//! `(test i POS NEG)` is a test node; `(treat i)` a terminal treatment;
+//! `(treat i FAIL)` a treatment with a failure branch. Whitespace is
+//! free-form. Round-trips exactly.
+
+use crate::tree::TtTree;
+use std::fmt::Write as _;
+
+/// Errors from parsing the tree format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeParseError {
+    /// Unexpected end of input.
+    UnexpectedEnd,
+    /// An unexpected token at a byte offset.
+    Unexpected {
+        /// Byte offset into the input.
+        at: usize,
+        /// What was found.
+        found: String,
+    },
+    /// Trailing input after a complete tree.
+    TrailingInput {
+        /// Byte offset of the first trailing token.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for TreeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeParseError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            TreeParseError::Unexpected { at, found } => {
+                write!(f, "unexpected '{found}' at byte {at}")
+            }
+            TreeParseError::TrailingInput { at } => {
+                write!(f, "trailing input at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeParseError {}
+
+/// Serializes a tree to the s-expression format (single line).
+pub fn tree_to_text(tree: &TtTree) -> String {
+    let mut s = String::new();
+    write_node(tree, &mut s);
+    s
+}
+
+fn write_node(tree: &TtTree, out: &mut String) {
+    match tree {
+        TtTree::Test { action, positive, negative } => {
+            let _ = write!(out, "(test {action} ");
+            write_node(positive, out);
+            out.push(' ');
+            write_node(negative, out);
+            out.push(')');
+        }
+        TtTree::Treatment { action, failure } => {
+            let _ = write!(out, "(treat {action}");
+            if let Some(f) = failure {
+                out.push(' ');
+                write_node(f, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Parses a tree from the s-expression format.
+pub fn tree_from_text(text: &str) -> Result<TtTree, TreeParseError> {
+    let tokens = tokenize(text);
+    let mut pos = 0;
+    let tree = parse_node(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(TreeParseError::TrailingInput { at: tokens[pos].1 });
+    }
+    Ok(tree)
+}
+
+fn tokenize(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_start = 0;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    out.push((std::mem::take(&mut cur), cur_start));
+                }
+                out.push((ch.to_string(), i));
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    out.push((std::mem::take(&mut cur), cur_start));
+                }
+            }
+            c => {
+                if cur.is_empty() {
+                    cur_start = i;
+                }
+                cur.push(c);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push((cur, cur_start));
+    }
+    out
+}
+
+fn expect(tokens: &[(String, usize)], pos: &mut usize, what: &str) -> Result<(), TreeParseError> {
+    match tokens.get(*pos) {
+        Some((t, _)) if t == what => {
+            *pos += 1;
+            Ok(())
+        }
+        Some((t, at)) => Err(TreeParseError::Unexpected { at: *at, found: t.clone() }),
+        None => Err(TreeParseError::UnexpectedEnd),
+    }
+}
+
+fn parse_usize(tokens: &[(String, usize)], pos: &mut usize) -> Result<usize, TreeParseError> {
+    match tokens.get(*pos) {
+        Some((t, at)) => {
+            let v = t
+                .parse()
+                .map_err(|_| TreeParseError::Unexpected { at: *at, found: t.clone() })?;
+            *pos += 1;
+            Ok(v)
+        }
+        None => Err(TreeParseError::UnexpectedEnd),
+    }
+}
+
+fn parse_node(tokens: &[(String, usize)], pos: &mut usize) -> Result<TtTree, TreeParseError> {
+    expect(tokens, pos, "(")?;
+    let (kw, at) = match tokens.get(*pos) {
+        Some((t, at)) => (t.clone(), *at),
+        None => return Err(TreeParseError::UnexpectedEnd),
+    };
+    *pos += 1;
+    match kw.as_str() {
+        "test" => {
+            let action = parse_usize(tokens, pos)?;
+            let positive = parse_node(tokens, pos)?;
+            let negative = parse_node(tokens, pos)?;
+            expect(tokens, pos, ")")?;
+            Ok(TtTree::test(action, positive, negative))
+        }
+        "treat" => {
+            let action = parse_usize(tokens, pos)?;
+            // Optional failure branch.
+            if matches!(tokens.get(*pos), Some((t, _)) if t == "(") {
+                let failure = parse_node(tokens, pos)?;
+                expect(tokens, pos, ")")?;
+                Ok(TtTree::treat_then(action, failure))
+            } else {
+                expect(tokens, pos, ")")?;
+                Ok(TtTree::leaf(action))
+            }
+        }
+        other => Err(TreeParseError::Unexpected { at, found: other.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::solver::sequential;
+    use crate::subset::Subset;
+
+    #[test]
+    fn roundtrip_simple_trees() {
+        for tree in [
+            TtTree::leaf(3),
+            TtTree::treat_then(1, TtTree::leaf(2)),
+            TtTree::test(0, TtTree::leaf(1), TtTree::treat_then(2, TtTree::leaf(3))),
+        ] {
+            let text = tree_to_text(&tree);
+            assert_eq!(tree_from_text(&text).unwrap(), tree, "{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_solver_output() {
+        let inst = TtInstanceBuilder::new(4)
+            .weights([4, 3, 2, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2]), 2)
+            .treatment(Subset::from_iter([0]), 3)
+            .treatment(Subset::from_iter([1, 2]), 4)
+            .treatment(Subset::from_iter([3]), 2)
+            .build()
+            .unwrap();
+        let tree = sequential::solve(&inst).tree.unwrap();
+        let text = tree_to_text(&tree);
+        let back = tree_from_text(&text).unwrap();
+        assert_eq!(back, tree);
+        back.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn whitespace_is_free_form() {
+        let t = tree_from_text("  ( test 0\n   (treat 1)\t(treat 2 (treat 3)) )  ").unwrap();
+        assert_eq!(
+            t,
+            TtTree::test(0, TtTree::leaf(1), TtTree::treat_then(2, TtTree::leaf(3)))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(tree_from_text(""), Err(TreeParseError::UnexpectedEnd)));
+        assert!(matches!(
+            tree_from_text("(prune 1)"),
+            Err(TreeParseError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            tree_from_text("(treat 1) extra"),
+            Err(TreeParseError::TrailingInput { .. })
+        ));
+        assert!(matches!(
+            tree_from_text("(test 0 (treat 1))"),
+            Err(TreeParseError::Unexpected { .. }) | Err(TreeParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            tree_from_text("(treat x)"),
+            Err(TreeParseError::Unexpected { .. })
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for tt-core: algebraic laws of the cost and subset
+//! types, format round-trips, and solver cross-checks.
+
+use proptest::prelude::*;
+use tt_core::binary_testing::{complete_unit_tests, huffman_cost, BinaryTesting};
+use tt_core::cost::Cost;
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::solver::{branch_and_bound, sequential};
+use tt_core::subset::Subset;
+use tt_core::{io, preprocess};
+
+fn arb_cost() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        3 => (0u64..1_000_000).prop_map(Cost::new),
+        1 => Just(Cost::INF),
+    ]
+}
+
+fn arb_subset(k: usize) -> impl Strategy<Value = Subset> {
+    (0u32..(1u32 << k)).prop_map(Subset)
+}
+
+fn arb_instance() -> impl Strategy<Value = TtInstance> {
+    (2usize..=6, 1usize..=4, 1usize..=4, any::<u64>()).prop_map(|(k, nt, nr, seed)| {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let full = (1u32 << k) - 1;
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1 + next() % 9));
+        for _ in 0..nt {
+            b = b.test(Subset(1 + (next() as u32) % full), 1 + next() % 9);
+        }
+        for _ in 0..nr {
+            b = b.treatment(Subset(1 + (next() as u32) % full), 1 + next() % 9);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ----- cost algebra laws ------------------------------------------------
+
+    #[test]
+    fn cost_add_is_commutative_and_associative(a in arb_cost(), b in arb_cost(), c in arb_cost()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn cost_zero_is_identity_and_inf_absorbing(a in arb_cost()) {
+        prop_assert_eq!(a + Cost::ZERO, a);
+        prop_assert_eq!(a + Cost::INF, Cost::INF);
+        prop_assert_eq!(a.min(Cost::INF), a);
+        prop_assert_eq!(a.min(Cost::ZERO), Cost::ZERO);
+    }
+
+    #[test]
+    fn cost_min_is_lattice_meet(a in arb_cost(), b in arb_cost()) {
+        let m = a.min(b);
+        prop_assert!(m <= a && m <= b);
+        prop_assert!(m == a || m == b);
+        prop_assert_eq!(a.min(b), b.min(a));
+        prop_assert_eq!(a.min(a), a);
+    }
+
+    #[test]
+    fn mul_weight_distributes_over_weight_addition(c in 0u64..1_000_000, w1 in 0u64..1000, w2 in 0u64..1000) {
+        let c = Cost::new(c);
+        prop_assert_eq!(
+            c.saturating_mul_weight(w1 + w2),
+            c.saturating_mul_weight(w1) + c.saturating_mul_weight(w2)
+        );
+    }
+
+    // ----- subset lattice laws ------------------------------------------------
+
+    #[test]
+    fn subset_de_morgan(a in arb_subset(8), b in arb_subset(8)) {
+        let k = 8;
+        prop_assert_eq!(
+            a.union(b).complement(k),
+            a.complement(k).intersect(b.complement(k))
+        );
+        prop_assert_eq!(
+            a.intersect(b).complement(k),
+            a.complement(k).union(b.complement(k))
+        );
+    }
+
+    #[test]
+    fn subset_partition_by_difference(s in arb_subset(8), t in arb_subset(8)) {
+        let inter = s.intersect(t);
+        let diff = s.difference(t);
+        prop_assert_eq!(inter.union(diff), s);
+        prop_assert!(!inter.intersects(diff));
+        prop_assert_eq!(inter.len() + diff.len(), s.len());
+    }
+
+    #[test]
+    fn subset_iter_reconstructs(s in arb_subset(10)) {
+        prop_assert_eq!(Subset::from_iter(s.iter()), s);
+        prop_assert_eq!(s.iter().count(), s.len());
+    }
+
+    // ----- io round-trip ------------------------------------------------------
+
+    #[test]
+    fn text_format_roundtrips(inst in arb_instance()) {
+        let text = io::to_text(&inst);
+        let back = io::from_text(&text).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    // ----- preprocessing and solver cross-checks -----------------------------
+
+    #[test]
+    fn dominance_reduction_preserves_every_table_entry(inst in arb_instance()) {
+        let red = preprocess::reduce(&inst);
+        let a = sequential::solve(&inst);
+        let b = sequential::solve(&red.instance);
+        prop_assert_eq!(a.tables.cost, b.tables.cost);
+    }
+
+    #[test]
+    fn branch_and_bound_is_exact(inst in arb_instance()) {
+        let seq = sequential::solve(&inst);
+        let bnb = branch_and_bound::solve(&inst);
+        prop_assert_eq!(seq.cost, bnb.cost);
+        if let Some(t) = bnb.tree {
+            prop_assert!(t.validate(&inst).is_ok());
+            prop_assert_eq!(t.expected_cost(&inst), seq.cost);
+        } else {
+            prop_assert!(seq.cost.is_inf());
+        }
+    }
+
+    #[test]
+    fn huffman_equals_dp_on_complete_unit_tests(
+        k in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let weights: Vec<u64> = (0..k).map(|_| 1 + next() % 20).collect();
+        let bt = BinaryTesting::new(k, weights.clone(), complete_unit_tests(k)).unwrap();
+        prop_assert_eq!(bt.solve().cost, Cost::new(huffman_cost(&weights)));
+    }
+
+    #[test]
+    fn huffman_cost_is_subadditive_in_merges(
+        mut weights in proptest::collection::vec(1u64..100, 2..8),
+    ) {
+        // Huffman cost is between n·w_min and total·ceil(log2 n) for the
+        // balanced bound.
+        let n = weights.len() as u64;
+        let total: u64 = weights.iter().sum();
+        let h = huffman_cost(&weights);
+        let depth_bound = (64 - (n - 1).leading_zeros()) as u64;
+        prop_assert!(h >= total, "each leaf at depth >= 1");
+        prop_assert!(h <= total * depth_bound, "balanced tree bound");
+        // Sorting does not change the cost.
+        weights.sort_unstable();
+        prop_assert_eq!(huffman_cost(&weights), h);
+    }
+}

@@ -1,0 +1,132 @@
+//! The modern shared-memory realization: the paper's level-synchronous
+//! schedule with rayon threads instead of SIMD PEs.
+//!
+//! The structure mirrors the parallel algorithm exactly — the `#S = j`
+//! wavefront is the outer loop, and all `(S, i)` candidates of a level are
+//! evaluated in parallel — but each "PE" is a work item on a thread pool,
+//! and the minimization over `i` happens inside the work item (a modern
+//! core is a far bigger grain than a 1-bit PE). Results are bit-identical
+//! to the sequential DP: a level only reads `C(·)` entries of strictly
+//! smaller sets, which were all written in earlier levels.
+
+use rayon::prelude::*;
+use tt_core::cost::Cost;
+use tt_core::instance::TtInstance;
+use tt_core::solver::sequential::{candidate, DpTables};
+use tt_core::subset::Subset;
+
+/// Solves the DP level-synchronously with rayon; returns the same tables
+/// as `tt_core::solver::sequential::solve_tables`.
+pub fn solve_tables(inst: &TtInstance) -> DpTables {
+    let k = inst.k();
+    let size = 1usize << k;
+    let weight_table = inst.weight_table();
+    let mut cost = vec![Cost::INF; size];
+    let mut best: Vec<Option<u16>> = vec![None; size];
+    cost[0] = Cost::ZERO;
+
+    for j in 1..=k {
+        let level: Vec<Subset> = Subset::of_size(k, j).collect();
+        // Read-only snapshot view of the table: a level never reads its
+        // own entries (every submask read is strictly smaller).
+        let cost_ref = &cost;
+        let results: Vec<(usize, Cost, Option<u16>)> = level
+            .par_iter()
+            .map(|&s| {
+                let mut c = Cost::INF;
+                let mut b = None;
+                for i in 0..inst.n_actions() {
+                    let m = candidate(inst, &weight_table, cost_ref, s, i);
+                    if m < c {
+                        c = m;
+                        b = Some(i as u16);
+                    }
+                }
+                (s.index(), c, b)
+            })
+            .collect();
+        for (idx, c, b) in results {
+            cost[idx] = c;
+            best[idx] = b;
+        }
+    }
+    DpTables { cost, best }
+}
+
+/// Convenience wrapper: `C(U)` plus an optimal tree via the shared
+/// extraction code.
+pub fn solve(inst: &TtInstance) -> tt_core::solver::sequential::Solution {
+    let tables = solve_tables(inst);
+    let root = inst.universe();
+    let cost = tables.cost[root.index()];
+    let tree = tt_core::solver::sequential::extract_tree(inst, &tables, root);
+    let size = 1u64 << inst.k();
+    tt_core::solver::sequential::Solution {
+        cost,
+        tree,
+        stats: tt_core::solver::sequential::DpStats {
+            candidates: (size - 1) * inst.n_actions() as u64,
+            subsets: size,
+        },
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::instance::TtInstanceBuilder;
+    use tt_core::solver::sequential;
+
+    fn inst(k: usize) -> TtInstance {
+        // A deterministic medium instance exercising all action kinds.
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|j| 1 + (j as u64 * 7) % 13));
+        for t in 0..k {
+            b = b.test(
+                Subset::from_iter((0..k).filter(|&x| (x * 31 + t * 17) % 3 == 0)),
+                1 + (t as u64 % 5),
+            );
+        }
+        for t in 0..k {
+            b = b.treatment(
+                Subset::from_iter((0..k).filter(|&x| (x + t) % 4 != 0 || x == t)),
+                2 + (t as u64 % 7),
+            );
+        }
+        // Ensure adequacy.
+        b = b.treatment(Subset::universe(k), 50);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tables_match_sequential_exactly() {
+        for k in [3usize, 5, 8] {
+            let i = inst(k);
+            let par = solve_tables(&i);
+            let seq = sequential::solve_tables(&i);
+            assert_eq!(par.cost, seq.cost, "k={k}");
+            assert_eq!(par.best, seq.best, "k={k}");
+        }
+    }
+
+    #[test]
+    fn solve_extracts_a_valid_optimal_tree() {
+        let i = inst(6);
+        let sol = solve(&i);
+        let tree = sol.tree.expect("adequate");
+        tree.validate(&i).unwrap();
+        assert_eq!(tree.expected_cost(&i), sol.cost);
+    }
+
+    #[test]
+    fn inadequate_instance() {
+        let i = TtInstanceBuilder::new(4)
+            .test(Subset::singleton(0), 1)
+            .treatment(Subset::from_iter([0, 1]), 1)
+            .build()
+            .unwrap();
+        let sol = solve(&i);
+        assert!(sol.cost.is_inf());
+        assert!(sol.tree.is_none());
+    }
+}

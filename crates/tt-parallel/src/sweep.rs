@@ -1,0 +1,162 @@
+//! Reusable scaling-study series: the data behind the speedup and
+//! complexity experiments, as a library (so harnesses, notebooks and
+//! tests share one implementation).
+
+use crate::complexity;
+use crate::hyper;
+use tt_core::instance::TtInstance;
+use tt_workloads::random::RandomConfig;
+
+/// One point of the word-level speedup study (experiment E9).
+#[derive(Clone, Debug)]
+pub struct SpeedupPoint {
+    /// Universe size.
+    pub k: usize,
+    /// Padded action count `N'`.
+    pub n_pad: usize,
+    /// PE count `p = N'·2^k`.
+    pub pes: usize,
+    /// Sequential candidate evaluations `T₁`.
+    pub t1: u64,
+    /// Parallel exchange steps `T_p`.
+    pub tp: u64,
+    /// `T₁ / T_p`.
+    pub speedup: f64,
+    /// `p / log₂ p`.
+    pub p_over_log_p: f64,
+}
+
+impl SpeedupPoint {
+    /// `speedup · k / (p / log p)` — constant under the word accounting.
+    pub fn normalized(&self) -> f64 {
+        self.speedup * self.k as f64 / self.p_over_log_p
+    }
+}
+
+/// Runs the hypercube TT program over a `(k, N)` grid and collects the
+/// speedup accounting. Costs nothing beyond the simulations themselves.
+pub fn speedup_series(grid: &[(usize, usize)], seed: u64) -> Vec<SpeedupPoint> {
+    grid.iter()
+        .map(|&(k, n)| {
+            let inst = instance_for(k, n, seed);
+            let sol = hyper::solve(&inst);
+            let t1 = complexity::sequential_candidates(k, inst.n_actions());
+            let tp = sol.steps.exchange;
+            let pes = sol.layout.pes();
+            let p = pes as f64;
+            SpeedupPoint {
+                k,
+                n_pad: sol.layout.n_pad(),
+                pes,
+                t1,
+                tp,
+                speedup: t1 as f64 / tp as f64,
+                p_over_log_p: p / p.log2(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the BVM instruction-count study (experiment E8).
+#[derive(Clone, Debug)]
+pub struct BvmPoint {
+    /// Universe size.
+    pub k: usize,
+    /// Action count before padding.
+    pub n_actions: usize,
+    /// Vertical width used.
+    pub w: usize,
+    /// Machine cycle-length exponent.
+    pub r: usize,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// The closed-form model value.
+    pub model: u64,
+    /// Per-phase instruction counts.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl BvmPoint {
+    /// Measured / model.
+    pub fn ratio(&self) -> f64 {
+        self.instructions as f64 / self.model as f64
+    }
+}
+
+/// Runs the full bit-serial BVM program over a `(k, N)` grid, verifying
+/// each run against the sequential DP, and collects instruction counts.
+pub fn bvm_series(grid: &[(usize, usize)], seed: u64) -> Vec<BvmPoint> {
+    grid.iter()
+        .map(|&(k, n)| {
+            let inst = instance_for(k, n, seed);
+            let sol = crate::bvm::solve(&inst);
+            let seq = tt_core::solver::sequential::solve_tables(&inst);
+            assert_eq!(sol.c_table, seq.cost, "BVM disagreed at k={k} N={n}");
+            let model = complexity::bvm_instruction_model(
+                k,
+                sol.layout.log_n,
+                sol.width,
+                sol.machine_r,
+            );
+            BvmPoint {
+                k,
+                n_actions: inst.n_actions(),
+                w: sol.width,
+                r: sol.machine_r,
+                instructions: sol.instructions,
+                model,
+                phases: sol.phase_breakdown.clone(),
+            }
+        })
+        .collect()
+}
+
+fn instance_for(k: usize, n: usize, seed: u64) -> TtInstance {
+    RandomConfig {
+        k,
+        n_tests: n / 2,
+        n_treatments: n - n / 2,
+        max_cost: 6,
+        max_weight: 4,
+    }
+    .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_series_is_monotone_in_size() {
+        let pts = speedup_series(&[(3, 4), (5, 8), (7, 8)], 7);
+        assert_eq!(pts.len(), 3);
+        for w in pts.windows(2) {
+            assert!(w[1].speedup > w[0].speedup);
+            assert!(w[1].pes > w[0].pes);
+        }
+        // Normalized column approaches 1 from below.
+        for p in &pts {
+            assert!((0.5..=1.01).contains(&p.normalized()), "norm {}", p.normalized());
+        }
+    }
+
+    #[test]
+    fn bvm_series_ratio_is_flat() {
+        let pts = bvm_series(&[(3, 4), (4, 4)], 99);
+        for p in &pts {
+            assert!((0.8..=1.6).contains(&p.ratio()), "ratio {}", p.ratio());
+            // Phase breakdown accounts for every instruction.
+            let sum: u64 = p.phases.iter().map(|(_, c)| c).sum();
+            assert_eq!(sum, p.instructions);
+        }
+    }
+
+    #[test]
+    fn levels_dominate_the_bvm_phases() {
+        let pts = bvm_series(&[(4, 4)], 1);
+        let phases = &pts[0].phases;
+        let levels = phases.iter().find(|(n, _)| n == "levels").unwrap().1;
+        let total: u64 = phases.iter().map(|(_, c)| c).sum();
+        assert!(levels * 2 > total, "levels {levels} not dominant in {total}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Systematic-biology identification keys — the paper's "systematic
+//! biology" application.
+//!
+//! Identifying a specimen among `k` taxa using binary characters
+//! (character present/absent) is binary testing; naming the taxon is the
+//! terminal "treatment". The generator draws random binary characters
+//! until all taxa are pairwise separated, so the classic dichotomous-key
+//! structure (and the binary-testing reduction of
+//! `tt_core::binary_testing`) applies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_core::binary_testing::BinaryTesting;
+use tt_core::instance::TtInstance;
+use tt_core::subset::Subset;
+
+/// Parameters for the identification-key generator.
+#[derive(Clone, Copy, Debug)]
+pub struct BiologyConfig {
+    /// Number of taxa.
+    pub k: usize,
+    /// Number of observable characters (more than needed to separate, so
+    /// cost matters).
+    pub n_characters: usize,
+}
+
+impl BiologyConfig {
+    /// Default: `2k` characters for `k` taxa.
+    pub fn default_for(k: usize) -> BiologyConfig {
+        BiologyConfig { k, n_characters: 2 * k }
+    }
+
+    /// Generates the raw binary-testing instance (characters only).
+    pub fn generate_binary(&self, seed: u64) -> BinaryTesting {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6269_6f6c_6f67_7900);
+        let k = self.k;
+        // Abundances: a few common species, many rare.
+        let weights: Vec<u64> = (0..k).map(|_| 1 + rng.gen_range(0..8u64).pow(2)).collect();
+        let mut tests: Vec<(Subset, u64)> = Vec::new();
+        let mut tries = 0;
+        loop {
+            tests.clear();
+            for _ in 0..self.n_characters {
+                let mut s = Subset::EMPTY;
+                for j in 0..k {
+                    if rng.gen_bool(0.5) {
+                        s = s.with(j);
+                    }
+                }
+                if s.is_empty() {
+                    s = Subset::singleton(rng.gen_range(0..k));
+                }
+                // Observation difficulty varies per character.
+                tests.push((s, rng.gen_range(1..=4)));
+            }
+            let bt = BinaryTesting::new(k, weights.clone(), tests.clone())
+                .expect("valid binary-testing instance");
+            if bt.separates_all_pairs() {
+                return bt;
+            }
+            tries += 1;
+            // Guarantee termination: add the separating singleton family.
+            if tries > 32 {
+                for j in 0..k.saturating_sub(1) {
+                    tests.push((Subset::singleton(j), 4));
+                }
+                return BinaryTesting::new(k, weights, tests)
+                    .expect("valid binary-testing instance");
+            }
+        }
+    }
+
+    /// Generates the embedded TT instance (characters + naming
+    /// treatments).
+    pub fn generate(&self, seed: u64) -> TtInstance {
+        self.generate_binary(seed).embed()
+    }
+}
+
+/// Convenience: a default-shaped identification key as a TT instance.
+pub fn identification_key(k: usize, seed: u64) -> TtInstance {
+    BiologyConfig::default_for(k).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::sequential;
+
+    #[test]
+    fn characters_separate_all_taxa() {
+        for seed in 0..10 {
+            let bt = BiologyConfig::default_for(6).generate_binary(seed);
+            assert!(bt.separates_all_pairs(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn embedded_instance_is_adequate_and_solvable() {
+        let inst = identification_key(5, 11);
+        assert!(inst.is_adequate());
+        let sol = sequential::solve(&inst);
+        assert!(sol.cost.is_finite());
+        sol.tree.unwrap().validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn reduction_recovers_pure_test_cost() {
+        let bt = BiologyConfig::default_for(5).generate_binary(3);
+        let sol = bt.solve();
+        assert!(sol.cost.is_finite());
+        // Identification cost is bounded by walking all the characters.
+        let all: u64 = bt.tests().iter().map(|&(_, c)| c).sum();
+        let p_u: u64 = 5 * 64; // generous weight bound
+        assert!(sol.cost.finite().unwrap() <= all * p_u);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(identification_key(6, 9), identification_key(6, 9));
+    }
+}

@@ -1,0 +1,144 @@
+//! Machine fault location and correction instances — the paper's
+//! "computer system fault location and correction" application.
+//!
+//! The `k` objects are leaf field-replaceable units (FRUs) of a binary
+//! module hierarchy. Tests probe subtrees: probing high in the hierarchy
+//! is cheap (a bus-level check), probing a single unit is expensive.
+//! Treatments swap subtrees: swapping a whole board costs more than a
+//! chip but fixes any fault under it — the classic repair trade-off that
+//! makes treat-early-vs-localize-first genuinely nontrivial.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::subset::Subset;
+
+/// Parameters for the fault-location generator.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultsConfig {
+    /// Number of leaf units (padded conceptually to the enclosing
+    /// power-of-two hierarchy).
+    pub k: usize,
+    /// Cost of probing one leaf; a subtree of `2^d` leaves costs
+    /// `max(1, leaf_probe >> d)`.
+    pub leaf_probe: u64,
+    /// Cost of swapping one leaf; a subtree swap costs
+    /// `leaf_swap · (#leaves)` scaled by a bulk discount.
+    pub leaf_swap: u64,
+}
+
+impl FaultsConfig {
+    /// A default shape: probing a leaf costs 8, swapping one costs 10.
+    pub fn default_for(k: usize) -> FaultsConfig {
+        FaultsConfig { k, leaf_probe: 8, leaf_swap: 10 }
+    }
+
+    /// Generates the instance for a seed (the seed perturbs weights only;
+    /// the hierarchy is structural).
+    pub fn generate(&self, seed: u64) -> TtInstance {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6661_756c_7473_0000);
+        let k = self.k;
+        // Failure rates vary by unit (some parts run hotter).
+        let mut b =
+            TtInstanceBuilder::new(k).weights((0..k).map(|_| rng.gen_range(1..=6)));
+        // Subtrees of the implicit binary hierarchy over 0..k.
+        let mut depth_of = Vec::new(); // (set, depth_from_leaf)
+        let mut span = 1usize;
+        let mut d = 0usize;
+        while span < k {
+            span <<= 1;
+            d += 1;
+            let mut lo = 0;
+            while lo < k {
+                let hi = (lo + span).min(k);
+                let s = Subset::from_iter(lo..hi);
+                if !s.is_empty() && s != Subset::universe(k) {
+                    depth_of.push((s, d));
+                }
+                lo += span;
+            }
+        }
+        // Tests: subtree probes, cheaper higher up.
+        for &(s, d) in &depth_of {
+            let cost = (self.leaf_probe >> d).max(1);
+            b = b.test(s, cost);
+        }
+        // Leaf probes too (most expensive tests).
+        for j in 0..k {
+            b = b.test(Subset::singleton(j), self.leaf_probe);
+        }
+        // Treatments: swap any subtree or leaf; bulk discount ~25%.
+        for j in 0..k {
+            b = b.treatment(Subset::singleton(j), self.leaf_swap);
+        }
+        for &(s, _) in &depth_of {
+            let bulk = self.leaf_swap * s.len() as u64 * 3 / 4;
+            b = b.treatment(s, bulk.max(1));
+        }
+        // Whole-chassis swap keeps the instance adequate even for k = 1.
+        b = b.treatment(Subset::universe(k), self.leaf_swap * k as u64);
+        b.build().expect("faults generator produces valid instances")
+    }
+}
+
+/// Convenience: a default-shaped fault-location instance.
+pub fn fault_location(k: usize, seed: u64) -> TtInstance {
+    FaultsConfig::default_for(k).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::sequential;
+
+    #[test]
+    fn adequate_and_deterministic() {
+        let a = fault_location(6, 3);
+        assert!(a.is_adequate());
+        assert_eq!(a, fault_location(6, 3));
+    }
+
+    #[test]
+    fn hierarchy_probes_are_cheaper_higher_up() {
+        let inst = fault_location(8, 0);
+        // The widest non-universe probes cost less than leaf probes.
+        let leaf_cost = inst
+            .tests()
+            .iter()
+            .filter(|a| a.set.len() == 1)
+            .map(|a| a.cost)
+            .max()
+            .unwrap();
+        let top_cost = inst
+            .tests()
+            .iter()
+            .filter(|a| a.set.len() >= 4)
+            .map(|a| a.cost)
+            .min()
+            .unwrap();
+        assert!(top_cost < leaf_cost);
+    }
+
+    #[test]
+    fn optimal_procedure_uses_tests_to_localize() {
+        // With expensive swaps and cheap probes, the optimum must test
+        // before treating — i.e. beat the best treat-only strategy.
+        let inst = fault_location(6, 1);
+        let opt = sequential::solve(&inst).cost;
+        let cover =
+            tt_core::solver::greedy::solve(&inst, tt_core::solver::greedy::Heuristic::TreatOnlyCover)
+                .unwrap()
+                .cost;
+        assert!(opt < cover, "optimal {opt} not better than treat-only {cover}");
+    }
+
+    #[test]
+    fn solves_across_seeds() {
+        for seed in 0..8 {
+            let inst = fault_location(5, seed);
+            let sol = sequential::solve(&inst);
+            assert!(sol.cost.is_finite());
+            sol.tree.unwrap().validate(&inst).unwrap();
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Laboratory analysis instances — the last application the paper's
+//! abstract names.
+//!
+//! The `k` objects are candidate contaminants/analytes in a sample. Tests
+//! are **assay panels**: a panel detects a group of related analytes at
+//! once (chromatography family, immunoassay family, …), with cost rising
+//! in panel resolution (narrow confirmatory assays cost more than broad
+//! screens). Treatments are **remediation protocols**: each neutralizes a
+//! family of contaminants; a full-sample sterilization covers everything
+//! at a steep price. The structure rewards screen-then-confirm
+//! procedures — the lab workflow the TT optimum discovers by itself.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::subset::Subset;
+
+/// Parameters for the laboratory-analysis generator.
+#[derive(Clone, Copy, Debug)]
+pub struct LabConfig {
+    /// Number of candidate analytes.
+    pub k: usize,
+    /// Number of analyte families (each gets a screen panel and a
+    /// remediation protocol).
+    pub n_families: usize,
+    /// Number of extra narrow confirmatory assays.
+    pub n_confirmatory: usize,
+}
+
+impl LabConfig {
+    /// Default: `k/3 + 1` families, `k` confirmatory assays.
+    pub fn default_for(k: usize) -> LabConfig {
+        LabConfig { k, n_families: k / 3 + 1, n_confirmatory: k }
+    }
+
+    /// Generates the instance for a seed.
+    pub fn generate(&self, seed: u64) -> TtInstance {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6c61_625f_7761_7200);
+        let k = self.k;
+        // Occurrence rates: a couple of usual suspects dominate.
+        let mut b =
+            TtInstanceBuilder::new(k).weights((0..k).map(|j| 1 + 16 / (1 + j as u64)));
+        // Random family partition (round-robin over shuffled analytes).
+        let mut order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let fams = self.n_families.max(1);
+        let mut family_sets = vec![Subset::EMPTY; fams];
+        for (pos, &obj) in order.iter().enumerate() {
+            family_sets[pos % fams] = family_sets[pos % fams].with(obj);
+        }
+        // Screens: one cheap panel per family (skip degenerate sets).
+        for &fam in &family_sets {
+            if !fam.is_empty() && fam != Subset::universe(k) {
+                b = b.test(fam, rng.gen_range(1..=2));
+            }
+        }
+        // Confirmatory assays: narrow (1-2 analytes), pricier.
+        for _ in 0..self.n_confirmatory {
+            let a = rng.gen_range(0..k);
+            let mut s = Subset::singleton(a);
+            if k > 1 && rng.gen_bool(0.3) {
+                s = s.with((a + 1) % k);
+            }
+            b = b.test(s, rng.gen_range(3..=5));
+        }
+        // Remediation per family + full sterilization.
+        for &fam in &family_sets {
+            if !fam.is_empty() {
+                b = b.treatment(fam, 4 + 2 * fam.len() as u64);
+            }
+        }
+        b = b.treatment(Subset::universe(k), 6 + 3 * k as u64);
+        b.build().expect("lab generator produces valid instances")
+    }
+}
+
+/// Convenience: a default-shaped laboratory-analysis instance.
+pub fn lab_analysis(k: usize, seed: u64) -> TtInstance {
+    LabConfig::default_for(k).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::{greedy, sequential};
+
+    #[test]
+    fn adequate_and_deterministic() {
+        let a = lab_analysis(7, 4);
+        assert!(a.is_adequate());
+        assert_eq!(a, lab_analysis(7, 4));
+    }
+
+    #[test]
+    fn screens_are_cheaper_than_confirmatory_assays() {
+        let inst = lab_analysis(9, 0);
+        // Generator contract: confirmatory assays (cost ≥ 3) are narrow;
+        // family screens (cost ≤ 2) exist and may be any width.
+        for a in inst.tests() {
+            if a.cost >= 3 {
+                assert!(a.set.len() <= 2, "expensive test {:?} is wide", a.set);
+            }
+        }
+        assert!(inst.tests().iter().any(|a| a.cost <= 2), "no cheap screen");
+    }
+
+    #[test]
+    fn optimum_beats_straight_to_sterilization() {
+        let inst = lab_analysis(6, 2);
+        let opt = sequential::solve(&inst).cost;
+        // Full sterilization applied immediately:
+        let steril = (inst.n_tests()..inst.n_actions())
+            .find(|&i| inst.action(i).set == inst.universe())
+            .unwrap();
+        let naive = tt_core::tree::TtTree::leaf(steril).expected_cost(&inst);
+        assert!(opt < naive);
+    }
+
+    #[test]
+    fn solves_across_seeds_and_heuristics_hold() {
+        for seed in 0..6 {
+            let inst = lab_analysis(6, seed);
+            let sol = sequential::solve(&inst);
+            assert!(sol.cost.is_finite());
+            sol.tree.unwrap().validate(&inst).unwrap();
+            let g = greedy::solve(&inst, greedy::Heuristic::SplitBalance).unwrap();
+            assert!(g.cost >= sol.cost);
+        }
+    }
+}

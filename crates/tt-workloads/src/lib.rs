@@ -1,0 +1,25 @@
+//! # tt-workloads — synthetic instance generators
+//!
+//! The paper evaluates no data sets (it is an algorithms paper), but its
+//! introduction motivates the TT problem with concrete domains: "medical
+//! diagnosis, systematic biology, machine fault location, laboratory
+//! analysis". This crate generates structured instances mirroring those
+//! domains, plus the parameter regimes the paper analyzes
+//! (`N = O(k^b)` for fixed `b` — the design target — and `N = O(2^k)`).
+//!
+//! All generators are deterministic in their seed and always produce
+//! *adequate* instances (every object covered by some treatment), so every
+//! generated instance has a finite optimum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biology;
+pub mod catalog;
+pub mod faults;
+pub mod lab;
+pub mod medical;
+pub mod random;
+pub mod regimes;
+
+pub use random::{random_adequate, RandomConfig};

@@ -1,0 +1,105 @@
+//! Medical diagnosis-and-treatment instances — the paper's "classic
+//! example".
+//!
+//! `k` candidate diseases with a skewed (geometric-ish) prior: a few
+//! common conditions dominate. Tests are symptom panels — each symptom is
+//! exhibited by a random subset of diseases, cheap panels first. Two tiers
+//! of treatments: *specific* therapies (one disease, moderately priced)
+//! and *broad-spectrum* therapies (several related diseases, pricier but
+//! shared). Every disease has a specific therapy, so the instance is
+//! always adequate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::subset::Subset;
+
+/// Parameters for the medical generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MedicalConfig {
+    /// Number of candidate diseases.
+    pub k: usize,
+    /// Number of symptom-panel tests.
+    pub n_panels: usize,
+    /// Number of broad-spectrum therapies (in addition to the `k`
+    /// specific ones).
+    pub n_broad: usize,
+}
+
+impl MedicalConfig {
+    /// A clinic-sized default: `k` diseases, `2k` panels, `k/3` broad
+    /// therapies.
+    pub fn default_for(k: usize) -> MedicalConfig {
+        MedicalConfig { k, n_panels: 2 * k, n_broad: k / 3 }
+    }
+
+    /// Generates the instance for a seed.
+    pub fn generate(&self, seed: u64) -> TtInstance {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d65_6469_6361_6c00);
+        let k = self.k;
+        // Skewed priors: weight halves down the list, floor 1.
+        let top = 1u64 << k.min(16);
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|j| (top >> j).max(1)));
+        for _ in 0..self.n_panels {
+            // Each disease exhibits the symptom with probability ~1/2.
+            let mut s = Subset::EMPTY;
+            for j in 0..k {
+                if rng.gen_bool(0.5) {
+                    s = s.with(j);
+                }
+            }
+            if s.is_empty() || s == Subset::universe(k) {
+                s = Subset::singleton(rng.gen_range(0..k));
+            }
+            b = b.test(s, rng.gen_range(1..=3));
+        }
+        // Specific therapies: one per disease.
+        for j in 0..k {
+            b = b.treatment(Subset::singleton(j), rng.gen_range(5..=9));
+        }
+        // Broad-spectrum therapies: contiguous disease families.
+        for _ in 0..self.n_broad {
+            let lo = rng.gen_range(0..k);
+            let len = rng.gen_range(2..=(k - lo).clamp(2, 4));
+            let s = Subset::from_iter(lo..(lo + len).min(k));
+            b = b.treatment(s, rng.gen_range(8..=14));
+        }
+        b.build().expect("medical generator produces valid instances")
+    }
+}
+
+/// Convenience: a default-shaped medical instance.
+pub fn medical(k: usize, seed: u64) -> TtInstance {
+    MedicalConfig::default_for(k).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::sequential;
+
+    #[test]
+    fn adequate_and_deterministic() {
+        let a = medical(6, 7);
+        assert!(a.is_adequate());
+        assert_eq!(a, medical(6, 7));
+    }
+
+    #[test]
+    fn priors_are_skewed() {
+        let inst = medical(8, 1);
+        assert!(inst.weight(0) > inst.weight(7));
+    }
+
+    #[test]
+    fn has_both_action_kinds_and_solves() {
+        for seed in 0..10 {
+            let inst = medical(5, seed);
+            assert!(inst.n_tests() > 0);
+            assert!(inst.n_treatments() >= 5);
+            let sol = sequential::solve(&inst);
+            assert!(sol.cost.is_finite());
+            sol.tree.unwrap().validate(&inst).unwrap();
+        }
+    }
+}

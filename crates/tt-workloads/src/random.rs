@@ -1,0 +1,117 @@
+//! Uniform random adequate instances — the workhorse for property tests
+//! and scaling benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::subset::Subset;
+
+/// Parameters for the uniform random generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Universe size `k` (1..=MAX_K).
+    pub k: usize,
+    /// Number of tests.
+    pub n_tests: usize,
+    /// Number of treatments (≥ 1; coverage is patched to keep the
+    /// instance adequate).
+    pub n_treatments: usize,
+    /// Costs are drawn uniformly from `1..=max_cost`.
+    pub max_cost: u64,
+    /// Weights are drawn uniformly from `1..=max_weight`.
+    pub max_weight: u64,
+}
+
+impl RandomConfig {
+    /// A reasonable default shape for size `k`: `k` tests, `k/2 + 1`
+    /// treatments, small costs and weights.
+    pub fn default_for(k: usize) -> RandomConfig {
+        RandomConfig { k, n_tests: k, n_treatments: k / 2 + 1, max_cost: 10, max_weight: 8 }
+    }
+
+    /// Generates the instance for a seed.
+    pub fn generate(&self, seed: u64) -> TtInstance {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7465_7374_7472_7400);
+        let k = self.k;
+        let universe = Subset::universe(k);
+        let rand_set = |rng: &mut SmallRng| loop {
+            let mask = rng.gen_range(1..=universe.0 as u64) as u32;
+            let s = Subset(mask);
+            if !s.is_empty() {
+                return s;
+            }
+        };
+        let mut b = TtInstanceBuilder::new(k)
+            .weights((0..k).map(|_| rng.gen_range(1..=self.max_weight)));
+        for _ in 0..self.n_tests {
+            let s = rand_set(&mut rng);
+            let c = rng.gen_range(1..=self.max_cost);
+            b = b.test(s, c);
+        }
+        let mut covered = Subset::EMPTY;
+        let mut sets = Vec::new();
+        for _ in 0..self.n_treatments.max(1) {
+            let s = rand_set(&mut rng);
+            covered = covered.union(s);
+            sets.push(s);
+        }
+        // Patch adequacy: fold the uncovered remainder into the last
+        // treatment rather than adding an action (keeps N as requested).
+        let missing = universe.difference(covered);
+        if !missing.is_empty() {
+            let last = sets.last_mut().expect("at least one treatment");
+            *last = last.union(missing);
+        }
+        for s in sets {
+            let c = rng.gen_range(1..=self.max_cost);
+            b = b.treatment(s, c);
+        }
+        b.build().expect("generator produces valid instances")
+    }
+}
+
+/// Convenience: a default-shaped random adequate instance of size `k`.
+pub fn random_adequate(k: usize, seed: u64) -> TtInstance {
+    RandomConfig::default_for(k).generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::sequential;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_adequate(6, 42);
+        let b = random_adequate(6, 42);
+        assert_eq!(a, b);
+        let c = random_adequate(6, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn always_adequate_and_solvable() {
+        for seed in 0..30 {
+            for k in [2usize, 4, 7] {
+                let inst = random_adequate(k, seed);
+                assert!(inst.is_adequate(), "k={k} seed={seed}");
+                let sol = sequential::solve(&inst);
+                assert!(sol.cost.is_finite(), "k={k} seed={seed}");
+                let tree = sol.tree.unwrap();
+                tree.validate(&inst).unwrap();
+                assert_eq!(tree.expected_cost(&inst), sol.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_requested_shape() {
+        let cfg = RandomConfig { k: 5, n_tests: 7, n_treatments: 3, max_cost: 4, max_weight: 2 };
+        let inst = cfg.generate(1);
+        assert_eq!(inst.k(), 5);
+        assert_eq!(inst.n_tests(), 7);
+        assert_eq!(inst.n_treatments(), 3);
+        assert!(inst.actions().iter().all(|a| a.cost >= 1 && a.cost <= 4));
+        assert!(inst.weights().iter().all(|&w| (1..=2).contains(&w)));
+    }
+}

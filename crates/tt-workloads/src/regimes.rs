@@ -1,0 +1,117 @@
+//! The paper's parameter regimes.
+//!
+//! "Our algorithm was designed to optimize performance for relatively few
+//! tests and treatments, e.g. `N = O(k^b)` for fixed `b` … a few more
+//! elements, e.g. 20, can be processed in parallel if `N = O(k²)`, say."
+//! This module generates instance families along those regimes so the
+//! scaling experiments can sweep them, plus the `N = O(2^k)`
+//! everything-available extreme.
+
+use crate::random::RandomConfig;
+use tt_core::instance::TtInstance;
+
+/// Which `N`-vs-`k` regime to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// `N = c·k` (linear — e.g. one probe and one swap per unit).
+    Linear,
+    /// `N = k²` (the paper's explicit example).
+    Quadratic,
+    /// `N = k^3`.
+    Cubic,
+    /// `N = 2^k − 1` capped at `cap`: the all-subsets extreme.
+    Exponential {
+        /// Upper bound on the action count (memory guard).
+        cap: usize,
+    },
+}
+
+impl Regime {
+    /// The action count this regime prescribes for universe size `k`.
+    pub fn n_actions(&self, k: usize) -> usize {
+        match *self {
+            Regime::Linear => 2 * k,
+            Regime::Quadratic => k * k,
+            Regime::Cubic => k * k * k,
+            Regime::Exponential { cap } => ((1usize << k) - 1).min(cap),
+        }
+    }
+
+    /// Generates an adequate instance of size `k` in this regime (half
+    /// tests, half treatments).
+    pub fn generate(&self, k: usize, seed: u64) -> TtInstance {
+        let n = self.n_actions(k).max(2);
+        RandomConfig {
+            k,
+            n_tests: n / 2,
+            n_treatments: n - n / 2,
+            max_cost: 10,
+            max_weight: 8,
+        }
+        .generate(seed)
+    }
+}
+
+/// Log₂ of the PE count the paper's machine needs for this instance
+/// (`k + ⌈log₂ N⌉`) — the quantity that decides how many "elements (say,
+/// disease candidates) could be processed in parallel" on a machine of a
+/// given size.
+pub fn pe_bits(k: usize, n_actions: usize) -> usize {
+    let log_n = usize::BITS as usize - (n_actions - 1).max(1).leading_zeros() as usize;
+    k + log_n
+}
+
+/// The largest `k` a machine with `2^machine_bits` PEs can handle in a
+/// regime — the paper's "15 candidates on 2^30 PEs if N = O(2^k);
+/// a few more, e.g. 20, if N = O(k²)" observation.
+pub fn max_k_for_machine(machine_bits: usize, regime: Regime) -> usize {
+    let mut best = 0;
+    for k in 1..machine_bits {
+        if pe_bits(k, regime.n_actions(k).max(2)) <= machine_bits {
+            best = k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::solver::sequential;
+
+    #[test]
+    fn action_counts_follow_the_regime() {
+        assert_eq!(Regime::Linear.n_actions(8), 16);
+        assert_eq!(Regime::Quadratic.n_actions(8), 64);
+        assert_eq!(Regime::Cubic.n_actions(4), 64);
+        assert_eq!(Regime::Exponential { cap: 100 }.n_actions(5), 31);
+        assert_eq!(Regime::Exponential { cap: 100 }.n_actions(10), 100);
+    }
+
+    #[test]
+    fn generated_instances_solve() {
+        for regime in [Regime::Linear, Regime::Quadratic, Regime::Exponential { cap: 40 }] {
+            let inst = regime.generate(5, 17);
+            assert!(inst.is_adequate());
+            assert!(sequential::solve(&inst).cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn paper_headline_capacities() {
+        // "For 2^30 PEs, approximately 15 elements could be processed …
+        // even if all possible tests and treatments were available."
+        let k_exp = max_k_for_machine(30, Regime::Exponential { cap: usize::MAX >> 1 });
+        assert_eq!(k_exp, 15);
+        // "a few more elements, e.g. 20, can be processed … if N = O(k²)".
+        let k_quad = max_k_for_machine(30, Regime::Quadratic);
+        assert!((20..=23).contains(&k_quad), "k_quad = {k_quad}");
+    }
+
+    #[test]
+    fn pe_bits_is_k_plus_logn() {
+        assert_eq!(pe_bits(4, 5), 4 + 3);
+        assert_eq!(pe_bits(4, 4), 4 + 2);
+        assert_eq!(pe_bits(15, 1 << 15), 30);
+    }
+}

@@ -1,0 +1,93 @@
+//! BVM playground: run the paper's Section 4 algorithms on the Boolean
+//! Vector Machine simulator and print the register patterns of
+//! Figs. 3–6.
+//!
+//! ```sh
+//! cargo run --example bvm_playground [r]
+//! ```
+//! `r` is the cycle-length exponent (default 2 → the paper's 64-PE
+//! example machine).
+
+use bvm::isa::{Dest, RegSel};
+use bvm::machine::Bvm;
+use bvm::ops::{broadcast, cycle_id, processor_id, RegAlloc};
+use bvm::plane::BitPlane;
+
+fn main() {
+    let r: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let mut m = Bvm::new(r);
+    let topo = *m.topo();
+    println!(
+        "BVM: r = {r}, cycle length Q = {}, {} cycles, {} PEs, {} links (3n/2), {} registers",
+        topo.q(),
+        topo.cycles(),
+        topo.n(),
+        topo.links(),
+        bvm::NUM_REGISTERS,
+    );
+
+    let mut alloc = RegAlloc::new();
+    let cid = alloc.reg();
+
+    // ---- Fig. 3: cycle-ID ------------------------------------------------
+    let before = m.executed();
+    cycle_id(&mut m, cid);
+    println!(
+        "\nFig. 3 — cycle-ID in {} instructions (one row per cycle, one digit per position):",
+        m.executed() - before
+    );
+    print!("{}", m.dump_by_cycle(RegSel::R(cid)));
+
+    // ---- Figs. 4–5: processor-ID ------------------------------------------
+    let pid = alloc.regs(topo.dims());
+    let scratch = alloc.regs(topo.q().max(4));
+    let before = m.executed();
+    processor_id(&mut m, &pid, &scratch);
+    println!(
+        "\nFigs. 4-5 — processor-ID in {} instructions (each PE spells its own address):",
+        m.executed() - before
+    );
+    let show = topo.n().min(16);
+    print!("PE      ");
+    for pe in 0..show {
+        print!("{pe:>4}");
+    }
+    println!();
+    for (t, &reg) in pid.iter().enumerate() {
+        print!("bit {t:>2}  ");
+        for pe in 0..show {
+            print!("{:>4}", u8::from(m.read_bit(RegSel::R(reg), pe)));
+        }
+        println!();
+    }
+    if topo.n() > show {
+        println!("        ... ({} more PEs)", topo.n() - show);
+    }
+
+    // ---- Fig. 6: broadcast -------------------------------------------------
+    let data = alloc.reg();
+    let sender = alloc.reg();
+    let bscratch = alloc.regs(4);
+    m.load_register(Dest::R(data), BitPlane::from_fn(topo.n(), |pe| pe == 0));
+    broadcast::seed_sender_via_chain(&mut m, sender);
+    let before = m.executed();
+    broadcast::broadcast(&mut m, data, sender, &bscratch);
+    println!(
+        "\nFig. 6 — broadcast from PE (0,0) to all {} PEs in {} instructions; \
+         every PE now holds the bit: {}",
+        topo.n(),
+        m.executed() - before,
+        m.read(RegSel::R(data)).count_ones() == topo.n(),
+    );
+    println!("\nhypercube broadcast schedule (sender -> receiver per stage):");
+    for (i, stage) in hypercube::ascend::broadcast_trace(4.min(topo.dims())).iter().enumerate() {
+        let shown: Vec<String> =
+            stage.iter().take(8).map(|(a, b)| format!("{a:04b}->{b:04b}")).collect();
+        println!("  stage {i}: {}{}", shown.join(", "), if stage.len() > 8 { ", ..." } else { "" });
+    }
+
+    println!("\ntotal machine cycles executed: {}", m.executed());
+}

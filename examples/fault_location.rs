@@ -1,0 +1,62 @@
+//! Machine fault location and correction over a module hierarchy.
+//!
+//! Demonstrates the localize-vs-replace trade-off: cheap bus-level probes
+//! against bulk board swaps. Prints the optimal repair procedure and the
+//! cost of naive strategies.
+//!
+//! ```sh
+//! cargo run --release --example fault_location [k] [seed]
+//! ```
+
+use tt_core::solver::{greedy, sequential};
+use tt_core::tree::TtTree;
+use tt_workloads::faults::fault_location;
+
+fn count_kinds(tree: &TtTree) -> (usize, usize) {
+    match tree {
+        TtTree::Test { positive, negative, .. } => {
+            let (tp, rp) = count_kinds(positive);
+            let (tn, rn) = count_kinds(negative);
+            (1 + tp + tn, rp + rn)
+        }
+        TtTree::Treatment { failure, .. } => {
+            let (t, r) = failure.as_deref().map_or((0, 0), count_kinds);
+            (t, 1 + r)
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let inst = fault_location(k, seed);
+    println!(
+        "fault-location instance: {k} field-replaceable units, {} probes, {} swaps",
+        inst.n_tests(),
+        inst.n_treatments()
+    );
+
+    let sol = sequential::solve(&inst);
+    let tree = sol.tree.expect("adequate");
+    let (tests, treats) = count_kinds(&tree);
+    println!("optimal expected repair cost: {}", sol.cost);
+    println!("optimal procedure: {tests} probe nodes, {treats} swap nodes, depth {}", tree.depth());
+
+    // Naive strategy 1: swap the whole chassis immediately.
+    let chassis = (inst.n_tests()..inst.n_actions())
+        .find(|&i| inst.action(i).set == inst.universe())
+        .expect("generator always adds a chassis swap");
+    let naive = TtTree::leaf(chassis);
+    naive.validate(&inst).unwrap();
+    println!("\nswap-the-chassis strategy: {}", naive.expected_cost(&inst));
+
+    // Naive strategy 2: greedy treat-only (no probes).
+    let cover = greedy::solve(&inst, greedy::Heuristic::TreatOnlyCover).unwrap();
+    println!("greedy swap-only strategy:  {}", cover.cost);
+    println!("optimal (probe + swap):     {}", sol.cost);
+
+    println!("\nrepair procedure:\n");
+    print!("{}", tree.render(&inst));
+}

@@ -1,0 +1,56 @@
+//! Systematic biology: build an optimal dichotomous identification key.
+//!
+//! Generates a taxon-identification instance (binary characters +
+//! "name the species" terminals), solves it through the binary-testing
+//! reduction, and cross-checks the complete-character case against the
+//! Huffman closed form.
+//!
+//! ```sh
+//! cargo run --release --example identification_key [k] [seed]
+//! ```
+
+use tt_core::binary_testing::{complete_unit_tests, huffman_cost, BinaryTesting};
+use tt_core::solver::sequential;
+use tt_workloads::biology::BiologyConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let cfg = BiologyConfig::default_for(k);
+    let bt = cfg.generate_binary(seed);
+    println!(
+        "identification key: {k} taxa, {} observable characters (all pairs separated: {})",
+        bt.tests().len(),
+        bt.separates_all_pairs()
+    );
+
+    let sol = bt.solve();
+    println!("minimum expected observation cost: {}", sol.cost);
+    let tree = sol.tree.expect("separable key");
+    tree.validate(&sol.embedded).expect("valid key");
+    println!("\nthe key (tests = characters, treatments = name the taxon):\n");
+    print!("{}", tree.render(&sol.embedded));
+
+    // The classic sanity check: if every character were available at unit
+    // cost, the optimal key would be the Huffman tree over abundances.
+    let weights: Vec<u64> = (0..k).map(|j| sol.embedded.weight(j)).collect();
+    let complete = BinaryTesting::new(k, weights.clone(), complete_unit_tests(k))
+        .expect("valid");
+    let ideal = complete.solve().cost;
+    let huff = huffman_cost(&weights);
+    println!("\nwith ALL unit-cost characters available:");
+    println!("  DP through the reduction: {ideal}");
+    println!("  Huffman closed form:      {huff}");
+    assert_eq!(ideal, tt_core::Cost::new(huff));
+    println!("  (equal, as theory demands)");
+
+    // How far is the real key from the information-theoretic ideal?
+    let seq = sequential::solve(&sol.embedded);
+    println!(
+        "\nreal key vs ideal: {} vs {} (character set is the binding constraint)",
+        sol.cost, ideal
+    );
+    let _ = seq;
+}

@@ -1,0 +1,65 @@
+//! The paper's machine-capacity arithmetic: how many candidates fit on a
+//! BVM of a given size, across the `N`-vs-`k` regimes — and what the
+//! speedup projection looks like (the `2^30` headline).
+//!
+//! ```sh
+//! cargo run --example machine_capacity [machine_bits]
+//! ```
+
+use tt_parallel::complexity::{headline, SpeedupModel};
+use tt_workloads::regimes::{max_k_for_machine, pe_bits, Regime};
+
+fn main() {
+    let machine_bits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+
+    println!("machine: 2^{machine_bits} PEs (the paper discusses 2^20 as implementable");
+    println!("in 1985 VLSI and 2^30 as feasible)\n");
+
+    println!("candidates (k) that fit, by test/treatment regime:");
+    println!("  regime          N(k)        max k    PE bits used");
+    for (name, regime) in [
+        ("linear     ", Regime::Linear),
+        ("quadratic  ", Regime::Quadratic),
+        ("cubic      ", Regime::Cubic),
+        ("exponential", Regime::Exponential { cap: usize::MAX >> 1 }),
+    ] {
+        let k = max_k_for_machine(machine_bits, regime);
+        let n = regime.n_actions(k).max(2);
+        println!(
+            "  {name}     {:>9}    {:>5}    {:>6}",
+            n,
+            k,
+            pe_bits(k, n)
+        );
+    }
+
+    println!("\npaper: \"for 2^30 PEs, approximately 15 elements could be processed");
+    println!("in parallel … even if all possible tests and treatments were");
+    println!("available\"; \"a few more elements, e.g. 20 … if N = O(k^2)\".\n");
+
+    // Speedup projections along the exponential regime.
+    println!("speedup projection (w = 64 bits, 30 sequential word-ops/candidate):");
+    println!("  PE bits    k     speedup        p/log p");
+    for bits in [20usize, 24, 30] {
+        let k = max_k_for_machine(bits, Regime::Exponential { cap: usize::MAX >> 1 });
+        let m = SpeedupModel {
+            k,
+            log_n: bits - k,
+            w: 64,
+            seq_cycles_per_candidate: 30.0,
+        };
+        println!(
+            "  2^{bits}     {k:>3}    {:>10.3e}    {:>10.3e}",
+            m.speedup(),
+            m.p_over_log_p()
+        );
+    }
+    let h = headline(30.0);
+    println!(
+        "\nthe paper's headline configuration projects {:.2e} — \"roughly 10^6\".",
+        h.speedup()
+    );
+}

@@ -1,0 +1,88 @@
+//! End-to-end tour of the paper's parallel pipeline: solve the same
+//! instance on every machine model and report the step counts behind the
+//! `O(p / log p)` speedup claim.
+//!
+//! ```sh
+//! cargo run --release --example parallel_speedup [k] [seed]
+//! ```
+
+use std::time::Instant;
+use tt_core::solver::sequential;
+use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, complexity, hyper, rayon_solver};
+use tt_workloads::random_adequate;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1986);
+    let inst = random_adequate(k, seed);
+    println!(
+        "instance: k = {k}, N = {} ({} tests, {} treatments), seed {seed}\n",
+        inst.n_actions(),
+        inst.n_tests(),
+        inst.n_treatments()
+    );
+
+    // 1. Sequential DP (the paper's T₁).
+    let t = Instant::now();
+    let seq = sequential::solve(&inst);
+    let t_seq = t.elapsed();
+    println!("[sequential DP ]  C(U) = {:>8}   {} candidates   {:?}",
+        seq.cost.to_string(), seq.stats.candidates, t_seq);
+
+    // 2. Rayon (modern shared-memory parallelism).
+    let t = Instant::now();
+    let ray = rayon_solver::solve(&inst);
+    println!("[rayon         ]  C(U) = {:>8}   same recurrence   {:?}",
+        ray.cost.to_string(), t.elapsed());
+    assert_eq!(ray.tables.cost, seq.tables.cost);
+
+    // 3. Word-level hypercube: one PE per (S, i).
+    let hyp = hyper::solve(&inst);
+    assert_eq!(hyp.c_table, seq.tables.cost);
+    println!(
+        "[hypercube sim ]  C(U) = {:>8}   {} PEs, {} exchange + {} local steps",
+        hyp.cost.to_string(),
+        hyp.layout.pes(),
+        hyp.steps.exchange,
+        hyp.steps.local
+    );
+
+    // 4. Cube-connected cycles: 3n/2 links.
+    let ccc = ccc_tt::solve(&inst);
+    assert_eq!(ccc.c_table, seq.tables.cost);
+    println!(
+        "[CCC sim       ]  C(U) = {:>8}   r = {}, {} comm steps (slowdown x{:.1} vs hypercube)",
+        ccc.cost.to_string(),
+        ccc.machine_r,
+        ccc.steps.total_comm(),
+        ccc.steps.total_comm() as f64 / hyp.steps.exchange as f64
+    );
+
+    // 5. The Boolean Vector Machine, bit-serial.
+    let bv = bvm_tt::solve(&inst);
+    assert_eq!(bv.c_table, seq.tables.cost);
+    println!(
+        "[BVM bit-serial]  C(U) = {:>8}   w = {} bits, {} instructions, {} host loads",
+        bv.cost.to_string(),
+        bv.width,
+        bv.instructions,
+        bv.host_loads
+    );
+
+    // The speedup arithmetic of the paper's introduction.
+    println!("\nspeedup accounting (paper Section 1):");
+    let p = hyp.layout.pes() as f64;
+    let t1 = seq.stats.candidates as f64;
+    let tp = hyp.steps.exchange as f64;
+    println!("  p          = N'·2^k = {}", hyp.layout.pes());
+    println!("  T1 (words) = {t1}");
+    println!("  Tp (steps) = {tp}");
+    println!("  speedup    = T1/Tp = {:.1}", t1 / tp);
+    println!("  p / log2 p = {:.1}", p / p.log2());
+    let headline = complexity::headline(30.0);
+    println!(
+        "\npaper headline (k = 15, N = 2^15, 2^30 PEs, w = 64): projected speedup {:.2e} (paper: ~10^6)",
+        headline.speedup()
+    );
+}

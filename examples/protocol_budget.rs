@@ -1,0 +1,61 @@
+//! Depth-budgeted protocols: the price of short procedures.
+//!
+//! Real protocols cap the number of interventions. The depth-bounded
+//! solver produces the best procedure within a path-length budget and the
+//! *anytime curve* `budget ↦ cost`, showing exactly what each extra
+//! permitted step is worth.
+//!
+//! ```sh
+//! cargo run --release --example protocol_budget [k] [seed]
+//! ```
+
+use tt_core::solver::{depth_bounded, sequential};
+use tt_core::stats::tree_stats;
+use tt_workloads::medical::medical;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
+
+    let inst = medical(k, seed);
+    let opt = sequential::solve(&inst);
+    println!(
+        "medical instance: {k} diseases, {} actions; unbounded optimum = {}",
+        inst.n_actions(),
+        opt.cost
+    );
+
+    let max_d = depth_bounded::saturating_depth(&inst);
+    let sol = depth_bounded::solve(&inst, max_d);
+    println!("\nanytime curve (best expected cost within a path budget):");
+    println!("  budget    cost       premium over unbounded");
+    for (d, c) in sol.curve.iter().enumerate() {
+        let premium = match (c.finite(), opt.cost.finite()) {
+            (Some(v), Some(o)) if o > 0 => format!("{:+.1}%", 100.0 * (v as f64 - o as f64) / o as f64),
+            _ => "-".into(),
+        };
+        println!("  {d:>4}     {:>8}   {premium}", c.to_string());
+        if d >= sol.saturation_depth && c.is_finite() {
+            println!("  (saturated at budget {} — deeper budgets gain nothing)", sol.saturation_depth);
+            break;
+        }
+    }
+
+    if let Some(tree) = &sol.tree {
+        let st = tree_stats(tree, &inst);
+        println!("\nfinal procedure: worst case {} actions,", st.worst_case_actions);
+        println!(
+            "expected {:.2} tests + {:.2} treatments per patient",
+            st.expected_tests, st.expected_treatments
+        );
+    }
+
+    // Compare the tightest feasible budget against the unbounded tree.
+    let unb_stats = tree_stats(opt.tree.as_ref().unwrap(), &inst);
+    println!(
+        "\nunbounded optimal procedure uses worst case {} actions — the curve",
+        unb_stats.worst_case_actions
+    );
+    println!("shows what buying it down to fewer steps costs.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: define a small test-and-treatment problem, solve it
+//! optimally, and print the procedure tree.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tt_core::instance::TtInstanceBuilder;
+use tt_core::solver::{greedy, sequential};
+use tt_core::subset::Subset;
+
+fn main() {
+    // Four possible faults with prior weights 4:3:2:1.
+    // Two tests and three treatments, in the spirit of the paper's Fig. 1.
+    let inst = TtInstanceBuilder::new(4)
+        .weights([4, 3, 2, 1])
+        .test(Subset::from_iter([0, 1]), 1) // T0: cheap symptom test
+        .test(Subset::from_iter([0, 2]), 2) // T1: second test
+        .treatment(Subset::from_iter([0]), 3) // T2: specific fix for 0
+        .treatment(Subset::from_iter([1, 2]), 4) // T3: broad fix for 1,2
+        .treatment(Subset::from_iter([3]), 2) // T4: fix for 3
+        .build()
+        .expect("valid instance");
+
+    println!("instance: k = {}, N = {} ({} tests, {} treatments)",
+        inst.k(), inst.n_actions(), inst.n_tests(), inst.n_treatments());
+    println!("adequate: {}", inst.is_adequate());
+    println!();
+
+    let sol = sequential::solve(&inst);
+    println!("optimal expected cost C(U) = {}", sol.cost);
+    let tree = sol.tree.expect("adequate instance has an optimal procedure");
+    tree.validate(&inst).expect("extracted tree is a valid procedure");
+    println!("\noptimal TT procedure (cf. the paper's Fig. 1):\n");
+    print!("{}", tree.render(&inst));
+
+    // Compare against a myopic heuristic.
+    let h = greedy::solve(&inst, greedy::Heuristic::SplitBalance).unwrap();
+    println!("\nsplit-balance heuristic cost: {} (optimal: {})", h.cost, sol.cost);
+
+    // Per-object path costs from first principles.
+    println!("\nper-object path costs:");
+    for (j, c) in tree.path_costs(&inst).iter().enumerate() {
+        println!("  object {j} (weight {}): {c}", inst.weight(j));
+    }
+}

@@ -1,0 +1,235 @@
+//! `ttsolve` — command-line solver for test-and-treatment instances.
+//!
+//! ```text
+//! USAGE:
+//!   ttsolve <file.tt> [--solver seq|memo|bnb|rayon|hyper|ccc|bvm]
+//!                     [--tree] [--dot] [--reduce] [--stats]
+//!   ttsolve --demo <domain> [k] [seed]   # generate & solve a workload
+//!           (domains: random, medical, faults, biology, lab)
+//!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
+//! ```
+//!
+//! Reads the text format of `tt_core::io` (see its docs), solves with the
+//! chosen backend, and prints the optimal cost — optionally the
+//! procedure tree, DOT output, dominance-reduction summary, and solver
+//! statistics.
+
+use std::process::exit;
+use tt_core::instance::TtInstance;
+use tt_core::io;
+use tt_core::solver::{branch_and_bound, memo, sequential};
+use tt_core::Cost;
+use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ttsolve <file.tt> [--solver seq|memo|bnb|rayon|hyper|ccc|bvm] \
+         [--tree] [--dot] [--reduce] [--stats]\n\
+         \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed]\n\
+         \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]"
+    );
+    exit(2)
+}
+
+fn generate(domain: &str, k: usize, seed: u64) -> TtInstance {
+    match tt_workloads::catalog::Domain::parse(domain) {
+        Some(d) => d.generate(k, seed),
+        None => {
+            eprintln!("unknown domain '{domain}'");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    // Generation modes.
+    if args[0] == "--demo" || args[0] == "--emit" {
+        let domain = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+        let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+        let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let inst = generate(domain, k, seed);
+        if args[0] == "--emit" {
+            print!("{}", io::to_text(&inst));
+            return;
+        }
+        solve_and_report(&inst, "seq", true, false, false, true);
+        return;
+    }
+
+    let path = &args[0];
+    let mut solver = "seq".to_string();
+    let (mut tree, mut dot, mut reduce, mut stats) = (false, false, false, false);
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--solver" => solver = it.next().cloned().unwrap_or_else(|| usage()),
+            "--tree" => tree = true,
+            "--dot" => dot = true,
+            "--reduce" => reduce = true,
+            "--stats" => stats = true,
+            _ => usage(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        }
+    };
+    let inst = match io::from_text(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        }
+    };
+    let inst = if reduce {
+        let red = tt_core::preprocess::reduce(&inst);
+        eprintln!(
+            "dominance reduction: {} -> {} actions ({} removed)",
+            inst.n_actions(),
+            red.instance.n_actions(),
+            red.removed
+        );
+        red.instance
+    } else {
+        inst
+    };
+    solve_and_report(&inst, &solver, tree, dot, stats, false);
+}
+
+fn solve_and_report(
+    inst: &TtInstance,
+    solver: &str,
+    tree: bool,
+    dot: bool,
+    stats: bool,
+    always_tree: bool,
+) {
+    println!(
+        "instance: k = {}, N = {} ({} tests, {} treatments), adequate: {}",
+        inst.k(),
+        inst.n_actions(),
+        inst.n_tests(),
+        inst.n_treatments(),
+        inst.is_adequate()
+    );
+
+    let (cost, best_tree): (Cost, Option<tt_core::TtTree>) = match solver {
+        "seq" => {
+            let s = sequential::solve(inst);
+            if stats {
+                println!(
+                    "stats: {} subsets, {} candidate evaluations",
+                    s.stats.subsets, s.stats.candidates
+                );
+            }
+            (s.cost, s.tree)
+        }
+        "memo" => {
+            let s = memo::solve(inst);
+            if stats {
+                println!(
+                    "stats: {} reachable subsets, {} candidates",
+                    s.reachable_subsets, s.candidates
+                );
+            }
+            (s.cost, s.tree)
+        }
+        "bnb" => {
+            let s = branch_and_bound::solve(inst);
+            if stats {
+                println!(
+                    "stats: {} subsets, {} expanded, {} pruned",
+                    s.stats.subsets, s.stats.expanded, s.stats.pruned
+                );
+            }
+            (s.cost, s.tree)
+        }
+        "rayon" => {
+            let s = rayon_solver::solve(inst);
+            (s.cost, s.tree)
+        }
+        "hyper" => {
+            let s = hyper::solve(inst);
+            if stats {
+                println!(
+                    "stats: {} PEs, {} exchange + {} local parallel steps",
+                    s.layout.pes(),
+                    s.steps.exchange,
+                    s.steps.local
+                );
+            }
+            let t = s.tree(inst);
+            (s.cost, t)
+        }
+        "ccc" => {
+            let s = ccc_tt::solve(inst);
+            if stats {
+                println!(
+                    "stats: CCC r = {}, {} comm steps ({} rotations, {} laterals, {} intra)",
+                    s.machine_r,
+                    s.steps.total_comm(),
+                    s.steps.rotations,
+                    s.steps.lateral_exchanges,
+                    s.steps.intra_cycle
+                );
+            }
+            let t = s.tree(inst);
+            (s.cost, t)
+        }
+        "bvm" => {
+            let s = bvm_tt::solve(inst);
+            if stats {
+                println!(
+                    "stats: BVM r = {}, w = {} bits, {} instructions, {} host loads",
+                    s.machine_r, s.width, s.instructions, s.host_loads
+                );
+            }
+            // Recover the argmin table from the machine's own C(·) values
+            // (one candidate pass — no second DP), then extract the tree.
+            let weight_table = inst.weight_table();
+            let best: Vec<Option<u16>> = (0..s.c_table.len())
+                .map(|mask| {
+                    let set = tt_core::Subset(mask as u32);
+                    if set.is_empty() || s.c_table[mask].is_inf() {
+                        return None;
+                    }
+                    (0..inst.n_actions()).find_map(|i| {
+                        (sequential::candidate(inst, &weight_table, &s.c_table, set, i)
+                            == s.c_table[mask])
+                            .then_some(i as u16)
+                    })
+                })
+                .collect();
+            let tables = sequential::DpTables { cost: s.c_table.clone(), best };
+            let t = sequential::extract_tree(inst, &tables, inst.universe());
+            (s.cost, t)
+        }
+        other => {
+            eprintln!("unknown solver '{other}'");
+            usage()
+        }
+    };
+
+    println!("optimal expected cost: {cost}");
+    if let Some(t) = best_tree {
+        if tree || always_tree {
+            println!("\noptimal procedure:\n");
+            print!("{}", t.render(inst));
+        }
+        if dot {
+            print!("{}", t.to_dot(inst));
+        }
+    } else if cost.is_inf() {
+        println!("no successful procedure exists (untreatable objects: {})",
+            inst.untreatable());
+    }
+}

@@ -1,0 +1,27 @@
+//! # tt-repro — reproduction of *Finding Test-and-Treatment Procedures
+//! Using Parallel Computation* (Duval, Wagner, Han, Loveland; ICPP 1986)
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`tt_core`] — the TT problem, decision trees, sequential solvers;
+//! * [`hypercube`] — word-level hypercube / CCC machines with
+//!   ASCEND/DESCEND and step accounting;
+//! * [`bvm`] — a cycle-accurate Boolean Vector Machine simulator and its
+//!   Section 4 algorithm library;
+//! * [`tt_parallel`] — the paper's parallel algorithm on all of the
+//!   above, plus a rayon realization;
+//! * [`tt_workloads`] — synthetic instance generators for the paper's
+//!   application domains.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the per-figure reproduction record. The
+//! `examples/` directory has five runnable entry points, starting with
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+
+pub use bvm;
+pub use hypercube;
+pub use tt_core;
+pub use tt_parallel;
+pub use tt_workloads;

@@ -1,0 +1,93 @@
+//! Property tests for the extension features: depth-budgeted solving,
+//! blocked (Brent) execution, tree serialization, and procedure
+//! statistics — all against randomized instances.
+
+use proptest::prelude::*;
+use tt_core::solver::{depth_bounded, sequential};
+use tt_core::stats::tree_stats;
+use tt_core::tree_io::{tree_from_text, tree_to_text};
+use tt_parallel::hyper;
+use tt_workloads::random::RandomConfig;
+
+fn inst(k: usize, seed: u64) -> tt_core::instance::TtInstance {
+    RandomConfig { k, n_tests: k, n_treatments: k / 2 + 1, max_cost: 9, max_weight: 7 }
+        .generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The saturated depth-budgeted curve ends at the unbounded optimum,
+    /// is monotone non-increasing, and the extracted tree both respects
+    /// the budget and achieves the curve value.
+    #[test]
+    fn depth_bounded_saturates_and_respects_budgets(k in 2usize..=6, seed in any::<u64>()) {
+        let i = inst(k, seed);
+        let opt = sequential::solve(&i).cost;
+        let sol = depth_bounded::solve(&i, depth_bounded::saturating_depth(&i));
+        prop_assert_eq!(*sol.curve.last().unwrap(), opt);
+        for w in sol.curve.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        let tree = sol.tree.unwrap();
+        prop_assert!(tree.validate(&i).is_ok());
+        prop_assert_eq!(tree.expected_cost(&i), opt);
+    }
+
+    /// Mid-curve budgets also extract achieving trees.
+    #[test]
+    fn depth_bounded_mid_budgets_are_achieved(k in 2usize..=5, seed in any::<u64>(), d in 1usize..=4) {
+        let i = inst(k, seed);
+        let sol = depth_bounded::solve(&i, d);
+        match sol.tree {
+            Some(t) => {
+                prop_assert!(t.validate(&i).is_ok());
+                let st = tree_stats(&t, &i);
+                prop_assert!(st.worst_case_actions <= d);
+                prop_assert_eq!(t.expected_cost(&i), sol.curve[d]);
+            }
+            None => prop_assert!(sol.curve[d].is_inf()),
+        }
+    }
+
+    /// Blocked execution is exact at every physical size.
+    #[test]
+    fn blocked_execution_is_exact(k in 2usize..=5, seed in any::<u64>(), phys in 0usize..=12) {
+        let i = inst(k, seed);
+        let seq = sequential::solve_tables(&i);
+        let sol = hyper::solve_blocked(&i, phys);
+        prop_assert_eq!(&sol.c_table, &seq.cost);
+    }
+
+    /// Tree serialization round-trips solver output for random instances.
+    #[test]
+    fn tree_text_roundtrips(k in 2usize..=7, seed in any::<u64>()) {
+        let i = inst(k, seed);
+        if let Some(tree) = sequential::solve(&i).tree {
+            let text = tree_to_text(&tree);
+            let back = tree_from_text(&text).unwrap();
+            prop_assert_eq!(&back, &tree);
+            prop_assert!(back.validate(&i).is_ok());
+        }
+    }
+
+    /// Statistics identity: with unit costs, expected actions equals
+    /// expected cost per unit weight.
+    #[test]
+    fn stats_identity_on_unit_costs(k in 2usize..=6, seed in any::<u64>()) {
+        let base = inst(k, seed);
+        let mut b = tt_core::instance::TtInstanceBuilder::new(k)
+            .weights(base.weights().iter().copied());
+        for a in base.actions() {
+            let mut a2 = *a;
+            a2.cost = 1;
+            b = b.action(a2);
+        }
+        let unit = b.build().unwrap();
+        let sol = sequential::solve(&unit);
+        let tree = sol.tree.unwrap();
+        let st = tree_stats(&tree, &unit);
+        let per_unit = sol.cost.0 as f64 / unit.total_weight() as f64;
+        prop_assert!((st.expected_actions - per_unit).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end pipeline tests: generate → serialize → parse → preprocess →
+//! solve (every backend) → analyze, across every workload domain — the
+//! full path the `ttsolve` CLI exercises, as library calls.
+
+use tt_core::solver::{branch_and_bound, depth_bounded, sequential};
+use tt_core::stats::tree_stats;
+use tt_core::{io, preprocess};
+use tt_parallel::{ccc as ccc_tt, hyper, rayon_solver};
+use tt_workloads::catalog::Domain;
+
+#[test]
+fn full_pipeline_per_domain() {
+    for domain in Domain::all() {
+        let inst = domain.generate(5, 42);
+
+        // Serialize → parse roundtrip.
+        let text = io::to_text(&inst);
+        let parsed = io::from_text(&text).unwrap();
+        assert_eq!(parsed, inst, "{domain}: text roundtrip");
+
+        // Preprocess preserves the optimum.
+        let red = preprocess::reduce(&parsed);
+        let opt = sequential::solve(&parsed);
+        let opt_red = sequential::solve(&red.instance);
+        assert_eq!(opt.cost, opt_red.cost, "{domain}: reduction");
+
+        // Every backend agrees on the reduced instance.
+        let seq = sequential::solve_tables(&red.instance);
+        assert_eq!(rayon_solver::solve_tables(&red.instance).cost, seq.cost, "{domain}: rayon");
+        assert_eq!(hyper::solve(&red.instance).c_table, seq.cost, "{domain}: hyper");
+        assert_eq!(ccc_tt::solve(&red.instance).c_table, seq.cost, "{domain}: ccc");
+        assert_eq!(branch_and_bound::solve(&red.instance).cost, opt.cost, "{domain}: bnb");
+
+        // Tree statistics are consistent with the cost.
+        let tree = opt.tree.expect("adequate");
+        let st = tree_stats(&tree, &parsed);
+        assert!(st.expected_actions >= 1.0, "{domain}");
+        assert!(st.worst_case_actions >= tree.depth() / 2, "{domain}");
+    }
+}
+
+#[test]
+fn depth_budget_saturates_to_unbounded_everywhere() {
+    for domain in Domain::all() {
+        let inst = domain.generate(5, 7);
+        let opt = sequential::solve(&inst).cost;
+        let sol = depth_bounded::solve(&inst, depth_bounded::saturating_depth(&inst));
+        assert_eq!(*sol.curve.last().unwrap(), opt, "{domain}");
+        // The budgeted tree at saturation is optimal and valid.
+        let tree = sol.tree.expect("adequate");
+        tree.validate(&inst).unwrap();
+        assert_eq!(tree.expected_cost(&inst), opt, "{domain}");
+    }
+}
+
+#[test]
+fn emitted_instances_match_cli_contract() {
+    // The --emit output must start with the header and parse back.
+    for domain in Domain::all() {
+        let inst = domain.generate(4, 0);
+        let text = io::to_text(&inst);
+        assert!(text.starts_with("tt 1\n"), "{domain}");
+        assert!(text.contains("objects 4"), "{domain}");
+        let back = io::from_text(&text).unwrap();
+        assert_eq!(back.n_actions(), inst.n_actions(), "{domain}");
+    }
+}
+
+#[test]
+fn machine_trees_agree_with_sequential_trees_in_cost() {
+    for domain in [Domain::Random, Domain::Medical, Domain::Lab] {
+        let inst = domain.generate(5, 13);
+        let seq = sequential::solve(&inst);
+        let hyp = hyper::solve(&inst);
+        let machine_tree = hyp.tree(&inst).expect("adequate");
+        machine_tree.validate(&inst).unwrap();
+        assert_eq!(machine_tree.expected_cost(&inst), seq.cost, "{domain}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Heavy validation runs, gated behind `--ignored` (run with
+//! `cargo test --release -- --ignored` before a release).
+//!
+//! These push each component well past the sizes the regular suite uses:
+//! large-universe solver agreement, a 2^20-PE CCC pass, and a bigger
+//! bit-serial BVM solve.
+
+use tt_core::solver::{branch_and_bound, memo, sequential};
+use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
+use tt_workloads::random::RandomConfig;
+use tt_workloads::random_adequate;
+
+#[test]
+#[ignore = "heavy: ~2^16 subsets × many actions"]
+fn large_universe_solver_agreement() {
+    let inst = random_adequate(16, 77);
+    let seq = sequential::solve_tables(&inst);
+    let ray = rayon_solver::solve_tables(&inst);
+    assert_eq!(seq.cost, ray.cost);
+    assert_eq!(seq.best, ray.best);
+    let mm = memo::solve(&inst);
+    assert_eq!(mm.cost, seq.cost[inst.universe().index()]);
+    let bnb = branch_and_bound::solve(&inst);
+    assert_eq!(bnb.cost, mm.cost);
+}
+
+#[test]
+#[ignore = "heavy: hypercube with 2^17 PEs"]
+fn big_hypercube_tt_run() {
+    let inst = RandomConfig {
+        k: 12,
+        n_tests: 16,
+        n_treatments: 16,
+        max_cost: 6,
+        max_weight: 4,
+    }
+    .generate(3);
+    let seq = sequential::solve_tables(&inst);
+    let hyp = hyper::solve(&inst); // 2^(12+5) = 131072 PEs
+    assert_eq!(hyp.c_table, seq.cost);
+}
+
+#[test]
+#[ignore = "heavy: CCC with 2^20 PEs (the paper's implementable machine)"]
+fn million_pe_ccc_ascend() {
+    // r = 4: Q = 16, 2^16 cycles, 2^20 PEs — the machine size the paper
+    // says was implementable in 1985 VLSI.
+    let mut ccc = hypercube::CccMachine::new(4, |x| (x as u64).wrapping_mul(0x9E37_79B9));
+    let d = ccc.dims();
+    let expect = ccc.pes().iter().copied().min().unwrap();
+    ccc.ascend(0..d, |_, _, lo, hi| {
+        let m = (*lo).min(*hi);
+        *lo = m;
+        *hi = m;
+    });
+    assert!(ccc.pes().iter().all(|&v| v == expect));
+    let slowdown = ccc.counts().total_comm() as f64 / d as f64;
+    assert!((3.0..=6.0).contains(&slowdown), "slowdown {slowdown}");
+}
+
+#[test]
+#[ignore = "heavy: full bit-serial BVM solve on 2048 PEs"]
+fn bigger_bvm_tt_run() {
+    let inst = RandomConfig {
+        k: 5,
+        n_tests: 8,
+        n_treatments: 8,
+        max_cost: 5,
+        max_weight: 3,
+    }
+    .generate(21);
+    let seq = sequential::solve_tables(&inst);
+    let sol = bvm_tt::solve(&inst); // dims = 5 + 4 = 9 → r = 3, 2048 PEs
+    assert_eq!(sol.c_table, seq.cost);
+    assert_eq!(sol.machine_r, 3);
+}
+
+#[test]
+#[ignore = "heavy: CCC TT with replicas"]
+fn ccc_tt_on_oversized_machine() {
+    let inst = RandomConfig {
+        k: 7,
+        n_tests: 8,
+        n_treatments: 8,
+        max_cost: 6,
+        max_weight: 4,
+    }
+    .generate(9);
+    let seq = sequential::solve_tables(&inst);
+    let ccc = ccc_tt::solve(&inst); // dims 11 → r = 3 exactly
+    assert_eq!(ccc.c_table, seq.cost);
+}

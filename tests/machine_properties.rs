@@ -1,0 +1,169 @@
+//! Property tests on the machine substrates: CCC == hypercube for random
+//! ASCEND/DESCEND programs, BVM arithmetic == u64 arithmetic, BVM
+//! communication primitives == their specifications.
+
+use bvm::hyperops::fetch_partner;
+use bvm::isa::{Dest, RegSel};
+use bvm::machine::Bvm;
+use bvm::ops::arith;
+use bvm::ops::RegAlloc;
+use bvm::plane::BitPlane;
+use proptest::prelude::*;
+use tt_core::cost::Cost;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CCC ASCEND equals hypercube ASCEND for a randomized pair op over a
+    /// random dim range.
+    #[test]
+    fn ccc_matches_hypercube_on_random_programs(
+        r in 1usize..=3,
+        salt in any::<u64>(),
+        lo_frac in 0u8..=2,
+        descend in any::<bool>(),
+    ) {
+        let d = (1usize << r) + r;
+        let lo = (lo_frac as usize * d) / 3;
+        let range = lo..d;
+        let init = move |x: usize| (x as u64).wrapping_mul(salt | 1).rotate_left(11);
+        let op = move |dim: usize, lo_addr: usize, a: &mut u64, b: &mut u64| {
+            let na = a.wrapping_add(b.rotate_left(dim as u32 % 13)) ^ salt;
+            let nb = b.wrapping_mul(2 * dim as u64 + 3).wrapping_add(*a ^ lo_addr as u64);
+            *a = na;
+            *b = nb;
+        };
+
+        let mut ccc = hypercube::CccMachine::new(r, init);
+        let mut cube = hypercube::SimdHypercube::new(d, init).sequential();
+        if descend {
+            ccc.descend(range.clone(), op);
+            for dim in range.rev() {
+                cube.exchange_step(dim, |la, a, b| op(dim, la, a, b));
+            }
+        } else {
+            ccc.ascend(range.clone(), op);
+            for dim in range {
+                cube.exchange_step(dim, |la, a, b| op(dim, la, a, b));
+            }
+        }
+        prop_assert_eq!(ccc.pes(), cube.pes());
+    }
+
+    /// BVM vertical add/min equal u64 semantics (with INF) on random
+    /// per-PE values.
+    #[test]
+    fn bvm_arith_matches_u64(seed in any::<u64>()) {
+        let w = 12usize;
+        let mut m = Bvm::new(2);
+        let mut al = RegAlloc::new();
+        let x = al.num(w);
+        let y = al.num(w);
+        let s = al.reg();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let vx: Vec<Option<u64>> = (0..m.n())
+            .map(|_| if next() % 5 == 0 { None } else { Some(next() % 1000) })
+            .collect();
+        let vy: Vec<Option<u64>> = (0..m.n())
+            .map(|_| if next() % 7 == 0 { None } else { Some(next() % 1000) })
+            .collect();
+        arith::host_load(&mut m, &x, &vx);
+        arith::host_load(&mut m, &y, &vy);
+        arith::add_assign(&mut m, &x, &y);
+        let sum = arith::host_read(&m, &x);
+        for pe in 0..m.n() {
+            let expect = match (vx[pe], vy[pe]) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            prop_assert_eq!(sum[pe], expect);
+        }
+        // Reload x and check min.
+        arith::host_load(&mut m, &x, &vx);
+        arith::min_assign(&mut m, &x, &y, s);
+        let mn = arith::host_read(&m, &x);
+        for pe in 0..m.n() {
+            let ca = vx[pe].map(Cost::new).unwrap_or(Cost::INF);
+            let cb = vy[pe].map(Cost::new).unwrap_or(Cost::INF);
+            let expect = ca.min(cb).finite();
+            prop_assert_eq!(mn[pe], expect);
+        }
+    }
+
+    /// fetch_partner implements its spec for random patterns and dims.
+    #[test]
+    fn fetch_partner_spec(r in 1usize..=3, dim_pick in any::<u16>(), pat in any::<u64>()) {
+        let mut m = Bvm::new(r);
+        let dims = m.topo().dims();
+        let dim = dim_pick as usize % dims;
+        let n = m.n();
+        let pattern = move |pe: usize| (pe as u64).wrapping_mul(pat | 1) >> 5 & 1 == 1;
+        m.load_register(Dest::R(0), BitPlane::from_fn(n, pattern));
+        fetch_partner(&mut m, dim, 0, 1, 2);
+        for pe in 0..n {
+            prop_assert_eq!(m.read_bit(RegSel::R(1), pe), pattern(pe ^ (1 << dim)));
+        }
+    }
+
+    /// Hypercube propagation post-conditions for any sender group level.
+    #[test]
+    fn propagation2_reaches_all_supersets(d in 2usize..=6, level in 0usize..=2, salt in any::<u32>()) {
+        let level = level.min(d - 1);
+        #[derive(Clone, Copy, Default)]
+        struct P { got: u64, sender: bool }
+        let lit = move |a: usize| (a as u32).wrapping_mul(salt | 1) & 4 != 0;
+        let mut cube = hypercube::SimdHypercube::new(d, |a| P {
+            got: if (a as u32).count_ones() as usize == level && lit(a) { 1 } else { 0 },
+            sender: (a as u32).count_ones() as usize == level,
+        });
+        hypercube::ascend::propagation2(
+            &mut cube,
+            |p| p.sender,
+            |dst, src| {
+                dst.got |= src.got;
+                dst.sender |= src.sender;
+            },
+        );
+        // Every PE above the level holds the OR of the marked senders
+        // below it.
+        for a in 0..1usize << d {
+            if (a as u32).count_ones() as usize >= level {
+                let expect = submasks_at_level(a, level).any(lit);
+                prop_assert_eq!(cube.pe(a).got == 1, expect, "addr {:b}", a);
+            }
+        }
+    }
+}
+
+/// All submasks of `a` with exactly `level` bits.
+fn submasks_at_level(a: usize, level: usize) -> impl Iterator<Item = usize> {
+    let mask = a;
+    (0usize..=mask)
+        .filter(move |s| s & !mask == 0 && s.count_ones() as usize == level)
+}
+
+/// Deterministic spot-check: the BVM I/O chain streams a whole register
+/// through the machine unchanged (identity routing).
+#[test]
+fn io_chain_streams_identity() {
+    let mut m = Bvm::new(1);
+    let n = m.n();
+    let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    m.feed_input(bits.iter().copied());
+    for _ in 0..2 * n {
+        m.exec(&bvm::isa::Instruction::mov(
+            Dest::R(0),
+            RegSel::R(0),
+            Some(bvm::isa::Neighbor::I),
+        ));
+    }
+    let out = m.take_output();
+    // After 2n shifts the n input bits have marched through and out.
+    assert_eq!(&out[n..], &bits[..]);
+}

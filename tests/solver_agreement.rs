@@ -1,0 +1,129 @@
+//! The ground-truth chain (DESIGN.md §5): exhaustive enumeration ⇒
+//! sequential DP ⇒ memoized DP ⇒ rayon DP ⇒ hypercube simulation ⇒ CCC
+//! simulation ⇒ BVM bit-serial program — every adjacent pair must agree
+//! **exactly** (integer equality, no tolerance).
+
+use proptest::prelude::*;
+use tt_core::cost::Cost;
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::solver::{exhaustive, memo, sequential};
+use tt_core::subset::Subset;
+use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
+use tt_workloads::random::RandomConfig;
+
+/// An arbitrary (possibly inadequate) instance strategy: solvers must
+/// agree on INF results too.
+fn arb_instance(max_k: usize) -> impl Strategy<Value = TtInstance> {
+    (2..=max_k, 1usize..=3, 1usize..=3, any::<u64>()).prop_map(|(k, nt, nr, seed)| {
+        // Derive sets and costs deterministically from the seed so cases
+        // shrink well.
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let full = (1u32 << k) - 1;
+        let mut b = TtInstanceBuilder::new(k)
+            .weights((0..k).map(|_| 1 + next() % 9));
+        for _ in 0..nt {
+            let s = Subset(1 + (next() as u32) % full);
+            b = b.test(s, 1 + next() % 9);
+        }
+        for _ in 0..nr {
+            let s = Subset(1 + (next() as u32) % full);
+            b = b.treatment(s, 1 + next() % 9);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential == memoized == rayon on the universe cost, including
+    /// inadequate (INF) instances.
+    #[test]
+    fn seq_memo_rayon_agree(inst in arb_instance(7)) {
+        let seq = sequential::solve(&inst);
+        let mm = memo::solve(&inst);
+        let ray = rayon_solver::solve_tables(&inst);
+        prop_assert_eq!(seq.cost, mm.cost);
+        prop_assert_eq!(&seq.tables.cost, &ray.cost);
+        prop_assert_eq!(&seq.tables.best, &ray.best);
+    }
+
+    /// Sequential == hypercube == CCC on the full C(·) table.
+    #[test]
+    fn machines_agree_with_dp(inst in arb_instance(6)) {
+        let seq = sequential::solve(&inst);
+        let hyp = hyper::solve(&inst);
+        let ccc = ccc_tt::solve(&inst);
+        prop_assert_eq!(&hyp.c_table, &seq.tables.cost);
+        prop_assert_eq!(&ccc.c_table, &seq.tables.cost);
+    }
+
+    /// The bit-serial BVM program agrees with the DP on the full table.
+    /// (Small sizes: each case simulates thousands of machine cycles.)
+    #[test]
+    fn bvm_agrees_with_dp(inst in arb_instance(4)) {
+        let seq = sequential::solve(&inst);
+        let bv = bvm_tt::solve(&inst);
+        prop_assert_eq!(&bv.c_table, &seq.tables.cost);
+    }
+
+    /// DP optimum == brute-force tree enumeration (tiny instances).
+    #[test]
+    fn dp_is_optimal_against_enumeration(inst in arb_instance(3)) {
+        let seq = sequential::solve(&inst);
+        let (best, tree) = exhaustive::best_tree(&inst);
+        prop_assert_eq!(seq.cost, best);
+        if let Some(t) = tree {
+            prop_assert_eq!(t.expected_cost(&inst), best);
+        }
+    }
+}
+
+/// The same chain on structured workload generators, deterministically.
+#[test]
+fn workload_chain_agrees() {
+    for seed in 0..5u64 {
+        for inst in [
+            RandomConfig::default_for(5).generate(seed),
+            tt_workloads::medical::medical(5, seed),
+            tt_workloads::faults::fault_location(4, seed),
+            tt_workloads::biology::identification_key(4, seed),
+        ] {
+            let seq = sequential::solve(&inst);
+            assert!(seq.cost.is_finite());
+            let hyp = hyper::solve(&inst);
+            let ccc = ccc_tt::solve(&inst);
+            let ray = rayon_solver::solve_tables(&inst);
+            assert_eq!(hyp.c_table, seq.tables.cost, "seed={seed}");
+            assert_eq!(ccc.c_table, seq.tables.cost, "seed={seed}");
+            assert_eq!(ray.cost, seq.tables.cost, "seed={seed}");
+        }
+    }
+}
+
+/// BVM on a structured workload (kept small: full bit-level simulation).
+#[test]
+fn bvm_on_structured_workload() {
+    let inst = tt_workloads::faults::fault_location(3, 1);
+    let seq = sequential::solve(&inst);
+    let bv = bvm_tt::solve(&inst);
+    assert_eq!(bv.c_table, seq.tables.cost);
+    assert!(bv.cost.is_finite());
+}
+
+/// The empty-set convention C(∅) = 0 holds in every machine's table
+/// (index 0 of the C table).
+#[test]
+fn empty_set_costs_zero_everywhere() {
+    let inst = RandomConfig::default_for(4).generate(9);
+    assert_eq!(sequential::solve(&inst).tables.cost[0], Cost::ZERO);
+    assert_eq!(hyper::solve(&inst).c_table[0], Cost::ZERO);
+    assert_eq!(ccc_tt::solve(&inst).c_table[0], Cost::ZERO);
+    assert_eq!(bvm_tt::solve(&inst).c_table[0], Cost::ZERO);
+}
