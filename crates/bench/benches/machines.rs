@@ -16,8 +16,14 @@ fn config() -> Criterion {
 }
 
 fn instance(k: usize, n: usize) -> tt_core::instance::TtInstance {
-    RandomConfig { k, n_tests: n / 2, n_treatments: n - n / 2, max_cost: 6, max_weight: 4 }
-        .generate(11)
+    RandomConfig {
+        k,
+        n_tests: n / 2,
+        n_treatments: n - n / 2,
+        max_cost: 6,
+        max_weight: 4,
+    }
+    .generate(11)
 }
 
 /// E9: the hypercube TT program, sweeping k (PE count 2^{k + log N}).
@@ -112,9 +118,8 @@ fn bench_bitonic(c: &mut Criterion) {
         let r = 2usize;
         g.bench_with_input(BenchmarkId::new("ccc", r), &r, |b, &r| {
             b.iter(|| {
-                let mut ccc = hypercube::CccMachine::new(r, |x| {
-                    (x as u64).wrapping_mul(2654435761) % 9973
-                });
+                let mut ccc =
+                    hypercube::CccMachine::new(r, |x| (x as u64).wrapping_mul(2654435761) % 9973);
                 hypercube::sort::bitonic_sort_ccc(&mut ccc);
                 black_box(*ccc.pe(0))
             })

@@ -5,20 +5,20 @@
 //! ```
 //!
 //! Experiments (DESIGN.md §4): `fig1 fig3 fig4 fig6 fig7 fig8 fig9
-//! complexity-bvm speedup ccc-slowdown headline wallclock fanin
+//! complexity-bvm speedup ccc-slowdown headline engines wallclock fanin
 //! memo-ablation heuristic-gap bnb-ablation benes-routing bitonic`.
 
-use std::time::Instant;
 use tt_bench::{header, ratio_stats, row};
 use tt_core::instance::TtInstanceBuilder;
-use tt_core::solver::{greedy, memo, sequential};
+use tt_core::solver::{greedy, memo, sequential, EngineKind};
 use tt_core::subset::Subset;
-use tt_parallel::{bvm as bvm_tt, complexity, hyper, rayon_solver};
+use tt_parallel::{bvm as bvm_tt, complexity, hyper};
 use tt_workloads::random::RandomConfig;
 use tt_workloads::random_adequate;
 use tt_workloads::regimes::{max_k_for_machine, Regime};
 
 fn main() {
+    tt_parallel::register_engines();
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let all = arg == "all";
     let mut ran = false;
@@ -40,6 +40,7 @@ fn main() {
     run("speedup", speedup);
     run("ccc-slowdown", ccc_slowdown);
     run("headline", headline);
+    run("engines", engines);
     run("wallclock", wallclock);
     run("fanin", fanin);
     run("memo-ablation", memo_ablation);
@@ -117,7 +118,13 @@ fn fig4() {
         let show = m.n().min(16);
         for (t, &reg) in pid.iter().enumerate() {
             let bits: String = (0..show)
-                .map(|pe| if m.read_bit(RegSel::R(reg), pe) { '1' } else { '0' })
+                .map(|pe| {
+                    if m.read_bit(RegSel::R(reg), pe) {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
                 .collect();
             println!("  bit {t}: {bits}{}", if m.n() > show { "..." } else { "" });
         }
@@ -139,7 +146,12 @@ fn fig6() {
     let expect: [&[(usize, usize)]; 4] = [
         &[(0b0000, 0b0001)],
         &[(0b0000, 0b0010), (0b0001, 0b0011)],
-        &[(0b0000, 0b0100), (0b0001, 0b0101), (0b0010, 0b0110), (0b0011, 0b0111)],
+        &[
+            (0b0000, 0b0100),
+            (0b0001, 0b0101),
+            (0b0010, 0b0110),
+            (0b0011, 0b0111),
+        ],
         &[
             (0b0000, 0b1000),
             (0b0001, 0b1001),
@@ -153,7 +165,10 @@ fn fig6() {
     ];
     let got = hypercube::ascend::broadcast_trace(4);
     for (i, stage) in got.iter().enumerate() {
-        let s: Vec<String> = stage.iter().map(|(a, b)| format!("{a:04b}->{b:04b}")).collect();
+        let s: Vec<String> = stage
+            .iter()
+            .map(|(a, b)| format!("{a:04b}->{b:04b}"))
+            .collect();
         println!("stage {}: {}", i + 1, s.join(", "));
         assert_eq!(stage.as_slice(), expect[i], "stage {i}");
     }
@@ -265,8 +280,14 @@ fn complexity_bvm() {
     }
     let (mean, min, max) = ratio_stats(&ratios);
     println!("\nmeasured/model ratio: geomean {mean:.3}, range [{min:.3}, {max:.3}]");
-    println!("verdict: {} (flat ratio ⇒ the k·w·(k+log N) scaling holds)",
-        if max / min < 2.0 { "PASS" } else { "SPREAD > 2x — check" });
+    println!(
+        "verdict: {} (flat ratio ⇒ the k·w·(k+log N) scaling holds)",
+        if max / min < 2.0 {
+            "PASS"
+        } else {
+            "SPREAD > 2x — check"
+        }
+    );
 }
 
 /// E9 — speedup O(p / log p).
@@ -280,7 +301,15 @@ fn speedup() {
         &[3, 4, 9, 10, 6, 10, 10, 8],
     );
     let mut norms = Vec::new();
-    for (k, n_actions) in [(3usize, 4usize), (4, 8), (5, 8), (6, 16), (8, 16), (10, 32), (12, 64)] {
+    for (k, n_actions) in [
+        (3usize, 4usize),
+        (4, 8),
+        (5, 8),
+        (6, 16),
+        (8, 16),
+        (10, 32),
+        (12, 64),
+    ] {
         let inst = RandomConfig {
             k,
             n_tests: n_actions / 2,
@@ -327,7 +356,10 @@ fn ccc_slowdown() {
     println!("paper claim (Preparata–Vuillemin, used in Section 3): hypercube");
     println!("ASCEND/DESCEND runs on the CCC at a slowdown factor of 4 to 6,");
     println!("regardless of network size.\n");
-    header(&["r", "Q", "dims", "PEs", "cube", "ccc", "slowdown"], &[3, 4, 5, 9, 6, 7, 9]);
+    header(
+        &["r", "Q", "dims", "PEs", "cube", "ccc", "slowdown"],
+        &[3, 4, 5, 9, 6, 7, 9],
+    );
     for r in [1usize, 2, 3, 4] {
         let mut ccc = hypercube::CccMachine::new(r, |x| x as u64);
         let d = ccc.dims();
@@ -363,7 +395,12 @@ fn headline() {
     println!("were available (N = O(2^k)). A speedup of roughly 10^6 could thus be");
     println!("realized … (This allows for the parallelism of 64 bits that a");
     println!("sequential machine might possess.)\"\n");
-    let k15 = max_k_for_machine(30, Regime::Exponential { cap: usize::MAX >> 1 });
+    let k15 = max_k_for_machine(
+        30,
+        Regime::Exponential {
+            cap: usize::MAX >> 1,
+        },
+    );
     println!("capacity: max k with k + log2(2^k) <= 30  →  k = {k15} (paper: 15)");
     let k20 = max_k_for_machine(30, Regime::Quadratic);
     println!("capacity: max k with k + log2(k²) <= 30   →  k = {k20} (paper: \"e.g. 20\")");
@@ -387,39 +424,87 @@ fn headline() {
     println!("per-candidate costs (the paper's \"roughly 10^6\") — PASS");
 }
 
-/// E12 — wall-clock: sequential vs rayon vs memoized.
-fn wallclock() {
-    println!("modern-hardware realization: wall-clock of the sequential DP, the");
-    println!("rayon level-synchronous solver, and the reachable-subset memo solver");
-    println!("({} rayon threads on this machine).\n", rayon::current_num_threads());
-    header(&["k", "N", "seq", "rayon", "memo", "speedup"], &[3, 5, 12, 12, 12, 8]);
-    for k in [10usize, 12, 14, 16, 18] {
-        let inst = random_adequate(k, 5);
-        let t = Instant::now();
-        let seq = sequential::solve_tables(&inst);
-        let t_seq = t.elapsed();
-        let t = Instant::now();
-        let par = rayon_solver::solve_tables(&inst);
-        let t_par = t.elapsed();
-        let t = Instant::now();
-        let mm = memo::solve(&inst);
-        let t_memo = t.elapsed();
-        assert_eq!(seq.cost, par.cost);
-        assert_eq!(mm.cost, seq.cost[inst.universe().index()]);
+/// The unified engine registry: every backend on one instance.
+fn engines() {
+    println!("the solver engine layer: every registered backend solves the same");
+    println!("instance through the uniform Solver interface; exact engines must");
+    println!("agree, heuristics upper-bound, machines report simulated steps.\n");
+    let inst = random_adequate(5, 7);
+    let opt = sequential::solve(&inst).cost;
+    header(
+        &["engine", "kind", "cost", "wall", "work"],
+        &[15, 10, 6, 10, 44],
+    );
+    for e in tt_core::solver::registry() {
+        if inst.k() > e.max_k() {
+            continue;
+        }
+        let r = e.solve(&inst);
+        if e.kind().is_exact() {
+            assert_eq!(r.cost, opt, "{} disagrees with the DP", e.name());
+        } else {
+            assert!(r.cost >= opt, "{} beat the optimum", e.name());
+        }
+        let mut work = r.work.to_string();
+        work.truncate(44);
         row(
             &[
-                k.to_string(),
-                inst.n_actions().to_string(),
-                format!("{t_seq:.2?}"),
-                format!("{t_par:.2?}"),
-                format!("{t_memo:.2?}"),
-                format!("{:.2}x", t_seq.as_secs_f64() / t_par.as_secs_f64()),
+                e.name().to_string(),
+                format!("{:?}", e.kind()).to_lowercase(),
+                r.cost.to_string(),
+                format!("{:.2?}", r.wall),
+                work,
             ],
-            &[3, 5, 12, 12, 12, 8],
+            &[15, 10, 6, 10, 44],
         );
     }
-    println!("\n(single-core machines show speedup ≈ overhead; the point is the");
-    println!("identical results across execution strategies.)");
+    println!("\nverdict: all exact engines agree with the DP (asserted) — PASS");
+}
+
+/// E12 — wall-clock across the engine registry.
+fn wallclock() {
+    println!("modern-hardware realization: wall-clock of every exact engine the");
+    println!("registry offers, per instance size; each engine drops out past its");
+    println!(
+        "own max_k ({} rayon threads on this machine).\n",
+        rayon::current_num_threads()
+    );
+    header(&["k", "N", "engine", "wall", "vs seq"], &[3, 5, 15, 12, 8]);
+    for k in [10usize, 12, 14, 16] {
+        let inst = random_adequate(k, 5);
+        let mut t_seq = None;
+        let mut c_seq = None;
+        for e in tt_core::solver::registry() {
+            if e.kind() == EngineKind::Heuristic || inst.k() > e.max_k() {
+                continue;
+            }
+            let r = e.solve(&inst);
+            assert!(r.cost.is_finite(), "{} found no procedure", e.name());
+            if let Some(c) = c_seq {
+                assert_eq!(r.cost, c, "{} disagrees with seq", e.name());
+            }
+            if e.name() == "seq" {
+                t_seq = Some(r.wall);
+                c_seq = Some(r.cost);
+            }
+            let vs = t_seq.map_or("-".to_string(), |t| {
+                format!("{:.2}x", t.as_secs_f64() / r.wall.as_secs_f64())
+            });
+            row(
+                &[
+                    k.to_string(),
+                    inst.n_actions().to_string(),
+                    e.name().to_string(),
+                    format!("{:.2?}", r.wall),
+                    vs,
+                ],
+                &[3, 5, 15, 12, 8],
+            );
+        }
+    }
+    println!("\n(single-core machines show speedup ≈ overhead; the simulated");
+    println!("machines pay their simulation cost here — their step counts, not");
+    println!("wall-clock, carry the paper's claims.)");
 }
 
 /// E13 — the fan-in lower bound Ω(k + log N).
@@ -450,8 +535,10 @@ fn fanin() {
     for d in [6usize, 8, 10] {
         let perm = hypercube::route::bit_reversal_perm(d);
         let c = hypercube::route::bit_fixing_congestion(&perm, d);
-        println!("  bit-reversal on 2^{d} PEs: max link congestion {c} (≈ sqrt = {})",
-            1 << (d / 2));
+        println!(
+            "  bit-reversal on 2^{d} PEs: max link congestion {c} (≈ sqrt = {})",
+            1 << (d / 2)
+        );
     }
     println!("\nverdict: broadcast steps equal the fan-in bound exactly — PASS");
 }
@@ -462,7 +549,15 @@ fn memo_ablation() {
     println!("a sequential solver can restrict to reachable ones. How much does");
     println!("the full lattice overpay on structured workloads?\n");
     header(
-        &["workload", "k", "2^k", "reachable", "frac", "cand(full)", "cand(memo)"],
+        &[
+            "workload",
+            "k",
+            "2^k",
+            "reachable",
+            "frac",
+            "cand(full)",
+            "cand(memo)",
+        ],
         &[10, 3, 8, 10, 7, 11, 11],
     );
     let cases: Vec<(&str, tt_core::instance::TtInstance)> = vec![
@@ -483,7 +578,10 @@ fn memo_ablation() {
                 k.to_string(),
                 (1usize << k).to_string(),
                 mm.reachable_subsets.to_string(),
-                format!("{:.1}%", 100.0 * mm.reachable_subsets as f64 / (1u64 << k) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * mm.reachable_subsets as f64 / (1u64 << k) as f64
+                ),
                 full.to_string(),
                 mm.candidates.to_string(),
             ],
@@ -505,9 +603,21 @@ fn heuristic_gap() {
     type Gen = Box<dyn Fn(u64) -> tt_core::instance::TtInstance>;
     let gens: Vec<(&str, usize, Gen)> = vec![
         ("random", 8, Box::new(|s| random_adequate(8, s))),
-        ("medical", 8, Box::new(|s| tt_workloads::medical::medical(8, s))),
-        ("faults", 8, Box::new(|s| tt_workloads::faults::fault_location(8, s))),
-        ("biology", 6, Box::new(|s| tt_workloads::biology::identification_key(6, s))),
+        (
+            "medical",
+            8,
+            Box::new(|s| tt_workloads::medical::medical(8, s)),
+        ),
+        (
+            "faults",
+            8,
+            Box::new(|s| tt_workloads::faults::fault_location(8, s)),
+        ),
+        (
+            "biology",
+            6,
+            Box::new(|s| tt_workloads::biology::identification_key(6, s)),
+        ),
     ];
     for (name, k, gen) in gens {
         let mut gaps = [Vec::new(), Vec::new(), Vec::new()];
@@ -546,7 +656,14 @@ fn bnb_ablation() {
     println!("ablation: bound-ordered candidate pruning on top of the memoized");
     println!("DP (exact results; admissible treatment-charge lookahead bounds).\n");
     header(
-        &["workload", "k", "memo cand", "bnb expand", "pruned", "saving"],
+        &[
+            "workload",
+            "k",
+            "memo cand",
+            "bnb expand",
+            "pruned",
+            "saving",
+        ],
         &[10, 3, 11, 11, 9, 8],
     );
     let cases: Vec<(&str, tt_core::instance::TtInstance)> = vec![
@@ -566,7 +683,10 @@ fn bnb_ablation() {
                 mm.candidates.to_string(),
                 bnb.stats.expanded.to_string(),
                 bnb.stats.pruned.to_string(),
-                format!("{:.1}x", mm.candidates as f64 / bnb.stats.expanded.max(1) as f64),
+                format!(
+                    "{:.1}x",
+                    mm.candidates as f64 / bnb.stats.expanded.max(1) as f64
+                ),
             ],
             &[10, 3, 11, 11, 9, 8],
         );
@@ -580,7 +700,16 @@ fn benes_routing() {
     println!("Benes permutation network, it can accomplish any permutation within");
     println!("O(log n) time if the control bits are precalculated.\" We run the");
     println!("looping algorithm and route the bit-fixing adversary.\n");
-    header(&["n", "stages (2d-1)", "switches", "bit-rev OK", "congestion obliv."], &[6, 14, 9, 11, 18]);
+    header(
+        &[
+            "n",
+            "stages (2d-1)",
+            "switches",
+            "bit-rev OK",
+            "congestion obliv.",
+        ],
+        &[6, 14, 9, 11, 18],
+    );
     for d in [4usize, 6, 8, 10] {
         let n = 1usize << d;
         let perm = hypercube::route::bit_reversal_perm(d);
@@ -610,11 +739,15 @@ fn bitonic() {
     println!("extension: Batcher's bitonic sort is the canonical ASCEND/DESCEND");
     println!("algorithm; it runs unchanged on the CCC (one DESCEND segment per");
     println!("stage), demonstrating the framework beyond the TT program.\n");
-    header(&["r", "keys", "cube steps", "ccc steps", "slowdown", "sorted"], &[3, 6, 11, 10, 9, 7]);
+    header(
+        &["r", "keys", "cube steps", "ccc steps", "slowdown", "sorted"],
+        &[3, 6, 11, 10, 9, 7],
+    );
     for r in [1usize, 2, 3] {
         let d = (1usize << r) + r;
-        let vals: Vec<u64> =
-            (0..1usize << d).map(|x| (x as u64).wrapping_mul(2654435761) % 997).collect();
+        let vals: Vec<u64> = (0..1usize << d)
+            .map(|x| (x as u64).wrapping_mul(2654435761) % 997)
+            .collect();
         let mut cube = hypercube::SimdHypercube::new(d, |x| vals[x]).sequential();
         hypercube::sort::bitonic_sort(&mut cube);
         let mut ccc = hypercube::CccMachine::new(r, |x| vals[x]);
@@ -647,7 +780,10 @@ fn depth_curve() {
     println!("extension: best expected cost within a path-length budget, per");
     println!("workload (the premium short protocols pay; saturation = depth of");
     println!("the unbounded optimum).\n");
-    header(&["workload", "k", "first finite", "saturates", "premium@min"], &[10, 3, 13, 10, 12]);
+    header(
+        &["workload", "k", "first finite", "saturates", "premium@min"],
+        &[10, 3, 13, 10, 12],
+    );
     let cases: Vec<(&str, tt_core::instance::TtInstance)> = vec![
         ("random", random_adequate(8, 3)),
         ("medical", tt_workloads::medical::medical(8, 3)),
@@ -683,7 +819,14 @@ fn blocked_brent() {
     let inst = random_adequate(8, 5); // dims = 8 + log2(N')
     let seq = sequential::solve(&inst);
     header(
-        &["phys PEs", "block", "remote ops", "local ops", "words", "C(U) ok"],
+        &[
+            "phys PEs",
+            "block",
+            "remote ops",
+            "local ops",
+            "words",
+            "C(U) ok",
+        ],
         &[9, 6, 11, 11, 10, 8],
     );
     let dims = tt_parallel::Layout::new(inst.k(), inst.n_actions()).dims();
@@ -711,7 +854,10 @@ fn bvm_input() {
     println!("extension: loading the instance through the bit-serial I/O chain");
     println!("costs one instruction per PE per plane — Θ(n·(k + w)) — which the");
     println!("paper's resident-data model excludes from its O(k·w·(k+log N)).\n");
-    header(&["k", "N", "PEs", "compute", "input", "input share"], &[3, 4, 6, 9, 9, 12]);
+    header(
+        &["k", "N", "PEs", "compute", "input", "input share"],
+        &[3, 4, 6, 9, 9, 12],
+    );
     for (k, n_actions) in [(3usize, 4usize), (4, 4), (4, 8)] {
         let inst = RandomConfig {
             k,

@@ -16,12 +16,18 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Prints a header row plus a rule.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().map(|w| w + 2).sum();
     println!("{}", "-".repeat(total));
 }
 
 /// Geometric-mean helper for summarizing ratios.
+///
+/// Returns `NaN` on an empty slice — there is no meaningful mean of
+/// zero ratios, and `NaN` propagates loudly into any table it reaches.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
@@ -29,9 +35,15 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// Least-squares fit of `y = c` for `y = measured / model` ratios; returns
-/// `(mean, min, max)` to judge whether a model captures the scaling.
+/// Summarizes `y = measured / model` ratios as `(geomean, min, max)`,
+/// to judge whether a model captures the scaling: a geomean near 1 with
+/// a tight min/max band means the model fits up to a constant factor.
+///
+/// Returns `(NaN, NaN, NaN)` on an empty slice, matching [`geomean`].
 pub fn ratio_stats(ratios: &[f64]) -> (f64, f64, f64) {
+    if ratios.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
     let mean = geomean(ratios);
     let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -55,5 +67,13 @@ mod tests {
         assert_eq!(min, 1.0);
         assert_eq!(max, 4.0);
         assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_stats_empty_is_all_nan() {
+        let (mean, min, max) = ratio_stats(&[]);
+        assert!(mean.is_nan());
+        assert!(min.is_nan());
+        assert!(max.is_nan());
     }
 }

@@ -36,23 +36,47 @@ pub fn fetch_partner(m: &mut Bvm, dim: usize, src: u8, scratch: u8, scratch2: u8
     assert!(dim < topo.dims(), "dim {dim} out of range");
     if dim == 0 {
         // Position partner p ⊕ 1 is exactly the XS neighbour.
-        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), Some(Neighbor::XS)));
+        m.exec(&Instruction::mov(
+            Dest::R(scratch),
+            RegSel::R(src),
+            Some(Neighbor::XS),
+        ));
     } else if dim < r {
         let e = dim;
         let step = 1usize << e;
         // scratch(p) = src(p + 2^e) via successive successor reads.
-        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), Some(Neighbor::S)));
+        m.exec(&Instruction::mov(
+            Dest::R(scratch),
+            RegSel::R(src),
+            Some(Neighbor::S),
+        ));
         for _ in 1..step {
-            m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::S)));
+            m.exec(&Instruction::mov(
+                Dest::R(scratch),
+                RegSel::R(scratch),
+                Some(Neighbor::S),
+            ));
         }
         // scratch2(p) = src(p − 2^e) via predecessor reads.
-        m.exec(&Instruction::mov(Dest::R(scratch2), RegSel::R(src), Some(Neighbor::P)));
+        m.exec(&Instruction::mov(
+            Dest::R(scratch2),
+            RegSel::R(src),
+            Some(Neighbor::P),
+        ));
         for _ in 1..step {
-            m.exec(&Instruction::mov(Dest::R(scratch2), RegSel::R(scratch2), Some(Neighbor::P)));
+            m.exec(&Instruction::mov(
+                Dest::R(scratch2),
+                RegSel::R(scratch2),
+                Some(Neighbor::P),
+            ));
         }
         // Positions with bit e set have their partner below them.
-        let mask = (0..q).filter(|p| p & step != 0).fold(0u64, |m, p| m | 1 << p);
-        m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch2), None).gated(Gate::If(mask)));
+        let mask = (0..q)
+            .filter(|p| p & step != 0)
+            .fold(0u64, |m, p| m | 1 << p);
+        m.exec(
+            &Instruction::mov(Dest::R(scratch), RegSel::R(scratch2), None).gated(Gate::If(mask)),
+        );
     } else {
         // High dimension: walk a copy once around the ring, swapping across
         // the lateral link each time it passes position j.
@@ -60,7 +84,11 @@ pub fn fetch_partner(m: &mut Bvm, dim: usize, src: u8, scratch: u8, scratch2: u8
         m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(src), None));
         for _ in 0..q {
             // Move the copy forward one position…
-            m.exec(&Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::P)));
+            m.exec(&Instruction::mov(
+                Dest::R(scratch),
+                RegSel::R(scratch),
+                Some(Neighbor::P),
+            ));
             // …and swap it across the lateral link at position j.
             m.exec(
                 &Instruction::mov(Dest::R(scratch), RegSel::R(scratch), Some(Neighbor::L))

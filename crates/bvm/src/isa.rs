@@ -171,7 +171,15 @@ pub struct Instruction {
 impl Instruction {
     /// `dest = f(F, D, B)` with `B` unchanged, no neighbour, all active.
     pub fn compute(dest: Dest, f: BoolFn, fsrc: RegSel, dsrc: RegSel) -> Instruction {
-        Instruction { dest, f, g: BoolFn::B, fsrc, dsrc, dneigh: None, gate: Gate::All }
+        Instruction {
+            dest,
+            f,
+            g: BoolFn::B,
+            fsrc,
+            dsrc,
+            dneigh: None,
+            gate: Gate::All,
+        }
     }
 
     /// `dest = D` (a plain move), optionally from a neighbour.
@@ -233,10 +241,7 @@ mod tests {
                     assert_eq!(BoolFn::NOT_D.eval(f, d, b), !d);
                     assert_eq!(BoolFn::NOT_F.eval(f, d, b), !f);
                     assert_eq!(BoolFn::SUM.eval(f, d, b), f ^ d ^ b);
-                    assert_eq!(
-                        BoolFn::MAJ.eval(f, d, b),
-                        (f & d) | (f & b) | (d & b)
-                    );
+                    assert_eq!(BoolFn::MAJ.eval(f, d, b), (f & d) | (f & b) | (d & b));
                     assert_eq!(BoolFn::MUX_B.eval(f, d, b), if b { f } else { d });
                     assert_eq!(BoolFn::F_ANDN_D.eval(f, d, b), f & !d);
                 }

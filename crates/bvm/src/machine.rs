@@ -155,10 +155,7 @@ impl Bvm {
     pub fn phase_breakdown(&self) -> Vec<(String, u64)> {
         let mut out = Vec::with_capacity(self.phases.len());
         for (idx, (name, start)) in self.phases.iter().enumerate() {
-            let end = self
-                .phases
-                .get(idx + 1)
-                .map_or(self.executed, |(_, s)| *s);
+            let end = self.phases.get(idx + 1).map_or(self.executed, |(_, s)| *s);
             out.push((name.clone(), end - start));
         }
         out
@@ -248,10 +245,10 @@ impl Bvm {
         // E writes ignore the enable bits ("register E is always enabled");
         // everything else is gated by E as well.
         let dest_mask: Option<BitPlane> = match (&gate_active, matches!(ins.dest, Dest::E)) {
-            (None, true) => None,                       // unmasked E write
-            (Some(g), true) => Some(g.clone()),         // gate only
-            (None, false) => Some(self.e.clone()),      // enable only
-            (Some(g), false) => Some(g.and(&self.e)),   // gate ∧ enable
+            (None, true) => None,                     // unmasked E write
+            (Some(g), true) => Some(g.clone()),       // gate only
+            (None, false) => Some(self.e.clone()),    // enable only
+            (Some(g), false) => Some(g.and(&self.e)), // gate ∧ enable
         };
 
         match ins.dest {
@@ -286,7 +283,11 @@ impl Bvm {
         let mut s = String::new();
         for c in 0..self.topo.cycles() {
             for p in 0..self.topo.q() {
-                s.push(if plane.get(self.topo.join(c, p)) { '1' } else { '0' });
+                s.push(if plane.get(self.topo.join(c, p)) {
+                    '1'
+                } else {
+                    '0'
+                });
             }
             s.push('\n');
         }

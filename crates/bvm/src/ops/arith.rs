@@ -61,7 +61,10 @@ pub fn set_inf(m: &mut Bvm, n: &Num) {
 
 /// Writes the same finite constant into every enabled PE.
 pub fn write_const(m: &mut Bvm, n: &Num, v: u64) {
-    assert!(n.width() == 64 || v < 1u64 << n.width(), "constant exceeds width");
+    assert!(
+        n.width() == 64 || v < 1u64 << n.width(),
+        "constant exceeds width"
+    );
     for (i, &b) in n.bits.iter().enumerate() {
         m.exec(&Instruction::set_const(Dest::R(b), v >> i & 1 != 0));
     }
@@ -74,7 +77,11 @@ pub fn copy(m: &mut Bvm, dst: &Num, src: &Num) {
     for (&d, &s) in dst.bits.iter().zip(&src.bits) {
         m.exec(&Instruction::mov(Dest::R(d), RegSel::R(s), None));
     }
-    m.exec(&Instruction::mov(Dest::R(dst.inf), RegSel::R(src.inf), None));
+    m.exec(&Instruction::mov(
+        Dest::R(dst.inf),
+        RegSel::R(src.inf),
+        None,
+    ));
 }
 
 /// `dst += src` with INF absorption (`w + 2` instructions).
@@ -99,7 +106,10 @@ pub fn add_assign(m: &mut Bvm, dst: &Num, src: &Num) {
 /// `n += c` for a host-known constant `c` (INF flag untouched;
 /// `w + 1` instructions).
 pub fn add_const(m: &mut Bvm, n: &Num, c: u64) {
-    assert!(n.width() == 64 || c < 1u64 << n.width(), "constant exceeds width");
+    assert!(
+        n.width() == 64 || c < 1u64 << n.width(),
+        "constant exceeds width"
+    );
     m.exec(&Instruction::set_const(Dest::B, false));
     for (i, &b) in n.bits.iter().enumerate() {
         let (f, g) = if c >> i & 1 != 0 {
@@ -155,7 +165,12 @@ pub fn select_assign(m: &mut Bvm, dst: &Num, src: &Num, cond: u8) {
     assert_eq!(dst.width(), src.width());
     m.exec(&Instruction::mov(Dest::B, RegSel::R(cond), None));
     for (&d, &s) in dst.bits.iter().zip(&src.bits) {
-        m.exec(&Instruction::compute(Dest::R(d), BoolFn::MUX_B, RegSel::R(s), RegSel::R(d)));
+        m.exec(&Instruction::compute(
+            Dest::R(d),
+            BoolFn::MUX_B,
+            RegSel::R(s),
+            RegSel::R(d),
+        ));
     }
     m.exec(&Instruction::compute(
         Dest::R(dst.inf),
@@ -180,8 +195,7 @@ pub fn host_load(m: &mut Bvm, n: &Num, values: &[Option<u64>]) {
         assert!(w == 64 || *v < 1u64 << w, "value {v} exceeds width {w}");
     }
     for (i, &b) in n.bits.iter().enumerate() {
-        let plane =
-            BitPlane::from_fn(m.n(), |pe| values[pe].is_some_and(|v| v >> i & 1 != 0));
+        let plane = BitPlane::from_fn(m.n(), |pe| values[pe].is_some_and(|v| v >> i & 1 != 0));
         m.load_register(Dest::R(b), plane);
     }
     let infp = BitPlane::from_fn(m.n(), |pe| values[pe].is_none());
@@ -226,7 +240,13 @@ mod tests {
     fn load_read_roundtrip() {
         let (mut m, mut a) = setup();
         let x = a.num(W);
-        let v = vals(m.n(), |pe| if pe % 7 == 0 { None } else { Some((pe as u64 * 13) % 1000) });
+        let v = vals(m.n(), |pe| {
+            if pe % 7 == 0 {
+                None
+            } else {
+                Some((pe as u64 * 13) % 1000)
+            }
+        });
         host_load(&mut m, &x, &v);
         assert_eq!(host_read(&m, &x), v);
     }
@@ -236,8 +256,17 @@ mod tests {
         let (mut m, mut a) = setup();
         let x = a.num(W);
         let y = a.num(W);
-        let vx = vals(m.n(), |pe| if pe == 5 { None } else { Some(pe as u64 % 500) });
-        let vy = vals(m.n(), |pe| if pe == 9 { None } else { Some((pe as u64 * 3) % 500) });
+        let vx = vals(
+            m.n(),
+            |pe| if pe == 5 { None } else { Some(pe as u64 % 500) },
+        );
+        let vy = vals(m.n(), |pe| {
+            if pe == 9 {
+                None
+            } else {
+                Some((pe as u64 * 3) % 500)
+            }
+        });
         host_load(&mut m, &x, &vx);
         host_load(&mut m, &y, &vy);
         add_assign(&mut m, &x, &y);
@@ -290,7 +319,13 @@ mod tests {
                 (Some(_), None) => true,
                 (Some(a), Some(b)) => a < b,
             };
-            assert_eq!(m.read_bit(RegSel::R(lt), pe), expect, "pe={pe} {:?} {:?}", vx[pe], vy[pe]);
+            assert_eq!(
+                m.read_bit(RegSel::R(lt), pe),
+                expect,
+                "pe={pe} {:?} {:?}",
+                vx[pe],
+                vy[pe]
+            );
         }
     }
 
@@ -301,7 +336,13 @@ mod tests {
         let y = a.num(W);
         let s = a.reg();
         let vx = vals(m.n(), |pe| if pe % 5 == 0 { None } else { Some(pe as u64) });
-        let vy = vals(m.n(), |pe| if pe % 2 == 0 { None } else { Some(63 - pe as u64 % 64) });
+        let vy = vals(m.n(), |pe| {
+            if pe % 2 == 0 {
+                None
+            } else {
+                Some(63 - pe as u64 % 64)
+            }
+        });
         host_load(&mut m, &x, &vx);
         host_load(&mut m, &y, &vy);
         min_assign(&mut m, &x, &y, s);

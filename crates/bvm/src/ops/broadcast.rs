@@ -5,7 +5,7 @@
 //! which is not itself one copies the data *and* the sender flag — so the
 //! sender set doubles per dimension, exactly the Fig. 6 schedule. The
 //! paper's control-bit scheme is reproduced literally: "set every bit of
-//! SENDER to 0 … input a bit 1 to the bit belonging to both PE[0] and
+//! SENDER to 0 … input a bit 1 to the bit belonging to both PE\[0\] and
 //! register SENDER; afterwards this bit will be broadcast … and the
 //! content of register SENDER will be used to identify the sender."
 
@@ -58,7 +58,11 @@ pub fn broadcast(m: &mut Bvm, data: u8, sender: u8, scratch: &[u8]) {
 pub fn seed_sender_via_chain(m: &mut Bvm, sender: u8) {
     m.exec(&Instruction::set_const(Dest::R(sender), false));
     m.feed_input([true]);
-    m.exec(&Instruction::mov(Dest::R(sender), RegSel::R(sender), Some(crate::isa::Neighbor::I)));
+    m.exec(&Instruction::mov(
+        Dest::R(sender),
+        RegSel::R(sender),
+        Some(crate::isa::Neighbor::I),
+    ));
 }
 
 #[cfg(test)]

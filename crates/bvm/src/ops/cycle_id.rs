@@ -110,8 +110,9 @@ mod tests {
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 16);
         for (i, line) in lines.iter().enumerate() {
-            let expect: String =
-                (0..4).map(|j| if i >> j & 1 != 0 { '1' } else { '0' }).collect();
+            let expect: String = (0..4)
+                .map(|j| if i >> j & 1 != 0 { '1' } else { '0' })
+                .collect();
             assert_eq!(*line, expect, "cycle {i}");
         }
     }

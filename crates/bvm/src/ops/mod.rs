@@ -1,11 +1,11 @@
 //! The paper's Section 4 algorithm library, plus the bit-serial arithmetic
 //! the TT program is built from.
 //!
-//! * [`cycle_id`] — the cycle-ID pattern (Fig. 3): PE `(i, j)` computes bit
-//!   `j` of its cycle number `i` with `O(Q)` instructions.
-//! * [`processor_id`] — every PE assembles its full `(Q+r)`-bit address
+//! * [`mod@cycle_id`] — the cycle-ID pattern (Fig. 3): PE `(i, j)` computes
+//!   bit `j` of its cycle number `i` with `O(Q)` instructions.
+//! * [`mod@processor_id`] — every PE assembles its full `(Q+r)`-bit address
 //!   (Figs. 4–5).
-//! * [`broadcast`] — one PE's bit to all PEs, SENDER-controlled.
+//! * [`mod@broadcast`] — one PE's bit to all PEs, SENDER-controlled.
 //! * [`propagate`] — the two propagation schemes of Section 4.4.
 //! * [`arith`] — `w`-bit vertical (bit-serial) arithmetic with an explicit
 //!   INF flag: add, add-constant, compare, min, select — the building
@@ -41,7 +41,11 @@ pub fn load_plane_via_chain(m: &mut crate::machine::Bvm, dest: u8, bits: &[bool]
     assert_eq!(bits.len(), n);
     m.feed_input(bits.iter().rev().copied());
     for _ in 0..n {
-        m.exec(&Instruction::mov(Dest::R(dest), RegSel::R(dest), Some(Neighbor::I)));
+        m.exec(&Instruction::mov(
+            Dest::R(dest),
+            RegSel::R(dest),
+            Some(Neighbor::I),
+        ));
     }
 }
 
@@ -59,7 +63,10 @@ impl RegAlloc {
 
     /// Allocates one register row.
     pub fn reg(&mut self) -> u8 {
-        assert!(self.next < crate::NUM_REGISTERS, "out of BVM registers (L = 256)");
+        assert!(
+            self.next < crate::NUM_REGISTERS,
+            "out of BVM registers (L = 256)"
+        );
         let r = self.next as u8;
         self.next += 1;
         r
@@ -72,7 +79,10 @@ impl RegAlloc {
 
     /// Allocates a `w`-bit number (plus its INF flag row).
     pub fn num(&mut self, w: usize) -> arith::Num {
-        arith::Num { bits: self.regs(w), inf: self.reg() }
+        arith::Num {
+            bits: self.regs(w),
+            inf: self.reg(),
+        }
     }
 
     /// Registers allocated so far.

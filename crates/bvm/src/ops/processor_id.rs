@@ -23,12 +23,18 @@ pub fn processor_id(m: &mut Bvm, dest: &[u8], scratch: &[u8]) {
     let topo = *m.topo();
     let q = topo.q();
     let r = topo.r();
-    assert_eq!(dest.len(), q + r, "need one destination register per address bit");
+    assert_eq!(
+        dest.len(),
+        q + r,
+        "need one destination register per address bit"
+    );
     assert!(scratch.len() >= q, "need Q scratch registers");
 
     // Step 4 (done first here): position bits via IF-gated constants.
     for (t, &reg) in dest.iter().enumerate().take(r) {
-        let mask = (0..q).filter(|p| p >> t & 1 != 0).fold(0u64, |m, p| m | 1 << p);
+        let mask = (0..q)
+            .filter(|p| p >> t & 1 != 0)
+            .fold(0u64, |m, p| m | 1 << p);
         m.exec(&Instruction::set_const(Dest::R(reg), false));
         m.exec(&Instruction::set_const(Dest::R(reg), true).gated(Gate::If(mask)));
     }
@@ -59,10 +65,7 @@ pub fn processor_id(m: &mut Bvm, dest: &[u8], scratch: &[u8]) {
 /// The number of instructions [`processor_id`] issues on a machine with
 /// cycle length `q` and `r = log₂ q`.
 pub fn processor_id_cost(q: usize, r: usize) -> u64 {
-    2 * r as u64
-        + crate::ops::cycle_id::cycle_id_cost(q)
-        + (q as u64 - 1)
-        + (q as u64) * (q as u64)
+    2 * r as u64 + crate::ops::cycle_id::cycle_id_cost(q) + (q as u64 - 1) + (q as u64) * (q as u64)
 }
 
 #[cfg(test)]
@@ -79,7 +82,11 @@ mod tests {
         let scratch = alloc.regs(q);
         let before = m.executed();
         processor_id(&mut m, &dest, &scratch);
-        assert_eq!(m.executed() - before, processor_id_cost(q, r), "cost model r={r}");
+        assert_eq!(
+            m.executed() - before,
+            processor_id_cost(q, r),
+            "cost model r={r}"
+        );
         for pe in 0..m.n() {
             for (t, &reg) in dest.iter().enumerate() {
                 assert_eq!(

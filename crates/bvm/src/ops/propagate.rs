@@ -147,11 +147,7 @@ mod tests {
         for pe in 0..n {
             if (pe as u32).count_ones() >= 1 {
                 let expect = (pe & 0b000001 != 0) || (pe & 0b001000 != 0);
-                assert_eq!(
-                    m.read_bit(RegSel::R(data), pe),
-                    expect,
-                    "pe={pe:06b}"
-                );
+                assert_eq!(m.read_bit(RegSel::R(data), pe), expect, "pe={pe:06b}");
             }
         }
         // Everyone reachable became a sender.

@@ -105,7 +105,13 @@ mod tests {
         let p = al.num(w);
         let scratch = al.regs(3);
         let vals: Vec<Option<u64>> = (0..m.n())
-            .map(|pe| if pe % 9 == 0 { None } else { Some(((pe as u64) * 37 + 11) % 500) })
+            .map(|pe| {
+                if pe % 9 == 0 {
+                    None
+                } else {
+                    Some(((pe as u64) * 37 + 11) % 500)
+                }
+            })
             .collect();
         let expect = vals.iter().flatten().copied().min();
         arith::host_load(&mut m, &x, &vals);

@@ -15,7 +15,10 @@ pub struct BitPlane {
 impl BitPlane {
     /// An all-zero plane over `len` PEs.
     pub fn zero(len: usize) -> BitPlane {
-        BitPlane { words: vec![0; len.div_ceil(64)], len }
+        BitPlane {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A plane initialized from a predicate on PE indices.
@@ -123,8 +126,7 @@ impl BitPlane {
         debug_assert_eq!(self.len, new.len);
         debug_assert_eq!(self.len, mask.len);
         for i in 0..self.words.len() {
-            self.words[i] =
-                (new.words[i] & mask.words[i]) | (self.words[i] & !mask.words[i]);
+            self.words[i] = (new.words[i] & mask.words[i]) | (self.words[i] & !mask.words[i]);
         }
     }
 

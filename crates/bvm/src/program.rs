@@ -55,7 +55,10 @@ impl Program {
 
     /// The static instruction mix.
     pub fn mix(&self) -> InstructionMix {
-        let mut mix = InstructionMix { total: self.instructions.len() as u64, ..Default::default() };
+        let mut mix = InstructionMix {
+            total: self.instructions.len() as u64,
+            ..Default::default()
+        };
         for ins in &self.instructions {
             if let Some(n) = ins.dneigh {
                 mix.communication += 1;
@@ -91,7 +94,10 @@ impl Program {
 /// The closure receives a machine whose `exec` calls are captured; the
 /// machine still executes normally, so recording is non-intrusive.
 pub fn record(m: &mut Bvm, build: impl FnOnce(&mut Recorder<'_>)) -> Program {
-    let mut rec = Recorder { m, program: Program::default() };
+    let mut rec = Recorder {
+        m,
+        program: Program::default(),
+    };
     build(&mut rec);
     rec.program
 }
@@ -126,7 +132,11 @@ mod tests {
     fn build_demo(rec: &mut Recorder<'_>) {
         rec.exec(&Instruction::set_const(Dest::R(0), false));
         rec.machine().feed_input([true]);
-        rec.exec(&Instruction::mov(Dest::R(0), RegSel::R(0), Some(Neighbor::I)));
+        rec.exec(&Instruction::mov(
+            Dest::R(0),
+            RegSel::R(0),
+            Some(Neighbor::I),
+        ));
         for _ in 0..3 {
             rec.exec(&Instruction {
                 dest: Dest::R(0),
@@ -157,7 +167,10 @@ mod tests {
         let mut m2 = Bvm::new(1);
         m2.feed_input([true]);
         prog.run(&mut m2);
-        assert_eq!(m1.read(RegSel::R(0)).to_bools(), m2.read(RegSel::R(0)).to_bools());
+        assert_eq!(
+            m1.read(RegSel::R(0)).to_bools(),
+            m2.read(RegSel::R(0)).to_bools()
+        );
         assert_eq!(m1.read(RegSel::E).to_bools(), m2.read(RegSel::E).to_bools());
         assert_eq!(m2.executed(), prog.len() as u64);
     }
@@ -237,7 +250,10 @@ mod tests {
             assert_eq!(m2.read_bit(RegSel::R(7), pe), c >> p & 1 != 0);
         }
         // Replay equals the original run.
-        assert_eq!(m1.read(RegSel::R(7)).to_bools(), m2.read(RegSel::R(7)).to_bools());
+        assert_eq!(
+            m1.read(RegSel::R(7)).to_bools(),
+            m2.read(RegSel::R(7)).to_bools()
+        );
     }
 
     #[test]

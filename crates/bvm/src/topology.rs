@@ -22,7 +22,11 @@ impl CccTopology {
     pub fn new(r: usize) -> CccTopology {
         assert!(r >= 1, "cycle length must be at least 2");
         let q = 1usize << r;
-        assert!(q + r < 31, "machine with 2^{} PEs is too large to simulate", q + r);
+        assert!(
+            q + r < 31,
+            "machine with 2^{} PEs is too large to simulate",
+            q + r
+        );
         let n = q << q;
         CccTopology { r, q, n }
     }
@@ -110,7 +114,9 @@ impl CccTopology {
 
     /// Precomputes the whole `src_of` map for a neighbour kind.
     pub fn src_map(&self, neighbor: Neighbor) -> Vec<u32> {
-        (0..self.n).map(|pe| self.src_of(pe, neighbor) as u32).collect()
+        (0..self.n)
+            .map(|pe| self.src_of(pe, neighbor) as u32)
+            .collect()
     }
 }
 

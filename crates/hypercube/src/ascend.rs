@@ -168,7 +168,10 @@ mod tests {
                 sender: false,
             });
             broadcast_from(&mut cube, src);
-            assert!(cube.pes().iter().all(|pe| pe.data == 42 && pe.sender), "src={src}");
+            assert!(
+                cube.pes().iter().all(|pe| pe.data == 42 && pe.sender),
+                "src={src}"
+            );
             assert_eq!(cube.counts().exchange, 4);
         }
     }
@@ -188,10 +191,7 @@ mod tests {
                 (0b0011, 0b0111)
             ]
         );
-        assert_eq!(
-            stages[3],
-            (0..8).map(|j| (j, j | 8)).collect::<Vec<_>>()
-        );
+        assert_eq!(stages[3], (0..8).map(|j| (j, j | 8)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -303,7 +303,11 @@ mod tests {
     fn propagation2_matches_paper_example() {
         // Paper: M=3, N=1 — PE 0111 gets data from 0001, 0010, 0100.
         let mut cube = SimdHypercube::new(4, |addr| Prop {
-            got: if (addr as u32).count_ones() == 1 { 1 << addr } else { 0 },
+            got: if (addr as u32).count_ones() == 1 {
+                1 << addr
+            } else {
+                0
+            },
             sender: (addr as u32).count_ones() == 1,
         });
         propagation2(

@@ -59,9 +59,12 @@ impl Benes {
     pub fn switch_count(&self) -> usize {
         match self {
             Benes::Base(_) => 1,
-            Benes::Rec { input, output, top, bottom } => {
-                input.len() + output.len() + top.switch_count() + bottom.switch_count()
-            }
+            Benes::Rec {
+                input,
+                output,
+                top,
+                bottom,
+            } => input.len() + output.len() + top.switch_count() + bottom.switch_count(),
         }
     }
 
@@ -76,7 +79,12 @@ impl Benes {
                     data.to_vec()
                 }
             }
-            Benes::Rec { input, output, top, bottom } => {
+            Benes::Rec {
+                input,
+                output,
+                top,
+                bottom,
+            } => {
                 let half = data.len() / 2;
                 let mut top_in = Vec::with_capacity(half);
                 let mut bot_in = Vec::with_capacity(half);

@@ -167,10 +167,7 @@ mod tests {
             let c = m.counts();
             // Exactly `phys` of the d exchanges cross wires.
             assert_eq!(c.remote_pair_ops, phys as u64 * (1 << (d - 1)));
-            assert_eq!(
-                c.local_pair_ops,
-                (d - phys) as u64 * (1 << (d - 1))
-            );
+            assert_eq!(c.local_pair_ops, (d - phys) as u64 * (1 << (d - 1)));
             assert_eq!(c.words_communicated, 2 * c.remote_pair_ops);
         }
     }

@@ -86,7 +86,13 @@ impl<T: Send + Sync> CccMachine<T> {
         let dims = q + r;
         assert!(dims < 31, "CCC with r={r} needs 2^{dims} PEs; too large");
         let pes = (0..1usize << dims).map(init).collect();
-        CccMachine { r, q, dims, pes, counts: CccStepCounts::default() }
+        CccMachine {
+            r,
+            q,
+            dims,
+            pes,
+            counts: CccStepCounts::default(),
+        }
     }
 
     /// Cycle length `Q = 2^r`.
@@ -182,7 +188,11 @@ impl<T: Send + Sync> CccMachine<T> {
     /// (ascending), through the CCC schedule. Produces exactly the state a
     /// hypercube ASCEND over the same dims would.
     pub fn ascend(&mut self, dims: Range<usize>, op: impl Fn(usize, usize, &mut T, &mut T) + Sync) {
-        assert!(dims.end <= self.dims, "dims {dims:?} exceed machine dims {}", self.dims);
+        assert!(
+            dims.end <= self.dims,
+            "dims {dims:?} exceed machine dims {}",
+            self.dims
+        );
         // Low dimensions: realized by ring transport of operand copies.
         for e in dims.start..dims.end.min(self.r) {
             self.counts.intra_cycle += 2 * (1u64 << e);
@@ -230,8 +240,16 @@ impl<T: Send + Sync> CccMachine<T> {
 
     /// Runs `op` as a DESCEND pass over hypercube dimensions `dims`
     /// (descending), through the CCC schedule.
-    pub fn descend(&mut self, dims: Range<usize>, op: impl Fn(usize, usize, &mut T, &mut T) + Sync) {
-        assert!(dims.end <= self.dims, "dims {dims:?} exceed machine dims {}", self.dims);
+    pub fn descend(
+        &mut self,
+        dims: Range<usize>,
+        op: impl Fn(usize, usize, &mut T, &mut T) + Sync,
+    ) {
+        assert!(
+            dims.end <= self.dims,
+            "dims {dims:?} exceed machine dims {}",
+            self.dims
+        );
         // High dimensions first (descending): backward rotation schedule.
         if dims.end > self.r {
             let lo_j = dims.start.saturating_sub(self.r);
@@ -285,7 +303,9 @@ mod tests {
     /// A deterministic, order-sensitive pair op: distinguishable results
     /// if any pair fires out of order or twice.
     fn scramble(dim: usize, lo_addr: usize, lo: &mut u64, hi: &mut u64) {
-        let a = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(*hi ^ dim as u64);
+        let a = lo
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(*hi ^ dim as u64);
         let b = hi
             .rotate_left(7)
             .wrapping_add(*lo)
@@ -296,7 +316,9 @@ mod tests {
     }
 
     fn init(x: usize) -> u64 {
-        (x as u64).wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1)
+        (x as u64)
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(1)
     }
 
     #[test]

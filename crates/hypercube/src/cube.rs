@@ -63,7 +63,12 @@ impl<T: Send + Sync> SimdHypercube<T> {
     pub fn new(dims: usize, init: impl Fn(usize) -> T) -> SimdHypercube<T> {
         assert!(dims < 31, "2^{dims} PEs will not fit in memory");
         let pes = (0..1usize << dims).map(init).collect();
-        SimdHypercube { dims, pes, counts: StepCounts::default(), parallel: true }
+        SimdHypercube {
+            dims,
+            pes,
+            counts: StepCounts::default(),
+            parallel: true,
+        }
     }
 
     /// Disables rayon execution (steps run on the calling thread). Useful
@@ -132,7 +137,11 @@ impl<T: Send + Sync> SimdHypercube<T> {
     /// PE pair `(x, x | 2^dim)` with `x`'s bit `dim` clear, receiving the
     /// lower address and mutable access to both states.
     pub fn exchange_step(&mut self, dim: usize, f: impl Fn(usize, &mut T, &mut T) + Sync) {
-        assert!(dim < self.dims, "dimension {dim} out of range 0..{}", self.dims);
+        assert!(
+            dim < self.dims,
+            "dimension {dim} out of range 0..{}",
+            self.dims
+        );
         self.counts.exchange += 1;
         let half = 1usize << dim;
         let block = half << 1;
@@ -178,7 +187,13 @@ mod tests {
         for (addr, v) in cube.pes().iter().enumerate() {
             assert_eq!(*v, addr as u64);
         }
-        assert_eq!(cube.counts(), StepCounts { local: 1, exchange: 0 });
+        assert_eq!(
+            cube.counts(),
+            StepCounts {
+                local: 1,
+                exchange: 0
+            }
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ mod tests {
                 sender: false,
             });
             broadcast_from(&mut cube, 0);
-            assert_eq!(cube.counts().exchange, u64::from(fan_in_lower_bound(1 << d)));
+            assert_eq!(
+                cube.counts().exchange,
+                u64::from(fan_in_lower_bound(1 << d))
+            );
         }
     }
 

@@ -72,14 +72,20 @@ pub fn exclusive_scan(cube: &mut SimdHypercube<ScanPe>) {
 pub fn scan_values(values: &[u64]) -> Vec<u64> {
     assert!(values.len().is_power_of_two());
     let d = values.len().trailing_zeros() as usize;
-    let mut cube = SimdHypercube::new(d, |x| ScanPe { value: values[x], block: 0 });
+    let mut cube = SimdHypercube::new(d, |x| ScanPe {
+        value: values[x],
+        block: 0,
+    });
     exclusive_scan(&mut cube);
     cube.pes().iter().map(|pe| pe.value).collect()
 }
 
 /// The same scan on the CCC (one ASCEND segment up, one DESCEND down).
 pub fn scan_values_ccc(values: &[u64], r: usize) -> Vec<u64> {
-    let mut ccc = CccMachine::new(r, |x| ScanPe { value: values[x], block: 0 });
+    let mut ccc = CccMachine::new(r, |x| ScanPe {
+        value: values[x],
+        block: 0,
+    });
     let d = ccc.dims();
     assert_eq!(values.len(), 1 << d);
     ccc.local_step(|_, pe| {
@@ -122,8 +128,9 @@ mod tests {
     fn matches_reference_for_all_small_sizes() {
         for d in 0..=10usize {
             let n = 1usize << d;
-            let values: Vec<u64> =
-                (0..n).map(|x| (x as u64).wrapping_mul(37) % 101 + 1).collect();
+            let values: Vec<u64> = (0..n)
+                .map(|x| (x as u64).wrapping_mul(37) % 101 + 1)
+                .collect();
             assert_eq!(scan_values(&values), reference_scan(&values), "d={d}");
         }
     }
@@ -131,7 +138,10 @@ mod tests {
     #[test]
     fn uses_2d_exchange_steps() {
         let d = 6;
-        let mut cube = SimdHypercube::new(d, |x| ScanPe { value: x as u64, block: 0 });
+        let mut cube = SimdHypercube::new(d, |x| ScanPe {
+            value: x as u64,
+            block: 0,
+        });
         exclusive_scan(&mut cube);
         assert_eq!(cube.counts().exchange, 2 * d as u64);
     }
@@ -140,8 +150,7 @@ mod tests {
     fn ccc_scan_matches_hypercube_scan() {
         for r in [1usize, 2] {
             let d = (1 << r) + r;
-            let values: Vec<u64> =
-                (0..1usize << d).map(|x| (x as u64 * 13) % 29).collect();
+            let values: Vec<u64> = (0..1usize << d).map(|x| (x as u64 * 13) % 29).collect();
             assert_eq!(scan_values_ccc(&values, r), scan_values(&values), "r={r}");
         }
     }

@@ -69,9 +69,15 @@ impl BinaryTesting {
             return Err(TtError::BadUniverseSize { k });
         }
         if weights.len() != k {
-            return Err(TtError::WeightCountMismatch { k, got: weights.len() });
+            return Err(TtError::WeightCountMismatch {
+                k,
+                got: weights.len(),
+            });
         }
-        assert!(weights.iter().all(|&w| w >= 1), "binary testing weights must be >= 1");
+        assert!(
+            weights.iter().all(|&w| w >= 1),
+            "binary testing weights must be >= 1"
+        );
         for (idx, (s, _)) in tests.iter().enumerate() {
             if !s.is_subset_of(Subset::universe(k)) {
                 return Err(TtError::ActionOutOfUniverse { action: idx });
@@ -128,7 +134,8 @@ impl BinaryTesting {
         for j in 0..self.k {
             b = b.treatment(Subset::singleton(j), c);
         }
-        b.build().expect("embedding of a validated instance is valid")
+        b.build()
+            .expect("embedding of a validated instance is valid")
     }
 
     /// Solves via the TT reduction: returns the minimum expected **test**
@@ -149,7 +156,11 @@ impl BinaryTesting {
             }
             None => Cost::INF,
         };
-        BinaryTestingSolution { cost, tree: sol.tree, embedded }
+        BinaryTestingSolution {
+            cost,
+            tree: sol.tree,
+            embedded,
+        }
     }
 }
 
@@ -162,8 +173,7 @@ pub fn huffman_cost(weights: &[u64]) -> u64 {
     if weights.len() <= 1 {
         return 0;
     }
-    let mut heap: BinaryHeap<Reverse<u64>> =
-        weights.iter().map(|&w| Reverse(w)).collect();
+    let mut heap: BinaryHeap<Reverse<u64>> = weights.iter().map(|&w| Reverse(w)).collect();
     let mut total = 0u64;
     while heap.len() > 1 {
         let Reverse(a) = heap.pop().unwrap();

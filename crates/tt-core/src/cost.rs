@@ -74,7 +74,12 @@ impl Cost {
         if self.is_inf() || rhs.is_inf() {
             Cost::INF
         } else {
-            Cost(self.0.checked_add(rhs.0).unwrap_or(u64::MAX - 1).min(u64::MAX - 1))
+            Cost(
+                self.0
+                    .checked_add(rhs.0)
+                    .unwrap_or(u64::MAX - 1)
+                    .min(u64::MAX - 1),
+            )
         }
     }
 
@@ -85,7 +90,12 @@ impl Cost {
         if self.is_inf() {
             Cost::INF
         } else {
-            Cost(self.0.checked_mul(w).unwrap_or(u64::MAX - 1).min(u64::MAX - 1))
+            Cost(
+                self.0
+                    .checked_mul(w)
+                    .unwrap_or(u64::MAX - 1)
+                    .min(u64::MAX - 1),
+            )
         }
     }
 

@@ -54,7 +54,10 @@ impl fmt::Display for TtError {
             }
             TtError::NoActions => write!(f, "instance has no tests or treatments"),
             TtError::Inadequate { untreatable } => {
-                write!(f, "instance is inadequate: objects {untreatable} have no treatment")
+                write!(
+                    f,
+                    "instance is inadequate: objects {untreatable} have no treatment"
+                )
             }
         }
     }

@@ -133,7 +133,8 @@ impl TtInstance {
 
     /// The set weight `p(S) = Σ_{j∈S} P_j` (saturating).
     pub fn weight_of(&self, s: Subset) -> u64 {
-        s.iter().fold(0u64, |acc, j| acc.saturating_add(self.weights[j]))
+        s.iter()
+            .fold(0u64, |acc, j| acc.saturating_add(self.weights[j]))
     }
 
     /// Total weight `p(U)`.
@@ -213,7 +214,11 @@ impl TtInstanceBuilder {
     /// Starts an instance over a `k`-object universe. Weights default to 1
     /// (uniform priors) unless [`weights`](Self::weights) is called.
     pub fn new(k: usize) -> TtInstanceBuilder {
-        TtInstanceBuilder { k, weights: None, actions: Vec::new() }
+        TtInstanceBuilder {
+            k,
+            weights: None,
+            actions: Vec::new(),
+        }
     }
 
     /// Sets the object weights `P_0 … P_{k−1}`.
@@ -224,13 +229,21 @@ impl TtInstanceBuilder {
 
     /// Adds a test on `set` with cost `cost`.
     pub fn test(mut self, set: Subset, cost: u64) -> Self {
-        self.actions.push(Action { set, cost, kind: ActionKind::Test });
+        self.actions.push(Action {
+            set,
+            cost,
+            kind: ActionKind::Test,
+        });
         self
     }
 
     /// Adds a treatment on `set` with cost `cost`.
     pub fn treatment(mut self, set: Subset, cost: u64) -> Self {
-        self.actions.push(Action { set, cost, kind: ActionKind::Treatment });
+        self.actions.push(Action {
+            set,
+            cost,
+            kind: ActionKind::Treatment,
+        });
         self
     }
 
@@ -249,7 +262,10 @@ impl TtInstanceBuilder {
         }
         let weights = self.weights.unwrap_or_else(|| vec![1; k]);
         if weights.len() != k {
-            return Err(TtError::WeightCountMismatch { k, got: weights.len() });
+            return Err(TtError::WeightCountMismatch {
+                k,
+                got: weights.len(),
+            });
         }
         if self.actions.is_empty() {
             return Err(TtError::NoActions);
@@ -263,11 +279,20 @@ impl TtInstanceBuilder {
                 return Err(TtError::EmptyAction { action: idx });
             }
         }
-        let mut actions: Vec<Action> =
-            self.actions.iter().copied().filter(Action::is_test).collect();
+        let mut actions: Vec<Action> = self
+            .actions
+            .iter()
+            .copied()
+            .filter(Action::is_test)
+            .collect();
         let m = actions.len();
         actions.extend(self.actions.iter().copied().filter(Action::is_treatment));
-        Ok(TtInstance { k, weights, actions, m })
+        Ok(TtInstance {
+            k,
+            weights,
+            actions,
+            m,
+        })
     }
 }
 
@@ -341,7 +366,9 @@ mod tests {
         assert_eq!(bad.untreatable(), Subset::singleton(1));
         assert_eq!(
             bad.require_adequate(),
-            Err(TtError::Inadequate { untreatable: Subset::singleton(1) })
+            Err(TtError::Inadequate {
+                untreatable: Subset::singleton(1)
+            })
         );
     }
 
@@ -352,16 +379,26 @@ mod tests {
             Err(TtError::BadUniverseSize { k: 0 })
         ));
         assert!(matches!(
-            TtInstanceBuilder::new(2).weights([1]).treatment(Subset::singleton(0), 1).build(),
+            TtInstanceBuilder::new(2)
+                .weights([1])
+                .treatment(Subset::singleton(0), 1)
+                .build(),
             Err(TtError::WeightCountMismatch { k: 2, got: 1 })
         ));
-        assert!(matches!(TtInstanceBuilder::new(2).build(), Err(TtError::NoActions)));
         assert!(matches!(
-            TtInstanceBuilder::new(2).treatment(Subset::singleton(5), 1).build(),
+            TtInstanceBuilder::new(2).build(),
+            Err(TtError::NoActions)
+        ));
+        assert!(matches!(
+            TtInstanceBuilder::new(2)
+                .treatment(Subset::singleton(5), 1)
+                .build(),
             Err(TtError::ActionOutOfUniverse { action: 0 })
         ));
         assert!(matches!(
-            TtInstanceBuilder::new(2).treatment(Subset::EMPTY, 1).build(),
+            TtInstanceBuilder::new(2)
+                .treatment(Subset::EMPTY, 1)
+                .build(),
             Err(TtError::EmptyAction { action: 0 })
         ));
     }

@@ -95,10 +95,15 @@ pub fn from_text(text: &str) -> Result<TtInstance, ParseError> {
         }
         let mut parts = line.split_whitespace();
         let keyword = parts.next().expect("non-empty line has a token");
-        let syntax = |message: String| ParseError::Syntax { line: line_no, message };
+        let syntax = |message: String| ParseError::Syntax {
+            line: line_no,
+            message,
+        };
         match keyword {
             "tt" => {
-                let v = parts.next().ok_or_else(|| syntax("missing version".into()))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| syntax("missing version".into()))?;
                 if v != "1" {
                     return Err(syntax(format!("unsupported version {v}")));
                 }
@@ -113,8 +118,7 @@ pub fn from_text(text: &str) -> Result<TtInstance, ParseError> {
             }
             "weights" => {
                 let ws: Result<Vec<u64>, _> = parts.map(str::parse).collect();
-                weights =
-                    Some(ws.map_err(|e| syntax(format!("bad weight: {e}")))?);
+                weights = Some(ws.map_err(|e| syntax(format!("bad weight: {e}")))?);
             }
             "test" | "treat" => {
                 let rest: Vec<&str> = line.splitn(2, char::is_whitespace).collect();
@@ -126,8 +130,9 @@ pub fn from_text(text: &str) -> Result<TtInstance, ParseError> {
                     .ok_or_else(|| syntax("missing '| cost'".into()))?;
                 let mut set = Subset::EMPTY;
                 for tok in objs.split_whitespace() {
-                    let j: usize =
-                        tok.parse().map_err(|e| syntax(format!("bad object: {e}")))?;
+                    let j: usize = tok
+                        .parse()
+                        .map_err(|e| syntax(format!("bad object: {e}")))?;
                     if j >= 32 {
                         return Err(syntax(format!("object {j} out of range")));
                     }
@@ -137,8 +142,11 @@ pub fn from_text(text: &str) -> Result<TtInstance, ParseError> {
                     .trim()
                     .parse()
                     .map_err(|e| syntax(format!("bad cost: {e}")))?;
-                let kind =
-                    if keyword == "test" { ActionKind::Test } else { ActionKind::Treatment };
+                let kind = if keyword == "test" {
+                    ActionKind::Test
+                } else {
+                    ActionKind::Treatment
+                };
                 actions.push(Action { set, cost, kind });
             }
             other => return Err(syntax(format!("unknown keyword '{other}'"))),
@@ -203,7 +211,10 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert!(matches!(from_text(""), Err(ParseError::Missing(_))));
-        assert!(matches!(from_text("tt 2\n"), Err(ParseError::Syntax { .. })));
+        assert!(matches!(
+            from_text("tt 2\n"),
+            Err(ParseError::Syntax { .. })
+        ));
         assert!(matches!(
             from_text("tt 1\nobjects 2\nfoo\n"),
             Err(ParseError::Syntax { .. })

@@ -73,7 +73,11 @@ pub fn reduce(inst: &TtInstance) -> Reduced {
             }
         }
     }
-    Reduced { removed: inst.n_actions() - keep.len(), instance: reduced, original_index }
+    Reduced {
+        removed: inst.n_actions() - keep.len(),
+        instance: reduced,
+        original_index,
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ impl<'a> Bounds<'a> {
                     .min()
             })
             .collect();
-        Bounds { inst, tmin, weight_table: inst.weight_table() }
+        Bounds {
+            inst,
+            tmin,
+            weight_table: inst.weight_table(),
+        }
     }
 
     /// The treatment-charge bound for `S`.
@@ -71,8 +75,7 @@ impl<'a> Bounds<'a> {
             if inter.is_empty() || (a.is_test() && diff.is_empty()) {
                 continue;
             }
-            let mut est = Cost::new(a.cost)
-                .saturating_mul_weight(self.weight_table[s.index()]);
+            let mut est = Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
             est += self.treatment_charge(diff);
             if a.is_test() {
                 est += self.treatment_charge(inter);
@@ -91,8 +94,7 @@ impl<'a> Bounds<'a> {
         if inter.is_empty() || (a.is_test() && diff.is_empty()) {
             return Cost::INF;
         }
-        let mut est =
-            Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
+        let mut est = Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
         est += self.treatment_charge(diff);
         if a.is_test() {
             est += self.treatment_charge(inter);

@@ -72,8 +72,7 @@ impl Bnb<'_> {
             let a = self.inst.action(i);
             let inter = s.intersect(a.set);
             let diff = s.difference(a.set);
-            let mut m =
-                Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
+            let mut m = Cost::new(a.cost).saturating_mul_weight(self.weight_table[s.index()]);
             m += self.c(diff);
             if a.is_test() {
                 m += self.c(inter);
@@ -140,7 +139,11 @@ pub fn solve(inst: &TtInstance) -> BnbSolution {
     let cost = bnb.c(inst.universe());
     bnb.stats.subsets = bnb.memo.len();
     let tree = bnb.tree(inst.universe());
-    BnbSolution { cost, tree, stats: bnb.stats }
+    BnbSolution {
+        cost,
+        tree,
+        stats: bnb.stats,
+    }
 }
 
 #[cfg(test)]

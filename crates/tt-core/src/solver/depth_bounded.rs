@@ -76,8 +76,7 @@ pub fn solve(inst: &TtInstance, max_depth: usize) -> DepthBoundedSolution {
                 if inter.is_empty() || (a.is_test() && diff.is_empty()) {
                     continue;
                 }
-                let mut m =
-                    Cost::new(a.cost).saturating_mul_weight(weight_table[mask]);
+                let mut m = Cost::new(a.cost).saturating_mul_weight(weight_table[mask]);
                 m += cost_prev[diff.index()];
                 if a.is_test() {
                     m += cost_prev[inter.index()];
@@ -104,10 +103,16 @@ pub fn solve(inst: &TtInstance, max_depth: usize) -> DepthBoundedSolution {
     }
 
     let final_cost = *curve.last().expect("curve non-empty");
-    let saturation_depth =
-        curve.iter().position(|&c| c == final_cost).unwrap_or(max_depth);
+    let saturation_depth = curve
+        .iter()
+        .position(|&c| c == final_cost)
+        .unwrap_or(max_depth);
     let tree = extract(inst, &levels, &best, Subset::universe(k), max_depth);
-    DepthBoundedSolution { curve, tree, saturation_depth }
+    DepthBoundedSolution {
+        curve,
+        tree,
+        saturation_depth,
+    }
 }
 
 fn extract(
@@ -134,7 +139,10 @@ fn extract(
         if remaining.is_empty() {
             Some(TtTree::leaf(i))
         } else {
-            Some(TtTree::treat_then(i, extract(inst, levels, best, remaining, d - 1)?))
+            Some(TtTree::treat_then(
+                i,
+                extract(inst, levels, best, remaining, d - 1)?,
+            ))
         }
     }
 }

@@ -1,0 +1,485 @@
+//! The unified solver engine layer.
+//!
+//! Every backend in this workspace — the sequential DP, its ablations,
+//! the heuristics, and the machine simulations in `tt-parallel` — solves
+//! the same problem: given a [`TtInstance`], produce `C(U)` and
+//! (when finite) an optimal procedure tree. This module gives them one
+//! face: the [`Solver`] trait, the uniform [`SolveReport`] /
+//! [`WorkStats`] result, and a [`registry`] with name-based [`lookup`].
+//!
+//! `tt-core` registers its own five engines; crates downstream (e.g.
+//! `tt-parallel`) contribute theirs through [`register_extension`], so
+//! this crate stays dependency-free while consumers see a single list.
+//!
+//! Adding a backend is one file: implement [`Solver`], append the
+//! engine to your crate's provider function, and every consumer — the
+//! `ttsolve` CLI, the experiments harness, the agreement tests — picks
+//! it up without further wiring.
+
+use crate::cost::Cost;
+use crate::instance::TtInstance;
+use crate::solver::{branch_and_bound, exhaustive, greedy, memo, sequential};
+use crate::tree::TtTree;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What kind of algorithm an engine is — determines which correctness
+/// promises consumers may rely on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Sequential and exact: the reported cost is the optimum.
+    Exact,
+    /// Shared-memory parallel and exact.
+    Parallel,
+    /// A simulated parallel machine (hypercube, CCC, BVM); exact, and
+    /// the report carries simulated step counts.
+    Machine,
+    /// A polynomial-time heuristic: the cost is an upper bound only.
+    Heuristic,
+}
+
+impl EngineKind {
+    /// Whether engines of this kind report the exact optimum.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, EngineKind::Heuristic)
+    }
+}
+
+/// Work accounting common to every engine.
+///
+/// Fields an engine has nothing to say about stay zero; counters that
+/// exist only on one backend go in [`extras`](WorkStats::extras) under a
+/// stable name. The scalar fields are the superset of what the
+/// individual result structs exposed before this layer existed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Subsets whose `C(S)` was computed (≤ `2^k`; for the full-lattice
+    /// solvers exactly `2^k`, for `memo`/`bnb` the reachable count).
+    pub subsets: u64,
+    /// `(S, i)` candidate evaluations performed (for `bnb`, candidates
+    /// expanded past the bound; for `exhaustive`, trees costed).
+    pub candidates: u64,
+    /// Candidates skipped by an admissible bound (branch and bound).
+    pub pruned: u64,
+    /// Simulated parallel machine steps (exchange + local for the
+    /// hypercube, link steps for the CCC, instructions for the BVM).
+    pub machine_steps: u64,
+    /// Processing elements the backend used (simulated PEs for the
+    /// machines, worker threads for `rayon`).
+    pub pes: u64,
+    /// Backend-specific counters under stable names.
+    pub extras: Vec<(String, u64)>,
+}
+
+impl WorkStats {
+    /// Looks up a backend-specific counter by name.
+    pub fn extra(&self, name: &str) -> Option<u64> {
+        self.extras.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Adds a backend-specific counter.
+    pub fn push_extra(&mut self, name: impl Into<String>, value: u64) {
+        self.extras.push((name.into(), value));
+    }
+}
+
+impl std::fmt::Display for WorkStats {
+    /// One line, only the populated counters: the uniform `--stats`
+    /// output of `ttsolve`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for (name, v) in [
+            ("subsets", self.subsets),
+            ("candidates", self.candidates),
+            ("pruned", self.pruned),
+            ("machine_steps", self.machine_steps),
+            ("pes", self.pes),
+        ] {
+            if v != 0 {
+                parts.push(format!("{name}={v}"));
+            }
+        }
+        for (name, v) in &self.extras {
+            parts.push(format!("{name}={v}"));
+        }
+        if parts.is_empty() {
+            parts.push("no counters".to_string());
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// The uniform result of one engine run.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The procedure cost the engine achieved: the optimum `C(U)` for
+    /// exact engines, an upper bound for heuristics, `INF` iff no
+    /// successful procedure exists (heuristics included).
+    pub cost: Cost,
+    /// A procedure tree achieving `cost`, or `None` when `cost` is INF.
+    pub tree: Option<TtTree>,
+    /// Work accounting.
+    pub work: WorkStats,
+    /// Wall-clock time of the solve (including tree extraction).
+    pub wall: Duration,
+}
+
+/// A solver backend under the uniform interface.
+///
+/// Implementations must be self-contained values (`Send + Sync`) so the
+/// registry can hand them out freely.
+pub trait Solver: Send + Sync {
+    /// The engine's registry name (lower-case, stable).
+    fn name(&self) -> &'static str;
+
+    /// What kind of algorithm this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Solves the instance, timing the run.
+    fn solve(&self, inst: &TtInstance) -> SolveReport;
+
+    /// The largest `k` this engine can handle in reasonable time and
+    /// memory; consumers iterating the registry should skip larger
+    /// instances.
+    fn max_k(&self) -> usize {
+        crate::MAX_K
+    }
+
+    /// Alternative names accepted by [`lookup`].
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line human description for listings.
+    fn description(&self) -> &'static str {
+        ""
+    }
+}
+
+/// Times `f` and assembles its pieces into a [`SolveReport`].
+pub fn timed_report(f: impl FnOnce() -> (Cost, Option<TtTree>, WorkStats)) -> SolveReport {
+    let start = Instant::now();
+    let (cost, tree, work) = f();
+    SolveReport {
+        cost,
+        tree,
+        work,
+        wall: start.elapsed(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The five tt-core engines.
+// ---------------------------------------------------------------------
+
+/// Bottom-up DP over the full lattice (the paper's `T_1` baseline).
+struct SequentialEngine;
+
+impl Solver for SequentialEngine {
+    fn name(&self) -> &'static str {
+        "seq"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["sequential"]
+    }
+    fn description(&self) -> &'static str {
+        "bottom-up DP over the full subset lattice (T_1 baseline)"
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = sequential::solve(inst);
+            let work = WorkStats {
+                subsets: s.stats.subsets,
+                candidates: s.stats.candidates,
+                ..WorkStats::default()
+            };
+            (s.cost, s.tree, work)
+        })
+    }
+}
+
+/// Top-down memoized DP over reachable subsets only.
+struct MemoEngine;
+
+impl Solver for MemoEngine {
+    fn name(&self) -> &'static str {
+        "memo"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+    fn description(&self) -> &'static str {
+        "top-down memoized DP over reachable subsets"
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = memo::solve(inst);
+            let work = WorkStats {
+                subsets: s.reachable_subsets as u64,
+                candidates: s.candidates,
+                ..WorkStats::default()
+            };
+            (s.cost, s.tree, work)
+        })
+    }
+}
+
+/// Memoized DP with admissible bound-ordered pruning.
+struct BnbEngine;
+
+impl Solver for BnbEngine {
+    fn name(&self) -> &'static str {
+        "bnb"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["branch-and-bound", "branch_and_bound"]
+    }
+    fn description(&self) -> &'static str {
+        "memoized DP with bound-ordered candidate pruning"
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = branch_and_bound::solve(inst);
+            let work = WorkStats {
+                subsets: s.stats.subsets as u64,
+                candidates: s.stats.expanded,
+                pruned: s.stats.pruned,
+                ..WorkStats::default()
+            };
+            (s.cost, s.tree, work)
+        })
+    }
+}
+
+/// Explicit enumeration of every valid procedure tree (ground truth).
+struct ExhaustiveEngine;
+
+impl Solver for ExhaustiveEngine {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["enum"]
+    }
+    fn description(&self) -> &'static str {
+        "enumerates every valid procedure tree (tiny instances only)"
+    }
+    fn max_k(&self) -> usize {
+        3
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let trees = exhaustive::count_trees(inst, inst.universe());
+            let (cost, tree) = exhaustive::best_tree(inst);
+            let mut work = WorkStats {
+                candidates: trees,
+                ..WorkStats::default()
+            };
+            work.push_extra("trees", trees);
+            (cost, tree, work)
+        })
+    }
+}
+
+/// One myopic heuristic under the uniform interface.
+struct GreedyEngine {
+    heuristic: greedy::Heuristic,
+    name: &'static str,
+    description: &'static str,
+}
+
+impl Solver for GreedyEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Heuristic
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| match greedy::solve(inst, self.heuristic) {
+            Some(s) => {
+                let work = WorkStats {
+                    subsets: s.tree.size() as u64,
+                    ..WorkStats::default()
+                };
+                (s.cost, Some(s.tree), work)
+            }
+            None => (Cost::INF, None, WorkStats::default()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+/// A function contributing engines from a downstream crate.
+pub type EngineProvider = fn() -> Vec<Box<dyn Solver>>;
+
+static EXTENSIONS: Mutex<Vec<EngineProvider>> = Mutex::new(Vec::new());
+
+/// The engines implemented inside `tt-core` itself.
+pub fn core_engines() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(SequentialEngine),
+        Box::new(MemoEngine),
+        Box::new(BnbEngine),
+        Box::new(ExhaustiveEngine),
+        Box::new(GreedyEngine {
+            heuristic: greedy::Heuristic::SplitBalance,
+            name: "greedy",
+            description: "split-balance heuristic (upper bound)",
+        }),
+        Box::new(GreedyEngine {
+            heuristic: greedy::Heuristic::TreatOnlyCover,
+            name: "greedy-cover",
+            description: "treat-only set-cover heuristic (upper bound)",
+        }),
+        Box::new(GreedyEngine {
+            heuristic: greedy::Heuristic::EntropyGain,
+            name: "greedy-entropy",
+            description: "entropy-gain heuristic (upper bound)",
+        }),
+    ]
+}
+
+/// Registers a downstream engine provider. Registering the same
+/// provider function twice is a no-op, so callers need no `Once` guard.
+pub fn register_extension(provider: EngineProvider) {
+    let mut ext = EXTENSIONS.lock().expect("engine registry poisoned");
+    #[allow(unpredictable_function_pointer_comparisons)]
+    if !ext.contains(&provider) {
+        ext.push(provider);
+    }
+}
+
+/// All registered engines: tt-core's own, then each extension's, in
+/// registration order, deduplicated by name (first registration wins).
+pub fn registry() -> Vec<Box<dyn Solver>> {
+    let mut engines = core_engines();
+    {
+        let ext = EXTENSIONS.lock().expect("engine registry poisoned");
+        for provider in ext.iter() {
+            engines.extend(provider());
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    engines.retain(|e| seen.insert(e.name()));
+    engines
+}
+
+/// Finds an engine by name or alias (case-insensitive).
+pub fn lookup(name: &str) -> Option<Box<dyn Solver>> {
+    let want = name.to_ascii_lowercase();
+    registry()
+        .into_iter()
+        .find(|e| e.name() == want || e.aliases().iter().any(|a| *a == want))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::subset::Subset;
+
+    fn small_instance() -> TtInstance {
+        // Two objects; one test separating them, one treatment each.
+        TtInstanceBuilder::new(2)
+            .weights([1, 1])
+            .test(Subset(0b01), 1)
+            .treatment(Subset(0b01), 2)
+            .treatment(Subset(0b10), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn core_engines_have_unique_names_and_aliases() {
+        let engines = core_engines();
+        let mut names: Vec<&str> = engines.iter().map(|e| e.name()).collect();
+        for e in &engines {
+            names.extend(e.aliases());
+        }
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate engine name or alias");
+    }
+
+    #[test]
+    fn lookup_finds_names_and_aliases() {
+        assert_eq!(lookup("seq").unwrap().name(), "seq");
+        assert_eq!(lookup("sequential").unwrap().name(), "seq");
+        assert_eq!(lookup("BnB").unwrap().name(), "bnb");
+        assert!(lookup("no-such-engine").is_none());
+    }
+
+    #[test]
+    fn exact_core_engines_agree_on_a_small_instance() {
+        let inst = small_instance();
+        let reports: Vec<(String, SolveReport)> = core_engines()
+            .iter()
+            .filter(|e| e.kind().is_exact())
+            .map(|e| (e.name().to_string(), e.solve(&inst)))
+            .collect();
+        let (name0, first) = &reports[0];
+        assert!(first.cost.is_finite());
+        for (name, r) in &reports {
+            assert_eq!(r.cost, first.cost, "{name} disagrees with {name0}");
+            let t = r.tree.as_ref().expect("finite cost must carry a tree");
+            t.validate(&inst).unwrap();
+            assert_eq!(t.expected_cost(&inst), r.cost);
+        }
+    }
+
+    #[test]
+    fn heuristic_engines_upper_bound_the_optimum() {
+        let inst = small_instance();
+        let opt = lookup("seq").unwrap().solve(&inst).cost;
+        for e in core_engines() {
+            if e.kind() == EngineKind::Heuristic {
+                let r = e.solve(&inst);
+                assert!(r.cost >= opt, "{} beat the optimum", e.name());
+                assert!(r.cost.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn work_stats_display_shows_only_populated_fields() {
+        let mut w = WorkStats {
+            subsets: 4,
+            candidates: 12,
+            ..WorkStats::default()
+        };
+        w.push_extra("trees", 7);
+        assert_eq!(w.to_string(), "subsets=4 candidates=12 trees=7");
+        assert_eq!(WorkStats::default().to_string(), "no counters");
+        assert_eq!(w.extra("trees"), Some(7));
+        assert_eq!(w.extra("absent"), None);
+    }
+
+    #[test]
+    fn registering_the_same_provider_twice_is_a_noop() {
+        fn empty_provider() -> Vec<Box<dyn Solver>> {
+            Vec::new()
+        }
+        let before = EXTENSIONS.lock().unwrap().len();
+        register_extension(empty_provider);
+        register_extension(empty_provider);
+        let after = EXTENSIONS.lock().unwrap().len();
+        assert_eq!(after, before + 1);
+    }
+}

@@ -161,11 +161,7 @@ mod tests {
 /// them (memoized over live sets): the size of the search space the DP
 /// tames. Saturates at `u64::MAX`.
 pub fn count_trees(inst: &TtInstance, live: Subset) -> u64 {
-    fn go(
-        inst: &TtInstance,
-        live: Subset,
-        memo: &mut std::collections::HashMap<u32, u64>,
-    ) -> u64 {
+    fn go(inst: &TtInstance, live: Subset, memo: &mut std::collections::HashMap<u32, u64>) -> u64 {
         if live.is_empty() {
             return 1; // the absent subtree
         }
@@ -247,11 +243,15 @@ mod count_tests {
         for a in inst.actions() {
             b2 = b2.action(*a);
         }
-        let rich = b2.test(Subset::from_iter([0, 1]), 1)
+        let rich = b2
+            .test(Subset::from_iter([0, 1]), 1)
             .test(Subset::from_iter([0, 1, 2]), 1)
             .build()
             .unwrap();
         let n2 = count_trees(&rich, rich.universe());
-        assert!(n2 > n, "richer action set must enlarge the space: {n2} vs {n}");
+        assert!(
+            n2 > n,
+            "richer action set must enlarge the space: {n2} vs {n}"
+        );
     }
 }

@@ -170,7 +170,11 @@ mod tests {
     #[test]
     fn all_heuristics_build_valid_procedures() {
         let i = inst();
-        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+        for h in [
+            Heuristic::SplitBalance,
+            Heuristic::TreatOnlyCover,
+            Heuristic::EntropyGain,
+        ] {
             let g = solve(&i, h).unwrap();
             g.tree.validate(&i).unwrap();
             assert_eq!(g.tree.expected_cost(&i), g.cost);
@@ -181,7 +185,11 @@ mod tests {
     fn heuristics_are_upper_bounds_on_the_optimum() {
         let i = inst();
         let opt = sequential::solve(&i).cost;
-        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+        for h in [
+            Heuristic::SplitBalance,
+            Heuristic::TreatOnlyCover,
+            Heuristic::EntropyGain,
+        ] {
             let g = solve(&i, h).unwrap();
             assert!(g.cost >= opt, "{h:?}: {} < optimal {}", g.cost, opt);
         }
@@ -211,7 +219,11 @@ mod tests {
             .treatment(Subset::singleton(0), 1)
             .build()
             .unwrap();
-        for h in [Heuristic::SplitBalance, Heuristic::TreatOnlyCover, Heuristic::EntropyGain] {
+        for h in [
+            Heuristic::SplitBalance,
+            Heuristic::TreatOnlyCover,
+            Heuristic::EntropyGain,
+        ] {
             assert!(solve(&i, h).is_none());
         }
     }

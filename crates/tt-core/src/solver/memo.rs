@@ -50,8 +50,7 @@ impl Memo<'_> {
                 continue;
             }
             self.candidates += 1;
-            let charged =
-                Cost::new(a.cost).saturating_mul_weight(self.inst.weight_of(s));
+            let charged = Cost::new(a.cost).saturating_mul_weight(self.inst.weight_of(s));
             let m = if a.is_test() {
                 charged + self.c(inter) + self.c(diff)
             } else {
@@ -93,7 +92,11 @@ impl Memo<'_> {
 
 /// Solves `inst` top-down, touching only reachable subsets.
 pub fn solve(inst: &TtInstance) -> MemoSolution {
-    let mut memo = Memo { inst, cost: HashMap::new(), candidates: 0 };
+    let mut memo = Memo {
+        inst,
+        cost: HashMap::new(),
+        candidates: 0,
+    };
     let cost = memo.c(inst.universe());
     let tree = memo.tree(inst.universe());
     MemoSolution {

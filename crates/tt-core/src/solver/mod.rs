@@ -16,13 +16,17 @@
 //!   pruning; exact, often far cheaper than the full recurrence.
 //! * [`depth_bounded`] — the best procedure within a path-length budget,
 //!   with the anytime curve `d ↦ C_d(U)`.
+//! * [`engine`] — the uniform [`Solver`] trait, [`SolveReport`] result,
+//!   and engine [`registry`] every consumer dispatches through.
 
 pub mod bounds;
 pub mod branch_and_bound;
 pub mod depth_bounded;
+pub mod engine;
 pub mod exhaustive;
 pub mod greedy;
 pub mod memo;
 pub mod sequential;
 
+pub use engine::{lookup, registry, EngineKind, SolveReport, Solver, WorkStats};
 pub use sequential::{solve, DpStats, DpTables, Solution};

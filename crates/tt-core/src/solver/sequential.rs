@@ -90,7 +90,12 @@ pub fn solve(inst: &TtInstance) -> Solution {
     let root = inst.universe();
     let cost = tables.cost[root.index()];
     let tree = extract_tree(inst, &tables, root);
-    Solution { cost, tree, stats, tables }
+    Solution {
+        cost,
+        tree,
+        stats,
+        tables,
+    }
 }
 
 /// Computes only the DP tables (no tree extraction).
@@ -230,7 +235,13 @@ mod tests {
         // Only the treatment applies at U: C(U) = 5·2 = 10.
         assert_eq!(sol.cost, Cost::new(10));
         let t = sol.tree.unwrap();
-        assert!(matches!(t, TtTree::Treatment { action: 1, failure: None }));
+        assert!(matches!(
+            t,
+            TtTree::Treatment {
+                action: 1,
+                failure: None
+            }
+        ));
     }
 
     #[test]

@@ -62,10 +62,28 @@ fn walk(
         return;
     }
     match tree {
-        TtTree::Test { action, positive, negative } => {
+        TtTree::Test {
+            action,
+            positive,
+            negative,
+        } => {
             let a = inst.action(*action);
-            walk(positive, inst, live.intersect(a.set), tests + 1, treats, out);
-            walk(negative, inst, live.difference(a.set), tests + 1, treats, out);
+            walk(
+                positive,
+                inst,
+                live.intersect(a.set),
+                tests + 1,
+                treats,
+                out,
+            );
+            walk(
+                negative,
+                inst,
+                live.difference(a.set),
+                tests + 1,
+                treats,
+                out,
+            );
         }
         TtTree::Treatment { action, failure } => {
             let a = inst.action(*action);

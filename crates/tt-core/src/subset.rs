@@ -328,7 +328,10 @@ mod tests {
     #[test]
     fn of_size_oversize_is_empty() {
         assert_eq!(Subset::of_size(3, 4).count(), 0);
-        assert_eq!(Subset::of_size(0, 0).collect::<Vec<_>>(), vec![Subset::EMPTY]);
+        assert_eq!(
+            Subset::of_size(0, 0).collect::<Vec<_>>(),
+            vec![Subset::EMPTY]
+        );
     }
 
     #[test]

@@ -101,10 +101,16 @@ impl fmt::Display for TreeError {
                 write!(f, "treatment {action} treats nothing of live set {live}")
             }
             TreeError::MissingFailureBranch { action, remaining } => {
-                write!(f, "treatment {action} leaves {remaining} untreated with no failure branch")
+                write!(
+                    f,
+                    "treatment {action} leaves {remaining} untreated with no failure branch"
+                )
             }
             TreeError::SpuriousFailureBranch { action } => {
-                write!(f, "treatment {action} has a failure branch but nothing can remain")
+                write!(
+                    f,
+                    "treatment {action} has a failure branch but nothing can remain"
+                )
             }
         }
     }
@@ -115,38 +121,46 @@ impl std::error::Error for TreeError {}
 impl TtTree {
     /// A treatment leaf (no failure branch).
     pub fn leaf(action: usize) -> TtTree {
-        TtTree::Treatment { action, failure: None }
+        TtTree::Treatment {
+            action,
+            failure: None,
+        }
     }
 
     /// A treatment node with a failure branch.
     pub fn treat_then(action: usize, failure: TtTree) -> TtTree {
-        TtTree::Treatment { action, failure: Some(Box::new(failure)) }
+        TtTree::Treatment {
+            action,
+            failure: Some(Box::new(failure)),
+        }
     }
 
     /// A test node.
     pub fn test(action: usize, positive: TtTree, negative: TtTree) -> TtTree {
-        TtTree::Test { action, positive: Box::new(positive), negative: Box::new(negative) }
+        TtTree::Test {
+            action,
+            positive: Box::new(positive),
+            negative: Box::new(negative),
+        }
     }
 
     /// Number of nodes in the tree.
     pub fn size(&self) -> usize {
         match self {
-            TtTree::Test { positive, negative, .. } => 1 + positive.size() + negative.size(),
-            TtTree::Treatment { failure, .. } => {
-                1 + failure.as_ref().map_or(0, |t| t.size())
-            }
+            TtTree::Test {
+                positive, negative, ..
+            } => 1 + positive.size() + negative.size(),
+            TtTree::Treatment { failure, .. } => 1 + failure.as_ref().map_or(0, |t| t.size()),
         }
     }
 
     /// Height of the tree (a single node has depth 1).
     pub fn depth(&self) -> usize {
         match self {
-            TtTree::Test { positive, negative, .. } => {
-                1 + positive.depth().max(negative.depth())
-            }
-            TtTree::Treatment { failure, .. } => {
-                1 + failure.as_ref().map_or(0, |t| t.depth())
-            }
+            TtTree::Test {
+                positive, negative, ..
+            } => 1 + positive.depth().max(negative.depth()),
+            TtTree::Treatment { failure, .. } => 1 + failure.as_ref().map_or(0, |t| t.depth()),
         }
     }
 
@@ -159,12 +173,19 @@ impl TtTree {
     /// Validates the tree starting from live set `live`.
     pub fn validate_from(&self, inst: &TtInstance, live: Subset) -> Result<(), TreeError> {
         match self {
-            TtTree::Test { action, positive, negative } => {
+            TtTree::Test {
+                action,
+                positive,
+                negative,
+            } => {
                 let a = check_action(inst, *action, ActionKind::Test)?;
                 let pos = live.intersect(a.set);
                 let neg = live.difference(a.set);
                 if pos.is_empty() || neg.is_empty() {
-                    return Err(TreeError::TrivialTest { action: *action, live });
+                    return Err(TreeError::TrivialTest {
+                        action: *action,
+                        live,
+                    });
                 }
                 positive.validate_from(inst, pos)?;
                 negative.validate_from(inst, neg)
@@ -174,16 +195,18 @@ impl TtTree {
                 let treated = live.intersect(a.set);
                 let remaining = live.difference(a.set);
                 if treated.is_empty() {
-                    return Err(TreeError::UselessTreatment { action: *action, live });
+                    return Err(TreeError::UselessTreatment {
+                        action: *action,
+                        live,
+                    });
                 }
                 match (remaining.is_empty(), failure) {
                     (true, None) => Ok(()),
-                    (true, Some(_)) => {
-                        Err(TreeError::SpuriousFailureBranch { action: *action })
-                    }
-                    (false, None) => {
-                        Err(TreeError::MissingFailureBranch { action: *action, remaining })
-                    }
+                    (true, Some(_)) => Err(TreeError::SpuriousFailureBranch { action: *action }),
+                    (false, None) => Err(TreeError::MissingFailureBranch {
+                        action: *action,
+                        remaining,
+                    }),
                     (false, Some(f)) => f.validate_from(inst, remaining),
                 }
             }
@@ -210,7 +233,11 @@ impl TtTree {
             return;
         }
         match self {
-            TtTree::Test { action, positive, negative } => {
+            TtTree::Test {
+                action,
+                positive,
+                negative,
+            } => {
                 let a = inst.action(*action);
                 let here = so_far + Cost::new(a.cost);
                 positive.accumulate_path_costs(inst, live.intersect(a.set), here, out);
@@ -271,7 +298,11 @@ impl TtTree {
         use std::fmt::Write as _;
         let pad = "  ".repeat(depth);
         match self {
-            TtTree::Test { action, positive, negative } => {
+            TtTree::Test {
+                action,
+                positive,
+                negative,
+            } => {
                 let a = inst.action(*action);
                 let _ = writeln!(
                     out,
@@ -319,7 +350,11 @@ impl TtTree {
         let id = *next_id;
         *next_id += 1;
         match self {
-            TtTree::Test { action, positive, negative } => {
+            TtTree::Test {
+                action,
+                positive,
+                negative,
+            } => {
                 let a = inst.action(*action);
                 let _ = writeln!(
                     out,
@@ -333,7 +368,11 @@ impl TtTree {
             }
             TtTree::Treatment { action, failure } => {
                 let a = inst.action(*action);
-                let shape = if failure.is_none() { "box, peripheries=2" } else { "box" };
+                let shape = if failure.is_none() {
+                    "box, peripheries=2"
+                } else {
+                    "box"
+                };
                 let _ = writeln!(
                     out,
                     "  n{id} [shape={shape}, label=\"Rx T{action} {} @ {live}\"];",
@@ -382,11 +421,7 @@ mod tests {
 
     /// test T0 on {0,1,2}: + -> treat T1 (cures {0}), − -> treat T1 then T2.
     fn tree() -> TtTree {
-        TtTree::test(
-            0,
-            TtTree::leaf(1),
-            TtTree::treat_then(1, TtTree::leaf(2)),
-        )
+        TtTree::test(0, TtTree::leaf(1), TtTree::treat_then(1, TtTree::leaf(2)))
     }
 
     #[test]
@@ -412,7 +447,10 @@ mod tests {
         // Only {1,2} live: tree's test sends 1,2 down the negative branch.
         let sub = TtTree::treat_then(1, TtTree::leaf(2));
         // object1: 2 ; object2: 2+1=3 → 2·2 + 3·1 = 7
-        assert_eq!(sub.expected_cost_from(&i, Subset::from_iter([1, 2])), Cost::new(7));
+        assert_eq!(
+            sub.expected_cost_from(&i, Subset::from_iter([1, 2])),
+            Cost::new(7)
+        );
     }
 
     #[test]
@@ -434,7 +472,10 @@ mod tests {
             TtTree::test(0, TtTree::leaf(1), TtTree::leaf(1)),
             TtTree::treat_then(1, TtTree::leaf(2)),
         );
-        assert!(matches!(t.validate(&i), Err(TreeError::TrivialTest { action: 0, .. })));
+        assert!(matches!(
+            t.validate(&i),
+            Err(TreeError::TrivialTest { action: 0, .. })
+        ));
     }
 
     #[test]
@@ -446,7 +487,10 @@ mod tests {
             TtTree::leaf(2), // live {0}, T2 = {2}: useless
             TtTree::treat_then(1, TtTree::leaf(2)),
         );
-        assert!(matches!(t.validate(&i), Err(TreeError::UselessTreatment { action: 2, .. })));
+        assert!(matches!(
+            t.validate(&i),
+            Err(TreeError::UselessTreatment { action: 2, .. })
+        ));
     }
 
     #[test]
@@ -475,9 +519,15 @@ mod tests {
     fn rejects_kind_mismatch_and_range() {
         let i = inst();
         let t = TtTree::test(1, TtTree::leaf(1), TtTree::leaf(2));
-        assert!(matches!(t.validate(&i), Err(TreeError::KindMismatch { action: 1 })));
+        assert!(matches!(
+            t.validate(&i),
+            Err(TreeError::KindMismatch { action: 1 })
+        ));
         let t2 = TtTree::leaf(9);
-        assert!(matches!(t2.validate(&i), Err(TreeError::ActionOutOfRange { action: 9 })));
+        assert!(matches!(
+            t2.validate(&i),
+            Err(TreeError::ActionOutOfRange { action: 9 })
+        ));
     }
 
     #[test]

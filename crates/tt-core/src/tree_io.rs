@@ -58,7 +58,11 @@ pub fn tree_to_text(tree: &TtTree) -> String {
 
 fn write_node(tree: &TtTree, out: &mut String) {
     match tree {
-        TtTree::Test { action, positive, negative } => {
+        TtTree::Test {
+            action,
+            positive,
+            negative,
+        } => {
             let _ = write!(out, "(test {action} ");
             write_node(positive, out);
             out.push(' ');
@@ -124,7 +128,10 @@ fn expect(tokens: &[(String, usize)], pos: &mut usize, what: &str) -> Result<(),
             *pos += 1;
             Ok(())
         }
-        Some((t, at)) => Err(TreeParseError::Unexpected { at: *at, found: t.clone() }),
+        Some((t, at)) => Err(TreeParseError::Unexpected {
+            at: *at,
+            found: t.clone(),
+        }),
         None => Err(TreeParseError::UnexpectedEnd),
     }
 }
@@ -132,9 +139,10 @@ fn expect(tokens: &[(String, usize)], pos: &mut usize, what: &str) -> Result<(),
 fn parse_usize(tokens: &[(String, usize)], pos: &mut usize) -> Result<usize, TreeParseError> {
     match tokens.get(*pos) {
         Some((t, at)) => {
-            let v = t
-                .parse()
-                .map_err(|_| TreeParseError::Unexpected { at: *at, found: t.clone() })?;
+            let v = t.parse().map_err(|_| TreeParseError::Unexpected {
+                at: *at,
+                found: t.clone(),
+            })?;
             *pos += 1;
             Ok(v)
         }
@@ -169,7 +177,10 @@ fn parse_node(tokens: &[(String, usize)], pos: &mut usize) -> Result<TtTree, Tre
                 Ok(TtTree::leaf(action))
             }
         }
-        other => Err(TreeParseError::Unexpected { at, found: other.to_string() }),
+        other => Err(TreeParseError::Unexpected {
+            at,
+            found: other.to_string(),
+        }),
     }
 }
 
@@ -221,7 +232,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(matches!(tree_from_text(""), Err(TreeParseError::UnexpectedEnd)));
+        assert!(matches!(
+            tree_from_text(""),
+            Err(TreeParseError::UnexpectedEnd)
+        ));
         assert!(matches!(
             tree_from_text("(prune 1)"),
             Err(TreeParseError::Unexpected { .. })

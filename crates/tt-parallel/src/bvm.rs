@@ -91,11 +91,21 @@ fn enable_from(m: &mut Bvm, reg: u8) {
 }
 
 fn enable_and(m: &mut Bvm, a: u8, b: u8) {
-    m.exec(&Instruction::compute(Dest::E, BoolFn::F_AND_D, RegSel::R(a), RegSel::R(b)));
+    m.exec(&Instruction::compute(
+        Dest::E,
+        BoolFn::F_AND_D,
+        RegSel::R(a),
+        RegSel::R(b),
+    ));
 }
 
 fn enable_andn(m: &mut Bvm, a: u8, b: u8) {
-    m.exec(&Instruction::compute(Dest::E, BoolFn::F_ANDN_D, RegSel::R(a), RegSel::R(b)));
+    m.exec(&Instruction::compute(
+        Dest::E,
+        BoolFn::F_ANDN_D,
+        RegSel::R(a),
+        RegSel::R(b),
+    ));
 }
 
 /// Solves the instance on the BVM with an automatically chosen width.
@@ -123,7 +133,10 @@ pub fn solve_with_width(inst: &TtInstance, w: usize) -> BvmTtSolution {
 }
 
 fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
-    assert!(w >= required_width(inst), "width {w} too small for this instance");
+    assert!(
+        w >= required_width(inst),
+        "width {w} too small for this instance"
+    );
     let layout = Layout::new(inst.k(), inst.n_actions());
     let actions = padded_actions(inst, &layout);
     let k = inst.k();
@@ -180,7 +193,10 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
     input_plane(&mut m, dummy, &|pe| actions[act_of(pe)].cost.is_inf());
     for (b, &reg) in tcost.iter().enumerate() {
         input_plane(&mut m, reg, &|pe| {
-            actions[act_of(pe)].cost.finite().is_some_and(|t| t >> b & 1 != 0)
+            actions[act_of(pe)]
+                .cost
+                .finite()
+                .is_some_and(|t| t >> b & 1 != 0)
         });
     }
 
@@ -247,7 +263,7 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
         // propagation-of-the-first-kind pass over the S dimensions.
         m.exec(&Instruction::set_const(Dest::R(next), false));
         #[allow(clippy::needless_range_loop)] // e is both index and dimension
-    for e in 0..k {
+        for e in 0..k {
             let dim = layout.s_dim(e);
             fetch_partner(&mut m, dim, cur, t1, t2);
             enable_from(&mut m, pid[dim]);
@@ -267,7 +283,7 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
 
         // The e-loop: R and Q pull from the 0-end along each S dimension.
         #[allow(clippy::needless_range_loop)] // e is both index and dimension
-    for e in 0..k {
+        for e in 0..k {
             let dim = layout.s_dim(e);
             fetch_num(&mut m, dim, &num_r, &partner, t1, t2);
             enable_and(&mut m, pid[dim], tin[e]); // e ∈ S ∩ T_i

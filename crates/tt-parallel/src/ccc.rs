@@ -71,7 +71,14 @@ pub fn solve(inst: &TtInstance) -> CccSolution {
         })
         .collect();
     let cost = c_table[inst.universe().index()];
-    CccSolution { cost, c_table, best_table, steps: ccc.counts(), machine_r: r, layout }
+    CccSolution {
+        cost,
+        c_table,
+        best_table,
+        steps: ccc.counts(),
+        machine_r: r,
+        layout,
+    }
 }
 
 impl CccSolution {

@@ -12,7 +12,7 @@
 //! * BVM bit time: `O(k·w·(k + log N))` instructions — the paper's
 //!   headline bound — times the machine cycle length `Q` for the
 //!   turn-taking dimension-exchange routing (see DESIGN.md);
-//! * speedup: `O(p / log p)`, with the `log p` "accounted for [by] the
+//! * speedup: `O(p / log p)`, with the `log p` "accounted for \[by\] the
 //!   communications" (fan-in bound `Ω(k + log N) = Ω(log p)`).
 
 use bvm::hyperops::fetch_cost;
@@ -109,7 +109,12 @@ impl SpeedupModel {
 /// `10^6` could thus be realized … (this allows for the parallelism of 64
 /// bits that a sequential machine might possess)".
 pub fn headline(seq_cycles_per_candidate: f64) -> SpeedupModel {
-    SpeedupModel { k: 15, log_n: 15, w: 64, seq_cycles_per_candidate }
+    SpeedupModel {
+        k: 15,
+        log_n: 15,
+        w: 64,
+        seq_cycles_per_candidate,
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +151,18 @@ mod tests {
         // Along the paper's N = 2^k regime, speedup / (p / log p) varies
         // only slowly (a 1/k·w factor under this accounting); check it
         // stays within a modest band over a large size range.
-        let lo = SpeedupModel { k: 10, log_n: 10, w: 32, seq_cycles_per_candidate: 30.0 };
-        let hi = SpeedupModel { k: 20, log_n: 20, w: 32, seq_cycles_per_candidate: 30.0 };
+        let lo = SpeedupModel {
+            k: 10,
+            log_n: 10,
+            w: 32,
+            seq_cycles_per_candidate: 30.0,
+        };
+        let hi = SpeedupModel {
+            k: 20,
+            log_n: 20,
+            w: 32,
+            seq_cycles_per_candidate: 30.0,
+        };
         let ratio = lo.normalized() / hi.normalized();
         assert!((0.2..5.0).contains(&ratio), "ratio {ratio}");
     }

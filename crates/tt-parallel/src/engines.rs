@@ -1,0 +1,332 @@
+//! This crate's engines for the `tt-core` solver registry.
+//!
+//! `tt-core` cannot depend on `tt-parallel`, so the parallel and
+//! machine-simulation backends join the registry through
+//! [`engine::register_extension`]: call [`register_engines`] once (it is
+//! idempotent) and `tt_core::solver::registry()` will list `rayon`,
+//! `hyper`, `hyper-blocked`, `ccc`, and `bvm` next to the core engines.
+
+use crate::layout::Layout;
+use crate::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
+use tt_core::cost::Cost;
+use tt_core::instance::TtInstance;
+use tt_core::solver::engine::{self, timed_report, EngineKind, SolveReport, Solver, WorkStats};
+use tt_core::solver::sequential;
+use tt_core::subset::Subset;
+use tt_core::tree::TtTree;
+
+/// Recovers an optimal tree from a machine's `C(·)` table alone.
+///
+/// Backends that carry no argmin plane (the blocked hypercube and the
+/// BVM) still determine the optimum: for each live set, the minimizing
+/// action is any `i` whose candidate value `M[S, i]` — recomputed from
+/// the machine's own `C` table — equals `C(S)`. One candidate pass, no
+/// second DP.
+fn tree_from_c_table(inst: &TtInstance, c_table: &[Cost]) -> Option<TtTree> {
+    let weight_table = inst.weight_table();
+    let best: Vec<Option<u16>> = (0..c_table.len())
+        .map(|mask| {
+            let set = Subset(mask as u32);
+            if set.is_empty() || c_table[mask].is_inf() {
+                return None;
+            }
+            (0..inst.n_actions()).find_map(|i| {
+                (sequential::candidate(inst, &weight_table, c_table, set, i) == c_table[mask])
+                    .then_some(i as u16)
+            })
+        })
+        .collect();
+    let tables = sequential::DpTables {
+        cost: c_table.to_vec(),
+        best,
+    };
+    sequential::extract_tree(inst, &tables, inst.universe())
+}
+
+/// PE count of the complete CCC with cycle-length exponent `r`
+/// (`Q = 2^r` PEs per cycle, `2^Q` cycles).
+fn ccc_pes(r: usize) -> u64 {
+    1u64 << ((1usize << r) + r)
+}
+
+/// Level-synchronous shared-memory DP on worker threads.
+struct RayonEngine;
+
+impl Solver for RayonEngine {
+    fn name(&self) -> &'static str {
+        "rayon"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Parallel
+    }
+    fn description(&self) -> &'static str {
+        "level-synchronous DP on shared-memory worker threads"
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = rayon_solver::solve(inst);
+            let mut work = WorkStats {
+                subsets: s.stats.subsets,
+                candidates: s.stats.candidates,
+                pes: rayon::current_num_threads() as u64,
+                ..WorkStats::default()
+            };
+            work.push_extra("threads", rayon::current_num_threads() as u64);
+            (s.cost, s.tree, work)
+        })
+    }
+}
+
+/// Word-level hypercube simulation, one PE per `(S, i)` pair.
+struct HyperEngine;
+
+impl Solver for HyperEngine {
+    fn name(&self) -> &'static str {
+        "hyper"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Machine
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["hypercube"]
+    }
+    fn description(&self) -> &'static str {
+        "hypercube simulation, one PE per (S, i) pair"
+    }
+    fn max_k(&self) -> usize {
+        14
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = hyper::solve(inst);
+            let tree = s.tree(inst);
+            let mut work = WorkStats {
+                subsets: 1 << inst.k(),
+                machine_steps: s.steps.exchange + s.steps.local,
+                pes: s.layout.pes() as u64,
+                ..WorkStats::default()
+            };
+            work.push_extra("exchange_steps", s.steps.exchange);
+            work.push_extra("local_steps", s.steps.local);
+            (s.cost, tree, work)
+        })
+    }
+}
+
+/// Brent's-theorem blocked hypercube: many virtual PEs per physical PE.
+struct HyperBlockedEngine;
+
+impl HyperBlockedEngine {
+    /// Default physical-dimension count: two below the virtual cube, so
+    /// each physical PE hosts four virtual ones — enough to show the
+    /// local/remote split without changing the schedule.
+    fn phys(layout: &Layout) -> usize {
+        layout.dims().saturating_sub(2)
+    }
+}
+
+impl Solver for HyperBlockedEngine {
+    fn name(&self) -> &'static str {
+        "hyper-blocked"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Machine
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["hyper_blocked", "blocked"]
+    }
+    fn description(&self) -> &'static str {
+        "blocked hypercube (Brent), 4 virtual PEs per physical PE"
+    }
+    fn max_k(&self) -> usize {
+        14
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let layout = Layout::new(inst.k(), inst.n_actions());
+            let phys = Self::phys(&layout);
+            let s = hyper::solve_blocked(inst, phys);
+            let tree = tree_from_c_table(inst, &s.c_table);
+            let mut work = WorkStats {
+                subsets: 1 << inst.k(),
+                machine_steps: s.counts.virtual_steps,
+                pes: 1u64 << phys,
+                ..WorkStats::default()
+            };
+            work.push_extra("local_pair_ops", s.counts.local_pair_ops);
+            work.push_extra("remote_pair_ops", s.counts.remote_pair_ops);
+            work.push_extra("words_communicated", s.counts.words_communicated);
+            work.push_extra("block_size", s.block_size as u64);
+            (s.cost, tree, work)
+        })
+    }
+}
+
+/// Cube-connected-cycles simulation (constant-degree realization).
+struct CccEngine;
+
+impl Solver for CccEngine {
+    fn name(&self) -> &'static str {
+        "ccc"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Machine
+    }
+    fn description(&self) -> &'static str {
+        "cube-connected-cycles simulation (constant-degree network)"
+    }
+    fn max_k(&self) -> usize {
+        8
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = ccc_tt::solve(inst);
+            let tree = s.tree(inst);
+            let mut work = WorkStats {
+                subsets: 1 << inst.k(),
+                machine_steps: s.steps.total_comm() + s.steps.local,
+                pes: ccc_pes(s.machine_r),
+                ..WorkStats::default()
+            };
+            work.push_extra("rotations", s.steps.rotations);
+            work.push_extra("lateral_exchanges", s.steps.lateral_exchanges);
+            work.push_extra("intra_cycle", s.steps.intra_cycle);
+            work.push_extra("local_steps", s.steps.local);
+            work.push_extra("machine_r", s.machine_r as u64);
+            (s.cost, tree, work)
+        })
+    }
+}
+
+/// Bit-serial Boolean Vector Machine simulation.
+struct BvmEngine;
+
+impl Solver for BvmEngine {
+    fn name(&self) -> &'static str {
+        "bvm"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Machine
+    }
+    fn description(&self) -> &'static str {
+        "bit-serial Boolean Vector Machine simulation"
+    }
+    fn max_k(&self) -> usize {
+        5
+    }
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        timed_report(|| {
+            let s = bvm_tt::solve(inst);
+            let tree = tree_from_c_table(inst, &s.c_table);
+            let mut work = WorkStats {
+                subsets: 1 << inst.k(),
+                machine_steps: s.instructions,
+                pes: ccc_pes(s.machine_r),
+                ..WorkStats::default()
+            };
+            work.push_extra("host_loads", s.host_loads);
+            work.push_extra("width_bits", s.width as u64);
+            work.push_extra("machine_r", s.machine_r as u64);
+            for (phase, n) in &s.phase_breakdown {
+                work.push_extra(format!("phase:{phase}"), *n);
+            }
+            (s.cost, tree, work)
+        })
+    }
+}
+
+/// The engines this crate contributes to the registry.
+pub fn engines() -> Vec<Box<dyn Solver>> {
+    vec![
+        Box::new(RayonEngine),
+        Box::new(HyperEngine),
+        Box::new(HyperBlockedEngine),
+        Box::new(CccEngine),
+        Box::new(BvmEngine),
+    ]
+}
+
+/// Adds this crate's engines to `tt_core::solver::registry()`.
+/// Idempotent; call freely from binaries, tests, and examples.
+pub fn register_engines() {
+    engine::register_extension(engines);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::instance::TtInstanceBuilder;
+
+    fn small_instance() -> TtInstance {
+        TtInstanceBuilder::new(3)
+            .weights([2, 1, 1])
+            .test(Subset(0b011), 1)
+            .test(Subset(0b101), 2)
+            .treatment(Subset(0b011), 3)
+            .treatment(Subset(0b110), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn registration_exposes_all_nine_backends() {
+        register_engines();
+        register_engines(); // idempotent
+        let names: Vec<&str> = tt_core::solver::registry()
+            .iter()
+            .map(|e| e.name())
+            .collect();
+        for want in [
+            "exhaustive",
+            "seq",
+            "memo",
+            "bnb",
+            "greedy",
+            "rayon",
+            "hyper",
+            "hyper-blocked",
+            "ccc",
+            "bvm",
+        ] {
+            assert!(names.contains(&want), "{want} missing from {names:?}");
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names in {names:?}");
+    }
+
+    #[test]
+    fn machine_engines_match_the_dp_and_extract_valid_trees() {
+        let inst = small_instance();
+        let opt = sequential::solve(&inst);
+        for e in engines() {
+            let r = e.solve(&inst);
+            assert_eq!(r.cost, opt.cost, "{} cost mismatch", e.name());
+            let t = r
+                .tree
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} lost the tree", e.name()));
+            t.validate(&inst).unwrap();
+            assert_eq!(t.expected_cost(&inst), r.cost, "{} tree cost", e.name());
+            assert!(
+                e.kind() != EngineKind::Machine || r.work.machine_steps > 0,
+                "{} reported no machine steps",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_from_c_table_handles_inadequate_instances() {
+        // No treatment covers object 2: C(U) = INF, no tree.
+        let inst = TtInstanceBuilder::new(2)
+            .weights([1, 1])
+            .test(Subset(0b01), 1)
+            .treatment(Subset(0b01), 1)
+            .build()
+            .unwrap();
+        let tables = sequential::solve(&inst).tables;
+        assert!(tree_from_c_table(&inst, &tables.cost).is_none());
+    }
+}

@@ -132,7 +132,13 @@ pub fn solve(inst: &TtInstance) -> HyperSolution {
         })
         .collect();
     let cost = c_table[inst.universe().index()];
-    HyperSolution { cost, c_table, best_table, steps: cube.counts(), layout }
+    HyperSolution {
+        cost,
+        c_table,
+        best_table,
+        steps: cube.counts(),
+        layout,
+    }
 }
 
 /// The TT schedule itself, reusable by the CCC driver through the shared
@@ -166,7 +172,13 @@ pub fn run_tt(
 }
 
 /// PE initialization: `TP = t_i·p(S)`, `M[∅,i] = 0`, else `INF`.
-pub fn init_pe(addr: usize, pe: &mut TtPe, layout: &Layout, actions: &[PadAction], weights: &[u64]) {
+pub fn init_pe(
+    addr: usize,
+    pe: &mut TtPe,
+    layout: &Layout,
+    actions: &[PadAction],
+    weights: &[u64],
+) {
     let (s, i) = layout.split(addr);
     pe.tp = actions[i].cost.saturating_mul_weight(weights[s.index()]);
     pe.m = if s.is_empty() { Cost::ZERO } else { Cost::INF };
@@ -353,8 +365,7 @@ mod argmin_tests {
                     x
                 };
                 let full = (1u32 << k) - 1;
-                let mut b = TtInstanceBuilder::new(k)
-                    .weights((0..k).map(|_| 1 + next() % 6));
+                let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1 + next() % 6));
                 for _ in 0..3 {
                     b = b.test(Subset(1 + (next() as u32) % full), 1 + next() % 5);
                 }

@@ -66,7 +66,10 @@ impl Layout {
     /// Splits a PE address into `(S, i)`.
     #[inline]
     pub fn split(&self, addr: usize) -> (Subset, usize) {
-        (Subset((addr >> self.log_n) as u32), addr & (self.n_pad() - 1))
+        (
+            Subset((addr >> self.log_n) as u32),
+            addr & (self.n_pad() - 1),
+        )
     }
 
     /// The action index encoded in an address.
@@ -104,11 +107,19 @@ pub fn padded_actions(inst: &TtInstance, layout: &Layout) -> Vec<PadAction> {
     let mut out: Vec<PadAction> = inst
         .actions()
         .iter()
-        .map(|a| PadAction { set: a.set, cost: Cost::new(a.cost), is_test: a.is_test() })
+        .map(|a| PadAction {
+            set: a.set,
+            cost: Cost::new(a.cost),
+            is_test: a.is_test(),
+        })
         .collect();
     out.resize(
         layout.n_pad(),
-        PadAction { set: inst.universe(), cost: Cost::INF, is_test: false },
+        PadAction {
+            set: inst.universe(),
+            cost: Cost::INF,
+            is_test: false,
+        },
     );
     out
 }

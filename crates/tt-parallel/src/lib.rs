@@ -27,6 +27,10 @@
 //! [`layout`] defines the PE-address encoding shared by the machine
 //! models, and [`complexity`] the closed-form step-count models and the
 //! paper's speedup arithmetic (including the `2^30`-PE headline claim).
+//!
+//! [`engines`] wraps all of the above as `tt_core::solver::Solver`
+//! engines; call [`register_engines`] once and the uniform registry
+//! lists them next to the core solvers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +38,11 @@
 pub mod bvm;
 pub mod ccc;
 pub mod complexity;
+pub mod engines;
 pub mod hyper;
 pub mod layout;
 pub mod rayon_solver;
 pub mod sweep;
 
+pub use engines::register_engines;
 pub use layout::Layout;

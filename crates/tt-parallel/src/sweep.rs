@@ -92,12 +92,8 @@ pub fn bvm_series(grid: &[(usize, usize)], seed: u64) -> Vec<BvmPoint> {
             let sol = crate::bvm::solve(&inst);
             let seq = tt_core::solver::sequential::solve_tables(&inst);
             assert_eq!(sol.c_table, seq.cost, "BVM disagreed at k={k} N={n}");
-            let model = complexity::bvm_instruction_model(
-                k,
-                sol.layout.log_n,
-                sol.width,
-                sol.machine_r,
-            );
+            let model =
+                complexity::bvm_instruction_model(k, sol.layout.log_n, sol.width, sol.machine_r);
             BvmPoint {
                 k,
                 n_actions: inst.n_actions(),
@@ -136,7 +132,11 @@ mod tests {
         }
         // Normalized column approaches 1 from below.
         for p in &pts {
-            assert!((0.5..=1.01).contains(&p.normalized()), "norm {}", p.normalized());
+            assert!(
+                (0.5..=1.01).contains(&p.normalized()),
+                "norm {}",
+                p.normalized()
+            );
         }
     }
 
@@ -157,6 +157,9 @@ mod tests {
         let phases = &pts[0].phases;
         let levels = phases.iter().find(|(n, _)| n == "levels").unwrap().1;
         let total: u64 = phases.iter().map(|(_, c)| c).sum();
-        assert!(levels * 2 > total, "levels {levels} not dominant in {total}");
+        assert!(
+            levels * 2 > total,
+            "levels {levels} not dominant in {total}"
+        );
     }
 }

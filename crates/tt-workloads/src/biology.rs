@@ -27,7 +27,10 @@ pub struct BiologyConfig {
 impl BiologyConfig {
     /// Default: `2k` characters for `k` taxa.
     pub fn default_for(k: usize) -> BiologyConfig {
-        BiologyConfig { k, n_characters: 2 * k }
+        BiologyConfig {
+            k,
+            n_characters: 2 * k,
+        }
     }
 
     /// Generates the raw binary-testing instance (characters only).

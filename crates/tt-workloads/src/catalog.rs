@@ -21,7 +21,13 @@ pub enum Domain {
 impl Domain {
     /// Every domain, in a stable order.
     pub fn all() -> [Domain; 5] {
-        [Domain::Random, Domain::Medical, Domain::Faults, Domain::Biology, Domain::Lab]
+        [
+            Domain::Random,
+            Domain::Medical,
+            Domain::Faults,
+            Domain::Biology,
+            Domain::Lab,
+        ]
     }
 
     /// The domain's CLI / display name.

@@ -30,7 +30,11 @@ pub struct FaultsConfig {
 impl FaultsConfig {
     /// A default shape: probing a leaf costs 8, swapping one costs 10.
     pub fn default_for(k: usize) -> FaultsConfig {
-        FaultsConfig { k, leaf_probe: 8, leaf_swap: 10 }
+        FaultsConfig {
+            k,
+            leaf_probe: 8,
+            leaf_swap: 10,
+        }
     }
 
     /// Generates the instance for a seed (the seed perturbs weights only;
@@ -39,8 +43,7 @@ impl FaultsConfig {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6661_756c_7473_0000);
         let k = self.k;
         // Failure rates vary by unit (some parts run hotter).
-        let mut b =
-            TtInstanceBuilder::new(k).weights((0..k).map(|_| rng.gen_range(1..=6)));
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| rng.gen_range(1..=6)));
         // Subtrees of the implicit binary hierarchy over 0..k.
         let mut depth_of = Vec::new(); // (set, depth_from_leaf)
         let mut span = 1usize;
@@ -77,7 +80,8 @@ impl FaultsConfig {
         }
         // Whole-chassis swap keeps the instance adequate even for k = 1.
         b = b.treatment(Subset::universe(k), self.leaf_swap * k as u64);
-        b.build().expect("faults generator produces valid instances")
+        b.build()
+            .expect("faults generator produces valid instances")
     }
 }
 
@@ -125,11 +129,16 @@ mod tests {
         // before treating — i.e. beat the best treat-only strategy.
         let inst = fault_location(6, 1);
         let opt = sequential::solve(&inst).cost;
-        let cover =
-            tt_core::solver::greedy::solve(&inst, tt_core::solver::greedy::Heuristic::TreatOnlyCover)
-                .unwrap()
-                .cost;
-        assert!(opt < cover, "optimal {opt} not better than treat-only {cover}");
+        let cover = tt_core::solver::greedy::solve(
+            &inst,
+            tt_core::solver::greedy::Heuristic::TreatOnlyCover,
+        )
+        .unwrap()
+        .cost;
+        assert!(
+            opt < cover,
+            "optimal {opt} not better than treat-only {cover}"
+        );
     }
 
     #[test]

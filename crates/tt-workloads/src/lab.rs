@@ -30,7 +30,11 @@ pub struct LabConfig {
 impl LabConfig {
     /// Default: `k/3 + 1` families, `k` confirmatory assays.
     pub fn default_for(k: usize) -> LabConfig {
-        LabConfig { k, n_families: k / 3 + 1, n_confirmatory: k }
+        LabConfig {
+            k,
+            n_families: k / 3 + 1,
+            n_confirmatory: k,
+        }
     }
 
     /// Generates the instance for a seed.
@@ -38,8 +42,7 @@ impl LabConfig {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x6c61_625f_7761_7200);
         let k = self.k;
         // Occurrence rates: a couple of usual suspects dominate.
-        let mut b =
-            TtInstanceBuilder::new(k).weights((0..k).map(|j| 1 + 16 / (1 + j as u64)));
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|j| 1 + 16 / (1 + j as u64)));
         // Random family partition (round-robin over shuffled analytes).
         let mut order: Vec<usize> = (0..k).collect();
         for i in (1..k).rev() {

@@ -30,7 +30,11 @@ impl MedicalConfig {
     /// A clinic-sized default: `k` diseases, `2k` panels, `k/3` broad
     /// therapies.
     pub fn default_for(k: usize) -> MedicalConfig {
-        MedicalConfig { k, n_panels: 2 * k, n_broad: k / 3 }
+        MedicalConfig {
+            k,
+            n_panels: 2 * k,
+            n_broad: k / 3,
+        }
     }
 
     /// Generates the instance for a seed.
@@ -64,7 +68,8 @@ impl MedicalConfig {
             let s = Subset::from_iter(lo..(lo + len).min(k));
             b = b.treatment(s, rng.gen_range(8..=14));
         }
-        b.build().expect("medical generator produces valid instances")
+        b.build()
+            .expect("medical generator produces valid instances")
     }
 }
 

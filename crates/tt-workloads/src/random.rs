@@ -26,7 +26,13 @@ impl RandomConfig {
     /// A reasonable default shape for size `k`: `k` tests, `k/2 + 1`
     /// treatments, small costs and weights.
     pub fn default_for(k: usize) -> RandomConfig {
-        RandomConfig { k, n_tests: k, n_treatments: k / 2 + 1, max_cost: 10, max_weight: 8 }
+        RandomConfig {
+            k,
+            n_tests: k,
+            n_treatments: k / 2 + 1,
+            max_cost: 10,
+            max_weight: 8,
+        }
     }
 
     /// Generates the instance for a seed.
@@ -41,8 +47,8 @@ impl RandomConfig {
                 return s;
             }
         };
-        let mut b = TtInstanceBuilder::new(k)
-            .weights((0..k).map(|_| rng.gen_range(1..=self.max_weight)));
+        let mut b =
+            TtInstanceBuilder::new(k).weights((0..k).map(|_| rng.gen_range(1..=self.max_weight)));
         for _ in 0..self.n_tests {
             let s = rand_set(&mut rng);
             let c = rng.gen_range(1..=self.max_cost);
@@ -106,7 +112,13 @@ mod tests {
 
     #[test]
     fn respects_requested_shape() {
-        let cfg = RandomConfig { k: 5, n_tests: 7, n_treatments: 3, max_cost: 4, max_weight: 2 };
+        let cfg = RandomConfig {
+            k: 5,
+            n_tests: 7,
+            n_treatments: 3,
+            max_cost: 4,
+            max_weight: 2,
+        };
         let inst = cfg.generate(1);
         assert_eq!(inst.k(), 5);
         assert_eq!(inst.n_tests(), 7);

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn generated_instances_solve() {
-        for regime in [Regime::Linear, Regime::Quadratic, Regime::Exponential { cap: 40 }] {
+        for regime in [
+            Regime::Linear,
+            Regime::Quadratic,
+            Regime::Exponential { cap: 40 },
+        ] {
             let inst = regime.generate(5, 17);
             assert!(inst.is_adequate());
             assert!(sequential::solve(&inst).cost.is_finite());
@@ -101,7 +105,12 @@ mod tests {
     fn paper_headline_capacities() {
         // "For 2^30 PEs, approximately 15 elements could be processed …
         // even if all possible tests and treatments were available."
-        let k_exp = max_k_for_machine(30, Regime::Exponential { cap: usize::MAX >> 1 });
+        let k_exp = max_k_for_machine(
+            30,
+            Regime::Exponential {
+                cap: usize::MAX >> 1,
+            },
+        );
         assert_eq!(k_exp, 15);
         // "a few more elements, e.g. 20, can be processed … if N = O(k²)".
         let k_quad = max_k_for_machine(30, Regime::Quadratic);

@@ -83,10 +83,20 @@ fn main() {
         m.read(RegSel::R(data)).count_ones() == topo.n(),
     );
     println!("\nhypercube broadcast schedule (sender -> receiver per stage):");
-    for (i, stage) in hypercube::ascend::broadcast_trace(4.min(topo.dims())).iter().enumerate() {
-        let shown: Vec<String> =
-            stage.iter().take(8).map(|(a, b)| format!("{a:04b}->{b:04b}")).collect();
-        println!("  stage {i}: {}{}", shown.join(", "), if stage.len() > 8 { ", ..." } else { "" });
+    for (i, stage) in hypercube::ascend::broadcast_trace(4.min(topo.dims()))
+        .iter()
+        .enumerate()
+    {
+        let shown: Vec<String> = stage
+            .iter()
+            .take(8)
+            .map(|(a, b)| format!("{a:04b}->{b:04b}"))
+            .collect();
+        println!(
+            "  stage {i}: {}{}",
+            shown.join(", "),
+            if stage.len() > 8 { ", ..." } else { "" }
+        );
     }
 
     println!("\ntotal machine cycles executed: {}", m.executed());

@@ -15,7 +15,10 @@ use bvm::ops::{broadcast, RegAlloc};
 use bvm::plane::BitPlane;
 
 fn main() {
-    let r: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let r: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let mut m = Bvm::new(r);
     let n = m.n();
     println!("machine: r = {r}, {} PEs\n", n);
@@ -42,7 +45,10 @@ fn main() {
 
     let mix = program.mix();
     println!("instruction mix:");
-    println!("  communication : {:>4}  (lateral {}, I/O chain {})", mix.communication, mix.lateral, mix.io);
+    println!(
+        "  communication : {:>4}  (lateral {}, I/O chain {})",
+        mix.communication, mix.lateral, mix.io
+    );
     println!("  gated (IF/NF) : {:>4}", mix.gated);
     println!("  enable writes : {:>4}", mix.enable_writes);
     println!("  total         : {:>4}\n", mix.total);

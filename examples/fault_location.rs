@@ -14,7 +14,9 @@ use tt_workloads::faults::fault_location;
 
 fn count_kinds(tree: &TtTree) -> (usize, usize) {
     match tree {
-        TtTree::Test { positive, negative, .. } => {
+        TtTree::Test {
+            positive, negative, ..
+        } => {
             let (tp, rp) = count_kinds(positive);
             let (tn, rn) = count_kinds(negative);
             (1 + tp + tn, rp + rn)
@@ -42,7 +44,10 @@ fn main() {
     let tree = sol.tree.expect("adequate");
     let (tests, treats) = count_kinds(&tree);
     println!("optimal expected repair cost: {}", sol.cost);
-    println!("optimal procedure: {tests} probe nodes, {treats} swap nodes, depth {}", tree.depth());
+    println!(
+        "optimal procedure: {tests} probe nodes, {treats} swap nodes, depth {}",
+        tree.depth()
+    );
 
     // Naive strategy 1: swap the whole chassis immediately.
     let chassis = (inst.n_tests()..inst.n_actions())
@@ -50,7 +55,10 @@ fn main() {
         .expect("generator always adds a chassis swap");
     let naive = TtTree::leaf(chassis);
     naive.validate(&inst).unwrap();
-    println!("\nswap-the-chassis strategy: {}", naive.expected_cost(&inst));
+    println!(
+        "\nswap-the-chassis strategy: {}",
+        naive.expected_cost(&inst)
+    );
 
     // Naive strategy 2: greedy treat-only (no probes).
     let cover = greedy::solve(&inst, greedy::Heuristic::TreatOnlyCover).unwrap();

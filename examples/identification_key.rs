@@ -36,8 +36,7 @@ fn main() {
     // The classic sanity check: if every character were available at unit
     // cost, the optimal key would be the Huffman tree over abundances.
     let weights: Vec<u64> = (0..k).map(|j| sol.embedded.weight(j)).collect();
-    let complete = BinaryTesting::new(k, weights.clone(), complete_unit_tests(k))
-        .expect("valid");
+    let complete = BinaryTesting::new(k, weights.clone(), complete_unit_tests(k)).expect("valid");
     let ideal = complete.solve().cost;
     let huff = huffman_cost(&weights);
     println!("\nwith ALL unit-cost characters available:");

@@ -24,16 +24,16 @@ fn main() {
         ("linear     ", Regime::Linear),
         ("quadratic  ", Regime::Quadratic),
         ("cubic      ", Regime::Cubic),
-        ("exponential", Regime::Exponential { cap: usize::MAX >> 1 }),
+        (
+            "exponential",
+            Regime::Exponential {
+                cap: usize::MAX >> 1,
+            },
+        ),
     ] {
         let k = max_k_for_machine(machine_bits, regime);
         let n = regime.n_actions(k).max(2);
-        println!(
-            "  {name}     {:>9}    {:>5}    {:>6}",
-            n,
-            k,
-            pe_bits(k, n)
-        );
+        println!("  {name}     {:>9}    {:>5}    {:>6}", n, k, pe_bits(k, n));
     }
 
     println!("\npaper: \"for 2^30 PEs, approximately 15 elements could be processed");
@@ -44,7 +44,12 @@ fn main() {
     println!("speedup projection (w = 64 bits, 30 sequential word-ops/candidate):");
     println!("  PE bits    k     speedup        p/log p");
     for bits in [20usize, 24, 30] {
-        let k = max_k_for_machine(bits, Regime::Exponential { cap: usize::MAX >> 1 });
+        let k = max_k_for_machine(
+            bits,
+            Regime::Exponential {
+                cap: usize::MAX >> 1,
+            },
+        );
         let m = SpeedupModel {
             k,
             log_n: bits - k,

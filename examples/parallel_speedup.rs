@@ -1,14 +1,13 @@
 //! End-to-end tour of the paper's parallel pipeline: solve the same
-//! instance on every machine model and report the step counts behind the
-//! `O(p / log p)` speedup claim.
+//! instance with every registered engine and report the step counts
+//! behind the `O(p / log p)` speedup claim.
 //!
 //! ```sh
 //! cargo run --release --example parallel_speedup [k] [seed]
 //! ```
 
-use std::time::Instant;
-use tt_core::solver::sequential;
-use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, complexity, hyper, rayon_solver};
+use tt_core::solver::{EngineKind, SolveReport};
+use tt_parallel::complexity;
 use tt_workloads::random_adequate;
 
 fn main() {
@@ -23,59 +22,69 @@ fn main() {
         inst.n_treatments()
     );
 
-    // 1. Sequential DP (the paper's T₁).
-    let t = Instant::now();
-    let seq = sequential::solve(&inst);
-    let t_seq = t.elapsed();
-    println!("[sequential DP ]  C(U) = {:>8}   {} candidates   {:?}",
-        seq.cost.to_string(), seq.stats.candidates, t_seq);
-
-    // 2. Rayon (modern shared-memory parallelism).
-    let t = Instant::now();
-    let ray = rayon_solver::solve(&inst);
-    println!("[rayon         ]  C(U) = {:>8}   same recurrence   {:?}",
-        ray.cost.to_string(), t.elapsed());
-    assert_eq!(ray.tables.cost, seq.tables.cost);
-
-    // 3. Word-level hypercube: one PE per (S, i).
-    let hyp = hyper::solve(&inst);
-    assert_eq!(hyp.c_table, seq.tables.cost);
+    // One dispatch loop covers the whole pipeline: the sequential DP
+    // (the paper's T1), the thread-pool realization, and the three
+    // machine simulations, all behind the same `Solver` trait.
+    let mut seq: Option<SolveReport> = None;
+    let mut hyper: Option<SolveReport> = None;
     println!(
-        "[hypercube sim ]  C(U) = {:>8}   {} PEs, {} exchange + {} local steps",
-        hyp.cost.to_string(),
-        hyp.layout.pes(),
-        hyp.steps.exchange,
-        hyp.steps.local
+        "{:14} {:>10} {:>14} {:>12}   work",
+        "engine", "C(U)", "machine steps", "PEs"
+    );
+    for e in tt_repro::registry() {
+        if inst.k() > e.max_k() || e.kind() == EngineKind::Heuristic {
+            continue;
+        }
+        let r = e.solve(&inst);
+        if let Some(s) = &seq {
+            assert_eq!(r.cost, s.cost, "{} disagrees with the DP", e.name());
+        }
+        let steps = if r.work.machine_steps > 0 {
+            r.work.machine_steps.to_string()
+        } else {
+            "-".into()
+        };
+        let pes = if r.work.pes > 0 {
+            r.work.pes.to_string()
+        } else {
+            "-".into()
+        };
+        let work = r.work.to_string();
+        let work = if work.len() > 40 {
+            format!("{}…", &work[..40])
+        } else {
+            work
+        };
+        println!(
+            "{:14} {:>10} {:>14} {:>12}   {}",
+            e.name(),
+            r.cost.to_string(),
+            steps,
+            pes,
+            work
+        );
+        match e.name() {
+            "seq" => seq = Some(r),
+            "hyper" => hyper = Some(r),
+            _ => {}
+        }
+    }
+    let (seq, hyper) = (
+        seq.expect("seq registered"),
+        hyper.expect("hyper registered"),
     );
 
-    // 4. Cube-connected cycles: 3n/2 links.
-    let ccc = ccc_tt::solve(&inst);
-    assert_eq!(ccc.c_table, seq.tables.cost);
-    println!(
-        "[CCC sim       ]  C(U) = {:>8}   r = {}, {} comm steps (slowdown x{:.1} vs hypercube)",
-        ccc.cost.to_string(),
-        ccc.machine_r,
-        ccc.steps.total_comm(),
-        ccc.steps.total_comm() as f64 / hyp.steps.exchange as f64
-    );
-
-    // 5. The Boolean Vector Machine, bit-serial.
-    let bv = bvm_tt::solve(&inst);
-    assert_eq!(bv.c_table, seq.tables.cost);
-    println!(
-        "[BVM bit-serial]  C(U) = {:>8}   w = {} bits, {} instructions, {} host loads",
-        bv.cost.to_string(),
-        bv.width,
-        bv.instructions,
-        bv.host_loads
-    );
-
-    // The speedup arithmetic of the paper's introduction.
+    // The speedup arithmetic of the paper's introduction, from the
+    // engines' uniform work statistics: T1 is the DP's candidate count,
+    // Tp the hypercube's exchange-step count.
     println!("\nspeedup accounting (paper Section 1):");
-    let p = hyp.layout.pes() as f64;
-    let t1 = seq.stats.candidates as f64;
-    let tp = hyp.steps.exchange as f64;
-    println!("  p          = N'·2^k = {}", hyp.layout.pes());
+    let p = hyper.work.pes as f64;
+    let t1 = seq.work.candidates as f64;
+    let tp = hyper
+        .work
+        .extra("exchange_steps")
+        .unwrap_or(hyper.work.machine_steps) as f64;
+    println!("  p          = N'·2^k = {}", hyper.work.pes);
     println!("  T1 (words) = {t1}");
     println!("  Tp (steps) = {tp}");
     println!("  speedup    = T1/Tp = {:.1}", t1 / tp);

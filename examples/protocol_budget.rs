@@ -32,19 +32,27 @@ fn main() {
     println!("  budget    cost       premium over unbounded");
     for (d, c) in sol.curve.iter().enumerate() {
         let premium = match (c.finite(), opt.cost.finite()) {
-            (Some(v), Some(o)) if o > 0 => format!("{:+.1}%", 100.0 * (v as f64 - o as f64) / o as f64),
+            (Some(v), Some(o)) if o > 0 => {
+                format!("{:+.1}%", 100.0 * (v as f64 - o as f64) / o as f64)
+            }
             _ => "-".into(),
         };
         println!("  {d:>4}     {:>8}   {premium}", c.to_string());
         if d >= sol.saturation_depth && c.is_finite() {
-            println!("  (saturated at budget {} — deeper budgets gain nothing)", sol.saturation_depth);
+            println!(
+                "  (saturated at budget {} — deeper budgets gain nothing)",
+                sol.saturation_depth
+            );
             break;
         }
     }
 
     if let Some(tree) = &sol.tree {
         let st = tree_stats(tree, &inst);
-        println!("\nfinal procedure: worst case {} actions,", st.worst_case_actions);
+        println!(
+            "\nfinal procedure: worst case {} actions,",
+            st.worst_case_actions
+        );
         println!(
             "expected {:.2} tests + {:.2} treatments per patient",
             st.expected_tests, st.expected_treatments

@@ -1,12 +1,11 @@
 //! Quickstart: define a small test-and-treatment problem, solve it
-//! optimally, and print the procedure tree.
+//! through the unified engine registry, and print the procedure tree.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use tt_core::instance::TtInstanceBuilder;
-use tt_core::solver::{greedy, sequential};
 use tt_core::subset::Subset;
 
 fn main() {
@@ -22,21 +21,38 @@ fn main() {
         .build()
         .expect("valid instance");
 
-    println!("instance: k = {}, N = {} ({} tests, {} treatments)",
-        inst.k(), inst.n_actions(), inst.n_tests(), inst.n_treatments());
+    println!(
+        "instance: k = {}, N = {} ({} tests, {} treatments)",
+        inst.k(),
+        inst.n_actions(),
+        inst.n_tests(),
+        inst.n_treatments()
+    );
     println!("adequate: {}", inst.is_adequate());
     println!();
 
-    let sol = sequential::solve(&inst);
-    println!("optimal expected cost C(U) = {}", sol.cost);
-    let tree = sol.tree.expect("adequate instance has an optimal procedure");
-    tree.validate(&inst).expect("extracted tree is a valid procedure");
+    // Every solver in the workspace sits behind the same trait; pick one
+    // by name (`ttsolve --engines` lists them all).
+    let engine = tt_repro::lookup("seq").expect("seq is always registered");
+    let report = engine.solve(&inst);
+    println!("optimal expected cost C(U) = {}", report.cost);
+    println!("work [{}]: {}", engine.name(), report.work);
+    let tree = report
+        .tree
+        .expect("adequate instance has an optimal procedure");
+    tree.validate(&inst)
+        .expect("extracted tree is a valid procedure");
     println!("\noptimal TT procedure (cf. the paper's Fig. 1):\n");
     print!("{}", tree.render(&inst));
 
-    // Compare against a myopic heuristic.
-    let h = greedy::solve(&inst, greedy::Heuristic::SplitBalance).unwrap();
-    println!("\nsplit-balance heuristic cost: {} (optimal: {})", h.cost, sol.cost);
+    // Compare against a myopic heuristic — same interface, so the only
+    // difference is the name passed to `lookup`.
+    let h = tt_repro::lookup("greedy").expect("greedy is always registered");
+    let hr = h.solve(&inst);
+    println!(
+        "\nsplit-balance heuristic cost: {} (optimal: {})",
+        hr.cost, report.cost
+    );
 
     // Per-object path costs from first principles.
     println!("\nper-object path costs:");

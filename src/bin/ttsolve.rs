@@ -2,31 +2,29 @@
 //!
 //! ```text
 //! USAGE:
-//!   ttsolve <file.tt> [--solver seq|memo|bnb|rayon|hyper|ccc|bvm]
-//!                     [--tree] [--dot] [--reduce] [--stats]
-//!   ttsolve --demo <domain> [k] [seed]   # generate & solve a workload
+//!   ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]
+//!   ttsolve --demo <domain> [k] [seed] [--solver <engine>] [--tree] [--dot] [--stats]
 //!           (domains: random, medical, faults, biology, lab)
 //!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
+//!   ttsolve --engines                    # list the registered engines
 //! ```
 //!
 //! Reads the text format of `tt_core::io` (see its docs), solves with the
-//! chosen backend, and prints the optimal cost — optionally the
-//! procedure tree, DOT output, dominance-reduction summary, and solver
-//! statistics.
+//! chosen engine from the unified solver registry, and prints the cost —
+//! optionally the procedure tree, DOT output, dominance-reduction
+//! summary, and the engine's uniform work statistics.
 
 use std::process::exit;
 use tt_core::instance::TtInstance;
 use tt_core::io;
-use tt_core::solver::{branch_and_bound, memo, sequential};
-use tt_core::Cost;
-use tt_parallel::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
+use tt_core::solver::Solver;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ttsolve <file.tt> [--solver seq|memo|bnb|rayon|hyper|ccc|bvm] \
-         [--tree] [--dot] [--reduce] [--stats]\n\
-         \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed]\n\
-         \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]"
+        "usage: ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]\n\
+         \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
+         \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
+         \x20      ttsolve --engines"
     );
     exit(2)
 }
@@ -41,40 +39,98 @@ fn generate(domain: &str, k: usize, seed: u64) -> TtInstance {
     }
 }
 
+/// Flags shared by the file and `--demo` modes.
+#[derive(Default)]
+struct Opts {
+    solver: Option<String>,
+    tree: bool,
+    dot: bool,
+    reduce: bool,
+    stats: bool,
+}
+
+fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -> Opts {
+    let mut opts = Opts::default();
+    let mut it = args;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--solver" => opts.solver = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--tree" => opts.tree = true,
+            "--dot" => opts.dot = true,
+            "--reduce" if allow_reduce => opts.reduce = true,
+            "--stats" => opts.stats = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn list_engines() {
+    println!("registered engines:");
+    for e in tt_repro::registry() {
+        let aliases = if e.aliases().is_empty() {
+            String::new()
+        } else {
+            format!(" (aka {})", e.aliases().join(", "))
+        };
+        println!(
+            "  {:14} {:10} k<={:2}  {}{aliases}",
+            e.name(),
+            format!("[{:?}]", e.kind()).to_lowercase(),
+            e.max_k(),
+            e.description()
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
 
-    // Generation modes.
+    if args[0] == "--engines" {
+        list_engines();
+        return;
+    }
+
+    // Generation modes: `--demo`/`--emit <domain> [k] [seed]`, then
+    // (for --demo) the same flags as file mode.
     if args[0] == "--demo" || args[0] == "--emit" {
         let domain = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-        let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-        let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let mut pos = 2;
+        let k: usize = match args.get(pos).and_then(|s| s.parse().ok()) {
+            Some(k) => {
+                pos += 1;
+                k
+            }
+            None => 8,
+        };
+        let seed: u64 = match args.get(pos).and_then(|s| s.parse().ok()) {
+            Some(s) => {
+                pos += 1;
+                s
+            }
+            None => 0,
+        };
         let inst = generate(domain, k, seed);
         if args[0] == "--emit" {
+            if pos < args.len() {
+                usage();
+            }
             print!("{}", io::to_text(&inst));
             return;
         }
-        solve_and_report(&inst, "seq", true, false, false, true);
+        let mut opts = parse_flags(args[pos..].iter(), false);
+        // The demo exists to show a procedure: keep printing the tree
+        // unless the user asked only for DOT output.
+        opts.tree = opts.tree || !opts.dot;
+        solve_and_report(&inst, &opts);
         return;
     }
 
     let path = &args[0];
-    let mut solver = "seq".to_string();
-    let (mut tree, mut dot, mut reduce, mut stats) = (false, false, false, false);
-    let mut it = args[1..].iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--solver" => solver = it.next().cloned().unwrap_or_else(|| usage()),
-            "--tree" => tree = true,
-            "--dot" => dot = true,
-            "--reduce" => reduce = true,
-            "--stats" => stats = true,
-            _ => usage(),
-        }
-    }
+    let opts = parse_flags(args[1..].iter(), true);
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -90,7 +146,7 @@ fn main() {
             exit(1)
         }
     };
-    let inst = if reduce {
+    let inst = if opts.reduce {
         let red = tt_core::preprocess::reduce(&inst);
         eprintln!(
             "dominance reduction: {} -> {} actions ({} removed)",
@@ -102,17 +158,22 @@ fn main() {
     } else {
         inst
     };
-    solve_and_report(&inst, &solver, tree, dot, stats, false);
+    solve_and_report(&inst, &opts);
 }
 
-fn solve_and_report(
-    inst: &TtInstance,
-    solver: &str,
-    tree: bool,
-    dot: bool,
-    stats: bool,
-    always_tree: bool,
-) {
+fn solve_and_report(inst: &TtInstance, opts: &Opts) {
+    let name = opts.solver.as_deref().unwrap_or("seq");
+    let engine: Box<dyn Solver> = match tt_repro::lookup(name) {
+        Some(e) => e,
+        None => {
+            eprintln!("unknown solver '{name}'; registered engines:");
+            for e in tt_repro::registry() {
+                eprintln!("  {}", e.name());
+            }
+            exit(2)
+        }
+    };
+
     println!(
         "instance: k = {}, N = {} ({} tests, {} treatments), adequate: {}",
         inst.k(),
@@ -121,115 +182,42 @@ fn solve_and_report(
         inst.n_treatments(),
         inst.is_adequate()
     );
+    if inst.k() > engine.max_k() {
+        eprintln!(
+            "warning: engine '{}' is sized for k <= {}; k = {} may be slow or exhaust memory",
+            engine.name(),
+            engine.max_k(),
+            inst.k()
+        );
+    }
 
-    let (cost, best_tree): (Cost, Option<tt_core::TtTree>) = match solver {
-        "seq" => {
-            let s = sequential::solve(inst);
-            if stats {
-                println!(
-                    "stats: {} subsets, {} candidate evaluations",
-                    s.stats.subsets, s.stats.candidates
-                );
-            }
-            (s.cost, s.tree)
-        }
-        "memo" => {
-            let s = memo::solve(inst);
-            if stats {
-                println!(
-                    "stats: {} reachable subsets, {} candidates",
-                    s.reachable_subsets, s.candidates
-                );
-            }
-            (s.cost, s.tree)
-        }
-        "bnb" => {
-            let s = branch_and_bound::solve(inst);
-            if stats {
-                println!(
-                    "stats: {} subsets, {} expanded, {} pruned",
-                    s.stats.subsets, s.stats.expanded, s.stats.pruned
-                );
-            }
-            (s.cost, s.tree)
-        }
-        "rayon" => {
-            let s = rayon_solver::solve(inst);
-            (s.cost, s.tree)
-        }
-        "hyper" => {
-            let s = hyper::solve(inst);
-            if stats {
-                println!(
-                    "stats: {} PEs, {} exchange + {} local parallel steps",
-                    s.layout.pes(),
-                    s.steps.exchange,
-                    s.steps.local
-                );
-            }
-            let t = s.tree(inst);
-            (s.cost, t)
-        }
-        "ccc" => {
-            let s = ccc_tt::solve(inst);
-            if stats {
-                println!(
-                    "stats: CCC r = {}, {} comm steps ({} rotations, {} laterals, {} intra)",
-                    s.machine_r,
-                    s.steps.total_comm(),
-                    s.steps.rotations,
-                    s.steps.lateral_exchanges,
-                    s.steps.intra_cycle
-                );
-            }
-            let t = s.tree(inst);
-            (s.cost, t)
-        }
-        "bvm" => {
-            let s = bvm_tt::solve(inst);
-            if stats {
-                println!(
-                    "stats: BVM r = {}, w = {} bits, {} instructions, {} host loads",
-                    s.machine_r, s.width, s.instructions, s.host_loads
-                );
-            }
-            // Recover the argmin table from the machine's own C(·) values
-            // (one candidate pass — no second DP), then extract the tree.
-            let weight_table = inst.weight_table();
-            let best: Vec<Option<u16>> = (0..s.c_table.len())
-                .map(|mask| {
-                    let set = tt_core::Subset(mask as u32);
-                    if set.is_empty() || s.c_table[mask].is_inf() {
-                        return None;
-                    }
-                    (0..inst.n_actions()).find_map(|i| {
-                        (sequential::candidate(inst, &weight_table, &s.c_table, set, i)
-                            == s.c_table[mask])
-                            .then_some(i as u16)
-                    })
-                })
-                .collect();
-            let tables = sequential::DpTables { cost: s.c_table.clone(), best };
-            let t = sequential::extract_tree(inst, &tables, inst.universe());
-            (s.cost, t)
-        }
-        other => {
-            eprintln!("unknown solver '{other}'");
-            usage()
-        }
-    };
+    let report = engine.solve(inst);
+    if opts.stats {
+        println!("stats [{}]: {}", engine.name(), report.work);
+        println!("wall: {:.3?}", report.wall);
+    }
 
-    println!("optimal expected cost: {cost}");
-    if let Some(t) = best_tree {
-        if tree || always_tree {
+    if engine.kind().is_exact() {
+        println!("optimal expected cost: {}", report.cost);
+    } else {
+        println!(
+            "expected cost ({} upper bound): {}",
+            engine.name(),
+            report.cost
+        );
+    }
+    if let Some(t) = report.tree {
+        if opts.tree {
             println!("\noptimal procedure:\n");
             print!("{}", t.render(inst));
         }
-        if dot {
+        if opts.dot {
             print!("{}", t.to_dot(inst));
         }
-    } else if cost.is_inf() {
-        println!("no successful procedure exists (untreatable objects: {})",
-            inst.untreatable());
+    } else if report.cost.is_inf() {
+        println!(
+            "no successful procedure exists (untreatable objects: {})",
+            inst.untreatable()
+        );
     }
 }

@@ -25,3 +25,23 @@ pub use hypercube;
 pub use tt_core;
 pub use tt_parallel;
 pub use tt_workloads;
+
+pub use tt_core::solver::{EngineKind, SolveReport, Solver, WorkStats};
+
+/// The full engine registry: tt-core's solvers plus tt-parallel's
+/// machine and thread backends, registered and ready to dispatch.
+///
+/// ```
+/// let engines = tt_repro::registry();
+/// assert!(engines.iter().any(|e| e.name() == "bvm"));
+/// ```
+pub fn registry() -> Vec<Box<dyn Solver>> {
+    tt_parallel::register_engines();
+    tt_core::solver::registry()
+}
+
+/// Finds an engine by name or alias across the full registry.
+pub fn lookup(name: &str) -> Option<Box<dyn Solver>> {
+    tt_parallel::register_engines();
+    tt_core::solver::lookup(name)
+}

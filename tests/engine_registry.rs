@@ -1,0 +1,108 @@
+//! Registry-wide smoke test: every registered engine must solve a small
+//! adequate instance and an inadequate (INF) instance, agree on the
+//! cost, and report work statistics that respect the problem's bounds.
+
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::solver::EngineKind;
+use tt_core::subset::Subset;
+
+/// Small adequate instance every engine (even `exhaustive`, k <= 3) can
+/// take: 3 objects, one test, two treatments covering the universe.
+fn adequate() -> TtInstance {
+    TtInstanceBuilder::new(3)
+        .weights([3, 2, 1])
+        .test(Subset(0b011), 1)
+        .test(Subset(0b101), 2)
+        .treatment(Subset(0b011), 3)
+        .treatment(Subset(0b110), 2)
+        .treatment(Subset(0b100), 1)
+        .build()
+        .unwrap()
+}
+
+/// Inadequate: object 2 is covered by no treatment, so C(U) = INF.
+fn inadequate() -> TtInstance {
+    TtInstanceBuilder::new(3)
+        .weights([1, 1, 1])
+        .test(Subset(0b010), 1)
+        .treatment(Subset(0b011), 2)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn every_engine_solves_the_adequate_instance() {
+    let inst = adequate();
+    let opt = tt_core::solver::sequential::solve(&inst).cost;
+    assert!(opt.is_finite());
+    let engines = tt_repro::registry();
+    assert!(engines.len() >= 10, "registry too small: {}", engines.len());
+    for e in engines {
+        assert!(inst.k() <= e.max_k(), "{} cannot take k=3", e.name());
+        let r = e.solve(&inst);
+        if e.kind().is_exact() {
+            assert_eq!(r.cost, opt, "{} disagrees with the DP", e.name());
+        } else {
+            assert!(r.cost >= opt, "{} beat the optimum", e.name());
+            assert!(
+                r.cost.is_finite(),
+                "{} failed on an adequate instance",
+                e.name()
+            );
+        }
+        let tree = r
+            .tree
+            .unwrap_or_else(|| panic!("{} returned no tree", e.name()));
+        tree.validate(&inst).unwrap();
+        assert_eq!(
+            tree.expected_cost(&inst),
+            r.cost,
+            "{} tree/cost mismatch",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn every_engine_reports_inf_on_the_inadequate_instance() {
+    let inst = inadequate();
+    for e in tt_repro::registry() {
+        let r = e.solve(&inst);
+        assert!(
+            r.cost.is_inf(),
+            "{} found a cost on an unsolvable instance",
+            e.name()
+        );
+        assert!(r.tree.is_none(), "{} returned a tree for INF", e.name());
+    }
+}
+
+#[test]
+fn work_stats_respect_problem_bounds() {
+    let inst = adequate();
+    let plane = (1u64 << inst.k()) * inst.n_actions() as u64;
+    for e in tt_repro::registry() {
+        let r = e.solve(&inst);
+        let w = &r.work;
+        assert!(
+            w.subsets <= 1 << inst.k(),
+            "{}: subsets={} exceeds 2^k",
+            e.name(),
+            w.subsets
+        );
+        if e.name() == "bnb" {
+            // Expanded and pruned sets partition (a subset of) the
+            // candidate plane: together they cannot exceed 2^k * N.
+            assert!(
+                w.candidates + w.pruned <= plane,
+                "bnb: expanded {} + pruned {} exceeds the candidate plane {plane}",
+                w.candidates,
+                w.pruned
+            );
+        }
+        if e.kind() == EngineKind::Machine {
+            assert!(w.machine_steps > 0, "{}: machine with no steps", e.name());
+            assert!(w.pes > 0, "{}: machine with no PEs", e.name());
+        }
+    }
+}

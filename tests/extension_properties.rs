@@ -10,8 +10,14 @@ use tt_parallel::hyper;
 use tt_workloads::random::RandomConfig;
 
 fn inst(k: usize, seed: u64) -> tt_core::instance::TtInstance {
-    RandomConfig { k, n_tests: k, n_treatments: k / 2 + 1, max_cost: 9, max_weight: 7 }
-        .generate(seed)
+    RandomConfig {
+        k,
+        n_tests: k,
+        n_treatments: k / 2 + 1,
+        max_cost: 9,
+        max_weight: 7,
+    }
+    .generate(seed)
 }
 
 proptest! {

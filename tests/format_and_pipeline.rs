@@ -26,10 +26,26 @@ fn full_pipeline_per_domain() {
 
         // Every backend agrees on the reduced instance.
         let seq = sequential::solve_tables(&red.instance);
-        assert_eq!(rayon_solver::solve_tables(&red.instance).cost, seq.cost, "{domain}: rayon");
-        assert_eq!(hyper::solve(&red.instance).c_table, seq.cost, "{domain}: hyper");
-        assert_eq!(ccc_tt::solve(&red.instance).c_table, seq.cost, "{domain}: ccc");
-        assert_eq!(branch_and_bound::solve(&red.instance).cost, opt.cost, "{domain}: bnb");
+        assert_eq!(
+            rayon_solver::solve_tables(&red.instance).cost,
+            seq.cost,
+            "{domain}: rayon"
+        );
+        assert_eq!(
+            hyper::solve(&red.instance).c_table,
+            seq.cost,
+            "{domain}: hyper"
+        );
+        assert_eq!(
+            ccc_tt::solve(&red.instance).c_table,
+            seq.cost,
+            "{domain}: ccc"
+        );
+        assert_eq!(
+            branch_and_bound::solve(&red.instance).cost,
+            opt.cost,
+            "{domain}: bnb"
+        );
 
         // Tree statistics are consistent with the cost.
         let tree = opt.tree.expect("adequate");

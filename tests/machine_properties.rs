@@ -144,8 +144,7 @@ proptest! {
 /// All submasks of `a` with exactly `level` bits.
 fn submasks_at_level(a: usize, level: usize) -> impl Iterator<Item = usize> {
     let mask = a;
-    (0usize..=mask)
-        .filter(move |s| s & !mask == 0 && s.count_ones() as usize == level)
+    (0usize..=mask).filter(move |s| s & !mask == 0 && s.count_ones() as usize == level)
 }
 
 /// Deterministic spot-check: the BVM I/O chain streams a whole register

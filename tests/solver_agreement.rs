@@ -2,6 +2,12 @@
 //! sequential DP ⇒ memoized DP ⇒ rayon DP ⇒ hypercube simulation ⇒ CCC
 //! simulation ⇒ BVM bit-serial program — every adjacent pair must agree
 //! **exactly** (integer equality, no tolerance).
+//!
+//! The chain is driven two ways: through the unified engine registry
+//! (`registry_engines_agree` — whatever is registered must agree, so a
+//! new backend joins the test by joining the registry) and through the
+//! raw per-backend APIs for the deep table-level comparisons the
+//! uniform `Solver` interface deliberately does not expose.
 
 use proptest::prelude::*;
 use tt_core::cost::Cost;
@@ -25,8 +31,7 @@ fn arb_instance(max_k: usize) -> impl Strategy<Value = TtInstance> {
             x
         };
         let full = (1u32 << k) - 1;
-        let mut b = TtInstanceBuilder::new(k)
-            .weights((0..k).map(|_| 1 + next() % 9));
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1 + next() % 9));
         for _ in 0..nt {
             let s = Subset(1 + (next() as u32) % full);
             b = b.test(s, 1 + next() % 9);
@@ -41,6 +46,35 @@ fn arb_instance(max_k: usize) -> impl Strategy<Value = TtInstance> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every registered engine, dispatched through the uniform
+    /// `Solver` interface: exact engines (DP, machine simulations,
+    /// thread pool) reproduce the sequential optimum exactly — cost and
+    /// a valid tree — and heuristics give a sound upper bound.
+    /// Inadequate (INF) instances are included.
+    #[test]
+    fn registry_engines_agree(inst in arb_instance(4)) {
+        tt_parallel::register_engines();
+        let opt = sequential::solve(&inst).cost;
+        for e in tt_core::solver::registry() {
+            if inst.k() > e.max_k() {
+                continue;
+            }
+            let r = e.solve(&inst);
+            if e.kind().is_exact() {
+                prop_assert_eq!(r.cost, opt, "{} disagrees with the DP", e.name());
+            } else {
+                prop_assert!(r.cost >= opt, "{} beat the optimum: {} < {opt}", e.name(), r.cost);
+            }
+            match &r.tree {
+                Some(t) => {
+                    prop_assert!(t.validate(&inst).is_ok(), "{} tree invalid", e.name());
+                    prop_assert_eq!(t.expected_cost(&inst), r.cost, "{} tree cost", e.name());
+                }
+                None => prop_assert!(r.cost.is_inf(), "{} lost the tree", e.name()),
+            }
+        }
+    }
 
     /// Sequential == memoized == rayon on the universe cost, including
     /// inadequate (INF) instances.

@@ -8,7 +8,13 @@ use tt_core::subset::Subset;
 use tt_workloads::random::RandomConfig;
 
 fn cfg(k: usize) -> RandomConfig {
-    RandomConfig { k, n_tests: k, n_treatments: k / 2 + 1, max_cost: 9, max_weight: 7 }
+    RandomConfig {
+        k,
+        n_tests: k,
+        n_treatments: k / 2 + 1,
+        max_cost: 9,
+        max_weight: 7,
+    }
 }
 
 proptest! {

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use: the
+//! [`Criterion`] builder (`sample_size`, `warm_up_time`,
+//! `measurement_time`), benchmark groups with `bench_with_input` /
+//! `bench_function` / `finish`, [`BenchmarkId`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: warm up for the configured
+//! duration, then time batches of iterations until the measurement
+//! budget is spent, and print the mean wall-clock time per iteration.
+//! There is no statistical analysis, HTML report, or regression store.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and configuration builder.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark warms up before timing.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the timing budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the timing budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Times `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(&self.config);
+        f(&mut b, input);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Times `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(&self.config);
+        f(&mut b);
+        b.report(&self.name, &id.into());
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Hands the routine under test to the timing loop.
+pub struct Bencher {
+    config: Criterion,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(config: &Criterion) -> Bencher {
+        Bencher {
+            config: config.clone(),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Runs `routine` repeatedly: first for the warm-up duration, then
+    /// until the measurement budget is spent, recording mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no measurement");
+            return;
+        }
+        let per = self.elapsed.as_nanos() / u128::from(self.iters);
+        println!("{group}/{id}: {per} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Declares a group of benchmark functions and its configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("solver", 12).id, "solver/12");
+        assert_eq!(BenchmarkId::from_parameter("k9").id, "k9");
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the rayon API it actually uses — `par_iter`,
+//! `par_iter_mut`, `par_chunks_mut`, `map`/`enumerate`/`for_each`/
+//! `collect`, and [`current_num_threads`] — implemented on
+//! `std::thread::scope` with an even chunk partition. Semantics match
+//! rayon for the data-parallel loops in this workspace (independent
+//! items, order-preserving collect); work stealing and the full adapter
+//! zoo are intentionally out of scope.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the scoped executor will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+/// `.par_iter()` on shared slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: 'a;
+    /// A data-parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on mutable slices and vectors.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by mutable reference.
+    type Item: 'a;
+    /// A data-parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `.par_chunks_mut(n)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A data-parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each item through `f` (applied on the worker threads).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Applies the map in parallel, preserving input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        let n = self.slice.len();
+        let threads = current_num_threads().min(n.max(1));
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let f = &self.f;
+        let mut out: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        C::from(out.into_iter().flatten().collect())
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+}
+
+/// The result of [`ParIterMut::enumerate`].
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Runs `f` on every `(index, &mut item)` pair across the workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let n = self.slice.len();
+        if n == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(n);
+        let chunk = n.div_ceil(threads).max(1);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (ci, part) in self.slice.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (off, item) in part.iter_mut().enumerate() {
+                        f((base + off, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct EnumerateChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumerateChunksMut<'_, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair across the workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let threads = current_num_threads().min(n);
+        let per = n.div_ceil(threads).max(1);
+        let f = &f;
+        let mut work = chunks;
+        std::thread::scope(|scope| {
+            while !work.is_empty() {
+                let rest = work.split_off(work.len().saturating_sub(per).min(work.len()));
+                let batch = rest;
+                scope.spawn(move || {
+                    for (i, chunk) in batch {
+                        f((i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_touches_every_item_once() {
+        let mut xs = vec![0u64; 517];
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i as u64 + 1);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_sees_disjoint_chunks() {
+        let mut xs = vec![0u64; 100];
+        xs.par_chunks_mut(7).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci as u64;
+            }
+        });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(x, (i / 7) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let mut zs: Vec<u64> = Vec::new();
+        zs.par_iter_mut().enumerate().for_each(|(_, _)| {});
+    }
+}
