@@ -6,7 +6,8 @@
 //!
 //! Experiments (DESIGN.md §4): `fig1 fig3 fig4 fig6 fig7 fig8 fig9
 //! complexity-bvm speedup ccc-slowdown headline engines wallclock fanin
-//! memo-ablation heuristic-gap bnb-ablation benes-routing bitonic`.
+//! memo-ablation heuristic-gap bnb-ablation benes-routing bitonic
+//! depth-curve blocked-brent bvm-input anytime resilience`.
 
 use tt_bench::{header, ratio_stats, row};
 use tt_core::instance::TtInstanceBuilder;
@@ -51,6 +52,8 @@ fn main() {
     run("depth-curve", depth_curve);
     run("blocked-brent", blocked_brent);
     run("bvm-input", bvm_input);
+    run("anytime", anytime);
+    run("resilience", resilience);
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(1);
@@ -891,4 +894,116 @@ fn bvm_input() {
     println!("\n(the machine answer is identical either way — asserted above; the");
     println!("point is the accounting, and why §7 says 'T_i should be input to");
     println!("the BVM' as a separate, precalculated step.)");
+}
+
+/// E23 — anytime degradation: the bound gap as a function of the
+/// candidate budget. The degraded upper bound is a real procedure's
+/// cost and the lower bound is admissible, so the sandwich tightens
+/// monotonically-ish toward the optimum as the budget grows.
+fn anytime() {
+    let inst = RandomConfig {
+        k: 10,
+        n_tests: 10,
+        n_treatments: 6,
+        max_cost: 9,
+        max_weight: 7,
+    }
+    .generate(7);
+    let opt = sequential::solve(&inst).cost;
+    println!("claim: on budget exhaustion every engine returns an anytime");
+    println!("incumbent with a [lower, upper] sandwich around the optimum");
+    println!("(k = 10, optimum {opt}).\n");
+    header(
+        &["budget", "outcome", "lower", "upper", "gap"],
+        &[10, 10, 8, 8, 8],
+    );
+    let engine = tt_core::solver::lookup("seq").unwrap();
+    for budget in [100u64, 1_000, 5_000, 20_000, 100_000, u64::MAX] {
+        let b = if budget == u64::MAX {
+            tt_core::solver::budget::Budget::unlimited()
+        } else {
+            tt_core::solver::budget::Budget::with_max_candidates(budget)
+        };
+        let r = engine.solve_with(&inst, &b);
+        let (outcome, lo, hi) = match r.outcome {
+            tt_core::solver::SolveOutcome::Complete => ("complete", r.cost, r.cost),
+            tt_core::solver::SolveOutcome::Degraded {
+                upper_bound,
+                lower_bound,
+                ..
+            } => ("degraded", lower_bound, upper_bound),
+        };
+        assert!(lo <= opt && opt <= hi);
+        row(
+            &[
+                if budget == u64::MAX {
+                    "unlimited".to_string()
+                } else {
+                    budget.to_string()
+                },
+                outcome.to_string(),
+                lo.to_string(),
+                hi.to_string(),
+                (hi.0 - lo.0).to_string(),
+            ],
+            &[10, 10, 8, 8, 8],
+        );
+    }
+    println!("\ncheck: optimum inside every sandwich — PASS");
+}
+
+/// E24 — machine fault injection: a barrage of transient link faults
+/// and dead PEs on the CCC, all detected by the checksummed double run
+/// and corrected by rollback-retry or replica quarantine; the answer
+/// always equals the exact DP.
+fn resilience() {
+    use std::sync::Arc;
+    use tt_parallel::resilient::{solve_ccc_resilient, DEFAULT_MAX_RETRIES};
+    let inst = random_adequate(4, 5);
+    let seq = sequential::solve_tables(&inst);
+    println!("claim: injected machine faults are detected (checksummed");
+    println!("redundant execution), corrected (rollback retry, replica");
+    println!("quarantine of dead PEs), or escalated — never silently wrong.\n");
+    header(
+        &["plan", "glitches", "retries", "dead", "replica", "exact?"],
+        &[22, 9, 8, 6, 8, 7],
+    );
+    let flip = || {
+        Arc::new(|pe: &mut tt_parallel::hyper::TtPe| {
+            pe.tp = tt_core::cost::Cost(pe.tp.0 ^ 1);
+        }) as Arc<dyn Fn(&mut tt_parallel::hyper::TtPe) + Send + Sync>
+    };
+    let mut plans: Vec<(String, hypercube::CccFaultPlan<tt_parallel::hyper::TtPe>)> = vec![
+        ("fault-free".to_string(), hypercube::CccFaultPlan::none()),
+        (
+            "dead PE @ 5".to_string(),
+            hypercube::CccFaultPlan {
+                dead: vec![5],
+                links: vec![],
+            },
+        ),
+    ];
+    for seed in 1..4u64 {
+        plans.push((
+            format!("seeded barrage #{seed}"),
+            hypercube::CccFaultPlan::seeded(seed, 4, 7, 16, flip()),
+        ));
+    }
+    for (name, plan) in plans {
+        let (sol, rep) = solve_ccc_resilient(&inst, plan, DEFAULT_MAX_RETRIES).unwrap();
+        let exact = sol.c_table == seq.cost;
+        assert!(exact, "{name} produced a wrong table");
+        row(
+            &[
+                name,
+                rep.glitches_detected.to_string(),
+                rep.retries.to_string(),
+                format!("{:?}", rep.dead_pes),
+                rep.replica_used.to_string(),
+                "yes".to_string(),
+            ],
+            &[22, 9, 8, 6, 8, 7],
+        );
+    }
+    println!("\ncheck: every recovered run equals the exact DP tables — PASS");
 }

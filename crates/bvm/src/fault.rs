@@ -1,0 +1,175 @@
+//! Fault injection for the BVM.
+//!
+//! The BVM is bit-serial hardware: every value that crosses a link is a
+//! single bit, so the natural fault model is per-bit. Three faults are
+//! modeled:
+//!
+//! * [`BvmFault::DeadPe`] — a PE that never commits a write. Its column
+//!   of the bit array freezes; neighbours that read from it still see its
+//!   (stale) register contents, exactly as a powered-but-hung column
+//!   would behave.
+//! * [`BvmFault::StuckLink`] — the inbound link of one PE is stuck at a
+//!   value: every neighbour fetch delivers that constant bit to the PE,
+//!   persistently.
+//! * [`BvmFault::FlipBit`] — a single-event upset: on the `nth`
+//!   neighbour-fetch instruction executed machine-wide, the bit delivered
+//!   to one PE is inverted. Transient — it fires once and never again.
+//!
+//! The fetch counter backing [`BvmFault::FlipBit`] is shared behind an
+//! `Arc` across machine clones, so a resilient driver that snapshots the
+//! machine, detects a glitch by checksum, and re-runs the phase from the
+//! snapshot does **not** replay the transient (the re-run executes later
+//! counter values) — the semantics of a real one-shot upset.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One injected fault (see the module docs for semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BvmFault {
+    /// The PE at this index never commits register writes.
+    DeadPe {
+        /// PE index (column of the bit array).
+        pe: usize,
+    },
+    /// Every neighbour fetch delivers `value` to this PE, persistently.
+    StuckLink {
+        /// PE index whose inbound link is stuck.
+        pe: usize,
+        /// The stuck value.
+        value: bool,
+    },
+    /// On the `nth` neighbour-fetch instruction executed machine-wide
+    /// (0-based, monotonic across clones), the bit delivered to `pe` is
+    /// inverted. Fires once.
+    FlipBit {
+        /// Which neighbour-fetch instruction glitches.
+        nth: u64,
+        /// PE index receiving the flipped bit.
+        pe: usize,
+    },
+}
+
+/// A set of faults to inject into a [`Bvm`](crate::machine::Bvm).
+#[derive(Clone, Debug, Default)]
+pub struct BvmFaultPlan {
+    /// The faults, applied in order on each affected instruction.
+    pub faults: Vec<BvmFault>,
+}
+
+impl BvmFaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> BvmFaultPlan {
+        BvmFaultPlan::default()
+    }
+
+    /// Is there nothing to inject?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(fault: BvmFault) -> BvmFaultPlan {
+        BvmFaultPlan {
+            faults: vec![fault],
+        }
+    }
+}
+
+/// The live injector a machine carries: the plan plus the shared
+/// neighbour-fetch counter.
+#[derive(Clone, Debug)]
+pub struct BvmFaultInjector {
+    plan: BvmFaultPlan,
+    /// Monotonic count of neighbour-fetch instructions, shared across
+    /// machine clones so snapshot/re-run advances (not replays) time.
+    fetches: Arc<AtomicU64>,
+}
+
+impl BvmFaultInjector {
+    /// Builds the injector.
+    pub fn new(plan: BvmFaultPlan) -> BvmFaultInjector {
+        BvmFaultInjector {
+            plan,
+            fetches: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// PE indices of dead PEs (ground truth for tests; detectors should
+    /// use checksum cross-checks instead).
+    pub fn dead_pes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.plan.faults.iter().filter_map(|f| match f {
+            BvmFault::DeadPe { pe } => Some(*pe),
+            _ => None,
+        })
+    }
+
+    /// Is any PE dead?
+    pub fn has_dead(&self) -> bool {
+        self.dead_pes().next().is_some()
+    }
+
+    /// Advances the neighbour-fetch counter and returns the link faults
+    /// to apply to this fetch: `(pe, value)` pairs where `value` is the
+    /// bit to force (stuck value, or the inverse of `current(pe)` for a
+    /// flip).
+    pub fn link_faults(&self, current: impl Fn(usize) -> bool) -> Vec<(usize, bool)> {
+        let n = self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                BvmFault::StuckLink { pe, value } => Some((pe, value)),
+                BvmFault::FlipBit { nth, pe } if nth == n => Some((pe, !current(pe))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Neighbour-fetch instructions observed so far.
+    pub fn fetches(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_fires_exactly_once_and_counter_is_shared() {
+        let inj = BvmFaultInjector::new(BvmFaultPlan::single(BvmFault::FlipBit { nth: 1, pe: 7 }));
+        let twin = inj.clone();
+        assert!(inj.link_faults(|_| false).is_empty()); // n = 0
+        let hits = twin.link_faults(|_| false); // n = 1, via the clone
+        assert_eq!(hits, vec![(7, true)]);
+        assert!(inj.link_faults(|_| false).is_empty()); // n = 2: gone
+        assert_eq!(inj.fetches(), 3);
+    }
+
+    #[test]
+    fn stuck_link_is_persistent() {
+        let inj = BvmFaultInjector::new(BvmFaultPlan::single(BvmFault::StuckLink {
+            pe: 3,
+            value: true,
+        }));
+        for _ in 0..4 {
+            assert_eq!(inj.link_faults(|_| false), vec![(3, true)]);
+        }
+    }
+
+    #[test]
+    fn dead_pes_listed() {
+        let inj = BvmFaultInjector::new(BvmFaultPlan {
+            faults: vec![
+                BvmFault::DeadPe { pe: 9 },
+                BvmFault::StuckLink {
+                    pe: 1,
+                    value: false,
+                },
+            ],
+        });
+        assert!(inj.has_dead());
+        assert_eq!(inj.dead_pes().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hyperops;
 pub mod isa;
 pub mod machine;
@@ -46,6 +47,7 @@ pub mod plane;
 pub mod program;
 pub mod topology;
 
+pub use fault::{BvmFault, BvmFaultInjector, BvmFaultPlan};
 pub use isa::{BoolFn, Dest, Gate, Instruction, Neighbor, RegSel};
 pub use machine::Bvm;
 pub use topology::CccTopology;

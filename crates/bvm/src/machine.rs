@@ -11,11 +11,14 @@
 //! pre-loaded memory and is tracked separately from executed instructions
 //! (the paper's time bounds count algorithm steps, not input).
 
+use crate::fault::{BvmFaultInjector, BvmFaultPlan};
 use crate::isa::{Dest, Gate, Instruction, Neighbor, RegSel};
 use crate::plane::BitPlane;
 use crate::topology::CccTopology;
 use crate::NUM_REGISTERS;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::VecDeque;
+use std::hash::Hasher;
 
 /// The Boolean Vector Machine.
 ///
@@ -47,6 +50,7 @@ pub struct Bvm {
     host_loads: u64,
     phases: Vec<(String, u64)>,
     recording: Option<Vec<Instruction>>,
+    faults: Option<BvmFaultInjector>,
 }
 
 /// Writes `new` into `dst` under an optional mask (`None` = overwrite).
@@ -99,7 +103,42 @@ impl Bvm {
             host_loads: 0,
             phases: Vec::new(),
             recording: None,
+            faults: None,
         }
+    }
+
+    /// Arms a fault plan: dead PEs stop committing writes, stuck links
+    /// force their bit on every neighbour fetch, and flip faults glitch
+    /// the scheduled fetch once. The injector's fetch counter is shared
+    /// with clones made *after* this call, so a snapshot/re-run recovery
+    /// does not replay transients.
+    pub fn inject_faults(&mut self, plan: BvmFaultPlan) {
+        self.faults = Some(BvmFaultInjector::new(plan));
+    }
+
+    /// Disarms fault injection (repairs the machine).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The armed fault injector, if any.
+    pub fn faults(&self) -> Option<&BvmFaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// An order-sensitive checksum over the whole bit array (all general
+    /// registers plus `A`, `B`, `E`). Two machines that executed the same
+    /// program fault-free agree, so a resilient driver detects faults by
+    /// running a phase twice (from a snapshot) and comparing — transients
+    /// do not replay, so a mismatch pins the glitched run.
+    pub fn checksum(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for plane in self.regs.iter().chain([&self.a, &self.b, &self.e]) {
+            for w in plane.words() {
+                h.write_u64(*w);
+            }
+        }
+        h.finish()
     }
 
     /// The machine geometry.
@@ -233,6 +272,13 @@ impl Bvm {
                     self.output.push(outbit);
                     g.set(0, inbit);
                 }
+                if let Some(fi) = &self.faults {
+                    // Link faults strike the bit in flight: stuck links
+                    // force their value, flip faults invert it once.
+                    for (pe, v) in fi.link_faults(|pe| g.get(pe)) {
+                        g.set(pe, v);
+                    }
+                }
                 Some(g)
             }
         };
@@ -244,12 +290,28 @@ impl Bvm {
         let gate_active = self.gate_plane(ins.gate);
         // E writes ignore the enable bits ("register E is always enabled");
         // everything else is gated by E as well.
-        let dest_mask: Option<BitPlane> = match (&gate_active, matches!(ins.dest, Dest::E)) {
+        let mut dest_mask: Option<BitPlane> = match (&gate_active, matches!(ins.dest, Dest::E)) {
             (None, true) => None,                     // unmasked E write
             (Some(g), true) => Some(g.clone()),       // gate only
             (None, false) => Some(self.e.clone()),    // enable only
             (Some(g), false) => Some(g.and(&self.e)), // gate ∧ enable
         };
+        // Dead PEs never commit — not even E writes (the column is hung).
+        let dead_mask: Option<BitPlane> =
+            self.faults.as_ref().filter(|fi| fi.has_dead()).map(|fi| {
+                let mut live = BitPlane::zero(n);
+                live.fill(true);
+                for pe in fi.dead_pes() {
+                    live.set(pe, false);
+                }
+                live
+            });
+        if let Some(live) = &dead_mask {
+            dest_mask = Some(match dest_mask {
+                None => live.clone(),
+                Some(m) => m.and(live),
+            });
+        }
 
         match ins.dest {
             Dest::A => apply(&mut self.a, new_dest, &dest_mask),
@@ -262,11 +324,14 @@ impl Bvm {
             }
             Dest::R(j) => apply(&mut self.regs[j as usize], new_dest, &dest_mask),
         }
-        let b_mask = match gate_active {
-            None => Some(self.e.clone()),
-            Some(g) => Some(g.and(&self.e)),
+        let mut b_mask = match gate_active {
+            None => self.e.clone(),
+            Some(g) => g.and(&self.e),
         };
-        apply(&mut self.b, new_b, &b_mask);
+        if let Some(live) = &dead_mask {
+            b_mask = b_mask.and(live);
+        }
+        apply(&mut self.b, new_b, &Some(b_mask));
     }
 
     /// Executes a sequence of instructions.
@@ -447,6 +512,80 @@ mod tests {
         ]);
         assert_eq!(m.executed(), 2);
         assert_eq!(m.host_loads(), 1);
+    }
+
+    #[test]
+    fn dead_pe_never_commits_but_neighbours_read_its_stale_state() {
+        use crate::fault::{BvmFault, BvmFaultPlan};
+        let mut m = bvm();
+        m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe == 5));
+        m.inject_faults(BvmFaultPlan::single(BvmFault::DeadPe { pe: 5 }));
+        // Dead PE must not take a write — not even an E write.
+        m.exec(&Instruction::set_const(Dest::E, false));
+        assert!(m.read_bit(RegSel::E, 5), "dead PE's E column is frozen");
+        m.exec(&Instruction::set_const(Dest::E, true));
+        m.exec(&Instruction::set_const(Dest::A, false));
+        assert!(m.read_bit(RegSel::A, 5), "dead PE's A column is frozen");
+        assert!(!m.read_bit(RegSel::A, 6));
+        // Its successor still reads PE 5's stale A bit.
+        m.exec(&Instruction::mov(Dest::R(0), RegSel::A, Some(Neighbor::P)));
+        let reader = {
+            let (c, p) = m.topo().split(5);
+            m.topo().join(c, (p + 1) % m.topo().q())
+        };
+        assert!(m.read_bit(RegSel::R(0), reader), "stale bit visible");
+    }
+
+    #[test]
+    fn stuck_link_forces_its_bit_on_every_fetch() {
+        use crate::fault::{BvmFault, BvmFaultPlan};
+        let mut m = bvm();
+        m.inject_faults(BvmFaultPlan::single(BvmFault::StuckLink {
+            pe: 9,
+            value: true,
+        }));
+        // A is all zero, so a fault-free successor fetch delivers zeros.
+        m.exec(&Instruction::mov(Dest::R(0), RegSel::A, Some(Neighbor::S)));
+        assert!(m.read_bit(RegSel::R(0), 9), "stuck-at-1 link");
+        assert_eq!(m.read(RegSel::R(0)).count_ones(), 1);
+        m.exec(&Instruction::mov(Dest::R(1), RegSel::A, Some(Neighbor::L)));
+        assert!(m.read_bit(RegSel::R(1), 9), "persists across fetches");
+    }
+
+    #[test]
+    fn flip_bit_glitches_once_and_does_not_replay_after_snapshot() {
+        use crate::fault::{BvmFault, BvmFaultPlan};
+        let program = [
+            Instruction::mov(Dest::R(0), RegSel::A, Some(Neighbor::S)),
+            Instruction::mov(Dest::R(1), RegSel::R(0), Some(Neighbor::L)),
+        ];
+        let clean = {
+            let mut m = bvm();
+            m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe % 3 == 0));
+            m.run(&program);
+            m.checksum()
+        };
+        let mut faulty = bvm();
+        faulty.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe % 3 == 0));
+        faulty.inject_faults(BvmFaultPlan::single(BvmFault::FlipBit { nth: 1, pe: 20 }));
+        // Snapshot AFTER arming: the clone shares the fetch counter.
+        let snapshot = faulty.clone();
+        faulty.run(&program);
+        assert_ne!(faulty.checksum(), clean, "the flip must be visible");
+        let mut rerun = snapshot;
+        rerun.run(&program);
+        assert_eq!(rerun.checksum(), clean, "transient must not replay");
+    }
+
+    #[test]
+    fn checksum_agrees_for_identical_fault_free_runs() {
+        let mk = || {
+            let mut m = bvm();
+            m.load_register(Dest::A, BitPlane::from_fn(64, |pe| pe & 5 == 1));
+            m.exec(&Instruction::mov(Dest::R(2), RegSel::A, Some(Neighbor::XS)));
+            m.checksum()
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! both members of every pair sit at the same cycle position at the same
 //! time slot.
 
+use crate::fault::{CccFaultInjector, CccFaultPlan, PairFaultKind};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
 /// Link-step counters for the CCC machine.
@@ -64,6 +67,7 @@ pub struct CccMachine<T> {
     dims: usize,
     pes: Vec<T>,
     counts: CccStepCounts,
+    faults: Option<CccFaultInjector<T>>,
 }
 
 /// The smallest `r` such that a complete CCC with cycle length `2^r`
@@ -92,7 +96,27 @@ impl<T: Send + Sync> CccMachine<T> {
             dims,
             pes,
             counts: CccStepCounts::default(),
+            faults: None,
         }
+    }
+
+    /// Arms a fault plan: from now on, dead PEs neither compute nor drive
+    /// their links, and the planned transient link faults fire on the
+    /// scheduled pair operations. The injector's pair-op counters are
+    /// shared with any clones made *after* this call, so a
+    /// snapshot/re-run recovery does not replay transients.
+    pub fn inject_faults(&mut self, plan: CccFaultPlan<T>) {
+        self.faults = Some(CccFaultInjector::new(plan, self.dims));
+    }
+
+    /// Disarms fault injection (repairs the machine).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// The armed fault injector, if any.
+    pub fn faults(&self) -> Option<&CccFaultInjector<T>> {
+        self.faults.as_ref()
     }
 
     /// Cycle length `Q = 2^r`.
@@ -150,10 +174,58 @@ impl<T: Send + Sync> CccMachine<T> {
         self.counts = CccStepCounts::default();
     }
 
-    /// One local step: every PE updates its own state.
+    /// An order-sensitive checksum over all PE states. Two machines that
+    /// executed the same program fault-free agree; a resilient driver
+    /// detects transients by running a phase twice (from a snapshot) and
+    /// comparing checksums — transient faults do not replay, so a
+    /// mismatch pins the glitched run.
+    pub fn checksum(&self) -> u64
+    where
+        T: Hash,
+    {
+        let mut h = DefaultHasher::new();
+        for pe in &self.pes {
+            pe.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Self-test probe for dead PEs: snapshots the state, writes a marker
+    /// through the (possibly faulty) local-step path, reads back which PEs
+    /// failed to take it, and restores the snapshot and counters. Returns
+    /// the hypercube addresses that did not respond.
+    pub fn probe_dead(
+        &mut self,
+        mark: impl Fn(usize, &mut T) + Sync,
+        took: impl Fn(usize, &T) -> bool + Sync,
+    ) -> Vec<usize>
+    where
+        T: Clone,
+    {
+        let snapshot = self.pes.clone();
+        let counts = self.counts;
+        self.local_step(&mark);
+        let dead = self
+            .pes
+            .iter()
+            .enumerate()
+            .filter(|(addr, pe)| !took(*addr, pe))
+            .map(|(addr, _)| addr)
+            .collect();
+        self.pes = snapshot;
+        self.counts = counts;
+        dead
+    }
+
+    /// One local step: every PE updates its own state. Dead PEs (per the
+    /// armed fault plan, if any) do not compute.
     pub fn local_step(&mut self, f: impl Fn(usize, &mut T) + Sync) {
         self.counts.local += 1;
+        let faults = self.faults.as_ref();
         for (addr, pe) in self.pes.iter_mut().enumerate() {
+            if faults.is_some_and(|fi| fi.is_dead(addr)) {
+                continue;
+            }
             f(addr, pe);
         }
     }
@@ -179,8 +251,25 @@ impl<T: Send + Sync> CccMachine<T> {
                 }
             }
             let hi_addr = lo_addr | bit;
+            if let Some(fi) = &self.faults {
+                // A dead PE cannot drive its links: the whole exchange on
+                // any pair touching it is void (its partner keeps stale
+                // data). Dead pairs do not consume the link-fault counter;
+                // only exchanges that actually fire do.
+                if fi.is_dead(lo_addr) || fi.is_dead(hi_addr) {
+                    continue;
+                }
+            }
+            let fault = self.faults.as_ref().and_then(|fi| fi.next_fault(dim));
             let (a, b) = self.pes.split_at_mut(hi_addr);
-            op(dim, lo_addr, &mut a[lo_addr], &mut b[0]);
+            match fault {
+                Some(PairFaultKind::Drop) => {} // exchange lost in flight
+                Some(PairFaultKind::Corrupt(corrupt)) => {
+                    op(dim, lo_addr, &mut a[lo_addr], &mut b[0]);
+                    corrupt(&mut b[0]);
+                }
+                None => op(dim, lo_addr, &mut a[lo_addr], &mut b[0]),
+            }
         }
     }
 
@@ -436,6 +525,101 @@ mod tests {
         assert_eq!(c.intra_cycle, 2 * (q - 1));
         assert_eq!(c.rotations, 2 * q - 2);
         assert_eq!(c.lateral_exchanges, 2 * q - 1);
+    }
+
+    #[test]
+    fn dead_pe_skips_local_and_pair_work() {
+        use crate::fault::CccFaultPlan;
+        let mut ccc = CccMachine::new(1, |x| x as u64);
+        ccc.inject_faults(CccFaultPlan {
+            dead: vec![2],
+            links: vec![],
+        });
+        ccc.local_step(|_, v| *v += 1000);
+        assert_eq!(*ccc.pe(2), 2, "dead PE must not compute");
+        assert_eq!(*ccc.pe(3), 1003);
+        // Dim 1 pairs: (0,2) (1,3) (4,6) (5,7); (0,2) is void (PE 2 dead).
+        ccc.ascend(1..2, |_, _, lo, hi| {
+            let m = (*lo).min(*hi);
+            *lo = m;
+            *hi = m;
+        });
+        assert_eq!(*ccc.pe(2), 2, "dead PE keeps stale data");
+        assert_eq!(*ccc.pe(0), 1000, "partner of a dead PE keeps its value");
+        assert_eq!(*ccc.pe(1), 1001);
+        assert_eq!(*ccc.pe(3), 1001, "live pairs still exchange");
+    }
+
+    #[test]
+    fn probe_dead_finds_exactly_the_dead_pes_and_restores_state() {
+        use crate::fault::CccFaultPlan;
+        let mut ccc = CccMachine::new(2, init);
+        ccc.inject_faults(CccFaultPlan {
+            dead: vec![5, 17],
+            links: vec![],
+        });
+        let before = ccc.pes().to_vec();
+        let counts = ccc.counts();
+        let dead = ccc.probe_dead(|_, v| *v = u64::MAX, |_, v| *v == u64::MAX);
+        assert_eq!(dead, vec![5, 17]);
+        assert_eq!(ccc.pes(), &before[..], "probe must restore state");
+        assert_eq!(ccc.counts(), counts, "probe must restore counters");
+    }
+
+    #[test]
+    fn transient_corrupt_fault_changes_checksum_and_does_not_replay() {
+        use crate::fault::{CccFaultPlan, PairFault, PairFaultKind};
+        use std::sync::Arc;
+        let d = {
+            let m: CccMachine<u64> = CccMachine::new(2, init);
+            m.dims()
+        };
+        let clean = {
+            let mut m = CccMachine::new(2, init);
+            m.ascend(0..d, scramble);
+            m.checksum()
+        };
+        let mut faulty = CccMachine::new(2, init);
+        faulty.inject_faults(CccFaultPlan {
+            dead: vec![],
+            links: vec![PairFault {
+                dim: 3,
+                nth: 4,
+                kind: PairFaultKind::Corrupt(Arc::new(|v: &mut u64| *v ^= 1 << 7)),
+            }],
+        });
+        // The injector (with its consumed counter) is shared into the clone,
+        // so a re-run from the snapshot does not see the transient again.
+        let snapshot = faulty.clone();
+        faulty.ascend(0..d, scramble);
+        assert_ne!(faulty.checksum(), clean, "corruption must be visible");
+        let mut rerun = snapshot;
+        rerun.ascend(0..d, scramble);
+        assert_eq!(rerun.checksum(), clean, "transient must not replay");
+    }
+
+    #[test]
+    fn transient_drop_fault_is_detected_by_double_run() {
+        use crate::fault::{CccFaultPlan, PairFault, PairFaultKind};
+        let mut faulty = CccMachine::new(1, init);
+        let d = faulty.dims();
+        faulty.inject_faults(CccFaultPlan {
+            dead: vec![],
+            links: vec![PairFault {
+                dim: 0,
+                nth: 1,
+                kind: PairFaultKind::Drop,
+            }],
+        });
+        let snapshot = faulty.clone();
+        faulty.ascend(0..d, scramble);
+        let mut rerun = snapshot;
+        rerun.ascend(0..d, scramble);
+        assert_ne!(
+            faulty.checksum(),
+            rerun.checksum(),
+            "first run glitched, second clean: checksums must differ"
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Fault injection for the CCC machine.
+//!
+//! The paper's machines are bit-serial hardware with `3n/2` physical
+//! wires; a reproduction should be able to ask what happens when a PE or
+//! link misbehaves. This module models two families of faults:
+//!
+//! * **Dead PEs** — a processing element that never computes: it skips
+//!   local steps and cannot drive its links, so pair operations touching
+//!   it are lost (its partner keeps stale data).
+//! * **Transient link faults** — the `nth` pair operation executed on a
+//!   given hypercube dimension is dropped (the exchange never happens)
+//!   or corrupted (the exchange happens, then the high-side operand is
+//!   mangled) — a single glitch, not a persistent defect.
+//!
+//! Transient faults are counted on **shared monotonic counters** that
+//! survive machine clones ([`CccFaultInjector`] holds them behind an
+//! `Arc`): when a resilient driver snapshots the machine, detects a
+//! glitch, and re-runs the phase from the snapshot, the re-run executes
+//! *later* counter values and the same transient does not replay —
+//! exactly the semantics of a real single-event upset. Dead PEs, by
+//! contrast, are persistent: every run sees them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a single injected link fault does to a pair operation.
+#[derive(Clone)]
+pub enum PairFaultKind<T> {
+    /// The exchange never happens (dropped message); both operands keep
+    /// their pre-exchange values.
+    Drop,
+    /// The exchange happens, then the high-address operand is corrupted
+    /// in place (e.g. a flipped bit on the write-back).
+    Corrupt(Arc<dyn Fn(&mut T) + Send + Sync>),
+}
+
+impl<T> fmt::Debug for PairFaultKind<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairFaultKind::Drop => write!(f, "Drop"),
+            PairFaultKind::Corrupt(_) => write!(f, "Corrupt(..)"),
+        }
+    }
+}
+
+/// One transient link fault: fires on the `nth` pair operation executed
+/// on hypercube dimension `dim`, counted machine-wide and monotonically
+/// across clones (see the module docs).
+#[derive(Clone, Debug)]
+pub struct PairFault<T> {
+    /// Hypercube dimension whose exchange is hit.
+    pub dim: usize,
+    /// Which pair operation on that dimension (0-based, monotonic).
+    pub nth: u64,
+    /// What happens to it.
+    pub kind: PairFaultKind<T>,
+}
+
+/// A set of faults to inject into a [`CccMachine`](crate::ccc::CccMachine).
+#[derive(Clone, Debug)]
+pub struct CccFaultPlan<T> {
+    /// Hypercube addresses of dead PEs.
+    pub dead: Vec<usize>,
+    /// Transient link faults.
+    pub links: Vec<PairFault<T>>,
+}
+
+impl<T> Default for CccFaultPlan<T> {
+    fn default() -> Self {
+        CccFaultPlan {
+            dead: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+}
+
+impl<T> CccFaultPlan<T> {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        CccFaultPlan::default()
+    }
+
+    /// Is there nothing to inject?
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty() && self.links.is_empty()
+    }
+
+    /// A seeded-random plan: `n_links` transient faults spread over
+    /// dimensions `0..dims` with pair indices below `max_nth`, all using
+    /// the given corruptor. Deterministic in `seed` (xorshift).
+    pub fn seeded(
+        seed: u64,
+        n_links: usize,
+        dims: usize,
+        max_nth: u64,
+        corrupt: Arc<dyn Fn(&mut T) + Send + Sync>,
+    ) -> Self {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let links = (0..n_links)
+            .map(|_| PairFault {
+                dim: (next() % dims.max(1) as u64) as usize,
+                nth: next() % max_nth.max(1),
+                kind: if next() % 2 == 0 {
+                    PairFaultKind::Drop
+                } else {
+                    PairFaultKind::Corrupt(corrupt.clone())
+                },
+            })
+            .collect();
+        CccFaultPlan {
+            dead: Vec::new(),
+            links,
+        }
+    }
+}
+
+/// The live injector a machine carries: the plan plus the shared
+/// per-dimension pair-operation counters.
+#[derive(Clone, Debug)]
+pub struct CccFaultInjector<T> {
+    plan: CccFaultPlan<T>,
+    /// One monotonic counter per hypercube dimension, shared across
+    /// machine clones so snapshot/re-run advances (not replays) time.
+    pair_ops: Arc<Vec<AtomicU64>>,
+}
+
+impl<T> CccFaultInjector<T> {
+    /// Builds the injector for a machine with `dims` hypercube
+    /// dimensions.
+    pub fn new(plan: CccFaultPlan<T>, dims: usize) -> Self {
+        CccFaultInjector {
+            plan,
+            pair_ops: Arc::new((0..dims).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Is the PE at hypercube address `addr` dead?
+    pub fn is_dead(&self, addr: usize) -> bool {
+        self.plan.dead.contains(&addr)
+    }
+
+    /// Addresses of dead PEs (ground truth; detectors should use the
+    /// machine's self-test probe instead).
+    pub fn dead(&self) -> &[usize] {
+        &self.plan.dead
+    }
+
+    /// Advances the pair-op counter for `dim` and returns the fault, if
+    /// any, scheduled for this very operation.
+    pub fn next_fault(&self, dim: usize) -> Option<&PairFaultKind<T>> {
+        let n = self.pair_ops[dim].fetch_add(1, Ordering::Relaxed);
+        self.plan
+            .links
+            .iter()
+            .find(|f| f.dim == dim && f.nth == n)
+            .map(|f| &f.kind)
+    }
+
+    /// Total pair operations observed on `dim` so far.
+    pub fn pair_ops(&self, dim: usize) -> u64 {
+        self.pair_ops[dim].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_across_clones() {
+        let inj: CccFaultInjector<u64> = CccFaultInjector::new(CccFaultPlan::none(), 4);
+        let twin = inj.clone();
+        assert!(inj.next_fault(2).is_none());
+        assert_eq!(twin.pair_ops(2), 1, "clone must see the same counter");
+        assert!(twin.next_fault(2).is_none());
+        assert_eq!(inj.pair_ops(2), 2);
+    }
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let plan = CccFaultPlan::<u64> {
+            dead: vec![],
+            links: vec![PairFault {
+                dim: 1,
+                nth: 2,
+                kind: PairFaultKind::Drop,
+            }],
+        };
+        let inj = CccFaultInjector::new(plan, 3);
+        assert!(inj.next_fault(1).is_none()); // n = 0
+        assert!(inj.next_fault(1).is_none()); // n = 1
+        assert!(matches!(inj.next_fault(1), Some(PairFaultKind::Drop))); // n = 2
+        assert!(inj.next_fault(1).is_none()); // n = 3: transient, gone
+        assert!(inj.next_fault(2).is_none()); // other dim untouched
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let corrupt: Arc<dyn Fn(&mut u64) + Send + Sync> = Arc::new(|v| *v ^= 1);
+        let a = CccFaultPlan::seeded(42, 5, 6, 100, corrupt.clone());
+        let b = CccFaultPlan::seeded(42, 5, 6, 100, corrupt);
+        assert_eq!(a.links.len(), 5);
+        for (x, y) in a.links.iter().zip(&b.links) {
+            assert_eq!(x.dim, y.dim);
+            assert_eq!(x.nth, y.nth);
+        }
+    }
+}

@@ -43,9 +43,11 @@ pub mod benes;
 pub mod blocked;
 pub mod ccc;
 pub mod cube;
+pub mod fault;
 pub mod route;
 pub mod scan;
 pub mod sort;
 
 pub use ccc::{CccMachine, CccStepCounts};
 pub use cube::{SimdHypercube, StepCounts};
+pub use fault::{CccFaultInjector, CccFaultPlan, PairFault, PairFaultKind};

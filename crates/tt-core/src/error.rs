@@ -27,6 +27,10 @@ pub enum TtError {
         /// Index of the offending action (in insertion order).
         action: usize,
     },
+    /// Every object weight is zero, so every procedure has expected cost
+    /// zero and the optimization is vacuous (almost certainly an input
+    /// mistake — e.g. probabilities that were truncated to integers).
+    ZeroTotalWeight,
     /// The instance has no actions at all.
     NoActions,
     /// The instance is not adequate: some object is covered by no
@@ -52,6 +56,12 @@ impl fmt::Display for TtError {
             TtError::EmptyAction { action } => {
                 write!(f, "action {action} has an empty set")
             }
+            TtError::ZeroTotalWeight => write!(
+                f,
+                "all object weights are zero; give at least one object a \
+                 positive integer weight (fractional priors can be scaled \
+                 to integers — only ratios matter)"
+            ),
             TtError::NoActions => write!(f, "instance has no tests or treatments"),
             TtError::Inadequate { untreatable } => {
                 write!(

@@ -267,6 +267,9 @@ impl TtInstanceBuilder {
                 got: weights.len(),
             });
         }
+        if weights.iter().all(|&w| w == 0) {
+            return Err(TtError::ZeroTotalWeight);
+        }
         if self.actions.is_empty() {
             return Err(TtError::NoActions);
         }
@@ -389,6 +392,19 @@ mod tests {
             TtInstanceBuilder::new(2).build(),
             Err(TtError::NoActions)
         ));
+        assert!(matches!(
+            TtInstanceBuilder::new(2)
+                .weights([0, 0])
+                .treatment(Subset::singleton(0), 1)
+                .build(),
+            Err(TtError::ZeroTotalWeight)
+        ));
+        // A single positive weight is enough.
+        assert!(TtInstanceBuilder::new(2)
+            .weights([0, 1])
+            .treatment(Subset::universe(2), 1)
+            .build()
+            .is_ok());
         assert!(matches!(
             TtInstanceBuilder::new(2)
                 .treatment(Subset::singleton(5), 1)

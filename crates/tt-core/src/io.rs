@@ -70,6 +70,25 @@ pub fn to_text(inst: &TtInstance) -> String {
     s
 }
 
+/// Explains why a weight token was rejected, with a fix: weights are
+/// a-priori likelihoods, so negative, fractional, or non-numeric values
+/// are input mistakes this layer catches before they corrupt the DP.
+fn weight_hint(tok: &str) -> String {
+    if tok.starts_with('-') {
+        "weights are a-priori likelihoods and cannot be negative; \
+         use non-negative integers"
+            .to_string()
+    } else if tok.eq_ignore_ascii_case("nan") || tok.eq_ignore_ascii_case("inf") {
+        "weights must be finite non-negative integers".to_string()
+    } else if tok.parse::<f64>().is_ok() {
+        "weights must be integers; scale fractional priors to integers \
+         (only ratios matter, e.g. 0.5 0.25 0.25 -> 2 1 1)"
+            .to_string()
+    } else {
+        "expected a non-negative integer".to_string()
+    }
+}
+
 /// Parses an instance from the text format.
 ///
 /// # Examples
@@ -117,8 +136,13 @@ pub fn from_text(text: &str) -> Result<TtInstance, ParseError> {
                 k = Some(v);
             }
             "weights" => {
-                let ws: Result<Vec<u64>, _> = parts.map(str::parse).collect();
-                weights = Some(ws.map_err(|e| syntax(format!("bad weight: {e}")))?);
+                let mut ws = Vec::new();
+                for tok in parts {
+                    ws.push(tok.parse::<u64>().map_err(|_| {
+                        syntax(format!("bad weight '{tok}': {}", weight_hint(tok)))
+                    })?);
+                }
+                weights = Some(ws);
             }
             "test" | "treat" => {
                 let rest: Vec<&str> = line.splitn(2, char::is_whitespace).collect();
@@ -232,6 +256,25 @@ mod tests {
             from_text("tt 1\nobjects 2\nweights 1 1\n"),
             Err(ParseError::Invalid(TtError::NoActions))
         ));
+    }
+
+    #[test]
+    fn weight_parse_errors_are_actionable() {
+        let neg = from_text("tt 1\nobjects 2\nweights -1 2\ntreat 0 1 | 1\n").unwrap_err();
+        assert!(neg.to_string().contains("cannot be negative"), "{neg}");
+        let frac = from_text("tt 1\nobjects 2\nweights 0.5 0.5\ntreat 0 1 | 1\n").unwrap_err();
+        assert!(frac.to_string().contains("must be integers"), "{frac}");
+        let nan = from_text("tt 1\nobjects 2\nweights NaN 1\ntreat 0 1 | 1\n").unwrap_err();
+        assert!(nan.to_string().contains("finite non-negative"), "{nan}");
+        let zero = from_text("tt 1\nobjects 2\nweights 0 0\ntreat 0 1 | 1\n").unwrap_err();
+        assert!(matches!(
+            zero,
+            ParseError::Invalid(TtError::ZeroTotalWeight)
+        ));
+        assert!(
+            zero.to_string().contains("positive integer weight"),
+            "{zero}"
+        );
     }
 
     #[test]

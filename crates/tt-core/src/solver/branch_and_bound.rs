@@ -11,6 +11,7 @@
 use crate::cost::Cost;
 use crate::instance::TtInstance;
 use crate::solver::bounds::Bounds;
+use crate::solver::budget::BudgetMeter;
 use crate::subset::Subset;
 use crate::tree::TtTree;
 use std::collections::HashMap;
@@ -29,29 +30,44 @@ pub struct BnbStats {
 /// Result of the branch-and-bound solver.
 #[derive(Clone, Debug)]
 pub struct BnbSolution {
-    /// `C(U)` (exact).
+    /// `C(U)` (exact; meaningless when the budget exhausted mid-solve).
     pub cost: Cost,
-    /// An optimal tree, or `None` when `C(U) = INF`.
+    /// An optimal tree, or `None` when `C(U) = INF` or the budget
+    /// exhausted.
     pub tree: Option<TtTree>,
     /// Work counters.
     pub stats: BnbStats,
+    /// The memo table: exact `(C(S), argmin)` for every finished
+    /// subset; frames cut by the budget are never inserted.
+    pub table: HashMap<u32, (Cost, Option<u16>)>,
 }
 
-struct Bnb<'a> {
+struct Bnb<'a, 'm> {
     inst: &'a TtInstance,
     bounds: Bounds<'a>,
     weight_table: Vec<u64>,
     memo: HashMap<u32, (Cost, Option<u16>)>,
     stats: BnbStats,
+    meter: &'m mut BudgetMeter,
+    /// Sticky: set when the meter exhausts; unwinds the recursion
+    /// without memoizing half-evaluated frames.
+    dead: bool,
 }
 
-impl Bnb<'_> {
+impl Bnb<'_, '_> {
     fn c(&mut self, s: Subset) -> Cost {
+        if self.dead {
+            return Cost::INF;
+        }
         if s.is_empty() {
             return Cost::ZERO;
         }
         if let Some(&(c, _)) = self.memo.get(&s.0) {
             return c;
+        }
+        if !self.meter.charge_subsets(1) {
+            self.dead = true;
+            return Cost::INF;
         }
         // Order candidates by optimistic estimate.
         let mut order: Vec<(Cost, usize)> = (0..self.inst.n_actions())
@@ -69,6 +85,10 @@ impl Bnb<'_> {
                 continue;
             }
             self.stats.expanded += 1;
+            if !self.meter.charge_candidates(1) {
+                self.dead = true;
+                return Cost::INF;
+            }
             let a = self.inst.action(i);
             let inter = s.intersect(a.set);
             let diff = s.difference(a.set);
@@ -76,6 +96,11 @@ impl Bnb<'_> {
             m += self.c(diff);
             if a.is_test() {
                 m += self.c(inter);
+            }
+            if self.dead {
+                // A child was cut: `m` is not this candidate's true
+                // value, so abandon the frame unmemoized.
+                return Cost::INF;
             }
             if m < best {
                 best = m;
@@ -129,20 +154,34 @@ impl Bnb<'_> {
 /// assert_eq!(bnb.cost, sequential::solve(&inst).cost);
 /// ```
 pub fn solve(inst: &TtInstance) -> BnbSolution {
+    solve_with(inst, &mut BudgetMeter::unlimited())
+}
+
+/// As [`solve`] but under a budget. On exhaustion, `table` still holds
+/// only exact entries; `cost`/`tree` must be ignored (check
+/// `meter.exhausted()`).
+pub fn solve_with(inst: &TtInstance, meter: &mut BudgetMeter) -> BnbSolution {
     let mut bnb = Bnb {
         inst,
         bounds: Bounds::new(inst),
         weight_table: inst.weight_table(),
         memo: HashMap::new(),
         stats: BnbStats::default(),
+        meter,
+        dead: false,
     };
     let cost = bnb.c(inst.universe());
     bnb.stats.subsets = bnb.memo.len();
-    let tree = bnb.tree(inst.universe());
+    let tree = if bnb.dead {
+        None
+    } else {
+        bnb.tree(inst.universe())
+    };
     BnbSolution {
         cost,
         tree,
         stats: bnb.stats,
+        table: bnb.memo,
     }
 }
 

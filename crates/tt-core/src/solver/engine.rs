@@ -18,7 +18,10 @@
 
 use crate::cost::Cost;
 use crate::instance::TtInstance;
+use crate::solver::anytime::{self, ExactEntry};
+use crate::solver::budget::{Budget, ExhaustReason};
 use crate::solver::{branch_and_bound, exhaustive, greedy, memo, sequential};
+use crate::subset::Subset;
 use crate::tree::TtTree;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -109,15 +112,98 @@ impl std::fmt::Display for WorkStats {
     }
 }
 
+/// Why a solve had to degrade instead of running to completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The budget's wall-clock deadline passed.
+    Deadline,
+    /// The budget's subset-evaluation ceiling was hit.
+    SubsetLimit,
+    /// The budget's candidate-evaluation ceiling was hit.
+    CandidateLimit,
+    /// The budget's cancel token fired.
+    Cancelled,
+    /// The instance exceeds what the backend can represent (e.g. `k`
+    /// above a machine simulator's address space) and the caller set a
+    /// budget, so the engine degraded instead of attempting the
+    /// impossible.
+    Capacity,
+    /// A machine simulator detected faults it could not repair within
+    /// its retry budget.
+    FaultEscalation,
+}
+
+impl From<ExhaustReason> for DegradeReason {
+    fn from(r: ExhaustReason) -> DegradeReason {
+        match r {
+            ExhaustReason::Deadline => DegradeReason::Deadline,
+            ExhaustReason::SubsetLimit => DegradeReason::SubsetLimit,
+            ExhaustReason::CandidateLimit => DegradeReason::CandidateLimit,
+            ExhaustReason::Cancelled => DegradeReason::Cancelled,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::Deadline => write!(f, "deadline exceeded"),
+            DegradeReason::SubsetLimit => write!(f, "subset limit exceeded"),
+            DegradeReason::CandidateLimit => write!(f, "candidate limit exceeded"),
+            DegradeReason::Cancelled => write!(f, "cancelled"),
+            DegradeReason::Capacity => write!(f, "instance exceeds backend capacity"),
+            DegradeReason::FaultEscalation => write!(f, "unrecovered machine faults"),
+        }
+    }
+}
+
+/// Did the engine run to completion, or did it stop early with a
+/// bounded-suboptimality answer?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The engine finished: the report's `cost` carries the engine's
+    /// full promise (the optimum for exact engines).
+    Complete,
+    /// The engine stopped early. The report's `cost` equals
+    /// `upper_bound` — the expected cost of a real, valid procedure the
+    /// engine can still hand out — and the optimum is guaranteed to lie
+    /// in `[lower_bound, upper_bound]`.
+    Degraded {
+        /// Expected cost of the anytime incumbent (INF when even a
+        /// heuristic procedure could not be built).
+        upper_bound: Cost,
+        /// An admissible lower bound on the optimum.
+        lower_bound: Cost,
+        /// Why the engine stopped.
+        reason: DegradeReason,
+    },
+}
+
+impl SolveOutcome {
+    /// Did the engine run to completion?
+    pub fn is_complete(&self) -> bool {
+        matches!(self, SolveOutcome::Complete)
+    }
+
+    /// Did the engine stop early?
+    pub fn is_degraded(&self) -> bool {
+        !self.is_complete()
+    }
+}
+
 /// The uniform result of one engine run.
 #[derive(Clone, Debug)]
 pub struct SolveReport {
     /// The procedure cost the engine achieved: the optimum `C(U)` for
     /// exact engines, an upper bound for heuristics, `INF` iff no
-    /// successful procedure exists (heuristics included).
+    /// successful procedure exists (heuristics included). For a
+    /// [`Degraded`](SolveOutcome::Degraded) outcome this is the
+    /// incumbent's upper bound.
     pub cost: Cost,
     /// A procedure tree achieving `cost`, or `None` when `cost` is INF.
     pub tree: Option<TtTree>,
+    /// Complete, or degraded with a bound sandwich.
+    pub outcome: SolveOutcome,
     /// Work accounting.
     pub work: WorkStats,
     /// Wall-clock time of the solve (including tree extraction).
@@ -135,8 +221,20 @@ pub trait Solver: Send + Sync {
     /// What kind of algorithm this is.
     fn kind(&self) -> EngineKind;
 
-    /// Solves the instance, timing the run.
-    fn solve(&self, inst: &TtInstance) -> SolveReport;
+    /// Solves the instance under a [`Budget`], timing the run.
+    ///
+    /// Engines must honor the budget cooperatively: on exhaustion they
+    /// stop, return their anytime incumbent, and mark the report
+    /// [`Degraded`](SolveOutcome::Degraded) — never hang, never panic,
+    /// never report a bound-violating answer. With
+    /// [`Budget::unlimited`] this must behave exactly like
+    /// [`solve`](Solver::solve).
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport;
+
+    /// Solves the instance without limits, timing the run.
+    fn solve(&self, inst: &TtInstance) -> SolveReport {
+        self.solve_with(inst, &Budget::unlimited())
+    }
 
     /// The largest `k` this engine can handle in reasonable time and
     /// memory; consumers iterating the registry should skip larger
@@ -156,16 +254,61 @@ pub trait Solver: Send + Sync {
     }
 }
 
-/// Times `f` and assembles its pieces into a [`SolveReport`].
+/// Times `f` and assembles its pieces into a
+/// [`Complete`](SolveOutcome::Complete) [`SolveReport`].
 pub fn timed_report(f: impl FnOnce() -> (Cost, Option<TtTree>, WorkStats)) -> SolveReport {
+    timed_report_with(|| {
+        let (cost, tree, work) = f();
+        (cost, tree, work, SolveOutcome::Complete)
+    })
+}
+
+/// As [`timed_report`], but `f` also chooses the [`SolveOutcome`].
+pub fn timed_report_with(
+    f: impl FnOnce() -> (Cost, Option<TtTree>, WorkStats, SolveOutcome),
+) -> SolveReport {
     let start = Instant::now();
-    let (cost, tree, work) = f();
+    let (cost, tree, work, outcome) = f();
     SolveReport {
         cost,
         tree,
+        outcome,
         work,
         wall: start.elapsed(),
     }
+}
+
+/// Assembles a degraded result from a partial exact table: builds the
+/// anytime incumbent (exact argmins where known, greedy elsewhere) and
+/// the `[lower, upper]` sandwich. Shared by every engine's exhaustion
+/// path, including the machine simulators in `tt-parallel`.
+pub fn degraded_result(
+    inst: &TtInstance,
+    reason: DegradeReason,
+    exact: &dyn Fn(Subset) -> Option<ExactEntry>,
+    work: WorkStats,
+) -> (Cost, Option<TtTree>, WorkStats, SolveOutcome) {
+    let tree = anytime::complete_tree(inst, exact);
+    let (upper_bound, lower_bound) = anytime::degraded_bounds(inst, tree.as_ref());
+    (
+        upper_bound,
+        tree,
+        work,
+        SolveOutcome::Degraded {
+            upper_bound,
+            lower_bound,
+            reason,
+        },
+    )
+}
+
+/// The degraded result for an instance the backend cannot represent at
+/// all (pure greedy incumbent, [`DegradeReason::Capacity`]).
+pub fn capacity_result(
+    inst: &TtInstance,
+    work: WorkStats,
+) -> (Cost, Option<TtTree>, WorkStats, SolveOutcome) {
+    degraded_result(inst, DegradeReason::Capacity, &|_| None, work)
 }
 
 // ---------------------------------------------------------------------
@@ -188,15 +331,37 @@ impl Solver for SequentialEngine {
     fn description(&self) -> &'static str {
         "bottom-up DP over the full subset lattice (T_1 baseline)"
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = sequential::solve(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let (tables, done) = sequential::solve_tables_with(inst, &mut meter);
             let work = WorkStats {
-                subsets: s.stats.subsets,
-                candidates: s.stats.candidates,
+                subsets: meter.subsets(),
+                candidates: meter.candidates(),
                 ..WorkStats::default()
             };
-            (s.cost, s.tree, work)
+            match meter.exhausted() {
+                None => {
+                    let root = inst.universe();
+                    let cost = tables.cost[root.index()];
+                    let tree = sequential::extract_tree(inst, &tables, root);
+                    (cost, tree, work, SolveOutcome::Complete)
+                }
+                Some(r) => degraded_result(
+                    inst,
+                    r.into(),
+                    // Masks below the watermark were finished in order;
+                    // everything at or above it is unknown.
+                    &|s| {
+                        if s.index() < done {
+                            Some((tables.cost[s.index()], tables.best[s.index()]))
+                        } else {
+                            None
+                        }
+                    },
+                    work,
+                ),
+            }
         })
     }
 }
@@ -214,15 +379,26 @@ impl Solver for MemoEngine {
     fn description(&self) -> &'static str {
         "top-down memoized DP over reachable subsets"
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = memo::solve(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let s = memo::solve_with(inst, &mut meter);
             let work = WorkStats {
                 subsets: s.reachable_subsets as u64,
                 candidates: s.candidates,
                 ..WorkStats::default()
             };
-            (s.cost, s.tree, work)
+            match meter.exhausted() {
+                None => (s.cost, s.tree, work, SolveOutcome::Complete),
+                Some(r) => degraded_result(
+                    inst,
+                    r.into(),
+                    // The memo map holds only frames that finished, so
+                    // every entry is exact.
+                    &|sub| s.table.get(&sub.0).copied(),
+                    work,
+                ),
+            }
         })
     }
 }
@@ -243,16 +419,22 @@ impl Solver for BnbEngine {
     fn description(&self) -> &'static str {
         "memoized DP with bound-ordered candidate pruning"
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = branch_and_bound::solve(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let s = branch_and_bound::solve_with(inst, &mut meter);
             let work = WorkStats {
                 subsets: s.stats.subsets as u64,
                 candidates: s.stats.expanded,
                 pruned: s.stats.pruned,
                 ..WorkStats::default()
             };
-            (s.cost, s.tree, work)
+            match meter.exhausted() {
+                None => (s.cost, s.tree, work, SolveOutcome::Complete),
+                Some(r) => {
+                    degraded_result(inst, r.into(), &|sub| s.table.get(&sub.0).copied(), work)
+                }
+            }
         })
     }
 }
@@ -276,16 +458,58 @@ impl Solver for ExhaustiveEngine {
     fn max_k(&self) -> usize {
         3
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            if !budget.is_unlimited() && inst.k() > self.max_k() {
+                return capacity_result(inst, WorkStats::default());
+            }
+            let mut meter = budget.start();
             let trees = exhaustive::count_trees(inst, inst.universe());
-            let (cost, tree) = exhaustive::best_tree(inst);
             let mut work = WorkStats {
                 candidates: trees,
                 ..WorkStats::default()
             };
             work.push_extra("trees", trees);
-            (cost, tree, work)
+            let enumerated = match exhaustive::enumerate_trees(inst, inst.universe()) {
+                Some(ts) => ts,
+                // Over the materialization ceiling: too big to
+                // enumerate, not a budget question.
+                None => return capacity_result(inst, work),
+            };
+            let mut best_cost = Cost::INF;
+            let mut best: Option<TtTree> = None;
+            for t in enumerated {
+                if !meter.charge_candidates(1) {
+                    break;
+                }
+                let c = t.expected_cost(inst);
+                if c < best_cost {
+                    best_cost = c;
+                    best = Some(t);
+                }
+            }
+            match meter.exhausted() {
+                None => (best_cost, best, work, SolveOutcome::Complete),
+                Some(r) => {
+                    // The incumbent from the partial scan competes with
+                    // the greedy completion; keep the cheaper one.
+                    let (g_cost, g_tree, work, outcome) =
+                        degraded_result(inst, r.into(), &|_| None, work);
+                    if best_cost < g_cost {
+                        let outcome = SolveOutcome::Degraded {
+                            upper_bound: best_cost,
+                            lower_bound: match outcome {
+                                SolveOutcome::Degraded { lower_bound, .. } => lower_bound,
+                                SolveOutcome::Complete => unreachable!(),
+                            },
+                            reason: r.into(),
+                        };
+                        (best_cost, best, work, outcome)
+                    } else {
+                        (g_cost, g_tree, work, outcome)
+                    }
+                }
+            }
         })
     }
 }
@@ -307,16 +531,44 @@ impl Solver for GreedyEngine {
     fn description(&self) -> &'static str {
         self.description
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| match greedy::solve(inst, self.heuristic) {
-            Some(s) => {
-                let work = WorkStats {
-                    subsets: s.tree.size() as u64,
-                    ..WorkStats::default()
-                };
-                (s.cost, Some(s.tree), work)
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            match greedy::solve(inst, self.heuristic) {
+                Some(s) => {
+                    // Polynomial, so the heuristic always finishes; it
+                    // charges its work afterwards and owns up to a
+                    // blown budget by reporting the bound sandwich its
+                    // own tree provides.
+                    let nodes = s.tree.size() as u64;
+                    meter.charge_subsets(nodes);
+                    meter.charge_candidates(nodes * inst.n_actions() as u64);
+                    meter.check();
+                    let work = WorkStats {
+                        subsets: nodes,
+                        ..WorkStats::default()
+                    };
+                    match meter.exhausted() {
+                        None => (s.cost, Some(s.tree), work, SolveOutcome::Complete),
+                        Some(r) => {
+                            let lower = crate::solver::bounds::Bounds::new(inst)
+                                .lower_bound(inst.universe());
+                            let outcome = SolveOutcome::Degraded {
+                                upper_bound: s.cost,
+                                lower_bound: lower,
+                                reason: r.into(),
+                            };
+                            (s.cost, Some(s.tree), work, outcome)
+                        }
+                    }
+                }
+                None => (
+                    Cost::INF,
+                    None,
+                    WorkStats::default(),
+                    SolveOutcome::Complete,
+                ),
             }
-            None => (Cost::INF, None, WorkStats::default()),
         })
     }
 }
@@ -355,10 +607,18 @@ pub fn core_engines() -> Vec<Box<dyn Solver>> {
     ]
 }
 
+/// Locks the extension list, recovering from poisoning: the list is a
+/// plain `Vec` of fn pointers, always structurally valid, so a panic
+/// while it was held (it never is during a provider call — providers
+/// run outside the lock) cannot leave it corrupt.
+fn extensions() -> std::sync::MutexGuard<'static, Vec<EngineProvider>> {
+    EXTENSIONS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// Registers a downstream engine provider. Registering the same
 /// provider function twice is a no-op, so callers need no `Once` guard.
 pub fn register_extension(provider: EngineProvider) {
-    let mut ext = EXTENSIONS.lock().expect("engine registry poisoned");
+    let mut ext = extensions();
     #[allow(unpredictable_function_pointer_comparisons)]
     if !ext.contains(&provider) {
         ext.push(provider);
@@ -367,12 +627,16 @@ pub fn register_extension(provider: EngineProvider) {
 
 /// All registered engines: tt-core's own, then each extension's, in
 /// registration order, deduplicated by name (first registration wins).
+///
+/// Providers are called *outside* the lock and behind `catch_unwind`: a
+/// panicking extension contributes nothing but cannot poison the
+/// registry or wedge later calls.
 pub fn registry() -> Vec<Box<dyn Solver>> {
+    let providers: Vec<EngineProvider> = extensions().clone();
     let mut engines = core_engines();
-    {
-        let ext = EXTENSIONS.lock().expect("engine registry poisoned");
-        for provider in ext.iter() {
-            engines.extend(provider());
+    for provider in providers {
+        if let Ok(contributed) = std::panic::catch_unwind(provider) {
+            engines.extend(contributed);
         }
     }
     let mut seen = std::collections::HashSet::new();
@@ -469,6 +733,112 @@ mod tests {
         assert_eq!(WorkStats::default().to_string(), "no counters");
         assert_eq!(w.extra("trees"), Some(7));
         assert_eq!(w.extra("absent"), None);
+    }
+
+    #[test]
+    fn panicking_provider_does_not_wedge_the_registry() {
+        fn explosive() -> Vec<Box<dyn Solver>> {
+            panic!("provider exploded")
+        }
+        register_extension(explosive);
+        // The panic is swallowed; the core engines still come through,
+        // and later registrations still work (no poisoned lock).
+        let engines = registry();
+        assert!(engines.iter().any(|e| e.name() == "seq"));
+        assert!(lookup("seq").is_some());
+        register_extension(explosive);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_exact_engines_with_a_sound_sandwich() {
+        let inst = small_instance();
+        let optimum = sequential::solve(&inst).cost;
+        let budget = Budget::with_deadline(Duration::ZERO);
+        for e in core_engines() {
+            let r = e.solve_with(&inst, &budget);
+            match r.outcome {
+                SolveOutcome::Complete => {} // finished before the first poll
+                SolveOutcome::Degraded {
+                    upper_bound,
+                    lower_bound,
+                    ..
+                } => {
+                    assert_eq!(r.cost, upper_bound, "{}", e.name());
+                    assert!(lower_bound <= optimum, "{}", e.name());
+                    if e.kind().is_exact() {
+                        assert!(upper_bound >= optimum, "{}", e.name());
+                    }
+                    if let Some(t) = &r.tree {
+                        t.validate(&inst).unwrap();
+                        assert_eq!(t.expected_cost(&inst), upper_bound, "{}", e.name());
+                    } else {
+                        assert!(upper_bound.is_inf(), "{}", e.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tight_candidate_budget_degrades_but_unlimited_matches() {
+        let inst = small_instance();
+        let optimum = sequential::solve(&inst).cost;
+        for e in core_engines() {
+            if !e.kind().is_exact() {
+                continue;
+            }
+            let starved = e.solve_with(&inst, &Budget::with_max_candidates(1));
+            if let SolveOutcome::Degraded {
+                upper_bound,
+                lower_bound,
+                ..
+            } = starved.outcome
+            {
+                assert!(lower_bound <= optimum, "{}", e.name());
+                assert!(upper_bound >= optimum, "{}", e.name());
+            }
+            let free = e.solve(&inst);
+            assert!(free.outcome.is_complete(), "{}", e.name());
+            assert_eq!(free.cost, optimum, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_with_reason_cancelled() {
+        let inst = small_instance();
+        let token = crate::solver::budget::CancelToken::new();
+        token.cancel();
+        let budget = Budget {
+            cancel: Some(token),
+            ..Budget::default()
+        };
+        let r = SequentialEngine.solve_with(&inst, &budget);
+        match r.outcome {
+            SolveOutcome::Degraded { reason, .. } => {
+                assert_eq!(reason, DegradeReason::Cancelled)
+            }
+            SolveOutcome::Complete => panic!("pre-cancelled budget must degrade"),
+        }
+    }
+
+    #[test]
+    fn capacity_gated_exhaustive_degrades_on_large_k() {
+        // k = 5 exceeds exhaustive's max_k = 3; with a budget set it
+        // must degrade immediately instead of enumerating.
+        let inst = TtInstanceBuilder::new(5)
+            .weights([1, 1, 1, 1, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .treatment(Subset::universe(5), 3)
+            .build()
+            .unwrap();
+        let r = ExhaustiveEngine.solve_with(&inst, &Budget::with_max_candidates(1_000));
+        match r.outcome {
+            SolveOutcome::Degraded { reason, .. } => {
+                assert_eq!(reason, DegradeReason::Capacity)
+            }
+            SolveOutcome::Complete => panic!("capacity gate must trigger"),
+        }
+        assert!(r.cost.is_finite(), "greedy incumbent exists");
     }
 
     #[test]

@@ -114,11 +114,11 @@ fn score(inst: &TtInstance, live: Subset, i: usize, h: Heuristic) -> Option<f64>
     }
 }
 
-fn build(inst: &TtInstance, live: Subset, h: Heuristic) -> Option<TtTree> {
-    debug_assert!(!live.is_empty());
-    // Base case / fallback: when only one object remains, or no test
-    // scores, the cheapest applicable treatment wins by definition of the
-    // recurrence on singletons.
+/// The action the heuristic would apply at `live`: the best-scoring one,
+/// falling back to the cheapest applicable treatment. `None` iff the
+/// instance restricted to `live` is inadequate. Also used by the anytime
+/// completion of partial DP tables (`solver::anytime`).
+pub(crate) fn best_action(inst: &TtInstance, live: Subset, h: Heuristic) -> Option<usize> {
     let mut best: Option<(f64, usize)> = None;
     for i in 0..inst.n_actions() {
         if let Some(s) = score(inst, live, i, h) {
@@ -127,7 +127,16 @@ fn build(inst: &TtInstance, live: Subset, h: Heuristic) -> Option<TtTree> {
             }
         }
     }
-    let (_, i) = best.or_else(|| cheapest_treatment(inst, live).map(|i| (0.0, i)))?;
+    best.map(|(_, i)| i)
+        .or_else(|| cheapest_treatment(inst, live))
+}
+
+fn build(inst: &TtInstance, live: Subset, h: Heuristic) -> Option<TtTree> {
+    debug_assert!(!live.is_empty());
+    // Base case / fallback: when only one object remains, or no test
+    // scores, the cheapest applicable treatment wins by definition of the
+    // recurrence on singletons.
+    let i = best_action(inst, live, h)?;
     let a = inst.action(i);
     let inter = live.intersect(a.set);
     let diff = live.difference(a.set);

@@ -9,6 +9,7 @@
 
 use crate::cost::Cost;
 use crate::instance::TtInstance;
+use crate::solver::budget::BudgetMeter;
 use crate::subset::Subset;
 use crate::tree::TtTree;
 use std::collections::HashMap;
@@ -16,29 +17,46 @@ use std::collections::HashMap;
 /// Result of the memoized solver.
 #[derive(Clone, Debug)]
 pub struct MemoSolution {
-    /// `C(U)`.
+    /// `C(U)` (meaningless when the budget exhausted mid-solve — check
+    /// the meter).
     pub cost: Cost,
-    /// An optimal tree, or `None` when `C(U) = INF`.
+    /// An optimal tree, or `None` when `C(U) = INF` or the budget
+    /// exhausted.
     pub tree: Option<TtTree>,
     /// Number of distinct subsets actually evaluated (compare `2^k`).
     pub reachable_subsets: usize,
     /// Number of `(S, i)` candidate evaluations performed.
     pub candidates: u64,
+    /// The memo table: exact `(C(S), argmin)` for every *finished*
+    /// subset — frames cut by the budget are never inserted, so a
+    /// degraded caller can trust every entry.
+    pub table: HashMap<u32, (Cost, Option<u16>)>,
 }
 
-struct Memo<'a> {
+struct Memo<'a, 'm> {
     inst: &'a TtInstance,
     cost: HashMap<u32, (Cost, Option<u16>)>,
     candidates: u64,
+    meter: &'m mut BudgetMeter,
+    /// Sticky: set when the meter exhausts; makes the recursion unwind
+    /// without memoizing half-evaluated frames.
+    dead: bool,
 }
 
-impl Memo<'_> {
+impl Memo<'_, '_> {
     fn c(&mut self, s: Subset) -> Cost {
+        if self.dead {
+            return Cost::INF;
+        }
         if s.is_empty() {
             return Cost::ZERO;
         }
         if let Some(&(c, _)) = self.cost.get(&s.0) {
             return c;
+        }
+        if !self.meter.charge_subsets(1) {
+            self.dead = true;
+            return Cost::INF;
         }
         let mut best = Cost::INF;
         let mut arg = None;
@@ -50,12 +68,21 @@ impl Memo<'_> {
                 continue;
             }
             self.candidates += 1;
+            if !self.meter.charge_candidates(1) {
+                self.dead = true;
+                return Cost::INF;
+            }
             let charged = Cost::new(a.cost).saturating_mul_weight(self.inst.weight_of(s));
             let m = if a.is_test() {
                 charged + self.c(inter) + self.c(diff)
             } else {
                 charged + self.c(diff)
             };
+            if self.dead {
+                // A child was cut, so `m` is not the candidate's true
+                // value: abandon this frame unmemoized.
+                return Cost::INF;
+            }
             if m < best {
                 best = m;
                 arg = Some(i as u16);
@@ -92,18 +119,33 @@ impl Memo<'_> {
 
 /// Solves `inst` top-down, touching only reachable subsets.
 pub fn solve(inst: &TtInstance) -> MemoSolution {
+    solve_with(inst, &mut BudgetMeter::unlimited())
+}
+
+/// As [`solve`] but under a budget. If the meter exhausts, the
+/// recursion unwinds immediately; the returned `table` still holds only
+/// exact entries, and `cost`/`tree` must be ignored (check
+/// `meter.exhausted()`).
+pub fn solve_with(inst: &TtInstance, meter: &mut BudgetMeter) -> MemoSolution {
     let mut memo = Memo {
         inst,
         cost: HashMap::new(),
         candidates: 0,
+        meter,
+        dead: false,
     };
     let cost = memo.c(inst.universe());
-    let tree = memo.tree(inst.universe());
+    let tree = if memo.dead {
+        None
+    } else {
+        memo.tree(inst.universe())
+    };
     MemoSolution {
         cost,
         tree,
         reachable_subsets: memo.cost.len(),
         candidates: memo.candidates,
+        table: memo.cost,
     }
 }
 

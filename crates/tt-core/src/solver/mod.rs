@@ -18,9 +18,14 @@
 //!   with the anytime curve `d ↦ C_d(U)`.
 //! * [`engine`] — the uniform [`Solver`] trait, [`SolveReport`] result,
 //!   and engine [`registry`] every consumer dispatches through.
+//! * [`budget`] — wall-clock/work/cancellation limits on a solve.
+//! * [`anytime`] — completion of partial DP tables into valid
+//!   procedures, for bounded-suboptimality degraded results.
 
+pub mod anytime;
 pub mod bounds;
 pub mod branch_and_bound;
+pub mod budget;
 pub mod depth_bounded;
 pub mod engine;
 pub mod exhaustive;
@@ -28,5 +33,8 @@ pub mod greedy;
 pub mod memo;
 pub mod sequential;
 
-pub use engine::{lookup, registry, EngineKind, SolveReport, Solver, WorkStats};
+pub use budget::{Budget, BudgetMeter, CancelToken, ExhaustReason};
+pub use engine::{
+    lookup, registry, DegradeReason, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
+};
 pub use sequential::{solve, DpStats, DpTables, Solution};

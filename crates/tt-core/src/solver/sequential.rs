@@ -8,6 +8,7 @@
 
 use crate::cost::Cost;
 use crate::instance::TtInstance;
+use crate::solver::budget::BudgetMeter;
 use crate::subset::Subset;
 use crate::tree::TtTree;
 
@@ -100,6 +101,17 @@ pub fn solve(inst: &TtInstance) -> Solution {
 
 /// Computes only the DP tables (no tree extraction).
 pub fn solve_tables(inst: &TtInstance) -> DpTables {
+    solve_tables_with(inst, &mut BudgetMeter::unlimited()).0
+}
+
+/// As [`solve_tables`] but under a budget, charging the meter one
+/// subset plus `N` candidates per mask.
+///
+/// Returns the tables and a watermark: every mask strictly below it is
+/// exact; on exhaustion the remaining entries are untouched (`INF`) and
+/// must not be read as answers. With an unexhausted meter the watermark
+/// is `2^k`.
+pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTables, usize) {
     let k = inst.k();
     let size = 1usize << k;
     let weight_table = inst.weight_table();
@@ -107,6 +119,9 @@ pub fn solve_tables(inst: &TtInstance) -> DpTables {
     let mut best: Vec<Option<u16>> = vec![None; size];
     cost[0] = Cost::ZERO;
     for mask in 1..size {
+        if !meter.charge_subsets(1) || !meter.charge_candidates(inst.n_actions() as u64) {
+            return (DpTables { cost, best }, mask);
+        }
         let s = Subset(mask as u32);
         let mut c = Cost::INF;
         let mut b = None;
@@ -120,7 +135,7 @@ pub fn solve_tables(inst: &TtInstance) -> DpTables {
         cost[mask] = c;
         best[mask] = b;
     }
-    DpTables { cost, best }
+    (DpTables { cost, best }, size)
 }
 
 /// Extracts an optimal tree from the argmin table, starting at `root`.

@@ -108,9 +108,36 @@ fn enable_andn(m: &mut Bvm, a: u8, b: u8) {
     ));
 }
 
+/// The machine the TT program needs for this instance: the BVM on the
+/// smallest complete CCC that fits the layout. Exposed so callers can arm
+/// fault plans (see `crate::resilient`) before handing the machine to
+/// [`solve_on`].
+pub fn machine_for(inst: &TtInstance) -> Bvm {
+    let layout = Layout::new(inst.k(), inst.n_actions());
+    Bvm::new(hypercube::ccc::min_r_for_dims(layout.dims()))
+}
+
 /// Solves the instance on the BVM with an automatically chosen width.
 pub fn solve(inst: &TtInstance) -> BvmTtSolution {
     solve_with_width(inst, required_width(inst))
+}
+
+/// Solves the instance on a caller-supplied machine (see [`machine_for`])
+/// with an automatically chosen width.
+pub fn solve_on(inst: &TtInstance, m: Bvm) -> BvmTtSolution {
+    solve_impl(inst, required_width(inst), false, m, &mut || true).0
+}
+
+/// As [`solve`], but `check` is consulted before each level; a `false`
+/// stops the machine cleanly between levels. Returns the solution plus
+/// the number of completed levels (entries for `#S ≤` that count are
+/// exact, the rest still `INF` placeholders — the wavefront invariant
+/// holds on the BVM exactly as on the word-level machines).
+pub fn solve_budgeted(
+    inst: &TtInstance,
+    check: &mut dyn FnMut() -> bool,
+) -> (BvmTtSolution, usize) {
+    solve_impl(inst, required_width(inst), false, machine_for(inst), check)
 }
 
 /// Solves the instance loading every instance plane through the I/O
@@ -119,7 +146,14 @@ pub fn solve(inst: &TtInstance) -> BvmTtSolution {
 /// the breakdown shows the `Θ(n·(k + w))` cost the paper's resident-data
 /// assumption hides.
 pub fn solve_with_chain_input(inst: &TtInstance) -> BvmTtSolution {
-    solve_impl(inst, required_width(inst), true)
+    solve_impl(
+        inst,
+        required_width(inst),
+        true,
+        machine_for(inst),
+        &mut || true,
+    )
+    .0
 }
 
 /// Solves the instance on the BVM with vertical width `w`.
@@ -129,10 +163,16 @@ pub fn solve_with_chain_input(inst: &TtInstance) -> BvmTtSolution {
 /// this `w` and instance size, or if `w` is too small for the instance's
 /// cost range.
 pub fn solve_with_width(inst: &TtInstance, w: usize) -> BvmTtSolution {
-    solve_impl(inst, w, false)
+    solve_impl(inst, w, false, machine_for(inst), &mut || true).0
 }
 
-fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
+fn solve_impl(
+    inst: &TtInstance,
+    w: usize,
+    via_chain: bool,
+    mut m: Bvm,
+    check: &mut dyn FnMut() -> bool,
+) -> (BvmTtSolution, usize) {
     assert!(
         w >= required_width(inst),
         "width {w} too small for this instance"
@@ -141,7 +181,7 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
     let actions = padded_actions(inst, &layout);
     let k = inst.k();
     let r = hypercube::ccc::min_r_for_dims(layout.dims());
-    let mut m = Bvm::new(r);
+    assert_eq!(m.topo().r(), r, "machine geometry does not fit the layout");
     let q = m.topo().q();
     let machine_dims = m.topo().dims();
     let n = m.n();
@@ -258,7 +298,12 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
 
     // ---- the k levels ------------------------------------------------------
     m.mark_phase("levels");
-    for _level in 1..=k {
+    let mut done = k;
+    for level in 1..=k {
+        if !check() {
+            done = level - 1;
+            break;
+        }
         // Advance the wavefront: next[S] = OR_{e∈S} cur[S − {e}] — one
         // propagation-of-the-first-kind pass over the S dimensions.
         m.exec(&Instruction::set_const(Dest::R(next), false));
@@ -319,16 +364,19 @@ fn solve_impl(inst: &TtInstance, w: usize, via_chain: bool) -> BvmTtSolution {
         })
         .collect();
     let cost = c_table[inst.universe().index()];
-    BvmTtSolution {
-        phase_breakdown: m.phase_breakdown(),
-        cost,
-        c_table,
-        instructions: m.executed(),
-        host_loads: m.host_loads(),
-        machine_r: r,
-        width: w,
-        layout,
-    }
+    (
+        BvmTtSolution {
+            phase_breakdown: m.phase_breakdown(),
+            cost,
+            c_table,
+            instructions: m.executed(),
+            host_loads: m.host_loads(),
+            machine_r: r,
+            width: w,
+            layout,
+        },
+        done,
+    )
 }
 
 #[cfg(test)]

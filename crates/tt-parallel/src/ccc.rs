@@ -32,53 +32,134 @@ pub struct CccSolution {
     pub layout: Layout,
 }
 
-/// Runs the TT program on the smallest complete CCC that fits the
-/// instance.
-pub fn solve(inst: &TtInstance) -> CccSolution {
-    let layout = Layout::new(inst.k(), inst.n_actions());
-    let actions = padded_actions(inst, &layout);
-    let weights = inst.weight_table();
-    let m_tests = inst.n_tests();
-    let r = min_r_for_dims(layout.dims());
-    let replica_mask = layout.pes() - 1;
+/// The TT program decomposed into machine phases, so budget checks,
+/// snapshots, and fault recovery can happen *between* levels: a complete
+/// CCC run is `init` followed by `run_level(1) .. run_level(k)` and a
+/// readback. Addresses above `layout.pes()` form independent replicas —
+/// the program never exchanges across the unused high dimensions — which
+/// is what makes readback from any replica valid (and dead-PE quarantine
+/// by replica possible, see `crate::resilient`).
+pub struct CccDriver {
+    /// The `(S, i)` address layout.
+    pub layout: Layout,
+    actions: Vec<crate::layout::PadAction>,
+    weights: Vec<u64>,
+    m_tests: usize,
+    replica_mask: usize,
+    /// Cycle-length exponent of the smallest complete CCC that fits.
+    pub machine_r: usize,
+}
 
-    let mut ccc = CccMachine::new(r, |_| TtPe::default());
-    ccc.local_step(|addr, pe| init_pe(addr & replica_mask, pe, &layout, &actions, &weights));
-    for level in 1..=layout.k {
-        ccc.local_step(|_, pe| {
+impl CccDriver {
+    /// Builds the driver (schedule constants only, no machine yet).
+    pub fn new(inst: &TtInstance) -> CccDriver {
+        let layout = Layout::new(inst.k(), inst.n_actions());
+        CccDriver {
+            layout,
+            actions: padded_actions(inst, &layout),
+            weights: inst.weight_table(),
+            m_tests: inst.n_tests(),
+            replica_mask: layout.pes() - 1,
+            machine_r: min_r_for_dims(layout.dims()),
+        }
+    }
+
+    /// A fresh machine of the right size, all PEs default-initialized.
+    pub fn fresh_machine(&self) -> CccMachine<TtPe> {
+        CccMachine::new(self.machine_r, |_| TtPe::default())
+    }
+
+    /// Number of independent replica blocks the machine holds.
+    pub fn replicas(&self, m: &CccMachine<TtPe>) -> usize {
+        m.len() >> self.layout.dims()
+    }
+
+    /// The init local step: `TP = t_i·p(S)`, `M[∅,i] = 0`, else `INF`.
+    pub fn init(&self, m: &mut CccMachine<TtPe>) {
+        let (layout, actions, weights) = (self.layout, &self.actions, &self.weights);
+        let mask = self.replica_mask;
+        m.local_step(|addr, pe| init_pe(addr & mask, pe, &layout, actions, weights));
+    }
+
+    /// One `#S = level` wavefront step of the schedule.
+    pub fn run_level(&self, m: &mut CccMachine<TtPe>, level: usize) {
+        let (layout, actions) = (self.layout, &self.actions);
+        let (mask, m_tests) = (self.replica_mask, self.m_tests);
+        m.local_step(|_, pe| {
             pe.r = pe.m;
             pe.q = pe.m;
         });
-        ccc.ascend(layout.s_dims(), |dim, lo_addr, lo, hi| {
+        m.ascend(layout.s_dims(), |dim, lo_addr, lo, hi| {
             let e = dim - layout.log_n;
-            rq_op(e, lo_addr & replica_mask, lo, hi, &layout, &actions);
+            rq_op(e, lo_addr & mask, lo, hi, &layout, actions);
         });
-        ccc.local_step(|addr, pe| combine_pe(addr & replica_mask, pe, &layout, level, m_tests));
-        ccc.ascend(layout.i_dims(), |_, _, lo, hi| min_op(lo, hi));
+        m.local_step(|addr, pe| combine_pe(addr & mask, pe, &layout, level, m_tests));
+        m.ascend(layout.i_dims(), |_, _, lo, hi| min_op(lo, hi));
     }
 
-    let c_table: Vec<Cost> = Subset::all(inst.k())
-        .map(|s| ccc.pe(layout.addr(s, 0)).m)
-        .collect();
-    let best_table: Vec<Option<u16>> = Subset::all(inst.k())
-        .map(|s| {
-            let pe = ccc.pe(layout.addr(s, 0));
-            if s.is_empty() || pe.m.is_inf() {
-                None
-            } else {
-                Some(pe.arg)
-            }
-        })
-        .collect();
-    let cost = c_table[inst.universe().index()];
-    CccSolution {
-        cost,
-        c_table,
-        best_table,
-        steps: ccc.counts(),
-        machine_r: r,
-        layout,
+    /// Reads the `C(·)` and argmin tables out of replica block `replica`.
+    pub fn read_tables(
+        &self,
+        inst: &TtInstance,
+        m: &CccMachine<TtPe>,
+        replica: usize,
+    ) -> (Vec<Cost>, Vec<Option<u16>>) {
+        assert!(replica < self.replicas(m), "replica {replica} out of range");
+        let base = replica << self.layout.dims();
+        let c_table: Vec<Cost> = Subset::all(inst.k())
+            .map(|s| m.pe(base + self.layout.addr(s, 0)).m)
+            .collect();
+        let best_table: Vec<Option<u16>> = Subset::all(inst.k())
+            .map(|s| {
+                let pe = m.pe(base + self.layout.addr(s, 0));
+                if s.is_empty() || pe.m.is_inf() {
+                    None
+                } else {
+                    Some(pe.arg)
+                }
+            })
+            .collect();
+        (c_table, best_table)
     }
+
+    /// Packages a finished machine's state as a [`CccSolution`].
+    pub fn solution(&self, inst: &TtInstance, m: &CccMachine<TtPe>, replica: usize) -> CccSolution {
+        let (c_table, best_table) = self.read_tables(inst, m, replica);
+        let cost = c_table[inst.universe().index()];
+        CccSolution {
+            cost,
+            c_table,
+            best_table,
+            steps: m.counts(),
+            machine_r: self.machine_r,
+            layout: self.layout,
+        }
+    }
+}
+
+/// Runs the TT program on the smallest complete CCC that fits the
+/// instance.
+pub fn solve(inst: &TtInstance) -> CccSolution {
+    solve_budgeted(inst, &mut || true).0
+}
+
+/// As [`solve`], but `check` is consulted before each level; a `false`
+/// stops the machine cleanly between levels. Returns the solution plus
+/// the number of completed levels (entries for `#S ≤` that count are
+/// exact, the rest still `INF` placeholders).
+pub fn solve_budgeted(inst: &TtInstance, check: &mut dyn FnMut() -> bool) -> (CccSolution, usize) {
+    let driver = CccDriver::new(inst);
+    let mut ccc = driver.fresh_machine();
+    driver.init(&mut ccc);
+    let mut done = driver.layout.k;
+    for level in 1..=driver.layout.k {
+        if !check() {
+            done = level - 1;
+            break;
+        }
+        driver.run_level(&mut ccc, level);
+    }
+    (driver.solution(inst, &ccc, 0), done)
 }
 
 impl CccSolution {

@@ -10,10 +10,20 @@ use crate::layout::Layout;
 use crate::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
-use tt_core::solver::engine::{self, timed_report, EngineKind, SolveReport, Solver, WorkStats};
+use tt_core::solver::budget::{Budget, BudgetMeter};
+use tt_core::solver::engine::{
+    self, timed_report_with, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
+};
 use tt_core::solver::sequential;
 use tt_core::subset::Subset;
 use tt_core::tree::TtTree;
+
+/// A per-level budget check for the machine simulators: charges the whole
+/// machine's PE sweep for the upcoming level, then polls the deadline and
+/// cancellation.
+fn level_check(meter: &mut BudgetMeter, pes: u64) -> bool {
+    meter.charge_subsets(1) & meter.charge_candidates(pes) & meter.check()
+}
 
 /// Recovers an optimal tree from a machine's `C(·)` table alone.
 ///
@@ -62,17 +72,34 @@ impl Solver for RayonEngine {
     fn description(&self) -> &'static str {
         "level-synchronous DP on shared-memory worker threads"
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = rayon_solver::solve(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let (tables, done) = rayon_solver::solve_tables_with(inst, &mut meter);
             let mut work = WorkStats {
-                subsets: s.stats.subsets,
-                candidates: s.stats.candidates,
+                subsets: meter.subsets(),
+                candidates: meter.candidates(),
                 pes: rayon::current_num_threads() as u64,
                 ..WorkStats::default()
             };
             work.push_extra("threads", rayon::current_num_threads() as u64);
-            (s.cost, s.tree, work)
+            if let Some(r) = meter.exhausted() {
+                work.push_extra("completed_levels", done as u64);
+                // Wavefront invariant: after `done` levels every entry
+                // with `#S ≤ done` is exact.
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|s| {
+                        (s.len() <= done).then(|| (tables.cost[s.index()], tables.best[s.index()]))
+                    },
+                    work,
+                );
+            }
+            let root = inst.universe();
+            let cost = tables.cost[root.index()];
+            let tree = sequential::extract_tree(inst, &tables, root);
+            (cost, tree, work, SolveOutcome::Complete)
         })
     }
 }
@@ -96,10 +123,14 @@ impl Solver for HyperEngine {
     fn max_k(&self) -> usize {
         14
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = hyper::solve(inst);
-            let tree = s.tree(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            if !budget.is_unlimited() && inst.k() > self.max_k() {
+                return engine::capacity_result(inst, WorkStats::default());
+            }
+            let mut meter = budget.start();
+            let pes = Layout::new(inst.k(), inst.n_actions()).pes() as u64;
+            let (s, done) = hyper::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.steps.exchange + s.steps.local,
@@ -108,7 +139,20 @@ impl Solver for HyperEngine {
             };
             work.push_extra("exchange_steps", s.steps.exchange);
             work.push_extra("local_steps", s.steps.local);
-            (s.cost, tree, work)
+            if let Some(r) = meter.exhausted() {
+                work.push_extra("completed_levels", done as u64);
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|sub| {
+                        (sub.len() <= done)
+                            .then(|| (s.c_table[sub.index()], s.best_table[sub.index()]))
+                    },
+                    work,
+                );
+            }
+            let tree = s.tree(inst);
+            (s.cost, tree, work, SolveOutcome::Complete)
         })
     }
 }
@@ -141,12 +185,17 @@ impl Solver for HyperBlockedEngine {
     fn max_k(&self) -> usize {
         14
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            if !budget.is_unlimited() && inst.k() > self.max_k() {
+                return engine::capacity_result(inst, WorkStats::default());
+            }
+            let mut meter = budget.start();
             let layout = Layout::new(inst.k(), inst.n_actions());
             let phys = Self::phys(&layout);
-            let s = hyper::solve_blocked(inst, phys);
-            let tree = tree_from_c_table(inst, &s.c_table);
+            let pes = layout.pes() as u64;
+            let (s, done) =
+                hyper::solve_blocked_budgeted(inst, phys, &mut || level_check(&mut meter, pes));
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.counts.virtual_steps,
@@ -157,7 +206,20 @@ impl Solver for HyperBlockedEngine {
             work.push_extra("remote_pair_ops", s.counts.remote_pair_ops);
             work.push_extra("words_communicated", s.counts.words_communicated);
             work.push_extra("block_size", s.block_size as u64);
-            (s.cost, tree, work)
+            if let Some(r) = meter.exhausted() {
+                work.push_extra("completed_levels", done as u64);
+                // The blocked machine carries no argmin plane; the
+                // incumbent falls back to greedy action choice below the
+                // wavefront — still sound, the C values are exact.
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|sub| (sub.len() <= done).then(|| (s.c_table[sub.index()], None)),
+                    work,
+                );
+            }
+            let tree = tree_from_c_table(inst, &s.c_table);
+            (s.cost, tree, work, SolveOutcome::Complete)
         })
     }
 }
@@ -178,10 +240,14 @@ impl Solver for CccEngine {
     fn max_k(&self) -> usize {
         8
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = ccc_tt::solve(inst);
-            let tree = s.tree(inst);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            if !budget.is_unlimited() && inst.k() > self.max_k() {
+                return engine::capacity_result(inst, WorkStats::default());
+            }
+            let mut meter = budget.start();
+            let pes = ccc_pes(ccc_tt::CccDriver::new(inst).machine_r);
+            let (s, done) = ccc_tt::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.steps.total_comm() + s.steps.local,
@@ -193,7 +259,20 @@ impl Solver for CccEngine {
             work.push_extra("intra_cycle", s.steps.intra_cycle);
             work.push_extra("local_steps", s.steps.local);
             work.push_extra("machine_r", s.machine_r as u64);
-            (s.cost, tree, work)
+            if let Some(r) = meter.exhausted() {
+                work.push_extra("completed_levels", done as u64);
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|sub| {
+                        (sub.len() <= done)
+                            .then(|| (s.c_table[sub.index()], s.best_table[sub.index()]))
+                    },
+                    work,
+                );
+            }
+            let tree = s.tree(inst);
+            (s.cost, tree, work, SolveOutcome::Complete)
         })
     }
 }
@@ -214,10 +293,14 @@ impl Solver for BvmEngine {
     fn max_k(&self) -> usize {
         5
     }
-    fn solve(&self, inst: &TtInstance) -> SolveReport {
-        timed_report(|| {
-            let s = bvm_tt::solve(inst);
-            let tree = tree_from_c_table(inst, &s.c_table);
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            if !budget.is_unlimited() && inst.k() > self.max_k() {
+                return engine::capacity_result(inst, WorkStats::default());
+            }
+            let mut meter = budget.start();
+            let pes = ccc_pes(bvm_tt::machine_for(inst).topo().r());
+            let (s, done) = bvm_tt::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.instructions,
@@ -230,7 +313,18 @@ impl Solver for BvmEngine {
             for (phase, n) in &s.phase_breakdown {
                 work.push_extra(format!("phase:{phase}"), *n);
             }
-            (s.cost, tree, work)
+            if let Some(r) = meter.exhausted() {
+                work.push_extra("completed_levels", done as u64);
+                // The BVM readback carries no argmin plane either.
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|sub| (sub.len() <= done).then(|| (s.c_table[sub.index()], None)),
+                    work,
+                );
+            }
+            let tree = tree_from_c_table(inst, &s.c_table);
+            (s.cost, tree, work, SolveOutcome::Complete)
         })
     }
 }

@@ -34,7 +34,7 @@ use tt_core::subset::Subset;
 /// the minimizing action index through the ASCEND minimization lets the
 /// machine return the optimal *procedure* too, at one extra word of
 /// state and no extra steps).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct TtPe {
     /// The candidate cost `M[S, i]`.
     pub m: Cost,
@@ -113,11 +113,29 @@ pub fn r_loop_trace(k: usize, t_i: Subset) -> Vec<Vec<Subset>> {
 /// assert!(tree.validate(&inst).is_ok());
 /// ```
 pub fn solve(inst: &TtInstance) -> HyperSolution {
+    solve_budgeted(inst, &mut || true).0
+}
+
+/// As [`solve`], but `check` is consulted before each level (wire a
+/// [`tt_core::solver::BudgetMeter`] in). Returns the solution plus the
+/// number of completed levels: table entries for `#S ≤` that count are
+/// exact, the rest are still `INF` placeholders.
+pub fn solve_budgeted(
+    inst: &TtInstance,
+    check: &mut dyn FnMut() -> bool,
+) -> (HyperSolution, usize) {
     let layout = Layout::new(inst.k(), inst.n_actions());
     let actions = padded_actions(inst, &layout);
     let weights = inst.weight_table();
     let mut cube = SimdHypercube::new(layout.dims(), |_| TtPe::default());
-    run_tt(&mut cube, &layout, &actions, &weights, inst.n_tests());
+    let done = run_tt_budgeted(
+        &mut cube,
+        &layout,
+        &actions,
+        &weights,
+        inst.n_tests(),
+        check,
+    );
     let c_table: Vec<Cost> = Subset::all(inst.k())
         .map(|s| cube.pe(layout.addr(s, 0)).m)
         .collect();
@@ -132,13 +150,16 @@ pub fn solve(inst: &TtInstance) -> HyperSolution {
         })
         .collect();
     let cost = c_table[inst.universe().index()];
-    HyperSolution {
-        cost,
-        c_table,
-        best_table,
-        steps: cube.counts(),
-        layout,
-    }
+    (
+        HyperSolution {
+            cost,
+            c_table,
+            best_table,
+            steps: cube.counts(),
+            layout,
+        },
+        done,
+    )
 }
 
 /// The TT schedule itself, reusable by the CCC driver through the shared
@@ -150,9 +171,27 @@ pub fn run_tt(
     weights: &[u64],
     m_tests: usize,
 ) {
+    run_tt_budgeted(cube, layout, actions, weights, m_tests, &mut || true);
+}
+
+/// As [`run_tt`], but `check` is consulted before each level; a `false`
+/// stops the machine cleanly between levels. Returns the number of
+/// completed levels: by the wavefront invariant, every PE of column `S`
+/// with `#S ≤` that value holds the exact `C(S)`.
+pub fn run_tt_budgeted(
+    cube: &mut SimdHypercube<TtPe>,
+    layout: &Layout,
+    actions: &[PadAction],
+    weights: &[u64],
+    m_tests: usize,
+    check: &mut dyn FnMut() -> bool,
+) -> usize {
     let lay = *layout;
     cube.local_step(|addr, pe| init_pe(addr, pe, &lay, actions, weights));
-    for _level in 1..=layout.k {
+    for level in 1..=layout.k {
+        if !check() {
+            return level - 1;
+        }
         cube.local_step(|_, pe| {
             pe.r = pe.m;
             pe.q = pe.m;
@@ -163,12 +202,12 @@ pub fn run_tt(
                 rq_op(e, lo_addr, lo, hi, &lay, actions);
             });
         }
-        let level = _level;
         cube.local_step(|addr, pe| combine_pe(addr, pe, &lay, level, m_tests));
         for t in layout.i_dims() {
             cube.exchange_step(t, |_, lo, hi| min_op(lo, hi));
         }
     }
+    layout.k
 }
 
 /// PE initialization: `TP = t_i·p(S)`, `M[∅,i] = 0`, else `INF`.
@@ -418,6 +457,17 @@ pub struct BlockedSolution {
 /// `2^{k + log N}` virtual ones (`phys ≤ k + log N`); the schedule is
 /// identical, communication happens only on the high `phys` dimensions.
 pub fn solve_blocked(inst: &TtInstance, phys: usize) -> BlockedSolution {
+    solve_blocked_budgeted(inst, phys, &mut || true).0
+}
+
+/// As [`solve_blocked`], but `check` is consulted before each level.
+/// Returns the solution plus the number of completed levels (entries for
+/// `#S ≤` that count are exact).
+pub fn solve_blocked_budgeted(
+    inst: &TtInstance,
+    phys: usize,
+    check: &mut dyn FnMut() -> bool,
+) -> (BlockedSolution, usize) {
     use hypercube::blocked::BlockedHypercube;
     let layout = Layout::new(inst.k(), inst.n_actions());
     let actions = padded_actions(inst, &layout);
@@ -426,7 +476,12 @@ pub fn solve_blocked(inst: &TtInstance, phys: usize) -> BlockedSolution {
     let phys = phys.min(layout.dims());
     let mut cube = BlockedHypercube::new(layout.dims(), phys, |_| TtPe::default());
     cube.local_step(|addr, pe| init_pe(addr, pe, &layout, &actions, &weights));
+    let mut done = layout.k;
     for level in 1..=layout.k {
+        if !check() {
+            done = level - 1;
+            break;
+        }
         cube.local_step(|_, pe| {
             pe.r = pe.m;
             pe.q = pe.m;
@@ -446,13 +501,16 @@ pub fn solve_blocked(inst: &TtInstance, phys: usize) -> BlockedSolution {
         .map(|s| cube.pe(layout.addr(s, 0)).m)
         .collect();
     let cost = c_table[inst.universe().index()];
-    BlockedSolution {
-        cost,
-        c_table,
-        counts: cube.counts(),
-        block_size: cube.block_size(),
-        layout,
-    }
+    (
+        BlockedSolution {
+            cost,
+            c_table,
+            counts: cube.counts(),
+            block_size: cube.block_size(),
+            layout,
+        },
+        done,
+    )
 }
 
 #[cfg(test)]

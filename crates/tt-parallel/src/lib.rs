@@ -42,6 +42,7 @@ pub mod engines;
 pub mod hyper;
 pub mod layout;
 pub mod rayon_solver;
+pub mod resilient;
 pub mod sweep;
 
 pub use engines::register_engines;

@@ -12,21 +12,39 @@
 use rayon::prelude::*;
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
+use tt_core::solver::budget::BudgetMeter;
 use tt_core::solver::sequential::{candidate, DpTables};
 use tt_core::subset::Subset;
 
 /// Solves the DP level-synchronously with rayon; returns the same tables
 /// as `tt_core::solver::sequential::solve_tables`.
 pub fn solve_tables(inst: &TtInstance) -> DpTables {
+    solve_tables_with(inst, &mut BudgetMeter::unlimited()).0
+}
+
+/// As [`solve_tables`], but budgeted: the whole `#S = j` level is charged
+/// to the meter before it is computed, and an exhausted meter stops the
+/// sweep between levels. Returns the tables plus the number of completed
+/// levels — entries for `#S ≤` that count are exact, the rest are still
+/// `INF` placeholders.
+pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTables, usize) {
     let k = inst.k();
     let size = 1usize << k;
     let weight_table = inst.weight_table();
     let mut cost = vec![Cost::INF; size];
     let mut best: Vec<Option<u16>> = vec![None; size];
     cost[0] = Cost::ZERO;
+    let mut done = k;
 
     for j in 1..=k {
         let level: Vec<Subset> = Subset::of_size(k, j).collect();
+        let in_budget = meter.charge_subsets(level.len() as u64)
+            & meter.charge_candidates((level.len() * inst.n_actions()) as u64)
+            & meter.check();
+        if !in_budget {
+            done = j - 1;
+            break;
+        }
         // Read-only snapshot view of the table: a level never reads its
         // own entries (every submask read is strictly smaller).
         let cost_ref = &cost;
@@ -50,7 +68,7 @@ pub fn solve_tables(inst: &TtInstance) -> DpTables {
             best[idx] = b;
         }
     }
-    DpTables { cost, best }
+    (DpTables { cost, best }, done)
 }
 
 /// Convenience wrapper: `C(U)` plus an optimal tree via the shared

@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE:
 //!   ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]
+//!           [--timeout <ms>] [--max-candidates <n>] [--faults <spec>]
 //!   ttsolve --demo <domain> [k] [seed] [--solver <engine>] [--tree] [--dot] [--stats]
 //!           (domains: random, medical, faults, biology, lab)
 //!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
@@ -13,20 +14,62 @@
 //! chosen engine from the unified solver registry, and prints the cost —
 //! optionally the procedure tree, DOT output, dominance-reduction
 //! summary, and the engine's uniform work statistics.
+//!
+//! `--timeout`/`--max-candidates` set a [`Budget`]; when it runs out the
+//! engine stops and prints its anytime incumbent with the guaranteed
+//! `[lower, upper]` bound sandwich instead of hanging.
+//!
+//! `--faults` arms a deterministic machine-fault plan and solves through
+//! the resilient drivers of `tt_parallel::resilient`. The spec is a
+//! comma-separated list, all targeting one machine:
+//!
+//! ```text
+//!   ccc:dead:<addr>        dead PE (quarantined via a replica block)
+//!   ccc:drop:<dim>@<nth>   the nth exchange on dim is lost in flight
+//!   ccc:corrupt:<dim>@<nth> ... corrupts the receiving PE instead
+//!   bvm:dead:<pe>          dead column (escalates)
+//!   bvm:stuck:<pe>=<0|1>   neighbour fetch stuck at a constant bit
+//!   bvm:flip:<pe>@<nth>    the nth fetch glitches one bit once
+//! ```
+//!
+//! Exit codes: `0` success, `2` usage error, `3` unreadable input file,
+//! `4` unparseable or invalid instance, `6` unknown engine or domain,
+//! `7` budget exhausted (degraded result printed), `8` machine faults
+//! escalated past recovery.
 
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::io;
+use tt_core::solver::budget::Budget;
+use tt_core::solver::engine::{SolveOutcome, SolveReport};
 use tt_core::solver::Solver;
+use tt_parallel::resilient::{
+    self, solve_bvm_resilient, solve_ccc_resilient, ResilienceReport, DEFAULT_MAX_RETRIES,
+};
+
+const EXIT_USAGE: i32 = 2;
+const EXIT_READ: i32 = 3;
+const EXIT_PARSE: i32 = 4;
+const EXIT_UNKNOWN_ENGINE: i32 = 6;
+const EXIT_DEGRADED: i32 = 7;
+const EXIT_FAULT_ESCALATION: i32 = 8;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]\n\
+         \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
-         \x20      ttsolve --engines"
+         \x20      ttsolve --engines\n\
+         fault specs: ccc:dead:<addr> ccc:drop:<dim>@<nth> ccc:corrupt:<dim>@<nth>\n\
+         \x20            bvm:dead:<pe> bvm:stuck:<pe>=<0|1> bvm:flip:<pe>@<nth>\n\
+         exit codes: 0 ok, 2 usage, 3 unreadable file, 4 invalid instance,\n\
+         \x20           6 unknown engine/domain, 7 degraded (budget), 8 fault escalation"
     );
-    exit(2)
+    exit(EXIT_USAGE)
 }
 
 fn generate(domain: &str, k: usize, seed: u64) -> TtInstance {
@@ -34,7 +77,7 @@ fn generate(domain: &str, k: usize, seed: u64) -> TtInstance {
         Some(d) => d.generate(k, seed),
         None => {
             eprintln!("unknown domain '{domain}'");
-            usage()
+            exit(EXIT_UNKNOWN_ENGINE)
         }
     }
 }
@@ -47,6 +90,29 @@ struct Opts {
     dot: bool,
     reduce: bool,
     stats: bool,
+    timeout_ms: Option<u64>,
+    max_candidates: Option<u64>,
+    faults: Option<String>,
+}
+
+impl Opts {
+    fn budget(&self) -> Budget {
+        Budget {
+            deadline: self.timeout_ms.map(Duration::from_millis),
+            max_candidates: self.max_candidates,
+            ..Budget::default()
+        }
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("{flag} needs a numeric argument");
+            usage()
+        }
+    }
 }
 
 fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -> Opts {
@@ -59,6 +125,11 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -
             "--dot" => opts.dot = true,
             "--reduce" if allow_reduce => opts.reduce = true,
             "--stats" => opts.stats = true,
+            "--timeout" => opts.timeout_ms = Some(parse_number("--timeout", it.next())),
+            "--max-candidates" => {
+                opts.max_candidates = Some(parse_number("--max-candidates", it.next()))
+            }
+            "--faults" => opts.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -136,14 +207,14 @@ fn main() {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            exit(1)
+            exit(EXIT_READ)
         }
     };
     let inst = match io::from_text(&text) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
-            exit(1)
+            exit(EXIT_PARSE)
         }
     };
     let inst = if opts.reduce {
@@ -161,19 +232,7 @@ fn main() {
     solve_and_report(&inst, &opts);
 }
 
-fn solve_and_report(inst: &TtInstance, opts: &Opts) {
-    let name = opts.solver.as_deref().unwrap_or("seq");
-    let engine: Box<dyn Solver> = match tt_repro::lookup(name) {
-        Some(e) => e,
-        None => {
-            eprintln!("unknown solver '{name}'; registered engines:");
-            for e in tt_repro::registry() {
-                eprintln!("  {}", e.name());
-            }
-            exit(2)
-        }
-    };
-
+fn print_instance_line(inst: &TtInstance) {
     println!(
         "instance: k = {}, N = {} ({} tests, {} treatments), adequate: {}",
         inst.k(),
@@ -182,33 +241,45 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
         inst.n_treatments(),
         inst.is_adequate()
     );
-    if inst.k() > engine.max_k() {
-        eprintln!(
-            "warning: engine '{}' is sized for k <= {}; k = {} may be slow or exhaust memory",
-            engine.name(),
-            engine.max_k(),
-            inst.k()
-        );
-    }
+}
 
-    let report = engine.solve(inst);
+fn print_result(inst: &TtInstance, opts: &Opts, report: &SolveReport, exact: bool) -> i32 {
     if opts.stats {
-        println!("stats [{}]: {}", engine.name(), report.work);
+        println!("stats: {}", report.work);
         println!("wall: {:.3?}", report.wall);
     }
-
-    if engine.kind().is_exact() {
-        println!("optimal expected cost: {}", report.cost);
-    } else {
-        println!(
-            "expected cost ({} upper bound): {}",
-            engine.name(),
-            report.cost
-        );
+    let mut code = 0;
+    match report.outcome {
+        SolveOutcome::Complete => {
+            if exact {
+                println!("optimal expected cost: {}", report.cost);
+            } else {
+                println!("expected cost (upper bound): {}", report.cost);
+            }
+        }
+        SolveOutcome::Degraded {
+            upper_bound,
+            lower_bound,
+            reason,
+        } => {
+            let gap = match (lower_bound, upper_bound) {
+                (Cost(lo), Cost(hi)) if !upper_bound.is_inf() => format!("gap {}", hi - lo),
+                _ => "gap unbounded".to_string(),
+            };
+            println!(
+                "degraded result ({reason}): optimum within [{lower_bound}, {upper_bound}] ({gap})"
+            );
+            code = EXIT_DEGRADED;
+        }
     }
-    if let Some(t) = report.tree {
+    if let Some(t) = &report.tree {
         if opts.tree {
-            println!("\noptimal procedure:\n");
+            let label = if report.outcome.is_complete() && exact {
+                "optimal procedure"
+            } else {
+                "incumbent procedure"
+            };
+            println!("\n{label}:\n");
             print!("{}", t.render(inst));
         }
         if opts.dot {
@@ -220,4 +291,187 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
             inst.untreatable()
         );
     }
+    code
+}
+
+fn solve_and_report(inst: &TtInstance, opts: &Opts) {
+    if let Some(spec) = &opts.faults {
+        exit(solve_with_faults(inst, opts, spec));
+    }
+    let name = opts.solver.as_deref().unwrap_or("seq");
+    let engine: Box<dyn Solver> = match tt_repro::lookup(name) {
+        Some(e) => e,
+        None => {
+            eprintln!("unknown solver '{name}'; registered engines:");
+            for e in tt_repro::registry() {
+                eprintln!("  {}", e.name());
+            }
+            exit(EXIT_UNKNOWN_ENGINE)
+        }
+    };
+
+    print_instance_line(inst);
+    if inst.k() > engine.max_k() {
+        eprintln!(
+            "warning: engine '{}' is sized for k <= {}; k = {} may be slow or exhaust memory",
+            engine.name(),
+            engine.max_k(),
+            inst.k()
+        );
+    }
+
+    let report = engine.solve_with(inst, &opts.budget());
+    if opts.stats {
+        println!("engine: {}", engine.name());
+    }
+    let code = print_result(inst, opts, &report, engine.kind().is_exact());
+    exit(code)
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection mode.
+// ---------------------------------------------------------------------
+
+/// Which resilient driver a fault spec targets.
+enum FaultTarget {
+    Ccc(hypercube::CccFaultPlan<tt_parallel::hyper::TtPe>),
+    Bvm(bvm::BvmFaultPlan),
+}
+
+fn parse_pair(s: &str, sep: char) -> Result<(usize, u64), String> {
+    let (a, b) = s
+        .split_once(sep)
+        .ok_or_else(|| format!("expected <a>{sep}<b> in '{s}'"))?;
+    Ok((
+        a.parse().map_err(|_| format!("bad number '{a}'"))?,
+        b.parse().map_err(|_| format!("bad number '{b}'"))?,
+    ))
+}
+
+fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
+    let mut ccc = hypercube::CccFaultPlan::<tt_parallel::hyper::TtPe>::none();
+    let mut bvm_plan = bvm::BvmFaultPlan::none();
+    let mut machine: Option<&str> = None;
+    for part in spec.split(',') {
+        let mut fields = part.splitn(3, ':');
+        let (m, kind, rest) = (
+            fields.next().unwrap_or(""),
+            fields.next().unwrap_or(""),
+            fields.next().unwrap_or(""),
+        );
+        if let Some(prev) = machine {
+            if prev != m {
+                return Err(format!("mixed fault targets '{prev}' and '{m}'"));
+            }
+        }
+        machine = Some(m);
+        match (m, kind) {
+            ("ccc", "dead") => ccc
+                .dead
+                .push(rest.parse().map_err(|_| format!("bad address '{rest}'"))?),
+            ("ccc", "drop") => {
+                let (dim, nth) = parse_pair(rest, '@')?;
+                ccc.links.push(hypercube::PairFault {
+                    dim,
+                    nth,
+                    kind: hypercube::PairFaultKind::Drop,
+                });
+            }
+            ("ccc", "corrupt") => {
+                let (dim, nth) = parse_pair(rest, '@')?;
+                ccc.links.push(hypercube::PairFault {
+                    dim,
+                    nth,
+                    kind: hypercube::PairFaultKind::Corrupt(Arc::new(
+                        |pe: &mut tt_parallel::hyper::TtPe| {
+                            pe.tp = Cost(pe.tp.0 ^ 1);
+                        },
+                    )),
+                });
+            }
+            ("bvm", "dead") => bvm_plan.faults.push(bvm::BvmFault::DeadPe {
+                pe: rest.parse().map_err(|_| format!("bad PE '{rest}'"))?,
+            }),
+            ("bvm", "stuck") => {
+                let (pe, value) = parse_pair(rest, '=')?;
+                if value > 1 {
+                    return Err(format!("stuck value must be 0 or 1, got {value}"));
+                }
+                bvm_plan.faults.push(bvm::BvmFault::StuckLink {
+                    pe,
+                    value: value == 1,
+                });
+            }
+            ("bvm", "flip") => {
+                let (pe, nth) = parse_pair(rest, '@')?;
+                bvm_plan.faults.push(bvm::BvmFault::FlipBit { nth, pe });
+            }
+            _ => return Err(format!("unknown fault '{part}'")),
+        }
+    }
+    match machine {
+        Some("ccc") => Ok(FaultTarget::Ccc(ccc)),
+        Some("bvm") => Ok(FaultTarget::Bvm(bvm_plan)),
+        _ => Err("empty fault spec".to_string()),
+    }
+}
+
+fn print_resilience(rep: &ResilienceReport) {
+    println!(
+        "resilience: glitches detected = {}, retries = {}, dead PEs = {:?}, replica used = {}",
+        rep.glitches_detected, rep.retries, rep.dead_pes, rep.replica_used
+    );
+}
+
+fn solve_with_faults(inst: &TtInstance, opts: &Opts, spec: &str) -> i32 {
+    let target = match parse_fault_spec(spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bad --faults spec: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let machine_name = match &target {
+        FaultTarget::Ccc(_) => "ccc",
+        FaultTarget::Bvm(_) => "bvm",
+    };
+    if let Some(solver) = opts.solver.as_deref() {
+        if solver != machine_name {
+            eprintln!("--faults {machine_name}:* requires --solver {machine_name} (or none)");
+            return EXIT_USAGE;
+        }
+    }
+    print_instance_line(inst);
+    println!("fault plan armed on {machine_name}: {spec}");
+
+    let escalation: resilient::FaultEscalation = match target {
+        FaultTarget::Ccc(plan) => match solve_ccc_resilient(inst, plan, DEFAULT_MAX_RETRIES) {
+            Ok((sol, rep)) => {
+                print_resilience(&rep);
+                println!("optimal expected cost: {}", sol.cost);
+                if opts.tree {
+                    if let Some(t) = sol.tree(inst) {
+                        println!("\noptimal procedure:\n");
+                        print!("{}", t.render(inst));
+                    }
+                }
+                return 0;
+            }
+            Err(esc) => esc,
+        },
+        FaultTarget::Bvm(plan) => match solve_bvm_resilient(inst, plan, DEFAULT_MAX_RETRIES) {
+            Ok((sol, rep)) => {
+                print_resilience(&rep);
+                println!("optimal expected cost: {}", sol.cost);
+                return 0;
+            }
+            Err(esc) => esc,
+        },
+    };
+    eprintln!("fault escalation: {escalation}");
+    let report = escalation.report(inst);
+    // The greedy incumbent with its bound sandwich — degraded, never
+    // silently wrong.
+    print_result(inst, opts, &report, true);
+    EXIT_FAULT_ESCALATION
 }

@@ -1,0 +1,188 @@
+//! Machine fault injection end to end: every injected fault is either
+//! corrected (the resilient driver's answer equals the exact DP) or
+//! surfaced as an escalation — never a silently wrong answer.
+
+use std::sync::Arc;
+use tt_core::cost::Cost;
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::solver::sequential;
+use tt_core::subset::Subset;
+use tt_parallel::hyper::TtPe;
+use tt_parallel::resilient::{
+    solve_bvm_resilient, solve_ccc_resilient, FaultEscalation, DEFAULT_MAX_RETRIES,
+};
+
+fn inst4() -> TtInstance {
+    TtInstanceBuilder::new(4)
+        .weights([4, 3, 2, 1])
+        .test(Subset::from_iter([0, 1]), 1)
+        .test(Subset::from_iter([0, 2]), 2)
+        .treatment(Subset::from_iter([0]), 3)
+        .treatment(Subset::from_iter([1, 2]), 4)
+        .treatment(Subset::from_iter([3]), 2)
+        .build()
+        .unwrap()
+}
+
+fn inst3() -> TtInstance {
+    TtInstanceBuilder::new(3)
+        .weights([2, 1, 1])
+        .test(Subset(0b011), 1)
+        .test(Subset(0b101), 2)
+        .treatment(Subset(0b011), 3)
+        .treatment(Subset(0b110), 2)
+        .build()
+        .unwrap()
+}
+
+/// Flip one bit of the charged cost `TP` — the smallest possible state
+/// corruption, and one that is never rewritten inside a level.
+fn bit_flip() -> Arc<dyn Fn(&mut TtPe) + Send + Sync> {
+    Arc::new(|pe: &mut TtPe| pe.tp = Cost(pe.tp.0 ^ 1))
+}
+
+/// Every single-bit link corruption on every dimension the TT program
+/// actually exchanges across is detected by the checksummed double run
+/// and masked by the rollback retry: the final tables equal the exact
+/// DP, and each fault that fired was seen.
+#[test]
+fn every_single_bit_ccc_link_fault_is_detected_and_masked() {
+    let i = inst4();
+    let seq = sequential::solve(&i);
+    // Layout: log_n = 3, so i-dims 0..3 (min ops) and s-dims 3..7 (RQ
+    // broadcasts) all carry pair traffic.
+    for dim in 0..7 {
+        for nth in [0u64, 1, 7] {
+            let plan = hypercube::CccFaultPlan {
+                dead: vec![],
+                links: vec![hypercube::PairFault {
+                    dim,
+                    nth,
+                    kind: hypercube::PairFaultKind::Corrupt(bit_flip()),
+                }],
+            };
+            let (sol, rep) = solve_ccc_resilient(&i, plan, DEFAULT_MAX_RETRIES)
+                .unwrap_or_else(|e| panic!("dim {dim} nth {nth}: escalated: {e}"));
+            assert_eq!(sol.c_table, seq.tables.cost, "dim {dim} nth {nth}");
+            assert_eq!(sol.best_table, seq.tables.best, "dim {dim} nth {nth}");
+            // nth = 0 always lands on a real exchange, and a bit flip is
+            // always visible to the checksum: detection is mandatory.
+            if nth == 0 {
+                assert_eq!(rep.glitches_detected, 1, "dim {dim}: flip went unseen");
+            }
+        }
+    }
+}
+
+/// A seeded multi-fault barrage (drops and corruptions together) still
+/// converges to the exact DP tables within the retry budget.
+#[test]
+fn seeded_ccc_fault_barrage_is_corrected() {
+    let i = inst4();
+    let seq = sequential::solve(&i);
+    for seed in 1..6u64 {
+        let plan = hypercube::CccFaultPlan::seeded(seed, 4, 7, 16, bit_flip());
+        let (sol, _rep) = solve_ccc_resilient(&i, plan, 8)
+            .unwrap_or_else(|e| panic!("seed {seed}: escalated: {e}"));
+        assert_eq!(sol.c_table, seq.tables.cost, "seed {seed}");
+    }
+}
+
+/// A dead PE inside the working replica is quarantined: the answer is
+/// read from a clean replica block and equals the exact DP.
+#[test]
+fn ccc_single_dead_pe_is_corrected_by_quarantine() {
+    let i = inst4();
+    let seq = sequential::solve(&i);
+    for addr in [0usize, 3, 77, 127] {
+        let plan = hypercube::CccFaultPlan {
+            dead: vec![addr],
+            links: vec![],
+        };
+        let (sol, rep) = solve_ccc_resilient(&i, plan, DEFAULT_MAX_RETRIES).unwrap();
+        assert_eq!(sol.c_table, seq.tables.cost, "dead addr {addr}");
+        assert_eq!(rep.dead_pes, vec![addr]);
+        assert_ne!(rep.replica_used, 0, "dead addr {addr} sits in replica 0");
+    }
+}
+
+/// Dead PE and transient link fault together: quarantine and retry
+/// compose.
+#[test]
+fn ccc_combined_dead_pe_and_link_fault_are_corrected() {
+    let i = inst4();
+    let seq = sequential::solve(&i);
+    let plan = hypercube::CccFaultPlan {
+        dead: vec![5],
+        links: vec![hypercube::PairFault {
+            dim: 4,
+            nth: 0,
+            kind: hypercube::PairFaultKind::Corrupt(bit_flip()),
+        }],
+    };
+    let (sol, rep) = solve_ccc_resilient(&i, plan, DEFAULT_MAX_RETRIES).unwrap();
+    assert_eq!(sol.c_table, seq.tables.cost);
+    assert_eq!(rep.dead_pes, vec![5]);
+    assert!(rep.glitches_detected >= 1);
+}
+
+/// BVM single-bit fetch glitches at various points of the program are
+/// corrected by whole-run redundancy: the answer equals the exact DP.
+#[test]
+fn bvm_single_flip_faults_are_corrected_by_retry() {
+    let i = inst3();
+    let seq = sequential::solve(&i);
+    for (nth, pe) in [(4u64, 0usize), (10, 1), (100, 7), (1000, 3)] {
+        let plan = bvm::BvmFaultPlan::single(bvm::BvmFault::FlipBit { nth, pe });
+        let (sol, _rep) = solve_bvm_resilient(&i, plan, DEFAULT_MAX_RETRIES)
+            .unwrap_or_else(|e| panic!("nth {nth} pe {pe}: escalated: {e}"));
+        assert_eq!(sol.c_table, seq.tables.cost, "nth {nth} pe {pe}");
+        assert_eq!(sol.cost, seq.cost);
+    }
+}
+
+/// BVM persistent faults cannot be quarantined (no replica structure):
+/// they must surface as typed escalations, never as a wrong answer.
+#[test]
+fn bvm_persistent_faults_escalate_with_the_faulty_pes_named() {
+    let i = inst3();
+    let dead = bvm::BvmFaultPlan::single(bvm::BvmFault::DeadPe { pe: 9 });
+    match solve_bvm_resilient(&i, dead, DEFAULT_MAX_RETRIES) {
+        Err(FaultEscalation::DeadPes { dead }) => assert_eq!(dead, vec![9]),
+        other => panic!("expected DeadPes, got {other:?}"),
+    }
+    let stuck = bvm::BvmFaultPlan::single(bvm::BvmFault::StuckLink {
+        pe: 2,
+        value: false,
+    });
+    match solve_bvm_resilient(&i, stuck, DEFAULT_MAX_RETRIES) {
+        Err(FaultEscalation::StuckLinks { pes }) => assert_eq!(pes, vec![2]),
+        other => panic!("expected StuckLinks, got {other:?}"),
+    }
+}
+
+/// Escalations convert to degraded reports whose bound sandwich still
+/// contains the optimum — the "never silently wrong" guarantee holds
+/// even when recovery fails.
+#[test]
+fn escalations_degrade_with_sound_bounds() {
+    use tt_core::solver::engine::{DegradeReason, SolveOutcome};
+    let i = inst4();
+    let opt = sequential::solve(&i).cost;
+    let esc = FaultEscalation::NoCleanReplica { dead: vec![1, 2] };
+    let report = esc.report(&i);
+    match report.outcome {
+        SolveOutcome::Degraded {
+            upper_bound,
+            lower_bound,
+            reason,
+        } => {
+            assert_eq!(reason, DegradeReason::FaultEscalation);
+            assert!(lower_bound <= opt && opt <= upper_bound);
+            let t = report.tree.expect("greedy incumbent exists");
+            t.validate(&i).unwrap();
+            assert_eq!(t.expected_cost(&i), upper_bound);
+        }
+        SolveOutcome::Complete => panic!("escalation must degrade"),
+    }
+}
