@@ -106,7 +106,7 @@ fn bench_bitonic(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("hypercube", d), &d, |b, &d| {
             b.iter(|| {
                 let mut cube = hypercube::SimdHypercube::new(d, |x| {
-                    (x as u64).wrapping_mul(2654435761) % 9973
+                    (x as u64).wrapping_mul(2_654_435_761) % 9973
                 })
                 .sequential();
                 hypercube::sort::bitonic_sort(&mut cube);
@@ -118,8 +118,9 @@ fn bench_bitonic(c: &mut Criterion) {
         let r = 2usize;
         g.bench_with_input(BenchmarkId::new("ccc", r), &r, |b, &r| {
             b.iter(|| {
-                let mut ccc =
-                    hypercube::CccMachine::new(r, |x| (x as u64).wrapping_mul(2654435761) % 9973);
+                let mut ccc = hypercube::CccMachine::new(r, |x| {
+                    (x as u64).wrapping_mul(2_654_435_761) % 9973
+                });
                 hypercube::sort::bitonic_sort_ccc(&mut ccc);
                 black_box(*ccc.pe(0))
             })

@@ -350,7 +350,7 @@ fn speedup() {
     println!("verdict: PASS — speedup grows as Θ(p / (k·log p)) = Θ(p/log² p) in");
     println!("the strict word accounting; the paper's O(p/log p) counts the");
     println!("sequential per-candidate factor Θ(k) of set manipulation (see the");
-    println!("headline experiment), under which the normalized column is O(1).",);
+    println!("headline experiment), under which the normalized column is O(1).");
     let _ = (mean, min, max);
 }
 
@@ -597,13 +597,13 @@ fn memo_ablation() {
 
 /// E15 — heuristics vs optimal.
 fn heuristic_gap() {
+    type Gen = Box<dyn Fn(u64) -> tt_core::instance::TtInstance>;
     println!("baseline study: myopic heuristics vs the exact DP optimum across");
     println!("the paper's application domains (geomean over 10 seeds each).\n");
     header(
         &["workload", "k", "split-bal", "entropy", "treat-only"],
         &[10, 3, 10, 10, 11],
     );
-    type Gen = Box<dyn Fn(u64) -> tt_core::instance::TtInstance>;
     let gens: Vec<(&str, usize, Gen)> = vec![
         ("random", 8, Box::new(|s| random_adequate(8, s))),
         (
@@ -749,7 +749,7 @@ fn bitonic() {
     for r in [1usize, 2, 3] {
         let d = (1usize << r) + r;
         let vals: Vec<u64> = (0..1usize << d)
-            .map(|x| (x as u64).wrapping_mul(2654435761) % 997)
+            .map(|x| (x as u64).wrapping_mul(2_654_435_761) % 997)
             .collect();
         let mut cube = hypercube::SimdHypercube::new(d, |x| vals[x]).sequential();
         hypercube::sort::bitonic_sort(&mut cube);

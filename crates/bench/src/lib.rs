@@ -7,9 +7,10 @@
 
 /// Prints a row of a fixed-width table.
 pub fn row(cells: &[String], widths: &[usize]) {
+    use std::fmt::Write;
     let mut line = String::new();
     for (c, w) in cells.iter().zip(widths) {
-        line.push_str(&format!("{c:>w$}  ", w = w));
+        let _ = write!(line, "{c:>w$}  ", w = w);
     }
     println!("{}", line.trim_end());
 }

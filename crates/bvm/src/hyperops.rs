@@ -135,7 +135,7 @@ mod tests {
         let n = m.n();
         let dims = m.topo().dims();
         // A pattern where every PE's bit differs from most partners'.
-        let pattern = |pe: usize| (pe.wrapping_mul(0x9E3779B9) >> 7) & 1 == 1;
+        let pattern = |pe: usize| (pe.wrapping_mul(0x9E37_79B9) >> 7) & 1 == 1;
         for dim in 0..dims {
             m.load_register(Dest::R(0), BitPlane::from_fn(n, pattern));
             let before = m.executed();

@@ -69,6 +69,30 @@ impl BoolFn {
         let idx = (u8::from(f) << 2) | (u8::from(d) << 1) | u8::from(b);
         self.0 >> idx & 1 != 0
     }
+
+    /// Does the output depend on the `F` input for some `(D, B)`?
+    pub fn depends_on_f(self) -> bool {
+        (self.0 >> 4) != (self.0 & 0x0F)
+    }
+
+    /// Does the output depend on the `D` input for some `(F, B)`?
+    pub fn depends_on_d(self) -> bool {
+        ((self.0 >> 2) & 0b0011_0011) != (self.0 & 0b0011_0011)
+    }
+
+    /// Does the output depend on the `B` input for some `(F, D)`?
+    pub fn depends_on_b(self) -> bool {
+        ((self.0 >> 1) & 0b0101_0101) != (self.0 & 0b0101_0101)
+    }
+
+    /// `Some(v)` iff the function is the constant `v`.
+    pub fn constant(self) -> Option<bool> {
+        match self {
+            BoolFn::ZERO => Some(false),
+            BoolFn::ONE => Some(true),
+            _ => None,
+        }
+    }
 }
 
 /// A register selector for the `F` and `D` operands.

@@ -34,6 +34,9 @@
 //!   routing over the three physical links).
 //! * [`program`] — instruction-stream recording, replay, disassembly and
 //!   static instruction-mix analysis.
+//! * [`verify`] — static microcode verification: abstract interpretation
+//!   over recorded programs (init tracking, gate legality, write
+//!   conflicts) plus a replayed cost audit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +49,7 @@ pub mod ops;
 pub mod plane;
 pub mod program;
 pub mod topology;
+pub mod verify;
 
 pub use fault::{BvmFault, BvmFaultInjector, BvmFaultPlan};
 pub use isa::{BoolFn, Dest, Gate, Instruction, Neighbor, RegSel};

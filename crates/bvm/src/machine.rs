@@ -50,6 +50,7 @@ pub struct Bvm {
     host_loads: u64,
     phases: Vec<(String, u64)>,
     recording: Option<Vec<Instruction>>,
+    recorded_loads: Vec<Dest>,
     faults: Option<BvmFaultInjector>,
 }
 
@@ -103,6 +104,7 @@ impl Bvm {
             host_loads: 0,
             phases: Vec::new(),
             recording: None,
+            recorded_loads: Vec::new(),
             faults: None,
         }
     }
@@ -172,14 +174,18 @@ impl Bvm {
     /// [`take_recording`](Self::take_recording)).
     pub fn start_recording(&mut self) {
         self.recording = Some(Vec::new());
+        self.recorded_loads.clear();
     }
 
     /// Stops capturing and returns the instruction stream executed since
     /// [`start_recording`](Self::start_recording) as a replayable
-    /// [`crate::program::Program`].
+    /// [`crate::program::Program`]. Host-side bulk loads performed while
+    /// recording are listed in the program's `preloaded` set, so static
+    /// analysis knows which registers hold data the stream never wrote.
     pub fn take_recording(&mut self) -> crate::program::Program {
         crate::program::Program {
             instructions: self.recording.take().unwrap_or_default(),
+            preloaded: std::mem::take(&mut self.recorded_loads),
         }
     }
 
@@ -220,6 +226,9 @@ impl Bvm {
     pub fn load_register(&mut self, dest: Dest, plane: BitPlane) {
         assert_eq!(plane.len(), self.n());
         self.host_loads += 1;
+        if self.recording.is_some() {
+            self.recorded_loads.push(dest);
+        }
         match dest {
             Dest::A => self.a = plane,
             Dest::E => self.e = plane,

@@ -139,14 +139,14 @@ mod tests {
         let sender = a.reg();
         let scratch = a.regs(4);
         let n = m.n();
-        let is1 = |pe: usize| (pe as u32).count_ones() == 1;
-        let lit = |pe: usize| pe == 0b000001 || pe == 0b001000;
+        let is1 = |pe: usize| pe.is_power_of_two();
+        let lit = |pe: usize| pe == 0b00_0001 || pe == 0b00_1000;
         m.load_register(Dest::R(data), BitPlane::from_fn(n, lit));
         m.load_register(Dest::R(sender), BitPlane::from_fn(n, is1));
         propagation2(&mut m, data, sender, &pid, &scratch);
         for pe in 0..n {
             if (pe as u32).count_ones() >= 1 {
-                let expect = (pe & 0b000001 != 0) || (pe & 0b001000 != 0);
+                let expect = (pe & 0b00_0001 != 0) || (pe & 0b00_1000 != 0);
                 assert_eq!(m.read_bit(RegSel::R(data), pe), expect, "pe={pe:06b}");
             }
         }
@@ -170,7 +170,7 @@ mod tests {
             m.load_register(Dest::R(data), BitPlane::from_fn(n, |pe| pe == src));
             m.load_register(
                 Dest::R(sender),
-                BitPlane::from_fn(n, |pe| (pe as u32).count_ones() == 1),
+                BitPlane::from_fn(n, |pe| pe.is_power_of_two()),
             );
             propagation2(&mut m, data, sender, &pid, &scratch);
             assert!(m.read_bit(RegSel::R(data), 0b111), "src={src:03b}");

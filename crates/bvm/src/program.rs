@@ -7,7 +7,7 @@
 //! a fresh machine — SIMD programs are deterministic, so a replay must
 //! reproduce the original machine state exactly, which the tests assert.
 
-use crate::isa::{Gate, Instruction, Neighbor};
+use crate::isa::{Dest, Gate, Instruction, Neighbor};
 use crate::machine::Bvm;
 use std::fmt::Write as _;
 
@@ -16,6 +16,11 @@ use std::fmt::Write as _;
 pub struct Program {
     /// The instructions, in issue order.
     pub instructions: Vec<Instruction>,
+    /// Registers the host bulk-loaded while the stream was recorded (in
+    /// load order, duplicates kept). These rows hold data the instruction
+    /// stream itself never wrote; the static verifier treats them as
+    /// initialized.
+    pub preloaded: Vec<Dest>,
 }
 
 /// Static instruction mix of a program.
@@ -79,11 +84,35 @@ impl Program {
         mix
     }
 
-    /// Disassembles the program, one instruction per line, with offsets.
+    /// Disassembles the program: a header summarizing the static
+    /// [`InstructionMix`] (and any host-preloaded registers), then one
+    /// instruction per line with offsets.
+    ///
+    /// The output is stable: offsets are padded to the width of the last
+    /// offset (at least 4 digits), so the same program always disassembles
+    /// to the same text regardless of surrounding context, and programs of
+    /// any length stay column-aligned.
     pub fn disassemble(&self) -> String {
+        let mix = self.mix();
         let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "; program: {} instructions ({} comm, {} lateral, {} io, {} gated, {} enable-writes)",
+            mix.total, mix.communication, mix.lateral, mix.io, mix.gated, mix.enable_writes
+        );
+        if !self.preloaded.is_empty() {
+            let regs: Vec<String> = self.preloaded.iter().map(|d| d.to_string()).collect();
+            let _ = writeln!(s, "; preloaded: {}", regs.join(", "));
+        }
+        let width = self
+            .instructions
+            .len()
+            .saturating_sub(1)
+            .to_string()
+            .len()
+            .max(4);
         for (i, ins) in self.instructions.iter().enumerate() {
-            let _ = writeln!(s, "{i:>6}:  {ins}");
+            let _ = writeln!(s, "{i:>width$}:  {ins}");
         }
         s
     }
@@ -92,31 +121,31 @@ impl Program {
 /// Records the instructions a program-builder closure emits.
 ///
 /// The closure receives a machine whose `exec` calls are captured; the
-/// machine still executes normally, so recording is non-intrusive.
+/// machine still executes normally, so recording is non-intrusive. Built
+/// on the machine's own [`Bvm::start_recording`]/[`Bvm::take_recording`],
+/// so host bulk loads land in the program's `preloaded` set rather than
+/// the instruction stream.
 pub fn record(m: &mut Bvm, build: impl FnOnce(&mut Recorder<'_>)) -> Program {
-    let mut rec = Recorder {
-        m,
-        program: Program::default(),
-    };
+    m.start_recording();
+    let mut rec = Recorder { m };
     build(&mut rec);
-    rec.program
+    rec.m.take_recording()
 }
 
 /// A recording wrapper around the machine.
 pub struct Recorder<'a> {
     m: &'a mut Bvm,
-    program: Program,
 }
 
 impl Recorder<'_> {
     /// Executes and records one instruction.
     pub fn exec(&mut self, ins: &Instruction) {
-        self.program.instructions.push(*ins);
         self.m.exec(ins);
     }
 
     /// The underlying machine (for reads and host loads — host loads are
-    /// data, not program, and are not recorded).
+    /// data, not program, and are captured as `preloaded` registers rather
+    /// than instructions).
     pub fn machine(&mut self) -> &mut Bvm {
         self.m
     }
@@ -189,14 +218,44 @@ mod tests {
     }
 
     #[test]
-    fn disassembly_is_line_per_instruction() {
+    fn disassembly_is_header_plus_line_per_instruction() {
         let mut m = Bvm::new(1);
         let prog = record(&mut m, build_demo);
         let asm = prog.disassemble();
-        assert_eq!(asm.lines().count(), 6);
+        assert_eq!(asm.lines().count(), 7); // mix header + 6 instructions
         assert!(asm.contains("F|D"));
         assert!(asm.contains(".L"));
         assert!(asm.contains("IF {0}"));
+    }
+
+    #[test]
+    fn disassembly_snapshot() {
+        let mut m = Bvm::new(1);
+        let prog = record(&mut m, build_demo);
+        let expect = "\
+; program: 6 instructions (4 comm, 3 lateral, 1 io, 1 gated, 1 enable-writes)
+   0:  R[0], B = 0, B  [F=A, D=A]
+   1:  R[0], B = D, B  [F=A, D=R[0].I]
+   2:  R[0], B = F|D, B  [F=R[0], D=R[0].L]
+   3:  R[0], B = F|D, B  [F=R[0], D=R[0].L]
+   4:  R[0], B = F|D, B  [F=R[0], D=R[0].L]
+   5:  E, B = 1, B  [F=A, D=A] IF {0}
+";
+        assert_eq!(prog.disassemble(), expect);
+        // Stability: disassembling twice (and after a clone) is identical.
+        assert_eq!(prog.disassemble(), prog.clone().disassemble());
+    }
+
+    #[test]
+    fn disassembly_lists_preloaded_registers() {
+        let mut m = Bvm::new(1);
+        let prog = record(&mut m, |rec| {
+            let plane = BitPlane::from_fn(rec.machine().n(), |pe| pe == 0);
+            rec.machine().load_register(Dest::R(9), plane);
+            rec.exec(&Instruction::mov(Dest::A, RegSel::R(9), None));
+        });
+        assert_eq!(prog.preloaded, vec![Dest::R(9)]);
+        assert!(prog.disassemble().contains("; preloaded: R[9]"));
     }
 
     #[test]
@@ -265,5 +324,6 @@ mod tests {
             rec.exec(&Instruction::mov(Dest::R(2), RegSel::R(1), None));
         });
         assert_eq!(prog.len(), 1);
+        assert_eq!(prog.preloaded, vec![Dest::R(1)]);
     }
 }

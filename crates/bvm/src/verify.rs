@@ -1,0 +1,693 @@
+//! Static verification of BVM microcode.
+//!
+//! [`verify`] runs an abstract interpretation over a recorded
+//! [`Program`]: it tracks which registers have been written (or host
+//! preloaded), what is knowable about the enable row `E`, and which gated
+//! writes are still "in flight", and flags the classic microcode bugs —
+//! reads of never-written registers, dead (immediately overwritten)
+//! writes, conflicting gated writes to the same destination, lateral
+//! fetches whose gate mixes hypercube dimensions, and gates that activate
+//! no cycle position at all. [`verify_with_replay`] additionally replays
+//! the program on a fresh machine and cross-checks the static instruction
+//! counts against the machine's own `executed()` counter and I/O stream
+//! (the cost audit).
+//!
+//! The analysis is *semantic*, not syntactic: operand reads are derived
+//! from the truth tables of `f` and `g` (an operand wired to a function
+//! that ignores it is not a read), and the idioms the host-side library
+//! actually emits — carry discards in `B`, enable save/restore in `E`,
+//! constant-`f` instructions whose only purpose is the `g` assignment,
+//! disjoint position-gated write fans — are all modeled precisely, so a
+//! program recorded from any shipping engine verifies clean.
+
+use crate::isa::{BoolFn, Dest, Gate, Instruction, Neighbor, RegSel};
+use crate::machine::Bvm;
+use crate::program::{InstructionMix, Program};
+use crate::NUM_REGISTERS;
+use std::fmt;
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. a dead write).
+    Warning,
+    /// The program violates a machine invariant.
+    Error,
+}
+
+/// What a [`Diagnostic`] is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// A register is read before any instruction writes it (and it is not
+    /// host-preloaded).
+    UninitRead,
+    /// A full-coverage write is overwritten by another full-coverage write
+    /// with no read in between.
+    DeadWrite,
+    /// Two position-gated writes to the same register have overlapping
+    /// `IF` sets with no intervening read: the second silently clobbers
+    /// part of the first.
+    ConflictingGatedWrites,
+    /// A gate mask names cycle positions `≥ Q` that do not exist.
+    GateOutOfRange,
+    /// A gate activates no cycle position at all; the instruction is a
+    /// no-op on every PE.
+    InertGate,
+    /// A lateral (`L`) fetch is `IF`-gated to more than one cycle
+    /// position: each position crosses a *different* hypercube dimension,
+    /// so the fetch mixes dimensions. (Ungated lateral fetches are the
+    /// broadcast idiom and are legal.)
+    LateralGateMixesDims,
+    /// An I/O-chain fetch is gated, but the chain consumes an input bit
+    /// regardless of gating — the stream still advances for inactive PEs.
+    GatedIoChain,
+    /// A neighbour fetch whose `D` operand neither `f` nor `g` looks at.
+    UnusedFetch,
+    /// `dest = B` discards the `g` assignment (the simulator's single-`B`
+    /// rule), yet a non-identity `g` was supplied.
+    GWriteIgnored,
+    /// A write issued while `E` is provably all-zero: no PE can commit it.
+    WriteWhileDisabled,
+    /// The replay cost audit disagrees with the static counts.
+    CostMismatch,
+}
+
+/// One finding of the verifier.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Offset of the offending instruction, if the finding is anchored to
+    /// one.
+    pub pc: Option<usize>,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The invariant involved.
+    pub kind: DiagnosticKind,
+    /// Human-readable explanation, with register/mask specifics.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        match self.pc {
+            Some(pc) => write!(f, "{sev}[{:?}] at {pc}: {}", self.kind, self.message),
+            None => write!(f, "{sev}[{:?}]: {}", self.kind, self.message),
+        }
+    }
+}
+
+/// Replay cross-check of the static cost model (see
+/// [`verify_with_replay`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostAudit {
+    /// Instructions in the program (static count).
+    pub static_instructions: u64,
+    /// `executed()` delta observed on a fresh-machine replay.
+    pub replay_executed: u64,
+    /// Static count of I/O-chain instructions.
+    pub io_instructions: u64,
+    /// Output bits the replay emitted (must equal `io_instructions`).
+    pub replay_outputs: u64,
+    /// Host loads the replay performed for `preloaded` registers.
+    pub replay_host_loads: u64,
+}
+
+/// The verifier's result: diagnostics plus the program's static profile.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// All findings, in program order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The program's static instruction mix.
+    pub mix: InstructionMix,
+    /// The replay cost audit, when one was run.
+    pub audit: Option<CostAudit>,
+}
+
+impl VerifyReport {
+    /// True iff there are no diagnostics at all (errors or warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// True iff no error-severity findings exist.
+    pub fn no_errors(&self) -> bool {
+        self.errors().next().is_none()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let errors = self.errors().count();
+        writeln!(
+            f,
+            "{} instructions, {} diagnostics ({} errors)",
+            self.mix.total,
+            self.diagnostics.len(),
+            errors
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What the abstract interpreter knows about the enable row `E`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EState {
+    AllOnes,
+    AllZero,
+    Unknown,
+}
+
+/// Per-register tracking: init state, the last unread full write, and the
+/// set of position-gated writes still awaiting a read.
+#[derive(Clone, Debug, Default)]
+struct RegState {
+    initialized: bool,
+    /// `Some(pc)` iff the last write was full-coverage, is still unread,
+    /// and was a genuine `f`-write (not the constant-`f`/`g`-workhorse
+    /// idiom).
+    last_full_unread: Option<usize>,
+    /// Position-gated `IF` writes since the last read / full write:
+    /// `(pc, active-position mask)`.
+    pending_gated: Vec<(usize, u64)>,
+}
+
+/// Write coverage as far as the abstract interpreter can prove it.
+enum Coverage {
+    /// Every PE commits (ungated, `E` provably all-ones — or an `E` dest).
+    Full,
+    /// Exactly the cycle positions in the mask commit (`E` all-ones).
+    GatedIf(u64),
+    /// Some unprovable subset of PEs commits.
+    Partial,
+}
+
+struct Interp {
+    q: usize,
+    qmask: u64,
+    estate: EState,
+    /// Index `0..NUM_REGISTERS` = `R[j]`; index `NUM_REGISTERS` = `A`.
+    regs: Vec<RegState>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Interp {
+    fn new(q: usize, preloaded: &[Dest]) -> Interp {
+        let mut regs = vec![RegState::default(); NUM_REGISTERS + 1];
+        regs[NUM_REGISTERS].initialized = true; // A is architectural state
+        for d in preloaded {
+            match d {
+                Dest::R(j) => regs[*j as usize].initialized = true,
+                Dest::A | Dest::B | Dest::E => {}
+            }
+        }
+        Interp {
+            q,
+            qmask: if q >= 64 { !0 } else { (1u64 << q) - 1 },
+            estate: EState::AllOnes,
+            regs,
+            diags: Vec::new(),
+        }
+    }
+
+    fn diag(&mut self, pc: usize, severity: Severity, kind: DiagnosticKind, message: String) {
+        self.diags.push(Diagnostic {
+            pc: Some(pc),
+            severity,
+            kind,
+            message,
+        });
+    }
+
+    fn reg_index(sel: RegSel) -> Option<usize> {
+        match sel {
+            RegSel::A => Some(NUM_REGISTERS),
+            RegSel::R(j) => Some(j as usize),
+            RegSel::B | RegSel::E => None, // always defined, never tracked
+        }
+    }
+
+    fn dest_index(dest: Dest) -> Option<usize> {
+        match dest {
+            Dest::A => Some(NUM_REGISTERS),
+            Dest::R(j) => Some(j as usize),
+            Dest::B | Dest::E => None,
+        }
+    }
+
+    fn reg_name(idx: usize) -> String {
+        if idx == NUM_REGISTERS {
+            "A".to_string()
+        } else {
+            format!("R[{idx}]")
+        }
+    }
+
+    fn read(&mut self, pc: usize, sel: RegSel) {
+        let Some(idx) = Self::reg_index(sel) else {
+            return;
+        };
+        if !self.regs[idx].initialized {
+            let name = Self::reg_name(idx);
+            self.diag(
+                pc,
+                Severity::Error,
+                DiagnosticKind::UninitRead,
+                format!("{name} is read but never written or preloaded"),
+            );
+            // Report once per register, not per read site.
+            self.regs[idx].initialized = true;
+        }
+        self.regs[idx].last_full_unread = None;
+        self.regs[idx].pending_gated.clear();
+    }
+
+    fn write(&mut self, pc: usize, dest: Dest, coverage: Coverage, g_workhorse: bool) {
+        let Some(idx) = Self::dest_index(dest) else {
+            return; // B and E writes are exempt from write hygiene
+        };
+        let name = Self::reg_name(idx);
+        match coverage {
+            Coverage::Full => {
+                if let Some(prev) = self.regs[idx].last_full_unread {
+                    self.diag(
+                        pc,
+                        Severity::Warning,
+                        DiagnosticKind::DeadWrite,
+                        format!("{name} written at {prev} is overwritten here without a read"),
+                    );
+                }
+                self.regs[idx].last_full_unread = (!g_workhorse).then_some(pc);
+                self.regs[idx].pending_gated.clear();
+            }
+            Coverage::GatedIf(mask) => {
+                if let Some(&(prev, pmask)) = self.regs[idx]
+                    .pending_gated
+                    .iter()
+                    .find(|(_, m)| m & mask != 0)
+                {
+                    self.diag(
+                        pc,
+                        Severity::Error,
+                        DiagnosticKind::ConflictingGatedWrites,
+                        format!(
+                            "gated write to {name} overlaps the unread gated write at {prev} \
+                             (positions {:#x} ∩ {:#x})",
+                            mask, pmask
+                        ),
+                    );
+                }
+                if !g_workhorse {
+                    self.regs[idx].pending_gated.push((pc, mask));
+                }
+                self.regs[idx].last_full_unread = None;
+            }
+            Coverage::Partial => {
+                self.regs[idx].last_full_unread = None;
+            }
+        }
+        self.regs[idx].initialized = true;
+    }
+
+    fn step(&mut self, pc: usize, ins: &Instruction) {
+        // --- Gate legality -------------------------------------------------
+        let active = match ins.gate {
+            Gate::All => self.qmask,
+            Gate::If(mask) | Gate::Nf(mask) => {
+                if mask & !self.qmask != 0 {
+                    self.diag(
+                        pc,
+                        Severity::Error,
+                        DiagnosticKind::GateOutOfRange,
+                        format!("gate mask {mask:#x} names cycle positions ≥ Q = {}", self.q),
+                    );
+                }
+                match ins.gate {
+                    Gate::If(m) => m & self.qmask,
+                    _ => !mask & self.qmask,
+                }
+            }
+        };
+        if active == 0 {
+            self.diag(
+                pc,
+                Severity::Error,
+                DiagnosticKind::InertGate,
+                "gate activates no cycle position; the instruction is a no-op".to_string(),
+            );
+        }
+
+        // --- Neighbour-fetch legality -------------------------------------
+        if let Some(nb) = ins.dneigh {
+            if nb == Neighbor::L {
+                if let Gate::If(_) = ins.gate {
+                    if active.count_ones() > 1 {
+                        self.diag(
+                            pc,
+                            Severity::Error,
+                            DiagnosticKind::LateralGateMixesDims,
+                            format!(
+                                "lateral fetch gated to positions {active:#x}: each position \
+                                 crosses a different hypercube dimension"
+                            ),
+                        );
+                    }
+                }
+            }
+            if nb == Neighbor::I && ins.gate != Gate::All {
+                self.diag(
+                    pc,
+                    Severity::Warning,
+                    DiagnosticKind::GatedIoChain,
+                    "gated I/O-chain fetch: the input stream advances even for inactive PEs"
+                        .to_string(),
+                );
+            }
+        }
+
+        // --- Semantic read set --------------------------------------------
+        // The g assignment is dropped by the machine when dest = B (the
+        // single-B rule), and g = BoolFn::B is the identity.
+        let g_writes = ins.dest != Dest::B && ins.g != BoolFn::B;
+        if ins.dest == Dest::B && ins.g != BoolFn::B {
+            self.diag(
+                pc,
+                Severity::Warning,
+                DiagnosticKind::GWriteIgnored,
+                "dest = B discards the g assignment, but a non-identity g was supplied".to_string(),
+            );
+        }
+        let reads_f = ins.f.depends_on_f() || (g_writes && ins.g.depends_on_f());
+        let reads_d = ins.f.depends_on_d() || (g_writes && ins.g.depends_on_d());
+        if let Some(nb) = ins.dneigh {
+            if !reads_d && nb != Neighbor::I {
+                self.diag(
+                    pc,
+                    Severity::Warning,
+                    DiagnosticKind::UnusedFetch,
+                    format!("fetch from {nb} neighbour, but neither f nor g reads D"),
+                );
+            }
+        }
+        if reads_f {
+            self.read(pc, ins.fsrc);
+        }
+        if reads_d {
+            self.read(pc, ins.dsrc);
+        }
+        // B reads are always legal (B is architectural state); no tracking.
+
+        // --- Enable state / write coverage --------------------------------
+        if self.estate == EState::AllZero && ins.dest != Dest::E {
+            self.diag(
+                pc,
+                Severity::Error,
+                DiagnosticKind::WriteWhileDisabled,
+                "E is provably all-zero here: no PE can commit this write".to_string(),
+            );
+        }
+        let full_enable = ins.dest == Dest::E || self.estate == EState::AllOnes;
+        let coverage = match (ins.gate, full_enable) {
+            (Gate::All, true) => Coverage::Full,
+            (Gate::If(_), true) => Coverage::GatedIf(active),
+            _ => Coverage::Partial,
+        };
+        // Constant-f instructions that exist for their g assignment (the
+        // "dead plane" idiom, e.g. arith::less_than) make incidental dest
+        // writes; exempt them from dead-write/conflict bookkeeping.
+        let g_workhorse = g_writes && ins.f.constant().is_some();
+        self.write(pc, ins.dest, coverage, g_workhorse);
+
+        // --- Track the enable row -----------------------------------------
+        if ins.dest == Dest::E {
+            self.estate = match (ins.gate, ins.f.constant()) {
+                (Gate::All, Some(true)) => EState::AllOnes,
+                (Gate::All, Some(false)) => EState::AllZero,
+                _ => EState::Unknown,
+            };
+        }
+    }
+}
+
+/// Statically verifies a program for a machine with cycle-length exponent
+/// `r` (so `Q = 2^r` cycle positions). Pure static analysis — nothing is
+/// executed; see [`verify_with_replay`] for the cost audit.
+pub fn verify(program: &Program, r: usize) -> VerifyReport {
+    let q = 1usize << r;
+    let mut interp = Interp::new(q, &program.preloaded);
+    for (pc, ins) in program.instructions.iter().enumerate() {
+        interp.step(pc, ins);
+    }
+    VerifyReport {
+        diagnostics: interp.diags,
+        mix: program.mix(),
+        audit: None,
+    }
+}
+
+/// [`verify`], plus the cost audit: the program is replayed on a fresh
+/// machine (preloaded registers host-loaded with zero planes, no input
+/// queued) and the machine's own counters are cross-checked against the
+/// static instruction counts — `executed()` must advance by exactly one
+/// per instruction, and the I/O chain must emit exactly one output bit
+/// per `I` instruction.
+pub fn verify_with_replay(program: &Program, r: usize) -> VerifyReport {
+    let mut report = verify(program, r);
+    let mut m = Bvm::new(r);
+    for &d in &program.preloaded {
+        m.load_register(d, crate::plane::BitPlane::zero(m.n()));
+    }
+    let before = m.executed();
+    program.run(&mut m);
+    let audit = CostAudit {
+        static_instructions: program.len() as u64,
+        replay_executed: m.executed() - before,
+        io_instructions: report.mix.io,
+        replay_outputs: m.take_output().len() as u64,
+        replay_host_loads: m.host_loads(),
+    };
+    if audit.replay_executed != audit.static_instructions {
+        report.diagnostics.push(Diagnostic {
+            pc: None,
+            severity: Severity::Error,
+            kind: DiagnosticKind::CostMismatch,
+            message: format!(
+                "replay executed {} instructions, static count is {}",
+                audit.replay_executed, audit.static_instructions
+            ),
+        });
+    }
+    if audit.replay_outputs != audit.io_instructions {
+        report.diagnostics.push(Diagnostic {
+            pc: None,
+            severity: Severity::Error,
+            kind: DiagnosticKind::CostMismatch,
+            message: format!(
+                "replay emitted {} output bits, static I/O count is {}",
+                audit.replay_outputs, audit.io_instructions
+            ),
+        });
+    }
+    report.audit = Some(audit);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperops;
+    use crate::ops::cycle_id::cycle_id;
+    use crate::ops::processor_id::processor_id;
+    use crate::plane::BitPlane;
+    use crate::program::record;
+
+    fn kinds(report: &VerifyReport) -> Vec<DiagnosticKind> {
+        report.diagnostics.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn uninit_read_is_an_error() {
+        let prog = Program {
+            instructions: vec![Instruction::mov(Dest::A, RegSel::R(7), None)],
+            preloaded: vec![],
+        };
+        let report = verify(&prog, 2);
+        assert_eq!(kinds(&report), vec![DiagnosticKind::UninitRead]);
+        assert!(!report.no_errors());
+        assert!(report.diagnostics[0].message.contains("R[7]"));
+        assert_eq!(report.diagnostics[0].pc, Some(0));
+    }
+
+    #[test]
+    fn preloaded_registers_are_initialized() {
+        let prog = Program {
+            instructions: vec![Instruction::mov(Dest::A, RegSel::R(7), None)],
+            preloaded: vec![Dest::R(7)],
+        };
+        assert!(verify(&prog, 2).is_clean());
+    }
+
+    #[test]
+    fn mov_does_not_read_its_dummy_f_operand() {
+        // mov wires fsrc = A but f = D ignores it; likewise set_const
+        // ignores both operands. Neither may count as a read.
+        let prog = Program {
+            instructions: vec![
+                Instruction::set_const(Dest::R(3), true),
+                Instruction::mov(Dest::A, RegSel::R(3), None),
+            ],
+            preloaded: vec![],
+        };
+        assert!(verify(&prog, 2).is_clean());
+    }
+
+    #[test]
+    fn dead_write_is_flagged() {
+        let prog = Program {
+            instructions: vec![
+                Instruction::set_const(Dest::R(0), true),
+                Instruction::set_const(Dest::R(0), false),
+                Instruction::mov(Dest::A, RegSel::R(0), None),
+            ],
+            preloaded: vec![],
+        };
+        let report = verify(&prog, 2);
+        assert_eq!(kinds(&report), vec![DiagnosticKind::DeadWrite]);
+        assert!(report.no_errors(), "dead writes are warnings");
+    }
+
+    #[test]
+    fn conflicting_gated_writes_are_an_error() {
+        let prog = Program {
+            instructions: vec![
+                Instruction::set_const(Dest::R(0), false),
+                Instruction::set_const(Dest::R(0), true).gated(Gate::If(0b0011)),
+                Instruction::set_const(Dest::R(0), false).gated(Gate::If(0b0110)),
+                Instruction::mov(Dest::A, RegSel::R(0), None),
+            ],
+            preloaded: vec![],
+        };
+        let report = verify(&prog, 2);
+        assert_eq!(kinds(&report), vec![DiagnosticKind::ConflictingGatedWrites]);
+        assert_eq!(report.diagnostics[0].pc, Some(2));
+    }
+
+    #[test]
+    fn disjoint_gated_writes_are_legal() {
+        let prog = Program {
+            instructions: vec![
+                Instruction::set_const(Dest::R(0), false),
+                Instruction::set_const(Dest::R(0), true).gated(Gate::If(0b0011)),
+                Instruction::set_const(Dest::R(0), true).gated(Gate::If(0b1100)),
+                Instruction::mov(Dest::A, RegSel::R(0), None),
+            ],
+            preloaded: vec![],
+        };
+        assert!(verify(&prog, 2).is_clean());
+    }
+
+    #[test]
+    fn gate_out_of_range_and_inert_gates() {
+        let report = verify(
+            &Program {
+                instructions: vec![Instruction::set_const(Dest::A, true).gated(Gate::If(1 << 9))],
+                preloaded: vec![],
+            },
+            2, // Q = 4: position 9 does not exist
+        );
+        assert!(kinds(&report).contains(&DiagnosticKind::GateOutOfRange));
+        assert!(kinds(&report).contains(&DiagnosticKind::InertGate));
+    }
+
+    #[test]
+    fn lateral_fetch_gated_to_two_positions_mixes_dims() {
+        let prog = Program {
+            instructions: vec![
+                Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::L)).gated(Gate::If(0b0101))
+            ],
+            preloaded: vec![],
+        };
+        let report = verify(&prog, 2);
+        assert_eq!(kinds(&report), vec![DiagnosticKind::LateralGateMixesDims]);
+    }
+
+    #[test]
+    fn ungated_lateral_broadcast_is_legal() {
+        let prog = Program {
+            instructions: vec![Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::L))],
+            preloaded: vec![],
+        };
+        assert!(verify(&prog, 2).is_clean());
+    }
+
+    #[test]
+    fn write_while_disabled_is_an_error() {
+        let prog = Program {
+            instructions: vec![
+                Instruction::set_const(Dest::E, false),
+                Instruction::set_const(Dest::A, true),
+                Instruction::set_const(Dest::E, true),
+            ],
+            preloaded: vec![],
+        };
+        let report = verify(&prog, 2);
+        assert_eq!(kinds(&report), vec![DiagnosticKind::WriteWhileDisabled]);
+    }
+
+    #[test]
+    fn library_routines_verify_clean() {
+        for r in 1..=3 {
+            let mut m = Bvm::new(r);
+            let prog = record(&mut m, |rec| {
+                let mach = rec.machine();
+                let dest: Vec<u8> = (0..mach.topo().dims() as u8).collect();
+                let scratch: Vec<u8> = (100..100 + mach.topo().q() as u8).collect();
+                processor_id(mach, &dest, &scratch);
+                cycle_id(mach, 40);
+                mach.load_register(Dest::R(0), BitPlane::zero(mach.n()));
+                for dim in 0..mach.topo().dims() {
+                    hyperops::fetch_partner(mach, dim, 0, 1, 2);
+                    // Consume the fetch so nothing is left dangling.
+                    mach.exec(&Instruction::compute(
+                        Dest::R(0),
+                        BoolFn::F_XOR_D,
+                        RegSel::R(0),
+                        RegSel::R(1),
+                    ));
+                }
+            });
+            let report = verify_with_replay(&prog, r);
+            assert!(report.is_clean(), "r={r}:\n{report}");
+            let audit = report.audit.unwrap();
+            assert_eq!(audit.replay_executed, audit.static_instructions);
+        }
+    }
+
+    #[test]
+    fn replay_audit_counts_io() {
+        let mut m = Bvm::new(1);
+        let prog = record(&mut m, |rec| {
+            rec.machine().feed_input([true, false]);
+            rec.exec(&Instruction::set_const(Dest::A, false));
+            rec.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::I)));
+            rec.exec(&Instruction::mov(Dest::A, RegSel::A, Some(Neighbor::I)));
+        });
+        let report = verify_with_replay(&prog, 1);
+        assert!(report.is_clean(), "{report}");
+        let audit = report.audit.unwrap();
+        assert_eq!(audit.io_instructions, 2);
+        assert_eq!(audit.replay_outputs, 2);
+    }
+}

@@ -129,7 +129,7 @@ proptest! {
             let y = al.num(w);
             let s = al.reg();
             let vx = values(m.n(), seed, 3, 200);
-            let vy = values(m.n(), seed ^ 99, 3, 200);
+            let vy = values(m.n(), seed ^ 0x63, 3, 200);
             arith::host_load(&mut m, &x, &vx);
             arith::host_load(&mut m, &y, &vy);
             m.reset_counters();

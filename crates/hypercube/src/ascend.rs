@@ -303,12 +303,8 @@ mod tests {
     fn propagation2_matches_paper_example() {
         // Paper: M=3, N=1 — PE 0111 gets data from 0001, 0010, 0100.
         let mut cube = SimdHypercube::new(4, |addr| Prop {
-            got: if (addr as u32).count_ones() == 1 {
-                1 << addr
-            } else {
-                0
-            },
-            sender: (addr as u32).count_ones() == 1,
+            got: if addr.is_power_of_two() { 1 << addr } else { 0 },
+            sender: addr.is_power_of_two(),
         });
         propagation2(
             &mut cube,

@@ -42,6 +42,7 @@ pub struct BlockedHypercube<T> {
     phys: usize,
     pes: Vec<T>,
     counts: BlockedCounts,
+    exchange_log: Vec<usize>,
 }
 
 impl<T: Send + Sync> BlockedHypercube<T> {
@@ -55,7 +56,20 @@ impl<T: Send + Sync> BlockedHypercube<T> {
             phys,
             pes: (0..1usize << dims).map(init).collect(),
             counts: BlockedCounts::default(),
+            exchange_log: Vec::new(),
         }
+    }
+
+    /// The dimensions of every exchange step executed so far, in order —
+    /// feed to [`crate::verify::check_dim_sequence`] to validate an
+    /// ASCEND/DESCEND pass.
+    pub fn exchange_log(&self) -> &[usize] {
+        &self.exchange_log
+    }
+
+    /// Clears the exchange log (e.g. between passes).
+    pub fn clear_exchange_log(&mut self) {
+        self.exchange_log.clear();
     }
 
     /// Virtual dimensions.
@@ -102,6 +116,7 @@ impl<T: Send + Sync> BlockedHypercube<T> {
     pub fn exchange_step(&mut self, dim: usize, f: impl Fn(usize, &mut T, &mut T) + Sync) {
         assert!(dim < self.dims);
         self.counts.virtual_steps += 1;
+        self.exchange_log.push(dim);
         let internal = dim < self.dims - self.phys;
         let half = 1usize << dim;
         let block = half << 1;

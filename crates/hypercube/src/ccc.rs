@@ -30,6 +30,7 @@
 //! time slot.
 
 use crate::fault::{CccFaultInjector, CccFaultPlan, PairFaultKind};
+use crate::verify::{PassKind, PassTrace};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
@@ -68,6 +69,7 @@ pub struct CccMachine<T> {
     pes: Vec<T>,
     counts: CccStepCounts,
     faults: Option<CccFaultInjector<T>>,
+    trace: Option<Vec<PassTrace>>,
 }
 
 /// The smallest `r` such that a complete CCC with cycle length `2^r`
@@ -97,6 +99,50 @@ impl<T: Send + Sync> CccMachine<T> {
             pes,
             counts: CccStepCounts::default(),
             faults: None,
+            trace: None,
+        }
+    }
+
+    /// Starts recording the exchange schedule: every subsequent
+    /// [`ascend`](Self::ascend)/[`descend`](Self::descend) appends a
+    /// [`PassTrace`] that [`crate::verify::check_pass`] can validate.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the traced passes.
+    pub fn take_trace(&mut self) -> Vec<PassTrace> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Appends a fresh pass record and returns whether tracing is on.
+    fn trace_begin(&mut self, kind: PassKind, dims: &Range<usize>) {
+        let (r, q) = (self.r, self.q);
+        if let Some(ts) = self.trace.as_mut() {
+            ts.push(PassTrace {
+                kind,
+                dims: dims.clone(),
+                r,
+                q,
+                low: Vec::new(),
+                slots: Vec::new(),
+            });
+        }
+    }
+
+    fn trace_low(&mut self, dim: usize) {
+        if let Some(ts) = self.trace.as_mut() {
+            if let Some(t) = ts.last_mut() {
+                t.low.push(dim);
+            }
+        }
+    }
+
+    fn trace_slot(&mut self, fires: Vec<(usize, usize)>) {
+        if let Some(ts) = self.trace.as_mut() {
+            if let Some(t) = ts.last_mut() {
+                t.slots.push(fires);
+            }
         }
     }
 
@@ -282,10 +328,12 @@ impl<T: Send + Sync> CccMachine<T> {
             "dims {dims:?} exceed machine dims {}",
             self.dims
         );
+        self.trace_begin(PassKind::Ascend, &dims);
         // Low dimensions: realized by ring transport of operand copies.
         for e in dims.start..dims.end.min(self.r) {
             self.counts.intra_cycle += 2 * (1u64 << e);
             self.apply_dim(e, None, &op);
+            self.trace_low(e);
         }
         // High dimensions: pipelined rotation schedule.
         if dims.end > self.r {
@@ -305,7 +353,7 @@ impl<T: Send + Sync> CccMachine<T> {
     ) {
         let q = self.q;
         for t in 0..2 * q - 1 {
-            let mut fired = false;
+            let mut fires = Vec::new();
             for h in 0..q {
                 let t0 = (q - h) % q;
                 if t < t0 || t >= t0 + q {
@@ -316,14 +364,15 @@ impl<T: Send + Sync> CccMachine<T> {
                     continue;
                 }
                 self.apply_dim(self.r + j, Some(h), op);
-                fired = true;
+                fires.push((h, j));
             }
-            if fired {
+            if !fires.is_empty() {
                 self.counts.lateral_exchanges += 1;
             }
             if t + 1 < 2 * q - 1 {
                 self.counts.rotations += 1;
             }
+            self.trace_slot(fires);
         }
     }
 
@@ -339,6 +388,7 @@ impl<T: Send + Sync> CccMachine<T> {
             "dims {dims:?} exceed machine dims {}",
             self.dims
         );
+        self.trace_begin(PassKind::Descend, &dims);
         // High dimensions first (descending): backward rotation schedule.
         if dims.end > self.r {
             let lo_j = dims.start.saturating_sub(self.r);
@@ -349,6 +399,7 @@ impl<T: Send + Sync> CccMachine<T> {
         for e in (dims.start..dims.end.min(self.r)).rev() {
             self.counts.intra_cycle += 2 * (1u64 << e);
             self.apply_dim(e, None, &op);
+            self.trace_low(e);
         }
     }
 
@@ -359,7 +410,7 @@ impl<T: Send + Sync> CccMachine<T> {
     ) {
         let q = self.q;
         for t in 0..2 * q - 1 {
-            let mut fired = false;
+            let mut fires = Vec::new();
             for h in 0..q {
                 let t0 = (h + 1) % q;
                 if t < t0 || t >= t0 + q {
@@ -372,14 +423,15 @@ impl<T: Send + Sync> CccMachine<T> {
                     continue;
                 }
                 self.apply_dim(self.r + j, Some(h), op);
-                fired = true;
+                fires.push((h, j));
             }
-            if fired {
+            if !fires.is_empty() {
                 self.counts.lateral_exchanges += 1;
             }
             if t + 1 < 2 * q - 1 {
                 self.counts.rotations += 1;
             }
+            self.trace_slot(fires);
         }
     }
 }

@@ -56,6 +56,7 @@ pub struct SimdHypercube<T> {
     pes: Vec<T>,
     counts: StepCounts,
     parallel: bool,
+    exchange_log: Vec<usize>,
 }
 
 impl<T: Send + Sync> SimdHypercube<T> {
@@ -68,7 +69,20 @@ impl<T: Send + Sync> SimdHypercube<T> {
             pes,
             counts: StepCounts::default(),
             parallel: true,
+            exchange_log: Vec::new(),
         }
+    }
+
+    /// The dimensions of every exchange step executed so far, in order —
+    /// feed to [`crate::verify::check_dim_sequence`] to validate an
+    /// ASCEND/DESCEND pass.
+    pub fn exchange_log(&self) -> &[usize] {
+        &self.exchange_log
+    }
+
+    /// Clears the exchange log (e.g. between passes).
+    pub fn clear_exchange_log(&mut self) {
+        self.exchange_log.clear();
     }
 
     /// Disables rayon execution (steps run on the calling thread). Useful
@@ -143,6 +157,7 @@ impl<T: Send + Sync> SimdHypercube<T> {
             self.dims
         );
         self.counts.exchange += 1;
+        self.exchange_log.push(dim);
         let half = 1usize << dim;
         let block = half << 1;
         if self.parallel && self.pes.len() >= PARALLEL_THRESHOLD {
@@ -240,7 +255,7 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let build = |seq: bool| {
-            let mut cube = SimdHypercube::new(13, |x| (x as u64).wrapping_mul(0x9E3779B9));
+            let mut cube = SimdHypercube::new(13, |x| (x as u64).wrapping_mul(0x9E37_79B9));
             if seq {
                 cube = cube.sequential();
             }

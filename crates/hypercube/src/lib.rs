@@ -34,6 +34,9 @@
 //!   (the PE-allocation primitive).
 //! * [`blocked`] — Brent's-theorem execution: the same programs on fewer
 //!   physical PEs, with local-vs-remote work accounted separately.
+//! * [`verify`] — static legality checking of recorded exchange schedules
+//!   (Preparata–Vuillemin order, one transit per wire per slot, rotation
+//!   physics) and of dead-PE quarantine remaps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +50,7 @@ pub mod fault;
 pub mod route;
 pub mod scan;
 pub mod sort;
+pub mod verify;
 
 pub use ccc::{CccMachine, CccStepCounts};
 pub use cube::{SimdHypercube, StepCounts};

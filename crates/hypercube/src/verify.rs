@@ -1,0 +1,372 @@
+//! Static legality checking of ASCEND/DESCEND schedules.
+//!
+//! The CCC simulates a hypercube only because its exchange schedule obeys
+//! three invariants (Preparata–Vuillemin): every element visits its
+//! dimensions in the prescribed ascending/descending order, each lateral
+//! wire carries at most one transit per time slot, and the lateral
+//! exchange for dimension `r + j` fires only while the element is
+//! physically at cycle position `j`. [`CccMachine`](crate::ccc::CccMachine)
+//! can record its schedule as [`PassTrace`]s (see
+//! [`start_trace`](crate::ccc::CccMachine::start_trace)), and
+//! [`check_pass`] re-derives all three invariants from the trace alone —
+//! so a schedule bug is caught even when the data happens to come out
+//! right. [`check_dim_sequence`] covers the plain hypercube and blocked
+//! machines, and [`check_quarantine`] validates the dead-PE replica remap
+//! the resilient driver performs.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Direction of a traced pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PassKind {
+    /// Dimensions visited in ascending order.
+    Ascend,
+    /// Dimensions visited in descending order.
+    Descend,
+}
+
+/// One recorded ASCEND or DESCEND pass of a [`CccMachine`](crate::ccc::CccMachine).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassTrace {
+    /// Pass direction.
+    pub kind: PassKind,
+    /// Hypercube dimension range the pass covered.
+    pub dims: Range<usize>,
+    /// The machine's low-dimension count (`Q = 2^r`).
+    pub r: usize,
+    /// The machine's cycle length.
+    pub q: usize,
+    /// Low (intra-cycle) dimensions, in execution order.
+    pub low: Vec<usize>,
+    /// High-phase schedule: `slots[t]` lists the `(home, j)` lateral
+    /// exchanges (dimension `r + j`, elements with home position `home`)
+    /// that fired in time slot `t`. Empty when the pass had no high
+    /// dimensions.
+    pub slots: Vec<Vec<(usize, usize)>>,
+}
+
+/// One schedule-invariant violation found by the checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleViolation {
+    /// What went wrong, with slot/home/dimension specifics.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+fn violation(out: &mut Vec<ScheduleViolation>, message: String) {
+    out.push(ScheduleViolation { message });
+}
+
+/// Checks a traced pass against the Preparata–Vuillemin invariants:
+///
+/// 1. dimensions lie within the machine (`dims.end ≤ Q + r`) and the low
+///    dimensions execute in the prescribed order;
+/// 2. per time slot, no home fires twice and no lateral dimension is used
+///    by two homes (one transit per wire per slot);
+/// 3. every lateral fire happens inside its home's rotation window, at
+///    the slot where the element is physically at cycle position `j`;
+/// 4. per home, the high dimensions fire in exactly the prescribed
+///    ascending (resp. descending) order with none skipped.
+pub fn check_pass(t: &PassTrace) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    let (q, r) = (t.q, t.r);
+    if t.dims.end > q + r {
+        violation(
+            &mut out,
+            format!(
+                "pass covers dims {:?} but the machine has {}",
+                t.dims,
+                q + r
+            ),
+        );
+        return out;
+    }
+
+    // Invariant 1: low dimensions, in order.
+    let mut expect_low: Vec<usize> = (t.dims.start..t.dims.end.min(r)).collect();
+    if t.kind == PassKind::Descend {
+        expect_low.reverse();
+    }
+    if t.low != expect_low {
+        violation(
+            &mut out,
+            format!(
+                "low dimensions executed as {:?}, expected {:?}",
+                t.low, expect_low
+            ),
+        );
+    }
+
+    // High phase: expected per-home dimension order.
+    let (lo_j, hi_j) = if t.dims.end > r {
+        (t.dims.start.saturating_sub(r), t.dims.end - r)
+    } else {
+        if !t.slots.is_empty() {
+            violation(
+                &mut out,
+                "high-phase slots recorded for a pass with no high dimensions".to_string(),
+            );
+        }
+        return out;
+    };
+    if t.slots.len() != 2 * q - 1 {
+        violation(
+            &mut out,
+            format!(
+                "high phase ran {} slots, the pipelined schedule takes {}",
+                t.slots.len(),
+                2 * q - 1
+            ),
+        );
+    }
+
+    let mut per_home: Vec<Vec<usize>> = vec![Vec::new(); q];
+    for (slot, fires) in t.slots.iter().enumerate() {
+        let mut homes_seen = vec![false; q];
+        let mut dims_seen = vec![false; q];
+        for &(h, j) in fires {
+            if h >= q || j >= q {
+                violation(
+                    &mut out,
+                    format!("slot {slot}: fire (home {h}, j {j}) outside the cycle"),
+                );
+                continue;
+            }
+            if homes_seen[h] {
+                violation(
+                    &mut out,
+                    format!("slot {slot}: home {h} fires twice in one slot"),
+                );
+            }
+            homes_seen[h] = true;
+            if dims_seen[j] {
+                violation(
+                    &mut out,
+                    format!(
+                        "slot {slot}: lateral dimension {} used by two homes — \
+                         two transits on one wire",
+                        r + j
+                    ),
+                );
+            }
+            dims_seen[j] = true;
+
+            // Invariant 3: window and physical position.
+            let (t0, expect_j) = match t.kind {
+                PassKind::Ascend => ((q - h) % q, (h + slot) % q),
+                PassKind::Descend => ((h + 1) % q, (h + q - (slot % q)) % q),
+            };
+            if slot < t0 || slot >= t0 + q {
+                violation(
+                    &mut out,
+                    format!("slot {slot}: home {h} fires outside its rotation window"),
+                );
+            } else if j != expect_j {
+                violation(
+                    &mut out,
+                    format!(
+                        "slot {slot}: home {h} fires dimension {} but is physically at \
+                         cycle position {expect_j}",
+                        r + j
+                    ),
+                );
+            }
+            per_home[h].push(j);
+        }
+    }
+
+    // Invariant 4: per-home Preparata–Vuillemin order, none skipped.
+    let mut expect: Vec<usize> = (lo_j..hi_j).collect();
+    if t.kind == PassKind::Descend {
+        expect.reverse();
+    }
+    for (h, seen) in per_home.iter().enumerate() {
+        if *seen != expect {
+            violation(
+                &mut out,
+                format!(
+                    "home {h} fired lateral js {:?}, expected {:?} ({:?} order)",
+                    seen, expect, t.kind
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Checks a flat exchange-dimension log (from
+/// [`SimdHypercube`](crate::cube::SimdHypercube) or
+/// [`BlockedHypercube`](crate::blocked::BlockedHypercube)) for
+/// ASCEND/DESCEND legality: every dimension in range, visited in strictly
+/// ascending (resp. descending) order.
+pub fn check_dim_sequence(
+    log: &[usize],
+    machine_dims: usize,
+    ascending: bool,
+) -> Vec<ScheduleViolation> {
+    let mut out = Vec::new();
+    for (i, &d) in log.iter().enumerate() {
+        if d >= machine_dims {
+            violation(
+                &mut out,
+                format!("exchange {i}: dimension {d} outside the {machine_dims}-cube"),
+            );
+        }
+        if i > 0 {
+            let prev = log[i - 1];
+            let ok = if ascending { d > prev } else { d < prev };
+            if !ok {
+                violation(
+                    &mut out,
+                    format!(
+                        "exchange {i}: dimension {d} after {prev} breaks {} order",
+                        if ascending { "ascending" } else { "descending" }
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Validates a dead-PE quarantine remap: the resilient CCC driver re-homes
+/// the whole problem onto replica block `replica` (addresses whose high
+/// bits equal `replica`), which is only a permutation-preserving remap if
+/// the block exists and contains no dead PE.
+pub fn check_quarantine(
+    block_dims: usize,
+    total_pes: usize,
+    replica: usize,
+    dead: &[usize],
+) -> Result<(), ScheduleViolation> {
+    let block = 1usize << block_dims;
+    let base = replica
+        .checked_shl(block_dims as u32)
+        .filter(|b| b + block <= total_pes)
+        .ok_or_else(|| ScheduleViolation {
+            message: format!(
+                "replica {replica} (block of 2^{block_dims}) lies outside the {total_pes}-PE machine"
+            ),
+        })?;
+    if let Some(&addr) = dead.iter().find(|&&a| a >= base && a < base + block) {
+        return Err(ScheduleViolation {
+            message: format!(
+                "replica {replica} contains dead PE {addr}: the remap would not preserve \
+                 the permutation"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccc::CccMachine;
+
+    fn nop(_: usize, _: usize, _: &mut u64, _: &mut u64) {}
+
+    #[test]
+    fn recorded_full_ascend_and_descend_verify_clean() {
+        for r in [1usize, 2, 3] {
+            let mut m = CccMachine::new(r, |x| x as u64);
+            m.start_trace();
+            let d = m.dims();
+            m.ascend(0..d, nop);
+            m.descend(0..d, nop);
+            let traces = m.take_trace();
+            assert_eq!(traces.len(), 2);
+            for t in &traces {
+                let v = check_pass(t);
+                assert!(v.is_empty(), "r={r} {:?}: {v:?}", t.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_ranges_verify_clean() {
+        for range in [0..3usize, 2..6, 1..5, 3..4, 0..1, 4..6] {
+            let mut m = CccMachine::new(2, |x| x as u64);
+            m.start_trace();
+            m.ascend(range.clone(), nop);
+            m.descend(range.clone(), nop);
+            for t in &m.take_trace() {
+                let v = check_pass(t);
+                assert!(v.is_empty(), "range={range:?} {:?}: {v:?}", t.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_dimension_is_flagged() {
+        // Record a legal ascend, then swap two of one home's fires: the
+        // per-home PV order (and the physics check) must catch it.
+        let mut m = CccMachine::new(1, |x| x as u64);
+        m.start_trace();
+        let d = m.dims();
+        m.ascend(0..d, nop);
+        let mut t = m.take_trace().pop().unwrap();
+        let (a, b) = (t.slots[0][0], t.slots[1][0]);
+        t.slots[0][0] = (a.0, b.1);
+        t.slots[1][0] = (b.0, a.1);
+        let v = check_pass(&t);
+        assert!(
+            v.iter().any(|x| x.message.contains("physically at")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn double_transit_on_one_wire_is_flagged() {
+        let mut m = CccMachine::new(1, |x| x as u64);
+        m.start_trace();
+        let d = m.dims();
+        m.ascend(0..d, nop);
+        let mut t = m.take_trace().pop().unwrap();
+        // Duplicate a fire under a different home: same lateral dim twice.
+        let (h, j) = t.slots[1][0];
+        t.slots[1].push(((h + 1) % t.q, j));
+        let v = check_pass(&t);
+        assert!(
+            v.iter().any(|x| x.message.contains("two transits")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_dimension_is_flagged() {
+        let mut m = CccMachine::new(1, |x| x as u64);
+        m.start_trace();
+        let d = m.dims();
+        m.ascend(0..d, nop);
+        let mut t = m.take_trace().pop().unwrap();
+        // Erase one home's fire in one slot: that home skips a dimension.
+        let h0 = t.slots[1][0].0;
+        t.slots[1].retain(|&(h, _)| h != h0);
+        let v = check_pass(&t);
+        assert!(v.iter().any(|x| x.message.contains("expected")), "{v:?}");
+    }
+
+    #[test]
+    fn dim_sequence_checker() {
+        assert!(check_dim_sequence(&[0, 1, 2, 3], 4, true).is_empty());
+        assert!(check_dim_sequence(&[3, 2, 1, 0], 4, false).is_empty());
+        assert!(!check_dim_sequence(&[0, 2, 1], 4, true).is_empty());
+        assert!(!check_dim_sequence(&[0, 1, 9], 4, true).is_empty());
+        assert!(!check_dim_sequence(&[1, 1], 4, true).is_empty());
+    }
+
+    #[test]
+    fn quarantine_checker() {
+        // 64-PE machine, 16-PE blocks: replicas 0..4.
+        assert!(check_quarantine(4, 64, 1, &[5, 40]).is_ok());
+        assert!(check_quarantine(4, 64, 2, &[5, 40]).is_err()); // 40 ∈ [32,48)
+        assert!(check_quarantine(4, 64, 4, &[]).is_err()); // out of range
+    }
+}

@@ -75,6 +75,7 @@ pub mod cost;
 pub mod error;
 pub mod instance;
 pub mod io;
+pub mod lint;
 pub mod preprocess;
 pub mod solver;
 pub mod stats;

@@ -292,7 +292,7 @@ mod tests {
             TtTree::Treatment { action, .. } => {
                 assert_eq!(heavy0.action(action).set, Subset::singleton(0))
             }
-            _ => panic!("expected a treatment at the root"),
+            TtTree::Test { .. } => panic!("expected a treatment at the root"),
         }
     }
 

@@ -246,7 +246,7 @@ mod tests {
         ));
         assert!(matches!(
             tree_from_text("(test 0 (treat 1))"),
-            Err(TreeParseError::Unexpected { .. }) | Err(TreeParseError::UnexpectedEnd)
+            Err(TreeParseError::Unexpected { .. } | TreeParseError::UnexpectedEnd)
         ));
         assert!(matches!(
             tree_from_text("(treat x)"),

@@ -31,6 +31,7 @@ use bvm::machine::Bvm;
 use bvm::ops::arith::{self, Num};
 use bvm::ops::{processor_id, RegAlloc};
 use bvm::plane::BitPlane;
+use bvm::program::Program;
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::subset::Subset;
@@ -124,8 +125,25 @@ pub fn solve(inst: &TtInstance) -> BvmTtSolution {
 
 /// Solves the instance on a caller-supplied machine (see [`machine_for`])
 /// with an automatically chosen width.
-pub fn solve_on(inst: &TtInstance, m: Bvm) -> BvmTtSolution {
-    solve_impl(inst, required_width(inst), false, m, &mut || true).0
+pub fn solve_on(inst: &TtInstance, mut m: Bvm) -> BvmTtSolution {
+    solve_impl(inst, required_width(inst), false, &mut m, &mut || true).0
+}
+
+/// As [`solve`], but also records the full instruction stream the solve
+/// executes, returning it as a [`Program`] ready for `bvm::verify` (the
+/// host bulk loads become the program's `preloaded` register list).
+pub fn solve_recorded(inst: &TtInstance) -> (BvmTtSolution, Program) {
+    solve_recorded_on(inst, machine_for(inst))
+}
+
+/// As [`solve_on`], but records the instruction stream (see
+/// [`solve_recorded`]) — the machine may arrive with a fault plan armed,
+/// which must not change the recorded program (faults corrupt data, not
+/// control).
+pub fn solve_recorded_on(inst: &TtInstance, mut m: Bvm) -> (BvmTtSolution, Program) {
+    m.start_recording();
+    let sol = solve_impl(inst, required_width(inst), false, &mut m, &mut || true).0;
+    (sol, m.take_recording())
 }
 
 /// As [`solve`], but `check` is consulted before each level; a `false`
@@ -137,7 +155,13 @@ pub fn solve_budgeted(
     inst: &TtInstance,
     check: &mut dyn FnMut() -> bool,
 ) -> (BvmTtSolution, usize) {
-    solve_impl(inst, required_width(inst), false, machine_for(inst), check)
+    solve_impl(
+        inst,
+        required_width(inst),
+        false,
+        &mut machine_for(inst),
+        check,
+    )
 }
 
 /// Solves the instance loading every instance plane through the I/O
@@ -150,7 +174,7 @@ pub fn solve_with_chain_input(inst: &TtInstance) -> BvmTtSolution {
         inst,
         required_width(inst),
         true,
-        machine_for(inst),
+        &mut machine_for(inst),
         &mut || true,
     )
     .0
@@ -163,14 +187,14 @@ pub fn solve_with_chain_input(inst: &TtInstance) -> BvmTtSolution {
 /// this `w` and instance size, or if `w` is too small for the instance's
 /// cost range.
 pub fn solve_with_width(inst: &TtInstance, w: usize) -> BvmTtSolution {
-    solve_impl(inst, w, false, machine_for(inst), &mut || true).0
+    solve_impl(inst, w, false, &mut machine_for(inst), &mut || true).0
 }
 
 fn solve_impl(
     inst: &TtInstance,
     w: usize,
     via_chain: bool,
-    mut m: Bvm,
+    m: &mut Bvm,
     check: &mut dyn FnMut() -> bool,
 ) -> (BvmTtSolution, usize) {
     assert!(
@@ -212,7 +236,7 @@ fn solve_impl(
 
     // ---- control bits ----------------------------------------------------
     m.mark_phase("processor-id");
-    processor_id(&mut m, &pid, &pid_scratch);
+    processor_id(m, &pid, &pid_scratch);
 
     // ---- instance input (host bulk loads or the honest I/O chain) --------
     m.mark_phase("input");
@@ -227,12 +251,12 @@ fn solve_impl(
     };
     #[allow(clippy::needless_range_loop)] // e is both index and data
     for e in 0..k {
-        input_plane(&mut m, tin[e], &|pe| actions[act_of(pe)].set.contains(e));
+        input_plane(m, tin[e], &|pe| actions[act_of(pe)].set.contains(e));
     }
-    input_plane(&mut m, ist, &|pe| actions[act_of(pe)].is_test);
-    input_plane(&mut m, dummy, &|pe| actions[act_of(pe)].cost.is_inf());
+    input_plane(m, ist, &|pe| actions[act_of(pe)].is_test);
+    input_plane(m, dummy, &|pe| actions[act_of(pe)].cost.is_inf());
     for (b, &reg) in tcost.iter().enumerate() {
-        input_plane(&mut m, reg, &|pe| {
+        input_plane(m, reg, &|pe| {
             actions[act_of(pe)]
                 .cost
                 .finite()
@@ -243,20 +267,20 @@ fn solve_impl(
     // ---- TP[S,i] = t_i · p(S), computed on the machine --------------------
     m.mark_phase("tp-init");
     // p(S) into `partner` (free until the main loop): gated constant adds.
-    arith::clear(&mut m, &partner);
+    arith::clear(m, &partner);
     #[allow(clippy::needless_range_loop)] // e is both index and dimension
     for e in 0..k {
-        enable_from(&mut m, pid[layout.s_dim(e)]);
-        arith::add_const(&mut m, &partner, inst.weight(e));
-        enable_all(&mut m);
+        enable_from(m, pid[layout.s_dim(e)]);
+        arith::add_const(m, &partner, inst.weight(e));
+        enable_all(m);
     }
     // Shift-and-add multiply: TP += (p(S) << b) where bit b of t_i is set.
-    arith::clear(&mut m, &num_tp);
+    arith::clear(m, &num_tp);
     #[allow(clippy::needless_range_loop)] // b is both index and shift amount
     for b in 0..w {
-        enable_from(&mut m, tcost[b]);
-        arith::add_assign(&mut m, &num_tp, &partner);
-        enable_all(&mut m);
+        enable_from(m, tcost[b]);
+        arith::add_assign(m, &num_tp, &partner);
+        enable_all(m);
         if b + 1 < w {
             // partner <<= 1 (drop the top bit; the width contract
             // guarantees it is zero whenever the result is consumed).
@@ -280,7 +304,7 @@ fn solve_impl(
 
     // ---- M init: INF everywhere, 0 on the S = ∅ column --------------------
     m.mark_phase("m-init");
-    arith::set_inf(&mut m, &num_m);
+    arith::set_inf(m, &num_m);
     m.exec(&Instruction::set_const(Dest::R(cur), true));
     #[allow(clippy::needless_range_loop)] // e is both index and dimension
     for e in 0..k {
@@ -292,9 +316,9 @@ fn solve_impl(
             RegSel::R(pid[layout.s_dim(e)]),
         ));
     }
-    enable_from(&mut m, cur);
-    arith::clear(&mut m, &num_m);
-    enable_all(&mut m);
+    enable_from(m, cur);
+    arith::clear(m, &num_m);
+    enable_all(m);
 
     // ---- the k levels ------------------------------------------------------
     m.mark_phase("levels");
@@ -310,53 +334,53 @@ fn solve_impl(
         #[allow(clippy::needless_range_loop)] // e is both index and dimension
         for e in 0..k {
             let dim = layout.s_dim(e);
-            fetch_partner(&mut m, dim, cur, t1, t2);
-            enable_from(&mut m, pid[dim]);
+            fetch_partner(m, dim, cur, t1, t2);
+            enable_from(m, pid[dim]);
             m.exec(&Instruction::compute(
                 Dest::R(next),
                 BoolFn::F_OR_D,
                 RegSel::R(next),
                 RegSel::R(t1),
             ));
-            enable_all(&mut m);
+            enable_all(m);
         }
         m.exec(&Instruction::mov(Dest::R(cur), RegSel::R(next), None));
 
         // Q[S,i] = R[S,i] = M[S,i].
-        arith::copy(&mut m, &num_r, &num_m);
-        arith::copy(&mut m, &num_q, &num_m);
+        arith::copy(m, &num_r, &num_m);
+        arith::copy(m, &num_q, &num_m);
 
         // The e-loop: R and Q pull from the 0-end along each S dimension.
         #[allow(clippy::needless_range_loop)] // e is both index and dimension
         for e in 0..k {
             let dim = layout.s_dim(e);
-            fetch_num(&mut m, dim, &num_r, &partner, t1, t2);
-            enable_and(&mut m, pid[dim], tin[e]); // e ∈ S ∩ T_i
-            arith::copy(&mut m, &num_r, &partner);
-            enable_all(&mut m);
-            fetch_num(&mut m, dim, &num_q, &partner, t1, t2);
-            enable_andn(&mut m, pid[dim], tin[e]); // e ∈ S − T_i
-            arith::copy(&mut m, &num_q, &partner);
-            enable_all(&mut m);
+            fetch_num(m, dim, &num_r, &partner, t1, t2);
+            enable_and(m, pid[dim], tin[e]); // e ∈ S ∩ T_i
+            arith::copy(m, &num_r, &partner);
+            enable_all(m);
+            fetch_num(m, dim, &num_q, &partner, t1, t2);
+            enable_andn(m, pid[dim], tin[e]); // e ∈ S − T_i
+            arith::copy(m, &num_q, &partner);
+            enable_all(m);
         }
 
         // Recombine on the wavefront: M = R + TP (+ Q for tests).
-        enable_from(&mut m, cur);
-        arith::copy(&mut m, &num_m, &num_r);
-        arith::add_assign(&mut m, &num_m, &num_tp);
-        enable_and(&mut m, cur, ist);
-        arith::add_assign(&mut m, &num_m, &num_q);
-        enable_all(&mut m);
+        enable_from(m, cur);
+        arith::copy(m, &num_m, &num_r);
+        arith::add_assign(m, &num_m, &num_tp);
+        enable_and(m, cur, ist);
+        arith::add_assign(m, &num_m, &num_q);
+        enable_all(m);
 
         // Minimization ASCEND over the i dimensions.
         for t in layout.i_dims() {
-            fetch_num(&mut m, t, &num_m, &partner, t1, t2);
-            arith::min_assign(&mut m, &num_m, &partner, t1);
+            fetch_num(m, t, &num_m, &partner, t1, t2);
+            arith::min_assign(m, &num_m, &partner, t1);
         }
     }
 
     // ---- read back ----------------------------------------------------------
-    let values = arith::host_read(&m, &num_m);
+    let values = arith::host_read(m, &num_m);
     let c_table: Vec<Cost> = Subset::all(k)
         .map(|s| match values[layout.addr(s, 0)] {
             Some(v) => Cost::new(v),

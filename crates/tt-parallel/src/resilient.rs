@@ -149,8 +149,11 @@ pub fn solve_ccc_resilient(
     // Probe for dead PEs and pick a clean replica block before starting.
     let dead = m.probe_dead(|_, pe| pe.arg = PROBE_MARK, |_, pe| pe.arg == PROBE_MARK);
     let dims = driver.layout.dims();
+    // The legality checker is the selection predicate: a replica is
+    // usable exactly when its quarantine remap verifies (in range and
+    // free of dead addresses).
     let replica = (0..driver.replicas(&m))
-        .find(|rep| dead.iter().all(|&addr| addr >> dims != *rep))
+        .find(|&rep| hypercube::verify::check_quarantine(dims, m.len(), rep, &dead).is_ok())
         .ok_or(FaultEscalation::NoCleanReplica { dead: dead.clone() })?;
 
     driver.init(&mut m);

@@ -9,7 +9,7 @@ use tt_core::subset::Subset;
 /// Parameters for the uniform random generator.
 #[derive(Clone, Copy, Debug)]
 pub struct RandomConfig {
-    /// Universe size `k` (1..=MAX_K).
+    /// Universe size `k` (`1..=MAX_K`).
     pub k: usize,
     /// Number of tests.
     pub n_tests: usize,

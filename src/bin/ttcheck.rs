@@ -1,0 +1,255 @@
+//! `ttcheck` — static verification for TT instances, BVM microcode, and
+//! CCC exchange schedules. No solving required for a verdict.
+//!
+//! ```text
+//! USAGE:
+//!   ttcheck <file.tt> [--microcode] [--schedule] [--all] [--verbose]
+//!   ttcheck --demo <domain> [k] [seed] [--microcode] [--schedule] [--all]
+//!           (domains: random, medical, faults, biology, lab)
+//!   ttcheck --passes [r]             # standalone ASCEND/DESCEND schedule check
+//! ```
+//!
+//! Three passes, composable per invocation:
+//!
+//! * **instance lint** (always): `tt_core::lint` — feasibility (an object
+//!   no treatment covers means *no procedure exists*, flagged before any
+//!   solver runs), dominated/duplicate actions, zero-cost cycles,
+//!   unreachable DP subsets.
+//! * **`--microcode`**: records the full BVM instruction stream of a TT
+//!   solve of the instance and runs `bvm::verify` over it — abstract
+//!   interpretation for uninitialized reads, dead writes, conflicting
+//!   gated writes, illegal lateral gating — plus a replay cost audit.
+//! * **`--schedule`**: traces the CCC machine executing the TT program's
+//!   dimension exchanges and checks every recorded pass against the
+//!   pipelined Preparata–Vuillemin schedule (dimension order, one wire
+//!   transit per slot, rotation physics).
+//!
+//! `--all` = `--microcode --schedule`. When the lint pass finds a hard
+//! error (infeasible instance) the machine passes are skipped — the
+//! verdict needs no solve.
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` errors found, `2` usage
+//! error, `3` unreadable input file, `4` unparseable instance, `6`
+//! unknown domain.
+
+use std::process::exit;
+use tt_core::instance::TtInstance;
+use tt_core::io;
+use tt_core::lint;
+
+const EXIT_FINDINGS: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_READ: i32 = 3;
+const EXIT_PARSE: i32 = 4;
+const EXIT_UNKNOWN_DOMAIN: i32 = 6;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ttcheck <file.tt> [--microcode] [--schedule] [--all] [--verbose]\n\
+         \x20      ttcheck --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
+         \x20      ttcheck --passes [r]\n\
+         exit codes: 0 clean, 1 errors found, 2 usage, 3 unreadable file,\n\
+         \x20           4 invalid instance, 6 unknown domain"
+    );
+    exit(EXIT_USAGE)
+}
+
+#[derive(Default)]
+struct Opts {
+    microcode: bool,
+    schedule: bool,
+    verbose: bool,
+}
+
+fn parse_flags<'a>(args: impl Iterator<Item = &'a String>) -> Opts {
+    let mut opts = Opts::default();
+    for a in args {
+        match a.as_str() {
+            "--microcode" => opts.microcode = true,
+            "--schedule" => opts.schedule = true,
+            "--all" => {
+                opts.microcode = true;
+                opts.schedule = true;
+            }
+            "--verbose" => opts.verbose = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    // Standalone schedule check: no instance involved.
+    if args[0] == "--passes" {
+        let r: usize = match args.get(1) {
+            Some(s) => s.parse().unwrap_or_else(|_| usage()),
+            None => 2,
+        };
+        if args.len() > 2 || r == 0 || r > 4 {
+            usage();
+        }
+        exit(check_generic_passes(r));
+    }
+
+    // Any other leading flag is a usage error, not a file name.
+    if args[0] != "--demo" && args[0].starts_with("--") {
+        usage();
+    }
+
+    let (inst, opts) = if args[0] == "--demo" {
+        let domain = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+        let mut pos = 2;
+        let k: usize = match args.get(pos).and_then(|s| s.parse().ok()) {
+            Some(k) => {
+                pos += 1;
+                k
+            }
+            None => 6,
+        };
+        let seed: u64 = match args.get(pos).and_then(|s| s.parse().ok()) {
+            Some(s) => {
+                pos += 1;
+                s
+            }
+            None => 0,
+        };
+        let Some(d) = tt_workloads::catalog::Domain::parse(domain) else {
+            eprintln!("unknown domain '{domain}'");
+            exit(EXIT_UNKNOWN_DOMAIN)
+        };
+        (d.generate(k, seed), parse_flags(args[pos..].iter()))
+    } else {
+        let path = &args[0];
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(EXIT_READ)
+            }
+        };
+        let inst = match io::from_text(&text) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                exit(EXIT_PARSE)
+            }
+        };
+        (inst, parse_flags(args[1..].iter()))
+    };
+
+    exit(check_instance(&inst, &opts));
+}
+
+/// Runs the requested passes over one instance; returns the exit code.
+fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
+    println!(
+        "instance: k = {}, N = {} ({} tests, {} treatments)",
+        inst.k(),
+        inst.n_actions(),
+        inst.n_tests(),
+        inst.n_treatments()
+    );
+
+    let mut errors = 0usize;
+
+    // Pass 1: instance lint (static; no solving).
+    let report = lint::lint(inst);
+    println!("-- lint: {} finding(s)", report.diagnostics.len());
+    print!("{report}");
+    if report.has_errors() {
+        // Infeasible: the verdict is final without running a machine.
+        println!("infeasible instance: skipping machine passes");
+        return EXIT_FINDINGS;
+    }
+
+    // Pass 2: record the BVM TT solve and verify the microcode.
+    if opts.microcode {
+        let (sol, prog) = tt_parallel::bvm::solve_recorded(inst);
+        let vr = bvm::verify::verify_with_replay(&prog, sol.machine_r);
+        println!(
+            "-- microcode: {} instructions (r = {}), {} diagnostic(s)",
+            prog.instructions.len(),
+            sol.machine_r,
+            vr.diagnostics.len()
+        );
+        if opts.verbose || !vr.is_clean() {
+            print!("{vr}");
+        }
+        errors += vr.errors().count();
+    }
+
+    // Pass 3: trace the CCC TT solve and verify every exchange pass.
+    if opts.schedule {
+        let driver = tt_parallel::ccc::CccDriver::new(inst);
+        let mut m = driver.fresh_machine();
+        m.start_trace();
+        driver.init(&mut m);
+        for level in 1..=inst.k() {
+            driver.run_level(&mut m, level);
+        }
+        let traces = m.take_trace();
+        let mut violations = 0usize;
+        for t in &traces {
+            for v in hypercube::verify::check_pass(t) {
+                println!("schedule violation ({:?} {:?}): {v}", t.kind, t.dims);
+                violations += 1;
+            }
+        }
+        println!(
+            "-- schedule: {} pass(es) traced, {} violation(s)",
+            traces.len(),
+            violations
+        );
+        errors += violations;
+    }
+
+    if errors > 0 {
+        println!("FAIL: {errors} error(s)");
+        EXIT_FINDINGS
+    } else {
+        println!("ok");
+        0
+    }
+}
+
+/// Traces a generic ASCEND then DESCEND over a full CCC of cycle length
+/// `2^r` and checks both against the Preparata–Vuillemin schedule.
+fn check_generic_passes(r: usize) -> i32 {
+    let q = 1usize << r;
+    let dims = q + r;
+    let mut m = hypercube::CccMachine::new(r, |x| x as u64);
+    m.start_trace();
+    m.ascend(0..dims, |_, _, lo, hi| {
+        let s = *lo ^ *hi;
+        *lo = s;
+        *hi = s;
+    });
+    m.descend(0..dims, |_, _, lo, hi| {
+        let s = lo.wrapping_add(*hi);
+        *lo = s;
+        *hi = s;
+    });
+    let traces = m.take_trace();
+    let mut violations = 0usize;
+    for t in &traces {
+        for v in hypercube::verify::check_pass(t) {
+            println!("schedule violation ({:?} {:?}): {v}", t.kind, t.dims);
+            violations += 1;
+        }
+    }
+    println!(
+        "schedule: r = {r} (Q = {q}, {dims} dims), {} pass(es), {} violation(s)",
+        traces.len(),
+        violations
+    );
+    if violations > 0 {
+        EXIT_FINDINGS
+    } else {
+        0
+    }
+}

@@ -32,10 +32,17 @@
 //!   bvm:flip:<pe>@<nth>    the nth fetch glitches one bit once
 //! ```
 //!
+//! `--check` runs the static instance linter (`tt_core::lint`) before
+//! solving: findings are printed, and a hard error (an object no
+//! treatment covers — the instance is provably unsolvable) stops the run
+//! before any engine is invoked. See `ttcheck` for the full static
+//! verification surface (microcode and schedule passes).
+//!
 //! Exit codes: `0` success, `2` usage error, `3` unreadable input file,
-//! `4` unparseable or invalid instance, `6` unknown engine or domain,
-//! `7` budget exhausted (degraded result printed), `8` machine faults
-//! escalated past recovery.
+//! `4` unparseable or invalid instance, `5` static lint error (with
+//! `--check`), `6` unknown engine or domain, `7` budget exhausted
+//! (degraded result printed), `8` machine faults escalated past
+//! recovery.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -53,6 +60,7 @@ use tt_parallel::resilient::{
 const EXIT_USAGE: i32 = 2;
 const EXIT_READ: i32 = 3;
 const EXIT_PARSE: i32 = 4;
+const EXIT_LINT: i32 = 5;
 const EXIT_UNKNOWN_ENGINE: i32 = 6;
 const EXIT_DEGRADED: i32 = 7;
 const EXIT_FAULT_ESCALATION: i32 = 8;
@@ -60,14 +68,15 @@ const EXIT_FAULT_ESCALATION: i32 = 8;
 fn usage() -> ! {
     eprintln!(
         "usage: ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]\n\
-         \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>]\n\
+         \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>] [--check]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
          \x20      ttsolve --engines\n\
          fault specs: ccc:dead:<addr> ccc:drop:<dim>@<nth> ccc:corrupt:<dim>@<nth>\n\
          \x20            bvm:dead:<pe> bvm:stuck:<pe>=<0|1> bvm:flip:<pe>@<nth>\n\
          exit codes: 0 ok, 2 usage, 3 unreadable file, 4 invalid instance,\n\
-         \x20           6 unknown engine/domain, 7 degraded (budget), 8 fault escalation"
+         \x20           5 lint error (--check), 6 unknown engine/domain,\n\
+         \x20           7 degraded (budget), 8 fault escalation"
     );
     exit(EXIT_USAGE)
 }
@@ -93,6 +102,7 @@ struct Opts {
     timeout_ms: Option<u64>,
     max_candidates: Option<u64>,
     faults: Option<String>,
+    check: bool,
 }
 
 impl Opts {
@@ -130,6 +140,7 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -
                 opts.max_candidates = Some(parse_number("--max-candidates", it.next()))
             }
             "--faults" => opts.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--check" => opts.check = true,
             _ => usage(),
         }
     }
@@ -295,6 +306,16 @@ fn print_result(inst: &TtInstance, opts: &Opts, report: &SolveReport, exact: boo
 }
 
 fn solve_and_report(inst: &TtInstance, opts: &Opts) {
+    if opts.check {
+        let report = tt_core::lint::lint(inst);
+        if !report.is_clean() {
+            eprint!("{report}");
+        }
+        if report.has_errors() {
+            eprintln!("static check failed: the instance is unsolvable; not invoking a solver");
+            exit(EXIT_LINT);
+        }
+    }
     if let Some(spec) = &opts.faults {
         exit(solve_with_faults(inst, opts, spec));
     }

@@ -119,7 +119,7 @@ proptest! {
         struct P { got: u64, sender: bool }
         let lit = move |a: usize| (a as u32).wrapping_mul(salt | 1) & 4 != 0;
         let mut cube = hypercube::SimdHypercube::new(d, |a| P {
-            got: if (a as u32).count_ones() as usize == level && lit(a) { 1 } else { 0 },
+            got: u64::from((a as u32).count_ones() as usize == level && lit(a)),
             sender: (a as u32).count_ones() as usize == level,
         });
         hypercube::ascend::propagation2(

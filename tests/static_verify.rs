@@ -1,0 +1,309 @@
+//! The static verification layer, end to end: hand-built illegal
+//! microcode is rejected with precise diagnostics, programs recorded
+//! from real solves verify clean for every registered engine's corpus,
+//! CCC schedules obey the Preparata–Vuillemin pipeline, the instance
+//! linter flags infeasibility without solving, and injected machine
+//! faults are *not* reported as static errors (faults corrupt data, not
+//! control).
+
+use bvm::isa::{Dest, Gate, Instruction, RegSel};
+use bvm::program::Program;
+use bvm::verify::{verify, verify_with_replay, DiagnosticKind, Severity};
+use hypercube::verify::{check_dim_sequence, check_pass};
+use proptest::prelude::*;
+use tt_core::instance::{TtInstance, TtInstanceBuilder};
+use tt_core::lint;
+use tt_core::solver::budget::Budget;
+use tt_core::subset::Subset;
+use tt_workloads::catalog::Domain;
+
+fn program(instructions: Vec<Instruction>) -> Program {
+    Program {
+        instructions,
+        preloaded: Vec::new(),
+    }
+}
+
+fn kinds(report: &bvm::verify::VerifyReport) -> Vec<DiagnosticKind> {
+    report.diagnostics.iter().map(|d| d.kind).collect()
+}
+
+// ---------------------------------------------------------------------
+// Hand-built illegal programs are rejected with precise diagnostics.
+// ---------------------------------------------------------------------
+
+#[test]
+fn uninitialized_read_is_rejected() {
+    let p = program(vec![Instruction::mov(Dest::A, RegSel::R(7), None)]);
+    let r = verify(&p, 1);
+    assert!(!r.no_errors());
+    let d = &r.diagnostics[0];
+    assert_eq!(d.kind, DiagnosticKind::UninitRead);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.pc, Some(0));
+    assert!(d.message.contains("R[7]"), "{}", d.message);
+}
+
+#[test]
+fn preloaded_registers_are_initialized() {
+    let mut p = program(vec![Instruction::mov(Dest::A, RegSel::R(7), None)]);
+    p.preloaded.push(Dest::R(7));
+    assert!(verify(&p, 1).no_errors());
+}
+
+#[test]
+fn conflicting_gated_writes_are_rejected() {
+    // Two If-gated writes to R[0] with overlapping position masks and no
+    // read in between: the second silently clobbers part of the first.
+    let p = program(vec![
+        Instruction::set_const(Dest::R(0), true).gated(Gate::If(0b11)),
+        Instruction::set_const(Dest::R(0), false).gated(Gate::If(0b01)),
+    ]);
+    let r = verify(&p, 1);
+    assert!(kinds(&r).contains(&DiagnosticKind::ConflictingGatedWrites));
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == DiagnosticKind::ConflictingGatedWrites)
+        .unwrap();
+    assert_eq!(d.pc, Some(1));
+}
+
+#[test]
+fn disjoint_gated_writes_are_legal() {
+    let p = program(vec![
+        Instruction::set_const(Dest::R(0), true).gated(Gate::If(0b10)),
+        Instruction::set_const(Dest::R(0), false).gated(Gate::If(0b01)),
+        Instruction::mov(Dest::A, RegSel::R(0), None),
+    ]);
+    assert!(verify(&p, 1).is_clean());
+}
+
+#[test]
+fn out_of_range_gate_is_rejected() {
+    // r = 1 means Q = 2 cycle positions; a gate naming position 10 is
+    // checking a bit that no PE ever has.
+    let p = program(vec![
+        Instruction::set_const(Dest::R(0), true).gated(Gate::If(1 << 10))
+    ]);
+    let r = verify(&p, 1);
+    assert!(kinds(&r).contains(&DiagnosticKind::GateOutOfRange));
+    assert!(!r.no_errors());
+}
+
+#[test]
+fn out_of_order_dimension_sequence_is_rejected() {
+    // An ASCEND pass must visit dimensions in increasing order.
+    let ok = check_dim_sequence(&[0, 1, 2, 3], 4, true);
+    assert!(ok.is_empty(), "{ok:?}");
+    let bad = check_dim_sequence(&[0, 2, 1, 3], 4, true);
+    assert!(!bad.is_empty());
+    assert!(bad[0].message.contains('2'), "{}", bad[0].message);
+    // And a DESCEND pass in decreasing order.
+    assert!(check_dim_sequence(&[3, 2, 1, 0], 4, false).is_empty());
+    assert!(!check_dim_sequence(&[3, 1, 2, 0], 4, false).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Programs recorded from real solves verify clean; every registered
+// engine agrees on the corpus it verifies against.
+// ---------------------------------------------------------------------
+
+fn corpus() -> Vec<TtInstance> {
+    let mut v = Vec::new();
+    for domain in Domain::all() {
+        v.push(domain.generate(4, 7));
+        v.push(domain.generate(5, 11));
+    }
+    v
+}
+
+#[test]
+fn recorded_solver_programs_verify_clean_across_the_corpus() {
+    for (i, inst) in corpus().iter().enumerate() {
+        let (sol, prog) = tt_parallel::bvm::solve_recorded(inst);
+        let report = verify_with_replay(&prog, sol.machine_r);
+        assert!(
+            report.is_clean(),
+            "instance {i}: recorded program not clean:\n{report}"
+        );
+        let audit = report.audit.expect("replay produces an audit");
+        assert_eq!(audit.static_instructions, sol.instructions);
+        assert_eq!(audit.replay_executed, sol.instructions);
+    }
+}
+
+#[test]
+fn every_registered_engine_agrees_on_the_verified_corpus() {
+    let budget = Budget::default();
+    for (i, inst) in corpus().iter().enumerate() {
+        let expect = tt_core::solver::sequential::solve(inst).cost;
+        for e in tt_repro::registry() {
+            if inst.k() > e.max_k() {
+                continue;
+            }
+            let report = e.solve_with(inst, &budget);
+            if e.kind().is_exact() {
+                assert_eq!(
+                    report.cost,
+                    expect,
+                    "engine {} wrong on corpus instance {i}",
+                    e.name()
+                );
+            } else {
+                assert!(report.cost >= expect, "engine {} on instance {i}", e.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn ccc_solver_schedules_verify_clean_across_the_corpus() {
+    for (i, inst) in corpus().iter().enumerate() {
+        let driver = tt_parallel::ccc::CccDriver::new(inst);
+        let mut m = driver.fresh_machine();
+        m.start_trace();
+        driver.init(&mut m);
+        for level in 1..=inst.k() {
+            driver.run_level(&mut m, level);
+        }
+        let traces = m.take_trace();
+        assert!(!traces.is_empty(), "instance {i}: no passes traced");
+        for t in &traces {
+            let v = check_pass(t);
+            assert!(v.is_empty(), "instance {i}: {v:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The instance linter: infeasibility without solving.
+// ---------------------------------------------------------------------
+
+#[test]
+fn uncoverable_object_is_flagged_without_solving() {
+    let inst = TtInstanceBuilder::new(4)
+        .weights([1, 2, 3, 4])
+        .test(Subset(0b0011), 1)
+        .treatment(Subset(0b0111), 5) // object 3 uncovered
+        .build()
+        .unwrap();
+    let report = lint::lint(&inst);
+    assert!(report.has_errors());
+    assert_eq!(report.diagnostics[0].code, lint::LintCode::Infeasible);
+    // The linter's verdict matches what a solve would discover.
+    assert!(tt_core::solver::sequential::solve(&inst).cost.is_inf());
+}
+
+#[test]
+fn corpus_instances_have_no_lint_errors() {
+    for (i, inst) in corpus().iter().enumerate() {
+        let report = lint::lint(inst);
+        assert!(!report.has_errors(), "corpus instance {i}:\n{report}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected machine faults are dynamic, not static: fault-armed machines
+// emit byte-identical programs/schedules, so the verifier stays clean.
+// ---------------------------------------------------------------------
+
+fn small() -> TtInstance {
+    TtInstanceBuilder::new(3)
+        .weights([2, 1, 1])
+        .test(Subset(0b011), 1)
+        .test(Subset(0b101), 2)
+        .treatment(Subset(0b011), 3)
+        .treatment(Subset(0b110), 2)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn bvm_faults_are_not_static_errors() {
+    let inst = small();
+    let (_, clean) = tt_parallel::bvm::solve_recorded(&inst);
+    let plans = [
+        bvm::BvmFaultPlan::single(bvm::fault::BvmFault::DeadPe { pe: 3 }),
+        bvm::BvmFaultPlan::single(bvm::fault::BvmFault::StuckLink { pe: 5, value: true }),
+        bvm::BvmFaultPlan::single(bvm::fault::BvmFault::FlipBit { nth: 10, pe: 1 }),
+    ];
+    for plan in plans {
+        let mut m = tt_parallel::bvm::machine_for(&inst);
+        m.inject_faults(plan.clone());
+        let (sol, prog) = tt_parallel::bvm::solve_recorded_on(&inst, m);
+        assert_eq!(
+            prog.instructions, clean.instructions,
+            "fault plan changed the instruction stream: {plan:?}"
+        );
+        // Static analysis sees nothing: faults live in the data path.
+        let report = verify(&prog, sol.machine_r);
+        assert!(report.is_clean(), "{plan:?}:\n{report}");
+    }
+}
+
+#[test]
+fn ccc_faults_are_not_schedule_violations() {
+    let inst = small();
+    let plans: Vec<hypercube::CccFaultPlan<tt_parallel::hyper::TtPe>> = vec![
+        hypercube::CccFaultPlan {
+            dead: vec![3],
+            links: vec![],
+        },
+        hypercube::CccFaultPlan {
+            dead: vec![],
+            links: vec![hypercube::PairFault {
+                dim: 3,
+                nth: 0,
+                kind: hypercube::PairFaultKind::Drop,
+            }],
+        },
+    ];
+    for plan in plans {
+        let driver = tt_parallel::ccc::CccDriver::new(&inst);
+        let mut m = driver.fresh_machine();
+        m.inject_faults(plan);
+        m.start_trace();
+        driver.init(&mut m);
+        for level in 1..=inst.k() {
+            driver.run_level(&mut m, level);
+        }
+        for t in &m.take_trace() {
+            let v = check_pass(t);
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random workloads always record verifiably-clean
+// programs, and the linter's feasibility verdict always matches the DP.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_workload_programs_verify_clean(
+        k in 3usize..=5,
+        seed in any::<u64>(),
+        domain_idx in 0usize..5,
+    ) {
+        let inst = Domain::all()[domain_idx].generate(k, seed);
+        let (sol, prog) = tt_parallel::bvm::solve_recorded(&inst);
+        let report = verify_with_replay(&prog, sol.machine_r);
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn lint_feasibility_always_matches_the_dp(
+        k in 2usize..=5,
+        seed in any::<u64>(),
+        domain_idx in 0usize..5,
+    ) {
+        let inst = Domain::all()[domain_idx].generate(k, seed);
+        let report = lint::lint(&inst);
+        let cost = tt_core::solver::sequential::solve(&inst).cost;
+        prop_assert_eq!(report.has_errors(), cost.is_inf());
+    }
+}
