@@ -7,7 +7,7 @@
 //! Experiments (DESIGN.md §4): `fig1 fig3 fig4 fig6 fig7 fig8 fig9
 //! complexity-bvm speedup ccc-slowdown headline engines wallclock fanin
 //! memo-ablation heuristic-gap bnb-ablation benes-routing bitonic
-//! depth-curve blocked-brent bvm-input anytime resilience`.
+//! depth-curve blocked-brent bvm-input anytime resilience supervision`.
 
 use tt_bench::{header, ratio_stats, row};
 use tt_core::instance::TtInstanceBuilder;
@@ -54,6 +54,7 @@ fn main() {
     run("bvm-input", bvm_input);
     run("anytime", anytime);
     run("resilience", resilience);
+    run("supervision", supervision);
     if !ran {
         eprintln!("unknown experiment '{arg}'; see source header for the list");
         std::process::exit(1);
@@ -1006,4 +1007,78 @@ fn resilience() {
         );
     }
     println!("\ncheck: every recovered run equals the exact DP tables — PASS");
+}
+
+/// E25 — supervised batch solving: one manifest spanning every workload
+/// domain plus fault-armed, budget-starved, and malformed entries,
+/// streamed through the supervisor with per-instance isolation.
+fn supervision() {
+    use tt_parallel::orchestrate::{self, BatchStatus};
+    println!("claim: the batch driver loses no instance silently — every");
+    println!("manifest line yields exactly one record (ok / degraded / error),");
+    println!("fault-armed machines fail over to an exact software engine, and a");
+    println!("bad line never stops the batch.\n");
+    let manifest = "\
+        demo:random:6:1\n\
+        demo:medical:6:2\n\
+        demo:faults:6:3\n\
+        demo:biology:6:4\n\
+        demo:lab:6:5\n\
+        # fault barrage: corrupted exchanges force a failover\n\
+        demo:medical:6:6 faults=ccc:corrupt:3@0,ccc:corrupt:4@0,ccc:corrupt:5@0\n\
+        demo:lab:6:7 solver=rayon\n\
+        demo:random:6:8 timeout_ms=0\n\
+        demo:nosuch:6:9\n";
+    let widths = [34, 9, 11, 6, 9, 8];
+    header(
+        &["source", "status", "engine", "cost", "failovers", "retries"],
+        &widths,
+    );
+    let summary = orchestrate::run_batch(manifest, &mut |rec| {
+        row(
+            &[
+                rec.label.clone(),
+                rec.status.to_string(),
+                rec.engine.clone(),
+                rec.cost.map_or("-".to_string(), |c| c.to_string()),
+                rec.failovers.to_string(),
+                rec.retries.to_string(),
+            ],
+            &widths,
+        );
+    });
+    let lines = manifest
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .count();
+    assert_eq!(summary.records.len(), lines, "one record per manifest line");
+    // Every ok record's cost must equal the DP optimum for its source.
+    for rec in &summary.records {
+        if rec.status != BatchStatus::Ok {
+            continue;
+        }
+        let mut parts = rec.label.splitn(4, ':');
+        let (_, domain, k, seed) = (
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+            parts.next().unwrap().parse::<usize>().unwrap(),
+            parts.next().unwrap().parse::<u64>().unwrap(),
+        );
+        let inst = tt_workloads::catalog::Domain::parse(domain)
+            .unwrap()
+            .generate(k, seed);
+        assert_eq!(
+            rec.cost,
+            Some(sequential::solve(&inst).cost),
+            "{}",
+            rec.label
+        );
+    }
+    assert_eq!(summary.errors(), 1, "exactly the malformed domain errors");
+    assert!(summary.degraded() >= 1, "the starved budget degrades");
+    println!("\nsummary: {}", summary.to_json());
+    println!("check: one record per line, every ok cost equals the DP — PASS");
 }

@@ -102,6 +102,16 @@ impl<T: Send + Sync> BlockedHypercube<T> {
         &self.pes[v]
     }
 
+    /// Host-level state injection: writes virtual PE states directly,
+    /// outside the simulated machine (no virtual step is counted).
+    /// Models the host loading a snapshot (e.g. a resumed checkpoint)
+    /// into every physical PE's block before the program continues.
+    pub fn host_load(&mut self, f: impl Fn(usize, &mut T)) {
+        for (v, pe) in self.pes.iter_mut().enumerate() {
+            f(v, pe);
+        }
+    }
+
     /// A local step over every virtual PE (each physical PE serializes
     /// its block).
     pub fn local_step(&mut self, f: impl Fn(usize, &mut T) + Sync) {

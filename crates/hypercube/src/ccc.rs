@@ -220,6 +220,19 @@ impl<T: Send + Sync> CccMachine<T> {
         self.counts = CccStepCounts::default();
     }
 
+    /// Host-level state injection: writes PE states directly, outside
+    /// the simulated machine. Counts no link step and bypasses any
+    /// armed fault plan — it models the host loading a snapshot (e.g.
+    /// a resumed checkpoint) into the PE array, the way `probe_dead`
+    /// models a host-driven self-test. Note a *dead* PE's state is
+    /// still written: quarantine happens at readback (replica
+    /// selection), not at load time.
+    pub fn host_load(&mut self, f: impl Fn(usize, &mut T)) {
+        for (addr, pe) in self.pes.iter_mut().enumerate() {
+            f(addr, pe);
+        }
+    }
+
     /// An order-sensitive checksum over all PE states. Two machines that
     /// executed the same program fault-free agree; a resilient driver
     /// detects transients by running a phase twice (from a snapshot) and

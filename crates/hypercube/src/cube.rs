@@ -132,6 +132,17 @@ impl<T: Send + Sync> SimdHypercube<T> {
         self.counts = StepCounts::default();
     }
 
+    /// Host-level state injection: writes PE states directly, outside
+    /// the simulated machine. Unlike [`local_step`](Self::local_step)
+    /// this counts no machine step — it models the host loading a
+    /// snapshot (e.g. a resumed checkpoint) into the PE array before
+    /// the program continues.
+    pub fn host_load(&mut self, f: impl Fn(usize, &mut T)) {
+        for (addr, pe) in self.pes.iter_mut().enumerate() {
+            f(addr, pe);
+        }
+    }
+
     /// One local parallel step: every PE updates its own state.
     pub fn local_step(&mut self, f: impl Fn(usize, &mut T) + Sync) {
         self.counts.local += 1;

@@ -20,6 +20,7 @@ use crate::cost::Cost;
 use crate::instance::TtInstance;
 use crate::solver::anytime::{self, ExactEntry};
 use crate::solver::budget::{Budget, ExhaustReason};
+use crate::solver::checkpoint::Checkpoint;
 use crate::solver::{branch_and_bound, exhaustive, greedy, memo, sequential};
 use crate::subset::Subset;
 use crate::tree::TtTree;
@@ -252,6 +253,72 @@ pub trait Solver: Send + Sync {
     fn description(&self) -> &'static str {
         ""
     }
+
+    /// Whether [`solve_resumable`](Solver::solve_resumable) honors
+    /// checkpoints: imports a completed wavefront to warm-start and
+    /// exports one at every level boundary. Engines without a
+    /// level-synchronous structure (memo, bnb, exhaustive, the
+    /// heuristics, the bit-serial BVM) report `false` and always start
+    /// cold.
+    fn resumable(&self) -> bool {
+        false
+    }
+
+    /// Solves with an optional warm-start [`Checkpoint`] and a sink
+    /// receiving a checkpoint after every completed DP level.
+    ///
+    /// The default ignores both — a cold
+    /// [`solve_with`](Solver::solve_with) that emits nothing — so
+    /// non-resumable
+    /// engines are still safe members of a supervision chain: handed a
+    /// checkpoint they recompute from scratch, which is slower but
+    /// never wrong. Implementations must only consume checkpoints
+    /// whose fingerprint matches `inst` (callers validate, engines may
+    /// trust) and must emit checkpoints only at completed-wavefront
+    /// boundaries, so every emitted slab is exact below its level.
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
+        let _ = (resume, sink);
+        self.solve_with(inst, budget)
+    }
+}
+
+/// Builds the level-boundary checkpoint engines hand to their sink:
+/// captures the `#S ≤ level` slab and prices the incumbent bound
+/// sandwich (exact argmins below the wavefront, greedy completion
+/// above).
+pub fn checkpoint_at_level(
+    inst: &TtInstance,
+    level: usize,
+    cost: &[Cost],
+    best: &[Option<u16>],
+) -> Checkpoint {
+    let exact = |s: Subset| -> Option<ExactEntry> {
+        (s.len() <= level).then(|| (cost[s.index()], best[s.index()]))
+    };
+    let tree = anytime::complete_tree(inst, &exact);
+    let (upper, lower) = anytime::degraded_bounds(inst, tree.as_ref());
+    Checkpoint::capture(inst, level, cost, best, upper, lower)
+}
+
+/// Prepares a caller-supplied checkpoint for engine consumption:
+/// verifies it belongs to `inst` and recovers any missing argmins from
+/// its own slab (so a checkpoint from an argmin-less producer can
+/// never yield a wrong tree). Returns `None` — start cold — when the
+/// checkpoint is for a different instance.
+pub fn prepare_resume(inst: &TtInstance, resume: Option<&Checkpoint>) -> Option<Checkpoint> {
+    let ck = resume?;
+    if !ck.matches(inst) {
+        return None;
+    }
+    let mut ck = ck.clone();
+    ck.recover_argmins(inst);
+    Some(ck)
 }
 
 /// Times `f` and assembles its pieces into a
@@ -358,6 +425,64 @@ impl Solver for SequentialEngine {
                         } else {
                             None
                         }
+                    },
+                    work,
+                ),
+            }
+        })
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let prepared = prepare_resume(inst, resume);
+            let seed_tables = prepared.as_ref().map(|ck| {
+                (
+                    ck.level,
+                    sequential::DpTables {
+                        cost: ck.cost.clone(),
+                        best: ck.best.clone(),
+                    },
+                )
+            });
+            let seed = seed_tables.as_ref().map(|(l, t)| (*l, t));
+            let (tables, done) = sequential::solve_tables_levelwise(
+                inst,
+                &mut meter,
+                seed,
+                &mut |level, cost, best| sink(checkpoint_at_level(inst, level, cost, best)),
+            );
+            let mut work = WorkStats {
+                subsets: meter.subsets(),
+                candidates: meter.candidates(),
+                ..WorkStats::default()
+            };
+            work.push_extra("completed_levels", done as u64);
+            if let Some((level, _)) = &seed_tables {
+                work.push_extra("resumed_level", *level as u64);
+            }
+            match meter.exhausted() {
+                None => {
+                    let root = inst.universe();
+                    let cost = tables.cost[root.index()];
+                    let tree = sequential::extract_tree(inst, &tables, root);
+                    (cost, tree, work, SolveOutcome::Complete)
+                }
+                Some(r) => degraded_result(
+                    inst,
+                    r.into(),
+                    // The wavefront invariant: every `#S ≤ done` entry
+                    // is exact (seeded or computed), the rest unknown.
+                    &|s| {
+                        (s.len() <= done).then(|| (tables.cost[s.index()], tables.best[s.index()]))
                     },
                     work,
                 ),
@@ -846,10 +971,14 @@ mod tests {
         fn empty_provider() -> Vec<Box<dyn Solver>> {
             Vec::new()
         }
-        let before = EXTENSIONS.lock().unwrap().len();
+        // Go through the poison-proof helper: the panicking-provider
+        // test above runs `register_extension(explosive)` in the same
+        // process, and a raw `.lock().unwrap()` here would die on the
+        // poisoned mutex depending on test order.
+        let before = extensions().len();
         register_extension(empty_provider);
         register_extension(empty_provider);
-        let after = EXTENSIONS.lock().unwrap().len();
+        let after = extensions().len();
         assert_eq!(after, before + 1);
     }
 }

@@ -21,20 +21,30 @@
 //! * [`budget`] — wall-clock/work/cancellation limits on a solve.
 //! * [`anytime`] — completion of partial DP tables into valid
 //!   procedures, for bounded-suboptimality degraded results.
+//! * [`checkpoint`] — checksummed level-boundary snapshots of the DP
+//!   wavefront, for warm failover and `--resume` restarts.
+//! * [`supervise`][mod@supervise] — health-aware fallback chains over
+//!   the engine registry: retry, back off, fail over, resume.
 
 pub mod anytime;
 pub mod bounds;
 pub mod branch_and_bound;
 pub mod budget;
+pub mod checkpoint;
 pub mod depth_bounded;
 pub mod engine;
 pub mod exhaustive;
 pub mod greedy;
 pub mod memo;
 pub mod sequential;
+pub mod supervise;
 
 pub use budget::{Budget, BudgetMeter, CancelToken, ExhaustReason};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoadError};
 pub use engine::{
     lookup, registry, DegradeReason, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
 };
 pub use sequential::{solve, DpStats, DpTables, Solution};
+pub use supervise::{
+    fallback_chain, supervise, AttemptFailure, FailureKind, SuperviseOptions, SuperviseReport,
+};

@@ -138,6 +138,81 @@ pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTable
     (DpTables { cost, best }, size)
 }
 
+/// Per-level observer for [`solve_tables_levelwise`]: called as
+/// `sink(j, &cost, &best)` after each completed wavefront level `j`.
+pub type LevelSink<'a> = dyn FnMut(usize, &[Cost], &[Option<u16>]) + 'a;
+
+/// A completed `#S ≤ level` wavefront to warm-start a solver from:
+/// `(level, cost slab, argmin slab)`, as recovered from a
+/// [`Checkpoint`](super::checkpoint::Checkpoint).
+pub type WavefrontSeed<'a> = (usize, &'a [Cost], &'a [Option<u16>]);
+
+/// As [`solve_tables_with`], but iterating the paper's `#S = j`
+/// wavefront explicitly, with optional warm-start and a per-level sink
+/// — the checkpointable form of the sequential DP.
+///
+/// `seed` warm-starts the tables: every entry of the seed slab with
+/// `#S ≤` the seed level is taken as exact and those levels are skipped
+/// (pass `None` to start cold at level 0). After each completed level
+/// `j`, `sink(j, &cost, &best)` runs with every `#S ≤ j` entry exact —
+/// the wavefront invariant checkpoints are captured from.
+///
+/// Returns the tables plus the completed level: on exhaustion the
+/// sweep stops between levels, and entries above the completed level
+/// are untouched `INF` placeholders.
+pub fn solve_tables_levelwise(
+    inst: &TtInstance,
+    meter: &mut BudgetMeter,
+    seed: Option<(usize, &DpTables)>,
+    sink: &mut LevelSink<'_>,
+) -> (DpTables, usize) {
+    let k = inst.k();
+    let size = 1usize << k;
+    let weight_table = inst.weight_table();
+    let mut cost = vec![Cost::INF; size];
+    let mut best: Vec<Option<u16>> = vec![None; size];
+    cost[0] = Cost::ZERO;
+    let start_level = match seed {
+        Some((level, tables)) => {
+            assert_eq!(tables.cost.len(), size, "seed slab size");
+            for mask in 1..size {
+                if Subset(mask as u32).len() <= level {
+                    cost[mask] = tables.cost[mask];
+                    best[mask] = tables.best[mask];
+                }
+            }
+            level.min(k)
+        }
+        None => 0,
+    };
+    let mut done = k;
+    for j in (start_level + 1)..=k {
+        let level: Vec<Subset> = Subset::of_size(k, j).collect();
+        let in_budget = meter.charge_subsets(level.len() as u64)
+            & meter.charge_candidates((level.len() * inst.n_actions()) as u64)
+            & meter.check();
+        if !in_budget {
+            done = j - 1;
+            break;
+        }
+        for s in level {
+            let mut c = Cost::INF;
+            let mut b = None;
+            for i in 0..inst.n_actions() {
+                let m = candidate(inst, &weight_table, &cost, s, i);
+                if m < c {
+                    c = m;
+                    b = Some(i as u16);
+                }
+            }
+            cost[s.index()] = c;
+            best[s.index()] = b;
+        }
+        sink(j, &cost, &best);
+    }
+    (DpTables { cost, best }, done)
+}
+
 /// Extracts an optimal tree from the argmin table, starting at `root`.
 pub fn extract_tree(inst: &TtInstance, tables: &DpTables, root: Subset) -> Option<TtTree> {
     if root.is_empty() || tables.cost[root.index()].is_inf() {

@@ -13,6 +13,7 @@ use crate::layout::{padded_actions, Layout};
 use hypercube::ccc::{min_r_for_dims, CccMachine, CccStepCounts};
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
+use tt_core::solver::sequential::{LevelSink, WavefrontSeed};
 use tt_core::subset::Subset;
 
 /// Result of a CCC TT run.
@@ -97,6 +98,23 @@ impl CccDriver {
         m.ascend(layout.i_dims(), |_, _, lo, hi| min_op(lo, hi));
     }
 
+    /// Imports a completed `#S ≤ level` wavefront (a checkpoint's cost
+    /// and argmin slabs) into *every* replica of the machine — the CCC
+    /// twin of [`crate::hyper::warm_pe`]. Applied via `host_load`, so it
+    /// counts no machine step and bypasses any armed fault plan: a dead
+    /// PE's state is still written (quarantine happens at readback).
+    pub fn import_wavefront(
+        &self,
+        m: &mut CccMachine<TtPe>,
+        level: usize,
+        cost: &[Cost],
+        best: &[Option<u16>],
+    ) {
+        let (layout, mask) = (self.layout, self.replica_mask);
+        let level = level.min(layout.k);
+        m.host_load(|addr, pe| crate::hyper::warm_pe(addr & mask, pe, &layout, level, cost, best));
+    }
+
     /// Reads the `C(·)` and argmin tables out of replica block `replica`.
     pub fn read_tables(
         &self,
@@ -148,16 +166,39 @@ pub fn solve(inst: &TtInstance) -> CccSolution {
 /// the number of completed levels (entries for `#S ≤` that count are
 /// exact, the rest still `INF` placeholders).
 pub fn solve_budgeted(inst: &TtInstance, check: &mut dyn FnMut() -> bool) -> (CccSolution, usize) {
+    solve_resumable(inst, check, None, &mut |_, _, _| {})
+}
+
+/// As [`solve_budgeted`], but resumable: `resume = (level, cost, best)`
+/// warm-starts every replica from a completed wavefront (see
+/// [`CccDriver::import_wavefront`]), and `on_level` receives the tables
+/// read back from replica 0 after each completed level.
+pub fn solve_resumable(
+    inst: &TtInstance,
+    check: &mut dyn FnMut() -> bool,
+    resume: Option<WavefrontSeed<'_>>,
+    on_level: &mut LevelSink<'_>,
+) -> (CccSolution, usize) {
     let driver = CccDriver::new(inst);
     let mut ccc = driver.fresh_machine();
     driver.init(&mut ccc);
+    let start = match resume {
+        Some((level, cost, best)) => {
+            let lvl = level.min(driver.layout.k);
+            driver.import_wavefront(&mut ccc, lvl, cost, best);
+            lvl
+        }
+        None => 0,
+    };
     let mut done = driver.layout.k;
-    for level in 1..=driver.layout.k {
+    for level in (start + 1)..=driver.layout.k {
         if !check() {
             done = level - 1;
             break;
         }
         driver.run_level(&mut ccc, level);
+        let (c, b) = driver.read_tables(inst, &ccc, 0);
+        on_level(level, &c, &b);
     }
     (driver.solution(inst, &ccc, 0), done)
 }

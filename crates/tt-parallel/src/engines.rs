@@ -11,6 +11,7 @@ use crate::{bvm as bvm_tt, ccc as ccc_tt, hyper, rayon_solver};
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::solver::budget::{Budget, BudgetMeter};
+use tt_core::solver::checkpoint::Checkpoint;
 use tt_core::solver::engine::{
     self, timed_report_with, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
 };
@@ -32,7 +33,7 @@ fn level_check(meter: &mut BudgetMeter, pes: u64) -> bool {
 /// action is any `i` whose candidate value `M[S, i]` — recomputed from
 /// the machine's own `C` table — equals `C(S)`. One candidate pass, no
 /// second DP.
-fn tree_from_c_table(inst: &TtInstance, c_table: &[Cost]) -> Option<TtTree> {
+pub(crate) fn tree_from_c_table(inst: &TtInstance, c_table: &[Cost]) -> Option<TtTree> {
     let weight_table = inst.weight_table();
     let best: Vec<Option<u16>> = (0..c_table.len())
         .map(|mask| {
@@ -73,9 +74,35 @@ impl Solver for RayonEngine {
         "level-synchronous DP on shared-memory worker threads"
     }
     fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        self.solve_resumable(inst, budget, None, &mut |_| {})
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
         timed_report_with(|| {
             let mut meter = budget.start();
-            let (tables, done) = rayon_solver::solve_tables_with(inst, &mut meter);
+            let prepared = engine::prepare_resume(inst, resume);
+            let seed_tables = prepared.as_ref().map(|ck| {
+                (
+                    ck.level,
+                    sequential::DpTables {
+                        cost: ck.cost.clone(),
+                        best: ck.best.clone(),
+                    },
+                )
+            });
+            let seed = seed_tables.as_ref().map(|(l, t)| (*l, t));
+            let (tables, done) =
+                rayon_solver::solve_tables_resumable(inst, &mut meter, seed, &mut |level, c, b| {
+                    sink(engine::checkpoint_at_level(inst, level, c, b))
+                });
             let mut work = WorkStats {
                 subsets: meter.subsets(),
                 candidates: meter.candidates(),
@@ -83,6 +110,9 @@ impl Solver for RayonEngine {
                 ..WorkStats::default()
             };
             work.push_extra("threads", rayon::current_num_threads() as u64);
+            if let Some((level, _)) = &seed_tables {
+                work.push_extra("resumed_level", *level as u64);
+            }
             if let Some(r) = meter.exhausted() {
                 work.push_extra("completed_levels", done as u64);
                 // Wavefront invariant: after `done` levels every entry
@@ -124,13 +154,34 @@ impl Solver for HyperEngine {
         14
     }
     fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        self.solve_resumable(inst, budget, None, &mut |_| {})
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
         timed_report_with(|| {
             if !budget.is_unlimited() && inst.k() > self.max_k() {
                 return engine::capacity_result(inst, WorkStats::default());
             }
             let mut meter = budget.start();
             let pes = Layout::new(inst.k(), inst.n_actions()).pes() as u64;
-            let (s, done) = hyper::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
+            let prepared = engine::prepare_resume(inst, resume);
+            let warm = prepared
+                .as_ref()
+                .map(|ck| (ck.level, ck.cost.as_slice(), ck.best.as_slice()));
+            let (s, done) = hyper::solve_resumable(
+                inst,
+                &mut || level_check(&mut meter, pes),
+                warm,
+                &mut |level, c, b| sink(engine::checkpoint_at_level(inst, level, c, b)),
+            );
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.steps.exchange + s.steps.local,
@@ -139,6 +190,9 @@ impl Solver for HyperEngine {
             };
             work.push_extra("exchange_steps", s.steps.exchange);
             work.push_extra("local_steps", s.steps.local);
+            if let Some(ck) = &prepared {
+                work.push_extra("resumed_level", ck.level as u64);
+            }
             if let Some(r) = meter.exhausted() {
                 work.push_extra("completed_levels", done as u64);
                 return engine::degraded_result(
@@ -186,6 +240,18 @@ impl Solver for HyperBlockedEngine {
         14
     }
     fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        self.solve_resumable(inst, budget, None, &mut |_| {})
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
         timed_report_with(|| {
             if !budget.is_unlimited() && inst.k() > self.max_k() {
                 return engine::capacity_result(inst, WorkStats::default());
@@ -194,8 +260,21 @@ impl Solver for HyperBlockedEngine {
             let layout = Layout::new(inst.k(), inst.n_actions());
             let phys = Self::phys(&layout);
             let pes = layout.pes() as u64;
-            let (s, done) =
-                hyper::solve_blocked_budgeted(inst, phys, &mut || level_check(&mut meter, pes));
+            let prepared = engine::prepare_resume(inst, resume);
+            let warm = prepared
+                .as_ref()
+                .map(|ck| (ck.level, ck.cost.as_slice(), ck.best.as_slice()));
+            // No argmin plane on this machine: emitted checkpoints carry
+            // `None` argmins; consumers recover them from the cost slab
+            // (`prepare_resume`).
+            let no_best = vec![None; 1usize << inst.k()];
+            let (s, done) = hyper::solve_blocked_resumable(
+                inst,
+                phys,
+                &mut || level_check(&mut meter, pes),
+                warm,
+                &mut |level, c| sink(engine::checkpoint_at_level(inst, level, c, &no_best)),
+            );
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.counts.virtual_steps,
@@ -206,6 +285,9 @@ impl Solver for HyperBlockedEngine {
             work.push_extra("remote_pair_ops", s.counts.remote_pair_ops);
             work.push_extra("words_communicated", s.counts.words_communicated);
             work.push_extra("block_size", s.block_size as u64);
+            if let Some(ck) = &prepared {
+                work.push_extra("resumed_level", ck.level as u64);
+            }
             if let Some(r) = meter.exhausted() {
                 work.push_extra("completed_levels", done as u64);
                 // The blocked machine carries no argmin plane; the
@@ -241,13 +323,34 @@ impl Solver for CccEngine {
         8
     }
     fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        self.solve_resumable(inst, budget, None, &mut |_| {})
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
         timed_report_with(|| {
             if !budget.is_unlimited() && inst.k() > self.max_k() {
                 return engine::capacity_result(inst, WorkStats::default());
             }
             let mut meter = budget.start();
             let pes = ccc_pes(ccc_tt::CccDriver::new(inst).machine_r);
-            let (s, done) = ccc_tt::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
+            let prepared = engine::prepare_resume(inst, resume);
+            let warm = prepared
+                .as_ref()
+                .map(|ck| (ck.level, ck.cost.as_slice(), ck.best.as_slice()));
+            let (s, done) = ccc_tt::solve_resumable(
+                inst,
+                &mut || level_check(&mut meter, pes),
+                warm,
+                &mut |level, c, b| sink(engine::checkpoint_at_level(inst, level, c, b)),
+            );
             let mut work = WorkStats {
                 subsets: 1 << inst.k(),
                 machine_steps: s.steps.total_comm() + s.steps.local,
@@ -259,6 +362,9 @@ impl Solver for CccEngine {
             work.push_extra("intra_cycle", s.steps.intra_cycle);
             work.push_extra("local_steps", s.steps.local);
             work.push_extra("machine_r", s.machine_r as u64);
+            if let Some(ck) = &prepared {
+                work.push_extra("resumed_level", ck.level as u64);
+            }
             if let Some(r) = meter.exhausted() {
                 work.push_extra("completed_levels", done as u64);
                 return engine::degraded_result(
@@ -409,6 +515,51 @@ mod tests {
                 e.name()
             );
         }
+    }
+
+    #[test]
+    fn resumable_engines_reproduce_the_cold_run_from_every_checkpoint() {
+        let inst = small_instance();
+        let opt = sequential::solve(&inst);
+        let budget = Budget::unlimited();
+        for e in engines() {
+            if !e.resumable() {
+                continue;
+            }
+            let mut cks = Vec::new();
+            let cold = e.solve_resumable(&inst, &budget, None, &mut |ck| cks.push(ck));
+            assert_eq!(cold.cost, opt.cost, "{} cold cost", e.name());
+            let levels: Vec<usize> = cks.iter().map(|ck| ck.level).collect();
+            assert_eq!(levels, vec![1, 2, 3], "{} checkpoint levels", e.name());
+            for ck in &cks {
+                let warm = e.solve_resumable(&inst, &budget, Some(ck), &mut |_| {});
+                assert_eq!(warm.cost, cold.cost, "{} resumed@{}", e.name(), ck.level);
+                assert_eq!(
+                    warm.work.extra("resumed_level"),
+                    Some(ck.level as u64),
+                    "{} resumed@{}",
+                    e.name(),
+                    ck.level
+                );
+                let tree = warm.tree.expect("warm run lost the tree");
+                tree.validate(&inst).unwrap();
+                assert_eq!(tree.expected_cost(&inst), opt.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn bvm_is_honestly_non_resumable() {
+        // Bit-serial state cannot be reconstructed from a level slab; the
+        // engine must advertise that and still answer correctly when
+        // handed a checkpoint (cold restart).
+        let inst = small_instance();
+        let bvm = engines().into_iter().find(|e| e.name() == "bvm").unwrap();
+        assert!(!bvm.resumable());
+        let mut cks = Vec::new();
+        let cold = bvm.solve_resumable(&inst, &Budget::unlimited(), None, &mut |ck| cks.push(ck));
+        assert!(cks.is_empty());
+        assert_eq!(cold.cost, sequential::solve(&inst).cost);
     }
 
     #[test]

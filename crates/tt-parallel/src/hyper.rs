@@ -27,6 +27,7 @@ use crate::layout::{padded_actions, Layout, PadAction};
 use hypercube::cube::{SimdHypercube, StepCounts};
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
+use tt_core::solver::sequential::{LevelSink, WavefrontSeed};
 use tt_core::subset::Subset;
 
 /// Per-PE state: the four words of the paper's working set, plus an
@@ -124,31 +125,44 @@ pub fn solve_budgeted(
     inst: &TtInstance,
     check: &mut dyn FnMut() -> bool,
 ) -> (HyperSolution, usize) {
+    solve_resumable(inst, check, None, &mut |_, _, _| {})
+}
+
+/// As [`solve_budgeted`], but resumable: `resume = (level, cost, best)`
+/// warm-starts the machine from a completed `#S ≤ level` wavefront (see
+/// [`warm_pe`]), and `on_level` is called with the freshly read tables
+/// after every completed level — the checkpoint-export hook.
+pub fn solve_resumable(
+    inst: &TtInstance,
+    check: &mut dyn FnMut() -> bool,
+    resume: Option<WavefrontSeed<'_>>,
+    on_level: &mut LevelSink<'_>,
+) -> (HyperSolution, usize) {
     let layout = Layout::new(inst.k(), inst.n_actions());
     let actions = padded_actions(inst, &layout);
     let weights = inst.weight_table();
+    let m_tests = inst.n_tests();
     let mut cube = SimdHypercube::new(layout.dims(), |_| TtPe::default());
-    let done = run_tt_budgeted(
-        &mut cube,
-        &layout,
-        &actions,
-        &weights,
-        inst.n_tests(),
-        check,
-    );
-    let c_table: Vec<Cost> = Subset::all(inst.k())
-        .map(|s| cube.pe(layout.addr(s, 0)).m)
-        .collect();
-    let best_table: Vec<Option<u16>> = Subset::all(inst.k())
-        .map(|s| {
-            let pe = cube.pe(layout.addr(s, 0));
-            if s.is_empty() || pe.m.is_inf() {
-                None
-            } else {
-                Some(pe.arg)
-            }
-        })
-        .collect();
+    cube.local_step(|addr, pe| init_pe(addr, pe, &layout, &actions, &weights));
+    let start = match resume {
+        Some((level, cost, best)) => {
+            let lvl = level.min(layout.k);
+            cube.host_load(|addr, pe| warm_pe(addr, pe, &layout, lvl, cost, best));
+            lvl
+        }
+        None => 0,
+    };
+    let mut done = layout.k;
+    for level in (start + 1)..=layout.k {
+        if !check() {
+            done = level - 1;
+            break;
+        }
+        run_level_cube(&mut cube, &layout, &actions, level, m_tests);
+        let (c, b) = read_cube_tables(&cube, &layout, inst.k());
+        on_level(level, &c, &b);
+    }
+    let (c_table, best_table) = read_cube_tables(&cube, &layout, inst.k());
     let cost = c_table[inst.universe().index()];
     (
         HyperSolution {
@@ -160,6 +174,55 @@ pub fn solve_budgeted(
         },
         done,
     )
+}
+
+/// Reads the `C(·)` and argmin tables out of the `i = 0` column.
+fn read_cube_tables(
+    cube: &SimdHypercube<TtPe>,
+    layout: &Layout,
+    k: usize,
+) -> (Vec<Cost>, Vec<Option<u16>>) {
+    let c_table: Vec<Cost> = Subset::all(k)
+        .map(|s| cube.pe(layout.addr(s, 0)).m)
+        .collect();
+    let best_table: Vec<Option<u16>> = Subset::all(k)
+        .map(|s| {
+            let pe = cube.pe(layout.addr(s, 0));
+            if s.is_empty() || pe.m.is_inf() {
+                None
+            } else {
+                Some(pe.arg)
+            }
+        })
+        .collect();
+    (c_table, best_table)
+}
+
+/// Warm-start overlay for a resumed checkpoint: writes the exact
+/// `C(S)` (and argmin, when known) into every `i`-column of each
+/// subset at or below the completed wavefront `level`. Sound because
+/// after level `#S` the min-reduction leaves *every* PE of column `S`
+/// holding `C(S)` (the `every_i_column_agrees_after_the_run`
+/// invariant), and `R`/`Q` are re-seeded from `M` at the start of each
+/// level — so a machine overlaid at level `j` is state-identical to
+/// one that computed levels `1..j` itself. Apply via `host_load`, not
+/// `local_step`: the import is host intervention, not machine work.
+pub fn warm_pe(
+    addr: usize,
+    pe: &mut TtPe,
+    layout: &Layout,
+    level: usize,
+    cost: &[Cost],
+    best: &[Option<u16>],
+) {
+    let (s, _) = layout.split(addr);
+    if s.is_empty() || s.len() > level {
+        return;
+    }
+    pe.m = cost[s.index()];
+    if let Some(b) = best[s.index()] {
+        pe.arg = b;
+    }
 }
 
 /// The TT schedule itself, reusable by the CCC driver through the shared
@@ -192,22 +255,36 @@ pub fn run_tt_budgeted(
         if !check() {
             return level - 1;
         }
-        cube.local_step(|_, pe| {
-            pe.r = pe.m;
-            pe.q = pe.m;
-        });
-        for e in 0..layout.k {
-            let dim = layout.s_dim(e);
-            cube.exchange_step(dim, |lo_addr, lo, hi| {
-                rq_op(e, lo_addr, lo, hi, &lay, actions);
-            });
-        }
-        cube.local_step(|addr, pe| combine_pe(addr, pe, &lay, level, m_tests));
-        for t in layout.i_dims() {
-            cube.exchange_step(t, |_, lo, hi| min_op(lo, hi));
-        }
+        run_level_cube(cube, layout, actions, level, m_tests);
     }
     layout.k
+}
+
+/// One `#S = level` wavefront of the TT schedule (the body of the level
+/// loop): the `R`/`Q` reseed, the `k`-step `e`-loop ASCEND, the gated
+/// recombination, and the `log N` min-reduction.
+pub fn run_level_cube(
+    cube: &mut SimdHypercube<TtPe>,
+    layout: &Layout,
+    actions: &[PadAction],
+    level: usize,
+    m_tests: usize,
+) {
+    let lay = *layout;
+    cube.local_step(|_, pe| {
+        pe.r = pe.m;
+        pe.q = pe.m;
+    });
+    for e in 0..layout.k {
+        let dim = layout.s_dim(e);
+        cube.exchange_step(dim, |lo_addr, lo, hi| {
+            rq_op(e, lo_addr, lo, hi, &lay, actions);
+        });
+    }
+    cube.local_step(|addr, pe| combine_pe(addr, pe, &lay, level, m_tests));
+    for t in layout.i_dims() {
+        cube.exchange_step(t, |_, lo, hi| min_op(lo, hi));
+    }
 }
 
 /// PE initialization: `TP = t_i·p(S)`, `M[∅,i] = 0`, else `INF`.
@@ -468,6 +545,21 @@ pub fn solve_blocked_budgeted(
     phys: usize,
     check: &mut dyn FnMut() -> bool,
 ) -> (BlockedSolution, usize) {
+    solve_blocked_resumable(inst, phys, check, None, &mut |_, _| {})
+}
+
+/// As [`solve_blocked_budgeted`], but resumable: `resume` warm-starts
+/// the virtual machine from a completed wavefront via [`warm_pe`], and
+/// `on_level` receives the cost table after each completed level (the
+/// blocked machine carries no argmin plane, so checkpoints it produces
+/// have their argmins recovered from the cost slab on load).
+pub fn solve_blocked_resumable(
+    inst: &TtInstance,
+    phys: usize,
+    check: &mut dyn FnMut() -> bool,
+    resume: Option<WavefrontSeed<'_>>,
+    on_level: &mut dyn FnMut(usize, &[Cost]),
+) -> (BlockedSolution, usize) {
     use hypercube::blocked::BlockedHypercube;
     let layout = Layout::new(inst.k(), inst.n_actions());
     let actions = padded_actions(inst, &layout);
@@ -476,26 +568,25 @@ pub fn solve_blocked_budgeted(
     let phys = phys.min(layout.dims());
     let mut cube = BlockedHypercube::new(layout.dims(), phys, |_| TtPe::default());
     cube.local_step(|addr, pe| init_pe(addr, pe, &layout, &actions, &weights));
+    let start = match resume {
+        Some((level, cost, best)) => {
+            let lvl = level.min(layout.k);
+            cube.host_load(|addr, pe| warm_pe(addr, pe, &layout, lvl, cost, best));
+            lvl
+        }
+        None => 0,
+    };
     let mut done = layout.k;
-    for level in 1..=layout.k {
+    for level in (start + 1)..=layout.k {
         if !check() {
             done = level - 1;
             break;
         }
-        cube.local_step(|_, pe| {
-            pe.r = pe.m;
-            pe.q = pe.m;
-        });
-        for e in 0..layout.k {
-            let dim = layout.s_dim(e);
-            cube.exchange_step(dim, |lo_addr, lo, hi| {
-                rq_op(e, lo_addr, lo, hi, &layout, &actions);
-            });
-        }
-        cube.local_step(|addr, pe| combine_pe(addr, pe, &layout, level, m_tests));
-        for t in layout.i_dims() {
-            cube.exchange_step(t, |_, lo, hi| min_op(lo, hi));
-        }
+        run_level_blocked(&mut cube, &layout, &actions, level, m_tests);
+        let c: Vec<Cost> = Subset::all(inst.k())
+            .map(|s| cube.pe(layout.addr(s, 0)).m)
+            .collect();
+        on_level(level, &c);
     }
     let c_table: Vec<Cost> = Subset::all(inst.k())
         .map(|s| cube.pe(layout.addr(s, 0)).m)
@@ -511,6 +602,31 @@ pub fn solve_blocked_budgeted(
         },
         done,
     )
+}
+
+/// The blocked twin of [`run_level_cube`] — same wavefront schedule on
+/// the virtualized machine.
+fn run_level_blocked(
+    cube: &mut hypercube::blocked::BlockedHypercube<TtPe>,
+    layout: &Layout,
+    actions: &[PadAction],
+    level: usize,
+    m_tests: usize,
+) {
+    cube.local_step(|_, pe| {
+        pe.r = pe.m;
+        pe.q = pe.m;
+    });
+    for e in 0..layout.k {
+        let dim = layout.s_dim(e);
+        cube.exchange_step(dim, |lo_addr, lo, hi| {
+            rq_op(e, lo_addr, lo, hi, layout, actions);
+        });
+    }
+    cube.local_step(|addr, pe| combine_pe(addr, pe, layout, level, m_tests));
+    for t in layout.i_dims() {
+        cube.exchange_step(t, |_, lo, hi| min_op(lo, hi));
+    }
 }
 
 #[cfg(test)]

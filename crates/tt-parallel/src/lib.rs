@@ -41,6 +41,7 @@ pub mod complexity;
 pub mod engines;
 pub mod hyper;
 pub mod layout;
+pub mod orchestrate;
 pub mod rayon_solver;
 pub mod resilient;
 pub mod sweep;

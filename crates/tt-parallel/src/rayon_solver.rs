@@ -13,7 +13,7 @@ use rayon::prelude::*;
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::solver::budget::BudgetMeter;
-use tt_core::solver::sequential::{candidate, DpTables};
+use tt_core::solver::sequential::{candidate, DpTables, LevelSink};
 use tt_core::subset::Subset;
 
 /// Solves the DP level-synchronously with rayon; returns the same tables
@@ -28,15 +28,39 @@ pub fn solve_tables(inst: &TtInstance) -> DpTables {
 /// levels — entries for `#S ≤` that count are exact, the rest are still
 /// `INF` placeholders.
 pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTables, usize) {
+    solve_tables_resumable(inst, meter, None, &mut |_, _, _| {})
+}
+
+/// As [`solve_tables_with`], but resumable: `seed = (level, tables)`
+/// warm-starts from a checkpoint's completed `#S ≤ level` slab (levels
+/// below the seed are neither recomputed nor re-charged to the meter),
+/// and `sink` receives the tables after each completed level — the
+/// checkpoint-export hook.
+pub fn solve_tables_resumable(
+    inst: &TtInstance,
+    meter: &mut BudgetMeter,
+    seed: Option<(usize, &DpTables)>,
+    sink: &mut LevelSink<'_>,
+) -> (DpTables, usize) {
     let k = inst.k();
     let size = 1usize << k;
     let weight_table = inst.weight_table();
     let mut cost = vec![Cost::INF; size];
     let mut best: Vec<Option<u16>> = vec![None; size];
     cost[0] = Cost::ZERO;
+    let mut start = 0;
+    if let Some((level, tables)) = seed {
+        start = level.min(k);
+        for s in Subset::all(k) {
+            if !s.is_empty() && s.len() <= start {
+                cost[s.index()] = tables.cost[s.index()];
+                best[s.index()] = tables.best[s.index()];
+            }
+        }
+    }
     let mut done = k;
 
-    for j in 1..=k {
+    for j in (start + 1)..=k {
         let level: Vec<Subset> = Subset::of_size(k, j).collect();
         let in_budget = meter.charge_subsets(level.len() as u64)
             & meter.charge_candidates((level.len() * inst.n_actions()) as u64)
@@ -67,6 +91,7 @@ pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTable
             cost[idx] = c;
             best[idx] = b;
         }
+        sink(j, &cost, &best);
     }
     (DpTables { cost, best }, done)
 }

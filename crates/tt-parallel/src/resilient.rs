@@ -40,6 +40,7 @@ use bvm::machine::Bvm;
 use hypercube::fault::CccFaultPlan;
 use tt_core::instance::TtInstance;
 use tt_core::solver::engine::{self, DegradeReason, SolveReport, WorkStats};
+use tt_core::solver::sequential::{LevelSink, WavefrontSeed};
 
 /// The marker value the dead-PE probe writes into `TtPe::arg`.
 const PROBE_MARK: u16 = 0xBEEF;
@@ -142,6 +143,24 @@ pub fn solve_ccc_resilient(
     plan: CccFaultPlan<crate::hyper::TtPe>,
     max_retries: usize,
 ) -> Result<(CccSolution, ResilienceReport), FaultEscalation> {
+    solve_ccc_resilient_resumable(inst, plan, max_retries, None, &mut |_, _, _| {})
+}
+
+/// As [`solve_ccc_resilient`], but resumable: `resume` warm-starts every
+/// replica from a completed `#S ≤ level` wavefront (the import is a host
+/// load — it bypasses the armed fault plan, exactly like the dead-PE
+/// probe), and `on_level` receives the clean replica's tables after each
+/// *committed* level. An escalation mid-solve therefore leaves the
+/// caller holding a checkpoint of the last level that passed the
+/// redundant-execution check — the warm handoff the supervision chain
+/// resumes a software engine from.
+pub fn solve_ccc_resilient_resumable(
+    inst: &TtInstance,
+    plan: CccFaultPlan<crate::hyper::TtPe>,
+    max_retries: usize,
+    resume: Option<WavefrontSeed<'_>>,
+    on_level: &mut LevelSink<'_>,
+) -> Result<(CccSolution, ResilienceReport), FaultEscalation> {
     let driver = CccDriver::new(inst);
     let mut m = driver.fresh_machine();
     m.inject_faults(plan);
@@ -157,12 +176,20 @@ pub fn solve_ccc_resilient(
         .ok_or(FaultEscalation::NoCleanReplica { dead: dead.clone() })?;
 
     driver.init(&mut m);
+    let start = match resume {
+        Some((level, cost, best)) => {
+            let lvl = level.min(driver.layout.k);
+            driver.import_wavefront(&mut m, lvl, cost, best);
+            lvl
+        }
+        None => 0,
+    };
     let mut report = ResilienceReport {
         dead_pes: dead,
         replica_used: replica,
         ..ResilienceReport::default()
     };
-    for level in 1..=driver.layout.k {
+    for level in (start + 1)..=driver.layout.k {
         let snapshot = m.clone();
         let mut attempts = 0usize;
         loop {
@@ -181,6 +208,8 @@ pub fn solve_ccc_resilient(
             attempts += 1;
             report.retries += 1;
         }
+        let (c, b) = driver.read_tables(inst, &m, replica);
+        on_level(level, &c, &b);
     }
     Ok((driver.solution(inst, &m, replica), report))
 }

@@ -4,9 +4,11 @@
 //! USAGE:
 //!   ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]
 //!           [--timeout <ms>] [--max-candidates <n>] [--faults <spec>]
+//!           [--supervise] [--checkpoint <file>] [--resume <file>]
 //!   ttsolve --demo <domain> [k] [seed] [--solver <engine>] [--tree] [--dot] [--stats]
 //!           (domains: random, medical, faults, biology, lab)
 //!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
+//!   ttsolve --batch <manifest>           # supervised batch solving
 //!   ttsolve --engines                    # list the registered engines
 //! ```
 //!
@@ -38,21 +40,47 @@
 //! before any engine is invoked. See `ttcheck` for the full static
 //! verification surface (microcode and schedule passes).
 //!
+//! `--supervise` solves through a health-aware failover chain
+//! (`tt_core::solver::supervise`) instead of a single engine: the
+//! shape-selected machine primary first, software fallbacks behind it;
+//! panics, fault escalations, and capacity refusals retry with backoff
+//! and then fail over — warm, when a checkpoint exists. `--checkpoint
+//! <file>` persists the newest level-boundary checkpoint to disk during
+//! the solve (atomic rename, checksummed), and `--resume <file>`
+//! restarts a killed run from one: the resumed solve recomputes only
+//! the levels above the checkpoint's wavefront. A corrupt, truncated,
+//! or mismatched checkpoint is rejected (exit code 9), never trusted.
+//!
+//! `--batch <manifest>` streams instances through one supervisor with
+//! per-instance isolation: each manifest line is `<file.tt>` or
+//! `demo:<domain>:<k>:<seed>`, optionally followed by `solver=`,
+//! `timeout_ms=`, `max_candidates=`, `faults=` overrides; `#` starts a
+//! comment. Every line yields one JSON record on stdout (engine used,
+//! failovers, retries, outcome) and a bad line — malformed, unreadable,
+//! even a panicking solve — becomes an `error` record while the batch
+//! continues. The run exits 0 only when every instance produced the
+//! exact optimum, else 10 (batch-partial).
+//!
 //! Exit codes: `0` success, `2` usage error, `3` unreadable input file,
 //! `4` unparseable or invalid instance, `5` static lint error (with
 //! `--check`), `6` unknown engine or domain, `7` budget exhausted
 //! (degraded result printed), `8` machine faults escalated past
-//! recovery.
+//! recovery, `9` corrupt or mismatched `--resume` checkpoint, `10`
+//! batch finished with non-optimal instances (degraded or error
+//! records).
 
+use std::path::Path;
 use std::process::exit;
-use std::sync::Arc;
 use std::time::Duration;
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::io;
 use tt_core::solver::budget::Budget;
-use tt_core::solver::engine::{SolveOutcome, SolveReport};
+use tt_core::solver::checkpoint::Checkpoint;
+use tt_core::solver::engine::{DegradeReason, SolveOutcome, SolveReport};
+use tt_core::solver::supervise::{supervise_with_sink, SuperviseOptions};
 use tt_core::solver::Solver;
+use tt_parallel::orchestrate::{self, FaultTarget};
 use tt_parallel::resilient::{
     self, solve_bvm_resilient, solve_ccc_resilient, ResilienceReport, DEFAULT_MAX_RETRIES,
 };
@@ -64,19 +92,26 @@ const EXIT_LINT: i32 = 5;
 const EXIT_UNKNOWN_ENGINE: i32 = 6;
 const EXIT_DEGRADED: i32 = 7;
 const EXIT_FAULT_ESCALATION: i32 = 8;
+const EXIT_RESUME_CORRUPT: i32 = 9;
+const EXIT_BATCH_PARTIAL: i32 = 10;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]\n\
          \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>] [--check]\n\
+         \x20                    [--supervise] [--checkpoint <file>] [--resume <file>]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
+         \x20      ttsolve --batch <manifest>\n\
          \x20      ttsolve --engines\n\
          fault specs: ccc:dead:<addr> ccc:drop:<dim>@<nth> ccc:corrupt:<dim>@<nth>\n\
          \x20            bvm:dead:<pe> bvm:stuck:<pe>=<0|1> bvm:flip:<pe>@<nth>\n\
+         batch lines: <file.tt | demo:<domain>:<k>:<seed>> [solver=] [timeout_ms=]\n\
+         \x20            [max_candidates=] [faults=]   (# starts a comment)\n\
          exit codes: 0 ok, 2 usage, 3 unreadable file, 4 invalid instance,\n\
          \x20           5 lint error (--check), 6 unknown engine/domain,\n\
-         \x20           7 degraded (budget), 8 fault escalation"
+         \x20           7 degraded (budget), 8 fault escalation,\n\
+         \x20           9 corrupt/mismatched resume checkpoint, 10 batch partial"
     );
     exit(EXIT_USAGE)
 }
@@ -103,6 +138,9 @@ struct Opts {
     max_candidates: Option<u64>,
     faults: Option<String>,
     check: bool,
+    supervise: bool,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 }
 
 impl Opts {
@@ -141,6 +179,9 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -
             }
             "--faults" => opts.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--check" => opts.check = true,
+            "--supervise" => opts.supervise = true,
+            "--checkpoint" => opts.checkpoint = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--resume" => opts.resume = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -174,6 +215,35 @@ fn main() {
     if args[0] == "--engines" {
         list_engines();
         return;
+    }
+
+    // Batch mode: stream a manifest through one supervisor with
+    // per-instance isolation; JSON-lines records plus a totals trailer.
+    if args[0] == "--batch" {
+        let path = args.get(1).unwrap_or_else(|| usage());
+        if args.len() > 2 {
+            usage();
+        }
+        let manifest = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(EXIT_READ)
+            }
+        };
+        let summary = orchestrate::run_batch(&manifest, &mut |rec| println!("{}", rec.to_json()));
+        println!("{}", summary.to_json());
+        eprintln!(
+            "batch: {} ok, {} degraded, {} errors",
+            summary.ok(),
+            summary.degraded(),
+            summary.errors()
+        );
+        exit(if summary.all_ok() {
+            0
+        } else {
+            EXIT_BATCH_PARTIAL
+        });
     }
 
     // Generation modes: `--demo`/`--emit <domain> [k] [seed]`, then
@@ -316,6 +386,13 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
             exit(EXIT_LINT);
         }
     }
+    let resume = opts
+        .resume
+        .as_deref()
+        .map(|p| load_checkpoint_or_exit(p, inst));
+    if opts.supervise {
+        exit(solve_supervised(inst, opts, resume));
+    }
     if let Some(spec) = &opts.faults {
         exit(solve_with_faults(inst, opts, spec));
     }
@@ -341,7 +418,22 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
         );
     }
 
-    let report = engine.solve_with(inst, &opts.budget());
+    let report = if resume.is_some() || opts.checkpoint.is_some() {
+        if !engine.resumable() && (resume.is_some() || opts.checkpoint.is_some()) {
+            eprintln!(
+                "note: engine '{}' is not resumable; solving cold, no checkpoints will be written",
+                engine.name()
+            );
+        }
+        let mut sink = |ck: Checkpoint| {
+            if let Some(p) = &opts.checkpoint {
+                save_checkpoint(p, &ck);
+            }
+        };
+        engine.solve_resumable(inst, &opts.budget(), resume.as_ref(), &mut sink)
+    } else {
+        engine.solve_with(inst, &opts.budget())
+    };
     if opts.stats {
         println!("engine: {}", engine.name());
     }
@@ -350,92 +442,113 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
 }
 
 // ---------------------------------------------------------------------
-// Fault-injection mode.
+// Checkpoint persistence and supervised solving.
 // ---------------------------------------------------------------------
 
-/// Which resilient driver a fault spec targets.
-enum FaultTarget {
-    Ccc(hypercube::CccFaultPlan<tt_parallel::hyper::TtPe>),
-    Bvm(bvm::BvmFaultPlan),
+/// Loads and validates a `--resume` checkpoint; a corrupt, truncated,
+/// or wrong-instance file exits with [`EXIT_RESUME_CORRUPT`] — a bad
+/// checkpoint is never silently ignored.
+fn load_checkpoint_or_exit(path: &str, inst: &TtInstance) -> Checkpoint {
+    let ck = match Checkpoint::load(Path::new(path)) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("cannot resume from {path}: {e}");
+            exit(EXIT_RESUME_CORRUPT)
+        }
+    };
+    if !ck.matches(inst) {
+        eprintln!("cannot resume from {path}: checkpoint belongs to a different instance");
+        exit(EXIT_RESUME_CORRUPT)
+    }
+    println!(
+        "resuming from {path}: levels 1..={} already exact",
+        ck.level
+    );
+    ck
 }
 
-fn parse_pair(s: &str, sep: char) -> Result<(usize, u64), String> {
-    let (a, b) = s
-        .split_once(sep)
-        .ok_or_else(|| format!("expected <a>{sep}<b> in '{s}'"))?;
-    Ok((
-        a.parse().map_err(|_| format!("bad number '{a}'"))?,
-        b.parse().map_err(|_| format!("bad number '{b}'"))?,
-    ))
+fn save_checkpoint(path: &str, ck: &Checkpoint) {
+    if let Err(e) = ck.save(Path::new(path)) {
+        eprintln!("warning: cannot write checkpoint {path}: {e}");
+    }
 }
 
-fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
-    let mut ccc = hypercube::CccFaultPlan::<tt_parallel::hyper::TtPe>::none();
-    let mut bvm_plan = bvm::BvmFaultPlan::none();
-    let mut machine: Option<&str> = None;
-    for part in spec.split(',') {
-        let mut fields = part.splitn(3, ':');
-        let (m, kind, rest) = (
-            fields.next().unwrap_or(""),
-            fields.next().unwrap_or(""),
-            fields.next().unwrap_or(""),
-        );
-        if let Some(prev) = machine {
-            if prev != m {
-                return Err(format!("mixed fault targets '{prev}' and '{m}'"));
+/// `--supervise`: solve through a failover chain under the supervisor,
+/// persisting checkpoints when `--checkpoint` is set.
+fn solve_supervised(inst: &TtInstance, opts: &Opts, resume: Option<Checkpoint>) -> i32 {
+    let chain: Vec<Box<dyn Solver>> = if let Some(spec) = &opts.faults {
+        let target = match orchestrate::parse_fault_spec(spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                return EXIT_USAGE;
+            }
+        };
+        let machine = match &target {
+            FaultTarget::Ccc(_) => "ccc",
+            FaultTarget::Bvm(_) => "bvm",
+        };
+        if let Some(solver) = opts.solver.as_deref() {
+            if solver != machine {
+                eprintln!("--faults {machine}:* requires --solver {machine} (or none)");
+                return EXIT_USAGE;
             }
         }
-        machine = Some(m);
-        match (m, kind) {
-            ("ccc", "dead") => ccc
-                .dead
-                .push(rest.parse().map_err(|_| format!("bad address '{rest}'"))?),
-            ("ccc", "drop") => {
-                let (dim, nth) = parse_pair(rest, '@')?;
-                ccc.links.push(hypercube::PairFault {
-                    dim,
-                    nth,
-                    kind: hypercube::PairFaultKind::Drop,
-                });
+        println!("fault plan armed on {machine}: {spec}");
+        orchestrate::fault_chain(inst, target)
+    } else if let Some(name) = opts.solver.as_deref() {
+        match orchestrate::named_chain(inst, name) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return EXIT_UNKNOWN_ENGINE;
             }
-            ("ccc", "corrupt") => {
-                let (dim, nth) = parse_pair(rest, '@')?;
-                ccc.links.push(hypercube::PairFault {
-                    dim,
-                    nth,
-                    kind: hypercube::PairFaultKind::Corrupt(Arc::new(
-                        |pe: &mut tt_parallel::hyper::TtPe| {
-                            pe.tp = Cost(pe.tp.0 ^ 1);
-                        },
-                    )),
-                });
-            }
-            ("bvm", "dead") => bvm_plan.faults.push(bvm::BvmFault::DeadPe {
-                pe: rest.parse().map_err(|_| format!("bad PE '{rest}'"))?,
-            }),
-            ("bvm", "stuck") => {
-                let (pe, value) = parse_pair(rest, '=')?;
-                if value > 1 {
-                    return Err(format!("stuck value must be 0 or 1, got {value}"));
-                }
-                bvm_plan.faults.push(bvm::BvmFault::StuckLink {
-                    pe,
-                    value: value == 1,
-                });
-            }
-            ("bvm", "flip") => {
-                let (pe, nth) = parse_pair(rest, '@')?;
-                bvm_plan.faults.push(bvm::BvmFault::FlipBit { nth, pe });
-            }
-            _ => return Err(format!("unknown fault '{part}'")),
         }
+    } else {
+        orchestrate::default_chain(inst)
+    };
+
+    print_instance_line(inst);
+    let sup_opts = SuperviseOptions {
+        resume,
+        ..SuperviseOptions::default()
+    };
+    let mut observer = |ck: &Checkpoint| {
+        if let Some(p) = &opts.checkpoint {
+            save_checkpoint(p, ck);
+        }
+    };
+    let r = supervise_with_sink(inst, &chain, &opts.budget(), &sup_opts, &mut observer);
+    println!(
+        "supervision: engine = {}, failovers = {}, retries = {}",
+        r.engine, r.failovers, r.retries
+    );
+    for f in &r.failures {
+        println!("  failed: {f}");
     }
-    match machine {
-        Some("ccc") => Ok(FaultTarget::Ccc(ccc)),
-        Some("bvm") => Ok(FaultTarget::Bvm(bvm_plan)),
-        _ => Err("empty fault spec".to_string()),
+    if let Some(level) = r.resumed_level {
+        println!("  warm-started from level {level}");
     }
+    if opts.stats {
+        println!("engine: {}", r.engine);
+    }
+    let code = print_result(inst, opts, &r.report, true);
+    if matches!(
+        r.report.outcome,
+        SolveOutcome::Degraded {
+            reason: DegradeReason::FaultEscalation,
+            ..
+        }
+    ) {
+        return EXIT_FAULT_ESCALATION;
+    }
+    code
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection mode (plain, unsupervised; `--supervise --faults`
+// goes through the failover chain instead).
+// ---------------------------------------------------------------------
 
 fn print_resilience(rep: &ResilienceReport) {
     println!(
@@ -445,7 +558,7 @@ fn print_resilience(rep: &ResilienceReport) {
 }
 
 fn solve_with_faults(inst: &TtInstance, opts: &Opts, spec: &str) -> i32 {
-    let target = match parse_fault_spec(spec) {
+    let target = match orchestrate::parse_fault_spec(spec) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bad --faults spec: {e}");

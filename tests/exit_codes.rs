@@ -1,0 +1,96 @@
+//! Keeps the README's exit-code table in sync with the `EXIT_*`
+//! constants in `src/bin/ttsolve.rs` — both are parsed from source, so
+//! adding a code to one without the other fails here.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// `const EXIT_<NAME>: i32 = <code>;` lines from the ttsolve source.
+fn source_codes() -> BTreeMap<i32, String> {
+    let src = repo_file("src/bin/ttsolve.rs");
+    let mut codes = BTreeMap::new();
+    for line in src.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("const EXIT_") else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once(": i32 = ") else {
+            continue;
+        };
+        let value: i32 = value
+            .trim_end_matches(';')
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable EXIT_ constant line: {line}"));
+        let prev = codes.insert(value, format!("EXIT_{name}"));
+        assert!(prev.is_none(), "duplicate exit code {value} in ttsolve.rs");
+    }
+    codes
+}
+
+/// `| <code> | <meaning> |` rows of the README's exit-code table.
+fn readme_codes() -> BTreeMap<i32, String> {
+    let readme = repo_file("README.md");
+    let mut codes = BTreeMap::new();
+    for line in readme.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("| ") else {
+            continue;
+        };
+        let Some((code, meaning)) = rest.split_once(" | ") else {
+            continue;
+        };
+        let Ok(code) = code.parse::<i32>() else {
+            continue;
+        };
+        let prev = codes.insert(code, meaning.trim_end_matches(" |").to_string());
+        assert!(prev.is_none(), "duplicate exit code {code} in README table");
+    }
+    codes
+}
+
+#[test]
+fn readme_exit_code_table_matches_the_ttsolve_constants() {
+    let source = source_codes();
+    let readme = readme_codes();
+    assert!(
+        !source.is_empty() && !readme.is_empty(),
+        "parsers found nothing — did the table or the constants move?"
+    );
+    // Every source constant must be documented.
+    for (code, name) in &source {
+        assert!(
+            readme.contains_key(code),
+            "{name} = {code} is not in the README exit-code table"
+        );
+    }
+    // Every documented nonzero code must exist in source; 0 (success)
+    // has no constant.
+    for code in readme.keys() {
+        if *code == 0 {
+            continue;
+        }
+        assert!(
+            source.contains_key(code),
+            "README documents exit code {code}, but ttsolve.rs has no EXIT_ constant for it"
+        );
+    }
+    assert!(readme.contains_key(&0), "the README table must document 0");
+}
+
+#[test]
+fn usage_text_mentions_every_exit_code() {
+    let src = repo_file("src/bin/ttsolve.rs");
+    let usage_start = src.find("fn usage()").expect("usage() exists");
+    let usage = &src[usage_start..usage_start + 2000];
+    for (code, name) in source_codes() {
+        assert!(
+            usage.contains(&code.to_string()),
+            "{name} = {code} is missing from the usage() exit-code listing"
+        );
+    }
+}
