@@ -48,6 +48,7 @@ pub struct Bvm {
     output: Vec<bool>,
     executed: u64,
     host_loads: u64,
+    bit_ops: u64,
     phases: Vec<(String, u64)>,
     recording: Option<Vec<Instruction>>,
     recorded_loads: Vec<Dest>,
@@ -102,6 +103,7 @@ impl Bvm {
             output: Vec::new(),
             executed: 0,
             host_loads: 0,
+            bit_ops: 0,
             phases: Vec::new(),
             recording: None,
             recorded_loads: Vec::new(),
@@ -163,10 +165,21 @@ impl Bvm {
         self.host_loads
     }
 
+    /// PE-active bit operations: each executed instruction contributes
+    /// one per PE eligible to commit its write (gate ∧ enable ∧ live).
+    /// Where [`executed`](Self::executed) measures the paper's *time*
+    /// (cycles), this measures the *work* the bit-serial cost model
+    /// charges — gated instructions that touch one cycle position do
+    /// `n/Q` of a full-width op.
+    pub fn bit_ops(&self) -> u64 {
+        self.bit_ops
+    }
+
     /// Resets the instruction counter (not the state).
     pub fn reset_counters(&mut self) {
         self.executed = 0;
         self.host_loads = 0;
+        self.bit_ops = 0;
         self.phases.clear();
     }
 
@@ -321,6 +334,9 @@ impl Bvm {
                 Some(m) => m.and(live),
             });
         }
+        self.bit_ops += dest_mask
+            .as_ref()
+            .map_or(n as u64, |m| m.count_ones() as u64);
 
         match ins.dest {
             Dest::A => apply(&mut self.a, new_dest, &dest_mask),
@@ -521,6 +537,20 @@ mod tests {
         ]);
         assert_eq!(m.executed(), 2);
         assert_eq!(m.host_loads(), 1);
+    }
+
+    #[test]
+    fn bit_ops_counts_commit_eligible_pes() {
+        let mut m = bvm();
+        m.exec(&Instruction::set_const(Dest::A, true));
+        assert_eq!(m.bit_ops(), 64, "ungated, all enabled: full width");
+        m.exec(&Instruction::set_const(Dest::A, true).gated(Gate::if_positions([1])));
+        assert_eq!(m.bit_ops(), 64 + 16, "gate restricts to one position");
+        m.load_register(Dest::E, BitPlane::from_fn(64, |pe| pe < 8));
+        m.exec(&Instruction::set_const(Dest::A, false));
+        assert_eq!(m.bit_ops(), 64 + 16 + 8, "enable plane masks the rest");
+        m.reset_counters();
+        assert_eq!(m.bit_ops(), 0);
     }
 
     #[test]

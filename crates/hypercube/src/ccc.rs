@@ -46,6 +46,14 @@ pub struct CccStepCounts {
     pub intra_cycle: u64,
     /// Local (communication-free) steps.
     pub local: u64,
+    /// Words that crossed a physical wire: every rotation and
+    /// intra-cycle ring step moves one word per PE over a successor
+    /// link (`n` transits each), and every lateral pair exchange that
+    /// actually fires moves one word each way (`2` transits). This is
+    /// the traffic carried by the machine's `3n/2` wires — the volume
+    /// the paper's wire-count argument prices, where the step counters
+    /// above measure only time slots.
+    pub wire_transits: u64,
 }
 
 impl CccStepCounts {
@@ -320,6 +328,9 @@ impl<T: Send + Sync> CccMachine<T> {
                 }
             }
             let fault = self.faults.as_ref().and_then(|fi| fi.next_fault(dim));
+            // The pair fires (even a dropped exchange put its words on
+            // the wire): one word each way.
+            self.counts.wire_transits += 2;
             let (a, b) = self.pes.split_at_mut(hi_addr);
             match fault {
                 Some(PairFaultKind::Drop) => {} // exchange lost in flight
@@ -345,6 +356,7 @@ impl<T: Send + Sync> CccMachine<T> {
         // Low dimensions: realized by ring transport of operand copies.
         for e in dims.start..dims.end.min(self.r) {
             self.counts.intra_cycle += 2 * (1u64 << e);
+            self.counts.wire_transits += 2 * (1u64 << e) * self.pes.len() as u64;
             self.apply_dim(e, None, &op);
             self.trace_low(e);
         }
@@ -384,6 +396,7 @@ impl<T: Send + Sync> CccMachine<T> {
             }
             if t + 1 < 2 * q - 1 {
                 self.counts.rotations += 1;
+                self.counts.wire_transits += self.pes.len() as u64;
             }
             self.trace_slot(fires);
         }
@@ -411,6 +424,7 @@ impl<T: Send + Sync> CccMachine<T> {
         // Then low dimensions, descending.
         for e in (dims.start..dims.end.min(self.r)).rev() {
             self.counts.intra_cycle += 2 * (1u64 << e);
+            self.counts.wire_transits += 2 * (1u64 << e) * self.pes.len() as u64;
             self.apply_dim(e, None, &op);
             self.trace_low(e);
         }
@@ -443,6 +457,7 @@ impl<T: Send + Sync> CccMachine<T> {
             }
             if t + 1 < 2 * q - 1 {
                 self.counts.rotations += 1;
+                self.counts.wire_transits += self.pes.len() as u64;
             }
             self.trace_slot(fires);
         }

@@ -20,6 +20,12 @@ pub struct StepCounts {
     pub local: u64,
     /// Number of dimension-exchange parallel steps.
     pub exchange: u64,
+    /// Words that crossed a wire: each exchange step moves one word in
+    /// each direction over every pair's link, so a full-machine
+    /// exchange adds `2^d` transits (`2^(d-1)` pairs × 2 words). This
+    /// is the *volume* behind the `exchange` *time* — the quantity a
+    /// wire-cost model (e.g. the CCC's `3p/2` wires argument) charges.
+    pub wire_transits: u64,
 }
 
 impl StepCounts {
@@ -168,6 +174,7 @@ impl<T: Send + Sync> SimdHypercube<T> {
             self.dims
         );
         self.counts.exchange += 1;
+        self.counts.wire_transits += self.pes.len() as u64;
         self.exchange_log.push(dim);
         let half = 1usize << dim;
         let block = half << 1;
@@ -217,7 +224,8 @@ mod tests {
             cube.counts(),
             StepCounts {
                 local: 1,
-                exchange: 0
+                exchange: 0,
+                wire_transits: 0
             }
         );
     }
@@ -261,6 +269,8 @@ mod tests {
         let expect: u64 = (0..32).sum();
         assert!(cube.pes().iter().all(|&v| v == expect));
         assert_eq!(cube.counts().exchange, 5);
+        // Each exchange moves 2 words over each of the 16 pair links.
+        assert_eq!(cube.counts().wire_transits, 5 * 32);
     }
 
     #[test]

@@ -378,6 +378,9 @@ impl Checkpoint {
     /// so a kill mid-write never leaves a torn checkpoint behind — the
     /// previous complete one survives).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let _t = tt_obs::metrics::histogram("tt_checkpoint_save_nanos").time();
+        tt_obs::metrics::counter("tt_checkpoint_saves_total").inc();
+        tt_obs::telemetry::add_counter("checkpoint_saves", 1);
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, self.to_text())?;
         std::fs::rename(&tmp, path)
@@ -385,6 +388,9 @@ impl Checkpoint {
 
     /// Loads and verifies a checkpoint from a file.
     pub fn load(path: &std::path::Path) -> Result<Checkpoint, CheckpointLoadError> {
+        let _t = tt_obs::metrics::histogram("tt_checkpoint_load_nanos").time();
+        tt_obs::metrics::counter("tt_checkpoint_loads_total").inc();
+        tt_obs::telemetry::add_counter("checkpoint_loads", 1);
         let text = std::fs::read_to_string(path).map_err(CheckpointLoadError::Io)?;
         Checkpoint::from_text(&text).map_err(CheckpointLoadError::Invalid)
     }

@@ -9,7 +9,13 @@
 //!
 //! `tt-core` registers its own five engines; crates downstream (e.g.
 //! `tt-parallel`) contribute theirs through [`register_extension`], so
-//! this crate stays dependency-free while consumers see a single list.
+//! this crate needs no backend dependencies while consumers see a
+//! single list.
+//!
+//! Every run is observable: [`timed_report_with`] opens a
+//! `tt-obs` telemetry scope around the engine body, so per-level
+//! samples and named counters recorded anywhere below land on the
+//! report's [`telemetry`](SolveReport::telemetry) field.
 //!
 //! Adding a backend is one file: implement [`Solver`], append the
 //! engine to your crate's provider function, and every consumer — the
@@ -209,6 +215,11 @@ pub struct SolveReport {
     pub work: WorkStats,
     /// Wall-clock time of the solve (including tree extraction).
     pub wall: Duration,
+    /// Per-solve telemetry collected while the engine ran: per-DP-level
+    /// wall time / cells / candidate counts, plus named counters
+    /// (checkpoint latencies, machine counters). Empty for engines that
+    /// record nothing.
+    pub telemetry: tt_obs::Telemetry,
 }
 
 /// A solver backend under the uniform interface.
@@ -331,17 +342,31 @@ pub fn timed_report(f: impl FnOnce() -> (Cost, Option<TtTree>, WorkStats)) -> So
 }
 
 /// As [`timed_report`], but `f` also chooses the [`SolveOutcome`].
+///
+/// This is the single assembly point for every [`SolveReport`] in the
+/// workspace, which makes it the observability seam: it opens a
+/// `tt-obs` telemetry collector scope around `f`, so whatever the
+/// engine records (per-level samples, checkpoint timings, machine
+/// counters) is attached to the report, and bumps the global
+/// `tt_solves_total` counter.
 pub fn timed_report_with(
     f: impl FnOnce() -> (Cost, Option<TtTree>, WorkStats, SolveOutcome),
 ) -> SolveReport {
+    tt_obs::metrics::counter("tt_solves_total").inc();
+    tt_obs::telemetry::begin();
+    let span = tt_obs::trace::span("solve", Vec::new());
     let start = Instant::now();
     let (cost, tree, work, outcome) = f();
+    let wall = start.elapsed();
+    drop(span);
+    let telemetry = tt_obs::telemetry::finish();
     SolveReport {
         cost,
         tree,
         outcome,
         work,
-        wall: start.elapsed(),
+        wall,
+        telemetry,
     }
 }
 
@@ -401,7 +426,11 @@ impl Solver for SequentialEngine {
     fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
         timed_report_with(|| {
             let mut meter = budget.start();
-            let (tables, done) = sequential::solve_tables_with(inst, &mut meter);
+            // The levelwise sweep (with a no-op sink) rather than the
+            // mask-order one: identical tables, and each completed
+            // wavefront leaves a per-level telemetry sample.
+            let (tables, done) =
+                sequential::solve_tables_levelwise(inst, &mut meter, None, &mut |_, _, _| {});
             let work = WorkStats {
                 subsets: meter.subsets(),
                 candidates: meter.candidates(),
@@ -417,14 +446,10 @@ impl Solver for SequentialEngine {
                 Some(r) => degraded_result(
                     inst,
                     r.into(),
-                    // Masks below the watermark were finished in order;
-                    // everything at or above it is unknown.
+                    // The wavefront invariant: every `#S ≤ done` entry
+                    // is exact, the rest unknown.
                     &|s| {
-                        if s.index() < done {
-                            Some((tables.cost[s.index()], tables.best[s.index()]))
-                        } else {
-                            None
-                        }
+                        (s.len() <= done).then(|| (tables.cost[s.index()], tables.best[s.index()]))
                     },
                     work,
                 ),
@@ -508,6 +533,7 @@ impl Solver for MemoEngine {
         timed_report_with(|| {
             let mut meter = budget.start();
             let s = memo::solve_with(inst, &mut meter);
+            tt_obs::telemetry::add_counter("reachable_subsets", s.reachable_subsets as u64);
             let work = WorkStats {
                 subsets: s.reachable_subsets as u64,
                 candidates: s.candidates,
@@ -548,6 +574,8 @@ impl Solver for BnbEngine {
         timed_report_with(|| {
             let mut meter = budget.start();
             let s = branch_and_bound::solve_with(inst, &mut meter);
+            tt_obs::telemetry::add_counter("pruned_candidates", s.stats.pruned);
+            tt_obs::metrics::counter("tt_pruned_candidates_total").add(s.stats.pruned);
             let work = WorkStats {
                 subsets: s.stats.subsets as u64,
                 candidates: s.stats.expanded,

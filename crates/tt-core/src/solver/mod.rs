@@ -25,6 +25,8 @@
 //!   wavefront, for warm failover and `--resume` restarts.
 //! * [`supervise`][mod@supervise] — health-aware fallback chains over
 //!   the engine registry: retry, back off, fail over, resume.
+//! * [`select`] — engine auto-selection from the instance's shape
+//!   (`--solver auto`).
 
 pub mod anytime;
 pub mod bounds;
@@ -36,6 +38,7 @@ pub mod engine;
 pub mod exhaustive;
 pub mod greedy;
 pub mod memo;
+pub mod select;
 pub mod sequential;
 pub mod supervise;
 
@@ -44,6 +47,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, CheckpointLoadError};
 pub use engine::{
     lookup, registry, DegradeReason, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
 };
+pub use select::{auto_select, Selection};
 pub use sequential::{solve, DpStats, DpTables, Solution};
 pub use supervise::{
     fallback_chain, supervise, AttemptFailure, FailureKind, SuperviseOptions, SuperviseReport,

@@ -1,0 +1,277 @@
+//! Engine auto-selection: pick a backend from the instance's shape.
+//!
+//! `ttsolve --solver auto` lands here. The choice is driven by three
+//! observable facts, in priority order:
+//!
+//! 1. **Reachable-set sparsity.** The memoized DP touches only subsets
+//!    reachable from `U` by test/treatment splits; when a cheap bounded
+//!    probe shows that closure is a small fraction of the `2^k`
+//!    lattice, `memo` does asymptotically less work than any
+//!    full-lattice sweep.
+//! 2. **Lattice size.** Below [`SMALL_K`] the full table fits in cache
+//!    and a solve is microseconds; thread fan-out or machine simulation
+//!    only adds overhead, so plain `seq` wins.
+//! 3. **Scale.** Past that, `rayon` parallelizes the wavefront across
+//!    real threads. The machine simulators (`hyper`, `ccc`, `bvm`) are
+//!    *never* auto-picked: they simulate up to `2^(k + log N)` PEs in
+//!    software, so their wall-clock is strictly worse than `seq` — they
+//!    exist to measure step counts, not to race (and their `max_k`
+//!    ceilings say so).
+//!
+//! The decision table itself ([`decide`]) is a pure function of
+//! `(k, reachable, available engines)` so it can be unit-tested
+//! exhaustively; [`auto_select`] feeds it the live registry (filtered
+//! by each engine's `max_k`) and the reachability probe.
+
+use crate::instance::TtInstance;
+use crate::solver::engine::registry;
+use std::collections::HashSet;
+
+/// Largest `k` for which plain sequential DP is preferred over thread
+/// fan-out: at `k = 11` the full lattice is 2048 cells and a solve is
+/// far cheaper than spinning up a thread pool.
+pub const SMALL_K: usize = 11;
+
+/// `memo` is chosen when the reachable closure is at most
+/// `2^k / SPARSE_DIVISOR` subsets.
+pub const SPARSE_DIVISOR: usize = 8;
+
+/// Upper bound on the reachability probe's exploration, so selection
+/// stays cheap at any `k`. Instances whose closure is sparse but
+/// larger than this are conservatively treated as dense.
+pub const PROBE_CAP: usize = 1 << 16;
+
+/// The outcome of auto-selection: which engine, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Registry name of the chosen engine.
+    pub engine: String,
+    /// One human-readable sentence explaining the choice.
+    pub reason: String,
+}
+
+/// Counts the subsets reachable from `U` by the instance's actions
+/// (test splits `S ∩ T` / `S − T`, treatment remainders `S − T`),
+/// following the same usefulness rules as the DP recurrence. Returns
+/// `None` — "dense" — as soon as the closure exceeds `cap`.
+pub fn probe_reachable(inst: &TtInstance, cap: usize) -> Option<usize> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut stack = vec![inst.universe()];
+    seen.insert(inst.universe().0);
+    while let Some(s) = stack.pop() {
+        for i in 0..inst.n_actions() {
+            let a = inst.action(i);
+            let inter = s.intersect(a.set);
+            let diff = s.difference(a.set);
+            if inter.is_empty() {
+                continue; // useless action, excluded by the recurrence
+            }
+            let children: &[crate::subset::Subset] = if a.is_test() {
+                if diff.is_empty() {
+                    continue; // outcome certain: useless test
+                }
+                &[inter, diff]
+            } else {
+                &[diff]
+            };
+            for &c in children {
+                if c.is_empty() {
+                    continue;
+                }
+                if seen.insert(c.0) {
+                    if seen.len() > cap {
+                        return None;
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    Some(seen.len())
+}
+
+/// The pure decision table. `reachable` is the probe result (`None` =
+/// dense or unprobed); `available` lists registry engine names whose
+/// `max_k` admits the instance. Always returns *something* runnable
+/// from `available` (or `"seq"` as a last resort).
+pub fn decide(k: usize, reachable: Option<usize>, available: &[&str]) -> Selection {
+    let lattice = 1u64 << k;
+    let has = |name: &str| available.contains(&name);
+    if let Some(r) = reachable {
+        let threshold = (lattice / SPARSE_DIVISOR as u64).max(1);
+        if k > 3 && (r as u64) <= threshold && has("memo") {
+            return Selection {
+                engine: "memo".to_string(),
+                reason: format!(
+                    "reachable closure is sparse ({r} of {lattice} subsets ≤ 1/{SPARSE_DIVISOR}): \
+                     memoized DP skips the rest of the lattice"
+                ),
+            };
+        }
+    }
+    if k <= SMALL_K && has("seq") {
+        return Selection {
+            engine: "seq".to_string(),
+            reason: format!(
+                "full lattice is small (2^{k} = {lattice} cells): sequential DP beats \
+                 any parallel overhead"
+            ),
+        };
+    }
+    if has("rayon") {
+        return Selection {
+            engine: "rayon".to_string(),
+            reason: format!(
+                "k = {k} is past the sequential sweet spot and beyond what the machine \
+                 simulators race at: rayon parallelizes the wavefront across real threads"
+            ),
+        };
+    }
+    if has("seq") {
+        return Selection {
+            engine: "seq".to_string(),
+            reason: format!("k = {k}: no parallel backend registered, using the exact baseline"),
+        };
+    }
+    Selection {
+        engine: available.first().unwrap_or(&"seq").to_string(),
+        reason: "no preferred engine available; using the first registered one".to_string(),
+    }
+}
+
+/// Picks an engine for `inst` from the live registry: filters by
+/// `max_k`, runs the bounded reachability probe, applies [`decide`].
+pub fn auto_select(inst: &TtInstance) -> Selection {
+    let engines = registry();
+    let available: Vec<&str> = engines
+        .iter()
+        .filter(|e| e.max_k() >= inst.k())
+        .map(|e| e.name())
+        .collect();
+    let cap = ((1usize << inst.k()) / SPARSE_DIVISOR).clamp(1, PROBE_CAP);
+    let reachable = probe_reachable(inst, cap);
+    decide(inst.k(), reachable, &available)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::TtInstanceBuilder;
+    use crate::subset::Subset;
+
+    const FULL: &[&str] = &[
+        "seq",
+        "memo",
+        "bnb",
+        "exhaustive",
+        "greedy",
+        "rayon",
+        "hyper",
+        "ccc",
+        "bvm",
+    ];
+
+    #[test]
+    fn sparse_reachable_sets_pick_memo() {
+        let s = decide(12, Some(100), FULL);
+        assert_eq!(s.engine, "memo");
+        assert!(s.reason.contains("sparse"));
+    }
+
+    #[test]
+    fn small_k_picks_seq_even_when_dense() {
+        let s = decide(8, None, FULL);
+        assert_eq!(s.engine, "seq");
+        // Dense and small: sparsity never considered.
+        let s2 = decide(8, Some(256), FULL);
+        assert_eq!(s2.engine, "seq");
+    }
+
+    #[test]
+    fn large_dense_instances_pick_rayon() {
+        let s = decide(16, None, FULL);
+        assert_eq!(s.engine, "rayon");
+        // Dense probe result (above 2^k/8) also lands on rayon.
+        let s2 = decide(16, Some(60_000), FULL);
+        assert_eq!(s2.engine, "rayon");
+    }
+
+    #[test]
+    fn machine_simulators_are_never_auto_picked() {
+        for k in 1..=20 {
+            for reachable in [None, Some(10), Some(1 << 14)] {
+                let s = decide(k, reachable, FULL);
+                assert!(
+                    !["hyper", "hyper-blocked", "ccc", "bvm", "exhaustive"]
+                        .contains(&s.engine.as_str()),
+                    "k={k} picked {}",
+                    s.engine
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_rayon_falls_back_to_seq() {
+        let core_only = &["seq", "memo", "bnb", "exhaustive", "greedy"];
+        let s = decide(16, None, core_only);
+        assert_eq!(s.engine, "seq");
+    }
+
+    #[test]
+    fn tiny_k_never_picks_memo() {
+        // Below k=4 even a "sparse" closure is trivial; seq wins.
+        let s = decide(3, Some(1), FULL);
+        assert_eq!(s.engine, "seq");
+    }
+
+    #[test]
+    fn empty_availability_degrades_to_seq() {
+        let s = decide(10, None, &[]);
+        assert_eq!(s.engine, "seq");
+    }
+
+    /// Nested prefix treatments `{0..=i}`: from `U` every difference is
+    /// a suffix set, and suffixes are closed under further differences
+    /// — the closure is just the `k` suffixes, very sparse.
+    fn sparse_chain(k: usize) -> crate::instance::TtInstance {
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1));
+        for i in 0..k {
+            b = b.treatment(Subset::from_iter(0..=i), 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn probe_counts_the_closure_of_a_chain_instance() {
+        let k = 6;
+        let inst = sparse_chain(k);
+        let r = probe_reachable(&inst, 1 << k).unwrap();
+        assert!(
+            r < (1 << k) / SPARSE_DIVISOR,
+            "chain closure is sparse, got {r}"
+        );
+    }
+
+    #[test]
+    fn probe_returns_none_past_the_cap() {
+        // A universe-splitting test pair generates a dense closure.
+        let k = 6;
+        let mut b = TtInstanceBuilder::new(k).weights((0..k).map(|_| 1));
+        for i in 0..k {
+            b = b.test(Subset::singleton(i), 1);
+        }
+        b = b.treatment(Subset::universe(k), 5);
+        let inst = b.build().unwrap();
+        assert_eq!(probe_reachable(&inst, 4), None);
+        // With room, the same instance reports its true (dense) count.
+        let full = probe_reachable(&inst, 1 << k).unwrap();
+        assert!(full > (1 << k) / SPARSE_DIVISOR);
+    }
+
+    #[test]
+    fn auto_select_on_a_sparse_instance_prefers_memo() {
+        let s = auto_select(&sparse_chain(7));
+        assert_eq!(s.engine, "memo", "{}", s.reason);
+    }
+}

@@ -195,6 +195,8 @@ pub fn solve_tables_levelwise(
             done = j - 1;
             break;
         }
+        let cells = level.len() as u64;
+        let level_start = std::time::Instant::now();
         for s in level {
             let mut c = Cost::INF;
             let mut b = None;
@@ -208,6 +210,8 @@ pub fn solve_tables_levelwise(
             cost[s.index()] = c;
             best[s.index()] = b;
         }
+        let nanos = u64::try_from(level_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tt_obs::telemetry::record_level(j, cells, cells * inst.n_actions() as u64, nanos);
         sink(j, &cost, &best);
     }
     (DpTables { cost, best }, done)

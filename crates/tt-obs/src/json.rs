@@ -1,0 +1,47 @@
+//! Minimal JSON string formatting shared by the exporters.
+//!
+//! The workspace has no serde; every JSON emitter in the repo writes
+//! its own literals. The one genuinely fiddly part — string escaping —
+//! lives here so the trace/telemetry schemas and the CLI emitters
+//! cannot drift apart on it.
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes): `"`, `\`, and control characters.
+pub fn escape(s: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `s` as a complete JSON string literal, quotes included.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("x\"y"), "\"x\\\"y\"");
+    }
+}

@@ -48,6 +48,9 @@ pub struct BvmTtSolution {
     pub c_table: Vec<Cost>,
     /// BVM instructions executed (the paper's time measure).
     pub instructions: u64,
+    /// PE-active bit operations committed (the bit-serial *work*
+    /// measure: one per PE eligible to write per instruction).
+    pub bit_ops: u64,
     /// Host-side bulk loads used to input the instance data.
     pub host_loads: u64,
     /// Cycle-length exponent of the machine used.
@@ -394,6 +397,7 @@ fn solve_impl(
             cost,
             c_table,
             instructions: m.executed(),
+            bit_ops: m.bit_ops(),
             host_loads: m.host_loads(),
             machine_r: r,
             width: w,

@@ -60,6 +60,38 @@ fn ccc_pes(r: usize) -> u64 {
     1u64 << ((1usize << r) + r)
 }
 
+/// `C(k, j)` — the size of lattice level `j` (`k ≤ 31` everywhere here).
+pub(crate) fn binomial(k: usize, j: usize) -> u64 {
+    let mut b = 1u64;
+    for i in 0..j {
+        b = b * (k - i) as u64 / (i + 1) as u64;
+    }
+    b
+}
+
+/// Lattice cells a machine run actually recomputed: the binomial levels
+/// `resumed + 1 ..= done`, plus the level-0 initialization on a cold
+/// start. A cold completed run is the full `2^k`; a warm resume must
+/// NOT re-count the prefix replayed from the checkpoint overlay.
+pub(crate) fn recomputed_subsets(k: usize, resumed: Option<usize>, done: usize) -> u64 {
+    let start = resumed.map_or(0, |l| l + 1);
+    (start..=done).map(|j| binomial(k, j)).sum()
+}
+
+/// Emits the telemetry sample for a finished DP level — `cells`
+/// wavefront entries finalized, `candidates` (S, i) slots swept — timing
+/// the gap since the previous level boundary.
+pub(crate) fn record_level_boundary(
+    level: usize,
+    cells: u64,
+    candidates: u64,
+    last: &mut std::time::Instant,
+) {
+    let nanos = u64::try_from(last.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    *last = std::time::Instant::now();
+    tt_obs::telemetry::record_level(level, cells, candidates, nanos);
+}
+
 /// Level-synchronous shared-memory DP on worker threads.
 struct RayonEngine;
 
@@ -99,8 +131,12 @@ impl Solver for RayonEngine {
                 )
             });
             let seed = seed_tables.as_ref().map(|(l, t)| (*l, t));
+            let n_actions = inst.n_actions() as u64;
+            let mut last = std::time::Instant::now();
             let (tables, done) =
                 rayon_solver::solve_tables_resumable(inst, &mut meter, seed, &mut |level, c, b| {
+                    let cells = binomial(inst.k(), level);
+                    record_level_boundary(level, cells, cells * n_actions, &mut last);
                     sink(engine::checkpoint_at_level(inst, level, c, b))
                 });
             let mut work = WorkStats {
@@ -176,20 +212,28 @@ impl Solver for HyperEngine {
             let warm = prepared
                 .as_ref()
                 .map(|ck| (ck.level, ck.cost.as_slice(), ck.best.as_slice()));
+            let mut last = std::time::Instant::now();
             let (s, done) = hyper::solve_resumable(
                 inst,
                 &mut || level_check(&mut meter, pes),
                 warm,
-                &mut |level, c, b| sink(engine::checkpoint_at_level(inst, level, c, b)),
+                &mut |level, c, b| {
+                    record_level_boundary(level, binomial(inst.k(), level), pes, &mut last);
+                    sink(engine::checkpoint_at_level(inst, level, c, b))
+                },
             );
+            let resumed = prepared.as_ref().map(|ck| ck.level);
             let mut work = WorkStats {
-                subsets: 1 << inst.k(),
+                subsets: recomputed_subsets(inst.k(), resumed, done),
                 machine_steps: s.steps.exchange + s.steps.local,
                 pes: s.layout.pes() as u64,
                 ..WorkStats::default()
             };
             work.push_extra("exchange_steps", s.steps.exchange);
             work.push_extra("local_steps", s.steps.local);
+            work.push_extra("wire_transits", s.steps.wire_transits);
+            tt_obs::telemetry::add_counter("wire_transits", s.steps.wire_transits);
+            tt_obs::metrics::counter("tt_wire_transits_total").add(s.steps.wire_transits);
             if let Some(ck) = &prepared {
                 work.push_extra("resumed_level", ck.level as u64);
             }
@@ -268,15 +312,20 @@ impl Solver for HyperBlockedEngine {
             // `None` argmins; consumers recover them from the cost slab
             // (`prepare_resume`).
             let no_best = vec![None; 1usize << inst.k()];
+            let mut last = std::time::Instant::now();
             let (s, done) = hyper::solve_blocked_resumable(
                 inst,
                 phys,
                 &mut || level_check(&mut meter, pes),
                 warm,
-                &mut |level, c| sink(engine::checkpoint_at_level(inst, level, c, &no_best)),
+                &mut |level, c| {
+                    record_level_boundary(level, binomial(inst.k(), level), pes, &mut last);
+                    sink(engine::checkpoint_at_level(inst, level, c, &no_best))
+                },
             );
+            let resumed = prepared.as_ref().map(|ck| ck.level);
             let mut work = WorkStats {
-                subsets: 1 << inst.k(),
+                subsets: recomputed_subsets(inst.k(), resumed, done),
                 machine_steps: s.counts.virtual_steps,
                 pes: 1u64 << phys,
                 ..WorkStats::default()
@@ -284,6 +333,7 @@ impl Solver for HyperBlockedEngine {
             work.push_extra("local_pair_ops", s.counts.local_pair_ops);
             work.push_extra("remote_pair_ops", s.counts.remote_pair_ops);
             work.push_extra("words_communicated", s.counts.words_communicated);
+            tt_obs::telemetry::add_counter("words_communicated", s.counts.words_communicated);
             work.push_extra("block_size", s.block_size as u64);
             if let Some(ck) = &prepared {
                 work.push_extra("resumed_level", ck.level as u64);
@@ -345,14 +395,19 @@ impl Solver for CccEngine {
             let warm = prepared
                 .as_ref()
                 .map(|ck| (ck.level, ck.cost.as_slice(), ck.best.as_slice()));
+            let mut last = std::time::Instant::now();
             let (s, done) = ccc_tt::solve_resumable(
                 inst,
                 &mut || level_check(&mut meter, pes),
                 warm,
-                &mut |level, c, b| sink(engine::checkpoint_at_level(inst, level, c, b)),
+                &mut |level, c, b| {
+                    record_level_boundary(level, binomial(inst.k(), level), pes, &mut last);
+                    sink(engine::checkpoint_at_level(inst, level, c, b))
+                },
             );
+            let resumed = prepared.as_ref().map(|ck| ck.level);
             let mut work = WorkStats {
-                subsets: 1 << inst.k(),
+                subsets: recomputed_subsets(inst.k(), resumed, done),
                 machine_steps: s.steps.total_comm() + s.steps.local,
                 pes: ccc_pes(s.machine_r),
                 ..WorkStats::default()
@@ -361,6 +416,9 @@ impl Solver for CccEngine {
             work.push_extra("lateral_exchanges", s.steps.lateral_exchanges);
             work.push_extra("intra_cycle", s.steps.intra_cycle);
             work.push_extra("local_steps", s.steps.local);
+            work.push_extra("wire_transits", s.steps.wire_transits);
+            tt_obs::telemetry::add_counter("wire_transits", s.steps.wire_transits);
+            tt_obs::metrics::counter("tt_wire_transits_total").add(s.steps.wire_transits);
             work.push_extra("machine_r", s.machine_r as u64);
             if let Some(ck) = &prepared {
                 work.push_extra("resumed_level", ck.level as u64);
@@ -406,14 +464,36 @@ impl Solver for BvmEngine {
             }
             let mut meter = budget.start();
             let pes = ccc_pes(bvm_tt::machine_for(inst).topo().r());
-            let (s, done) = bvm_tt::solve_budgeted(inst, &mut || level_check(&mut meter, pes));
+            // The BVM exposes no per-level sink; the budget check runs
+            // once before each level, so the gap between consecutive
+            // calls times the level in between.
+            let mut last = std::time::Instant::now();
+            let mut finished = 0usize;
+            let mut recorded = 0usize;
+            let (s, done) = bvm_tt::solve_budgeted(inst, &mut || {
+                if finished > recorded {
+                    record_level_boundary(finished, binomial(inst.k(), finished), pes, &mut last);
+                    recorded = finished;
+                }
+                let ok = level_check(&mut meter, pes);
+                if ok {
+                    finished += 1;
+                }
+                ok
+            });
+            if done > recorded {
+                record_level_boundary(done, binomial(inst.k(), done), pes, &mut last);
+            }
             let mut work = WorkStats {
-                subsets: 1 << inst.k(),
+                subsets: recomputed_subsets(inst.k(), None, done),
                 machine_steps: s.instructions,
                 pes: ccc_pes(s.machine_r),
                 ..WorkStats::default()
             };
             work.push_extra("host_loads", s.host_loads);
+            work.push_extra("bit_ops", s.bit_ops);
+            tt_obs::telemetry::add_counter("bit_ops", s.bit_ops);
+            tt_obs::metrics::counter("tt_bit_ops_total").add(s.bit_ops);
             work.push_extra("width_bits", s.width as u64);
             work.push_extra("machine_r", s.machine_r as u64);
             for (phase, n) in &s.phase_breakdown {

@@ -47,6 +47,7 @@ use tt_core::solver::Budget;
 // ---------------------------------------------------------------------
 
 /// Which resilient driver a fault spec targets.
+#[derive(Debug)]
 pub enum FaultTarget {
     /// A CCC fault plan (dead PEs, dropped or corrupting links).
     Ccc(hypercube::CccFaultPlan<TtPe>),
@@ -54,14 +55,79 @@ pub enum FaultTarget {
     Bvm(bvm::BvmFaultPlan),
 }
 
-fn parse_pair(s: &str, sep: char) -> Result<(usize, u64), String> {
+/// A rejected `--faults` spec. Every malformed input maps to a variant
+/// — the parser never panics, and callers can match instead of
+/// scraping message text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The spec had no faults in it.
+    Empty,
+    /// A fault named a machine/kind pair outside the grammar.
+    UnknownFault {
+        /// The offending comma-separated part, verbatim.
+        part: String,
+    },
+    /// One spec mixed `ccc:` and `bvm:` targets.
+    MixedTargets {
+        /// The machine the spec started with.
+        first: String,
+        /// The conflicting machine that appeared later.
+        second: String,
+    },
+    /// A field that should be `<a><sep><b>` did not split.
+    MalformedPair {
+        /// The field, verbatim.
+        field: String,
+        /// The separator that was expected.
+        sep: char,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The field, verbatim.
+        field: String,
+    },
+    /// A `bvm:stuck` value other than 0 or 1.
+    BadStuckValue {
+        /// The parsed value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::Empty => write!(f, "empty fault spec"),
+            FaultSpecError::UnknownFault { part } => write!(f, "unknown fault '{part}'"),
+            FaultSpecError::MixedTargets { first, second } => {
+                write!(f, "mixed fault targets '{first}' and '{second}'")
+            }
+            FaultSpecError::MalformedPair { field, sep } => {
+                write!(f, "expected <a>{sep}<b> in '{field}'")
+            }
+            FaultSpecError::BadNumber { field } => write!(f, "bad number '{field}'"),
+            FaultSpecError::BadStuckValue { value } => {
+                write!(f, "stuck value must be 0 or 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, FaultSpecError> {
+    s.parse().map_err(|_| FaultSpecError::BadNumber {
+        field: s.to_string(),
+    })
+}
+
+fn parse_pair(s: &str, sep: char) -> Result<(usize, u64), FaultSpecError> {
     let (a, b) = s
         .split_once(sep)
-        .ok_or_else(|| format!("expected <a>{sep}<b> in '{s}'"))?;
-    Ok((
-        a.parse().map_err(|_| format!("bad number '{a}'"))?,
-        b.parse().map_err(|_| format!("bad number '{b}'"))?,
-    ))
+        .ok_or_else(|| FaultSpecError::MalformedPair {
+            field: s.to_string(),
+            sep,
+        })?;
+    Ok((parse_num(a)?, parse_num(b)?))
 }
 
 /// Parses a comma-separated fault spec, all faults targeting one
@@ -75,7 +141,10 @@ fn parse_pair(s: &str, sep: char) -> Result<(usize, u64), String> {
 ///   bvm:stuck:<pe>=<0|1>    neighbour fetch stuck at a constant bit
 ///   bvm:flip:<pe>@<nth>     the nth fetch glitches one bit once
 /// ```
-pub fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
+pub fn parse_fault_spec(spec: &str) -> Result<FaultTarget, FaultSpecError> {
+    if spec.trim().is_empty() {
+        return Err(FaultSpecError::Empty);
+    }
     let mut ccc = hypercube::CccFaultPlan::<TtPe>::none();
     let mut bvm_plan = bvm::BvmFaultPlan::none();
     let mut machine: Option<&str> = None;
@@ -88,14 +157,15 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
         );
         if let Some(prev) = machine {
             if prev != m {
-                return Err(format!("mixed fault targets '{prev}' and '{m}'"));
+                return Err(FaultSpecError::MixedTargets {
+                    first: prev.to_string(),
+                    second: m.to_string(),
+                });
             }
         }
         machine = Some(m);
         match (m, kind) {
-            ("ccc", "dead") => ccc
-                .dead
-                .push(rest.parse().map_err(|_| format!("bad address '{rest}'"))?),
+            ("ccc", "dead") => ccc.dead.push(parse_num(rest)?),
             ("ccc", "drop") => {
                 let (dim, nth) = parse_pair(rest, '@')?;
                 ccc.links.push(hypercube::PairFault {
@@ -115,12 +185,12 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
                 });
             }
             ("bvm", "dead") => bvm_plan.faults.push(bvm::BvmFault::DeadPe {
-                pe: rest.parse().map_err(|_| format!("bad PE '{rest}'"))?,
+                pe: parse_num(rest)?,
             }),
             ("bvm", "stuck") => {
                 let (pe, value) = parse_pair(rest, '=')?;
                 if value > 1 {
-                    return Err(format!("stuck value must be 0 or 1, got {value}"));
+                    return Err(FaultSpecError::BadStuckValue { value });
                 }
                 bvm_plan.faults.push(bvm::BvmFault::StuckLink {
                     pe,
@@ -131,13 +201,17 @@ pub fn parse_fault_spec(spec: &str) -> Result<FaultTarget, String> {
                 let (pe, nth) = parse_pair(rest, '@')?;
                 bvm_plan.faults.push(bvm::BvmFault::FlipBit { nth, pe });
             }
-            _ => return Err(format!("unknown fault '{part}'")),
+            _ => {
+                return Err(FaultSpecError::UnknownFault {
+                    part: part.to_string(),
+                })
+            }
         }
     }
     match machine {
         Some("ccc") => Ok(FaultTarget::Ccc(ccc)),
         Some("bvm") => Ok(FaultTarget::Bvm(bvm_plan)),
-        _ => Err("empty fault spec".to_string()),
+        _ => Err(FaultSpecError::Empty),
     }
 }
 
@@ -172,6 +246,9 @@ fn resilience_extras(work: &mut WorkStats, rep: &ResilienceReport) {
     work.push_extra("fault_retries", rep.retries);
     work.push_extra("dead_pes", rep.dead_pes.len() as u64);
     work.push_extra("replica_used", rep.replica_used as u64);
+    tt_obs::telemetry::add_counter("glitches_detected", rep.glitches_detected);
+    tt_obs::telemetry::add_counter("exchange_retries", rep.retries);
+    tt_obs::metrics::counter("tt_exchange_retries_total").add(rep.retries);
 }
 
 impl Solver for FaultyCccEngine {
@@ -217,8 +294,9 @@ impl Solver for FaultyCccEngine {
             );
             match result {
                 Ok((sol, rep)) => {
+                    let resumed = prepared.as_ref().map(|ck| ck.level);
                     let mut work = WorkStats {
-                        subsets: 1 << inst.k(),
+                        subsets: crate::engines::recomputed_subsets(inst.k(), resumed, inst.k()),
                         machine_steps: sol.steps.total_comm() + sol.steps.local,
                         ..WorkStats::default()
                     };
@@ -283,7 +361,7 @@ impl Solver for FaultyBvmEngine {
             match solve_bvm_resilient(inst, self.plan.clone(), self.max_retries) {
                 Ok((sol, rep)) => {
                     let mut work = WorkStats {
-                        subsets: 1 << inst.k(),
+                        subsets: crate::engines::recomputed_subsets(inst.k(), None, inst.k()),
                         machine_steps: sol.instructions,
                         ..WorkStats::default()
                     };
@@ -346,11 +424,60 @@ pub fn named_chain(inst: &TtInstance, name: &str) -> Result<Vec<Box<dyn Solver>>
 // Batch solving.
 // ---------------------------------------------------------------------
 
+/// A rejected manifest line. As with [`FaultSpecError`], every
+/// malformed input maps to a variant — typed, matchable, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The line had no source field.
+    EmptyLine,
+    /// A word after the source was not `key=value`.
+    NotKeyValue {
+        /// The word, verbatim.
+        word: String,
+    },
+    /// A `key=` outside the manifest grammar.
+    UnknownKey {
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A value that failed to parse for its key.
+    BadValue {
+        /// The key whose value was rejected.
+        key: &'static str,
+        /// The value, verbatim.
+        value: String,
+    },
+    /// An `id=` already used by an earlier line of the same batch
+    /// (detected by [`run_batch`], not by line-level parsing).
+    DuplicateId {
+        /// The repeated id.
+        id: String,
+    },
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManifestError::EmptyLine => write!(f, "empty manifest line"),
+            ManifestError::NotKeyValue { word } => write!(f, "expected key=value, got '{word}'"),
+            ManifestError::UnknownKey { key } => write!(f, "unknown key '{key}'"),
+            ManifestError::BadValue { key, value } => write!(f, "bad {key} '{value}'"),
+            ManifestError::DuplicateId { id } => write!(f, "duplicate instance id '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
 /// One parsed manifest line: where the instance comes from and the
 /// per-instance solve options.
+#[derive(Debug)]
 pub struct BatchItem {
     /// The instance source: a `.tt` file path or `demo:<domain>:<k>:<seed>`.
     pub source: String,
+    /// Caller-chosen instance id (`id=`): labels the record instead of
+    /// the source, and must be unique within a batch.
+    pub id: Option<String>,
     /// Pin the chain head to this engine (plus the software tail).
     pub solver: Option<String>,
     /// Per-instance wall-clock budget.
@@ -363,14 +490,13 @@ pub struct BatchItem {
 
 impl BatchItem {
     /// Parses one manifest line: `<source> [key=value ...]` with keys
-    /// `solver=`, `timeout_ms=`, `max_candidates=`, `faults=`.
-    pub fn parse(line: &str) -> Result<BatchItem, String> {
+    /// `id=`, `solver=`, `timeout_ms=`, `max_candidates=`, `faults=`.
+    pub fn parse(line: &str) -> Result<BatchItem, ManifestError> {
         let mut words = line.split_whitespace();
-        let source = words
-            .next()
-            .ok_or_else(|| "empty manifest line".to_string())?;
+        let source = words.next().ok_or(ManifestError::EmptyLine)?;
         let mut item = BatchItem {
             source: source.to_string(),
+            id: None,
             solver: None,
             timeout_ms: None,
             max_candidates: None,
@@ -379,28 +505,37 @@ impl BatchItem {
         for w in words {
             let (key, value) = w
                 .split_once('=')
-                .ok_or_else(|| format!("expected key=value, got '{w}'"))?;
+                .ok_or_else(|| ManifestError::NotKeyValue {
+                    word: w.to_string(),
+                })?;
+            let bad = |key: &'static str| ManifestError::BadValue {
+                key,
+                value: value.to_string(),
+            };
             match key {
+                "id" => item.id = Some(value.to_string()),
                 "solver" => item.solver = Some(value.to_string()),
                 "timeout_ms" => {
-                    item.timeout_ms = Some(
-                        value
-                            .parse()
-                            .map_err(|_| format!("bad timeout '{value}'"))?,
-                    )
+                    item.timeout_ms = Some(value.parse().map_err(|_| bad("timeout_ms"))?)
                 }
                 "max_candidates" => {
-                    item.max_candidates = Some(
-                        value
-                            .parse()
-                            .map_err(|_| format!("bad max_candidates '{value}'"))?,
-                    )
+                    item.max_candidates = Some(value.parse().map_err(|_| bad("max_candidates"))?)
                 }
                 "faults" => item.faults = Some(value.to_string()),
-                _ => return Err(format!("unknown key '{key}'")),
+                _ => {
+                    return Err(ManifestError::UnknownKey {
+                        key: key.to_string(),
+                    })
+                }
             }
         }
         Ok(item)
+    }
+
+    /// The record label: the caller-chosen `id=` when present, the
+    /// source otherwise.
+    pub fn label(&self) -> String {
+        self.id.clone().unwrap_or_else(|| self.source.clone())
     }
 
     fn budget(&self) -> Budget {
@@ -447,7 +582,7 @@ impl BatchItem {
     pub fn chain(&self, inst: &TtInstance) -> Result<Vec<Box<dyn Solver>>, String> {
         crate::register_engines();
         if let Some(spec) = &self.faults {
-            let target = parse_fault_spec(spec)?;
+            let target = parse_fault_spec(spec).map_err(|e| e.to_string())?;
             let name = match &target {
                 FaultTarget::Ccc(_) => "ccc",
                 FaultTarget::Bvm(_) => "bvm",
@@ -619,7 +754,7 @@ impl BatchSummary {
 /// construction or tree pricing) is caught here and becomes an `Error`
 /// record rather than killing the batch.
 pub fn run_item(item: &BatchItem) -> BatchRecord {
-    let label = item.source.clone();
+    let label = item.label();
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<BatchRecord, String> {
         let inst = item.load()?;
         let chain = item.chain(&inst)?;
@@ -688,14 +823,21 @@ fn record_from(label: &str, sup: &SuperviseReport) -> BatchRecord {
 /// lines from it).
 pub fn run_batch(manifest: &str, emit: &mut dyn FnMut(&BatchRecord)) -> BatchSummary {
     let mut summary = BatchSummary::default();
+    let mut seen_ids = std::collections::HashSet::new();
     for line in manifest.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let record = match BatchItem::parse(line) {
-            Ok(item) => run_item(&item),
-            Err(msg) => error_record(line.to_string(), msg),
+            Ok(item) => match &item.id {
+                Some(id) if !seen_ids.insert(id.clone()) => error_record(
+                    item.label(),
+                    ManifestError::DuplicateId { id: id.clone() }.to_string(),
+                ),
+                _ => run_item(&item),
+            },
+            Err(e) => error_record(line.to_string(), e.to_string()),
         };
         emit(&record);
         summary.records.push(record);
@@ -898,6 +1040,91 @@ mod tests {
             .skip(1)
             .all(|e| e.kind() != EngineKind::Machine));
         assert!(chain.len() >= 2);
+    }
+
+    #[test]
+    fn manifest_grammar_errors_are_typed() {
+        let err = |line: &str| BatchItem::parse(line).unwrap_err();
+        assert_eq!(err("   "), ManifestError::EmptyLine);
+        assert_eq!(
+            err("x.tt bogus"),
+            ManifestError::NotKeyValue {
+                word: "bogus".into()
+            }
+        );
+        assert_eq!(
+            err("x.tt depth=3"),
+            ManifestError::UnknownKey {
+                key: "depth".into()
+            }
+        );
+        assert_eq!(
+            err("x.tt timeout_ms=soon"),
+            ManifestError::BadValue {
+                key: "timeout_ms",
+                value: "soon".into()
+            }
+        );
+        assert_eq!(
+            err("x.tt max_candidates=-1"),
+            ManifestError::BadValue {
+                key: "max_candidates",
+                value: "-1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn fault_spec_errors_are_typed() {
+        assert_eq!(parse_fault_spec("").unwrap_err(), FaultSpecError::Empty);
+        assert_eq!(
+            parse_fault_spec("ccc:melt:1").unwrap_err(),
+            FaultSpecError::UnknownFault {
+                part: "ccc:melt:1".into()
+            }
+        );
+        assert_eq!(
+            parse_fault_spec("ccc:dead:x").unwrap_err(),
+            FaultSpecError::BadNumber { field: "x".into() }
+        );
+        assert_eq!(
+            parse_fault_spec("ccc:drop:4").unwrap_err(),
+            FaultSpecError::MalformedPair {
+                field: "4".into(),
+                sep: '@'
+            }
+        );
+        assert_eq!(
+            parse_fault_spec("bvm:stuck:5=2").unwrap_err(),
+            FaultSpecError::BadStuckValue { value: 2 }
+        );
+        assert_eq!(
+            parse_fault_spec("ccc:dead:1,bvm:dead:2").unwrap_err(),
+            FaultSpecError::MixedTargets {
+                first: "ccc".into(),
+                second: "bvm".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_manifest_ids_error_without_aborting_the_batch() {
+        let manifest = "\
+            demo:medical:4:1 id=a\n\
+            demo:lab:4:2 id=a\n\
+            demo:random:4:3 id=b\n";
+        let summary = run_batch(manifest, &mut |_| {});
+        assert_eq!(summary.records.len(), 3);
+        assert_eq!(summary.errors(), 1);
+        assert_eq!(summary.records[0].label, "a");
+        assert_eq!(summary.records[1].status, BatchStatus::Error);
+        assert!(
+            summary.records[1].detail.contains("duplicate instance id"),
+            "{}",
+            summary.records[1].detail
+        );
+        assert_eq!(summary.records[2].label, "b");
+        assert_eq!(summary.ok(), 2);
     }
 
     #[test]

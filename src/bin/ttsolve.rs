@@ -61,13 +61,23 @@
 //! continues. The run exits 0 only when every instance produced the
 //! exact optimum, else 10 (batch-partial).
 //!
+//! Observability (see the README's "Observability" section for the
+//! schemas): `--trace <file>` captures the solve's span/instant event
+//! stream and writes it as JSON lines; `--metrics` prints a Prometheus
+//! text-format snapshot of the global counters and histograms after
+//! the solve; `--profile` prints a human per-DP-level breakdown (cells,
+//! candidate evaluations, wall time) from the report's telemetry.
+//! `--solver auto` picks an engine from the instance's shape
+//! (`tt_core::solver::select`) and prints the reason.
+//!
 //! Exit codes: `0` success, `2` usage error, `3` unreadable input file,
 //! `4` unparseable or invalid instance, `5` static lint error (with
 //! `--check`), `6` unknown engine or domain, `7` budget exhausted
 //! (degraded result printed), `8` machine faults escalated past
 //! recovery, `9` corrupt or mismatched `--resume` checkpoint, `10`
 //! batch finished with non-optimal instances (degraded or error
-//! records).
+//! records), `11` benchmark regression (exited by `ttbench`, which
+//! shares this exit-code space).
 
 use std::path::Path;
 use std::process::exit;
@@ -94,24 +104,31 @@ const EXIT_DEGRADED: i32 = 7;
 const EXIT_FAULT_ESCALATION: i32 = 8;
 const EXIT_RESUME_CORRUPT: i32 = 9;
 const EXIT_BATCH_PARTIAL: i32 = 10;
+/// Owned by `ttbench` (crates/bench): a benchmark run whose medians
+/// regressed past the threshold exits with this code. Declared here so
+/// the CLI exit-code space stays a single table.
+#[allow(dead_code)]
+const EXIT_BENCH_REGRESSION: i32 = 11;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]\n\
+        "usage: ttsolve <file.tt> [--solver <engine>|auto] [--tree] [--dot] [--reduce] [--stats]\n\
          \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>] [--check]\n\
          \x20                    [--supervise] [--checkpoint <file>] [--resume <file>]\n\
+         \x20                    [--trace <file>] [--metrics] [--profile]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
          \x20      ttsolve --batch <manifest>\n\
          \x20      ttsolve --engines\n\
          fault specs: ccc:dead:<addr> ccc:drop:<dim>@<nth> ccc:corrupt:<dim>@<nth>\n\
          \x20            bvm:dead:<pe> bvm:stuck:<pe>=<0|1> bvm:flip:<pe>@<nth>\n\
-         batch lines: <file.tt | demo:<domain>:<k>:<seed>> [solver=] [timeout_ms=]\n\
+         batch lines: <file.tt | demo:<domain>:<k>:<seed>> [id=] [solver=] [timeout_ms=]\n\
          \x20            [max_candidates=] [faults=]   (# starts a comment)\n\
          exit codes: 0 ok, 2 usage, 3 unreadable file, 4 invalid instance,\n\
          \x20           5 lint error (--check), 6 unknown engine/domain,\n\
          \x20           7 degraded (budget), 8 fault escalation,\n\
-         \x20           9 corrupt/mismatched resume checkpoint, 10 batch partial"
+         \x20           9 corrupt/mismatched resume checkpoint, 10 batch partial,\n\
+         \x20           11 bench regression (ttbench)"
     );
     exit(EXIT_USAGE)
 }
@@ -141,6 +158,9 @@ struct Opts {
     supervise: bool,
     checkpoint: Option<String>,
     resume: Option<String>,
+    trace: Option<String>,
+    metrics: bool,
+    profile: bool,
 }
 
 impl Opts {
@@ -182,6 +202,9 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -
             "--supervise" => opts.supervise = true,
             "--checkpoint" => opts.checkpoint = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--resume" => opts.resume = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--trace" => opts.trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--metrics" => opts.metrics = true,
+            "--profile" => opts.profile = true,
             _ => usage(),
         }
     }
@@ -375,7 +398,75 @@ fn print_result(inst: &TtInstance, opts: &Opts, report: &SolveReport, exact: boo
     code
 }
 
+/// Flushes the observability side-channels: drains the trace ring to a
+/// JSONL file (`--trace`) and prints the Prometheus snapshot
+/// (`--metrics`). Called on every exit path out of a solve so a
+/// degraded or fault-escalated run still leaves its evidence behind.
+fn emit_observability(opts: &Opts) {
+    if let Some(path) = &opts.trace {
+        let events = tt_obs::trace::drain();
+        let dropped = tt_obs::trace::dropped();
+        let mut out = String::with_capacity(events.len() * 96);
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => {
+                let note = if dropped > 0 {
+                    format!(" ({dropped} oldest events dropped by the ring)")
+                } else {
+                    String::new()
+                };
+                eprintln!("trace: {} events -> {path}{note}", events.len());
+            }
+            Err(e) => eprintln!("warning: cannot write trace file {path}: {e}"),
+        }
+    }
+    if opts.metrics {
+        print!("{}", tt_obs::metrics::render_prometheus());
+    }
+}
+
+/// `--profile`: the human-readable rendering of the report's per-level
+/// telemetry — one row per DP level plus the named engine counters.
+fn print_profile(report: &SolveReport) {
+    let t = &report.telemetry;
+    if t.is_empty() {
+        println!("profile: no telemetry recorded (engine predates instrumentation?)");
+        return;
+    }
+    println!("profile: per-level wavefront (level = treated-subset cardinality)");
+    println!(
+        "  {:>5} {:>12} {:>14} {:>12}",
+        "level", "cells", "candidates", "time"
+    );
+    for s in &t.levels {
+        println!(
+            "  {:>5} {:>12} {:>14} {:>12}",
+            s.level,
+            s.cells,
+            s.candidates,
+            format!("{:.3?}", Duration::from_nanos(s.nanos)),
+        );
+    }
+    println!(
+        "  total level time: {:.3?} of {:.3?} wall",
+        Duration::from_nanos(t.total_level_nanos()),
+        report.wall
+    );
+    if !t.counters.is_empty() {
+        println!("profile: engine counters");
+        for (name, v) in &t.counters {
+            println!("  {name:<24} {v}");
+        }
+    }
+}
+
 fn solve_and_report(inst: &TtInstance, opts: &Opts) {
+    if opts.trace.is_some() {
+        tt_obs::trace::enable();
+    }
     if opts.check {
         let report = tt_core::lint::lint(inst);
         if !report.is_clean() {
@@ -391,13 +482,23 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
         .as_deref()
         .map(|p| load_checkpoint_or_exit(p, inst));
     if opts.supervise {
-        exit(solve_supervised(inst, opts, resume));
+        let code = solve_supervised(inst, opts, resume);
+        emit_observability(opts);
+        exit(code);
     }
     if let Some(spec) = &opts.faults {
-        exit(solve_with_faults(inst, opts, spec));
+        let code = solve_with_faults(inst, opts, spec);
+        emit_observability(opts);
+        exit(code);
     }
-    let name = opts.solver.as_deref().unwrap_or("seq");
-    let engine: Box<dyn Solver> = match tt_repro::lookup(name) {
+    let mut name = opts.solver.clone().unwrap_or_else(|| "seq".to_string());
+    if name == "auto" {
+        tt_parallel::register_engines();
+        let sel = tt_core::solver::auto_select(inst);
+        println!("auto-selected engine: {} — {}", sel.engine, sel.reason);
+        name = sel.engine;
+    }
+    let engine: Box<dyn Solver> = match tt_repro::lookup(&name) {
         Some(e) => e,
         None => {
             eprintln!("unknown solver '{name}'; registered engines:");
@@ -437,7 +538,11 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
     if opts.stats {
         println!("engine: {}", engine.name());
     }
+    if opts.profile {
+        print_profile(&report);
+    }
     let code = print_result(inst, opts, &report, engine.kind().is_exact());
+    emit_observability(opts);
     exit(code)
 }
 
@@ -531,6 +636,9 @@ fn solve_supervised(inst: &TtInstance, opts: &Opts, resume: Option<Checkpoint>) 
     }
     if opts.stats {
         println!("engine: {}", r.engine);
+    }
+    if opts.profile {
+        print_profile(&r.report);
     }
     let code = print_result(inst, opts, &r.report, true);
     if matches!(

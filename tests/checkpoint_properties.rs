@@ -138,5 +138,50 @@ fn killed_k12_solve_resumes_from_disk_with_strictly_less_work() {
         );
         assert_eq!(warm.work.extra("resumed_level"), Some(ck.level as u64));
     }
+
+    // The machine simulators make the accounting exact: a cold complete
+    // run sweeps the full lattice, and a warm resume from level L must
+    // report exactly 2^k minus the replayed binomial prefix — the
+    // overlayed levels are loaded, not recomputed, and must not be
+    // double-counted.
+    let binom =
+        |j: usize| -> u64 { (0..j).fold(1u64, |b, x| b * (12 - x as u64) / (x as u64 + 1)) };
+    for name in ["hyper", "hyper-blocked"] {
+        let engine = tt_repro::lookup(name).unwrap();
+        let pes = tt_parallel::Layout::new(i.k(), i.n_actions()).pes() as u64;
+        let path = dir.join(format!("{name}.ck"));
+        let mut saved = 0u32;
+        // Three levels' worth of PE sweeps, then starvation.
+        let partial =
+            engine.solve_resumable(&i, &Budget::with_max_candidates(3 * pes), None, &mut |ck| {
+                ck.save(&path).unwrap();
+                saved += 1;
+            });
+        assert!(!partial.outcome.is_complete(), "{name}: must starve");
+        assert_eq!(saved, 3, "{name}: expected exactly three level checkpoints");
+        assert_eq!(
+            partial.work.subsets,
+            (0..=3).map(&binom).sum::<u64>(),
+            "{name}: a starved cold run counts only the completed prefix"
+        );
+
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.level, 3);
+        let warm = engine.solve_resumable(&i, &Budget::unlimited(), Some(&ck), &mut |_| {});
+        let cold = engine.solve(&i);
+        assert!(warm.outcome.is_complete());
+        assert_eq!(warm.cost, cold.cost, "{name}: resumed cost differs");
+        assert_eq!(
+            cold.work.subsets,
+            1 << 12,
+            "{name}: cold full-lattice sweep"
+        );
+        let replayed: u64 = (0..=ck.level).map(&binom).sum();
+        assert_eq!(
+            warm.work.subsets,
+            cold.work.subsets - replayed,
+            "{name}: replayed checkpoint levels must not be re-counted"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
