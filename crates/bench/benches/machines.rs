@@ -129,6 +129,58 @@ fn bench_bitonic(c: &mut Criterion) {
     g.finish();
 }
 
+/// Machine-counter export: alongside the wall-clock samples, write the
+/// deterministic machine counters (parallel steps, wire traffic, BVM
+/// instruction/bit-op counts) for every benched configuration to a JSON
+/// file, so CI can archive the cost-model side of these benches next to
+/// the timings. Destination: `MACHINE_COUNTERS_OUT` if set, else
+/// `target/machine-counters.json`.
+fn export_machine_counters(_c: &mut Criterion) {
+    let mut rows: Vec<String> = Vec::new();
+    for k in [4usize, 6, 8, 10] {
+        let s = hyper::solve(&instance(k, 8));
+        rows.push(format!(
+            "{{\"machine\": \"hypercube_tt\", \"k\": {k}, \"local\": {}, \"exchange\": {}, \"wire_transits\": {}}}",
+            s.steps.local, s.steps.exchange, s.steps.wire_transits
+        ));
+    }
+    for k in [4usize, 6, 8] {
+        let s = ccc_tt::solve(&instance(k, 8));
+        rows.push(format!(
+            "{{\"machine\": \"ccc_tt\", \"k\": {k}, \"rotations\": {}, \"lateral_exchanges\": {}, \"intra_cycle\": {}, \"local\": {}}}",
+            s.steps.rotations, s.steps.lateral_exchanges, s.steps.intra_cycle, s.steps.local
+        ));
+    }
+    for (k, n) in [(3usize, 4usize), (4, 4), (4, 8)] {
+        let s = bvm_tt::solve(&instance(k, n));
+        rows.push(format!(
+            "{{\"machine\": \"bvm_tt\", \"k\": {k}, \"n\": {n}, \"instructions\": {}, \"bit_ops\": {}, \"host_loads\": {}}}",
+            s.instructions, s.bit_ops, s.host_loads
+        ));
+    }
+    for phys in [0usize, 6, 11] {
+        let s = tt_parallel::hyper::solve_blocked(&instance(8, 8), phys);
+        rows.push(format!(
+            "{{\"machine\": \"blocked_tt\", \"k\": 8, \"phys\": {phys}, \"local_pair_ops\": {}, \"remote_pair_ops\": {}, \"words_communicated\": {}, \"virtual_steps\": {}}}",
+            s.counts.local_pair_ops,
+            s.counts.remote_pair_ops,
+            s.counts.words_communicated,
+            s.counts.virtual_steps
+        ));
+    }
+    let out = std::env::var("MACHINE_COUNTERS_OUT")
+        .unwrap_or_else(|_| "target/machine-counters.json".into());
+    let body = format!(
+        "{{\"schema\": \"machine-counters/v1\",\n\"counters\": [\n{}\n]}}\n",
+        rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out, body).expect("write machine counters");
+    eprintln!("machine counters -> {out}");
+}
+
 /// Benes control-bit precalculation cost across sizes.
 fn bench_benes(c: &mut Criterion) {
     let mut g = c.benchmark_group("benes_routing");
@@ -169,6 +221,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_hypercube_tt, bench_ccc_tt, bench_bvm_tt, bench_ascend_substrate,
-        bench_bitonic, bench_benes, bench_scan, bench_blocked
+        bench_bitonic, bench_benes, bench_scan, bench_blocked, export_machine_counters
 }
 criterion_main!(benches);

@@ -30,7 +30,18 @@
 //!   samples tracks the true cost far more tightly than the median on
 //!   a busy machine. Medians and IQRs are still recorded for humans
 //!   reading the report. Cells whose ratio depends on core count
-//!   (`rayon`) are recorded but excluded.
+//!   (`rayon`, `rayon-frontier`) are recorded but excluded;
+//! * **memory shape** — `resident_cells` (the engines'
+//!   `frontier_peak_resident_cells` counter) is exact and compared like
+//!   the determinism anchors, and the `memo/random/k20` cell must stay
+//!   within `2·C(20, 10)` resident cells on *every* run, baseline or
+//!   not — a frontier engine silently regressing to dense `2^k`
+//!   allocation fails with the same exit code.
+//!
+//! Besides the engine matrix, two cells pin the orchestration paths:
+//! `batch/mixed/*` (a demo manifest through `orchestrate::run_batch`)
+//! and `supervised/random/*` (the shape-selected failover chain through
+//! `supervise::supervise`).
 //!
 //! `--self-test` measures the observability seam itself: the `seq`
 //! engine (instrumented through `timed_report_with`) against the same
@@ -41,6 +52,9 @@
 use std::time::Instant;
 use tt_core::solver::budget::Budget;
 use tt_core::solver::sequential;
+use tt_core::solver::supervise::{self, SuperviseOptions};
+use tt_core::subset::frontier;
+use tt_parallel::orchestrate;
 use tt_workloads::catalog::Domain;
 
 const EXIT_BENCH_REGRESSION: i32 = 11;
@@ -69,6 +83,14 @@ const MATRIX: &[Workload] = &[
     Workload { engine: "seq", domain: "medical", k: (12, 9), seed: 3, compare: true, reference: false },
     Workload { engine: "memo", domain: "random", k: (12, 9), seed: 7, compare: true, reference: false },
     Workload { engine: "rayon", domain: "random", k: (12, 9), seed: 7, compare: false, reference: false },
+    // The frontier-compressed pair at the scales the dense engines
+    // cannot reach: k = 16 sequentially, k = 20 under rayon chunks
+    // (the paper's machine-model target size).
+    Workload { engine: "seq-frontier", domain: "random", k: (16, 11), seed: 7, compare: true, reference: false },
+    Workload { engine: "rayon-frontier", domain: "random", k: (20, 12), seed: 7, compare: false, reference: false },
+    // k = 20 through the sparse live-set engine: its resident cells are
+    // the reachable closure, pinned by FRONTIER_RESIDENT_PINS below.
+    Workload { engine: "memo", domain: "random", k: (20, 13), seed: 7, compare: true, reference: false },
     Workload { engine: "hyper", domain: "random", k: (10, 7), seed: 7, compare: true, reference: false },
     Workload { engine: "hyper-blocked", domain: "random", k: (10, 7), seed: 7, compare: true, reference: false },
     Workload { engine: "ccc", domain: "random", k: (8, 6), seed: 7, compare: true, reference: false },
@@ -76,6 +98,14 @@ const MATRIX: &[Workload] = &[
     // the full matrix under a minute while still exercising the sim.
     Workload { engine: "bvm", domain: "random", k: (7, 6), seed: 7, compare: true, reference: false },
 ];
+
+/// Peak-resident-cell ceilings for frontier cells, checked on every run
+/// (no baseline needed): the k = 20 solve must stay within twice the
+/// widest frontier `C(20, 10)` — far below the dense `2^20` slab — or
+/// the frontier compression has regressed into dense allocation.
+fn frontier_resident_pins() -> Vec<(&'static str, u64)> {
+    vec![("memo/random/k20", 2 * frontier::binomial(20, 10))]
+}
 
 struct CellResult {
     id: String,
@@ -90,7 +120,19 @@ struct CellResult {
     cost: String,
     subsets: u64,
     machine_steps: u64,
+    /// `frontier_peak_resident_cells` from the warmup solve's counters
+    /// (0 for engines without frontier accounting).
+    resident_cells: u64,
     compare: bool,
+}
+
+/// What one measured solve produced — the determinism anchors a cell
+/// records besides its timings.
+struct CellOutcome {
+    cost: String,
+    subsets: u64,
+    machine_steps: u64,
+    resident_cells: u64,
 }
 
 fn median_iqr(samples: &mut [u64]) -> (u64, u64) {
@@ -162,6 +204,86 @@ fn parse_args() -> Opts {
     opts
 }
 
+/// Identity fields of one cell, shared by the matrix and aux paths.
+struct CellMeta {
+    engine: String,
+    domain: String,
+    k: usize,
+    seed: u64,
+    compare: bool,
+    reference: bool,
+}
+
+/// Samples one cell: a warmup call of `solve` (whose outcome supplies
+/// the determinism anchors), then `opts.samples` batched timings, each
+/// interleaved with `ref_iters` reference solves so machine-speed drift
+/// hits both sides of the `rel_seq` ratio equally.
+fn sample_cell(
+    opts: &Opts,
+    meta: CellMeta,
+    ref_solve: &dyn Fn(),
+    ref_iters: u64,
+    solve: &mut dyn FnMut() -> CellOutcome,
+) -> CellResult {
+    let id = format!("{}/{}/k{}", meta.engine, meta.domain, meta.k);
+    eprint!("bench {id} ... ");
+    let warm = Instant::now();
+    let outcome = solve(); // warmup; also the anchors' source
+    let warm_nanos = u64::try_from(warm.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // Batch sub-millisecond cells so one sample spans >= 20 ms of
+    // work: a statistic over µs-scale single solves is scheduler
+    // noise, not a measurement.
+    let iters = (20_000_000 / warm_nanos.max(1)).clamp(1, 10_000);
+    let mut samples: Vec<u64> = Vec::with_capacity(opts.samples);
+    let mut ref_samples: Vec<u64> = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples {
+        samples.push(
+            time_nanos(&mut || {
+                for _ in 0..iters {
+                    std::hint::black_box(solve());
+                }
+            }) / iters,
+        );
+        ref_samples.push(
+            time_nanos(&mut || {
+                for _ in 0..ref_iters {
+                    ref_solve();
+                }
+            }) / ref_iters,
+        );
+    }
+    let (median, iqr) = median_iqr(&mut samples);
+    let min = samples[0]; // median_iqr sorted them
+    let ref_min = ref_samples.iter().copied().min().unwrap_or(1).max(1);
+    let rel_seq = if meta.reference {
+        1.0
+    } else {
+        min as f64 / ref_min as f64
+    };
+    eprintln!(
+        "min {:.3} ms, median {:.3} ms (iqr {:.3} ms)",
+        min as f64 / 1e6,
+        median as f64 / 1e6,
+        iqr as f64 / 1e6
+    );
+    CellResult {
+        id,
+        engine: meta.engine,
+        domain: meta.domain,
+        k: meta.k,
+        seed: meta.seed,
+        min_nanos: min,
+        median_nanos: median,
+        iqr_nanos: iqr,
+        rel_seq,
+        cost: outcome.cost,
+        subsets: outcome.subsets,
+        machine_steps: outcome.machine_steps,
+        resident_cells: outcome.resident_cells,
+        compare: meta.compare,
+    }
+}
+
 fn run_matrix(opts: &Opts) -> Vec<CellResult> {
     let mut results: Vec<CellResult> = Vec::new();
     // The reference workload, solved fresh *alongside every cell*: CPU
@@ -181,6 +303,9 @@ fn run_matrix(opts: &Opts) -> Vec<CellResult> {
     std::hint::black_box(ref_engine.solve(&ref_inst));
     let ref_warm_nanos = u64::try_from(ref_warm.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let ref_iters = (20_000_000 / ref_warm_nanos.max(1)).clamp(1, 10_000);
+    let ref_solve = || {
+        std::hint::black_box(ref_engine.solve(&ref_inst));
+    };
     for w in MATRIX {
         let k = if opts.quick { w.k.1 } else { w.k.0 };
         let inst = Domain::parse(w.domain)
@@ -188,64 +313,125 @@ fn run_matrix(opts: &Opts) -> Vec<CellResult> {
             .generate(k, w.seed);
         let engine = tt_core::solver::lookup(w.engine)
             .unwrap_or_else(|| panic!("pinned engine '{}' not registered", w.engine));
-        let id = format!("{}/{}/k{}", w.engine, w.domain, k);
-        eprint!("bench {id} ... ");
-        let warm = Instant::now();
-        let report = engine.solve(&inst); // warmup; also the counters' source
-        let warm_nanos = u64::try_from(warm.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        // Batch sub-millisecond cells so one sample spans >= 20 ms of
-        // work: a statistic over µs-scale single solves is scheduler
-        // noise, not a measurement.
-        let iters = (20_000_000 / warm_nanos.max(1)).clamp(1, 10_000);
-        let mut samples: Vec<u64> = Vec::with_capacity(opts.samples);
-        let mut ref_samples: Vec<u64> = Vec::with_capacity(opts.samples);
-        for _ in 0..opts.samples {
-            samples.push(
-                time_nanos(&mut || {
-                    for _ in 0..iters {
-                        std::hint::black_box(engine.solve(&inst));
-                    }
-                }) / iters,
-            );
-            ref_samples.push(
-                time_nanos(&mut || {
-                    for _ in 0..ref_iters {
-                        std::hint::black_box(ref_engine.solve(&ref_inst));
-                    }
-                }) / ref_iters,
-            );
-        }
-        let (median, iqr) = median_iqr(&mut samples);
-        let min = samples[0]; // median_iqr sorted them
-        let ref_min = ref_samples.iter().copied().min().unwrap_or(1).max(1);
-        let rel_seq = if w.reference {
-            1.0
-        } else {
-            min as f64 / ref_min as f64
-        };
-        eprintln!(
-            "min {:.3} ms, median {:.3} ms (iqr {:.3} ms)",
-            min as f64 / 1e6,
-            median as f64 / 1e6,
-            iqr as f64 / 1e6
-        );
-        results.push(CellResult {
-            id,
+        let meta = CellMeta {
             engine: w.engine.to_string(),
             domain: w.domain.to_string(),
             k,
             seed: w.seed,
-            min_nanos: min,
-            median_nanos: median,
-            iqr_nanos: iqr,
-            rel_seq,
-            cost: report.cost.to_string(),
-            subsets: report.work.subsets,
-            machine_steps: report.work.machine_steps,
             compare: w.compare,
-        });
+            reference: w.reference,
+        };
+        results.push(sample_cell(opts, meta, &ref_solve, ref_iters, &mut || {
+            let report = engine.solve(&inst);
+            CellOutcome {
+                cost: report.cost.to_string(),
+                subsets: report.work.subsets,
+                machine_steps: report.work.machine_steps,
+                resident_cells: report
+                    .work
+                    .extra("frontier_peak_resident_cells")
+                    .unwrap_or(0),
+            }
+        }));
     }
+    results.push(batch_cell(opts, &ref_solve, ref_iters));
+    results.push(supervised_cell(opts, &ref_solve, ref_iters));
     results
+}
+
+/// The `--batch` orchestration path as a pinned cell: a three-line demo
+/// manifest (mixed domains, pinned software solvers) through
+/// [`orchestrate::run_batch`]. The cost anchor is the per-record costs
+/// joined with `/`; `subsets` counts records that came back `ok`.
+fn batch_cell(opts: &Opts, ref_solve: &dyn Fn(), ref_iters: u64) -> CellResult {
+    let k = if opts.quick { 8 } else { 10 };
+    let manifest = format!(
+        "demo:random:{k}:7 id=a solver=seq\n\
+         demo:medical:{k}:3 id=b solver=memo\n\
+         demo:random:{}:5 id=c solver=rayon\n",
+        k - 1
+    );
+    let meta = CellMeta {
+        engine: "batch".to_string(),
+        domain: "mixed".to_string(),
+        k,
+        seed: 7,
+        compare: true,
+        reference: false,
+    };
+    sample_cell(opts, meta, ref_solve, ref_iters, &mut || {
+        let summary = orchestrate::run_batch(&manifest, &mut |_| {});
+        let costs: Vec<String> = summary
+            .records
+            .iter()
+            .map(|r| r.cost.map_or_else(|| "err".to_string(), |c| c.to_string()))
+            .collect();
+        CellOutcome {
+            cost: costs.join("/"),
+            subsets: summary
+                .records
+                .iter()
+                .filter(|r| matches!(r.status, orchestrate::BatchStatus::Ok))
+                .count() as u64,
+            machine_steps: 0,
+            resident_cells: 0,
+        }
+    })
+}
+
+/// The supervised path as a pinned cell: the shape-selected failover
+/// chain ([`supervise::fallback_chain`], machine primary + software
+/// tail) driven by [`supervise::supervise`] with an unlimited budget.
+fn supervised_cell(opts: &Opts, ref_solve: &dyn Fn(), ref_iters: u64) -> CellResult {
+    // Full mode leads with the hyper sim at k = 10; quick mode with the
+    // CCC at k = 7 (the CCC's k = 8+ solves cost seconds).
+    let k = if opts.quick { 7 } else { 10 };
+    let inst = Domain::parse("random").unwrap().generate(k, 7);
+    let chain = supervise::fallback_chain(&inst);
+    let meta = CellMeta {
+        engine: "supervised".to_string(),
+        domain: "random".to_string(),
+        k,
+        seed: 7,
+        compare: true,
+        reference: false,
+    };
+    sample_cell(opts, meta, ref_solve, ref_iters, &mut || {
+        let sup = supervise::supervise(
+            &inst,
+            &chain,
+            &Budget::unlimited(),
+            &SuperviseOptions::default(),
+        );
+        CellOutcome {
+            cost: format!("{}@{}", sup.report.cost, sup.engine),
+            subsets: sup.report.work.subsets,
+            machine_steps: sup.report.work.machine_steps,
+            resident_cells: sup
+                .report
+                .work
+                .extra("frontier_peak_resident_cells")
+                .unwrap_or(0),
+        }
+    })
+}
+
+/// Checks the always-on frontier residency ceilings (see
+/// [`frontier_resident_pins`]). Returns regression messages.
+fn check_resident_pins(results: &[CellResult]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (id, ceiling) in frontier_resident_pins() {
+        if let Some(r) = results.iter().find(|r| r.id == id) {
+            if r.resident_cells > ceiling {
+                bad.push(format!(
+                    "{id}: peak resident cells {} exceed the frontier ceiling {ceiling} \
+                     (dense-table regression)",
+                    r.resident_cells
+                ));
+            }
+        }
+    }
+    bad
 }
 
 fn render_json(opts: &Opts, results: &[CellResult]) -> String {
@@ -261,8 +447,8 @@ fn render_json(opts: &Opts, results: &[CellResult]) -> String {
             out,
             "    {{\"id\": \"{}\", \"engine\": \"{}\", \"domain\": \"{}\", \"k\": {}, \
              \"seed\": {}, \"min_nanos\": {}, \"median_nanos\": {}, \"iqr_nanos\": {}, \
-             \"rel_seq\": {:.4}, \
-             \"cost\": \"{}\", \"subsets\": {}, \"machine_steps\": {}, \"compare\": {}}}{}",
+             \"rel_seq\": {:.4}, \"cost\": \"{}\", \"subsets\": {}, \"machine_steps\": {}, \
+             \"resident_cells\": {}, \"compare\": {}}}{}",
             r.id,
             r.engine,
             r.domain,
@@ -275,6 +461,7 @@ fn render_json(opts: &Opts, results: &[CellResult]) -> String {
             r.cost,
             r.subsets,
             r.machine_steps,
+            r.resident_cells,
             r.compare,
             if i + 1 < results.len() { "," } else { "" }
         );
@@ -291,6 +478,9 @@ struct BaselineCell {
     cost: String,
     subsets: u64,
     machine_steps: u64,
+    /// `None` for baselines recorded before the frontier counters
+    /// existed — absent fields never fail the comparison.
+    resident_cells: Option<u64>,
     compare: bool,
 }
 
@@ -312,6 +502,7 @@ fn parse_baseline(text: &str) -> Vec<BaselineCell> {
                 cost: scan_field(l, "cost")?.to_string(),
                 subsets: scan_field(l, "subsets")?.parse().ok()?,
                 machine_steps: scan_field(l, "machine_steps")?.parse().ok()?,
+                resident_cells: scan_field(l, "resident_cells").and_then(|v| v.parse().ok()),
                 compare: scan_field(l, "compare")? == "true",
             })
         })
@@ -342,6 +533,17 @@ fn check_regressions(
                 "{}: work counters changed (subsets {} -> {}, machine_steps {} -> {})",
                 r.id, b.subsets, r.subsets, b.machine_steps, r.machine_steps
             ));
+        }
+        // Resident cells are deterministic per engine (closure size for
+        // memo, Σ C(k,j) for the full frontier sweeps); drift means the
+        // memory shape changed. Baselines without the field are skipped.
+        if let Some(br) = b.resident_cells {
+            if r.resident_cells != br {
+                bad.push(format!(
+                    "{}: peak resident cells changed {} -> {} (memory-shape break)",
+                    r.id, br, r.resident_cells
+                ));
+            }
         }
         if r.compare && b.compare && b.rel_seq > 0.0 {
             let growth = r.rel_seq / b.rel_seq - 1.0;
@@ -449,6 +651,17 @@ fn main() {
         std::process::exit(2);
     }
     println!("wrote {} ({} cells)", opts.out, results.len());
+
+    // The frontier residency ceilings hold on every run, baseline or
+    // not — a dense-table regression at k = 20 must fail loudly even
+    // on a fresh machine with no committed baseline.
+    let pins = check_resident_pins(&results);
+    if !pins.is_empty() {
+        for m in &pins {
+            eprintln!("REGRESSION {m}");
+        }
+        std::process::exit(EXIT_BENCH_REGRESSION);
+    }
 
     if let Some(baseline) = baseline {
         let bad = check_regressions(&results, &baseline, opts.threshold);

@@ -18,10 +18,21 @@
 //! preceding byte). [`Checkpoint::from_text`] verifies the checksum
 //! before looking at anything else, so a corrupted file — any byte —
 //! is rejected as [`CheckpointError::Checksum`], never resumed from.
+//!
+//! Two wire versions exist. **v1** (`ttck 1`) is the original dense
+//! form: one `entry <mask> <cost> <argmin>` line per `#S ≤ level` mask.
+//! **v2** (`ttck 2`), the default since the frontier refactor, is
+//! frontier-compressed: cells are grouped per wavefront level under
+//! `lvl <j> <C(k,j)>` headers and addressed by their combinatorial
+//! rank (`c <rank> <cost> <argmin>`), mirroring the in-memory
+//! [`FrontierTable`] layout. [`Checkpoint::to_text`] writes v2;
+//! [`Checkpoint::from_text`] reads both, so pre-refactor `--resume`
+//! files keep loading.
 
 use crate::cost::Cost;
 use crate::instance::TtInstance;
 use crate::solver::anytime::ExactEntry;
+use crate::subset::frontier::{self, FrontierTable};
 use crate::subset::Subset;
 use std::fmt::Write as _;
 
@@ -147,6 +158,28 @@ impl Checkpoint {
         }
     }
 
+    /// Captures a checkpoint directly from a frontier-compressed table:
+    /// the completed levels `0..=level` are scattered into the dense
+    /// slab shape, with no argmin plane (frontier sweeps store costs
+    /// only; consumers that need argmins call
+    /// [`recover_argmins`](Checkpoint::recover_argmins)).
+    pub fn capture_frontier(
+        inst: &TtInstance,
+        table: &FrontierTable,
+        level: usize,
+        upper: Cost,
+        lower: Cost,
+    ) -> Checkpoint {
+        assert!(
+            table.len_levels() > level,
+            "frontier table has {} completed levels, checkpoint wants level {level}",
+            table.len_levels()
+        );
+        let cost = table.to_dense();
+        let best = vec![None; cost.len()];
+        Checkpoint::capture(inst, level, &cost, &best, upper, lower)
+    }
+
     /// Does this checkpoint belong to `inst`?
     pub fn matches(&self, inst: &TtInstance) -> bool {
         self.k == inst.k() && self.fingerprint == instance_fingerprint(inst)
@@ -192,8 +225,41 @@ impl Checkpoint {
         }
     }
 
-    /// Serializes the checkpoint, ending with the checksum line.
+    /// Serializes the checkpoint in the frontier-compressed v2 format,
+    /// ending with the checksum line: each completed wavefront level is
+    /// one `lvl <j> <C(k,j)>` group of rank-addressed `c` cells.
     pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "ttck 2");
+        let _ = writeln!(s, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(s, "k {}", self.k);
+        let _ = writeln!(s, "level {}", self.level);
+        let _ = writeln!(
+            s,
+            "bounds {} {}",
+            fmt_cost(self.upper),
+            fmt_cost(self.lower)
+        );
+        for j in 0..=self.level {
+            let _ = writeln!(s, "lvl {j} {}", frontier::binomial(self.k, j));
+            for (r, sub) in Subset::of_size(self.k, j).enumerate() {
+                let mask = sub.index();
+                let best = match self.best[mask] {
+                    Some(b) => b.to_string(),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(s, "c {r} {} {best}", fmt_cost(self.cost[mask]));
+            }
+        }
+        let _ = writeln!(s, "checksum {:016x}", fnv1a(s.as_bytes()));
+        s
+    }
+
+    /// Serializes the checkpoint in the legacy dense v1 format (one
+    /// `entry <mask> …` line per `#S ≤ level` mask). Kept so the
+    /// read-compat path stays honest under test and so external tooling
+    /// that still expects v1 can be fed.
+    pub fn to_text_v1(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "ttck 1");
         let _ = writeln!(s, "fingerprint {:016x}", self.fingerprint);
@@ -247,7 +313,10 @@ impl Checkpoint {
         let mut level = None;
         let mut bounds = None;
         let mut entries: Vec<(usize, Cost, Option<u16>)> = Vec::new();
-        let mut saw_header = false;
+        // v2 state: (level index, declared cell count, cells seen so far).
+        type LevelGroup = (usize, u64, Vec<(u64, Cost, Option<u16>)>);
+        let mut lvl_groups: Vec<LevelGroup> = Vec::new();
+        let mut version: Option<u32> = None;
         for (idx, raw) in text[..body_end].lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.trim();
@@ -260,12 +329,11 @@ impl Checkpoint {
             };
             let mut parts = line.split_whitespace();
             match parts.next().unwrap_or("") {
-                "ttck" => {
-                    if parts.next() != Some("1") {
-                        return Err(syntax("unsupported checkpoint version".into()));
-                    }
-                    saw_header = true;
-                }
+                "ttck" => match parts.next() {
+                    Some("1") => version = Some(1),
+                    Some("2") => version = Some(2),
+                    _ => return Err(syntax("unsupported checkpoint version".into())),
+                },
                 "fingerprint" => {
                     let v = parts
                         .next()
@@ -297,6 +365,9 @@ impl Checkpoint {
                     bounds = Some((upper, lower));
                 }
                 "entry" => {
+                    if version != Some(1) {
+                        return Err(syntax("'entry' lines belong to the v1 format".into()));
+                    }
                     let mask: usize = parts
                         .next()
                         .and_then(|t| t.parse().ok())
@@ -309,12 +380,44 @@ impl Checkpoint {
                     };
                     entries.push((mask, cost, best));
                 }
+                "lvl" => {
+                    if version != Some(2) {
+                        return Err(syntax("'lvl' lines belong to the v2 format".into()));
+                    }
+                    let j: usize = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| syntax("bad level index".into()))?;
+                    let cells: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| syntax("bad cell count".into()))?;
+                    lvl_groups.push((j, cells, Vec::new()));
+                }
+                "c" => {
+                    if version != Some(2) {
+                        return Err(syntax("'c' lines belong to the v2 format".into()));
+                    }
+                    let rank: u64 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| syntax("bad rank".into()))?;
+                    let cost = parse_cost(parts.next()).ok_or_else(|| syntax("bad cost".into()))?;
+                    let best = match parts.next() {
+                        Some("-") => None,
+                        Some(t) => Some(t.parse().map_err(|_| syntax("bad argmin".into()))?),
+                        None => return Err(syntax("missing argmin field".into())),
+                    };
+                    lvl_groups
+                        .last_mut()
+                        .ok_or_else(|| syntax("'c' cell before any 'lvl' header".into()))?
+                        .2
+                        .push((rank, cost, best));
+                }
                 other => return Err(syntax(format!("unknown keyword '{other}'"))),
             }
         }
-        if !saw_header {
-            return Err(CheckpointError::Missing("'ttck 1' header"));
-        }
+        let version = version.ok_or(CheckpointError::Missing("'ttck' header"))?;
         let k: usize = k.ok_or(CheckpointError::Missing("'k' line"))?;
         let level = level.ok_or(CheckpointError::Missing("'level' line"))?;
         let fingerprint = fingerprint.ok_or(CheckpointError::Missing("'fingerprint' line"))?;
@@ -328,6 +431,50 @@ impl Checkpoint {
             return Err(CheckpointError::Inconsistent(format!(
                 "level {level} above k = {k}"
             )));
+        }
+        if version == 2 {
+            // The v2 body must be exactly the levels 0..=level, each a
+            // complete frontier: declared size C(k,j), every rank
+            // present once, in ascending order. Anything else is a
+            // structural inconsistency even when the checksum holds.
+            if lvl_groups.len() != level + 1 {
+                return Err(CheckpointError::Inconsistent(format!(
+                    "expected {} level groups, found {}",
+                    level + 1,
+                    lvl_groups.len()
+                )));
+            }
+            let mut unranks: u64 = 0;
+            for (want_j, (j, declared, cells)) in lvl_groups.iter().enumerate() {
+                if *j != want_j {
+                    return Err(CheckpointError::Inconsistent(format!(
+                        "level group {j} out of order (expected {want_j})"
+                    )));
+                }
+                let expect = frontier::binomial(k, *j);
+                if *declared != expect {
+                    return Err(CheckpointError::Inconsistent(format!(
+                        "level {j} declares {declared} cells, C({k},{j}) = {expect}"
+                    )));
+                }
+                if cells.len() as u64 != expect {
+                    return Err(CheckpointError::Inconsistent(format!(
+                        "level {j} has {} cells, expected {expect}",
+                        cells.len()
+                    )));
+                }
+                for (idx, (rank, cost, best)) in cells.iter().enumerate() {
+                    if *rank != idx as u64 {
+                        return Err(CheckpointError::Inconsistent(format!(
+                            "level {j} cell rank {rank} out of order (expected {idx})"
+                        )));
+                    }
+                    let mask = frontier::unrank(*j, *rank).index();
+                    unranks += 1;
+                    entries.push((mask, *cost, *best));
+                }
+            }
+            tt_obs::telemetry::add_counter("frontier_unrank_calls", unranks);
         }
         let size = 1usize << k;
         let mut cost = vec![Cost::INF; size];
@@ -557,9 +704,9 @@ mod tests {
     #[test]
     fn inconsistent_slabs_are_rejected() {
         let (_, ck) = checkpoint_at(1);
-        // Hand-build a text with an entry above the level, re-checksummed
-        // so only the structural check can catch it.
-        let mut body = ck.to_text();
+        // Hand-build a v1 text with an entry above the level,
+        // re-checksummed so only the structural check can catch it.
+        let mut body = ck.to_text_v1();
         let checksum_at = body.rfind("checksum ").unwrap();
         body.truncate(checksum_at);
         body.push_str("entry 7 5 0\n");
@@ -568,5 +715,91 @@ mod tests {
             Checkpoint::from_text(&text),
             Err(CheckpointError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn legacy_v1_text_still_loads() {
+        for level in 0..=4 {
+            let (_, ck) = checkpoint_at(level);
+            let v1 = ck.to_text_v1();
+            assert!(v1.starts_with("ttck 1\n"));
+            let back = Checkpoint::from_text(&v1).unwrap();
+            assert_eq!(back, ck, "level {level}");
+            // And the default writer produces v2 of the same state.
+            let v2 = ck.to_text();
+            assert!(v2.starts_with("ttck 2\n"));
+            assert_eq!(Checkpoint::from_text(&v2).unwrap(), back);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected_in_v1_too() {
+        let (_, ck) = checkpoint_at(2);
+        let text = ck.to_text_v1();
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.to_vec();
+            corrupt[pos] ^= 0x01;
+            let corrupted = String::from_utf8_lossy(&corrupt).into_owned();
+            assert!(
+                Checkpoint::from_text(&corrupted).is_err(),
+                "corruption at byte {pos} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_with_missing_cell_is_rejected() {
+        let (_, ck) = checkpoint_at(2);
+        let mut body = ck.to_text();
+        let checksum_at = body.rfind("checksum ").unwrap();
+        body.truncate(checksum_at);
+        // Drop the last cell line, then re-checksum: only the per-level
+        // completeness check can catch it.
+        let last_cell = body.rfind("\nc ").unwrap();
+        body.truncate(last_cell + 1);
+        let text = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        assert!(matches!(
+            Checkpoint::from_text(&text),
+            Err(CheckpointError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn v2_cell_lines_are_rejected_inside_a_v1_body() {
+        let (_, ck) = checkpoint_at(1);
+        let mut body = ck.to_text_v1();
+        let checksum_at = body.rfind("checksum ").unwrap();
+        body.truncate(checksum_at);
+        body.push_str("lvl 0 1\n");
+        let text = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        assert!(matches!(
+            Checkpoint::from_text(&text),
+            Err(CheckpointError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn capture_frontier_matches_dense_capture_modulo_argmins() {
+        let i = inst();
+        let sol = sequential::solve(&i);
+        let table = FrontierTable::from_dense(i.k(), 3, &sol.tables.cost);
+        let from_frontier =
+            Checkpoint::capture_frontier(&i, &table, 3, Cost::new(100), Cost::new(10));
+        let dense = Checkpoint::capture(
+            &i,
+            3,
+            &sol.tables.cost,
+            &sol.tables.best,
+            Cost::new(100),
+            Cost::new(10),
+        );
+        assert_eq!(from_frontier.cost, dense.cost);
+        assert!(from_frontier.best.iter().all(Option::is_none));
+        // recover_argmins rebuilds the sequential plane exactly.
+        let mut recovered = from_frontier;
+        recovered.recover_argmins(&i);
+        assert_eq!(recovered.best, dense.best);
+        assert_eq!(recovered, dense);
     }
 }

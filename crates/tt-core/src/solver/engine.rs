@@ -7,7 +7,7 @@
 //! face: the [`Solver`] trait, the uniform [`SolveReport`] /
 //! [`WorkStats`] result, and a [`registry`] with name-based [`lookup`].
 //!
-//! `tt-core` registers its own five engines; crates downstream (e.g.
+//! `tt-core` registers its own engines; crates downstream (e.g.
 //! `tt-parallel`) contribute theirs through [`register_extension`], so
 //! this crate needs no backend dependencies while consumers see a
 //! single list.
@@ -28,6 +28,7 @@ use crate::solver::anytime::{self, ExactEntry};
 use crate::solver::budget::{Budget, ExhaustReason};
 use crate::solver::checkpoint::Checkpoint;
 use crate::solver::{branch_and_bound, exhaustive, greedy, memo, sequential};
+use crate::subset::frontier::{FrontierStats, FrontierTable};
 use crate::subset::Subset;
 use crate::tree::TtTree;
 use std::sync::Mutex;
@@ -317,6 +318,40 @@ pub fn checkpoint_at_level(
     Checkpoint::capture(inst, level, cost, best, upper, lower)
 }
 
+/// As [`checkpoint_at_level`], but for a frontier-compressed table:
+/// the exact view below the wavefront is cost-only (the frontier
+/// stores no argmin plane), which `anytime::complete_tree` handles by
+/// greedy completion; the captured slab itself is exact.
+pub fn checkpoint_at_level_frontier(
+    inst: &TtInstance,
+    level: usize,
+    table: &FrontierTable,
+) -> Checkpoint {
+    let exact = |s: Subset| -> Option<ExactEntry> {
+        (s.len() <= level)
+            .then(|| table.cost_of_checked(s).map(|c| (c, None)))
+            .flatten()
+    };
+    let tree = anytime::complete_tree(inst, &exact);
+    let (upper, lower) = anytime::degraded_bounds(inst, tree.as_ref());
+    Checkpoint::capture_frontier(inst, table, level, upper, lower)
+}
+
+/// Threads the frontier accounting counters into both a report's
+/// [`WorkStats::extras`] and the active telemetry scope, under the
+/// stable names the observability layer and `ttbench` read.
+pub fn record_frontier_stats(work: &mut WorkStats, stats: FrontierStats) {
+    for (name, v) in [
+        ("frontier_cells_allocated", stats.cells_allocated),
+        ("frontier_peak_resident_cells", stats.peak_resident_cells),
+        ("frontier_rank_calls", stats.rank_calls),
+        ("frontier_unrank_calls", stats.unrank_calls),
+    ] {
+        work.push_extra(name, v);
+        tt_obs::telemetry::add_counter(name, v);
+    }
+}
+
 /// Prepares a caller-supplied checkpoint for engine consumption:
 /// verifies it belongs to `inst` and recovers any missing argmins from
 /// its own slab (so a checkpoint from an argmin-less producer can
@@ -404,7 +439,7 @@ pub fn capacity_result(
 }
 
 // ---------------------------------------------------------------------
-// The five tt-core engines.
+// The tt-core engines.
 // ---------------------------------------------------------------------
 
 /// Bottom-up DP over the full lattice (the paper's `T_1` baseline).
@@ -516,6 +551,95 @@ impl Solver for SequentialEngine {
     }
 }
 
+/// Bottom-up DP over frontier-compressed per-level buffers: the same
+/// `#S = j` wavefront as `seq`, but every level lives in a `C(k, j)`
+/// rank-indexed buffer and submask gathers are CNS ranked lookups —
+/// no `2^k` mask-indexed slab anywhere.
+struct SeqFrontierEngine;
+
+impl SeqFrontierEngine {
+    /// The degraded-path exact view shared by both solve entry points:
+    /// `cost_of_checked` answers precisely the completed wavefront
+    /// (cost-only — the frontier stores no argmin plane).
+    fn run(
+        inst: &TtInstance,
+        meter: &mut crate::solver::budget::BudgetMeter,
+        seed: Option<FrontierTable>,
+        sink: &mut sequential::FrontierSink<'_>,
+    ) -> (Cost, Option<TtTree>, WorkStats, SolveOutcome) {
+        let (table, done) = sequential::solve_frontier_levelwise(inst, meter, seed, sink);
+        let mut work = WorkStats {
+            subsets: meter.subsets(),
+            candidates: meter.candidates(),
+            ..WorkStats::default()
+        };
+        work.push_extra("completed_levels", done as u64);
+        record_frontier_stats(&mut work, table.stats());
+        match meter.exhausted() {
+            None => {
+                let root = inst.universe();
+                let cost = table.cost_of_checked(root).unwrap_or(Cost::INF);
+                let tree = sequential::extract_tree_frontier(inst, &table, root);
+                (cost, tree, work, SolveOutcome::Complete)
+            }
+            Some(r) => degraded_result(
+                inst,
+                r.into(),
+                &|s| table.cost_of_checked(s).map(|c| (c, None)),
+                work,
+            ),
+        }
+    }
+}
+
+impl Solver for SeqFrontierEngine {
+    fn name(&self) -> &'static str {
+        "seq-frontier"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["frontier", "sequential-frontier"]
+    }
+    fn description(&self) -> &'static str {
+        "bottom-up DP over C(k,j) frontier buffers (rank/unrank indexed)"
+    }
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            SeqFrontierEngine::run(inst, &mut meter, None, &mut |_, _| {})
+        })
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let prepared = prepare_resume(inst, resume);
+            let resumed_level = prepared.as_ref().map(|ck| ck.level);
+            let seed = prepared
+                .as_ref()
+                .map(|ck| FrontierTable::from_dense(inst.k(), ck.level, &ck.cost));
+            let (cost, tree, mut work, outcome) =
+                SeqFrontierEngine::run(inst, &mut meter, seed, &mut |level, table| {
+                    sink(checkpoint_at_level_frontier(inst, level, table));
+                });
+            if let Some(level) = resumed_level {
+                work.push_extra("resumed_level", level as u64);
+            }
+            (cost, tree, work, outcome)
+        })
+    }
+}
+
 /// Top-down memoized DP over reachable subsets only.
 struct MemoEngine;
 
@@ -534,11 +658,12 @@ impl Solver for MemoEngine {
             let mut meter = budget.start();
             let s = memo::solve_with(inst, &mut meter);
             tt_obs::telemetry::add_counter("reachable_subsets", s.reachable_subsets as u64);
-            let work = WorkStats {
+            let mut work = WorkStats {
                 subsets: s.reachable_subsets as u64,
                 candidates: s.candidates,
                 ..WorkStats::default()
             };
+            record_frontier_stats(&mut work, s.frontier);
             match meter.exhausted() {
                 None => (s.cost, s.tree, work, SolveOutcome::Complete),
                 Some(r) => degraded_result(
@@ -739,6 +864,7 @@ static EXTENSIONS: Mutex<Vec<EngineProvider>> = Mutex::new(Vec::new());
 pub fn core_engines() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(SequentialEngine),
+        Box::new(SeqFrontierEngine),
         Box::new(MemoEngine),
         Box::new(BnbEngine),
         Box::new(ExhaustiveEngine),

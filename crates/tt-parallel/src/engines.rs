@@ -16,6 +16,7 @@ use tt_core::solver::engine::{
     self, timed_report_with, EngineKind, SolveOutcome, SolveReport, Solver, WorkStats,
 };
 use tt_core::solver::sequential;
+use tt_core::subset::frontier::FrontierTable;
 use tt_core::subset::Subset;
 use tt_core::tree::TtTree;
 
@@ -165,6 +166,80 @@ impl Solver for RayonEngine {
             let root = inst.universe();
             let cost = tables.cost[root.index()];
             let tree = sequential::extract_tree(inst, &tables, root);
+            (cost, tree, work, SolveOutcome::Complete)
+        })
+    }
+}
+
+/// Level-synchronous shared-memory DP over frontier-compressed
+/// `C(k, j)` buffers: the parallel counterpart of `seq-frontier`, with
+/// workers sweeping the top frontier in cache-blocked ranked chunks.
+struct RayonFrontierEngine;
+
+impl Solver for RayonFrontierEngine {
+    fn name(&self) -> &'static str {
+        "rayon-frontier"
+    }
+    fn kind(&self) -> EngineKind {
+        EngineKind::Parallel
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["par-frontier"]
+    }
+    fn description(&self) -> &'static str {
+        "level-synchronous DP on worker threads over C(k,j) frontier buffers"
+    }
+    fn solve_with(&self, inst: &TtInstance, budget: &Budget) -> SolveReport {
+        self.solve_resumable(inst, budget, None, &mut |_| {})
+    }
+    fn resumable(&self) -> bool {
+        true
+    }
+    fn solve_resumable(
+        &self,
+        inst: &TtInstance,
+        budget: &Budget,
+        resume: Option<&Checkpoint>,
+        sink: &mut dyn FnMut(Checkpoint),
+    ) -> SolveReport {
+        timed_report_with(|| {
+            let mut meter = budget.start();
+            let prepared = engine::prepare_resume(inst, resume);
+            let resumed_level = prepared.as_ref().map(|ck| ck.level);
+            let seed = prepared
+                .as_ref()
+                .map(|ck| FrontierTable::from_dense(inst.k(), ck.level, &ck.cost));
+            let (table, done) = rayon_solver::solve_frontier_resumable(
+                inst,
+                &mut meter,
+                seed,
+                &mut |level, table| sink(engine::checkpoint_at_level_frontier(inst, level, table)),
+            );
+            let mut work = WorkStats {
+                subsets: meter.subsets(),
+                candidates: meter.candidates(),
+                pes: rayon::current_num_threads() as u64,
+                ..WorkStats::default()
+            };
+            work.push_extra("threads", rayon::current_num_threads() as u64);
+            work.push_extra("completed_levels", done as u64);
+            engine::record_frontier_stats(&mut work, table.stats());
+            if let Some(level) = resumed_level {
+                work.push_extra("resumed_level", level as u64);
+            }
+            if let Some(r) = meter.exhausted() {
+                // Wavefront invariant: `cost_of_checked` answers exactly
+                // the completed levels, cost-only (no argmin plane).
+                return engine::degraded_result(
+                    inst,
+                    r.into(),
+                    &|s| table.cost_of_checked(s).map(|c| (c, None)),
+                    work,
+                );
+            }
+            let root = inst.universe();
+            let cost = table.cost_of_checked(root).unwrap_or(Cost::INF);
+            let tree = sequential::extract_tree_frontier(inst, &table, root);
             (cost, tree, work, SolveOutcome::Complete)
         })
     }
@@ -519,6 +594,7 @@ impl Solver for BvmEngine {
 pub fn engines() -> Vec<Box<dyn Solver>> {
     vec![
         Box::new(RayonEngine),
+        Box::new(RayonFrontierEngine),
         Box::new(HyperEngine),
         Box::new(HyperBlockedEngine),
         Box::new(CccEngine),
@@ -549,7 +625,7 @@ mod tests {
     }
 
     #[test]
-    fn registration_exposes_all_nine_backends() {
+    fn registration_exposes_every_backend() {
         register_engines();
         register_engines(); // idempotent
         let names: Vec<&str> = tt_core::solver::registry()
@@ -559,10 +635,12 @@ mod tests {
         for want in [
             "exhaustive",
             "seq",
+            "seq-frontier",
             "memo",
             "bnb",
             "greedy",
             "rayon",
+            "rayon-frontier",
             "hyper",
             "hyper-blocked",
             "ccc",

@@ -152,6 +152,17 @@ pub fn solve_resumable(
         }
         None => 0,
     };
+    // Incremental wavefront readback: running host-side tables, updated
+    // with only the `C(k, level)` freshly-written `i = 0` cells after
+    // each level — `Σ_j C(k, j) = 2^k` reads over a whole run instead of
+    // the `k · 2^k` the old full-table-per-level readback cost. Levels
+    // at or below the warm start are read back once from the overlaid
+    // machine state.
+    let mut c_table = vec![Cost::INF; 1usize << inst.k()];
+    let mut best_table: Vec<Option<u16>> = vec![None; c_table.len()];
+    for level in 0..=start {
+        read_cube_wavefront(&cube, &layout, level, &mut c_table, &mut best_table);
+    }
     let mut done = layout.k;
     for level in (start + 1)..=layout.k {
         if !check() {
@@ -159,10 +170,9 @@ pub fn solve_resumable(
             break;
         }
         run_level_cube(&mut cube, &layout, &actions, level, m_tests);
-        let (c, b) = read_cube_tables(&cube, &layout, inst.k());
-        on_level(level, &c, &b);
+        read_cube_wavefront(&cube, &layout, level, &mut c_table, &mut best_table);
+        on_level(level, &c_table, &best_table);
     }
-    let (c_table, best_table) = read_cube_tables(&cube, &layout, inst.k());
     let cost = c_table[inst.universe().index()];
     (
         HyperSolution {
@@ -176,26 +186,24 @@ pub fn solve_resumable(
     )
 }
 
-/// Reads the `C(·)` and argmin tables out of the `i = 0` column.
-fn read_cube_tables(
+/// Reads the `#S = level` wavefront of the `i = 0` column into the
+/// running host tables (see [`Layout::wavefront_addrs`]).
+fn read_cube_wavefront(
     cube: &SimdHypercube<TtPe>,
     layout: &Layout,
-    k: usize,
-) -> (Vec<Cost>, Vec<Option<u16>>) {
-    let c_table: Vec<Cost> = Subset::all(k)
-        .map(|s| cube.pe(layout.addr(s, 0)).m)
-        .collect();
-    let best_table: Vec<Option<u16>> = Subset::all(k)
-        .map(|s| {
-            let pe = cube.pe(layout.addr(s, 0));
-            if s.is_empty() || pe.m.is_inf() {
-                None
-            } else {
-                Some(pe.arg)
-            }
-        })
-        .collect();
-    (c_table, best_table)
+    level: usize,
+    c_table: &mut [Cost],
+    best_table: &mut [Option<u16>],
+) {
+    for (s, addr) in layout.wavefront_addrs(level) {
+        let pe = cube.pe(addr);
+        c_table[s.index()] = pe.m;
+        best_table[s.index()] = if s.is_empty() || pe.m.is_inf() {
+            None
+        } else {
+            Some(pe.arg)
+        };
+    }
 }
 
 /// Warm-start overlay for a resumed checkpoint: writes the exact
@@ -576,6 +584,14 @@ pub fn solve_blocked_resumable(
         }
         None => 0,
     };
+    // The same incremental wavefront readback as the word-level cube
+    // (cost only — this machine carries no argmin plane).
+    let mut c_table = vec![Cost::INF; 1usize << inst.k()];
+    for level in 0..=start {
+        for (s, addr) in layout.wavefront_addrs(level) {
+            c_table[s.index()] = cube.pe(addr).m;
+        }
+    }
     let mut done = layout.k;
     for level in (start + 1)..=layout.k {
         if !check() {
@@ -583,14 +599,11 @@ pub fn solve_blocked_resumable(
             break;
         }
         run_level_blocked(&mut cube, &layout, &actions, level, m_tests);
-        let c: Vec<Cost> = Subset::all(inst.k())
-            .map(|s| cube.pe(layout.addr(s, 0)).m)
-            .collect();
-        on_level(level, &c);
+        for (s, addr) in layout.wavefront_addrs(level) {
+            c_table[s.index()] = cube.pe(addr).m;
+        }
+        on_level(level, &c_table);
     }
-    let c_table: Vec<Cost> = Subset::all(inst.k())
-        .map(|s| cube.pe(layout.addr(s, 0)).m)
-        .collect();
     let cost = c_table[inst.universe().index()];
     (
         BlockedSolution {

@@ -99,6 +99,24 @@ impl Layout {
     pub fn s_dims(&self) -> std::ops::Range<usize> {
         self.log_n..self.dims()
     }
+
+    /// The `i = 0` column addresses of the `#S = level` wavefront,
+    /// paired with their sets, in CNS rank order (increasing mask —
+    /// the same order frontier buffers are indexed in). This is the
+    /// incremental readback walk: after wavefront `j` only these
+    /// `C(k, j)` PEs hold fresh values, so reading them — instead of
+    /// the full `2^k` column — makes the total readback over a run
+    /// `Σ_j C(k, j) = 2^k` instead of `k · 2^k`.
+    pub fn wavefront_addrs(&self, level: usize) -> impl Iterator<Item = (Subset, usize)> {
+        let lay = *self;
+        Subset::of_size(self.k, level).map(move |s| (s, lay.addr(s, 0)))
+    }
+
+    /// Number of addresses [`wavefront_addrs`](Layout::wavefront_addrs)
+    /// yields: `C(k, level)`.
+    pub fn wavefront_len(&self, level: usize) -> u64 {
+        tt_core::subset::frontier::binomial(self.k, level)
+    }
 }
 
 /// The padded action table for an instance (tests keep their positions
@@ -161,6 +179,26 @@ mod tests {
         assert_eq!(l.s_dims(), 3..8);
         assert_eq!(l.s_dim(0), 3);
         assert_eq!(l.s_dim(4), 7);
+    }
+
+    #[test]
+    fn wavefront_addrs_cover_each_level_in_rank_order() {
+        let l = Layout::new(5, 6);
+        let mut seen = [false; 1 << 5];
+        for j in 0..=5 {
+            let addrs: Vec<(Subset, usize)> = l.wavefront_addrs(j).collect();
+            assert_eq!(addrs.len() as u64, l.wavefront_len(j), "level {j}");
+            let mut prev = None;
+            for (s, a) in addrs {
+                assert_eq!(s.len(), j);
+                assert_eq!(l.split(a), (s, 0));
+                assert!(prev.is_none_or(|p| p < s.0), "rank order broken");
+                prev = Some(s.0);
+                assert!(!seen[s.index()]);
+                seen[s.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "wavefronts partition the lattice");
     }
 
     #[test]

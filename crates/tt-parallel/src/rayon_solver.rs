@@ -10,10 +10,12 @@
 //! smaller sets, which were all written in earlier levels.
 
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tt_core::cost::Cost;
 use tt_core::instance::TtInstance;
 use tt_core::solver::budget::BudgetMeter;
-use tt_core::solver::sequential::{candidate, DpTables, LevelSink};
+use tt_core::solver::sequential::{min_candidate, DpTables, FrontierSink, LevelSink};
+use tt_core::subset::frontier::{self, DenseSlab, FrontierTable};
 use tt_core::subset::Subset;
 
 /// Solves the DP level-synchronously with rayon; returns the same tables
@@ -75,15 +77,14 @@ pub fn solve_tables_resumable(
         let results: Vec<(usize, Cost, Option<u16>)> = level
             .par_iter()
             .map(|&s| {
-                let mut c = Cost::INF;
-                let mut b = None;
-                for i in 0..inst.n_actions() {
-                    let m = candidate(inst, &weight_table, cost_ref, s, i);
-                    if m < c {
-                        c = m;
-                        b = Some(i as u16);
-                    }
-                }
+                let mut gathers = 0u64;
+                let (c, b) = min_candidate(
+                    inst,
+                    weight_table[s.index()],
+                    &DenseSlab(cost_ref),
+                    s,
+                    &mut gathers,
+                );
                 (s.index(), c, b)
             })
             .collect();
@@ -94,6 +95,96 @@ pub fn solve_tables_resumable(
         sink(j, &cost, &best);
     }
     (DpTables { cost, best }, done)
+}
+
+/// Cache-block size for the parallel frontier sweep: each work item
+/// owns one contiguous run of ranked cells, so a chunk's output (8 KiB
+/// of `Cost`) stays resident while its gathers walk the lower
+/// frontiers. One `unrank` per chunk boundary; within a chunk the next
+/// subset comes from a Gosper step, exactly the rank-order walk the
+/// sequential sweep uses.
+pub const FRONTIER_CHUNK: usize = 1 << 10;
+
+/// The next mask with the same popcount (Gosper's hack). Callers must
+/// not step past the last subset of a level.
+fn gosper_next(s: Subset) -> Subset {
+    let cur = s.0;
+    let c = cur & cur.wrapping_neg();
+    let r = cur.wrapping_add(c);
+    Subset((((r ^ cur) >> 2) / c) | r)
+}
+
+/// The frontier-compressed parallel sweep: the same `#S = j` wavefront
+/// and the same cell values as
+/// `tt_core::solver::sequential::solve_frontier_levelwise`, but the
+/// top frontier is written by rayon workers in cache-blocked chunks of
+/// [`FRONTIER_CHUNK`] ranked cells. Chunks are disjoint slices of the
+/// level buffer, and every gather reads strictly lower (completed)
+/// frontiers, so the parallelism cannot race; determinism is free
+/// because each cell's value is a pure function of the lower levels.
+///
+/// `seed` warm-starts from an already-populated table (e.g.
+/// `FrontierTable::from_dense` on a checkpoint slab); `sink` observes
+/// the table after each completed level. Returns the table plus the
+/// completed level.
+pub fn solve_frontier_resumable(
+    inst: &TtInstance,
+    meter: &mut BudgetMeter,
+    seed: Option<FrontierTable>,
+    sink: &mut FrontierSink<'_>,
+) -> (FrontierTable, usize) {
+    let k = inst.k();
+    let n_actions = inst.n_actions() as u64;
+    let mut table = match seed {
+        Some(t) => {
+            assert_eq!(t.k(), k, "seed universe size");
+            t
+        }
+        None => FrontierTable::new(k),
+    };
+    let start_level = table.len_levels() - 1;
+    let mut done = k;
+    for j in (start_level + 1)..=k {
+        let cells = frontier::binomial(k, j);
+        let in_budget = meter.charge_subsets(cells)
+            & meter.charge_candidates(cells * n_actions)
+            & meter.check();
+        if !in_budget {
+            done = j - 1;
+            break;
+        }
+        let level_start = std::time::Instant::now();
+        table.push_level();
+        let (lower, out) = table.split_top();
+        // Workers keep task-local gather counters; one relaxed add per
+        // chunk folds them into the table's accounting — no atomics in
+        // the per-cell hot path.
+        let gathers = AtomicU64::new(0);
+        let unranks = AtomicU64::new(0);
+        let lower_ref = &lower;
+        out.par_chunks_mut(FRONTIER_CHUNK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                let mut local_gathers = 0u64;
+                let mut s = frontier::unrank(j, (ci * FRONTIER_CHUNK) as u64);
+                for (off, cell) in chunk.iter_mut().enumerate() {
+                    if off > 0 {
+                        s = gosper_next(s);
+                    }
+                    let (c, _) =
+                        min_candidate(inst, inst.weight_of(s), lower_ref, s, &mut local_gathers);
+                    *cell = c;
+                }
+                gathers.fetch_add(local_gathers, Ordering::Relaxed);
+                unranks.fetch_add(1, Ordering::Relaxed);
+            });
+        table.stats_mut().rank_calls += gathers.into_inner();
+        table.stats_mut().unrank_calls += unranks.into_inner();
+        let nanos = u64::try_from(level_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        tt_obs::telemetry::record_level(j, cells, cells * n_actions, nanos);
+        sink(j, &table);
+    }
+    (table, done)
 }
 
 /// Convenience wrapper: `C(U)` plus an optimal tree via the shared
@@ -149,6 +240,59 @@ mod tests {
             let seq = sequential::solve_tables(&i);
             assert_eq!(par.cost, seq.cost, "k={k}");
             assert_eq!(par.best, seq.best, "k={k}");
+        }
+    }
+
+    #[test]
+    fn frontier_sweep_matches_sequential_cell_for_cell() {
+        use tt_core::solver::budget::BudgetMeter;
+        for k in [3usize, 5, 8, 11] {
+            let i = inst(k);
+            let (table, done) =
+                solve_frontier_resumable(&i, &mut BudgetMeter::unlimited(), None, &mut |_, _| {});
+            assert_eq!(done, k);
+            let seq = sequential::solve_tables(&i);
+            for s in Subset::all(k) {
+                assert_eq!(
+                    table.cost_of_checked(s),
+                    Some(seq.cost[s.index()]),
+                    "k={k} s={s}"
+                );
+            }
+            // Chunked sweeps account one unrank per chunk and the same
+            // gather count as the sequential frontier sweep.
+            assert!(table.stats().unrank_calls >= k as u64);
+            let (seq_table, _) = sequential::solve_frontier_levelwise(
+                &i,
+                &mut BudgetMeter::unlimited(),
+                None,
+                &mut |_, _| {},
+            );
+            assert_eq!(
+                table.stats().rank_calls,
+                seq_table.stats().rank_calls,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_sweep_spans_chunk_boundaries() {
+        // k = 14 has C(14,7) = 3432 > FRONTIER_CHUNK cells at the
+        // equator, so mid-level chunks start from a real unrank.
+        let i = inst(14);
+        let (table, done) = solve_frontier_resumable(
+            &i,
+            &mut tt_core::solver::budget::BudgetMeter::unlimited(),
+            None,
+            &mut |_, _| {},
+        );
+        assert_eq!(done, 14);
+        let seq = sequential::solve_tables(&i);
+        let root = Subset::universe(14);
+        assert_eq!(table.cost_of_checked(root), Some(seq.cost[root.index()]));
+        for s in Subset::of_size(14, 7) {
+            assert_eq!(table.cost_of_checked(s), Some(seq.cost[s.index()]), "{s}");
         }
     }
 
