@@ -49,6 +49,13 @@ pub struct SuperviseOptions {
     pub retries_per_engine: u32,
     /// Initial backoff before the first retry; doubles per retry.
     pub backoff: Duration,
+    /// Ceiling on any single backoff sleep (pre-jitter).
+    pub backoff_cap: Duration,
+    /// Spread each backoff sleep over `[d/2, d]` instead of sleeping
+    /// the deterministic doubling exactly. A batch of supervisors that
+    /// all saw the same transient fault would otherwise retry in
+    /// lockstep and re-collide; see [`jittered_backoff`].
+    pub jitter: bool,
     /// Warm-start checkpoint (e.g. loaded from disk by
     /// `ttsolve --resume`); validated against the instance fingerprint
     /// before use, ignored if it belongs to another instance.
@@ -60,9 +67,59 @@ impl Default for SuperviseOptions {
         SuperviseOptions {
             retries_per_engine: 1,
             backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
+            jitter: true,
             resume: None,
         }
     }
+}
+
+/// One splitmix64 step: tiny, seed-stable, and good enough to
+/// decorrelate sleep intervals (this is jitter, not cryptography).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A process-unique jitter seed: wall clock mixed with a counter, so
+/// two supervisors (or bench clients) started in the same instant still
+/// draw different sleep sequences.
+pub fn jitter_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    let mut seed = nanos
+        ^ COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9e37_79b9);
+    // One mixing round so adjacent seeds do not produce adjacent draws.
+    splitmix64(&mut seed)
+}
+
+/// The shared retry-delay policy: capped exponential backoff with
+/// equal jitter. Attempt `a` targets `base · 2^min(a, 16)` clamped to
+/// `cap`, and the returned sleep is drawn uniformly from the upper half
+/// `[target/2, target]` — long enough to still back off, spread enough
+/// that a fleet of synchronized retriers decorrelates. `state` is the
+/// caller's PRNG state (see [`jitter_seed`]); deterministic callers can
+/// fix it. Used by the supervisor's retry loop and by the `ttserve`
+/// bencher's `Overloaded` retry path.
+pub fn jittered_backoff(base: Duration, attempt: u32, cap: Duration, state: &mut u64) -> Duration {
+    let target = base.saturating_mul(1 << attempt.min(16)).min(cap);
+    let nanos = u64::try_from(target.as_nanos().min(u128::from(u64::MAX))).unwrap_or(u64::MAX);
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    let half = nanos / 2;
+    let jittered = half + splitmix64(state) % (nanos - half + 1);
+    Duration::from_nanos(jittered)
 }
 
 /// How one engine attempt failed.
@@ -230,6 +287,7 @@ pub fn supervise_with_sink(
     let mut retries = 0u32;
     let mut failovers = 0u32;
     let mut deadline_spent = false;
+    let mut jitter_state = jitter_seed();
 
     'chain: for engine in chain {
         // Cheap capacity pre-check: don't even start an engine the
@@ -298,8 +356,18 @@ pub fn supervise_with_sink(
             });
             if retryable && attempt < opts.retries_per_engine {
                 if !opts.backoff.is_zero() {
-                    // Exponential: backoff, 2·backoff, 4·backoff, …
-                    std::thread::sleep(opts.backoff.saturating_mul(1 << attempt.min(16)));
+                    // Exponential (backoff, 2·backoff, 4·backoff, …)
+                    // capped and — unless disabled — jittered, so a
+                    // batch of supervisors hit by the same transient
+                    // does not retry in lockstep.
+                    let delay = if opts.jitter {
+                        jittered_backoff(opts.backoff, attempt, opts.backoff_cap, &mut jitter_state)
+                    } else {
+                        opts.backoff
+                            .saturating_mul(1 << attempt.min(16))
+                            .min(opts.backoff_cap)
+                    };
+                    std::thread::sleep(delay);
                 }
                 attempt += 1;
                 retries += 1;
@@ -390,7 +458,7 @@ mod tests {
         SuperviseOptions {
             retries_per_engine: 1,
             backoff: Duration::ZERO,
-            resume: None,
+            ..SuperviseOptions::default()
         }
     }
 
@@ -700,6 +768,52 @@ mod tests {
             .filter(|n| ["seq", "bnb", "memo", "greedy"].contains(n))
             .collect();
         assert_eq!(tail, vec!["seq", "bnb", "memo", "greedy"]);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_in_the_upper_half_of_the_capped_target() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let mut state = 7u64;
+        for attempt in 0..20 {
+            let target = base.saturating_mul(1 << attempt.min(16)).min(cap);
+            for _ in 0..64 {
+                let d = jittered_backoff(base, attempt, cap, &mut state);
+                assert!(
+                    d >= target / 2,
+                    "attempt {attempt}: {d:?} < {:?}",
+                    target / 2
+                );
+                assert!(d <= target, "attempt {attempt}: {d:?} > {target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_zero_base_never_sleeps() {
+        let mut state = 1u64;
+        assert_eq!(
+            jittered_backoff(Duration::ZERO, 5, Duration::from_secs(1), &mut state),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_actually_varies() {
+        let base = Duration::from_millis(64);
+        let cap = Duration::from_secs(10);
+        let mut state = jitter_seed();
+        let draws: std::collections::HashSet<Duration> = (0..32)
+            .map(|_| jittered_backoff(base, 3, cap, &mut state))
+            .collect();
+        assert!(draws.len() > 1, "32 draws collapsed to one value");
+    }
+
+    #[test]
+    fn jitter_seeds_differ_across_calls() {
+        let a = jitter_seed();
+        let b = jitter_seed();
+        assert_ne!(a, b);
     }
 
     #[test]

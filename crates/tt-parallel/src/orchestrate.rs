@@ -641,6 +641,10 @@ pub struct BatchRecord {
     pub failovers: u32,
     /// Same-engine retries performed.
     pub retries: u32,
+    /// Wall-clock time of the whole item (load + chain construction +
+    /// supervised solve), so JSONL consumers (e.g. latency accounting
+    /// over a batch) need no external timing.
+    pub wall: Duration,
     /// Human detail: degrade reason or error message.
     pub detail: String,
 }
@@ -672,8 +676,10 @@ impl BatchRecord {
         }
         let _ = write!(
             s,
-            ",\"failovers\":{},\"retries\":{},",
-            self.failovers, self.retries
+            ",\"failovers\":{},\"retries\":{},\"wall_us\":{},",
+            self.failovers,
+            self.retries,
+            self.wall.as_micros()
         );
         push_json_str(&mut s, "detail", &self.detail);
         s.push('}');
@@ -755,17 +761,20 @@ impl BatchSummary {
 /// record rather than killing the batch.
 pub fn run_item(item: &BatchItem) -> BatchRecord {
     let label = item.label();
+    let start = std::time::Instant::now();
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<BatchRecord, String> {
         let inst = item.load()?;
         let chain = item.chain(&inst)?;
         let sup = supervise::supervise(&inst, &chain, &item.budget(), &SuperviseOptions::default());
         Ok(record_from(&label, &sup))
     }));
-    match caught {
+    let mut rec = match caught {
         Ok(Ok(rec)) => rec,
         Ok(Err(msg)) => error_record(label, msg),
         Err(payload) => error_record(label, format!("panic: {}", panic_message(&payload))),
-    }
+    };
+    rec.wall = start.elapsed();
+    rec
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -787,6 +796,7 @@ fn error_record(label: String, detail: String) -> BatchRecord {
         bounds: None,
         failovers: 0,
         retries: 0,
+        wall: Duration::ZERO,
         detail,
     }
 }
@@ -812,6 +822,7 @@ fn record_from(label: &str, sup: &SuperviseReport) -> BatchRecord {
         bounds,
         failovers: sup.failovers,
         retries: sup.retries,
+        wall: Duration::ZERO,
         detail,
     }
 }
@@ -1022,6 +1033,13 @@ mod tests {
         let json = degraded.to_json();
         assert!(json.contains("\"status\":\"degraded\""), "{json}");
         assert!(json.contains("\"source\":\"demo:random:5:2\""), "{json}");
+        assert!(json.contains("\"wall_us\":"), "{json}");
+        // Every record that actually ran carries its wall time.
+        for rec in &summary.records {
+            if rec.status != BatchStatus::Error {
+                assert!(rec.wall > Duration::ZERO, "{} has no wall time", rec.label);
+            }
+        }
         let trailer = summary.to_json();
         assert_eq!(
             trailer,

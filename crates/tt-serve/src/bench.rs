@@ -1,0 +1,348 @@
+//! The load bencher: closed- and open-loop clients, typed-shed retry
+//! with jittered backoff, latency percentiles, and an optional fault
+//! barrage.
+//!
+//! Closed loop: each client issues its next request the moment the
+//! previous one resolves — throughput self-limits to the server's
+//! capacity. Open loop: each client fires on a fixed interval
+//! regardless of completions — the arrival rate is constant, so an
+//! overloaded server *must* shed (this is the mode that proves
+//! admission control works).
+//!
+//! On a typed `overloaded` shed, a client retries with capped
+//! exponential backoff plus jitter — the same
+//! [`tt_core::solver::jittered_backoff`] the
+//! supervisor uses — so a barrage of shed clients decorrelates instead
+//! of re-colliding.
+
+use crate::client::Client;
+use crate::fault::{self, Fault, ALL_FAULTS};
+use crate::proto::{ErrorKind, Request, Response, SolveParams, Source};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tt_core::solver::{jitter_seed, jittered_backoff};
+
+/// Arrival discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Next request when the previous resolves.
+    Closed,
+    /// One request per interval per client, resolved or not (the
+    /// blocking client model makes this "paced": a request slower than
+    /// the interval delays the next tick, but fast responses do not
+    /// speed it up).
+    Open {
+        /// Per-client inter-arrival interval.
+        interval: Duration,
+    },
+}
+
+/// Bench configuration.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Solve-issuing client threads.
+    pub clients: usize,
+    /// Fault-injecting threads cycling through [`ALL_FAULTS`].
+    pub fault_clients: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// Workload spec, `<domain>:<k>:<seed-base>` (each request gets a
+    /// distinct seed).
+    pub spec: String,
+    /// Per-request deadline sent to the server.
+    pub timeout_ms: Option<u64>,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// Retries after an `overloaded` shed before giving up on that
+    /// request.
+    pub max_retries: u32,
+    /// Socket timeout per round trip.
+    pub io_timeout: Duration,
+    /// Hold time for stalling faults.
+    pub fault_hold: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> BenchOptions {
+        BenchOptions {
+            clients: 4,
+            fault_clients: 0,
+            duration: Duration::from_secs(5),
+            spec: "random:10:1".to_string(),
+            timeout_ms: Some(500),
+            mode: LoadMode::Closed,
+            max_retries: 4,
+            io_timeout: Duration::from_secs(5),
+            fault_hold: Duration::from_millis(300),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    sent: AtomicU64,
+    complete: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+    errors: AtomicU64,
+    faults_injected: AtomicU64,
+}
+
+/// The bench verdict.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Solve requests issued (retries not double-counted).
+    pub sent: u64,
+    /// Exact answers received.
+    pub complete: u64,
+    /// Degraded answers received (bound sandwich).
+    pub degraded: u64,
+    /// `overloaded` sheds observed (pre-retry).
+    pub shed: u64,
+    /// Retries performed after sheds.
+    pub retries: u64,
+    /// Requests abandoned after `max_retries` sheds.
+    pub gave_up: u64,
+    /// Transport or protocol errors.
+    pub errors: u64,
+    /// Fault connections delivered.
+    pub faults_injected: u64,
+    /// Latency percentiles over *answered* requests, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Answered-request count the percentiles are over.
+    pub samples: u64,
+}
+
+impl BenchReport {
+    /// One JSON line for scripts and the CI smoke job.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sent\":{},\"complete\":{},\"degraded\":{},\"shed\":{},\"retries\":{},\
+             \"gave_up\":{},\"errors\":{},\"faults_injected\":{},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"samples\":{}}}",
+            self.sent,
+            self.complete,
+            self.degraded,
+            self.shed,
+            self.retries,
+            self.gave_up,
+            self.errors,
+            self.faults_injected,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.samples
+        )
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        clippy::cast_precision_loss
+    )]
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One client's request loop.
+#[allow(clippy::too_many_lines)]
+fn client_loop(
+    addr: SocketAddr,
+    opts: &BenchOptions,
+    tally: &Tally,
+    latencies: &Mutex<Vec<u64>>,
+    client_idx: usize,
+    stop_at: Instant,
+) {
+    let mut jitter_state = jitter_seed() ^ u64::try_from(client_idx).unwrap_or(0);
+    let mut seq = 0u64;
+    let mut next_tick = Instant::now();
+    while Instant::now() < stop_at {
+        if let LoadMode::Open { interval } = opts.mode {
+            let now = Instant::now();
+            if now < next_tick {
+                std::thread::sleep(next_tick - now);
+            }
+            next_tick += interval;
+        }
+        seq += 1;
+        // Vary the seed so requests are distinct instances; the base
+        // spec's trailing seed field is replaced per request.
+        let spec = {
+            let mut parts: Vec<String> = opts.spec.split(':').map(str::to_string).collect();
+            if parts.len() == 3 {
+                let base = u64::try_from(client_idx).unwrap_or(0);
+                parts[2] = (base * 1_000_003 + seq).to_string();
+            }
+            parts.join(":")
+        };
+        let req = Request::Solve(SolveParams {
+            id: Some(format!("c{client_idx}-{seq}")),
+            source: Source::Demo(spec),
+            solver: None,
+            timeout_ms: opts.timeout_ms,
+        });
+        tally.sent.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            // One connection per attempt: the server's admission unit
+            // is the connection, so a shed closes ours.
+            let outcome = Client::connect(addr, opts.io_timeout).and_then(|mut c| c.request(&req));
+            match outcome {
+                Ok(Response::Solved(r)) => {
+                    let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    lock(latencies).push(us);
+                    if r.complete {
+                        tally.complete.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tally.degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                Ok(Response::Error {
+                    kind: ErrorKind::Overloaded | ErrorKind::Draining,
+                    ..
+                }) => {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= opts.max_retries || Instant::now() >= stop_at {
+                        tally.gave_up.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    let delay = jittered_backoff(
+                        Duration::from_millis(5),
+                        attempt,
+                        Duration::from_millis(200),
+                        &mut jitter_state,
+                    );
+                    std::thread::sleep(delay);
+                    attempt += 1;
+                    tally.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) | Err(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn fault_loop(addr: SocketAddr, opts: &BenchOptions, tally: &Tally, idx: usize, stop_at: Instant) {
+    let mut i = idx; // stagger so concurrent injectors differ
+    while Instant::now() < stop_at {
+        let f: Fault = ALL_FAULTS[i % ALL_FAULTS.len()];
+        i += 1;
+        if fault::inject(addr, f, opts.fault_hold).is_ok() {
+            tally.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Runs the bench against a serving address.
+pub fn run(addr: SocketAddr, opts: &BenchOptions) -> BenchReport {
+    let tally = Arc::new(Tally::default());
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let stop_at = Instant::now() + opts.duration;
+    let mut threads = Vec::new();
+    for c in 0..opts.clients {
+        let tally = Arc::clone(&tally);
+        let latencies = Arc::clone(&latencies);
+        let opts = opts.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ttbench-client-{c}"))
+                .spawn(move || client_loop(addr, &opts, &tally, &latencies, c, stop_at))
+                .expect("spawn bench client"),
+        );
+    }
+    for fidx in 0..opts.fault_clients {
+        let tally = Arc::clone(&tally);
+        let opts = opts.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ttbench-fault-{fidx}"))
+                .spawn(move || fault_loop(addr, &opts, &tally, fidx, stop_at))
+                .expect("spawn fault client"),
+        );
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let mut lat = lock(&latencies).clone();
+    lat.sort_unstable();
+    BenchReport {
+        sent: tally.sent.load(Ordering::Relaxed),
+        complete: tally.complete.load(Ordering::Relaxed),
+        degraded: tally.degraded.load(Ordering::Relaxed),
+        shed: tally.shed.load(Ordering::Relaxed),
+        retries: tally.retries.load(Ordering::Relaxed),
+        gave_up: tally.gave_up.load(Ordering::Relaxed),
+        errors: tally.errors.load(Ordering::Relaxed),
+        faults_injected: tally.faults_injected.load(Ordering::Relaxed),
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+        samples: u64::try_from(lat.len()).unwrap_or(u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let data: Vec<u64> = (1..=100).collect();
+        // Nearest-rank on 0-indexed data: round(99 · 0.5) = 50 → 51.
+        assert_eq!(percentile(&data, 0.50), 51);
+        assert_eq!(percentile(&data, 0.95), 95);
+        assert_eq!(percentile(&data, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn report_json_is_one_parseable_line() {
+        let r = BenchReport {
+            sent: 10,
+            complete: 6,
+            degraded: 2,
+            shed: 3,
+            retries: 2,
+            gave_up: 1,
+            errors: 1,
+            faults_injected: 4,
+            p50_us: 100,
+            p95_us: 300,
+            p99_us: 900,
+            samples: 8,
+        };
+        let json = r.to_json();
+        assert!(!json.contains('\n'));
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(v.get("sent").and_then(crate::json::Json::as_u64), Some(10));
+        assert_eq!(
+            v.get("p99_us").and_then(crate::json::Json::as_u64),
+            Some(900)
+        );
+    }
+}

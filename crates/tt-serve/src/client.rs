@@ -1,0 +1,96 @@
+//! A blocking protocol client.
+//!
+//! One [`Client`] owns one connection and issues requests
+//! sequentially — the shape the server is optimized for (a worker owns
+//! a connection for its lifetime). The bencher opens one client per
+//! simulated user.
+
+use crate::proto::{self, read_frame, write_frame, FrameError, Request, RequestError, Response};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a round trip failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(io::ErrorKind),
+    /// The request frame did not go out.
+    Send(io::ErrorKind),
+    /// The response frame did not come back intact.
+    Frame(FrameError),
+    /// The response payload did not decode.
+    Decode(RequestError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(k) => write!(f, "connect failed: {k:?}"),
+            ClientError::Send(k) => write!(f, "send failed: {k:?}"),
+            ClientError::Frame(e) => write!(f, "response frame: {e}"),
+            ClientError::Decode(e) => write!(f, "response payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with the given connect/read/write timeout.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| ClientError::Connect(e.kind()))?;
+        proto::set_timeouts(&stream, timeout, timeout)
+            .map_err(|e| ClientError::Connect(e.kind()))?;
+        Ok(Client { stream })
+    }
+
+    /// Resolves `addr` (e.g. `"127.0.0.1:7433"`) and connects.
+    pub fn connect_str(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Connect(e.kind()))?
+            .next()
+            .ok_or(ClientError::Connect(io::ErrorKind::AddrNotAvailable))?;
+        Client::connect(resolved, timeout)
+    }
+
+    /// Sets both socket timeouts (e.g. to allow a long solve).
+    pub fn set_timeout(&self, timeout: Duration) -> io::Result<()> {
+        proto::set_timeouts(&self.stream, timeout, timeout)
+    }
+
+    /// One request/response round trip.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode()).map_err(|e| ClientError::Send(e.kind()))?;
+        let payload = read_frame(&mut self.stream).map_err(ClientError::Frame)?;
+        Response::decode(&payload).map_err(ClientError::Decode)
+    }
+
+    /// Sends a raw payload (not necessarily a valid request) and reads
+    /// whatever comes back. The fault injector uses this.
+    pub fn raw_round_trip(&mut self, payload: &str) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, payload).map_err(|e| ClientError::Send(e.kind()))?;
+        read_frame(&mut self.stream).map_err(ClientError::Frame)
+    }
+
+    /// The underlying stream, for fault injection.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}
+
+/// Convenience: connect, issue one request, disconnect.
+pub fn one_shot(
+    addr: SocketAddr,
+    timeout: Duration,
+    req: &Request,
+) -> Result<Response, ClientError> {
+    Client::connect(addr, timeout)?.request(req)
+}

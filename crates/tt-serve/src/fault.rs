@@ -1,0 +1,108 @@
+//! Client-side fault injection: the adversarial peers the server must
+//! shrug off.
+//!
+//! Each [`Fault`] is one misbehavior a real network produces — abrupt
+//! disconnects, half-closed sockets, slow-loris stalls, truncated
+//! frames, garbage bytes, hostile length claims. The bencher fires
+//! them alongside legitimate load; the server must neither leak a
+//! worker nor a queue slot nor wedge, and its accounting must show the
+//! fault (or a benign close) rather than silence.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One kind of adversarial connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Connect, then disconnect without sending a byte.
+    Drop,
+    /// Connect, half-close the write side, linger reading.
+    HalfClose,
+    /// Send a partial frame header, then stall past the server's read
+    /// timeout (a slow-loris).
+    Stall,
+    /// Claim an N-byte payload, send fewer, close.
+    Truncated,
+    /// Send bytes that are not a frame at all.
+    Garbage,
+    /// Claim a payload far over `MAX_FRAME`.
+    OversizedLen,
+}
+
+/// Every fault kind, for round-robin barrages.
+pub const ALL_FAULTS: [Fault; 6] = [
+    Fault::Drop,
+    Fault::HalfClose,
+    Fault::Stall,
+    Fault::Truncated,
+    Fault::Garbage,
+    Fault::OversizedLen,
+];
+
+impl Fault {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::Drop => "drop",
+            Fault::HalfClose => "half-close",
+            Fault::Stall => "stall",
+            Fault::Truncated => "truncated",
+            Fault::Garbage => "garbage",
+            Fault::OversizedLen => "oversized-len",
+        }
+    }
+
+    /// Parses a name from [`Fault::name`].
+    pub fn parse(s: &str) -> Option<Fault> {
+        ALL_FAULTS.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// Runs one faulty connection against `addr`. `hold` bounds how long
+/// the stalling variants linger (pick just over the server's read
+/// timeout to exercise it, or shorter to merely churn).
+///
+/// Returns `Ok` when the fault was delivered as scripted; the server's
+/// reaction (typed error, silent close) is deliberately not validated
+/// here — the *accounting* is what the tests assert on.
+pub fn inject(addr: SocketAddr, fault: Fault, hold: Duration) -> std::io::Result<()> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    crate::proto::set_timeouts(
+        &stream,
+        hold + Duration::from_secs(1),
+        Duration::from_secs(1),
+    )?;
+    let mut stream = stream;
+    match fault {
+        Fault::Drop => {}
+        Fault::HalfClose => {
+            stream.shutdown(Shutdown::Write)?;
+            std::thread::sleep(hold.min(Duration::from_millis(200)));
+        }
+        Fault::Stall => {
+            // Two of four header bytes, then silence: the server's read
+            // timeout must fire and classify this as a mid-frame stall.
+            stream.write_all(&[0, 0])?;
+            stream.flush()?;
+            std::thread::sleep(hold);
+        }
+        Fault::Truncated => {
+            // Claim 64 bytes, deliver 5, vanish.
+            stream.write_all(&64u32.to_be_bytes())?;
+            stream.write_all(b"tt 1\n")?;
+            stream.flush()?;
+        }
+        Fault::Garbage => {
+            // 0x80.. bytes double as both a wild length claim and
+            // non-UTF-8 payload, depending on where the reader is.
+            stream.write_all(&[0x80, 0xff, 0xfe, 0xfd, 0xfc, 0xfb])?;
+            stream.flush()?;
+        }
+        Fault::OversizedLen => {
+            stream.write_all(&u32::MAX.to_be_bytes())?;
+            stream.flush()?;
+        }
+    }
+    Ok(())
+}

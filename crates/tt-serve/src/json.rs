@@ -1,0 +1,433 @@
+//! A minimal JSON reader for the wire protocol.
+//!
+//! The workspace is offline and serde-free, so `ttserve` parses its
+//! request/response payloads with this hand-rolled recursive-descent
+//! reader. It is written for an adversarial peer: every malformed
+//! input maps to a typed [`JsonError`] (never a panic), nesting depth
+//! is capped so a garbage frame cannot blow the stack, and nothing is
+//! allocated proportional to claimed — rather than actual — input
+//! size. Writing JSON stays with `tt_obs::json` string escaping plus
+//! plain `format!` literals, as everywhere else in the repo.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. The protocol only uses unsigned integers, but the
+    /// reader accepts the full grammar so close-but-wrong clients get
+    /// a field-level error instead of a parse error.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (the protocol has few keys; a linear
+    /// scan beats a map and keeps duplicates detectable).
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why an input was rejected. Positions are byte offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input ended inside a value.
+    Truncated,
+    /// Bytes after the end of the top-level value.
+    Trailing {
+        /// Offset of the first trailing byte.
+        at: usize,
+    },
+    /// A byte that fits no grammar rule at this point.
+    Unexpected {
+        /// Offset of the offending byte.
+        at: usize,
+    },
+    /// A malformed `\` escape or `\u` sequence inside a string.
+    BadEscape {
+        /// Offset of the escape introducer.
+        at: usize,
+    },
+    /// A malformed number literal.
+    BadNumber {
+        /// Offset where the number started.
+        at: usize,
+    },
+    /// Invalid UTF-8 inside a string.
+    BadUtf8 {
+        /// Offset of the offending byte.
+        at: usize,
+    },
+    /// Nesting beyond [`MAX_DEPTH`] (a stack-smashing frame).
+    TooDeep,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::Truncated => write!(f, "truncated JSON"),
+            JsonError::Trailing { at } => write!(f, "trailing bytes at offset {at}"),
+            JsonError::Unexpected { at } => write!(f, "unexpected byte at offset {at}"),
+            JsonError::BadEscape { at } => write!(f, "bad string escape at offset {at}"),
+            JsonError::BadNumber { at } => write!(f, "bad number at offset {at}"),
+            JsonError::BadUtf8 { at } => write!(f, "invalid UTF-8 at offset {at}"),
+            JsonError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting the reader accepts. The protocol uses
+/// depth 2; 32 leaves slack without letting `[[[[…` recurse to a stack
+/// overflow.
+pub const MAX_DEPTH: usize = 32;
+
+/// Parses one complete JSON value; trailing whitespace is allowed,
+/// anything else is [`JsonError::Trailing`].
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(JsonError::Trailing { at: p.pos });
+    }
+    Ok(v)
+}
+
+impl Json {
+    /// Object field lookup (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else if self.bytes.len() - self.pos < lit.len() {
+            Err(JsonError::Truncated)
+        } else {
+            Err(JsonError::Unexpected { at: self.pos })
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep);
+        }
+        match self.peek() {
+            None => Err(JsonError::Truncated),
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(JsonError::Unexpected { at: self.pos }),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                Some(_) => return Err(JsonError::Unexpected { at: self.pos }),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return match self.peek() {
+                    None => Err(JsonError::Truncated),
+                    Some(_) => Err(JsonError::Unexpected { at: self.pos }),
+                };
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.pos += 1,
+                Some(_) => return Err(JsonError::Unexpected { at: self.pos }),
+                None => return Err(JsonError::Truncated),
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                Some(_) => return Err(JsonError::Unexpected { at: self.pos }),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let at = self.pos;
+            match self.peek() {
+                None => return Err(JsonError::Truncated),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(JsonError::Truncated),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4(at)?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\u`-escaped low surrogate.
+                            let c = if (0xD800..=0xDBFF).contains(&cp) {
+                                self.pos += 1;
+                                if self.peek() != Some(b'\\') {
+                                    return Err(JsonError::BadEscape { at });
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(JsonError::BadEscape { at });
+                                }
+                                let lo = self.hex4(at)?;
+                                if !(0xDC00..=0xDFFF).contains(&lo) {
+                                    return Err(JsonError::BadEscape { at });
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined).ok_or(JsonError::BadEscape { at })?
+                            } else {
+                                char::from_u32(cp).ok_or(JsonError::BadEscape { at })?
+                            };
+                            out.push(c);
+                        }
+                        Some(_) => return Err(JsonError::BadEscape { at }),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(JsonError::Unexpected { at }),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: find the char boundary via str
+                    // re-validation of this slice.
+                    let rest = &self.bytes[self.pos..];
+                    let upto = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let chunk =
+                        std::str::from_utf8(&rest[..upto]).map_err(|e| JsonError::BadUtf8 {
+                            at: self.pos + e.valid_up_to(),
+                        })?;
+                    out.push_str(chunk);
+                    self.pos += upto;
+                }
+            }
+            let _ = start;
+        }
+    }
+
+    /// Reads the 4 hex digits after a `\u` (cursor on the `u`).
+    fn hex4(&mut self, escape_at: usize) -> Result<u32, JsonError> {
+        let mut cp: u32 = 0;
+        for _ in 0..4 {
+            self.pos += 1;
+            let d = match self.peek() {
+                None => return Err(JsonError::Truncated),
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a' + 10),
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A' + 10),
+                Some(_) => return Err(JsonError::BadEscape { at: escape_at }),
+            };
+            cp = (cp << 4) | d;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::BadNumber { at: start })?;
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or(JsonError::BadNumber { at: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let v = parse(r#"{"op":"solve","timeout_ms":250,"deep":{"a":[1,2,null,true]}}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("solve"));
+        assert_eq!(v.get("timeout_ms").and_then(Json::as_u64), Some(250));
+        let deep = v.get("deep").unwrap().get("a").unwrap();
+        assert_eq!(
+            deep,
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Null,
+                Json::Bool(true)
+            ])
+        );
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let v = parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA\u{e9}"));
+        let pair = parse(r#""😀""#).unwrap();
+        assert_eq!(pair.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn typed_errors_never_panic() {
+        assert_eq!(parse(""), Err(JsonError::Truncated));
+        assert_eq!(parse("{"), Err(JsonError::Truncated));
+        assert_eq!(parse(r#"{"a""#), Err(JsonError::Truncated));
+        assert_eq!(parse("tru"), Err(JsonError::Truncated));
+        assert_eq!(parse("{} x"), Err(JsonError::Trailing { at: 3 }));
+        assert_eq!(parse("@"), Err(JsonError::Unexpected { at: 0 }));
+        assert_eq!(parse(r#""\q""#), Err(JsonError::BadEscape { at: 1 }));
+        assert_eq!(parse(r#""\ud800x""#), Err(JsonError::BadEscape { at: 1 }));
+        assert!(matches!(parse("-"), Err(JsonError::BadNumber { .. })));
+        assert!(matches!(parse("1e999"), Err(JsonError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(parse(&deep), Err(JsonError::TooDeep));
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn number_edge_cases() {
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("18014398509481984").unwrap().as_u64(), None); // > 9e15 guard
+        assert_eq!(parse("-3").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("2e3").unwrap(), Json::Num(2000.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! `tt-serve`: an overload-safe solve service for TT instances.
+//!
+//! The batch driver in `tt-parallel` answers "solve this manifest";
+//! this crate answers "keep answering solves while the world
+//! misbehaves". It is the robustness layer of the reproduction: the
+//! paper's algorithms wrapped in a service that sheds load instead of
+//! queueing unboundedly, degrades answer quality instead of
+//! availability, contains panics and hostile peers, and drains
+//! gracefully on shutdown.
+//!
+//! Layers, bottom up:
+//!
+//! * [`json`] — a serde-free JSON value reader with typed errors and a
+//!   depth cap, written for adversarial input.
+//! * [`proto`] — length-prefixed JSON frames ([`proto::MAX_FRAME`]
+//!   validated before allocation) and the [`proto::Request`] /
+//!   [`proto::Response`] shapes.
+//! * [`server`] — the accept thread + bounded queue + worker pool, with
+//!   admission control, per-request budgets wired to the drain token,
+//!   `catch_unwind` containment, and the
+//!   `accepted == completed + degraded + shed + faulted` accounting
+//!   invariant.
+//! * [`client`] — a blocking one-connection client.
+//! * [`fault`] — the adversarial peers (drops, stalls, truncations,
+//!   garbage, hostile length claims) the server must absorb.
+//! * [`bench`](mod@bench) — closed/open-loop load generation with jittered-backoff
+//!   retry on typed sheds, latency percentiles, and a fault barrage.
+//!
+//! The `ttserve` binary at the workspace root wires these to a CLI:
+//! `serve`, `bench`, `scrape`, `healthz`, `drain`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod fault;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorKind, FrameError, Request, Response, MAX_FRAME};
+pub use server::{start, DrainOutcome, ServerHandle, ServerOptions, StatsSnapshot};

@@ -1,18 +1,23 @@
 //! Keeps the README's exit-code table in sync with the `EXIT_*`
-//! constants in `src/bin/ttsolve.rs` — both are parsed from source, so
-//! adding a code to one without the other fails here.
+//! constants across every binary that owns part of the exit-code
+//! space — `src/bin/ttsolve.rs` (codes 2–11) and `src/bin/ttserve.rs`
+//! (12–14, sharing 2) — all parsed from source, so adding a code to
+//! one place without the others fails here.
 
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// The binaries that define `EXIT_*` constants, in ownership order.
+const BINARIES: &[&str] = &["src/bin/ttsolve.rs", "src/bin/ttserve.rs"];
 
 fn repo_file(rel: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
 }
 
-/// `const EXIT_<NAME>: i32 = <code>;` lines from the ttsolve source.
-fn source_codes() -> BTreeMap<i32, String> {
-    let src = repo_file("src/bin/ttsolve.rs");
+/// `const EXIT_<NAME>: i32 = <code>;` lines from one binary's source.
+fn codes_in(rel: &str) -> BTreeMap<i32, String> {
+    let src = repo_file(rel);
     let mut codes = BTreeMap::new();
     for line in src.lines() {
         let line = line.trim();
@@ -27,9 +32,30 @@ fn source_codes() -> BTreeMap<i32, String> {
             .parse()
             .unwrap_or_else(|_| panic!("unparseable EXIT_ constant line: {line}"));
         let prev = codes.insert(value, format!("EXIT_{name}"));
-        assert!(prev.is_none(), "duplicate exit code {value} in ttsolve.rs");
+        assert!(prev.is_none(), "duplicate exit code {value} in {rel}");
     }
+    assert!(!codes.is_empty(), "no EXIT_ constants found in {rel}");
     codes
+}
+
+/// The union across binaries. A code may appear in several binaries
+/// only under the same name with the same value (`EXIT_USAGE = 2`);
+/// anything else is a collision in the shared space.
+fn source_codes() -> BTreeMap<i32, String> {
+    let mut merged: BTreeMap<i32, String> = BTreeMap::new();
+    for rel in BINARIES {
+        for (code, name) in codes_in(rel) {
+            if let Some(prev) = merged.get(&code) {
+                assert_eq!(
+                    prev, &name,
+                    "exit code {code} means {prev} in one binary and {name} in {rel}"
+                );
+            } else {
+                merged.insert(code, name);
+            }
+        }
+    }
+    merged
 }
 
 /// `| <code> | <meaning> |` rows of the README's exit-code table.
@@ -54,7 +80,7 @@ fn readme_codes() -> BTreeMap<i32, String> {
 }
 
 #[test]
-fn readme_exit_code_table_matches_the_ttsolve_constants() {
+fn readme_exit_code_table_matches_the_binary_constants() {
     let source = source_codes();
     let readme = readme_codes();
     assert!(
@@ -68,15 +94,15 @@ fn readme_exit_code_table_matches_the_ttsolve_constants() {
             "{name} = {code} is not in the README exit-code table"
         );
     }
-    // Every documented nonzero code must exist in source; 0 (success)
-    // has no constant.
+    // Every documented nonzero code must exist in some binary; 0
+    // (success) has no constant.
     for code in readme.keys() {
         if *code == 0 {
             continue;
         }
         assert!(
             source.contains_key(code),
-            "README documents exit code {code}, but ttsolve.rs has no EXIT_ constant for it"
+            "README documents exit code {code}, but no binary has an EXIT_ constant for it"
         );
     }
     assert!(readme.contains_key(&0), "the README table must document 0");
@@ -84,13 +110,15 @@ fn readme_exit_code_table_matches_the_ttsolve_constants() {
 
 #[test]
 fn usage_text_mentions_every_exit_code() {
-    let src = repo_file("src/bin/ttsolve.rs");
-    let usage_start = src.find("fn usage()").expect("usage() exists");
-    let usage = &src[usage_start..usage_start + 2000];
-    for (code, name) in source_codes() {
-        assert!(
-            usage.contains(&code.to_string()),
-            "{name} = {code} is missing from the usage() exit-code listing"
-        );
+    for rel in BINARIES {
+        let src = repo_file(rel);
+        let usage_start = src.find("fn usage()").expect("usage() exists");
+        let usage = &src[usage_start..usage_start + 2000];
+        for (code, name) in codes_in(rel) {
+            assert!(
+                usage.contains(&code.to_string()),
+                "{name} = {code} is missing from the usage() exit-code listing in {rel}"
+            );
+        }
     }
 }

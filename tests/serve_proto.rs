@@ -1,0 +1,167 @@
+//! Property and adversarial tests for the `ttserve` wire protocol:
+//! frames and requests round-trip byte-exactly, and every malformed
+//! input — truncations at any byte, hostile length claims, garbage,
+//! non-UTF-8 — decodes to a typed error without panicking or
+//! allocating beyond the frame cap.
+
+use proptest::prelude::*;
+use tt_serve::proto::{
+    read_frame, write_frame, FrameError, Request, Response, SolveParams, Source, MAX_FRAME,
+};
+
+/// A printable-ish string strategy: ASCII plus the JSON-special
+/// characters that exercise the escaper.
+fn wire_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => (32u8..127).prop_map(char::from),
+            1 => Just('"'),
+            1 => Just('\\'),
+            1 => Just('\n'),
+            1 => Just('é'),
+            1 => Just('😀'),
+        ],
+        0usize..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// write_frame → read_frame is the identity, including payloads
+    /// with embedded NULs, quotes, and multi-byte characters.
+    #[test]
+    fn frames_roundtrip_any_payload(payload in wire_string()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        prop_assert_eq!(read_frame(&mut r).unwrap(), payload);
+        prop_assert_eq!(read_frame(&mut r), Err(FrameError::Closed));
+    }
+
+    /// Cutting a valid frame at ANY byte boundary yields a typed
+    /// truncation error (never Ok, never a panic): `ShortHeader`
+    /// inside the header, `Truncated` inside the payload.
+    #[test]
+    fn every_truncation_point_is_typed(payload in wire_string(), cut_frac in 0u8..100) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = (usize::from(cut_frac) * buf.len()) / 100;
+        if cut == buf.len() {
+            return; // not a truncation
+        }
+        let mut r = &buf[..cut];
+        let got = read_frame(&mut r);
+        let want = if cut == 0 {
+            FrameError::Closed
+        } else if cut < 4 {
+            FrameError::ShortHeader
+        } else {
+            FrameError::Truncated
+        };
+        prop_assert_eq!(got, Err(want), "cut at byte {} of {}", cut, buf.len());
+    }
+
+    /// Arbitrary byte soup never panics the frame reader; it yields
+    /// some typed error or — when the first 4 bytes happen to claim a
+    /// small length that is present and UTF-8 — a payload no longer
+    /// than the input.
+    #[test]
+    fn garbage_bytes_never_panic_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0usize..64)) {
+        let mut r = &bytes[..];
+        if let Ok(payload) = read_frame(&mut r) {
+            prop_assert!(payload.len() + 4 <= bytes.len());
+        }
+    }
+
+    /// Any length claim above the cap is rejected as `Oversized`
+    /// before the payload is touched — the reader sees 4 bytes and
+    /// stops, so a hostile claim cannot make it allocate.
+    #[test]
+    fn oversized_claims_are_rejected_from_the_header_alone(extra in 1u64..=u64::from(u32::MAX - MAX_FRAME as u32)) {
+        let claim = u32::try_from(MAX_FRAME as u64 + extra).unwrap();
+        let mut r = &claim.to_be_bytes()[..];
+        prop_assert_eq!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized { len: u64::from(claim) })
+        );
+    }
+
+    /// Request encode → decode is the identity over the whole
+    /// parameter space, including ids and instance text full of
+    /// JSON-special characters.
+    #[test]
+    fn requests_roundtrip(
+        id in wire_string(),
+        has_id in any::<bool>(),
+        body in wire_string(),
+        demo in any::<bool>(),
+        solver_pick in 0u8..4,
+        timeout in 0u64..1_000_000,
+        has_timeout in any::<bool>(),
+    ) {
+        let solver = match solver_pick {
+            0 => None,
+            1 => Some("auto".to_string()),
+            2 => Some("seq".to_string()),
+            _ => Some("bnb".to_string()),
+        };
+        let req = Request::Solve(SolveParams {
+            id: has_id.then(|| id.clone()),
+            source: if demo {
+                Source::Demo(format!("random:8:{timeout}"))
+            } else {
+                Source::Instance(body.clone())
+            },
+            solver,
+            timeout_ms: has_timeout.then_some(timeout),
+        });
+        prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    /// Response decode never panics on arbitrary (framed) text, and
+    /// decode(encode(r)) is the identity for solve results.
+    #[test]
+    fn response_decode_is_total_and_solved_roundtrips(
+        junk in wire_string(),
+        engine in wire_string(),
+        complete in any::<bool>(),
+        cost in 0u64..9_000_000_000_000_000,
+        has_cost in any::<bool>(),
+    ) {
+        // Totality: junk in, typed error or value out, no panic.
+        let _ = Response::decode(&junk);
+        let resp = Response::Solved(tt_serve::proto::SolveResult {
+            id: None,
+            engine,
+            complete,
+            cost: has_cost.then_some(cost),
+            upper: (!complete && has_cost).then_some(cost),
+            lower: (!complete).then_some(cost / 2),
+            reason: (!complete).then(|| "deadline exceeded".to_string()),
+            failovers: cost % 5,
+            retries: cost % 3,
+            wall_us: cost % 1_000_000,
+        });
+        prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    /// The JSON reader is total: arbitrary strings produce a value or
+    /// a typed error, never a panic, even at pathological nesting.
+    #[test]
+    fn json_reader_is_total(s in wire_string(), depth in 0usize..64) {
+        let _ = tt_serve::json::parse(&s);
+        let nested = "[".repeat(depth) + &s + &"]".repeat(depth);
+        let _ = tt_serve::json::parse(&nested);
+    }
+}
+
+#[test]
+fn writing_an_oversized_payload_is_refused_locally() {
+    let big = "x".repeat(MAX_FRAME + 1);
+    let mut buf = Vec::new();
+    let err = write_frame(&mut buf, &big).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(buf.is_empty(), "nothing may hit the wire");
+}
