@@ -1,0 +1,450 @@
+//! A small explicit-state model checker: bounded DFS over action
+//! interleavings with canonical state hashing and counterexample
+//! replay.
+//!
+//! A [`Model`] describes a finite transition system: an initial state,
+//! the actions enabled in each state, a successor function, and two
+//! predicates — an *invariant* checked at every reachable state and a
+//! *terminal acceptance* check applied to states with no enabled
+//! actions. [`check`] explores every reachable state (up to the
+//! configured depth/state bounds) by depth-first search, deduplicating
+//! through the model's [`canonical`](Model::canonical) form — a model
+//! whose states are already quotiented by its symmetries (e.g. the
+//! server model's counting abstraction over indistinguishable clients)
+//! explores the quotient space, not the raw interleaving space.
+//!
+//! Every violation carries the action sequence that reached it, so a
+//! finding is not a boolean but a *replayable counterexample*:
+//! [`replay`] re-executes the trace action by action and returns each
+//! intermediate state, failing loudly if the trace ever names an action
+//! that is not enabled — the checker's own findings always replay.
+//!
+//! The checker exports two `tt-obs` counters: `analyze_states_explored`
+//! (canonical states visited across all runs) and `analyze_violations`.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// A finite-state transition system the checker can explore.
+pub trait Model {
+    /// One global state.
+    type State: Clone + Eq + Hash + fmt::Debug;
+    /// One atomic transition label.
+    type Action: Clone + fmt::Debug;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Appends every action enabled in `s` to `out` (cleared by the
+    /// caller). An empty set marks `s` as a final state, which must
+    /// then pass [`accept_terminal`](Model::accept_terminal).
+    fn actions(&self, s: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The successor of `s` under `a`. Only called with actions
+    /// returned by [`actions`](Model::actions) for `s`.
+    fn apply(&self, s: &Self::State, a: &Self::Action) -> Self::State;
+
+    /// The canonical representative of `s`'s symmetry class, used for
+    /// seen-state deduplication. Defaults to the identity; models with
+    /// symmetric components (interchangeable clients, unordered worker
+    /// pools) should quotient here so the checker explores one state
+    /// per equivalence class.
+    fn canonical(&self, s: &Self::State) -> Self::State {
+        s.clone()
+    }
+
+    /// The safety invariant, checked at *every* reachable state.
+    /// Return `Err(reason)` to report a violation.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+
+    /// Acceptance check for states with no enabled action. A rejected
+    /// terminal is reported as a violation; a non-accepting dead state
+    /// is precisely a deadlock.
+    fn accept_terminal(&self, s: &Self::State) -> Result<(), String>;
+}
+
+/// What kind of violation a counterexample witnesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// [`Model::invariant`] failed at the trace's final state.
+    Invariant,
+    /// A state with no enabled action failed
+    /// [`Model::accept_terminal`].
+    Deadlock,
+}
+
+/// One violation with its replayable counterexample trace.
+#[derive(Clone, Debug)]
+pub struct Violation<A> {
+    /// Violation class.
+    pub kind: ViolationKind,
+    /// The model's explanation of what is wrong at the final state.
+    pub message: String,
+    /// The action sequence from the initial state to the violating
+    /// state; feed it to [`replay`] to reproduce.
+    pub trace: Vec<A>,
+}
+
+impl<A: fmt::Debug> fmt::Display for Violation<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}",
+            match self.kind {
+                ViolationKind::Invariant => "invariant violation",
+                ViolationKind::Deadlock => "deadlock",
+            },
+            self.message
+        )?;
+        writeln!(f, "counterexample ({} steps):", self.trace.len())?;
+        for (i, a) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:3}. {a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Exploration bounds and knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Maximum trace depth; deeper paths are cut (and the run reported
+    /// incomplete).
+    pub max_depth: usize,
+    /// Maximum canonical states to visit before giving up.
+    pub max_states: usize,
+    /// Stop after this many violations (1 = first counterexample).
+    pub max_violations: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            max_depth: 10_000,
+            max_states: 5_000_000,
+            max_violations: 1,
+        }
+    }
+}
+
+/// The result of one exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct CheckReport<A> {
+    /// Canonical states visited.
+    pub states: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// Deepest trace reached.
+    pub peak_depth: usize,
+    /// True iff the whole reachable space was explored within bounds
+    /// (violation quotas aside, nothing was cut by depth/state limits).
+    pub complete: bool,
+    /// Violations found, each with a replayable trace.
+    pub violations: Vec<Violation<A>>,
+}
+
+impl<A> CheckReport<A> {
+    /// No violation found anywhere?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Clean *and* the state space was fully exhausted — the invariant
+    /// is proved for the model, not just sampled.
+    pub fn proves(&self) -> bool {
+        self.is_clean() && self.complete
+    }
+}
+
+/// Exhaustively explores `model`'s reachable states by bounded DFS.
+///
+/// Checks [`Model::invariant`] at every state and
+/// [`Model::accept_terminal`] at every dead state; collects
+/// counterexample traces up to the violation quota.
+pub fn check<M: Model>(model: &M, opts: &CheckOptions) -> CheckReport<M::Action> {
+    // One DFS frame: the state plus its not-yet-expanded actions.
+    struct Frame<S, A> {
+        state: S,
+        pending: Vec<A>,
+    }
+
+    let mut report = CheckReport {
+        states: 0,
+        transitions: 0,
+        peak_depth: 0,
+        complete: true,
+        violations: Vec::new(),
+    };
+    let mut seen: HashSet<M::State> = HashSet::new();
+    let mut stack: Vec<Frame<M::State, M::Action>> = Vec::new();
+    // The action path from the root to the top-of-stack state; action
+    // i-1 led into the state of frame i.
+    let mut path: Vec<M::Action> = Vec::new();
+    let mut scratch: Vec<M::Action> = Vec::new();
+
+    // Visits a state: dedup, invariant, terminal check, push.
+    // Returns false when the violation quota is exhausted.
+    macro_rules! visit {
+        ($state:expr) => {{
+            let state: M::State = $state;
+            let canon = model.canonical(&state);
+            if seen.insert(canon) {
+                report.states += 1;
+                report.peak_depth = report.peak_depth.max(path.len());
+                if report.states as usize > opts.max_states {
+                    report.complete = false;
+                    stack.clear();
+                } else {
+                    if let Err(message) = model.invariant(&state) {
+                        report.violations.push(Violation {
+                            kind: ViolationKind::Invariant,
+                            message,
+                            trace: path.clone(),
+                        });
+                    }
+                    scratch.clear();
+                    model.actions(&state, &mut scratch);
+                    if scratch.is_empty() {
+                        if let Err(message) = model.accept_terminal(&state) {
+                            report.violations.push(Violation {
+                                kind: ViolationKind::Deadlock,
+                                message,
+                                trace: path.clone(),
+                            });
+                        }
+                    }
+                    if report.violations.len() >= opts.max_violations {
+                        stack.clear();
+                    } else if path.len() >= opts.max_depth {
+                        if !scratch.is_empty() {
+                            report.complete = false;
+                        }
+                    } else {
+                        stack.push(Frame {
+                            state,
+                            pending: std::mem::take(&mut scratch),
+                        });
+                    }
+                }
+            }
+        }};
+    }
+
+    visit!(model.initial());
+    while let Some(frame) = stack.last_mut() {
+        match frame.pending.pop() {
+            None => {
+                stack.pop();
+                path.pop();
+            }
+            Some(action) => {
+                let next = model.apply(&frame.state, &action);
+                report.transitions += 1;
+                path.truncate(stack.len() - 1);
+                path.push(action);
+                visit!(next);
+            }
+        }
+    }
+
+    tt_obs::metrics::counter("analyze_states_explored").add(report.states);
+    tt_obs::metrics::counter("analyze_violations").add(report.violations.len() as u64);
+    report
+}
+
+/// Why a counterexample trace failed to replay.
+#[derive(Clone, Debug)]
+pub struct ReplayError {
+    /// Index of the offending action in the trace.
+    pub step: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Replays a counterexample trace from the initial state, returning
+/// every state along the way (`trace.len() + 1` states). Each action is
+/// validated against the enabled set before it is applied, so a trace
+/// produced by [`check`] replays exactly and an edited or stale trace
+/// fails with the first illegal step.
+pub fn replay<M: Model>(model: &M, trace: &[M::Action]) -> Result<Vec<M::State>, ReplayError>
+where
+    M::Action: PartialEq,
+{
+    let mut states = Vec::with_capacity(trace.len() + 1);
+    let mut current = model.initial();
+    let mut enabled = Vec::new();
+    states.push(current.clone());
+    for (step, action) in trace.iter().enumerate() {
+        enabled.clear();
+        model.actions(&current, &mut enabled);
+        if !enabled.contains(action) {
+            return Err(ReplayError {
+                step,
+                message: format!("action {action:?} not enabled (enabled: {enabled:?})"),
+            });
+        }
+        current = model.apply(&current, action);
+        states.push(current.clone());
+    }
+    Ok(states)
+}
+
+/// Collects every reachable accepting terminal state (deduplicated by
+/// canonical form). Used by the conformance tests to enumerate the
+/// outcomes a correct implementation may exhibit.
+pub fn reachable_terminals<M: Model>(model: &M, opts: &CheckOptions) -> Vec<M::State> {
+    let mut seen: HashSet<M::State> = HashSet::new();
+    let mut terminals: HashSet<M::State> = HashSet::new();
+    let mut frontier = vec![model.initial()];
+    seen.insert(model.canonical(&frontier[0]));
+    let mut enabled = Vec::new();
+    while let Some(state) = frontier.pop() {
+        if seen.len() > opts.max_states {
+            break;
+        }
+        enabled.clear();
+        model.actions(&state, &mut enabled);
+        if enabled.is_empty() {
+            terminals.insert(model.canonical(&state));
+            continue;
+        }
+        for a in &enabled {
+            let next = model.apply(&state, a);
+            if seen.insert(model.canonical(&next)) {
+                frontier.push(next);
+            }
+        }
+    }
+    terminals.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counters over a tiny token ring: `n` tokens move from `left` to
+    /// `right`; a `poison` marker makes one configuration deadlock.
+    struct TokenModel {
+        n: u8,
+        /// When true, the last token refuses to move — a dead state
+        /// with work remaining.
+        stuck_last: bool,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    struct TokenState {
+        left: u8,
+        right: u8,
+    }
+
+    impl Model for TokenModel {
+        type State = TokenState;
+        type Action = &'static str;
+
+        fn initial(&self) -> TokenState {
+            TokenState {
+                left: self.n,
+                right: 0,
+            }
+        }
+
+        fn actions(&self, s: &TokenState, out: &mut Vec<&'static str>) {
+            let blocked = self.stuck_last && s.left == 1;
+            if s.left > 0 && !blocked {
+                out.push("move");
+            }
+        }
+
+        fn apply(&self, s: &TokenState, _a: &&'static str) -> TokenState {
+            TokenState {
+                left: s.left - 1,
+                right: s.right + 1,
+            }
+        }
+
+        fn invariant(&self, s: &TokenState) -> Result<(), String> {
+            if s.left + s.right == self.n {
+                Ok(())
+            } else {
+                Err(format!("token leak: {s:?}"))
+            }
+        }
+
+        fn accept_terminal(&self, s: &TokenState) -> Result<(), String> {
+            if s.left == 0 {
+                Ok(())
+            } else {
+                Err(format!("stopped with {} tokens undelivered", s.left))
+            }
+        }
+    }
+
+    #[test]
+    fn clean_model_proves() {
+        let r = check(
+            &TokenModel {
+                n: 4,
+                stuck_last: false,
+            },
+            &CheckOptions::default(),
+        );
+        assert!(r.proves(), "{:?}", r.violations);
+        assert_eq!(r.states, 5);
+        assert_eq!(r.transitions, 4);
+    }
+
+    #[test]
+    fn deadlock_yields_replayable_counterexample() {
+        let m = TokenModel {
+            n: 3,
+            stuck_last: true,
+        };
+        let r = check(&m, &CheckOptions::default());
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.kind, ViolationKind::Deadlock);
+        assert_eq!(v.trace.len(), 2, "two moves then stuck");
+        // The counterexample replays to the violating state.
+        let states = replay(&m, &v.trace).expect("checker traces replay");
+        assert_eq!(states.last().unwrap().left, 1);
+    }
+
+    #[test]
+    fn edited_trace_fails_replay() {
+        let m = TokenModel {
+            n: 2,
+            stuck_last: false,
+        };
+        let err = replay(&m, &["move", "move", "move"]).unwrap_err();
+        assert_eq!(err.step, 2);
+    }
+
+    #[test]
+    fn bounds_mark_incomplete() {
+        let m = TokenModel {
+            n: 50,
+            stuck_last: false,
+        };
+        let r = check(
+            &m,
+            &CheckOptions {
+                max_depth: 10,
+                ..CheckOptions::default()
+            },
+        );
+        assert!(!r.complete);
+        assert!(!r.proves());
+    }
+
+    #[test]
+    fn terminal_enumeration() {
+        let t = reachable_terminals(
+            &TokenModel {
+                n: 3,
+                stuck_last: false,
+            },
+            &CheckOptions::default(),
+        );
+        assert_eq!(t, vec![TokenState { left: 0, right: 3 }]);
+    }
+}

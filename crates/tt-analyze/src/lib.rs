@@ -1,0 +1,48 @@
+//! `tt-analyze`: static analysis for the TT reproduction's concurrent
+//! machinery.
+//!
+//! The paper's DP core is deterministic and unit-testable; the code
+//! wrapped *around* it — the `tt-serve` service lifecycle and the CCC
+//! exchange schedules — is concurrent, and runtime assertions only
+//! witness the interleavings a given run happens to take. This crate
+//! closes that gap with two static layers:
+//!
+//! * [`explore`] — a small explicit-state model checker: bounded DFS
+//!   over all interleavings of a [`Model`], canonical
+//!   state hashing for symmetry/dedup, invariant checks at every
+//!   reachable state, deadlock detection at action-free states, and
+//!   replayable counterexample traces.
+//! * [`server_model`] — a faithful counting-abstraction model of the
+//!   `tt-serve` accept/queue/worker/drain lifecycle, checked
+//!   exhaustively for the accounting invariant, lost-shed freedom,
+//!   deadlock freedom and drain termination across all small
+//!   configurations.
+//! * [`schedule`] — whole-run analysis of recorded CCC passes: the
+//!   cross-pass communication graph, write-write wire conflicts that
+//!   per-pass checking cannot see, precedence/wait-for-cycle deadlocks,
+//!   and unmatched sends across quarantine block boundaries.
+//!
+//! The `ttcheck` binary exposes these as `ttcheck model` and
+//! `ttcheck schedule --whole-run`; exploration volume and violation
+//! counts are exported through `tt-obs` as `analyze_states_explored`
+//! and `analyze_violations`.
+//!
+//! Zero external dependencies: the checker is a few hundred lines over
+//! `std` collections, which keeps it auditable — the tool that argues
+//! the server is correct should itself be easy to argue correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod schedule;
+pub mod server_model;
+
+pub use explore::{
+    check, reachable_terminals, replay, CheckOptions, CheckReport, Model, ReplayError, Violation,
+    ViolationKind,
+};
+pub use schedule::{
+    check_run, QuarantineTransition, RunSchedule, RunViolation, RunViolationKind, ScheduledPass,
+};
+pub use server_model::{check_server, sweep, Kind, ServerConfig, ServerModel, ServerState, Step};

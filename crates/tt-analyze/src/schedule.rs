@@ -1,0 +1,551 @@
+//! Whole-run analysis of CCC exchange schedules.
+//!
+//! [`hypercube::verify::check_pass`] proves each ASCEND/DESCEND pass
+//! legal *in isolation* — but a run is many passes sharing one
+//! machine, and the wires don't know about pass boundaries. Two passes
+//! that are each perfectly Preparata–Vuillemin can still collide when
+//! their slot assignments overlap: the same lateral wire carries two
+//! transits in one global time slot, a write-write exchange conflict
+//! that no per-pass check can see.
+//!
+//! This module lifts the trace analysis to run level. A
+//! [`RunSchedule`] assigns each recorded [`PassTrace`] a global start
+//! slot plus declared precedence edges, and [`check_run`] derives the
+//! cross-pass communication graph and checks:
+//!
+//! * **wire conflicts** — two transits on one lateral wire (or one
+//!   intra-cycle link) in the same global slot, across pass boundaries;
+//! * **home conflicts** — one home firing twice in a global slot;
+//! * **causality** — a pass scheduled to start before a pass it is
+//!   declared to wait for has finished;
+//! * **wait-for cycles** — circular precedence declarations: every
+//!   pass in the cycle waits on another, a guaranteed deadlock;
+//! * **unmatched sends under quarantine** — after a
+//!   [`QuarantineTransition`] confines the run to a replica block,
+//!   any exchange whose dimension leaves the block has its partner
+//!   outside the quarantine: a send no live PE will ever receive.
+//!
+//! Per-pass [`check_pass`] violations are folded in too, so a single
+//! `check_run` subsumes the pass-level checker.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hypercube::verify::{check_pass, check_quarantine, PassTrace};
+
+/// Classification of a run-level schedule violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunViolationKind {
+    /// Passes recorded on machines of different geometry.
+    Geometry,
+    /// A per-pass Preparata–Vuillemin violation (from [`check_pass`]).
+    Pass,
+    /// Two transits on one wire in one global slot (write-write).
+    WireConflict,
+    /// One home fires twice in one global slot.
+    HomeConflict,
+    /// A pass starts before a declared predecessor finishes.
+    Causality,
+    /// Circular precedence: a deadlock by construction.
+    WaitForCycle,
+    /// The quarantine remap itself is illegal (bad replica / dead PE).
+    Quarantine,
+    /// An exchange crosses the quarantine block: send with no receiver.
+    UnmatchedSend,
+}
+
+/// One violation found by [`check_run`].
+#[derive(Clone, Debug)]
+pub struct RunViolation {
+    /// What class of violation.
+    pub kind: RunViolationKind,
+    /// The offending pass index, when the violation is attributable to
+    /// one pass.
+    pub pass: Option<usize>,
+    /// Specifics: slots, wires, homes, dimensions.
+    pub message: String,
+}
+
+impl fmt::Display for RunViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pass {
+            Some(p) => write!(f, "[{:?}] pass {p}: {}", self.kind, self.message),
+            None => write!(f, "[{:?}] {}", self.kind, self.message),
+        }
+    }
+}
+
+/// A traced pass placed on the run's global clock.
+#[derive(Clone, Debug)]
+pub struct ScheduledPass {
+    /// The recorded pass.
+    pub trace: PassTrace,
+    /// Global slot at which the pass begins (its first low exchange, or
+    /// first high slot when it has no low dimensions).
+    pub start: usize,
+    /// Indices of passes this one waits for (precedence declarations).
+    pub after: Vec<usize>,
+}
+
+impl ScheduledPass {
+    /// Slots the pass occupies: one per low dimension, then the
+    /// pipelined high phase.
+    pub fn duration(&self) -> usize {
+        self.trace.low.len() + self.trace.slots.len()
+    }
+
+    /// First global slot after the pass.
+    pub fn end(&self) -> usize {
+        self.start + self.duration()
+    }
+}
+
+/// A whole run: traced passes with global slot assignments and
+/// precedence edges.
+#[derive(Clone, Debug, Default)]
+pub struct RunSchedule {
+    /// The scheduled passes, in index order.
+    pub passes: Vec<ScheduledPass>,
+}
+
+impl RunSchedule {
+    /// The natural schedule: passes back to back, each waiting for the
+    /// previous. This is what a [`CccMachine`](hypercube::ccc::CccMachine)
+    /// run actually executes, and it is conflict-free by construction —
+    /// `check_run` proves it so.
+    pub fn sequential(traces: Vec<PassTrace>) -> RunSchedule {
+        let mut passes = Vec::with_capacity(traces.len());
+        let mut clock = 0usize;
+        for (i, trace) in traces.into_iter().enumerate() {
+            let after = if i == 0 { Vec::new() } else { vec![i - 1] };
+            let start = clock;
+            clock += trace.low.len() + trace.slots.len();
+            passes.push(ScheduledPass {
+                trace,
+                start,
+                after,
+            });
+        }
+        RunSchedule { passes }
+    }
+
+    /// An explicit slot assignment with no precedence edges — the shape
+    /// an (aggressively pipelined, possibly wrong) scheduler would
+    /// emit. `starts` must be one per trace.
+    pub fn with_starts(traces: Vec<PassTrace>, starts: &[usize]) -> RunSchedule {
+        assert_eq!(traces.len(), starts.len(), "one start slot per trace");
+        let passes = traces
+            .into_iter()
+            .zip(starts)
+            .map(|(trace, &start)| ScheduledPass {
+                trace,
+                start,
+                after: Vec::new(),
+            })
+            .collect();
+        RunSchedule { passes }
+    }
+}
+
+/// A mid-run quarantine: from pass `after_pass + 1` onward the run is
+/// confined to replica block `replica` of `2^block_dims` PEs (the
+/// resilient driver's dead-PE remap, see
+/// [`hypercube::fault`] and [`check_quarantine`]).
+#[derive(Clone, Debug)]
+pub struct QuarantineTransition {
+    /// Last pass index executed on the full machine.
+    pub after_pass: usize,
+    /// Address bits of the surviving block.
+    pub block_dims: usize,
+    /// Which replica block the run re-homes onto.
+    pub replica: usize,
+    /// Dead PE addresses (global).
+    pub dead: Vec<usize>,
+}
+
+/// A physical channel the run can double-book in one global slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Wire {
+    /// Intra-cycle link for low dimension `d` (all cycles step it in
+    /// lock-step, so the dimension identifies the link set).
+    Cycle(usize),
+    /// Lateral wire for cycle position `j` (dimension `r + j`).
+    Lateral(usize),
+}
+
+fn push(out: &mut Vec<RunViolation>, kind: RunViolationKind, pass: Option<usize>, message: String) {
+    out.push(RunViolation {
+        kind,
+        pass,
+        message,
+    });
+}
+
+/// Checks a whole run: per-pass legality, cross-pass wire/home
+/// conflicts on the global clock, precedence consistency and wait-for
+/// cycles, and (when a quarantine transition is given) remap legality
+/// plus unmatched sends across the block boundary.
+pub fn check_run(
+    run: &RunSchedule,
+    quarantine: Option<&QuarantineTransition>,
+) -> Vec<RunViolation> {
+    let mut out = Vec::new();
+
+    // Geometry: one machine per run.
+    if let Some(first) = run.passes.first() {
+        let (q, r) = (first.trace.q, first.trace.r);
+        for (i, p) in run.passes.iter().enumerate().skip(1) {
+            if p.trace.q != q || p.trace.r != r {
+                push(
+                    &mut out,
+                    RunViolationKind::Geometry,
+                    Some(i),
+                    format!(
+                        "machine (q={}, r={}) differs from pass 0's (q={q}, r={r})",
+                        p.trace.q, p.trace.r
+                    ),
+                );
+            }
+        }
+    }
+
+    // Per-pass legality folds in.
+    for (i, p) in run.passes.iter().enumerate() {
+        for v in check_pass(&p.trace) {
+            push(&mut out, RunViolationKind::Pass, Some(i), v.message);
+        }
+    }
+
+    // Cross-pass wire and home conflicts on the global clock. Same-pass
+    // duplicates are already check_pass's findings; only conflicts that
+    // span two passes are reported here.
+    let mut wire_owner: HashMap<(usize, Wire), usize> = HashMap::new();
+    let mut home_owner: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, p) in run.passes.iter().enumerate() {
+        for (idx, &d) in p.trace.low.iter().enumerate() {
+            let gslot = p.start + idx;
+            if let Some(&owner) = wire_owner.get(&(gslot, Wire::Cycle(d))) {
+                if owner != i {
+                    push(
+                        &mut out,
+                        RunViolationKind::WireConflict,
+                        Some(i),
+                        format!(
+                            "global slot {gslot}: intra-cycle link for dimension {d} \
+                             already carries pass {owner}'s exchange — write-write conflict"
+                        ),
+                    );
+                }
+            } else {
+                wire_owner.insert((gslot, Wire::Cycle(d)), i);
+            }
+        }
+        let high_base = p.start + p.trace.low.len();
+        for (slot, fires) in p.trace.slots.iter().enumerate() {
+            let gslot = high_base + slot;
+            for &(h, j) in fires {
+                match wire_owner.get(&(gslot, Wire::Lateral(j))) {
+                    Some(&owner) if owner != i => push(
+                        &mut out,
+                        RunViolationKind::WireConflict,
+                        Some(i),
+                        format!(
+                            "global slot {gslot}: lateral wire {} (dimension {}) already \
+                             carries pass {owner}'s transit — write-write conflict",
+                            j,
+                            p.trace.r + j
+                        ),
+                    ),
+                    Some(_) => {}
+                    None => {
+                        wire_owner.insert((gslot, Wire::Lateral(j)), i);
+                    }
+                }
+                match home_owner.get(&(gslot, h)) {
+                    Some(&owner) if owner != i => push(
+                        &mut out,
+                        RunViolationKind::HomeConflict,
+                        Some(i),
+                        format!("global slot {gslot}: home {h} is already firing for pass {owner}"),
+                    ),
+                    Some(_) => {}
+                    None => {
+                        home_owner.insert((gslot, h), i);
+                    }
+                }
+            }
+        }
+    }
+
+    // Precedence: declared edges must be satisfiable by the slot
+    // assignment, and the wait-for graph must be acyclic.
+    for (i, p) in run.passes.iter().enumerate() {
+        for &a in &p.after {
+            if a >= run.passes.len() {
+                push(
+                    &mut out,
+                    RunViolationKind::Causality,
+                    Some(i),
+                    format!("waits for pass {a}, which does not exist"),
+                );
+            } else if p.start < run.passes[a].end() {
+                push(
+                    &mut out,
+                    RunViolationKind::Causality,
+                    Some(i),
+                    format!(
+                        "starts at slot {} but waits for pass {a}, which runs through slot {}",
+                        p.start,
+                        run.passes[a].end().saturating_sub(1)
+                    ),
+                );
+            }
+        }
+    }
+    if let Some(cycle) = find_wait_cycle(run) {
+        let path = cycle
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        push(
+            &mut out,
+            RunViolationKind::WaitForCycle,
+            None,
+            format!("circular precedence {path}: every pass in the cycle waits on another"),
+        );
+    }
+
+    // Quarantine: the remap must be legal, and no post-transition
+    // exchange may leave the block.
+    if let Some(qt) = quarantine {
+        if let Some(first) = run.passes.first() {
+            let total_pes = 1usize << (first.trace.q + first.trace.r);
+            if let Err(v) = check_quarantine(qt.block_dims, total_pes, qt.replica, &qt.dead) {
+                push(&mut out, RunViolationKind::Quarantine, None, v.message);
+            }
+        }
+        for (i, p) in run.passes.iter().enumerate() {
+            if i <= qt.after_pass {
+                continue;
+            }
+            let dims = &p.trace.dims;
+            if dims.end > qt.block_dims {
+                push(
+                    &mut out,
+                    RunViolationKind::UnmatchedSend,
+                    Some(i),
+                    format!(
+                        "dimensions {}..{} cross the 2^{} quarantine block: each such \
+                         exchange partners a PE outside replica {} — a send no live PE \
+                         receives",
+                        dims.start.max(qt.block_dims),
+                        dims.end,
+                        qt.block_dims,
+                        qt.replica
+                    ),
+                );
+            }
+        }
+    }
+
+    tt_obs::metrics::counter("analyze_violations").add(out.len() as u64);
+    out
+}
+
+/// Finds one cycle in the wait-for graph, as a pass-index path
+/// `[a, b, ..., a]`, or `None` when the graph is acyclic.
+fn find_wait_cycle(run: &RunSchedule) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = run.passes.len();
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Iterative DFS: (node, next edge index).
+        let mut stack = vec![(root, 0usize)];
+        color[root] = GRAY;
+        while let Some(&mut (u, ref mut edge)) = stack.last_mut() {
+            let afters = &run.passes[u].after;
+            let mut advanced = false;
+            while *edge < afters.len() {
+                let v = afters[*edge];
+                *edge += 1;
+                if v >= n {
+                    continue; // dangling edge, reported as Causality
+                }
+                if color[v] == GRAY {
+                    // Found a back edge: walk parents from u back to v.
+                    let mut path = vec![v];
+                    let mut w = u;
+                    while w != v {
+                        path.push(w);
+                        w = parent[w];
+                    }
+                    path.push(v);
+                    path.reverse();
+                    return Some(path);
+                }
+                if color[v] == WHITE {
+                    color[v] = GRAY;
+                    parent[v] = u;
+                    stack.push((v, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced && stack.last().map(|&(w, _)| w) == Some(u) {
+                color[u] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::ccc::CccMachine;
+
+    fn nop(_: usize, _: usize, _: &mut u64, _: &mut u64) {}
+
+    fn record_run(r: usize, passes: usize) -> Vec<PassTrace> {
+        let mut m = CccMachine::new(r, |x| x as u64);
+        m.start_trace();
+        let d = m.dims();
+        for i in 0..passes {
+            if i % 2 == 0 {
+                m.ascend(0..d, nop);
+            } else {
+                m.descend(0..d, nop);
+            }
+        }
+        m.take_trace()
+    }
+
+    #[test]
+    fn sequential_real_run_is_clean() {
+        for r in [1usize, 2] {
+            let run = RunSchedule::sequential(record_run(r, 4));
+            let v = check_run(&run, None);
+            assert!(v.is_empty(), "r={r}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_write_write_conflict_invisible_to_check_pass() {
+        // Two passes, each individually legal, scheduled to start at the
+        // same global slot: their lateral transits double-book wires.
+        let traces = record_run(2, 2);
+        for t in &traces {
+            assert!(
+                check_pass(t).is_empty(),
+                "per-pass checker must be blind to this"
+            );
+        }
+        let run = RunSchedule::with_starts(traces, &[0, 0]);
+        let v = check_run(&run, None);
+        assert!(
+            v.iter()
+                .any(|x| x.kind == RunViolationKind::WireConflict
+                    && x.message.contains("write-write")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn offset_pipelining_without_overlap_is_clean() {
+        // Starting pass 1 exactly at pass 0's end is the sequential
+        // schedule; check_run agrees it is conflict-free.
+        let traces = record_run(1, 2);
+        let d0 = traces[0].low.len() + traces[0].slots.len();
+        let run = RunSchedule::with_starts(traces, &[0, d0]);
+        assert!(check_run(&run, None).is_empty());
+    }
+
+    #[test]
+    fn causality_violation_is_flagged() {
+        let traces = record_run(1, 2);
+        let mut run = RunSchedule::sequential(traces);
+        // Declare the dependency but move pass 1 under pass 0.
+        run.passes[1].start = 1;
+        let v = check_run(&run, None);
+        assert!(
+            v.iter().any(|x| x.kind == RunViolationKind::Causality),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn wait_for_cycle_is_flagged() {
+        let traces = record_run(1, 3);
+        let mut run = RunSchedule::sequential(traces);
+        // Pass 0 waits for pass 2: 0 -> 2 -> 1 -> 0.
+        run.passes[0].after = vec![2];
+        let v = check_run(&run, None);
+        assert!(
+            v.iter().any(|x| x.kind == RunViolationKind::WaitForCycle),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_crossing_exchange_is_an_unmatched_send() {
+        // r=2: q=4, dims=6, 64 PEs. Quarantine to a 16-PE block after
+        // pass 0; pass 1 still spans all six dimensions.
+        let traces = record_run(2, 2);
+        let run = RunSchedule::sequential(traces);
+        let qt = QuarantineTransition {
+            after_pass: 0,
+            block_dims: 4,
+            replica: 1,
+            dead: vec![5],
+        };
+        let v = check_run(&run, Some(&qt));
+        assert!(
+            v.iter()
+                .any(|x| x.kind == RunViolationKind::UnmatchedSend && x.pass == Some(1)),
+            "{v:?}"
+        );
+        // Pass 0 ran before the transition: not flagged.
+        assert!(!v
+            .iter()
+            .any(|x| x.kind == RunViolationKind::UnmatchedSend && x.pass == Some(0)));
+    }
+
+    #[test]
+    fn illegal_quarantine_remap_is_flagged() {
+        let traces = record_run(2, 1);
+        let run = RunSchedule::sequential(traces);
+        // Replica 2 covers PEs [32, 48) and PE 40 is dead.
+        let qt = QuarantineTransition {
+            after_pass: 0,
+            block_dims: 4,
+            replica: 2,
+            dead: vec![40],
+        };
+        let v = check_run(&run, Some(&qt));
+        assert!(
+            v.iter().any(|x| x.kind == RunViolationKind::Quarantine
+                && x.message.contains("dead PE 40")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn geometry_mismatch_is_flagged() {
+        let mut traces = record_run(1, 1);
+        traces.extend(record_run(2, 1));
+        let run = RunSchedule::sequential(traces);
+        let v = check_run(&run, None);
+        assert!(
+            v.iter().any(|x| x.kind == RunViolationKind::Geometry),
+            "{v:?}"
+        );
+    }
+}

@@ -1,0 +1,609 @@
+//! A faithful finite-state model of the `tt-serve` serve/drain
+//! lifecycle, checked exhaustively by [`explore::check`](crate::explore::check).
+//!
+//! The model mirrors `tt_serve::server` thread for thread:
+//!
+//! * the **accept thread**: admits a connected client into the bounded
+//!   queue, sheds with a typed response when the queue is full, and
+//!   exits as soon as it observes the drain flag (dropping the queue's
+//!   sender — the workers' end-of-input signal);
+//! * the **worker pool**: dequeues one connection at a time, serves it
+//!   to one of the terminal outcomes (complete, deadline-degraded,
+//!   peer-fault, or drain-window shed), and exits when the sender is
+//!   gone and the queue is empty;
+//! * the **clients**: each submits exactly one request and observes
+//!   exactly one outcome — a typed response, or a refused/never-accepted
+//!   connection when the drain beat it to the door;
+//! * the **drain**: a nondeterministic SIGTERM that may fire between
+//!   any two steps, followed by a nondeterministic close of the degrade
+//!   window.
+//!
+//! Clients of the same kind are indistinguishable, so the state is a
+//! *counting abstraction*: per-phase client counts rather than
+//! per-client phases. That counting form is exactly the canonical form
+//! under client permutation — the checker explores the quotiented
+//! space directly, which is why the full (3 workers × queue 3 ×
+//! 5 clients) lattice exhausts in well under a second per
+//! configuration.
+//!
+//! Checked properties (the server's contract, now proved for all small
+//! configurations instead of asserted at runtime):
+//!
+//! * **accounting**: `accepted == completed + degraded + shed + faulted`
+//!   at every reachable state (settlement is atomic in model and
+//!   implementation alike);
+//! * **no lost work**: every client that entered the system observes
+//!   exactly the outcome the server accounted — the terminal counters
+//!   equal the client-observed outcome multiset;
+//! * **no lost sheds**: a shed connection always carries a typed
+//!   `overloaded` response ([`ServerConfig::inject_lost_shed`] plants
+//!   the bug where the accept thread drops the connection instead, and
+//!   the checker returns its counterexample);
+//! * **deadlock freedom / drain termination**: the only action-free
+//!   states are fully settled ones, and when a drain was initiated they
+//!   additionally have the accept thread gone and every worker exited.
+//!   Because every action strictly consumes client work or advances a
+//!   monotone lifecycle flag, the state graph is acyclic — deadlock
+//!   freedom over the full graph therefore *is* drain termination.
+
+use crate::explore::{check, CheckOptions, CheckReport, Model};
+
+/// One configuration of the modelled server plus its client population.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads.
+    pub workers: u8,
+    /// Bounded admission-queue depth.
+    pub queue: u8,
+    /// Well-behaved clients (one solve each, valid request).
+    pub good_clients: u8,
+    /// Misbehaving clients (well-framed garbage: the server answers a
+    /// typed `bad-request` and accounts a fault).
+    pub bad_clients: u8,
+    /// Allow a nondeterministic SIGTERM at any point. When false the
+    /// model checks the pure serving lifecycle (terminal = quiescent).
+    pub allow_drain: bool,
+    /// Inject the lost-shed bug: the accept thread drops a refused
+    /// connection without settling it or answering. The accounting
+    /// invariant still balances — only whole-lifecycle checking sees
+    /// the client that never got an answer.
+    pub inject_lost_shed: bool,
+}
+
+impl ServerConfig {
+    /// A well-behaved configuration with drain enabled.
+    pub fn new(workers: u8, queue: u8, clients: u8) -> ServerConfig {
+        ServerConfig {
+            workers,
+            queue,
+            good_clients: clients,
+            bad_clients: 0,
+            allow_drain: true,
+            inject_lost_shed: false,
+        }
+    }
+
+    /// Total client population.
+    pub fn clients(&self) -> u8 {
+        self.good_clients + self.bad_clients
+    }
+}
+
+/// Client kind: determines which terminal outcomes a served request can
+/// take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Sends a valid solve.
+    Good,
+    /// Sends well-framed garbage.
+    Bad,
+}
+
+/// One atomic step of the lifecycle. Each variant corresponds to a
+/// specific code path in `tt_serve::server`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// A client's TCP connect lands (or is refused once the listener's
+    /// accept thread is gone).
+    Connect(Kind),
+    /// The accept thread admits a pending connection into the queue.
+    Enqueue(Kind),
+    /// The accept thread refuses a pending connection: queue full.
+    /// Settles `shed` and answers `overloaded` — unless the injected
+    /// lost-shed bug eats it.
+    Shed(Kind),
+    /// SIGTERM: the drain flag is raised.
+    BeginDrain,
+    /// The accept thread observes the drain flag and exits, dropping
+    /// the queue sender.
+    AcceptExit,
+    /// A pending, never-accepted connection dies with the listener.
+    ConnectionDies(Kind),
+    /// The drain's degrade window closes (cancel token fires).
+    WindowClose,
+    /// An idle worker dequeues a connection.
+    Dequeue(Kind),
+    /// A worker finishes a solve to completion.
+    FinishComplete,
+    /// A worker's solve overruns its deadline (or the cancel token) and
+    /// returns the anytime incumbent.
+    FinishDegraded,
+    /// A worker reads garbage and settles the peer fault.
+    FinishFault,
+    /// A worker picks up a queued request after the window closed and
+    /// sheds it with a typed `draining` refusal.
+    FinishDrainShed,
+    /// An idle worker sees the dropped sender and empty queue and
+    /// exits.
+    WorkerExit,
+}
+
+/// The counting-abstracted global state. Clients of one kind are
+/// interchangeable, so per-phase counts are a canonical form under
+/// client permutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ServerState {
+    // -- clients, by phase (good, bad) --
+    /// Not yet connected.
+    pub idle: (u8, u8),
+    /// Connected, awaiting the accept thread.
+    pub pending: (u8, u8),
+    /// In the bounded admission queue.
+    pub queued: (u8, u8),
+    /// Owned by a busy worker.
+    pub serving: (u8, u8),
+    // -- client-observed outcomes --
+    /// Got a complete solve.
+    pub obs_completed: u8,
+    /// Got a degraded solve (anytime incumbent + bounds).
+    pub obs_degraded: u8,
+    /// Got a typed `overloaded`/`draining` refusal.
+    pub obs_shed: u8,
+    /// Got a typed fault response (bad request).
+    pub obs_faulted: u8,
+    /// Connection refused or reset before any request entered the
+    /// system (drain beat it); nothing is accounted server-side.
+    pub obs_refused: u8,
+    /// Dropped with *no* response and *no* accounting — only the
+    /// injected lost-shed bug produces these.
+    pub obs_lost: u8,
+    // -- worker pool --
+    /// Workers parked on the queue.
+    pub idle_workers: u8,
+    /// Workers that exited (drain only).
+    pub exited_workers: u8,
+    // -- lifecycle flags --
+    /// SIGTERM observedable by all threads.
+    pub draining: bool,
+    /// Accept thread still running (queue sender alive).
+    pub accept_alive: bool,
+    /// The drain's degrade window has closed.
+    pub window_closed: bool,
+    // -- server terminal counters (the `ttserve_*` books) --
+    /// Work units that entered the system.
+    pub accepted: u8,
+    /// Settled complete.
+    pub completed: u8,
+    /// Settled degraded.
+    pub degraded: u8,
+    /// Settled shed.
+    pub shed: u8,
+    /// Settled faulted.
+    pub faulted: u8,
+}
+
+impl ServerState {
+    fn of(&self, k: Kind) -> (u8, u8, u8, u8) {
+        match k {
+            Kind::Good => (self.idle.0, self.pending.0, self.queued.0, self.serving.0),
+            Kind::Bad => (self.idle.1, self.pending.1, self.queued.1, self.serving.1),
+        }
+    }
+
+    fn queued_total(&self) -> u8 {
+        self.queued.0 + self.queued.1
+    }
+
+    fn busy_workers(&self) -> u8 {
+        self.serving.0 + self.serving.1
+    }
+
+    /// The client-observed terminal multiset
+    /// `(completed, degraded, shed, faulted, refused)` — what a
+    /// conformance run against a real server can compare against.
+    pub fn outcome(&self) -> (u8, u8, u8, u8, u8) {
+        (
+            self.obs_completed,
+            self.obs_degraded,
+            self.obs_shed,
+            self.obs_faulted,
+            self.obs_refused,
+        )
+    }
+}
+
+/// The lifecycle model for one [`ServerConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerModel {
+    /// The modelled configuration.
+    pub cfg: ServerConfig,
+}
+
+impl ServerModel {
+    /// Builds the model.
+    pub fn new(cfg: ServerConfig) -> ServerModel {
+        ServerModel { cfg }
+    }
+
+    /// Settlement, mirroring `server::settle`: one unit in through
+    /// `accepted`, one unit out through exactly one terminal counter.
+    /// Atomic in both the model and the implementation.
+    fn settle(s: &mut ServerState, terminal: Step) {
+        s.accepted += 1;
+        match terminal {
+            Step::FinishComplete => s.completed += 1,
+            Step::FinishDegraded => s.degraded += 1,
+            Step::Shed(_) | Step::FinishDrainShed => s.shed += 1,
+            Step::FinishFault => s.faulted += 1,
+            _ => unreachable!("not a terminal step"),
+        }
+    }
+
+    fn serve_exit(s: &mut ServerState, kind: Kind, step: Step) {
+        match kind {
+            Kind::Good => s.serving.0 -= 1,
+            Kind::Bad => s.serving.1 -= 1,
+        }
+        s.idle_workers += 1;
+        Self::settle(s, step);
+        match step {
+            Step::FinishComplete => s.obs_completed += 1,
+            Step::FinishDegraded => s.obs_degraded += 1,
+            Step::FinishDrainShed => s.obs_shed += 1,
+            Step::FinishFault => s.obs_faulted += 1,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl Model for ServerModel {
+    type State = ServerState;
+    type Action = Step;
+
+    fn initial(&self) -> ServerState {
+        ServerState {
+            idle: (self.cfg.good_clients, self.cfg.bad_clients),
+            idle_workers: self.cfg.workers,
+            accept_alive: true,
+            ..ServerState::default()
+        }
+    }
+
+    fn actions(&self, s: &ServerState, out: &mut Vec<Step>) {
+        for kind in [Kind::Good, Kind::Bad] {
+            let (idle, pending, _, serving) = s.of(kind);
+            if idle > 0 {
+                out.push(Step::Connect(kind));
+            }
+            if pending > 0 && s.accept_alive && !s.draining {
+                if s.queued_total() < self.cfg.queue {
+                    out.push(Step::Enqueue(kind));
+                } else {
+                    out.push(Step::Shed(kind));
+                }
+            }
+            if pending > 0 && !s.accept_alive {
+                out.push(Step::ConnectionDies(kind));
+            }
+            if s.queued.0 > 0 && kind == Kind::Good && s.idle_workers > 0 {
+                out.push(Step::Dequeue(Kind::Good));
+            }
+            if s.queued.1 > 0 && kind == Kind::Bad && s.idle_workers > 0 {
+                out.push(Step::Dequeue(Kind::Bad));
+            }
+            if serving > 0 {
+                match kind {
+                    Kind::Good => {
+                        // A solve can always complete or degrade; once
+                        // the window has closed a not-yet-started solve
+                        // is shed with a typed `draining`.
+                        out.push(Step::FinishComplete);
+                        out.push(Step::FinishDegraded);
+                        if s.draining && s.window_closed {
+                            out.push(Step::FinishDrainShed);
+                        }
+                    }
+                    Kind::Bad => out.push(Step::FinishFault),
+                }
+            }
+        }
+        if self.cfg.allow_drain && !s.draining {
+            out.push(Step::BeginDrain);
+        }
+        if s.draining && s.accept_alive {
+            out.push(Step::AcceptExit);
+        }
+        if s.draining && !s.window_closed {
+            out.push(Step::WindowClose);
+        }
+        if s.idle_workers > 0 && !s.accept_alive && s.queued_total() == 0 {
+            out.push(Step::WorkerExit);
+        }
+    }
+
+    fn apply(&self, s: &ServerState, a: &Step) -> ServerState {
+        let mut n = *s;
+        match *a {
+            Step::Connect(k) => match k {
+                Kind::Good => {
+                    n.idle.0 -= 1;
+                    if s.accept_alive {
+                        n.pending.0 += 1;
+                    } else {
+                        n.obs_refused += 1;
+                    }
+                }
+                Kind::Bad => {
+                    n.idle.1 -= 1;
+                    if s.accept_alive {
+                        n.pending.1 += 1;
+                    } else {
+                        n.obs_refused += 1;
+                    }
+                }
+            },
+            Step::Enqueue(k) => match k {
+                Kind::Good => {
+                    n.pending.0 -= 1;
+                    n.queued.0 += 1;
+                }
+                Kind::Bad => {
+                    n.pending.1 -= 1;
+                    n.queued.1 += 1;
+                }
+            },
+            Step::Shed(k) => {
+                match k {
+                    Kind::Good => n.pending.0 -= 1,
+                    Kind::Bad => n.pending.1 -= 1,
+                }
+                if self.cfg.inject_lost_shed {
+                    // The bug: connection dropped on the floor. No
+                    // settlement, no response — the books still
+                    // balance, but a client is left with nothing.
+                    n.obs_lost += 1;
+                } else {
+                    Self::settle(&mut n, Step::Shed(k));
+                    n.obs_shed += 1;
+                }
+            }
+            Step::BeginDrain => n.draining = true,
+            Step::AcceptExit => n.accept_alive = false,
+            Step::ConnectionDies(k) => {
+                match k {
+                    Kind::Good => n.pending.0 -= 1,
+                    Kind::Bad => n.pending.1 -= 1,
+                }
+                n.obs_refused += 1;
+            }
+            Step::WindowClose => n.window_closed = true,
+            Step::Dequeue(k) => {
+                match k {
+                    Kind::Good => {
+                        n.queued.0 -= 1;
+                        n.serving.0 += 1;
+                    }
+                    Kind::Bad => {
+                        n.queued.1 -= 1;
+                        n.serving.1 += 1;
+                    }
+                }
+                n.idle_workers -= 1;
+            }
+            Step::FinishComplete | Step::FinishDegraded | Step::FinishDrainShed => {
+                Self::serve_exit(&mut n, Kind::Good, *a);
+            }
+            Step::FinishFault => Self::serve_exit(&mut n, Kind::Bad, *a),
+            Step::WorkerExit => {
+                n.idle_workers -= 1;
+                n.exited_workers += 1;
+            }
+        }
+        n
+    }
+
+    fn invariant(&self, s: &ServerState) -> Result<(), String> {
+        // The accounting conservation law, at every reachable state.
+        if s.accepted != s.completed + s.degraded + s.shed + s.faulted {
+            return Err(format!(
+                "accounting imbalance: accepted {} != {} + {} + {} + {}",
+                s.accepted, s.completed, s.degraded, s.shed, s.faulted
+            ));
+        }
+        // Structural bounds the implementation enforces by construction.
+        if s.queued_total() > self.cfg.queue {
+            return Err(format!(
+                "queue overflow: {} > depth {}",
+                s.queued_total(),
+                self.cfg.queue
+            ));
+        }
+        if s.busy_workers() + s.idle_workers + s.exited_workers != self.cfg.workers {
+            return Err(format!("worker leak: {s:?}"));
+        }
+        // Client conservation: every client is in exactly one phase.
+        let in_flight =
+            s.idle.0 + s.idle.1 + s.pending.0 + s.pending.1 + s.queued_total() + s.busy_workers();
+        let resolved = s.obs_completed
+            + s.obs_degraded
+            + s.obs_shed
+            + s.obs_faulted
+            + s.obs_refused
+            + s.obs_lost;
+        if in_flight + resolved != self.cfg.clients() {
+            return Err(format!("client leak: {s:?}"));
+        }
+        // Served/shed/faulted books must match what clients observed.
+        if s.completed != s.obs_completed
+            || s.degraded != s.obs_degraded
+            || s.faulted != s.obs_faulted
+        {
+            return Err(format!("counter drift from client observations: {s:?}"));
+        }
+        // No lost sheds: every unit the server refused was answered and
+        // accounted. The injected bug violates exactly this.
+        if s.shed != s.obs_shed || s.obs_lost != 0 {
+            return Err(format!(
+                "lost shed: server accounted {} sheds, clients observed {} \
+                 ({} dropped with no response)",
+                s.shed, s.obs_shed, s.obs_lost
+            ));
+        }
+        Ok(())
+    }
+
+    fn accept_terminal(&self, s: &ServerState) -> Result<(), String> {
+        // No enabled action: every client must be resolved...
+        let unresolved =
+            s.idle.0 + s.idle.1 + s.pending.0 + s.pending.1 + s.queued_total() + s.busy_workers();
+        if unresolved > 0 {
+            return Err(format!(
+                "wedged with {unresolved} unresolved client(s): {s:?}"
+            ));
+        }
+        // ...and a drain, once begun, must have terminated fully: the
+        // accept thread gone and every worker exited.
+        if s.draining && (s.accept_alive || s.exited_workers != self.cfg.workers) {
+            return Err(format!(
+                "drain did not terminate: accept_alive={}, {}/{} workers exited",
+                s.accept_alive, s.exited_workers, self.cfg.workers
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Checks one configuration exhaustively with default bounds.
+pub fn check_server(cfg: ServerConfig) -> CheckReport<Step> {
+    check(&ServerModel::new(cfg), &CheckOptions::default())
+}
+
+/// Sweeps every configuration up to `max_workers × max_queue ×
+/// max_clients` (drain enabled, well-behaved clients) and returns the
+/// per-configuration reports with their configs.
+pub fn sweep(
+    max_workers: u8,
+    max_queue: u8,
+    max_clients: u8,
+) -> Vec<(ServerConfig, CheckReport<Step>)> {
+    let mut out = Vec::new();
+    for w in 1..=max_workers {
+        for q in 1..=max_queue {
+            for c in 1..=max_clients {
+                let cfg = ServerConfig::new(w, q, c);
+                out.push((cfg, check_server(cfg)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, ViolationKind};
+
+    #[test]
+    fn full_lattice_proves_the_lifecycle() {
+        for (cfg, report) in sweep(2, 2, 3) {
+            assert!(
+                report.proves(),
+                "cfg {cfg:?} not proved: {:?}",
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn target_configuration_exhausts() {
+        let report = check_server(ServerConfig::new(3, 3, 5));
+        assert!(report.proves(), "{:?}", report.violations.first());
+        // The counting abstraction quotients the raw interleaving space
+        // down to a few thousand canonical states.
+        assert!(
+            report.states > 1_000,
+            "suspiciously small: {}",
+            report.states
+        );
+    }
+
+    #[test]
+    fn bad_clients_fault_and_balance() {
+        let cfg = ServerConfig {
+            workers: 2,
+            queue: 2,
+            good_clients: 2,
+            bad_clients: 2,
+            allow_drain: true,
+            inject_lost_shed: false,
+        };
+        assert!(check_server(cfg).proves());
+    }
+
+    #[test]
+    fn injected_lost_shed_yields_replayable_counterexample() {
+        // Queue 1, 3 clients: two pending while one is queued forces a
+        // shed, which the injected bug drops on the floor.
+        let cfg = ServerConfig {
+            workers: 1,
+            queue: 1,
+            good_clients: 3,
+            bad_clients: 0,
+            allow_drain: false,
+            inject_lost_shed: true,
+        };
+        let model = ServerModel::new(cfg);
+        let report = check_server(cfg);
+        assert!(!report.is_clean(), "bug must be found");
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ViolationKind::Invariant);
+        assert!(v.message.contains("lost shed"), "{}", v.message);
+        assert!(v.trace.contains(&Step::Shed(Kind::Good)));
+        // The counterexample replays to a state exhibiting the loss.
+        let states = replay(&model, &v.trace).expect("counterexample replays");
+        assert_eq!(states.last().unwrap().obs_lost, 1);
+    }
+
+    #[test]
+    fn no_drain_configs_quiesce() {
+        let cfg = ServerConfig {
+            workers: 2,
+            queue: 1,
+            good_clients: 3,
+            bad_clients: 1,
+            allow_drain: false,
+            inject_lost_shed: false,
+        };
+        assert!(check_server(cfg).proves());
+    }
+
+    #[test]
+    fn terminal_outcomes_cover_sheds_and_completions() {
+        use crate::explore::{reachable_terminals, CheckOptions};
+        let cfg = ServerConfig {
+            workers: 1,
+            queue: 1,
+            good_clients: 2,
+            bad_clients: 0,
+            allow_drain: false,
+            inject_lost_shed: false,
+        };
+        let terms = reachable_terminals(&ServerModel::new(cfg), &CheckOptions::default());
+        let outcomes: std::collections::BTreeSet<_> = terms.iter().map(|t| t.outcome()).collect();
+        // Both clients can complete...
+        assert!(outcomes.contains(&(2, 0, 0, 0, 0)), "{outcomes:?}");
+        // ...and the race where the second client hits a full queue is
+        // also reachable.
+        assert!(outcomes.contains(&(1, 0, 1, 0, 0)), "{outcomes:?}");
+    }
+}

@@ -13,7 +13,6 @@
 use crate::instance::{ActionKind, TtInstance};
 use crate::preprocess;
 use crate::subset::Subset;
-use std::collections::HashMap;
 use std::fmt;
 
 /// How serious a lint finding is.
@@ -33,9 +32,12 @@ pub enum LintCode {
     /// Some object is covered by no treatment: no successful procedure
     /// exists and every solver will return `INF`.
     Infeasible,
-    /// An action duplicates (or, for tests, is the complement of) an
-    /// earlier action of the same kind; only the cheapest can appear in
-    /// an optimal procedure.
+    /// An action is dominated by another of the same kind: the
+    /// dominator is at least as informative (treatments: covers a
+    /// superset of objects; tests: its information partition refines
+    /// the dominated test's — equal up to complement, or the dominated
+    /// test is trivial) at no greater cost. An optimal procedure never
+    /// needs the dominated action.
     DominatedAction,
     /// A zero-cost action admits zero-cost cycles: a procedure could
     /// repeat it forever without progress or payment.
@@ -136,29 +138,52 @@ pub fn lint(inst: &TtInstance) -> LintReport {
         });
     }
 
-    // Dominance: duplicate sets per kind, complement-equivalent tests.
-    let mut seen: HashMap<(ActionKind, u32), usize> = HashMap::new();
-    for (i, a) in inst.actions().iter().enumerate() {
-        let key = match a.kind {
-            ActionKind::Test => {
-                let comp = a.set.complement(k);
-                (ActionKind::Test, a.set.0.min(comp.0))
+    // Dominance: action j is dominated by i when i is at least as
+    // informative — a treatment covering a superset of j's objects, or
+    // a test whose binary partition refines j's (equal up to
+    // complement, or j trivial) — at no greater cost. Equal-cost,
+    // equally-informative pairs tie-break by index, so exactly one of
+    // each duplicate pair is flagged.
+    let acts = inst.actions();
+    for (j, aj) in acts.iter().enumerate() {
+        let dominator = (0..acts.len()).find(|&i| {
+            if i == j {
+                return false;
             }
-            ActionKind::Treatment => (ActionKind::Treatment, a.set.0),
-        };
-        if let Some(&first) = seen.get(&key) {
+            let ai = &acts[i];
+            if ai.kind != aj.kind {
+                return false;
+            }
+            let at_least_as_informative = match aj.kind {
+                // i treats everything j treats (and possibly more).
+                ActionKind::Treatment => ai.set.0 & aj.set.0 == aj.set.0,
+                // Binary partitions: refinement is equality up to
+                // complement, except the trivial (whole-universe)
+                // partition, which every test refines.
+                ActionKind::Test => {
+                    let j_trivial = aj.set.is_empty() || aj.set.complement(k).is_empty();
+                    j_trivial || ai.set == aj.set || ai.set == aj.set.complement(k)
+                }
+            };
+            at_least_as_informative && (ai.cost < aj.cost || (ai.cost == aj.cost && i < j))
+        });
+        if let Some(i) = dominator {
+            let same_class =
+                acts[i].set == aj.set || (aj.is_test() && acts[i].set == aj.set.complement(k));
             out.push(LintDiagnostic {
                 severity: LintSeverity::Warning,
                 code: LintCode::DominatedAction,
                 message: format!(
-                    "action {i} duplicates action {first} (same {:?} class): only the \
-                     cheapest can appear in an optimal procedure; preprocess::reduce \
-                     removes it",
-                    a.kind
+                    "action {j} is dominated by action {i}: at least as informative a \
+                     {:?} at no greater cost, so no optimal procedure needs it{}",
+                    aj.kind,
+                    if same_class {
+                        " (same equivalence class; preprocess::reduce removes it)"
+                    } else {
+                        ""
+                    }
                 ),
             });
-        } else {
-            seen.insert(key, i);
         }
     }
 
@@ -253,9 +278,13 @@ fn count_unreachable(inst: &TtInstance) -> usize {
 }
 
 /// Convenience: lint after dominance reduction — what [`lint`] would say
-/// about the instance [`preprocess::reduce`] produces. Dominance findings
-/// disappear by construction; feasibility findings are preserved
-/// (reduction never removes the last treatment covering an object).
+/// about the instance [`preprocess::reduce`] produces. Same-class
+/// dominance findings (duplicates, complement-equivalent tests)
+/// disappear by construction; proper dominance (a strictly broader
+/// treatment, a test refining a trivial one) can survive, since
+/// reduction only collapses equivalence classes. Feasibility findings
+/// are preserved (reduction never removes the last treatment covering
+/// an object).
 pub fn lint_reduced(inst: &TtInstance) -> LintReport {
     lint(&preprocess::reduce(inst).instance)
 }
@@ -320,6 +349,82 @@ mod tests {
             !codes(&lint_reduced(&inst)).contains(&LintCode::DominatedAction),
             "reduction must clear dominance findings"
         );
+    }
+
+    #[test]
+    fn superset_treatment_dominates_costlier_narrower_one() {
+        // Treatment 2 covers {0,1} for 3; treatment 3 covers only {0}
+        // for 5 — strictly dominated, though not a duplicate (so
+        // preprocess::reduce would keep it).
+        let inst = TtInstanceBuilder::new(2)
+            .weights([1, 1])
+            .test(Subset::singleton(0), 1)
+            .treatment(Subset::from_iter([0, 1]), 3)
+            .treatment(Subset::singleton(0), 5)
+            .build()
+            .unwrap();
+        let report = lint(&inst);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == LintCode::DominatedAction)
+            .expect("dominated treatment flagged");
+        assert!(
+            d.message.contains("action 2 is dominated by action 1"),
+            "{}",
+            d.message
+        );
+        // The narrower-but-cheaper direction is NOT dominance.
+        let inst2 = TtInstanceBuilder::new(2)
+            .weights([1, 1])
+            .test(Subset::singleton(0), 1)
+            .treatment(Subset::from_iter([0, 1]), 5)
+            .treatment(Subset::singleton(0), 3)
+            .build()
+            .unwrap();
+        assert!(
+            !codes(&lint(&inst2)).contains(&LintCode::DominatedAction),
+            "{}",
+            lint(&inst2)
+        );
+    }
+
+    #[test]
+    fn any_test_dominates_a_costlier_trivial_test() {
+        // Test 1 spans the universe: its partition is trivial, so the
+        // informative test 0 refines it at lower cost.
+        let inst = TtInstanceBuilder::new(2)
+            .weights([1, 1])
+            .test(Subset::singleton(0), 1)
+            .test(Subset::universe(2), 4)
+            .treatment(Subset::universe(2), 2)
+            .build()
+            .unwrap();
+        let cs = codes(&lint(&inst));
+        assert!(cs.contains(&LintCode::DominatedAction), "{cs:?}");
+        assert!(cs.contains(&LintCode::UselessTest));
+    }
+
+    #[test]
+    fn equal_pairs_flag_exactly_one_side() {
+        // Two identical treatments at the same cost: the tie-break by
+        // index flags only the later one.
+        let inst = TtInstanceBuilder::new(1)
+            .weights([1])
+            .treatment(Subset::singleton(0), 2)
+            .treatment(Subset::singleton(0), 2)
+            .build()
+            .unwrap();
+        let report = lint(&inst);
+        let doms: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::DominatedAction)
+            .collect();
+        assert_eq!(doms.len(), 1, "{report}");
+        assert!(doms[0]
+            .message
+            .contains("action 1 is dominated by action 0"));
     }
 
     #[test]

@@ -465,6 +465,29 @@ impl Response {
         }
     }
 
+    /// Maps this response to the server's terminal accounting class —
+    /// the counter [`server::settle`](crate::server) charges when it
+    /// sends this answer — or `None` for control responses
+    /// (metrics/health/drain/ping), which are never settled. This is
+    /// the bridge the model-conformance tests use: a real server's
+    /// client-observed outcome multiset, classified this way, must be
+    /// one the `tt-analyze` lifecycle model reaches.
+    pub fn terminal_class(&self) -> Option<&'static str> {
+        match self {
+            Response::Solved(r) if r.complete => Some("completed"),
+            Response::Solved(_) => Some("degraded"),
+            Response::Error {
+                kind: ErrorKind::Overloaded | ErrorKind::Draining,
+                ..
+            } => Some("shed"),
+            Response::Error { .. } => Some("faulted"),
+            Response::Metrics(_)
+            | Response::Health { .. }
+            | Response::Draining
+            | Response::Pong => None,
+        }
+    }
+
     /// Decodes a frame payload. [`RequestError`] doubles as the decode
     /// error for responses — the failure classes are identical.
     pub fn decode(payload: &str) -> Result<Response, RequestError> {

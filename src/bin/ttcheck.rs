@@ -1,15 +1,18 @@
-//! `ttcheck` — static verification for TT instances, BVM microcode, and
-//! CCC exchange schedules. No solving required for a verdict.
+//! `ttcheck` — static verification for TT instances, BVM microcode, CCC
+//! exchange schedules, and the serve/drain lifecycle. No solving (and no
+//! running server) required for a verdict.
 //!
 //! ```text
 //! USAGE:
-//!   ttcheck <file.tt> [--microcode] [--schedule] [--all] [--verbose]
-//!   ttcheck --demo <domain> [k] [seed] [--microcode] [--schedule] [--all]
+//!   ttcheck <file.tt> [--microcode] [--schedule] [--whole-run] [--all] [--verbose]
+//!   ttcheck --demo <domain> [k] [seed] [--microcode] [--schedule] [--whole-run] [--all]
 //!           (domains: random, medical, faults, biology, lab)
-//!   ttcheck --passes [r]             # standalone ASCEND/DESCEND schedule check
+//!   ttcheck --passes [r] [--whole-run]   # standalone ASCEND/DESCEND schedule check
+//!   ttcheck model [--workers n] [--queue n] [--clients n] [--bad n]
+//!                 [--no-drain] [--inject-lost-shed] [--verbose]
 //! ```
 //!
-//! Three passes, composable per invocation:
+//! Instance passes, composable per invocation:
 //!
 //! * **instance lint** (always): `tt_core::lint` — feasibility (an object
 //!   no treatment covers means *no procedure exists*, flagged before any
@@ -22,17 +25,40 @@
 //! * **`--schedule`**: traces the CCC machine executing the TT program's
 //!   dimension exchanges and checks every recorded pass against the
 //!   pipelined Preparata–Vuillemin schedule (dimension order, one wire
-//!   transit per slot, rotation physics).
+//!   transit per slot, rotation physics). With **`--whole-run`** the
+//!   recorded passes are additionally placed on the run's global clock
+//!   and `tt_analyze::schedule::check_run` looks for what per-pass
+//!   checking cannot see: cross-pass write-write wire conflicts, home
+//!   double-bookings, precedence/wait-for-cycle deadlocks.
 //!
-//! `--all` = `--microcode --schedule`. When the lint pass finds a hard
-//! error (infeasible instance) the machine passes are skipped — the
-//! verdict needs no solve.
+//! `--all` = `--microcode --schedule --whole-run`. When the lint pass
+//! finds a hard error (infeasible instance) the machine passes are
+//! skipped — the verdict needs no solve.
+//!
+//! **`ttcheck model`** is the lifecycle prover: it explores *every*
+//! interleaving of the modelled `tt-serve` accept/queue/worker/drain
+//! machinery (`tt_analyze::server_model`) and proves, per configuration,
+//! the `accepted == completed + degraded + shed + faulted` accounting
+//! invariant, that no client is ever dropped without a typed answer (no
+//! lost sheds), deadlock freedom, and drain termination. With no flags
+//! it sweeps the whole lattice up to 3 workers × queue 3 × 5 clients;
+//! flags pin one configuration. `--inject-lost-shed` plants the classic
+//! accept-thread bug (shed connection dropped instead of answered) and
+//! prints the checker's replayable counterexample trace.
 //!
 //! Exit codes: `0` clean (warnings allowed), `1` errors found, `2` usage
 //! error, `3` unreadable input file, `4` unparseable instance, `6`
-//! unknown domain.
+//! unknown domain, `15` model-check or whole-run schedule violation.
+//!
+//! Exploration volume is exported through `tt-obs` as
+//! `analyze_states_explored` / `analyze_violations` (visible with
+//! `--verbose`).
 
 use std::process::exit;
+use std::time::Instant;
+use tt_analyze::explore::replay;
+use tt_analyze::schedule::{check_run, RunSchedule};
+use tt_analyze::server_model::{check_server, sweep, ServerConfig, ServerModel};
 use tt_core::instance::TtInstance;
 use tt_core::io;
 use tt_core::lint;
@@ -41,15 +67,19 @@ const EXIT_FINDINGS: i32 = 1;
 const EXIT_USAGE: i32 = 2;
 const EXIT_READ: i32 = 3;
 const EXIT_PARSE: i32 = 4;
-const EXIT_UNKNOWN_DOMAIN: i32 = 6;
+const EXIT_UNKNOWN_NAME: i32 = 6;
+const EXIT_MODEL_VIOLATION: i32 = 15;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ttcheck <file.tt> [--microcode] [--schedule] [--all] [--verbose]\n\
+        "usage: ttcheck <file.tt> [--microcode] [--schedule] [--whole-run] [--all] [--verbose]\n\
          \x20      ttcheck --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
-         \x20      ttcheck --passes [r]\n\
+         \x20      ttcheck --passes [r] [--whole-run]\n\
+         \x20      ttcheck model [--workers n] [--queue n] [--clients n] [--bad n]\n\
+         \x20                    [--no-drain] [--inject-lost-shed] [--verbose]\n\
          exit codes: 0 clean, 1 errors found, 2 usage, 3 unreadable file,\n\
-         \x20           4 invalid instance, 6 unknown domain"
+         \x20           4 invalid instance, 6 unknown domain,\n\
+         \x20           15 model-check or whole-run schedule violation"
     );
     exit(EXIT_USAGE)
 }
@@ -58,6 +88,7 @@ fn usage() -> ! {
 struct Opts {
     microcode: bool,
     schedule: bool,
+    whole_run: bool,
     verbose: bool,
 }
 
@@ -67,9 +98,14 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>) -> Opts {
         match a.as_str() {
             "--microcode" => opts.microcode = true,
             "--schedule" => opts.schedule = true,
+            "--whole-run" => {
+                opts.schedule = true;
+                opts.whole_run = true;
+            }
             "--all" => {
                 opts.microcode = true;
                 opts.schedule = true;
+                opts.whole_run = true;
             }
             "--verbose" => opts.verbose = true,
             _ => usage(),
@@ -84,16 +120,30 @@ fn main() {
         usage();
     }
 
+    // Lifecycle model checking: no instance involved.
+    if args[0] == "model" {
+        exit(check_model(&args[1..]));
+    }
+
     // Standalone schedule check: no instance involved.
     if args[0] == "--passes" {
-        let r: usize = match args.get(1) {
-            Some(s) => s.parse().unwrap_or_else(|_| usage()),
-            None => 2,
-        };
-        if args.len() > 2 || r == 0 || r > 4 {
+        let mut whole_run = false;
+        let mut r: usize = 2;
+        let mut pos = 1;
+        if let Some(parsed) = args.get(pos).and_then(|s| s.parse().ok()) {
+            r = parsed;
+            pos += 1;
+        }
+        for a in &args[pos..] {
+            match a.as_str() {
+                "--whole-run" => whole_run = true,
+                _ => usage(),
+            }
+        }
+        if r == 0 || r > 4 {
             usage();
         }
-        exit(check_generic_passes(r));
+        exit(check_generic_passes(r, whole_run));
     }
 
     // Any other leading flag is a usage error, not a file name.
@@ -120,7 +170,7 @@ fn main() {
         };
         let Some(d) = tt_workloads::catalog::Domain::parse(domain) else {
             eprintln!("unknown domain '{domain}'");
-            exit(EXIT_UNKNOWN_DOMAIN)
+            exit(EXIT_UNKNOWN_NAME)
         };
         (d.generate(k, seed), parse_flags(args[pos..].iter()))
     } else {
@@ -156,6 +206,7 @@ fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
     );
 
     let mut errors = 0usize;
+    let mut run_violations = 0usize;
 
     // Pass 1: instance lint (static; no solving).
     let report = lint::lint(inst);
@@ -183,7 +234,9 @@ fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
         errors += vr.errors().count();
     }
 
-    // Pass 3: trace the CCC TT solve and verify every exchange pass.
+    // Pass 3: trace the CCC TT solve and verify every exchange pass —
+    // and, with --whole-run, the passes against each other on the run's
+    // global clock.
     if opts.schedule {
         let driver = tt_parallel::ccc::CccDriver::new(inst);
         let mut m = driver.fresh_machine();
@@ -206,9 +259,28 @@ fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
             violations
         );
         errors += violations;
+
+        if opts.whole_run {
+            let run = RunSchedule::sequential(traces);
+            let slots = run.passes.last().map_or(0, |p| p.end());
+            let rv = check_run(&run, None);
+            for v in &rv {
+                println!("whole-run violation: {v}");
+            }
+            println!(
+                "-- whole-run: {} pass(es) over {} global slot(s), {} violation(s)",
+                run.passes.len(),
+                slots,
+                rv.len()
+            );
+            run_violations += rv.len();
+        }
     }
 
-    if errors > 0 {
+    if run_violations > 0 {
+        println!("FAIL: {run_violations} whole-run violation(s)");
+        EXIT_MODEL_VIOLATION
+    } else if errors > 0 {
         println!("FAIL: {errors} error(s)");
         EXIT_FINDINGS
     } else {
@@ -218,8 +290,9 @@ fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
 }
 
 /// Traces a generic ASCEND then DESCEND over a full CCC of cycle length
-/// `2^r` and checks both against the Preparata–Vuillemin schedule.
-fn check_generic_passes(r: usize) -> i32 {
+/// `2^r` and checks both against the Preparata–Vuillemin schedule —
+/// plus, with `--whole-run`, against each other on the global clock.
+fn check_generic_passes(r: usize, whole_run: bool) -> i32 {
     let q = 1usize << r;
     let dims = q + r;
     let mut m = hypercube::CccMachine::new(r, |x| x as u64);
@@ -247,9 +320,166 @@ fn check_generic_passes(r: usize) -> i32 {
         traces.len(),
         violations
     );
-    if violations > 0 {
+    let mut run_violations = 0usize;
+    if whole_run {
+        let run = RunSchedule::sequential(traces);
+        let rv = check_run(&run, None);
+        for v in &rv {
+            println!("whole-run violation: {v}");
+        }
+        println!(
+            "whole-run: {} pass(es), {} violation(s)",
+            run.passes.len(),
+            rv.len()
+        );
+        run_violations = rv.len();
+    }
+    if run_violations > 0 {
+        EXIT_MODEL_VIOLATION
+    } else if violations > 0 {
         EXIT_FINDINGS
     } else {
         0
     }
+}
+
+/// `ttcheck model`: explicit-state checking of the serve/drain
+/// lifecycle. Sweeps the full configuration lattice by default; any
+/// explicit dimension pins a single configuration.
+fn check_model(args: &[String]) -> i32 {
+    let mut workers: Option<u8> = None;
+    let mut queue: Option<u8> = None;
+    let mut clients: Option<u8> = None;
+    let mut bad: u8 = 0;
+    let mut drain = true;
+    let mut inject = false;
+    let mut verbose = false;
+
+    fn dim(it: &mut std::slice::Iter<'_, String>) -> u8 {
+        match it.next().and_then(|s| s.parse().ok()) {
+            Some(v @ 1..=6) => v,
+            _ => usage(),
+        }
+    }
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => workers = Some(dim(&mut it)),
+            "--queue" => queue = Some(dim(&mut it)),
+            "--clients" => clients = Some(dim(&mut it)),
+            "--bad" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(v @ 0..=6) => bad = v,
+                _ => usage(),
+            },
+            "--no-drain" => drain = false,
+            "--inject-lost-shed" => inject = true,
+            "--verbose" => verbose = true,
+            _ => usage(),
+        }
+    }
+
+    let started = Instant::now();
+    let single = workers.is_some() || queue.is_some() || clients.is_some() || bad > 0 || inject;
+    let mut total_states = 0u64;
+    let mut code = 0;
+
+    if single {
+        let cfg = ServerConfig {
+            workers: workers.unwrap_or(3),
+            queue: queue.unwrap_or(3),
+            good_clients: clients.unwrap_or(5),
+            bad_clients: bad,
+            allow_drain: drain,
+            inject_lost_shed: inject,
+        };
+        println!(
+            "model: {} worker(s), queue {}, {} client(s) ({} misbehaving), drain {}{}",
+            cfg.workers,
+            cfg.queue,
+            cfg.clients(),
+            cfg.bad_clients,
+            if cfg.allow_drain { "on" } else { "off" },
+            if inject {
+                ", lost-shed bug injected"
+            } else {
+                ""
+            },
+        );
+        let report = check_server(cfg);
+        total_states += report.states;
+        if report.proves() {
+            println!(
+                "proved: accounting invariant, no lost sheds, deadlock freedom, drain \
+                 termination ({} states, {} transitions, depth {})",
+                report.states, report.transitions, report.peak_depth
+            );
+        } else {
+            code = EXIT_MODEL_VIOLATION;
+            for v in &report.violations {
+                println!("VIOLATION ({:?}): {}", v.kind, v.message);
+                println!("counterexample ({} steps):", v.trace.len());
+                for (i, step) in v.trace.iter().enumerate() {
+                    println!("  {i:3}. {step:?}");
+                }
+                // Prove the trace is replayable: every prefix re-applies.
+                match replay(&ServerModel::new(cfg), &v.trace) {
+                    Ok(states) => {
+                        if verbose {
+                            println!("replayed {} state(s); final:", states.len());
+                            println!("  {:?}", states.last().unwrap());
+                        } else {
+                            println!("trace replays cleanly ({} states)", states.len());
+                        }
+                    }
+                    Err(e) => println!("REPLAY FAILED at step {}: {}", e.step, e.message),
+                }
+            }
+        }
+    } else {
+        // Exhaustive sweep of the whole lattice.
+        println!("model: sweeping 3 workers x queue 3 x 5 clients (drain on)");
+        for (cfg, report) in sweep(3, 3, 5) {
+            total_states += report.states;
+            let verdict = if report.proves() {
+                "proved".to_string()
+            } else {
+                code = EXIT_MODEL_VIOLATION;
+                format!(
+                    "VIOLATION: {}",
+                    report
+                        .violations
+                        .first()
+                        .map_or("(none recorded)", |v| v.message.as_str())
+                )
+            };
+            if verbose || !report.proves() {
+                println!(
+                    "  w={} q={} c={}: {} states, {} transitions — {verdict}",
+                    cfg.workers, cfg.queue, cfg.good_clients, report.states, report.transitions
+                );
+            }
+        }
+        if code == 0 {
+            println!(
+                "proved for all 45 configurations: accounting invariant, no lost sheds, \
+                 deadlock freedom, drain termination"
+            );
+        }
+    }
+
+    let elapsed = started.elapsed();
+    println!(
+        "explored {total_states} state(s) in {:.2?}{}",
+        elapsed,
+        if verbose {
+            format!(
+                " ({:.0} states/s)",
+                total_states as f64 / elapsed.as_secs_f64().max(1e-9)
+            )
+        } else {
+            String::new()
+        }
+    );
+    code
 }

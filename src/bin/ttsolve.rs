@@ -99,7 +99,7 @@ const EXIT_USAGE: i32 = 2;
 const EXIT_READ: i32 = 3;
 const EXIT_PARSE: i32 = 4;
 const EXIT_LINT: i32 = 5;
-const EXIT_UNKNOWN_ENGINE: i32 = 6;
+const EXIT_UNKNOWN_NAME: i32 = 6;
 const EXIT_DEGRADED: i32 = 7;
 const EXIT_FAULT_ESCALATION: i32 = 8;
 const EXIT_RESUME_CORRUPT: i32 = 9;
@@ -138,7 +138,7 @@ fn generate(domain: &str, k: usize, seed: u64) -> TtInstance {
         Some(d) => d.generate(k, seed),
         None => {
             eprintln!("unknown domain '{domain}'");
-            exit(EXIT_UNKNOWN_ENGINE)
+            exit(EXIT_UNKNOWN_NAME)
         }
     }
 }
@@ -505,7 +505,7 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
             for e in tt_repro::registry() {
                 eprintln!("  {}", e.name());
             }
-            exit(EXIT_UNKNOWN_ENGINE)
+            exit(EXIT_UNKNOWN_NAME)
         }
     };
 
@@ -606,7 +606,7 @@ fn solve_supervised(inst: &TtInstance, opts: &Opts, resume: Option<Checkpoint>) 
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{e}");
-                return EXIT_UNKNOWN_ENGINE;
+                return EXIT_UNKNOWN_NAME;
             }
         }
     } else {

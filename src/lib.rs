@@ -11,7 +11,9 @@
 //! * [`tt_parallel`] — the paper's parallel algorithm on all of the
 //!   above, plus a rayon realization;
 //! * [`tt_workloads`] — synthetic instance generators for the paper's
-//!   application domains.
+//!   application domains;
+//! * [`tt_analyze`] — explicit-state model checking of the serve/drain
+//!   lifecycle and whole-run CCC schedule analysis.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the per-figure reproduction record. The
@@ -22,6 +24,7 @@
 
 pub use bvm;
 pub use hypercube;
+pub use tt_analyze;
 pub use tt_core;
 pub use tt_parallel;
 pub use tt_workloads;

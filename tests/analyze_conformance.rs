@@ -1,0 +1,177 @@
+//! Model-vs-implementation conformance: the `tt-analyze` lifecycle
+//! model is only worth its proofs if the real `tt-serve` refines it.
+//!
+//! Each case runs the same client population twice: once through the
+//! model (`reachable_terminals` enumerates the client-observed outcome
+//! multisets of *every* interleaving) and once against a real loopback
+//! server (threads race through TCP, the OS schedules). The real run's
+//! outcome multiset — responses classified by
+//! `Response::terminal_class()` — must be one the model reaches. The
+//! model over-approximates scheduling, so refinement is multiset
+//! membership, not equality; a real outcome outside the model's set
+//! means the model is wrong (or the server is), and either way the
+//! `ttcheck model` proofs would be about the wrong machine.
+//!
+//! Fixed cases pin the interesting shapes (contention, misbehaving
+//! peers, no workers to spare); a proptest sweeps random small
+//! configurations and client scripts.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use tt_analyze::explore::{reachable_terminals, CheckOptions};
+use tt_analyze::server_model::{ServerConfig, ServerModel};
+use tt_serve::client::Client;
+use tt_serve::proto::{Request, Response, SolveParams, Source};
+use tt_serve::server::{start, ServerOptions};
+
+/// Client-observed outcome multiset:
+/// `(completed, degraded, shed, faulted, refused)`.
+type Outcome = (u8, u8, u8, u8, u8);
+
+/// Every outcome multiset the model can terminate with for this
+/// population (no drain: the real run drains only after all clients
+/// resolved, which the model treats as quiescence).
+fn model_outcomes(workers: u8, queue: u8, good: u8, bad: u8) -> BTreeSet<Outcome> {
+    let cfg = ServerConfig {
+        workers,
+        queue,
+        good_clients: good,
+        bad_clients: bad,
+        allow_drain: false,
+        inject_lost_shed: false,
+    };
+    reachable_terminals(&ServerModel::new(cfg), &CheckOptions::default())
+        .iter()
+        .map(|s| s.outcome())
+        .collect()
+}
+
+/// Runs the same population against a real loopback server and returns
+/// the observed outcome multiset.
+fn real_outcome(workers: usize, queue: usize, good: usize, bad: usize) -> Outcome {
+    let handle = start(
+        "127.0.0.1:0",
+        ServerOptions {
+            workers,
+            queue_depth: queue,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(2),
+            drain_window: Duration::from_secs(10),
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = handle.addr();
+
+    let barrier = Arc::new(Barrier::new(good + bad));
+    let mut threads = Vec::new();
+    for tag in 0..good {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            let req = Request::Solve(SolveParams {
+                id: Some(format!("conf-{tag}")),
+                source: Source::Demo(format!("random:4:{}", 7 + tag)),
+                solver: None,
+                timeout_ms: Some(1_500),
+            });
+            Client::connect(addr, Duration::from_secs(10))
+                .and_then(|mut c| c.request(&req))
+                .expect("good client transport")
+        }));
+    }
+    for _ in 0..bad {
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            // Well-framed garbage: a valid frame whose payload is not a
+            // request. The server must answer a typed error (or a typed
+            // shed under contention), never drop the connection.
+            let payload = Client::connect(addr, Duration::from_secs(10))
+                .and_then(|mut c| c.raw_round_trip(r#"{"op":"zorp"}"#))
+                .expect("bad client transport");
+            Response::decode(&payload).expect("typed response to garbage")
+        }));
+    }
+
+    let mut out = (0u8, 0u8, 0u8, 0u8, 0u8);
+    for t in threads {
+        let resp = t.join().expect("client thread");
+        match resp.terminal_class() {
+            Some("completed") => out.0 += 1,
+            Some("degraded") => out.1 += 1,
+            Some("shed") => out.2 += 1,
+            Some("faulted") => out.3 += 1,
+            other => panic!("client saw a non-terminal response {other:?}: {resp:?}"),
+        }
+    }
+
+    // The books must balance and agree with what the clients saw.
+    handle.drain();
+    let outcome = handle.wait();
+    assert!(
+        outcome.clean,
+        "drain leaked {} workers",
+        outcome.leaked_workers
+    );
+    let s = outcome.stats;
+    assert!(s.balanced(), "accounting imbalance: {s:?}");
+    assert_eq!(s.completed, u64::from(out.0), "completed drift: {s:?}");
+    assert_eq!(s.degraded, u64::from(out.1), "degraded drift: {s:?}");
+    assert_eq!(s.shed, u64::from(out.2), "shed drift: {s:?}");
+    assert_eq!(s.faulted, u64::from(out.3), "faulted drift: {s:?}");
+    out
+}
+
+fn assert_refines(workers: usize, queue: usize, good: usize, bad: usize) {
+    let observed = real_outcome(workers, queue, good, bad);
+    let allowed = model_outcomes(workers as u8, queue as u8, good as u8, bad as u8);
+    assert!(
+        allowed.contains(&observed),
+        "real server produced outcome {observed:?} the model never reaches \
+         (w={workers} q={queue} good={good} bad={bad}); model allows {allowed:?}"
+    );
+}
+
+#[test]
+fn contended_population_refines_the_model() {
+    // One worker, queue depth 1, three clients: completions and sheds
+    // race; whatever the OS schedule produced must be a model outcome.
+    assert_refines(1, 1, 3, 0);
+}
+
+#[test]
+fn misbehaving_peers_refine_the_model() {
+    assert_refines(2, 2, 2, 2);
+}
+
+#[test]
+fn all_garbage_population_refines_the_model() {
+    assert_refines(1, 2, 0, 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random small client scripts through the model and a real
+    /// loopback server must agree on the terminal outcome multiset
+    /// (membership in the model's reachable set).
+    #[test]
+    fn random_scripts_refine_the_model(
+        workers in 1usize..=2,
+        queue in 1usize..=2,
+        good in 1usize..=3,
+        bad in 0usize..=2,
+    ) {
+        let observed = real_outcome(workers, queue, good, bad);
+        let allowed = model_outcomes(workers as u8, queue as u8, good as u8, bad as u8);
+        prop_assert!(
+            allowed.contains(&observed),
+            "real outcome {:?} not in model set (w={} q={} good={} bad={}): {:?}",
+            observed, workers, queue, good, bad, allowed
+        );
+    }
+}

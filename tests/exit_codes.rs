@@ -1,14 +1,21 @@
 //! Keeps the README's exit-code table in sync with the `EXIT_*`
 //! constants across every binary that owns part of the exit-code
-//! space — `src/bin/ttsolve.rs` (codes 2–11) and `src/bin/ttserve.rs`
-//! (12–14, sharing 2) — all parsed from source, so adding a code to
-//! one place without the others fails here.
+//! space — `src/bin/ttsolve.rs` (codes 2–11), `src/bin/ttserve.rs`
+//! (12–14, sharing 2), and `src/bin/ttcheck.rs` (1 and 15, sharing
+//! 2–4 and 6) — all parsed from source, so adding a code to one place
+//! without the others fails here. Codes shared across binaries must
+//! carry the same `EXIT_*` name everywhere, so a reader can grep one
+//! name and see the whole meaning.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
 /// The binaries that define `EXIT_*` constants, in ownership order.
-const BINARIES: &[&str] = &["src/bin/ttsolve.rs", "src/bin/ttserve.rs"];
+const BINARIES: &[&str] = &[
+    "src/bin/ttsolve.rs",
+    "src/bin/ttserve.rs",
+    "src/bin/ttcheck.rs",
+];
 
 fn repo_file(rel: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);

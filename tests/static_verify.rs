@@ -11,6 +11,7 @@ use bvm::program::Program;
 use bvm::verify::{verify, verify_with_replay, DiagnosticKind, Severity};
 use hypercube::verify::{check_dim_sequence, check_pass};
 use proptest::prelude::*;
+use tt_analyze::schedule::{check_run, RunSchedule, RunViolationKind};
 use tt_core::instance::{TtInstance, TtInstanceBuilder};
 use tt_core::lint;
 use tt_core::solver::budget::Budget;
@@ -176,6 +177,48 @@ fn ccc_solver_schedules_verify_clean_across_the_corpus() {
     }
 }
 
+#[test]
+fn whole_run_schedules_verify_clean_across_the_corpus() {
+    // The run-level checker over the same corpus: every solver run's
+    // passes, placed back to back on the global clock, are free of
+    // cross-pass wire conflicts and precedence violations.
+    for (i, inst) in corpus().iter().enumerate() {
+        let driver = tt_parallel::ccc::CccDriver::new(inst);
+        let mut m = driver.fresh_machine();
+        m.start_trace();
+        driver.init(&mut m);
+        for level in 1..=inst.k() {
+            driver.run_level(&mut m, level);
+        }
+        let run = RunSchedule::sequential(m.take_trace());
+        let v = check_run(&run, None);
+        assert!(v.is_empty(), "instance {i}: {v:?}");
+    }
+}
+
+#[test]
+fn seeded_cross_pass_conflict_is_caught_only_by_whole_run() {
+    // Two passes, each individually Preparata–Vuillemin legal, placed
+    // at the same global start: per-pass checking sees nothing, the
+    // run-level analysis flags the write-write wire conflict.
+    fn nop(_: usize, _: usize, _: &mut u64, _: &mut u64) {}
+    let mut m = hypercube::CccMachine::new(2, |x| x as u64);
+    m.start_trace();
+    let d = m.dims();
+    m.ascend(0..d, nop);
+    m.ascend(0..d, nop);
+    let traces = m.take_trace();
+    for t in &traces {
+        assert!(check_pass(t).is_empty(), "per-pass checker must be blind");
+    }
+    let run = RunSchedule::with_starts(traces, &[0, 0]);
+    let v = check_run(&run, None);
+    assert!(
+        v.iter().any(|x| x.kind == RunViolationKind::WireConflict),
+        "{v:?}"
+    );
+}
+
 // ---------------------------------------------------------------------
 // The instance linter: infeasibility without solving.
 // ---------------------------------------------------------------------
@@ -193,6 +236,55 @@ fn uncoverable_object_is_flagged_without_solving() {
     assert_eq!(report.diagnostics[0].code, lint::LintCode::Infeasible);
     // The linter's verdict matches what a solve would discover.
     assert!(tt_core::solver::sequential::solve(&inst).cost.is_inf());
+}
+
+#[test]
+fn dominated_actions_are_flagged_and_removal_preserves_the_optimum() {
+    // Treatment 2 ({0,1} for 3) strictly dominates treatment 3 ({0}
+    // for 5): broader coverage at lower cost. The linter flags it, and
+    // the DP confirms the dominated action is dead weight — removing
+    // it leaves the optimum unchanged.
+    let with_dominated = TtInstanceBuilder::new(2)
+        .weights([1, 2])
+        .test(Subset::singleton(0), 1)
+        .treatment(Subset(0b11), 3)
+        .treatment(Subset::singleton(0), 5)
+        .build()
+        .unwrap();
+    let report = lint::lint(&with_dominated);
+    let dom: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == lint::LintCode::DominatedAction)
+        .collect();
+    assert_eq!(dom.len(), 1, "{report}");
+    assert!(dom[0].message.contains("action 2 is dominated by action 1"));
+
+    let without = TtInstanceBuilder::new(2)
+        .weights([1, 2])
+        .test(Subset::singleton(0), 1)
+        .treatment(Subset(0b11), 3)
+        .build()
+        .unwrap();
+    assert_eq!(
+        tt_core::solver::sequential::solve(&with_dominated).cost,
+        tt_core::solver::sequential::solve(&without).cost,
+        "removing a dominated action must not change the optimum"
+    );
+
+    // A trivial (universe-spanning) test is dominated by any cheaper
+    // informative one: its partition carries no information to refine.
+    let trivial = TtInstanceBuilder::new(2)
+        .weights([1, 1])
+        .test(Subset::singleton(1), 1)
+        .test(Subset::universe(2), 3)
+        .treatment(Subset::universe(2), 2)
+        .build()
+        .unwrap();
+    assert!(lint::lint(&trivial)
+        .diagnostics
+        .iter()
+        .any(|d| d.code == lint::LintCode::DominatedAction));
 }
 
 #[test]
