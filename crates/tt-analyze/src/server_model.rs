@@ -45,6 +45,32 @@
 //!   Because every action strictly consumes client work or advances a
 //!   monotone lifecycle flag, the state graph is acyclic — deadlock
 //!   freedom over the full graph therefore *is* drain termination.
+//!
+//! # The crash extension
+//!
+//! [`CrashModel`] extends the lifecycle with the journal-backed keyed
+//! path from `tt_serve::server`: every client carries an idempotency
+//! key, admission writes a journal `admitted` record, completion writes
+//! `completed` *before* the answer crosses the wire, and a
+//! nondeterministic SIGKILL ([`CrashStep::Crash`]) may fire between any
+//! two steps, wiping all in-memory state. On [`CrashStep::Restart`] the
+//! journal replays: unfinished keys re-enqueue for headless recovery,
+//! completed-but-unacknowledged keys become dedup hits for the client's
+//! retry (`recovered`), and a retrying client may steal its own pending
+//! key or wait on the in-flight recovery of it. Checked properties:
+//!
+//! * **no lost work**: every journal-unfinished key equals exactly one
+//!   client's in-flight request at every reachable state, and no key is
+//!   dropped at replay (`j_lost == 0` —
+//!   [`CrashConfig::inject_lost_recovery`] plants the replay bug that
+//!   drops one, and the checker returns its counterexample);
+//! * **exactly-once-equivalent dedup**: journal completions equal
+//!   server-settled completions (`j_completed == completed`), recovered
+//!   answers equal journal dedup hits (`done_rec == recovered`), and
+//!   the cumulative books balance across every crash/restart:
+//!   `accepted == completed + recovered`;
+//! * **crash/restart termination**: with crashes bounded, the only
+//!   action-free states have every client holding exactly one result.
 
 use crate::explore::{check, CheckOptions, CheckReport, Model};
 
@@ -508,6 +534,430 @@ pub fn sweep(
     out
 }
 
+// ---------------------------------------------------------------------
+// The crash/recover extension: the journal-backed keyed path.
+// ---------------------------------------------------------------------
+
+/// One configuration of the crash-extended model: a journal-enabled
+/// server, keyed clients that retry across restarts, and a bounded
+/// number of nondeterministic SIGKILLs.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashConfig {
+    /// Worker threads.
+    pub workers: u8,
+    /// Bounded admission-queue depth.
+    pub queue: u8,
+    /// Keyed clients, one solve each, retrying across crashes.
+    pub clients: u8,
+    /// SIGKILL/restart cycles the scheduler may inject.
+    pub max_crashes: u8,
+    /// Inject the lost-recovery bug: restart drops one unfinished key
+    /// from the replay instead of re-enqueueing it. The client's retry
+    /// still completes (re-admission), so only the journal bookkeeping
+    /// invariant sees the loss — exactly why it is model-checked.
+    pub inject_lost_recovery: bool,
+}
+
+impl CrashConfig {
+    /// A well-behaved configuration.
+    pub fn new(workers: u8, queue: u8, clients: u8, max_crashes: u8) -> CrashConfig {
+        CrashConfig {
+            workers,
+            queue,
+            clients,
+            max_crashes,
+            inject_lost_recovery: false,
+        }
+    }
+}
+
+/// One atomic step of the crash-extended lifecycle. Each variant
+/// corresponds to a code path in `tt_serve::server`'s keyed solve /
+/// journal recovery machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashStep {
+    /// A client's keyed solve is admitted: journal `admitted` is
+    /// fsync'd, the request enters the bounded queue.
+    Submit,
+    /// An idle worker picks the request up (journal `started`).
+    Start,
+    /// The solve finishes and journal `completed` is fsync'd — the
+    /// result is durable but the answer has not crossed the wire yet.
+    CompleteDurable,
+    /// The durable answer reaches the client (settled `completed`).
+    Ack,
+    /// SIGKILL: all in-memory state dies; the journal survives.
+    Crash,
+    /// The process restarts and replays the journal: unfinished keys
+    /// re-enqueue for recovery; completed keys enter the dedup index.
+    Restart,
+    /// A worker claims a replayed unfinished key headless.
+    RecoveryStart,
+    /// A headless recovery completes (journal `completed`, settled
+    /// `completed` — no client attached yet).
+    RecoveryComplete,
+    /// A recovery with its client waiting completes: the recovery
+    /// settles `completed`, the waiter's response settles `recovered`.
+    WaiterComplete,
+    /// A retrying client arrives while its key sits in the recovery
+    /// queue and steals it — claims and executes inline.
+    ResendSteal,
+    /// A retrying client arrives while its key is recovering headless
+    /// and parks on the key's condvar (occupying a second worker).
+    ResendWait,
+    /// A retrying client arrives after its key completed: dedup hit,
+    /// journaled answer returned as `recovered`.
+    ResendDedup,
+}
+
+/// The counting-abstracted state of the crash-extended model. Each
+/// client owns exactly one key, so client phase and key phase are
+/// tracked as one: every client is in exactly one of the phase
+/// counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct CrashState {
+    // -- clients/keys, by phase --
+    /// Not yet submitted (or re-admitting after the injected loss).
+    pub idle: u8,
+    /// Admitted (journal `admitted`), in the bounded queue.
+    pub queued: u8,
+    /// Executing with the client attached (fresh run or steal).
+    pub serving: u8,
+    /// Unfinished key awaiting recovery; client not yet resent.
+    pub ru_q: u8,
+    /// Unfinished key recovering headless; client not yet resent.
+    pub ru_r: u8,
+    /// Key recovering headless with the client's retry parked on the
+    /// key condvar (two workers occupied).
+    pub w_r: u8,
+    /// Result durable (journal `completed`) but unacknowledged.
+    pub ack: u8,
+    /// Key completed in the journal; client must resend to learn it.
+    pub jc: u8,
+    /// Client holds a fresh completed answer.
+    pub done_c: u8,
+    /// Client holds a journal-deduplicated `recovered` answer.
+    pub done_rec: u8,
+    // -- process lifecycle --
+    /// The server process is up.
+    pub up: bool,
+    /// SIGKILLs taken so far.
+    pub crashes: u8,
+    // -- journal ground truth (survives crashes) --
+    /// Keys admitted but not completed on disk.
+    pub j_unfinished: u8,
+    /// `completed` records on disk.
+    pub j_completed: u8,
+    /// Unfinished keys dropped at replay — only the injected
+    /// lost-recovery bug produces these; proving `j_lost == 0` is the
+    /// no-lost-work theorem.
+    pub j_lost: u8,
+    // -- cumulative server books (summed across process lives) --
+    /// Work units settled in (`accepted`).
+    pub accepted: u8,
+    /// Settled `completed`.
+    pub completed: u8,
+    /// Settled `recovered` (journal dedup hits).
+    pub recovered: u8,
+}
+
+impl CrashState {
+    /// Workers occupied: each executing key holds one, and a parked
+    /// waiter holds a second (its connection handler).
+    fn busy(&self) -> u8 {
+        self.serving + self.ru_r + 2 * self.w_r
+    }
+
+    /// Clients that do not yet hold a result.
+    fn unresolved(&self) -> u8 {
+        self.idle
+            + self.queued
+            + self.serving
+            + self.ru_q
+            + self.ru_r
+            + self.w_r
+            + self.ack
+            + self.jc
+    }
+}
+
+/// The crash-extended lifecycle model for one [`CrashConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct CrashModel {
+    /// The modelled configuration.
+    pub cfg: CrashConfig,
+}
+
+impl CrashModel {
+    /// Builds the model.
+    pub fn new(cfg: CrashConfig) -> CrashModel {
+        CrashModel { cfg }
+    }
+
+    /// Settlement of one durable completion: `accepted` in, `completed`
+    /// out, journal `completed` written — atomic with the state move in
+    /// both the model and `execute_keyed`.
+    fn settle_completed(s: &mut CrashState) {
+        s.accepted += 1;
+        s.completed += 1;
+        s.j_unfinished -= 1;
+        s.j_completed += 1;
+    }
+
+    /// Settlement of one dedup hit: the retry's response is a settled
+    /// `recovered` terminal; the journal is untouched.
+    fn settle_recovered(s: &mut CrashState) {
+        s.accepted += 1;
+        s.recovered += 1;
+        s.done_rec += 1;
+    }
+}
+
+impl Model for CrashModel {
+    type State = CrashState;
+    type Action = CrashStep;
+
+    fn initial(&self) -> CrashState {
+        CrashState {
+            idle: self.cfg.clients,
+            up: true,
+            ..CrashState::default()
+        }
+    }
+
+    fn actions(&self, s: &CrashState, out: &mut Vec<CrashStep>) {
+        if !s.up {
+            out.push(CrashStep::Restart);
+            return;
+        }
+        if s.idle > 0 && s.queued < self.cfg.queue {
+            out.push(CrashStep::Submit);
+        }
+        if s.queued > 0 && s.busy() < self.cfg.workers {
+            out.push(CrashStep::Start);
+        }
+        if s.serving > 0 {
+            out.push(CrashStep::CompleteDurable);
+        }
+        if s.ack > 0 {
+            out.push(CrashStep::Ack);
+        }
+        if s.ru_q > 0 && s.busy() < self.cfg.workers {
+            out.push(CrashStep::RecoveryStart);
+            out.push(CrashStep::ResendSteal);
+        }
+        if s.ru_r > 0 {
+            out.push(CrashStep::RecoveryComplete);
+            if s.busy() < self.cfg.workers {
+                out.push(CrashStep::ResendWait);
+            }
+        }
+        if s.w_r > 0 {
+            out.push(CrashStep::WaiterComplete);
+        }
+        if s.jc > 0 {
+            out.push(CrashStep::ResendDedup);
+        }
+        if s.crashes < self.cfg.max_crashes && s.unresolved() > 0 {
+            out.push(CrashStep::Crash);
+        }
+    }
+
+    fn apply(&self, s: &CrashState, a: &CrashStep) -> CrashState {
+        let mut n = *s;
+        match *a {
+            CrashStep::Submit => {
+                n.idle -= 1;
+                n.queued += 1;
+                n.j_unfinished += 1;
+            }
+            CrashStep::Start => {
+                n.queued -= 1;
+                n.serving += 1;
+            }
+            CrashStep::CompleteDurable => {
+                n.serving -= 1;
+                n.ack += 1;
+                Self::settle_completed(&mut n);
+            }
+            CrashStep::Ack => {
+                n.ack -= 1;
+                n.done_c += 1;
+            }
+            CrashStep::Crash => {
+                n.crashes += 1;
+                n.up = false;
+                // In-memory state dies. The journal's unfinished keys
+                // (queued, executing, recovering, waited-on) all become
+                // recovery work; durable-but-unacked results become
+                // dedup hits for the retries. Nothing else survives.
+                n.ru_q += n.queued + n.serving + n.ru_r + n.w_r;
+                n.queued = 0;
+                n.serving = 0;
+                n.ru_r = 0;
+                n.w_r = 0;
+                n.jc += n.ack;
+                n.ack = 0;
+            }
+            CrashStep::Restart => {
+                n.up = true;
+                if self.cfg.inject_lost_recovery && n.ru_q > 0 {
+                    // The planted replay bug: one unfinished key never
+                    // reaches the recovery queue. Its client will retry
+                    // and re-admit, so the run still terminates — only
+                    // the journal ledger shows the loss.
+                    n.ru_q -= 1;
+                    n.idle += 1;
+                    n.j_unfinished -= 1;
+                    n.j_lost += 1;
+                }
+            }
+            CrashStep::RecoveryStart => {
+                n.ru_q -= 1;
+                n.ru_r += 1;
+            }
+            CrashStep::RecoveryComplete => {
+                n.ru_r -= 1;
+                n.jc += 1;
+                Self::settle_completed(&mut n);
+            }
+            CrashStep::WaiterComplete => {
+                n.w_r -= 1;
+                Self::settle_completed(&mut n);
+                Self::settle_recovered(&mut n);
+            }
+            CrashStep::ResendSteal => {
+                n.ru_q -= 1;
+                n.serving += 1;
+            }
+            CrashStep::ResendWait => {
+                n.ru_r -= 1;
+                n.w_r += 1;
+            }
+            CrashStep::ResendDedup => {
+                n.jc -= 1;
+                Self::settle_recovered(&mut n);
+            }
+        }
+        n
+    }
+
+    fn invariant(&self, s: &CrashState) -> Result<(), String> {
+        // THE no-lost-work theorem: replay never drops an unfinished
+        // key. The injected bug violates exactly this.
+        if s.j_lost != 0 {
+            return Err(format!(
+                "lost recovery: {} unfinished key(s) dropped at replay",
+                s.j_lost
+            ));
+        }
+        // Client conservation: every client is in exactly one phase.
+        if s.unresolved() + s.done_c + s.done_rec != self.cfg.clients {
+            return Err(format!("client leak: {s:?}"));
+        }
+        // Journal ground truth matches the in-flight population: every
+        // admitted-not-completed key is exactly one client's request.
+        if s.j_unfinished != s.queued + s.serving + s.ru_q + s.ru_r + s.w_r {
+            return Err(format!(
+                "journal drift: {} unfinished on disk, {} in flight: {s:?}",
+                s.j_unfinished,
+                s.queued + s.serving + s.ru_q + s.ru_r + s.w_r
+            ));
+        }
+        // Exactly-once-equivalent dedup: completions on disk equal
+        // settled completions, and every `recovered` answer a client
+        // holds was a journal dedup hit.
+        if s.j_completed != s.completed {
+            return Err(format!(
+                "completion drift: {} journaled != {} settled",
+                s.j_completed, s.completed
+            ));
+        }
+        if s.done_rec != s.recovered {
+            return Err(format!(
+                "recovered drift: clients hold {}, books say {}",
+                s.done_rec, s.recovered
+            ));
+        }
+        // Each completion is held by exactly one phase downstream of it.
+        if s.completed != s.done_c + s.ack + s.jc + s.done_rec {
+            return Err(format!("completed units unaccounted: {s:?}"));
+        }
+        // The cumulative books balance across every crash/restart.
+        if s.accepted != s.completed + s.recovered {
+            return Err(format!(
+                "accounting imbalance: accepted {} != {} + {}",
+                s.accepted, s.completed, s.recovered
+            ));
+        }
+        // Structural bounds.
+        if s.queued > self.cfg.queue {
+            return Err(format!(
+                "queue overflow: {} > depth {}",
+                s.queued, self.cfg.queue
+            ));
+        }
+        if s.busy() > self.cfg.workers {
+            return Err(format!(
+                "worker oversubscription: {} > {}",
+                s.busy(),
+                self.cfg.workers
+            ));
+        }
+        if s.crashes > self.cfg.max_crashes {
+            return Err(format!("crash budget exceeded: {s:?}"));
+        }
+        Ok(())
+    }
+
+    fn accept_terminal(&self, s: &CrashState) -> Result<(), String> {
+        if !s.up {
+            return Err(format!("wedged with the server down: {s:?}"));
+        }
+        if s.unresolved() > 0 {
+            return Err(format!(
+                "wedged with {} client(s) holding no result: {s:?}",
+                s.unresolved()
+            ));
+        }
+        if s.j_unfinished != 0 {
+            return Err(format!(
+                "journal left {} unfinished key(s) at quiescence: {s:?}",
+                s.j_unfinished
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Checks one crash configuration exhaustively with default bounds.
+pub fn check_crash(cfg: CrashConfig) -> CheckReport<CrashStep> {
+    check(&CrashModel::new(cfg), &CheckOptions::default())
+}
+
+/// Sweeps every crash configuration up to `max_workers × max_queue ×
+/// max_clients × max_crashes` and returns the per-configuration
+/// reports with their configs.
+pub fn sweep_crash(
+    max_workers: u8,
+    max_queue: u8,
+    max_clients: u8,
+    max_crashes: u8,
+) -> Vec<(CrashConfig, CheckReport<CrashStep>)> {
+    let mut out = Vec::new();
+    for w in 1..=max_workers {
+        for q in 1..=max_queue {
+            for c in 1..=max_clients {
+                for x in 1..=max_crashes {
+                    let cfg = CrashConfig::new(w, q, c, x);
+                    out.push((cfg, check_crash(cfg)));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +1035,65 @@ mod tests {
             inject_lost_shed: false,
         };
         assert!(check_server(cfg).proves());
+    }
+
+    #[test]
+    fn crash_lattice_proves_no_lost_work_and_dedup() {
+        // The full small-configuration lattice: ≤2 workers × ≤2 queue
+        // × ≤3 clients × ≤2 crashes, every interleaving of kill points
+        // and retry arrivals.
+        for (cfg, report) in sweep_crash(2, 2, 3, 2) {
+            assert!(
+                report.proves(),
+                "crash cfg {cfg:?} not proved: {:?}",
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn crash_model_reaches_both_dedup_paths() {
+        use crate::explore::reachable_terminals;
+        let cfg = CrashConfig::new(2, 2, 2, 1);
+        let terms = reachable_terminals(&CrashModel::new(cfg), &CheckOptions::default());
+        // Some schedule recovers at least one answer from the journal…
+        assert!(
+            terms.iter().any(|t| t.done_rec > 0),
+            "no schedule exercised journal dedup"
+        );
+        // …and some schedule never crashes at all.
+        assert!(
+            terms
+                .iter()
+                .any(|t| t.done_c == cfg.clients && t.crashes == 0),
+            "crash-free completion unreachable"
+        );
+        // Every terminal hands each client exactly one result.
+        assert!(terms
+            .iter()
+            .all(|t| t.done_c + t.done_rec == cfg.clients && t.j_unfinished == 0));
+    }
+
+    #[test]
+    fn injected_lost_recovery_yields_replayable_counterexample() {
+        let cfg = CrashConfig {
+            workers: 1,
+            queue: 1,
+            clients: 2,
+            max_crashes: 1,
+            inject_lost_recovery: true,
+        };
+        let model = CrashModel::new(cfg);
+        let report = check_crash(cfg);
+        assert!(!report.is_clean(), "bug must be found");
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ViolationKind::Invariant);
+        assert!(v.message.contains("lost recovery"), "{}", v.message);
+        assert!(v.trace.contains(&CrashStep::Crash));
+        assert!(v.trace.contains(&CrashStep::Restart));
+        // The counterexample replays to a state exhibiting the loss.
+        let states = replay(&model, &v.trace).expect("counterexample replays");
+        assert_eq!(states.last().unwrap().j_lost, 1);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   error record and the batch continues. The summary is
 //!   machine-readable (JSON lines), naming for every instance the
 //!   engine that answered, the failover and retry counts, and the
-//!   outcome.
+//!   outcome. [`BatchSink`] mirrors the stream into crash-safe files:
+//!   records fsync'd at every instance boundary, the summary trailer
+//!   written via temp file + atomic rename.
 
 use crate::hyper::TtPe;
 use crate::resilient::{
@@ -856,6 +858,79 @@ pub fn run_batch(manifest: &str, emit: &mut dyn FnMut(&BatchRecord)) -> BatchSum
     summary
 }
 
+// ---------------------------------------------------------------------
+// Crash-safe batch sinks.
+// ---------------------------------------------------------------------
+
+/// Crash-safe file sinks for a batch run.
+///
+/// Stdout is fine for a pipeline, but a batch that feeds downstream
+/// tooling from files has to survive a kill mid-run: the records file
+/// is fsync'd at every instance boundary, so a crash loses at most the
+/// record being written — every earlier record is durable and untorn —
+/// and the summary trailer goes through temp file + atomic rename
+/// (the same discipline as `Checkpoint::save` and the serve journal's
+/// segment rotation), so readers either see a complete summary or none,
+/// never a torn one.
+pub struct BatchSink {
+    records: Option<(std::fs::File, std::path::PathBuf)>,
+    summary: Option<std::path::PathBuf>,
+}
+
+impl BatchSink {
+    /// Opens the sinks. `None` for either path disables that sink; the
+    /// records file is truncated (a sink names one run, not a log).
+    pub fn open(
+        records: Option<&std::path::Path>,
+        summary: Option<&std::path::Path>,
+    ) -> std::io::Result<BatchSink> {
+        let records = match records {
+            Some(p) => Some((std::fs::File::create(p)?, p.to_path_buf())),
+            None => None,
+        };
+        Ok(BatchSink {
+            records,
+            summary: summary.map(|p| p.to_path_buf()),
+        })
+    }
+
+    /// Appends one record line and fsyncs: once this returns, the
+    /// record survives a crash of the batch process.
+    pub fn record(&mut self, rec: &BatchRecord) -> std::io::Result<()> {
+        if let Some((f, _)) = &mut self.records {
+            use std::io::Write as _;
+            let mut line = rec.to_json();
+            line.push('\n');
+            f.write_all(line.as_bytes())?;
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the run: a final fsync on the records file, then the
+    /// summary via temp file + rename + directory fsync.
+    pub fn finish(self, summary: &BatchSummary) -> std::io::Result<()> {
+        if let Some((f, _)) = &self.records {
+            f.sync_all()?;
+        }
+        if let Some(path) = &self.summary {
+            let tmp = path.with_extension("tmp");
+            {
+                use std::io::Write as _;
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(summary.to_json().as_bytes())?;
+                f.write_all(b"\n")?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, path)?;
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::File::open(dir)?.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1143,6 +1218,41 @@ mod tests {
         );
         assert_eq!(summary.records[2].label, "b");
         assert_eq!(summary.ok(), 2);
+    }
+
+    #[test]
+    fn batch_sinks_write_every_record_and_an_atomic_summary() {
+        let dir = std::env::temp_dir().join(format!("tt-batch-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let records_path = dir.join("records.jsonl");
+        let summary_path = dir.join("summary.json");
+        let mut sink = BatchSink::open(Some(&records_path), Some(&summary_path)).unwrap();
+        let manifest = "\
+            demo:random:4:1 solver=seq\n\
+            demo:nosuch:4:1\n\
+            demo:lab:4:2 solver=seq\n";
+        let summary = run_batch(manifest, &mut |rec| sink.record(rec).unwrap());
+        sink.finish(&summary).unwrap();
+
+        // One durable line per record, byte-identical to the stream.
+        let text = std::fs::read_to_string(&records_path).unwrap();
+        assert_eq!(text.lines().count(), summary.records.len());
+        for (line, rec) in text.lines().zip(&summary.records) {
+            assert_eq!(line, rec.to_json());
+        }
+        // The summary landed whole, and the temp file did not survive
+        // the rename.
+        let trailer = std::fs::read_to_string(&summary_path).unwrap();
+        assert_eq!(trailer.trim_end(), summary.to_json());
+        assert!(
+            !summary_path.with_extension("tmp").exists(),
+            "summary temp file left behind"
+        );
+        // Disabled sinks are inert.
+        let mut none = BatchSink::open(None, None).unwrap();
+        none.record(&summary.records[0]).unwrap();
+        none.finish(&summary).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -194,6 +194,7 @@ fn client_loop(
             source: Source::Demo(spec),
             solver: None,
             timeout_ms: opts.timeout_ms,
+            key: None,
         });
         tally.sent.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();

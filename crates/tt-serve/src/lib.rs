@@ -15,26 +15,36 @@
 //! * [`proto`] — length-prefixed JSON frames ([`proto::MAX_FRAME`]
 //!   validated before allocation) and the [`proto::Request`] /
 //!   [`proto::Response`] shapes.
+//! * [`journal`] — the checksummed, fsync'd write-ahead solve journal:
+//!   `admitted`/`started`/`checkpoint`/`completed` records keyed by
+//!   client idempotency keys, torn-tail-tolerant replay, atomic
+//!   segment rotation.
 //! * [`server`] — the accept thread + bounded queue + worker pool, with
 //!   admission control, per-request budgets wired to the drain token,
-//!   `catch_unwind` containment, and the
-//!   `accepted == completed + degraded + shed + faulted` accounting
-//!   invariant.
+//!   `catch_unwind` containment, journal-backed exactly-once-equivalent
+//!   recovery of keyed solves, and the `accepted == completed +
+//!   degraded + shed + faulted + recovered` accounting invariant.
 //! * [`client`] — a blocking one-connection client.
 //! * [`fault`] — the adversarial peers (drops, stalls, truncations,
 //!   garbage, hostile length claims) the server must absorb.
 //! * [`bench`](mod@bench) — closed/open-loop load generation with jittered-backoff
 //!   retry on typed sheds, latency percentiles, and a fault barrage.
+//! * [`chaos`] — the process-level kill loop: SIGKILL the server at
+//!   jittered points under keyed retrying load, restart it, and assert
+//!   the exactly-once-equivalent invariant against the journal and a
+//!   cold reference solve.
 //!
 //! The `ttserve` binary at the workspace root wires these to a CLI:
-//! `serve`, `bench`, `scrape`, `healthz`, `drain`.
+//! `serve`, `bench` (`--chaos`), `scrape`, `healthz`, `drain`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 pub mod client;
 pub mod fault;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;

@@ -167,6 +167,11 @@ pub struct SolveParams {
     pub solver: Option<String>,
     /// Wall-clock budget in milliseconds (server clamps to its cap).
     pub timeout_ms: Option<u64>,
+    /// Client-supplied idempotency key. On a journal-enabled server a
+    /// keyed solve is journaled before execution and a retry of the
+    /// same key returns the journaled result (`recovered: true`)
+    /// instead of executing twice.
+    pub key: Option<String>,
 }
 
 /// One decoded request.
@@ -273,6 +278,7 @@ impl Request {
                     source,
                     solver: opt_str(&v, "solver")?,
                     timeout_ms: opt_u64(&v, "timeout_ms")?,
+                    key: opt_str(&v, "key")?,
                 }))
             }
             other => Err(RequestError::UnknownOp(other.to_string())),
@@ -308,6 +314,10 @@ impl Request {
                 }
                 if let Some(ms) = p.timeout_ms {
                     let _ = write!(s, ",\"timeout_ms\":{ms}");
+                }
+                if let Some(key) = &p.key {
+                    s.push_str(",\"key\":");
+                    s.push_str(&tt_obs::json::string(key));
                 }
                 s.push('}');
                 s
@@ -384,6 +394,10 @@ pub struct SolveResult {
     pub lower: Option<u64>,
     /// Degraded only: why the solve stopped early.
     pub reason: Option<String>,
+    /// This answer was replayed from the write-ahead journal (the
+    /// request's idempotency key had already completed) rather than
+    /// executed fresh.
+    pub recovered: bool,
     /// Engines abandoned by supervision before the answer.
     pub failovers: u64,
     /// Retries across the chain.
@@ -455,6 +469,9 @@ impl Response {
                         s.push_str(&tt_obs::json::string(reason));
                     }
                 }
+                if r.recovered {
+                    s.push_str(",\"recovered\":true");
+                }
                 let _ = write!(
                     s,
                     ",\"failovers\":{},\"retries\":{},\"wall_us\":{}}}",
@@ -474,6 +491,7 @@ impl Response {
     /// one the `tt-analyze` lifecycle model reaches.
     pub fn terminal_class(&self) -> Option<&'static str> {
         match self {
+            Response::Solved(r) if r.recovered => Some("recovered"),
             Response::Solved(r) if r.complete => Some("completed"),
             Response::Solved(_) => Some("degraded"),
             Response::Error {
@@ -548,6 +566,7 @@ impl Response {
                 upper: field_u64("upper")?,
                 lower: field_u64("lower")?,
                 reason: v.get("reason").and_then(Json::as_str).map(str::to_string),
+                recovered: v.get("recovered").and_then(Json::as_bool).unwrap_or(false),
                 failovers: field_u64("failovers")?.unwrap_or(0),
                 retries: field_u64("retries")?.unwrap_or(0),
                 wall_us: field_u64("wall_us")?.unwrap_or(0),
@@ -627,12 +646,14 @@ mod tests {
                 source: Source::Demo("random:8:1".to_string()),
                 solver: Some("seq".to_string()),
                 timeout_ms: Some(250),
+                key: Some("client-7/seq-3".to_string()),
             }),
             Request::Solve(SolveParams {
                 id: None,
                 source: Source::Instance("tt 1\nobjects 2\n".to_string()),
                 solver: None,
                 timeout_ms: None,
+                key: None,
             }),
         ];
         for req in reqs {
@@ -686,6 +707,7 @@ mod tests {
                 upper: None,
                 lower: None,
                 reason: None,
+                recovered: false,
                 failovers: 0,
                 retries: 1,
                 wall_us: 1234,
@@ -698,14 +720,56 @@ mod tests {
                 upper: Some(90),
                 lower: Some(17),
                 reason: Some("deadline exceeded".to_string()),
+                recovered: false,
                 failovers: 2,
                 retries: 3,
                 wall_us: 77,
+            }),
+            Response::Solved(SolveResult {
+                id: Some("c0-4".to_string()),
+                engine: "seq".to_string(),
+                complete: true,
+                cost: Some(11),
+                upper: None,
+                lower: None,
+                reason: None,
+                recovered: true,
+                failovers: 0,
+                retries: 0,
+                wall_us: 9,
             }),
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()), Ok(resp));
         }
+    }
+
+    #[test]
+    fn recovered_results_have_their_own_terminal_class() {
+        let mut r = SolveResult {
+            id: None,
+            engine: "seq".to_string(),
+            complete: true,
+            cost: Some(5),
+            upper: None,
+            lower: None,
+            reason: None,
+            recovered: true,
+            failovers: 0,
+            retries: 0,
+            wall_us: 1,
+        };
+        assert_eq!(
+            Response::Solved(r.clone()).terminal_class(),
+            Some("recovered")
+        );
+        r.recovered = false;
+        assert_eq!(
+            Response::Solved(r.clone()).terminal_class(),
+            Some("completed")
+        );
+        r.complete = false;
+        assert_eq!(Response::Solved(r).terminal_class(), Some("degraded"));
     }
 
     #[test]

@@ -26,25 +26,42 @@
 //!   the window closes. [`ServerHandle::wait`] fires the cancel token
 //!   at the window boundary and reports whether shutdown was clean.
 //!
+//! * **Durability.** With [`ServerOptions::journal_dir`] set, every
+//!   solve carrying an idempotency key is recorded in the write-ahead
+//!   [`journal`] before execution and its result is
+//!   journaled before the answer goes on the wire. On startup the
+//!   server replays the journal: completed keys populate the dedup
+//!   index (a retry of the same key gets the journaled answer back
+//!   with `recovered: true`), unfinished keys are re-enqueued as
+//!   recovery jobs that resume from their newest level-boundary
+//!   checkpoint. A SIGKILL therefore costs wall-clock, never answers.
+//!
 //! Accounting invariant, checked by the integration tests and the CI
-//! smoke job: `accepted == completed + degraded + shed + faulted`.
-//! Every unit of work that enters the system leaves through exactly
-//! one of those four doors.
+//! smoke job: `accepted == completed + degraded + shed + faulted +
+//! recovered`. Every unit of work that enters the system leaves
+//! through exactly one of those five doors, and the identity holds
+//! *per process life* — a crashed in-flight solve settled nothing, so
+//! its re-execution (settled in the next life) and its client's dedup
+//! retry (settled as `recovered`) keep every life balanced.
 
+use crate::journal::{self, Journal, JournalEntry};
 use crate::proto::{
     self, read_frame, write_frame, ErrorKind, FrameError, Request, Response, SolveParams,
     SolveResult, Source,
 };
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tt_core::instance::TtInstance;
+use tt_core::solver::checkpoint::Checkpoint;
 use tt_core::solver::{supervise, Budget, CancelToken, SolveOutcome, Solver, SuperviseOptions};
 use tt_parallel::orchestrate;
 
@@ -67,6 +84,12 @@ pub struct ServerOptions {
     /// How long a drain lets queued/in-flight work finish before the
     /// cancel token fires.
     pub drain_window: Duration,
+    /// Directory of the write-ahead solve journal. `None` disables
+    /// durability (keyed requests are served but not journaled).
+    pub journal_dir: Option<PathBuf>,
+    /// Rotate (compact) the active journal segment once it exceeds
+    /// this many bytes.
+    pub journal_rotate_bytes: u64,
 }
 
 impl Default for ServerOptions {
@@ -81,6 +104,8 @@ impl Default for ServerOptions {
             default_deadline: Duration::from_secs(10),
             max_deadline: Duration::from_secs(60),
             drain_window: Duration::from_secs(5),
+            journal_dir: None,
+            journal_rotate_bytes: 1 << 20,
         }
     }
 }
@@ -96,6 +121,7 @@ struct Stats {
     degraded: AtomicU64,
     shed: AtomicU64,
     faulted: AtomicU64,
+    recovered: AtomicU64,
     panics: AtomicU64,
     queue_len: AtomicU64,
     queue_peak: AtomicU64,
@@ -119,6 +145,9 @@ pub struct StatsSnapshot {
     /// Work lost to peer faults (bad frames, stalls, disconnects) or
     /// engine panics.
     pub faulted: u64,
+    /// Keyed retries answered from the write-ahead journal instead of
+    /// executed again.
+    pub recovered: u64,
     /// Solve panics contained by `catch_unwind` (a subset of
     /// `faulted`).
     pub panics: u64,
@@ -136,8 +165,37 @@ impl StatsSnapshot {
     /// The conservation law: every accepted unit left through exactly
     /// one terminal counter.
     pub fn balanced(&self) -> bool {
-        self.accepted == self.completed + self.degraded + self.shed + self.faulted
+        self.accepted == self.completed + self.degraded + self.shed + self.faulted + self.recovered
     }
+}
+
+/// In-memory state of one idempotency key, mirrored from the journal.
+enum KeyState {
+    /// Admitted (journaled) but not yet completed. `executing` is true
+    /// while some worker owns the solve; false means the key sits in
+    /// the recovery queue and an arriving retry may claim it.
+    InFlight {
+        request: String,
+        started: bool,
+        executing: bool,
+        checkpoint: Option<String>,
+    },
+    /// Completed: the journaled response, replayed verbatim to retries.
+    Done { response: String },
+}
+
+/// The durability layer: the journal plus the key index it mirrors.
+///
+/// Lock order: `index` before `journal`; the condvar pairs with
+/// `index`. Recovery keys move `pending` → executing → `Done`; an
+/// arriving retry either claims a pending key (executing it inline,
+/// warm from its checkpoint) or waits on the condvar for the owner.
+struct Durability {
+    journal: Mutex<Journal>,
+    index: Mutex<HashMap<String, KeyState>>,
+    done_cv: Condvar,
+    /// Keys replayed as unfinished, awaiting a worker (or a retry).
+    pending: Mutex<VecDeque<String>>,
 }
 
 struct Inner {
@@ -147,6 +205,7 @@ struct Inner {
     drain_cancel: CancelToken,
     /// Set when drain begins: the instant the degrade window closes.
     drain_deadline: Mutex<Option<Instant>>,
+    durability: Option<Durability>,
 }
 
 impl Inner {
@@ -176,6 +235,7 @@ impl Inner {
             degraded: s.degraded.load(Ordering::SeqCst),
             shed: s.shed.load(Ordering::SeqCst),
             faulted: s.faulted.load(Ordering::SeqCst),
+            recovered: s.recovered.load(Ordering::SeqCst),
             panics: s.panics.load(Ordering::SeqCst),
             queue_len: s.queue_len.load(Ordering::SeqCst),
             queue_peak: s.queue_peak.load(Ordering::SeqCst),
@@ -196,6 +256,7 @@ enum Terminal {
     Degraded,
     Shed,
     Faulted,
+    Recovered,
 }
 
 fn settle(inner: &Inner, t: &Terminal) {
@@ -206,6 +267,7 @@ fn settle(inner: &Inner, t: &Terminal) {
         Terminal::Degraded => (&inner.stats.degraded, "ttserve_degraded_total"),
         Terminal::Shed => (&inner.stats.shed, "ttserve_shed_total"),
         Terminal::Faulted => (&inner.stats.faulted, "ttserve_faulted_total"),
+        Terminal::Recovered => (&inner.stats.recovered, "ttserve_recovered_total"),
     };
     counter.fetch_add(1, Ordering::SeqCst);
     tt_obs::metrics::counter(name).inc();
@@ -234,6 +296,47 @@ pub struct DrainOutcome {
 /// Builds and starts a server on `addr` (use port 0 for an ephemeral
 /// port; read it back from [`ServerHandle::addr`]).
 pub fn start(addr: &str, opts: ServerOptions) -> io::Result<ServerHandle> {
+    // Replay the journal *before* binding: a server that cannot trust
+    // its durable state must not take traffic. Recovery failures carry
+    // `InvalidData` so the binary can map them to their own exit code.
+    let durability = match &opts.journal_dir {
+        None => None,
+        Some(dir) => {
+            let (journal, replay) = Journal::open(dir).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("journal recovery: {e}"))
+            })?;
+            let mut index = HashMap::new();
+            let mut pending = VecDeque::new();
+            for (key, rec) in replay.completed {
+                index.insert(
+                    key,
+                    KeyState::Done {
+                        response: rec.response,
+                    },
+                );
+            }
+            for u in replay.unfinished {
+                pending.push_back(u.key.clone());
+                index.insert(
+                    u.key,
+                    KeyState::InFlight {
+                        request: u.request,
+                        started: u.started,
+                        executing: false,
+                        checkpoint: u.checkpoint,
+                    },
+                );
+            }
+            tt_obs::metrics::counter("ttserve_journal_requeued_total")
+                .add(u64::try_from(pending.len()).unwrap_or(u64::MAX));
+            Some(Durability {
+                journal: Mutex::new(journal),
+                index: Mutex::new(index),
+                done_cv: Condvar::new(),
+                pending: Mutex::new(pending),
+            })
+        }
+    };
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -243,6 +346,7 @@ pub fn start(addr: &str, opts: ServerOptions) -> io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         drain_cancel: CancelToken::new(),
         drain_deadline: Mutex::new(None),
+        durability,
     });
     let workers = opts.workers.max(1);
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.queue_depth.max(1));
@@ -457,6 +561,25 @@ fn shed_connection(inner: &Inner, mut stream: TcpStream) {
 fn worker_loop(inner: &Inner, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
     inner.stats.live_workers.fetch_add(1, Ordering::SeqCst);
     loop {
+        // Replayed recovery jobs take priority over new connections:
+        // they are the oldest admitted work in the system.
+        if let Some(d) = &inner.durability {
+            if !inner.drain_cancel.is_cancelled() {
+                // Two statements on purpose: the pending guard must drop
+                // before `claim_pending` takes the index lock (the keyed
+                // path acquires them in index → pending order).
+                let popped = lock(&d.pending).pop_front();
+                let claimed = popped.and_then(|key| {
+                    claim_pending(d, &key).map(|(request, checkpoint)| (key, request, checkpoint))
+                });
+                if let Some((key, request, checkpoint)) = claimed {
+                    inner.stats.in_flight.fetch_add(1, Ordering::SeqCst);
+                    run_recovery(inner, d, &key, &request, checkpoint);
+                    inner.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+            }
+        }
         // Hold the receiver lock only for the dequeue itself.
         let next = {
             let guard = lock(rx);
@@ -558,7 +681,13 @@ fn serve_request(inner: &Inner, stream: &mut TcpStream, payload: &str) -> bool {
             inner.begin_drain();
             (Response::Draining, Terminal::Completed)
         }
-        Request::Solve(params) => run_solve(inner, params),
+        Request::Solve(params) => {
+            if inner.durability.is_some() && params.key.is_some() {
+                run_keyed_solve(inner, params)
+            } else {
+                run_solve(inner, params)
+            }
+        }
     };
     let wrote = write_frame(stream, &response.encode());
     // Exactly one terminal per accepted unit: a response we failed to
@@ -615,19 +744,41 @@ fn solve_deadline(inner: &Inner, params: &SolveParams) -> Duration {
     deadline
 }
 
-fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
-    if let Some(remaining) = inner.drain_remaining() {
-        if remaining.is_zero() {
-            return (
-                Response::Error {
-                    kind: ErrorKind::Draining,
-                    message: "server draining; window closed".to_string(),
-                },
-                Terminal::Shed,
-            );
-        }
+/// A drain whose window has closed sheds instead of solving.
+fn drain_shed(inner: &Inner) -> Option<(Response, Terminal)> {
+    let remaining = inner.drain_remaining()?;
+    if !remaining.is_zero() {
+        return None;
     }
-    let deadline = solve_deadline(inner, &params);
+    Some((
+        Response::Error {
+            kind: ErrorKind::Draining,
+            message: "server draining; window closed".to_string(),
+        },
+        Terminal::Shed,
+    ))
+}
+
+fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
+    if let Some(shed) = drain_shed(inner) {
+        return shed;
+    }
+    execute_solve(inner, &params, None, &mut |_| {})
+}
+
+/// The solve execution core shared by the plain, keyed, and recovery
+/// paths: budget/deadline policy, panic containment, anytime
+/// degradation. `resume` warm-starts the chain from a journaled
+/// checkpoint; `on_ckpt` observes every level-boundary checkpoint any
+/// engine emits (the journaling hook). Neither settles — the caller
+/// owns the terminal.
+fn execute_solve(
+    inner: &Inner,
+    params: &SolveParams,
+    resume: Option<Checkpoint>,
+    on_ckpt: &mut dyn FnMut(&Checkpoint),
+) -> (Response, Terminal) {
+    let deadline = solve_deadline(inner, params);
     let budget = Budget {
         deadline: Some(deadline),
         cancel: Some(inner.drain_cancel.clone()),
@@ -635,10 +786,14 @@ fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
     };
     let id = params.id.clone();
     let solved = catch_unwind(AssertUnwindSafe(|| -> Result<SolveResult, String> {
-        let inst = load_instance(&params)?;
-        let chain = build_chain(&params, &inst)?;
+        let inst = load_instance(params)?;
+        let chain = build_chain(params, &inst)?;
+        let opts = SuperviseOptions {
+            resume,
+            ..SuperviseOptions::default()
+        };
         let timer = tt_obs::metrics::histogram("ttserve_solve_nanos").time();
-        let sup = supervise::supervise(&inst, &chain, &budget, &SuperviseOptions::default());
+        let sup = supervise::supervise_with_sink(&inst, &chain, &budget, &opts, on_ckpt);
         drop(timer);
         let report = &sup.report;
         let cost = report.cost.is_finite().then_some(report.cost.0);
@@ -663,6 +818,7 @@ fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
             upper,
             lower,
             reason,
+            recovered: false,
             failovers: u64::from(sup.failovers),
             retries: u64::from(sup.retries),
             wall_us: u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),
@@ -703,4 +859,295 @@ fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
             )
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// The durable (keyed) solve path.
+// ---------------------------------------------------------------------
+
+/// Marks a replayed key as executing and hands back what the executor
+/// needs; `None` if the key is gone or someone else claimed it first.
+fn claim_pending(d: &Durability, key: &str) -> Option<(String, Option<String>)> {
+    let mut index = lock(&d.index);
+    match index.get_mut(key) {
+        Some(KeyState::InFlight {
+            request,
+            executing,
+            checkpoint,
+            ..
+        }) if !*executing => {
+            *executing = true;
+            Some((request.clone(), checkpoint.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Drops a key whose execution failed before a durable result existed,
+/// and wakes waiters so they can retry fresh.
+fn abandon_key(d: &Durability, key: &str) {
+    lock(&d.index).remove(key);
+    d.done_cv.notify_all();
+}
+
+/// Builds the `recovered: true` reply for a dedup hit from the
+/// journaled response payload.
+fn recovered_response(id: Option<&str>, stored: &str) -> (Response, Terminal) {
+    match Response::decode(stored) {
+        Ok(Response::Solved(mut r)) => {
+            r.recovered = true;
+            if let Some(id) = id {
+                r.id = Some(id.to_string());
+            }
+            (Response::Solved(r), Terminal::Recovered)
+        }
+        _ => (
+            Response::Error {
+                kind: ErrorKind::Internal,
+                message: "journaled result is not a solve response".to_string(),
+            },
+            Terminal::Faulted,
+        ),
+    }
+}
+
+/// A solve carrying an idempotency key on a journal-enabled server.
+///
+/// * Key already completed → the journaled response, `recovered: true`.
+/// * Key replayed-but-unclaimed → this request claims it and executes,
+///   warm from the journaled checkpoint.
+/// * Key executing elsewhere → wait (bounded by the request deadline)
+///   for the owner's result.
+/// * Key unknown → journal `admitted`, execute, journal `completed`
+///   *before* answering — the exactly-once-equivalent contract.
+fn run_keyed_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
+    let d = inner
+        .durability
+        .as_ref()
+        .expect("keyed path requires a journal");
+    let key = params.key.clone().expect("keyed path requires a key");
+    if let Some(shed) = drain_shed(inner) {
+        return shed;
+    }
+    let deadline = Instant::now() + solve_deadline(inner, &params);
+    let mut index = lock(&d.index);
+    loop {
+        match index.get(&key) {
+            Some(KeyState::Done { response, .. }) => {
+                return recovered_response(params.id.as_deref(), response);
+            }
+            Some(KeyState::InFlight { executing, .. }) => {
+                if !*executing {
+                    // The key sits in the recovery queue: claim it and
+                    // execute inline rather than waiting for a worker.
+                    let mut pending = lock(&d.pending);
+                    if let Some(pos) = pending.iter().position(|k| k == &key) {
+                        pending.remove(pos);
+                        drop(pending);
+                        drop(index);
+                        let Some((_, checkpoint)) = claim_pending(d, &key) else {
+                            index = lock(&d.index);
+                            continue;
+                        };
+                        return execute_keyed(inner, d, &key, &params, checkpoint, true);
+                    }
+                }
+                // Another owner is executing this key: wait for its
+                // durable result, bounded by this request's deadline.
+                let now = Instant::now();
+                if now >= deadline {
+                    return (
+                        Response::Error {
+                            kind: ErrorKind::Internal,
+                            message: "idempotency key still in flight; retry".to_string(),
+                        },
+                        Terminal::Faulted,
+                    );
+                }
+                index = d
+                    .done_cv
+                    .wait_timeout(index, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
+            }
+            None => {
+                index.insert(
+                    key.clone(),
+                    KeyState::InFlight {
+                        request: Request::Solve(params.clone()).encode(),
+                        started: false,
+                        executing: true,
+                        checkpoint: None,
+                    },
+                );
+                drop(index);
+                let admitted = JournalEntry::Admitted {
+                    key: key.clone(),
+                    request: Request::Solve(params.clone()).encode(),
+                };
+                if lock(&d.journal).append(&admitted).is_err() {
+                    abandon_key(d, &key);
+                    return (
+                        Response::Error {
+                            kind: ErrorKind::Internal,
+                            message: "journal append failed".to_string(),
+                        },
+                        Terminal::Faulted,
+                    );
+                }
+                return execute_keyed(inner, d, &key, &params, None, false);
+            }
+        }
+    }
+}
+
+/// Executes an admitted keyed solve: journals `started` and every
+/// checkpoint, executes (warm from `resume_text` if any), journals
+/// `completed` before returning the answer, and wakes key waiters.
+/// Does not settle — callers own the terminal.
+fn execute_keyed(
+    inner: &Inner,
+    d: &Durability,
+    key: &str,
+    params: &SolveParams,
+    resume_text: Option<String>,
+    already_started: bool,
+) -> (Response, Terminal) {
+    if !already_started {
+        let started = JournalEntry::Started {
+            key: key.to_string(),
+        };
+        if lock(&d.journal).append(&started).is_err() {
+            abandon_key(d, key);
+            return (
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    message: "journal append failed".to_string(),
+                },
+                Terminal::Faulted,
+            );
+        }
+        if let Some(KeyState::InFlight { started, .. }) = lock(&d.index).get_mut(key) {
+            *started = true;
+        }
+    }
+    // A checkpoint that fails validation costs a cold start, not an
+    // error: resume is an optimization, correctness lives in the
+    // admitted/completed pair.
+    let resume = resume_text.and_then(|t| Checkpoint::from_text(&t).ok());
+    let mut on_ckpt = |ck: &Checkpoint| {
+        // Runs inside the supervised region: must not panic, and a
+        // failed append only widens the redo window after a crash.
+        let text = ck.to_text();
+        let entry = JournalEntry::Checkpoint {
+            key: key.to_string(),
+            text: text.clone(),
+        };
+        if lock(&d.journal).append(&entry).is_ok() {
+            if let Some(KeyState::InFlight { checkpoint, .. }) = lock(&d.index).get_mut(key) {
+                *checkpoint = Some(text);
+            }
+        }
+    };
+    let (response, terminal) = execute_solve(inner, params, resume, &mut on_ckpt);
+    match &response {
+        Response::Solved(result) => {
+            let payload = response.encode();
+            let entry = JournalEntry::Completed {
+                key: key.to_string(),
+                hash: journal::result_hash(result),
+                response: payload.clone(),
+            };
+            if lock(&d.journal).append(&entry).is_err() {
+                // The result exists but is not durable: refuse rather
+                // than acknowledge an answer a crash could double-run.
+                abandon_key(d, key);
+                return (
+                    Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "journal append failed".to_string(),
+                    },
+                    Terminal::Faulted,
+                );
+            }
+            lock(&d.index).insert(key.to_string(), KeyState::Done { response: payload });
+            d.done_cv.notify_all();
+            maybe_rotate(inner, d);
+            (response, terminal)
+        }
+        Response::Error { .. } => {
+            // Errors are not durable results: the key stays unfinished
+            // in the journal (one re-execution per process life) and
+            // leaves the index so a retry runs fresh.
+            abandon_key(d, key);
+            (response, terminal)
+        }
+        _ => (response, terminal),
+    }
+}
+
+/// Re-executes one replayed unfinished key with no client attached.
+/// Settles directly (completed/degraded/faulted) — there is no
+/// response to deliver; the client's retry settles separately as
+/// `recovered` when it deduplicates against the journaled result.
+fn run_recovery(inner: &Inner, d: &Durability, key: &str, request: &str, ckpt: Option<String>) {
+    tt_obs::metrics::counter("ttserve_journal_recovery_runs_total").inc();
+    let params = match Request::decode(request) {
+        Ok(Request::Solve(p)) => p,
+        _ => {
+            abandon_key(d, key);
+            settle(inner, &Terminal::Faulted);
+            return;
+        }
+    };
+    let (_, terminal) = execute_keyed(inner, d, key, &params, ckpt, true);
+    settle(inner, &terminal);
+}
+
+/// Compacts the journal once the active segment outgrows the rotation
+/// threshold: the live state (dedup window + unfinished work with
+/// checkpoints) becomes the next segment, older segments are removed.
+fn maybe_rotate(inner: &Inner, d: &Durability) {
+    let index = lock(&d.index);
+    let mut journal = lock(&d.journal);
+    if journal.segment_bytes() <= inner.opts.journal_rotate_bytes {
+        return;
+    }
+    let mut live = Vec::new();
+    for (key, state) in index.iter() {
+        match state {
+            KeyState::Done { response } => {
+                let hash = match Response::decode(response) {
+                    Ok(Response::Solved(r)) => journal::result_hash(&r),
+                    _ => 0,
+                };
+                live.push(JournalEntry::Completed {
+                    key: key.clone(),
+                    hash,
+                    response: response.clone(),
+                });
+            }
+            KeyState::InFlight {
+                request,
+                started,
+                checkpoint,
+                ..
+            } => {
+                live.push(JournalEntry::Admitted {
+                    key: key.clone(),
+                    request: request.clone(),
+                });
+                if *started {
+                    live.push(JournalEntry::Started { key: key.clone() });
+                }
+                if let Some(text) = checkpoint {
+                    live.push(JournalEntry::Checkpoint {
+                        key: key.clone(),
+                        text: text.clone(),
+                    });
+                }
+            }
+        }
+    }
+    let _ = journal.rotate(&live);
 }

@@ -10,6 +10,8 @@
 //!   ttcheck --passes [r] [--whole-run]   # standalone ASCEND/DESCEND schedule check
 //!   ttcheck model [--workers n] [--queue n] [--clients n] [--bad n]
 //!                 [--no-drain] [--inject-lost-shed] [--verbose]
+//!   ttcheck model --crash [--workers n] [--queue n] [--clients n] [--crashes n]
+//!                 [--inject-lost-recovery] [--verbose]
 //! ```
 //!
 //! Instance passes, composable per invocation:
@@ -41,10 +43,24 @@
 //! the `accepted == completed + degraded + shed + faulted` accounting
 //! invariant, that no client is ever dropped without a typed answer (no
 //! lost sheds), deadlock freedom, and drain termination. With no flags
-//! it sweeps the whole lattice up to 3 workers × queue 3 × 5 clients;
-//! flags pin one configuration. `--inject-lost-shed` plants the classic
-//! accept-thread bug (shed connection dropped instead of answered) and
-//! prints the checker's replayable counterexample trace.
+//! it sweeps the whole lattice up to 3 workers × queue 3 × 5 clients —
+//! plus the crash-extended lattice (below) — and flags pin one
+//! configuration. `--inject-lost-shed` plants the classic accept-thread
+//! bug (shed connection dropped instead of answered) and prints the
+//! checker's replayable counterexample trace.
+//!
+//! **`ttcheck model --crash`** proves the journal-backed durability
+//! layer: keyed clients retrying across nondeterministic SIGKILLs, with
+//! journal replay, headless recovery, pending-key steals, condvar
+//! waiters, and dedup hits all modelled
+//! (`tt_analyze::server_model::CrashModel`). Per configuration it
+//! proves no lost work (replay re-enqueues every unfinished key; the
+//! journal ledger never drifts from the in-flight population),
+//! exactly-once-equivalent dedup (`accepted == completed + recovered`
+//! cumulatively across restarts, `j_completed == completed`), and
+//! crash/restart termination. `--inject-lost-recovery` plants the
+//! replay bug that drops one unfinished key and prints its replayable
+//! counterexample.
 //!
 //! Exit codes: `0` clean (warnings allowed), `1` errors found, `2` usage
 //! error, `3` unreadable input file, `4` unparseable instance, `6`
@@ -58,7 +74,10 @@ use std::process::exit;
 use std::time::Instant;
 use tt_analyze::explore::replay;
 use tt_analyze::schedule::{check_run, RunSchedule};
-use tt_analyze::server_model::{check_server, sweep, ServerConfig, ServerModel};
+use tt_analyze::server_model::{
+    check_crash, check_server, sweep, sweep_crash, CrashConfig, CrashModel, ServerConfig,
+    ServerModel,
+};
 use tt_core::instance::TtInstance;
 use tt_core::io;
 use tt_core::lint;
@@ -77,6 +96,8 @@ fn usage() -> ! {
          \x20      ttcheck --passes [r] [--whole-run]\n\
          \x20      ttcheck model [--workers n] [--queue n] [--clients n] [--bad n]\n\
          \x20                    [--no-drain] [--inject-lost-shed] [--verbose]\n\
+         \x20      ttcheck model --crash [--workers n] [--queue n] [--clients n]\n\
+         \x20                    [--crashes n] [--inject-lost-recovery] [--verbose]\n\
          exit codes: 0 clean, 1 errors found, 2 usage, 3 unreadable file,\n\
          \x20           4 invalid instance, 6 unknown domain,\n\
          \x20           15 model-check or whole-run schedule violation"
@@ -351,8 +372,11 @@ fn check_model(args: &[String]) -> i32 {
     let mut queue: Option<u8> = None;
     let mut clients: Option<u8> = None;
     let mut bad: u8 = 0;
+    let mut crashes: Option<u8> = None;
     let mut drain = true;
+    let mut crash_mode = false;
     let mut inject = false;
+    let mut inject_recovery = false;
     let mut verbose = false;
 
     fn dim(it: &mut std::slice::Iter<'_, String>) -> u8 {
@@ -372,17 +396,44 @@ fn check_model(args: &[String]) -> i32 {
                 Some(v @ 0..=6) => bad = v,
                 _ => usage(),
             },
+            "--crashes" => crashes = Some(dim(&mut it)),
+            "--crash" => crash_mode = true,
             "--no-drain" => drain = false,
             "--inject-lost-shed" => inject = true,
+            "--inject-lost-recovery" => {
+                crash_mode = true;
+                inject_recovery = true;
+            }
             "--verbose" => verbose = true,
             _ => usage(),
         }
     }
+    if crashes.is_some() {
+        crash_mode = true;
+    }
+    if crash_mode && (bad > 0 || !drain || inject) {
+        usage(); // lifecycle-only flags make no sense on the crash model
+    }
 
     let started = Instant::now();
-    let single = workers.is_some() || queue.is_some() || clients.is_some() || bad > 0 || inject;
     let mut total_states = 0u64;
     let mut code = 0;
+
+    if crash_mode {
+        code = check_crash_model(
+            workers,
+            queue,
+            clients,
+            crashes,
+            inject_recovery,
+            verbose,
+            &mut total_states,
+        );
+        finish_model(started, total_states, verbose);
+        return code;
+    }
+
+    let single = workers.is_some() || queue.is_some() || clients.is_some() || bad > 0 || inject;
 
     if single {
         let cfg = ServerConfig {
@@ -466,8 +517,54 @@ fn check_model(args: &[String]) -> i32 {
                  deadlock freedom, drain termination"
             );
         }
+        // The default sweep proves both lattices: the serve/drain
+        // lifecycle above and the crash/recover durability layer.
+        println!("model: sweeping crash lattice 2 workers x queue 2 x 3 clients x 2 crashes");
+        let mut crash_configs = 0usize;
+        for (cfg, report) in sweep_crash(2, 2, 3, 2) {
+            crash_configs += 1;
+            total_states += report.states;
+            let proved = report.proves();
+            if verbose || !proved {
+                println!(
+                    "  w={} q={} c={} x={}: {} states, {} transitions — {}",
+                    cfg.workers,
+                    cfg.queue,
+                    cfg.clients,
+                    cfg.max_crashes,
+                    report.states,
+                    report.transitions,
+                    if proved {
+                        "proved".to_string()
+                    } else {
+                        format!(
+                            "VIOLATION: {}",
+                            report
+                                .violations
+                                .first()
+                                .map_or("(none recorded)", |v| v.message.as_str())
+                        )
+                    }
+                );
+            }
+            if !proved {
+                code = EXIT_MODEL_VIOLATION;
+            }
+        }
+        if code == 0 {
+            println!(
+                "proved for all {crash_configs} crash configurations: no lost work, \
+                 exactly-once-equivalent dedup, crash/restart termination"
+            );
+        }
     }
 
+    finish_model(started, total_states, verbose);
+    code
+}
+
+/// Prints the exploration-volume footer shared by every `model` mode.
+fn finish_model(started: Instant, total_states: u64, verbose: bool) {
     let elapsed = started.elapsed();
     println!(
         "explored {total_states} state(s) in {:.2?}{}",
@@ -481,5 +578,115 @@ fn check_model(args: &[String]) -> i32 {
             String::new()
         }
     );
+}
+
+/// `ttcheck model --crash`: the crash/recover durability prover.
+/// Explicit dimensions (or the injected bug) pin one configuration;
+/// otherwise the full small-configuration lattice is swept.
+fn check_crash_model(
+    workers: Option<u8>,
+    queue: Option<u8>,
+    clients: Option<u8>,
+    crashes: Option<u8>,
+    inject_recovery: bool,
+    verbose: bool,
+    total_states: &mut u64,
+) -> i32 {
+    let single = workers.is_some()
+        || queue.is_some()
+        || clients.is_some()
+        || crashes.is_some()
+        || inject_recovery;
+    let mut code = 0;
+    if single {
+        let cfg = CrashConfig {
+            workers: workers.unwrap_or(2),
+            queue: queue.unwrap_or(2),
+            clients: clients.unwrap_or(3),
+            max_crashes: crashes.unwrap_or(2),
+            inject_lost_recovery: inject_recovery,
+        };
+        println!(
+            "crash model: {} worker(s), queue {}, {} keyed client(s), {} crash(es){}",
+            cfg.workers,
+            cfg.queue,
+            cfg.clients,
+            cfg.max_crashes,
+            if inject_recovery {
+                ", lost-recovery bug injected"
+            } else {
+                ""
+            },
+        );
+        let report = check_crash(cfg);
+        *total_states += report.states;
+        if report.proves() {
+            println!(
+                "proved: no lost work, exactly-once-equivalent dedup, crash/restart \
+                 termination ({} states, {} transitions, depth {})",
+                report.states, report.transitions, report.peak_depth
+            );
+        } else {
+            code = EXIT_MODEL_VIOLATION;
+            for v in &report.violations {
+                println!("VIOLATION ({:?}): {}", v.kind, v.message);
+                println!("counterexample ({} steps):", v.trace.len());
+                for (i, step) in v.trace.iter().enumerate() {
+                    println!("  {i:3}. {step:?}");
+                }
+                // Prove the trace is replayable: every prefix re-applies.
+                match replay(&CrashModel::new(cfg), &v.trace) {
+                    Ok(states) => {
+                        if verbose {
+                            println!("replayed {} state(s); final:", states.len());
+                            println!("  {:?}", states.last().unwrap());
+                        } else {
+                            println!("trace replays cleanly ({} states)", states.len());
+                        }
+                    }
+                    Err(e) => println!("REPLAY FAILED at step {}: {}", e.step, e.message),
+                }
+            }
+        }
+    } else {
+        println!("crash model: sweeping 2 workers x queue 2 x 3 clients x 2 crashes");
+        let mut configs = 0usize;
+        for (cfg, report) in sweep_crash(2, 2, 3, 2) {
+            configs += 1;
+            *total_states += report.states;
+            let proved = report.proves();
+            if verbose || !proved {
+                println!(
+                    "  w={} q={} c={} x={}: {} states, {} transitions — {}",
+                    cfg.workers,
+                    cfg.queue,
+                    cfg.clients,
+                    cfg.max_crashes,
+                    report.states,
+                    report.transitions,
+                    if proved {
+                        "proved".to_string()
+                    } else {
+                        format!(
+                            "VIOLATION: {}",
+                            report
+                                .violations
+                                .first()
+                                .map_or("(none recorded)", |v| v.message.as_str())
+                        )
+                    }
+                );
+            }
+            if !proved {
+                code = EXIT_MODEL_VIOLATION;
+            }
+        }
+        if code == 0 {
+            println!(
+                "proved for all {configs} crash configurations: no lost work, \
+                 exactly-once-equivalent dedup, crash/restart termination"
+            );
+        }
+    }
     code
 }

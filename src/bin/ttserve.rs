@@ -5,9 +5,14 @@
 //!   ttserve serve [--addr <host:port>] [--workers <n>] [--queue <n>]
 //!                 [--read-timeout-ms <ms>] [--default-timeout-ms <ms>]
 //!                 [--max-timeout-ms <ms>] [--drain-ms <ms>]
+//!                 [--journal <dir>] [--journal-rotate-bytes <n>]
 //!   ttserve bench [--addr <host:port>] [--clients <n>] [--faults <n>]
 //!                 [--duration-ms <ms>] [--spec <domain:k:seed>]
 //!                 [--timeout-ms <ms>] [--open-ms <ms>] [--retries <n>]
+//!   ttserve bench --chaos [--addr <host:port>] [--journal <dir>]
+//!                 [--cycles <n>] [--clients <n>] [--requests <n>]
+//!                 [--spec <domain:k:seed>] [--timeout-ms <ms>]
+//!                 [--kill-ms <ms>] [--workers <n>]
 //!   ttserve scrape  [--addr <host:port>]   # print /metrics
 //!   ttserve healthz [--addr <host:port>]   # print serving|draining
 //!   ttserve drain   [--addr <host:port>]   # begin a graceful drain
@@ -25,6 +30,23 @@
 //! incumbents via the cancel token — and the process exits 0 on a
 //! clean drain, 13 when threads had to be abandoned.
 //!
+//! With `--journal <dir>`, `serve` keeps a checksummed, fsync'd
+//! write-ahead journal of every solve carrying an idempotency key:
+//! completed keys are deduplicated across restarts (retries get the
+//! journaled answer back, marked `recovered`), unfinished keys are
+//! re-executed on startup warm from their newest level-boundary
+//! checkpoint, and the journal compacts via atomic segment rotation.
+//! A journal that fails to replay exits 16 — the server refuses to
+//! serve from durable state it cannot trust.
+//!
+//! `bench --chaos` spawns its *own* `ttserve serve --journal` child on
+//! `--addr`, SIGKILLs and restarts it `--cycles` times at jittered
+//! instants (mid-frame, mid-solve, every third cycle mid-drain) while
+//! keyed closed-loop clients retry, then audits the journal and the
+//! final life's books for the exactly-once-equivalent invariant. It
+//! prints one JSON report line and exits 0 only if every invariant
+//! held (16 otherwise).
+//!
 //! `bench` is the closed/open-loop load generator: concurrent solve
 //! clients (retrying typed `overloaded` sheds with capped, jittered
 //! exponential backoff) plus optional fault-injecting clients cycling
@@ -35,13 +57,16 @@
 //! Exit codes: `0` success, `2` usage error, `12` bind failure,
 //! `13` drain timeout (threads leaked past the window), `14` client
 //! request failed (bench/scrape/healthz/drain/ping could not reach or
-//! parse the server). Codes below 12 are owned by `ttsolve`/`ttbench`,
-//! which share this exit-code space.
+//! parse the server), `16` recovery failure (journal replay failed, or
+//! the chaos harness caught an invariant violation). Codes below 12
+//! are owned by `ttsolve`/`ttbench`, and 15 by `ttcheck`; all share
+//! this exit-code space.
 
 use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use tt_serve::bench::{BenchOptions, LoadMode};
+use tt_serve::chaos::{self, ChaosOptions};
 use tt_serve::client::Client;
 use tt_serve::proto::{Request, Response};
 use tt_serve::server::{self, ServerOptions};
@@ -50,18 +75,24 @@ const EXIT_USAGE: i32 = 2;
 const EXIT_BIND: i32 = 12;
 const EXIT_DRAIN_TIMEOUT: i32 = 13;
 const EXIT_CLIENT: i32 = 14;
+const EXIT_RECOVER: i32 = 16;
 
 fn usage() -> ! {
     eprintln!(
         "usage: ttserve serve [--addr <host:port>] [--workers <n>] [--queue <n>]\n\
          \x20                    [--read-timeout-ms <ms>] [--default-timeout-ms <ms>]\n\
          \x20                    [--max-timeout-ms <ms>] [--drain-ms <ms>]\n\
+         \x20                    [--journal <dir>] [--journal-rotate-bytes <n>]\n\
          \x20      ttserve bench [--addr <host:port>] [--clients <n>] [--faults <n>]\n\
          \x20                    [--duration-ms <ms>] [--spec <domain:k:seed>]\n\
          \x20                    [--timeout-ms <ms>] [--open-ms <ms>] [--retries <n>]\n\
+         \x20      ttserve bench --chaos [--addr <host:port>] [--journal <dir>]\n\
+         \x20                    [--cycles <n>] [--clients <n>] [--requests <n>]\n\
+         \x20                    [--spec <domain:k:seed>] [--timeout-ms <ms>]\n\
+         \x20                    [--kill-ms <ms>] [--workers <n>]\n\
          \x20      ttserve scrape|healthz|drain|ping [--addr <host:port>]\n\
          exit codes: 0 ok, 2 usage, 12 bind failure, 13 drain timeout,\n\
-         \x20           14 client request failed"
+         \x20           14 client request failed, 16 recovery failed"
     );
     exit(EXIT_USAGE)
 }
@@ -134,12 +165,26 @@ fn cmd_serve(args: &[String]) -> ! {
             "--drain-ms" => {
                 opts.drain_window = Duration::from_millis(parse_number("--drain-ms", it.next()));
             }
+            "--journal" => {
+                opts.journal_dir = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--journal-rotate-bytes" => {
+                opts.journal_rotate_bytes = parse_number("--journal-rotate-bytes", it.next());
+            }
             _ => usage(),
         }
     }
     install_sigterm_handler();
     let handle = match server::start(&addr, opts) {
         Ok(h) => h,
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            // `start` types a failed journal replay as InvalidData;
+            // refusing to serve beats serving from state we distrust.
+            eprintln!("ttserve: recovery failed: {e}");
+            exit(EXIT_RECOVER)
+        }
         Err(e) => {
             eprintln!("ttserve: cannot bind {addr}: {e}");
             exit(EXIT_BIND)
@@ -157,12 +202,13 @@ fn cmd_serve(args: &[String]) -> ! {
     let s = outcome.stats;
     eprintln!(
         "ttserve: drained accepted={} completed={} degraded={} shed={} faulted={} \
-         queue_peak={} leaked_workers={}",
+         recovered={} queue_peak={} leaked_workers={}",
         s.accepted,
         s.completed,
         s.degraded,
         s.shed,
         s.faulted,
+        s.recovered,
         s.queue_peak,
         outcome.leaked_workers
     );
@@ -173,6 +219,9 @@ fn cmd_serve(args: &[String]) -> ! {
 }
 
 fn cmd_bench(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--chaos") {
+        cmd_chaos(args)
+    }
     let mut addr = DEFAULT_ADDR.to_string();
     let mut opts = BenchOptions::default();
     let mut it = args.iter();
@@ -207,6 +256,55 @@ fn cmd_bench(args: &[String]) -> ! {
     let report = tt_serve::bench::run(resolved, &opts);
     println!("{}", report.to_json());
     exit(0)
+}
+
+fn cmd_chaos(args: &[String]) -> ! {
+    let mut opts = ChaosOptions::default();
+    match std::env::current_exe() {
+        Ok(exe) => opts.server_exe = exe,
+        Err(e) => {
+            eprintln!("ttserve: cannot locate own binary for chaos child: {e}");
+            exit(EXIT_CLIENT)
+        }
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chaos" => {}
+            "--addr" => opts.addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--journal" => {
+                opts.journal_dir =
+                    std::path::PathBuf::from(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--cycles" => opts.cycles = parse_number("--cycles", it.next()),
+            "--clients" => opts.clients = parse_number("--clients", it.next()),
+            "--requests" => {
+                opts.requests_per_client = parse_number("--requests", it.next());
+            }
+            "--spec" => opts.spec = it.next().cloned().unwrap_or_else(|| usage()),
+            "--timeout-ms" => opts.timeout_ms = parse_number("--timeout-ms", it.next()),
+            "--kill-ms" => {
+                opts.kill_after = Duration::from_millis(parse_number("--kill-ms", it.next()));
+            }
+            "--workers" => opts.workers = parse_number("--workers", it.next()),
+            _ => usage(),
+        }
+    }
+    let report = match chaos::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ttserve: chaos harness failed to run: {e}");
+            exit(EXIT_CLIENT)
+        }
+    };
+    println!("{}", report.to_json());
+    for f in &report.failures {
+        eprintln!("ttserve: chaos invariant failed: {f}");
+    }
+    if report.passed {
+        exit(0)
+    }
+    exit(EXIT_RECOVER)
 }
 
 fn resolve(addr: &str) -> Option<std::net::SocketAddr> {

@@ -8,7 +8,7 @@
 //!   ttsolve --demo <domain> [k] [seed] [--solver <engine>] [--tree] [--dot] [--stats]
 //!           (domains: random, medical, faults, biology, lab)
 //!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
-//!   ttsolve --batch <manifest>           # supervised batch solving
+//!   ttsolve --batch <manifest> [--records <f>] [--summary <f>]  # supervised batch solving
 //!   ttsolve --engines                    # list the registered engines
 //! ```
 //!
@@ -59,7 +59,11 @@
 //! failovers, retries, outcome) and a bad line — malformed, unreadable,
 //! even a panicking solve — becomes an `error` record while the batch
 //! continues. The run exits 0 only when every instance produced the
-//! exact optimum, else 10 (batch-partial).
+//! exact optimum, else 10 (batch-partial). `--records <file>` mirrors
+//! the record stream into a crash-safe JSONL file (fsync'd at every
+//! instance boundary, so a kill mid-batch never tears a completed
+//! record) and `--summary <file>` writes the totals trailer via temp
+//! file + atomic rename.
 //!
 //! Observability (see the README's "Observability" section for the
 //! schemas): `--trace <file>` captures the solve's span/instant event
@@ -118,7 +122,7 @@ fn usage() -> ! {
          \x20                    [--trace <file>] [--metrics] [--profile]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
-         \x20      ttsolve --batch <manifest>\n\
+         \x20      ttsolve --batch <manifest> [--records <file>] [--summary <file>]\n\
          \x20      ttsolve --engines\n\
          fault specs: ccc:dead:<addr> ccc:drop:<dim>@<nth> ccc:corrupt:<dim>@<nth>\n\
          \x20            bvm:dead:<pe> bvm:stuck:<pe>=<0|1> bvm:flip:<pe>@<nth>\n\
@@ -242,10 +246,19 @@ fn main() {
 
     // Batch mode: stream a manifest through one supervisor with
     // per-instance isolation; JSON-lines records plus a totals trailer.
+    // `--records`/`--summary` mirror the stream into crash-safe files
+    // (records fsync'd per instance, summary via atomic rename).
     if args[0] == "--batch" {
         let path = args.get(1).unwrap_or_else(|| usage());
-        if args.len() > 2 {
-            usage();
+        let mut records_path: Option<String> = None;
+        let mut summary_path: Option<String> = None;
+        let mut it = args[2..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--records" => records_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                "--summary" => summary_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+                _ => usage(),
+            }
         }
         let manifest = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -254,7 +267,27 @@ fn main() {
                 exit(EXIT_READ)
             }
         };
-        let summary = orchestrate::run_batch(&manifest, &mut |rec| println!("{}", rec.to_json()));
+        let mut sink = match orchestrate::BatchSink::open(
+            records_path.as_deref().map(Path::new),
+            summary_path.as_deref().map(Path::new),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open batch sink: {e}");
+                exit(EXIT_READ)
+            }
+        };
+        let summary = orchestrate::run_batch(&manifest, &mut |rec| {
+            println!("{}", rec.to_json());
+            if let Err(e) = sink.record(rec) {
+                eprintln!("cannot write batch record: {e}");
+                exit(EXIT_READ)
+            }
+        });
+        if let Err(e) = sink.finish(&summary) {
+            eprintln!("cannot write batch summary: {e}");
+            exit(EXIT_READ)
+        }
         println!("{}", summary.to_json());
         eprintln!(
             "batch: {} ok, {} degraded, {} errors",

@@ -61,6 +61,8 @@ fn real_outcome(workers: usize, queue: usize, good: usize, bad: usize) -> Outcom
             default_deadline: Duration::from_secs(2),
             max_deadline: Duration::from_secs(2),
             drain_window: Duration::from_secs(10),
+            journal_dir: None,
+            journal_rotate_bytes: 1 << 20,
         },
     )
     .expect("bind an ephemeral port");
@@ -77,6 +79,7 @@ fn real_outcome(workers: usize, queue: usize, good: usize, bad: usize) -> Outcom
                 source: Source::Demo(format!("random:4:{}", 7 + tag)),
                 solver: None,
                 timeout_ms: Some(1_500),
+                key: None,
             });
             Client::connect(addr, Duration::from_secs(10))
                 .and_then(|mut c| c.request(&req))

@@ -103,6 +103,54 @@ fn clean_batch_exits_zero() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--records`/`--summary` mirror the stdout stream into files: the
+/// records file carries one JSONL line per manifest line (identical to
+/// stdout's), the summary file carries the totals trailer, and no temp
+/// file survives the atomic rename.
+#[test]
+fn batch_file_sinks_mirror_the_stream() {
+    let dir = tmp_dir("batch-sink");
+    let path = dir.join("manifest.txt");
+    std::fs::write(
+        &path,
+        "demo:random:4:1 solver=seq\ndemo:nosuch:4:1\ndemo:lab:4:2 solver=seq\n",
+    )
+    .unwrap();
+    let records = dir.join("records.jsonl");
+    let summary = dir.join("summary.json");
+    let out = ttsolve(&[
+        "--batch",
+        path.to_str().unwrap(),
+        "--records",
+        records.to_str().unwrap(),
+        "--summary",
+        summary.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(10),
+        "one error line → batch partial"
+    );
+
+    let text = stdout(&out);
+    let stdout_records: Vec<&str> = text.lines().filter(|l| l.contains("\"source\"")).collect();
+    let file_text = std::fs::read_to_string(&records).unwrap();
+    let file_records: Vec<&str> = file_text.lines().collect();
+    assert_eq!(file_records.len(), 3, "one record per manifest line");
+    assert_eq!(stdout_records, file_records, "file diverged from stdout");
+
+    let trailer = std::fs::read_to_string(&summary).unwrap();
+    assert_eq!(
+        trailer.trim_end(),
+        "{\"total\":3,\"ok\":2,\"degraded\":0,\"errors\":1}"
+    );
+    assert!(
+        !summary.with_extension("tmp").exists(),
+        "summary temp file left behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Kill-and-resume through the CLI: a candidate-starved solve leaves a
 /// checkpoint on disk (exit 7), resuming it completes with the cold
 /// run's cost (exit 0), and a corrupted checkpoint is refused (exit 9).

@@ -1,0 +1,210 @@
+//! Property tests for the write-ahead solve journal's integrity
+//! contract (mirroring `checkpoint_properties.rs` for the checkpoint
+//! layer): any one-byte corruption of a journal segment is rejected at
+//! replay with a typed error, truncation at any byte — the crash
+//! mid-append signature — recovers cleanly instead of panicking, and
+//! entries round-trip the on-disk line format byte-exactly.
+
+use proptest::prelude::*;
+use tt_serve::journal::{
+    decode_line, encode_entry, replay_segment_strict, scan_segment, Journal, JournalEntry,
+    JournalError, Replay,
+};
+
+/// Strings a client could plausibly put on the wire (and therefore into
+/// journal payloads): printable ASCII weighted high, plus the escapes
+/// and multi-byte code points that stress the JSON string codec.
+fn wire_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => (32u8..127).prop_map(char::from),
+            1 => Just('"'),
+            1 => Just('\\'),
+            1 => Just('\n'),
+            1 => Just('\t'),
+            1 => Just('é'),
+            1 => Just('😀'),
+        ],
+        0..24,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_entry() -> impl Strategy<Value = JournalEntry> {
+    prop_oneof![
+        (wire_string(), wire_string())
+            .prop_map(|(key, request)| JournalEntry::Admitted { key, request }),
+        wire_string().prop_map(|key| JournalEntry::Started { key }),
+        (wire_string(), wire_string())
+            .prop_map(|(key, text)| JournalEntry::Checkpoint { key, text }),
+        (wire_string(), any::<u64>(), wire_string()).prop_map(|(key, hash, response)| {
+            JournalEntry::Completed {
+                key,
+                hash,
+                response,
+            }
+        }),
+    ]
+}
+
+/// A well-formed multi-record segment, as the server would write it.
+fn segment_bytes(entries: &[JournalEntry]) -> Vec<u8> {
+    entries
+        .iter()
+        .flat_map(|e| encode_entry(e).into_bytes())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Encode → decode is the identity for every entry kind, over keys
+    /// and payloads full of quotes, backslashes, control characters,
+    /// and multi-byte code points.
+    #[test]
+    fn entries_roundtrip_the_line_format(entries in proptest::collection::vec(arb_entry(), 1..8)) {
+        for e in &entries {
+            let line = encode_entry(e);
+            prop_assert!(line.ends_with('\n'));
+            prop_assert_eq!(decode_line(line.trim_end_matches('\n')).as_ref(), Ok(e));
+        }
+        // And a whole segment of them replays strictly, in order.
+        let replayed = replay_segment_strict(1, &segment_bytes(&entries)).unwrap();
+        prop_assert_eq!(replayed, entries);
+    }
+
+    /// XOR-ing ANY single byte of a sealed segment with ANY nonzero
+    /// mask is rejected by strict replay with a typed error — a flipped
+    /// payload byte fails the FNV-1a check, a flipped checksum digit
+    /// breaks the canonical form or the comparison, a flipped tab
+    /// breaks the framing, and a flipped final newline is a torn tail.
+    /// No flip anywhere is silently accepted.
+    #[test]
+    fn one_byte_corruption_is_always_rejected(
+        entries in proptest::collection::vec(arb_entry(), 1..6),
+        pos_frac in 0u32..=1_000_000,
+        flip in 1u8..=0xff,
+    ) {
+        let bytes = segment_bytes(&entries);
+        let pos = (pos_frac as usize * (bytes.len() - 1)) / 1_000_000;
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= flip;
+        match replay_segment_strict(7, &corrupted) {
+            Err(
+                JournalError::Corrupt { segment: 7, .. }
+                | JournalError::TornTail { segment: 7, .. },
+            ) => {}
+            Ok(replayed) => panic!(
+                "flip {flip:#04x} at byte {pos}/{} was accepted ({} entries survived)",
+                bytes.len(),
+                replayed.len()
+            ),
+            Err(other) => panic!(
+                "flip {flip:#04x} at byte {pos} gave an unexpected error class: {other:?}"
+            ),
+        }
+    }
+
+    /// Cutting a segment at ANY byte — the on-disk state a SIGKILL
+    /// mid-append leaves behind — never panics: the lossy scan returns
+    /// exactly the complete-record prefix plus a torn-tail marker iff
+    /// the cut landed mid-record, and strict replay types the tail.
+    #[test]
+    fn truncation_at_any_byte_recovers_the_complete_prefix(
+        entries in proptest::collection::vec(arb_entry(), 1..6),
+        cut_frac in 0u32..=1_000_000,
+    ) {
+        let bytes = segment_bytes(&entries);
+        let cut = (cut_frac as usize * bytes.len()) / 1_000_000;
+        let truncated = &bytes[..cut];
+
+        // How many whole records survive the cut, and is it clean?
+        let mut consumed = 0usize;
+        let mut whole = 0usize;
+        for e in &entries {
+            let len = encode_entry(e).len();
+            if consumed + len <= cut {
+                consumed += len;
+                whole += 1;
+            } else {
+                break;
+            }
+        }
+        let clean = consumed == cut;
+
+        let (recovered, torn) = scan_segment(3, truncated).unwrap();
+        prop_assert_eq!(recovered.len(), whole, "cut at {}/{}", cut, bytes.len());
+        prop_assert_eq!(&recovered[..], &entries[..whole]);
+        prop_assert_eq!(torn, (!clean).then_some(consumed));
+
+        match replay_segment_strict(3, truncated) {
+            Ok(replayed) => {
+                prop_assert!(clean, "strict replay accepted a torn tail");
+                prop_assert_eq!(replayed.len(), whole);
+            }
+            Err(JournalError::TornTail { segment: 3, offset }) => {
+                prop_assert!(!clean, "strict replay typed a clean cut as torn");
+                prop_assert_eq!(offset, consumed);
+            }
+            Err(other) => {
+                panic!("truncation at {cut} gave an unexpected error class: {other:?}")
+            }
+        }
+    }
+
+    /// The same truncation through the full `Journal::open` path: the
+    /// newest on-disk segment is truncated back to the last complete
+    /// record, replay folds exactly the surviving prefix, and the next
+    /// open sees a clean journal (the truncation is itself durable).
+    #[test]
+    fn open_truncates_a_torn_newest_segment_and_heals(
+        keys in proptest::collection::vec(
+            proptest::collection::vec((b'a'..=b'z').prop_map(char::from), 1..8)
+                .prop_map(|v| v.into_iter().collect::<String>()),
+            1..5,
+        ),
+        cut_back in 1usize..40,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tt-journal-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entries: Vec<JournalEntry> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| JournalEntry::Admitted {
+                key: format!("{k}-{i}"),
+                request: format!("{{\"op\":\"solve\",\"key\":\"{k}-{i}\"}}"),
+            })
+            .collect();
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            for e in &entries {
+                j.append(e).unwrap();
+            }
+        }
+        let seg = dir.join("seg-000001.wal");
+        let bytes = std::fs::read(&seg).unwrap();
+        let cut = bytes.len().saturating_sub(cut_back % bytes.len()).max(1);
+        std::fs::write(&seg, &bytes[..cut]).unwrap();
+
+        let mut folded = Replay::default();
+        let (scanned, torn) = scan_segment(1, &bytes[..cut]).unwrap();
+        let expect = scanned.len();
+        for e in scanned {
+            folded.fold(e);
+        }
+        let (_, replay) = Journal::open(&dir).unwrap();
+        prop_assert_eq!(replay.entries, expect as u64);
+        prop_assert_eq!(replay.unfinished.len(), folded.unfinished.len());
+        prop_assert_eq!(replay.torn_tail, torn.is_some());
+
+        // Healing is durable: a second open is clean.
+        let (_, again) = Journal::open(&dir).unwrap();
+        prop_assert!(!again.torn_tail, "truncation did not stick");
+        prop_assert_eq!(again.entries, expect as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -8,7 +8,7 @@
 //! must leave the server answering pings as if nothing happened.
 
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tt_serve::client::Client;
 use tt_serve::fault::{self, ALL_FAULTS};
 use tt_serve::proto::{ErrorKind, Request, Response, SolveParams, Source};
@@ -17,6 +17,22 @@ use tt_serve::server::{start, ServerOptions};
 const WORKERS: usize = 2;
 const QUEUE: usize = 2;
 const FLOOD: usize = 16;
+
+/// Polls `cond` until it holds or `limit` elapses. Deadline-based, not
+/// iteration-counted: a slow CI box gets the full window instead of a
+/// fixed number of fixed-length sleeps.
+fn poll_until(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + limit;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
 
 fn tiny_server() -> tt_serve::server::ServerHandle {
     start(
@@ -29,6 +45,8 @@ fn tiny_server() -> tt_serve::server::ServerHandle {
             default_deadline: Duration::from_millis(150),
             max_deadline: Duration::from_millis(500),
             drain_window: Duration::from_secs(10),
+            journal_dir: None,
+            journal_rotate_bytes: 1 << 20,
         },
     )
     .expect("bind an ephemeral port")
@@ -40,20 +58,20 @@ fn solve_req(tag: usize, k: u32, timeout_ms: u64) -> Request {
         source: Source::Demo(format!("random:{k}:{}", 7 + tag)),
         solver: None,
         timeout_ms: Some(timeout_ms),
+        key: None,
     })
 }
 
 fn ping(addr: std::net::SocketAddr) -> bool {
-    // The control op shares the admission queue, so ride out stragglers.
-    for _ in 0..50 {
-        match Client::connect(addr, Duration::from_secs(2))
-            .and_then(|mut c| c.request(&Request::Ping))
-        {
-            Ok(Response::Pong) => return true,
-            _ => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
-    false
+    // The control op shares the admission queue, so ride out stragglers
+    // for a full wall-clock window rather than a fixed retry count.
+    poll_until(Duration::from_secs(5), || {
+        matches!(
+            Client::connect(addr, Duration::from_secs(2))
+                .and_then(|mut c| c.request(&Request::Ping)),
+            Ok(Response::Pong)
+        )
+    })
 }
 
 /// The tentpole acceptance test: flood a 2-worker, depth-2 server with
@@ -153,12 +171,13 @@ fn flood_sheds_typed_degrades_deadlined_and_balances_the_books() {
     assert_eq!(s.in_flight, 0, "requests survived the drain");
     assert!(
         s.balanced(),
-        "accounting imbalance: accepted={} completed={} degraded={} shed={} faulted={}",
+        "accounting imbalance: accepted={} completed={} degraded={} shed={} faulted={} recovered={}",
         s.accepted,
         s.completed,
         s.degraded,
         s.shed,
-        s.faulted
+        s.faulted,
+        s.recovered
     );
     assert!(s.shed >= shed, "server books fewer sheds than clients saw");
     assert!(s.degraded >= degraded);
@@ -186,6 +205,9 @@ fn fault_barrage_leaves_no_wreckage() {
     for t in injectors {
         t.join().expect("fault injector");
     }
+    // Stalled peers time out on the server's read clock; wait for the
+    // faulted count to absorb them instead of sleeping a fixed amount.
+    poll_until(Duration::from_secs(5), || handle.stats().in_flight == 0);
 
     // The server shrugs it off and still does real work.
     assert!(ping(addr), "server wedged by fault barrage");
@@ -248,6 +270,8 @@ fn bench_accounts_for_every_request() {
             default_deadline: Duration::from_millis(200),
             max_deadline: Duration::from_millis(500),
             drain_window: Duration::from_secs(10),
+            journal_dir: None,
+            journal_rotate_bytes: 1 << 20,
         },
     )
     .expect("bind");

@@ -100,6 +100,8 @@ proptest! {
         solver_pick in 0u8..4,
         timeout in 0u64..1_000_000,
         has_timeout in any::<bool>(),
+        key in wire_string(),
+        has_key in any::<bool>(),
     ) {
         let solver = match solver_pick {
             0 => None,
@@ -116,6 +118,7 @@ proptest! {
             },
             solver,
             timeout_ms: has_timeout.then_some(timeout),
+            key: has_key.then(|| key.clone()),
         });
         prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
     }
@@ -143,6 +146,7 @@ proptest! {
             failovers: cost % 5,
             retries: cost % 3,
             wall_us: cost % 1_000_000,
+            recovered: complete && cost % 2 == 0,
         });
         prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
     }
