@@ -1,13 +1,23 @@
 //! Experiment harness: regenerates every figure and claim of the paper.
 //!
 //! ```sh
-//! cargo run --release -p tt-bench --bin experiments -- <exp|all>
+//! cargo run --release -p tt-bench --bin experiments -- [--results <dir>] <exp|all>
 //! ```
 //!
 //! Experiments (DESIGN.md §4): `fig1 fig3 fig4 fig6 fig7 fig8 fig9
 //! complexity-bvm speedup ccc-slowdown headline engines wallclock fanin
 //! memo-ablation heuristic-gap bnb-ablation benes-routing bitonic
 //! depth-curve blocked-brent bvm-input anytime resilience supervision`.
+//!
+//! With `--results <dir>` the run is *incremental*: each experiment's
+//! output is persisted to `<dir>/<name>-<hash>.out`, keyed by a content
+//! hash of the experiment's name and its pinned-parameter revision
+//! (the `rev` column of [`EXPERIMENTS`] — bumped whenever an
+//! experiment's parameters change, which retires the stale file).
+//! A rerun replays completed experiments from disk and only computes
+//! the missing ones, each in a subprocess so one panicking experiment
+//! cannot take down the batch; a failed experiment leaves no result
+//! file and is retried on the next run.
 
 use tt_bench::{header, ratio_stats, row};
 use tt_core::instance::TtInstanceBuilder;
@@ -18,47 +28,137 @@ use tt_workloads::random::RandomConfig;
 use tt_workloads::random_adequate;
 use tt_workloads::regimes::{max_k_for_machine, Regime};
 
+/// The experiment registry: `(name, rev, f)`. `rev` is the
+/// pinned-parameter revision that keys the incremental result store —
+/// bump it when an experiment's parameters (k range, seeds, instance
+/// shapes) change, so `--results` reruns exactly that experiment
+/// instead of replaying a stale output.
+const EXPERIMENTS: &[(&str, &str, fn())] = &[
+    ("fig1", "p1", fig1),
+    ("fig3", "p1", fig3),
+    ("fig4", "p1", fig4),
+    ("fig6", "p1", fig6),
+    ("fig7", "p1", fig7),
+    ("fig8", "p1", fig8),
+    ("fig9", "p1", fig9),
+    ("complexity-bvm", "p1", complexity_bvm),
+    ("speedup", "p1", speedup),
+    ("ccc-slowdown", "p1", ccc_slowdown),
+    ("headline", "p1", headline),
+    ("engines", "p1", engines),
+    ("wallclock", "p1", wallclock),
+    ("fanin", "p1", fanin),
+    ("memo-ablation", "p1", memo_ablation),
+    ("heuristic-gap", "p1", heuristic_gap),
+    ("bnb-ablation", "p1", bnb_ablation),
+    ("benes-routing", "p1", benes_routing),
+    ("bitonic", "p1", bitonic),
+    ("depth-curve", "p1", depth_curve),
+    ("blocked-brent", "p1", blocked_brent),
+    ("bvm-input", "p1", bvm_input),
+    ("anytime", "p1", anytime),
+    ("resilience", "p1", resilience),
+    ("supervision", "p1", supervision),
+];
+
 fn main() {
     tt_parallel::register_engines();
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let all = arg == "all";
-    let mut ran = false;
-    let mut run = |name: &str, f: fn()| {
-        if all || arg == name {
-            println!("\n================ {name} ================\n");
-            f();
-            ran = true;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut results_dir: Option<std::path::PathBuf> = None;
+    let mut target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--results" => match it.next() {
+                Some(d) => results_dir = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("--results needs a directory argument");
+                    std::process::exit(1);
+                }
+            },
+            name => target = Some(name.to_string()),
         }
-    };
-    run("fig1", fig1);
-    run("fig3", fig3);
-    run("fig4", fig4);
-    run("fig6", fig6);
-    run("fig7", fig7);
-    run("fig8", fig8);
-    run("fig9", fig9);
-    run("complexity-bvm", complexity_bvm);
-    run("speedup", speedup);
-    run("ccc-slowdown", ccc_slowdown);
-    run("headline", headline);
-    run("engines", engines);
-    run("wallclock", wallclock);
-    run("fanin", fanin);
-    run("memo-ablation", memo_ablation);
-    run("heuristic-gap", heuristic_gap);
-    run("bnb-ablation", bnb_ablation);
-    run("benes-routing", benes_routing);
-    run("bitonic", bitonic);
-    run("depth-curve", depth_curve);
-    run("blocked-brent", blocked_brent);
-    run("bvm-input", bvm_input);
-    run("anytime", anytime);
-    run("resilience", resilience);
-    run("supervision", supervision);
-    if !ran {
-        eprintln!("unknown experiment '{arg}'; see source header for the list");
+    }
+    let target = target.unwrap_or_else(|| "all".to_string());
+    let all = target == "all";
+    let selected: Vec<&(&str, &str, fn())> = EXPERIMENTS
+        .iter()
+        .filter(|(name, _, _)| all || target == *name)
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown experiment '{target}'; see source header for the list");
         std::process::exit(1);
     }
+    match results_dir {
+        Some(dir) => run_incremental(&dir, &selected),
+        None => {
+            for (name, _, f) in selected {
+                println!("\n================ {name} ================\n");
+                f();
+            }
+        }
+    }
+}
+
+/// The incremental driver behind `--results <dir>`: replay experiments
+/// whose keyed result file already exists, compute the rest — each in
+/// a subprocess (self-re-exec with the bare experiment name), so a
+/// panic is contained to one experiment and never poisons the stored
+/// results of the others. Results are committed via temp file + rename:
+/// a killed run leaves either a complete result or nothing.
+fn run_incremental(dir: &std::path::Path, selected: &[&(&str, &str, fn())]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create results directory {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary for experiment subprocesses: {e}");
+        std::process::exit(1);
+    });
+    let (mut replayed, mut computed, mut failed) = (0u32, 0u32, 0u32);
+    for (name, rev, _) in selected {
+        let path = dir.join(format!("{name}-{}.out", config_hash(name, rev)));
+        if let Ok(stored) = std::fs::read_to_string(&path) {
+            eprintln!("experiments: {name} replayed from {}", path.display());
+            print!("{stored}");
+            replayed += 1;
+            continue;
+        }
+        let out = match std::process::Command::new(&exe).arg(name).output() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("experiments: cannot spawn {name}: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
+        if !out.status.success() {
+            eprintln!("experiments: {name} failed ({}); no result stored", out.status);
+            failed += 1;
+            continue;
+        }
+        let tmp = path.with_extension("tmp");
+        let stored = std::fs::write(&tmp, &out.stdout)
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_ok();
+        if !stored {
+            eprintln!("experiments: warning: cannot persist {name} to {}", path.display());
+        }
+        std::io::Write::write_all(&mut std::io::stdout(), &out.stdout).ok();
+        computed += 1;
+    }
+    eprintln!("experiments: {computed} computed, {replayed} replayed, {failed} failed");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// The content key of one experiment configuration: an FNV-1a hash of
+/// `name|rev`, matching the cache crate's keying discipline so result
+/// files retire themselves when the configuration changes.
+fn config_hash(name: &str, rev: &str) -> String {
+    tt_cache::fnv1a_hex(format!("{name}|{rev}").as_bytes())
 }
 
 /// E1 — Fig. 1: an optimal TT procedure tree.

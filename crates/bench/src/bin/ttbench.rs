@@ -38,10 +38,13 @@
 //!   not — a frontier engine silently regressing to dense `2^k`
 //!   allocation fails with the same exit code.
 //!
-//! Besides the engine matrix, two cells pin the orchestration paths:
-//! `batch/mixed/*` (a demo manifest through `orchestrate::run_batch`)
-//! and `supervised/random/*` (the shape-selected failover chain through
-//! `supervise::supervise`).
+//! Besides the engine matrix, three cells pin the orchestration paths:
+//! `batch/mixed/*` (a demo manifest through `orchestrate::run_batch`),
+//! `supervised/random/*` (the shape-selected failover chain through
+//! `supervise::supervise`), and `cache/random/*` (warm exact-hit
+//! lookups through `tt_cache::SolutionCache`, pinned on every run to
+//! answer bit-identically to the cold solve and at least 5× faster
+//! than a cold `seq` solve of the same instance).
 //!
 //! `--self-test` measures the observability seam itself: the `seq`
 //! engine (instrumented through `timed_report_with`) against the same
@@ -284,7 +287,7 @@ fn sample_cell(
     }
 }
 
-fn run_matrix(opts: &Opts) -> Vec<CellResult> {
+fn run_matrix(opts: &Opts, failures: &mut Vec<String>) -> Vec<CellResult> {
     let mut results: Vec<CellResult> = Vec::new();
     // The reference workload, solved fresh *alongside every cell*: CPU
     // speed drifts over a multi-minute run (frequency scaling, noisy
@@ -336,7 +339,91 @@ fn run_matrix(opts: &Opts) -> Vec<CellResult> {
     }
     results.push(batch_cell(opts, &ref_solve, ref_iters));
     results.push(supervised_cell(opts, &ref_solve, ref_iters));
+    results.push(cache_cell(opts, &ref_solve, ref_iters, failures));
     results
+}
+
+/// The solution-cache path as a pinned cell: one instance solved cold
+/// through `tt_cache::SolutionCache` (the warmup miss), then sampled as
+/// warm exact-hit lookups. Two invariants are enforced on *every* run,
+/// like the residency pins: the warm hit's de-canonicalized report is
+/// identical to the miss's (same cost, same tree text), and the warm
+/// hit is at least 5× faster than a cold `seq` solve of the same
+/// instance — a cache that re-solves, or canonicalizes slower than the
+/// DP, has regressed into decoration.
+fn cache_cell(
+    opts: &Opts,
+    ref_solve: &dyn Fn(),
+    ref_iters: u64,
+    failures: &mut Vec<String>,
+) -> CellResult {
+    let k = if opts.quick { 12 } else { 16 };
+    let inst = Domain::parse("random").unwrap().generate(k, 7);
+    let seq = tt_core::solver::lookup("seq").expect("seq engine");
+    // Cold reference: the fastest of three plain `seq` solves. Three is
+    // enough — the comparison is against a 5× margin, not a percentage.
+    let cold_min = (0..3)
+        .map(|_| {
+            time_nanos(&mut || {
+                std::hint::black_box(seq.solve(&inst));
+            })
+        })
+        .min()
+        .unwrap_or(u64::MAX);
+
+    let mut cache = tt_cache::SolutionCache::in_memory(8);
+    let (miss_report, miss_status) = cache.solve(&inst, &Budget::unlimited());
+    assert_eq!(
+        miss_status,
+        tt_cache::CacheStatus::Miss,
+        "a fresh cache cannot hit"
+    );
+    let miss_tree = miss_report.tree.as_ref().map(tt_core::tree_io::tree_to_text);
+
+    let meta = CellMeta {
+        engine: "cache".to_string(),
+        domain: "random".to_string(),
+        k,
+        seed: 7,
+        // The warm hit is microseconds against a millisecond reference;
+        // that ratio is too small to regress meaningfully, so the cell
+        // is pinned by the explicit 5× margin below instead.
+        compare: false,
+        reference: false,
+    };
+    let mut last_status = tt_cache::CacheStatus::Miss;
+    let result = sample_cell(opts, meta, ref_solve, ref_iters, &mut || {
+        let (report, status) = cache.solve(&inst, &Budget::unlimited());
+        last_status = status;
+        let identical = report.cost == miss_report.cost
+            && report.tree.as_ref().map(tt_core::tree_io::tree_to_text) == miss_tree;
+        CellOutcome {
+            cost: report.cost.to_string(),
+            // `subsets` anchors the bit-identity of warm answers: 1 iff
+            // the hit reproduced the miss's report exactly.
+            subsets: u64::from(identical),
+            machine_steps: 0,
+            resident_cells: 0,
+        }
+    });
+    assert_eq!(
+        last_status,
+        tt_cache::CacheStatus::Hit,
+        "repeat solves of one instance must hit"
+    );
+    if result.subsets != 1 {
+        failures.push(format!(
+            "{}: warm hit's de-canonicalized report differs from the cold solve's",
+            result.id
+        ));
+    }
+    if result.min_nanos.saturating_mul(5) > cold_min {
+        failures.push(format!(
+            "{}: warm hit {} ns is not 5x faster than the cold seq solve {} ns",
+            result.id, result.min_nanos, cold_min
+        ));
+    }
+    result
 }
 
 /// The `--batch` orchestration path as a pinned cell: a three-line demo
@@ -644,7 +731,8 @@ fn main() {
         parse_baseline(&text)
     });
 
-    let results = run_matrix(&opts);
+    let mut cell_failures = Vec::new();
+    let results = run_matrix(&opts, &mut cell_failures);
     let json = render_json(&opts, &results);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("cannot write {}: {e}", opts.out);
@@ -655,7 +743,8 @@ fn main() {
     // The frontier residency ceilings hold on every run, baseline or
     // not — a dense-table regression at k = 20 must fail loudly even
     // on a fresh machine with no committed baseline.
-    let pins = check_resident_pins(&results);
+    let mut pins = check_resident_pins(&results);
+    pins.append(&mut cell_failures);
     if !pins.is_empty() {
         for m in &pins {
             eprintln!("REGRESSION {m}");

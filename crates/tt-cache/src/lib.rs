@@ -1,0 +1,67 @@
+//! Cross-solve canonicalization and a content-addressed solution cache.
+//!
+//! At fleet traffic most served instances are near-duplicates —
+//! relabelings, reorderings, and uniformly rescaled weights of a few
+//! archetypes — so the `Θ(N·2^k)` DP keeps recomputing sub-lattices it
+//! has already priced. This crate removes that waste in three layers:
+//!
+//! 1. **Canonicalization** ([`canon`]): objects are relabeled to sorted
+//!    weight order, weights are normalized by their gcd, and dominated
+//!    or duplicate actions are dropped through the shared
+//!    [`tt_core::lint::Reduction`] code path. The result is a
+//!    [`canon::CanonicalForm`] — a canonical instance plus its exact
+//!    text rendering — together with the permutation/scale/index maps
+//!    needed to translate a cached answer (cost *and* tree) back into
+//!    the caller's numbering.
+//! 2. **Content-addressed store** ([`store`]): solved canonical forms
+//!    are kept in a bounded LRU keyed by the FNV-1a hash of the
+//!    canonical text, with byte accounting, eviction, and an optional
+//!    journal-style on-disk segment log for warm restarts.
+//! 3. **Sub-lattice memo** ([`memo`]): when a new instance embeds as an
+//!    object-subset of an already-solved superset instance, the cached
+//!    per-level frontier is projected through CNS ranked gathers into a
+//!    seed [`tt_core::subset::frontier::FrontierTable`], so even a
+//!    partial hit skips whole DP levels.
+//!
+//! Observability: every lookup settles exactly one of the
+//! `ttcache_hits` / `ttcache_partial_hits` / `ttcache_misses` counters,
+//! residency is exported as the `ttcache_bytes` gauge, and evictions as
+//! `ttcache_evictions` — all through the process-global `tt-obs`
+//! registry, so they render in `ttsolve --metrics` and `ttserve scrape`
+//! without extra wiring.
+
+pub mod canon;
+pub mod memo;
+pub mod store;
+
+pub use canon::{canonicalize, Canonical, CanonicalForm, CanonMap};
+pub use store::{CacheStatus, SolutionCache};
+
+/// 64-bit FNV-1a over a byte string, the workspace's standard content
+/// hash, rendered as the canonical 16-lowercase-hex-digit form used by
+/// checkpoint and journal checksums.
+#[must_use]
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_hex_shaped() {
+        let h = fnv1a_hex(b"tt 1\nobjects 2\n");
+        assert_eq!(h.len(), 16);
+        assert!(h.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(h, fnv1a_hex(b"tt 1\nobjects 2\n"));
+        assert_ne!(h, fnv1a_hex(b"tt 1\nobjects 3\n"));
+        // The empty string hashes to the FNV offset basis.
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+    }
+}

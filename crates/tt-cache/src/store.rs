@@ -1,0 +1,695 @@
+//! Content-addressed solution store: bounded LRU over canonical forms,
+//! with an optional on-disk segment log for warm restarts.
+//!
+//! Keys are the FNV-1a hash of the canonical text form ([`crate::canon`]),
+//! so every relabeling/rescaling/dominated-action variant of an instance
+//! lands on one entry. A lookup settles exactly one of three ways:
+//!
+//! - **Hit**: the canonical form is present — the stored cost and tree
+//!   are translated back through the caller's [`CanonMap`] with no DP
+//!   work at all.
+//! - **Partial**: no exact entry, but the instance embeds as an object
+//!   subset of a cached superset that still holds its
+//!   [`FrontierTable`] — the table is projected down ([`crate::memo`])
+//!   and the levelwise solve starts with every level pre-filled.
+//! - **Miss**: a cold frontier solve of the canonical instance, whose
+//!   result (and, for small `k`, its table) is inserted for next time.
+//!
+//! Durability is journal-style but deliberately *lenient*: inserts are
+//! appended to `cache-NNNNNN.seg` segments as checksummed
+//! tab-separated lines, and replay silently skips anything corrupt —
+//! for a cache, dropping an entry is always safe, so the strict
+//! fail-stop rules of the solve journal do not apply here. Frontier
+//! tables are not persisted (they are large and cheap to regrow), so
+//! sub-lattice seeding only draws on entries solved in-process.
+//!
+//! Observability: `ttcache_hits` / `ttcache_partial_hits` /
+//! `ttcache_misses` / `ttcache_evictions` counters, `ttcache_bytes`
+//! gauge, all in the process-global `tt-obs` registry.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::canon::{canonicalize, CanonMap};
+use crate::memo;
+use tt_core::cost::Cost;
+use tt_core::instance::TtInstance;
+use tt_core::io as tt_io;
+use tt_core::solver::budget::Budget;
+use tt_core::solver::engine::{self, SolveOutcome, SolveReport, WorkStats};
+use tt_core::solver::sequential;
+use tt_core::subset::frontier::FrontierTable;
+use tt_core::tree::TtTree;
+use tt_core::tree_io;
+
+/// How a cache-mediated solve was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Exact canonical-form hit: no DP work.
+    Hit,
+    /// Sub-lattice seed from a cached superset: DP levels skipped.
+    Partial,
+    /// Cold solve (now cached).
+    Miss,
+}
+
+impl CacheStatus {
+    /// Stable lowercase label (wire format, logs).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Partial => "partial",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// One cached canonical solution.
+struct Entry {
+    /// The canonical instance (kept for embedding checks).
+    instance: TtInstance,
+    /// `C(U)` at canonical scale.
+    cost: Cost,
+    /// An optimal tree in canonical action indices.
+    tree: Option<TtTree>,
+    /// The complete frontier table, kept for small instances solved
+    /// in-process so later subsets can seed from it.
+    table: Option<FrontierTable>,
+    /// Approximate resident bytes, for the byte bound and gauge.
+    bytes: u64,
+    /// LRU clock value of the last touch.
+    tick: u64,
+}
+
+/// Largest `k` whose complete frontier table is retained for
+/// sub-lattice seeding (2^18 cells ≈ 2 MiB; bigger tables are regrown
+/// on demand instead of held).
+const MAX_MEMO_K: usize = 18;
+
+/// Segment rotation threshold (lines per `cache-NNNNNN.seg`).
+const SEG_LINES: u64 = 4096;
+
+/// Bounded, optionally disk-backed cache of solved canonical forms.
+pub struct SolutionCache {
+    dir: Option<PathBuf>,
+    capacity: usize,
+    max_bytes: u64,
+    map: HashMap<String, Entry>,
+    bytes: u64,
+    tick: u64,
+    seg: Option<fs::File>,
+    seg_index: u64,
+    seg_lines: u64,
+}
+
+impl SolutionCache {
+    /// A purely in-memory cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn in_memory(capacity: usize) -> SolutionCache {
+        SolutionCache {
+            dir: None,
+            capacity,
+            max_bytes: 64 << 20,
+            map: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+            seg: None,
+            seg_index: 0,
+            seg_lines: 0,
+        }
+    }
+
+    /// Opens (or creates) a disk-backed cache at `dir`: existing
+    /// segments are replayed — corrupt lines skipped — and new inserts
+    /// append to a fresh segment.
+    pub fn open(dir: &Path, capacity: usize) -> std::io::Result<SolutionCache> {
+        fs::create_dir_all(dir)?;
+        let mut cache = SolutionCache::in_memory(capacity);
+        cache.dir = Some(dir.to_path_buf());
+        let mut segs: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "seg")
+                    && p.file_stem()
+                        .and_then(|s| s.to_str())
+                        .is_some_and(|s| s.starts_with("cache-"))
+            })
+            .collect();
+        segs.sort();
+        for seg in &segs {
+            let file = fs::File::open(seg)?;
+            for line in BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                cache.replay_line(&line);
+            }
+            cache.seg_index = cache.seg_index.max(1 + seg_number(seg).unwrap_or(0));
+        }
+        tt_obs::metrics::gauge("ttcache_bytes").set(bytes_gauge(cache.bytes));
+        Ok(cache)
+    }
+
+    /// Caps resident bytes (default 64 MiB).
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> SolutionCache {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Number of cached canonical forms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Solves `inst` through the cache. Returns the report (already in
+    /// the caller's numbering and weight scale) and how it was found.
+    /// Degraded (budget-cut) solves are returned but never cached.
+    pub fn solve(&mut self, inst: &TtInstance, budget: &Budget) -> (SolveReport, CacheStatus) {
+        let canonical = canonicalize(inst);
+        let key = canonical.form.key.clone();
+
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.tick = tick;
+            tt_obs::metrics::counter("ttcache_hits").inc();
+            return (
+                hit_report(e.cost, e.tree.as_ref(), &canonical.map),
+                CacheStatus::Hit,
+            );
+        }
+
+        // No exact entry: try to seed from a cached superset lattice.
+        let seed = self.find_seed(&canonical.form.instance);
+        let status = if seed.is_some() {
+            tt_obs::metrics::counter("ttcache_partial_hits").inc();
+            CacheStatus::Partial
+        } else {
+            tt_obs::metrics::counter("ttcache_misses").inc();
+            CacheStatus::Miss
+        };
+
+        let mut kept: Option<FrontierTable> = None;
+        let canon_inst = &canonical.form.instance;
+        let report = engine::timed_report_with(|| {
+            let mut meter = budget.start();
+            let mut sink = |_: usize, _: &FrontierTable| {};
+            let (table, done) =
+                sequential::solve_frontier_levelwise(canon_inst, &mut meter, seed, &mut sink);
+            let mut work = WorkStats {
+                subsets: meter.subsets(),
+                candidates: meter.candidates(),
+                ..WorkStats::default()
+            };
+            work.push_extra("completed_levels", done as u64);
+            engine::record_frontier_stats(&mut work, table.stats());
+            match meter.exhausted() {
+                None => {
+                    let root = canon_inst.universe();
+                    let cost = table.cost_of_checked(root).unwrap_or(Cost::INF);
+                    let tree = sequential::extract_tree_frontier(canon_inst, &table, root);
+                    kept = Some(table);
+                    (cost, tree, work, SolveOutcome::Complete)
+                }
+                Some(r) => engine::degraded_result(
+                    canon_inst,
+                    r.into(),
+                    &|s| table.cost_of_checked(s).map(|c| (c, None)),
+                    work,
+                ),
+            }
+        });
+
+        if let Some(table) = kept {
+            let keep_table = canon_inst.k() <= MAX_MEMO_K;
+            self.insert_entry(
+                key,
+                canonical.form.instance.clone(),
+                canonical.form.text.clone(),
+                report.cost,
+                report.tree.clone(),
+                keep_table.then_some(table),
+                true,
+            );
+        }
+        (decanonicalize_report(&canonical.map, report), status)
+    }
+
+    /// Exact-hit-only lookup (the fast path in front of a solve queue).
+    /// Settles `ttcache_hits` or `ttcache_misses`.
+    pub fn lookup_report(&mut self, inst: &TtInstance) -> Option<SolveReport> {
+        let canonical = canonicalize(inst);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&canonical.form.key) {
+            e.tick = tick;
+            tt_obs::metrics::counter("ttcache_hits").inc();
+            Some(hit_report(e.cost, e.tree.as_ref(), &canonical.map))
+        } else {
+            tt_obs::metrics::counter("ttcache_misses").inc();
+            None
+        }
+    }
+
+    /// Inserts a completed report solved elsewhere (e.g. by a serve
+    /// worker through the engine registry). Degraded reports, and trees
+    /// that use actions the canonicalizer's reduction removed, are
+    /// skipped — the cache only ever stores exact canonical optima.
+    pub fn insert_report(&mut self, inst: &TtInstance, report: &SolveReport) {
+        if !report.outcome.is_complete() {
+            return;
+        }
+        let canonical = canonicalize(inst);
+        if self.map.contains_key(&canonical.form.key) {
+            return;
+        }
+        // Original cost = scale × canonical cost, exactly.
+        let Some(cost) = crate::canon::rescale_cost(report.cost, 1, canonical.map.scale) else {
+            return;
+        };
+        let tree = match &report.tree {
+            Some(t) => match canonical.map.canonicalize_tree(t) {
+                Some(t) => Some(t),
+                None => return,
+            },
+            None => None,
+        };
+        self.insert_entry(
+            canonical.form.key.clone(),
+            canonical.form.instance,
+            canonical.form.text,
+            cost,
+            tree,
+            None,
+            true,
+        );
+    }
+
+    /// Looks for a cached superset lattice that embeds `sub` and
+    /// projects its table down into a complete seed.
+    fn find_seed(&self, sub: &TtInstance) -> Option<FrontierTable> {
+        for e in self.map.values() {
+            let Some(table) = &e.table else { continue };
+            let Some(emb) = memo::find_embedding(sub, &e.instance) else {
+                continue;
+            };
+            if let Some(seed) = memo::seed_table(table, &emb, sub.k()) {
+                return Some(seed);
+            }
+        }
+        None
+    }
+
+    fn insert_entry(
+        &mut self,
+        key: String,
+        instance: TtInstance,
+        text: String,
+        cost: Cost,
+        tree: Option<TtTree>,
+        table: Option<FrontierTable>,
+        journal: bool,
+    ) {
+        if self.capacity == 0 || (cost.is_inf() && tree.is_some()) {
+            return; // capacity-zero cache, or an inconsistent answer
+        }
+        let tree_text = tree.as_ref().map(tree_io::tree_to_text);
+        let bytes = entry_bytes(&text, tree_text.as_deref(), table.as_ref());
+        if journal {
+            self.journal_insert(&key, cost, tree_text.as_deref(), &text);
+        }
+        self.tick += 1;
+        let old = self.map.insert(
+            key,
+            Entry {
+                instance,
+                cost,
+                tree,
+                table,
+                bytes,
+                tick: self.tick,
+            },
+        );
+        self.bytes += bytes;
+        if let Some(old) = old {
+            self.bytes -= old.bytes;
+        }
+        self.evict_to_bounds();
+        tt_obs::metrics::gauge("ttcache_bytes").set(bytes_gauge(self.bytes));
+    }
+
+    fn evict_to_bounds(&mut self) {
+        while self.map.len() > self.capacity || self.bytes > self.max_bytes {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes;
+                tt_obs::metrics::counter("ttcache_evictions").inc();
+            }
+        }
+    }
+
+    // -- disk segments --------------------------------------------------
+
+    fn journal_insert(&mut self, key: &str, cost: Cost, tree: Option<&str>, text: &str) {
+        if self.dir.is_none() {
+            return;
+        }
+        let body = format!(
+            "{key}\t{}\t{}\t{}",
+            cost.finite().map_or_else(|| "inf".into(), |v| v.to_string()),
+            tree.map_or_else(|| "-".into(), escape),
+            escape(text),
+        );
+        let line = format!("{}\t{body}\n", crate::fnv1a_hex(body.as_bytes()));
+        if self.seg.is_none() || self.seg_lines >= SEG_LINES {
+            self.roll_segment();
+        }
+        if let Some(f) = &mut self.seg {
+            // Best-effort: a failed append only costs warm-restart
+            // coverage, never correctness.
+            if f.write_all(line.as_bytes()).is_ok() {
+                let _ = f.flush();
+                self.seg_lines += 1;
+            }
+        }
+    }
+
+    fn roll_segment(&mut self) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join(format!("cache-{:06}.seg", self.seg_index));
+        self.seg_index += 1;
+        self.seg_lines = 0;
+        self.seg = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok();
+    }
+
+    /// Replays one segment line; anything malformed is skipped.
+    fn replay_line(&mut self, line: &str) {
+        let Some((checksum, body)) = line.split_once('\t') else {
+            return;
+        };
+        if crate::fnv1a_hex(body.as_bytes()) != checksum {
+            return;
+        }
+        let mut fields = body.splitn(4, '\t');
+        let (Some(key), Some(cost), Some(tree), Some(text)) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return;
+        };
+        let cost = if cost == "inf" {
+            Cost::INF
+        } else {
+            match cost.parse::<u64>() {
+                Ok(v) if v != u64::MAX => Cost::new(v),
+                _ => return,
+            }
+        };
+        let text = unescape(text);
+        if crate::fnv1a_hex(text.as_bytes()) != key {
+            return;
+        }
+        let Ok(instance) = tt_io::from_text(&text) else {
+            return;
+        };
+        let tree = if tree == "-" {
+            None
+        } else {
+            match tree_io::tree_from_text(&unescape(tree)) {
+                Ok(t) if t.validate(&instance).is_ok() => Some(t),
+                _ => return,
+            }
+        };
+        self.insert_entry(key.to_string(), instance, text, cost, tree, None, false);
+    }
+}
+
+/// `bytes` as the (i64) gauge value, saturating.
+fn bytes_gauge(bytes: u64) -> i64 {
+    i64::try_from(bytes).unwrap_or(i64::MAX)
+}
+
+fn entry_bytes(text: &str, tree: Option<&str>, table: Option<&FrontierTable>) -> u64 {
+    let table_cells = table.map_or(0, |t| 1u64 << t.k());
+    64 + text.len() as u64 + tree.map_or(0, |t| t.len() as u64) + table_cells * 8
+}
+
+fn seg_number(path: &Path) -> Option<u64> {
+    path.file_stem()?
+        .to_str()?
+        .strip_prefix("cache-")?
+        .parse()
+        .ok()
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Assembles the zero-work [`SolveReport`] for an exact hit: the stored
+/// canonical answer translated through the caller's map. Goes through
+/// [`engine::timed_report_with`] so hits are timed, telemetry-scoped,
+/// and counted in `tt_solves_total` like every other solve.
+fn hit_report(cost: Cost, tree: Option<&TtTree>, map: &CanonMap) -> SolveReport {
+    engine::timed_report_with(|| {
+        let mut work = WorkStats::default();
+        work.push_extra("cache_hit", 1);
+        (
+            map.decanonicalize_cost(cost),
+            tree.map(|t| map.decanonicalize_tree(t)),
+            work,
+            SolveOutcome::Complete,
+        )
+    })
+}
+
+/// Translates a report over the canonical instance back to the caller's
+/// action numbering and weight scale.
+fn decanonicalize_report(map: &CanonMap, report: SolveReport) -> SolveReport {
+    let SolveReport {
+        cost,
+        tree,
+        outcome,
+        work,
+        wall,
+        telemetry,
+    } = report;
+    let outcome = match outcome {
+        SolveOutcome::Complete => SolveOutcome::Complete,
+        SolveOutcome::Degraded {
+            upper_bound,
+            lower_bound,
+            reason,
+        } => SolveOutcome::Degraded {
+            upper_bound: map.decanonicalize_cost(upper_bound),
+            lower_bound: map.decanonicalize_cost(lower_bound),
+            reason,
+        },
+    };
+    SolveReport {
+        cost: map.decanonicalize_cost(cost),
+        tree: tree.map(|t| map.decanonicalize_tree(&t)),
+        outcome,
+        work,
+        wall,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tt_core::instance::TtInstanceBuilder;
+    use tt_core::subset::Subset;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tt-cache-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn inst_with_weights(w: [u64; 4]) -> TtInstance {
+        TtInstanceBuilder::new(4)
+            .weights(w)
+            .test(Subset::from_iter([0, 1]), 1)
+            .test(Subset::from_iter([0, 2]), 2)
+            .treatment(Subset::from_iter([0]), 3)
+            .treatment(Subset::from_iter([1, 2]), 4)
+            .treatment(Subset::from_iter([3]), 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_returns_the_identical_report() {
+        let mut cache = SolutionCache::in_memory(16);
+        let inst = inst_with_weights([4, 3, 2, 1]);
+        let (cold, s1) = cache.solve(&inst, &Budget::unlimited());
+        assert_eq!(s1, CacheStatus::Miss);
+        let (warm, s2) = cache.solve(&inst, &Budget::unlimited());
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(warm.tree, cold.tree);
+        assert_eq!(warm.work.extra("cache_hit"), Some(1));
+        assert!(warm.outcome.is_complete());
+        warm.tree.unwrap().validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn relabeled_and_rescaled_variants_share_one_entry() {
+        let mut cache = SolutionCache::in_memory(16);
+        let inst = inst_with_weights([4, 3, 2, 1]);
+        cache.solve(&inst, &Budget::unlimited());
+        assert_eq!(cache.len(), 1);
+        // Uniform ×3 rescale of every weight: same canonical form.
+        let scaled = inst_with_weights([12, 9, 6, 3]);
+        let (rep, status) = cache.solve(&scaled, &Budget::unlimited());
+        assert_eq!(status, CacheStatus::Hit);
+        assert_eq!(cache.len(), 1);
+        let (cold, _) = SolutionCache::in_memory(1).solve(&scaled, &Budget::unlimited());
+        assert_eq!(rep.cost, cold.cost);
+        assert_eq!(
+            rep.tree.unwrap().expected_cost(&scaled),
+            cold.tree.unwrap().expected_cost(&scaled)
+        );
+    }
+
+    #[test]
+    fn subset_instance_partial_hits_and_skips_every_level() {
+        let mut cache = SolutionCache::in_memory(16);
+        let sup = TtInstanceBuilder::new(5)
+            .weights([8, 4, 2, 6, 5])
+            .test(Subset::from_iter([0, 1]), 1)
+            .treatment(Subset::from_iter([0]), 3)
+            .treatment(Subset::from_iter([1, 2]), 4)
+            .test(Subset::from_iter([3]), 2)
+            .treatment(Subset::from_iter([3, 4]), 5)
+            .build()
+            .unwrap();
+        let (_, s) = cache.solve(&sup, &Budget::unlimited());
+        assert_eq!(s, CacheStatus::Miss);
+
+        let sub = TtInstanceBuilder::new(3)
+            .weights([4, 2, 1])
+            .test(Subset::from_iter([0, 1]), 1)
+            .treatment(Subset::from_iter([0]), 3)
+            .treatment(Subset::from_iter([1, 2]), 4)
+            .build()
+            .unwrap();
+        let (rep, s) = cache.solve(&sub, &Budget::unlimited());
+        assert_eq!(s, CacheStatus::Partial);
+        assert_eq!(
+            rep.work.extra("frontier_cells_allocated"),
+            Some(0),
+            "seeded solve allocates no frontier levels"
+        );
+        let (cold, _) = SolutionCache::in_memory(1).solve(&sub, &Budget::unlimited());
+        assert_eq!(rep.cost, cold.cost);
+        assert_eq!(rep.tree, cold.tree);
+        // The partial hit inserted the sub's own form: now an exact hit.
+        let (_, s) = cache.solve(&sub, &Budget::unlimited());
+        assert_eq!(s, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let before = tt_obs::metrics::counter("ttcache_evictions").get();
+        let mut cache = SolutionCache::in_memory(2);
+        let a = inst_with_weights([4, 3, 2, 1]);
+        let b = inst_with_weights([7, 5, 3, 2]);
+        let c = inst_with_weights([9, 8, 6, 5]);
+        cache.solve(&a, &Budget::unlimited());
+        cache.solve(&b, &Budget::unlimited());
+        cache.solve(&a, &Budget::unlimited()); // touch a: b is now coldest
+        cache.solve(&c, &Budget::unlimited());
+        assert_eq!(cache.len(), 2);
+        assert!(tt_obs::metrics::counter("ttcache_evictions").get() > before);
+        assert_eq!(cache.solve(&a, &Budget::unlimited()).1, CacheStatus::Hit);
+        assert_eq!(cache.solve(&b, &Budget::unlimited()).1, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn disk_segments_survive_a_restart_and_skip_corruption() {
+        let dir = unique_dir("restart");
+        let inst = inst_with_weights([4, 3, 2, 1]);
+        let cold_cost;
+        {
+            let mut cache = SolutionCache::open(&dir, 16).unwrap();
+            let (rep, s) = cache.solve(&inst, &Budget::unlimited());
+            assert_eq!(s, CacheStatus::Miss);
+            cold_cost = rep.cost;
+        }
+        // Corrupt the log with garbage plus a bad-checksum line.
+        let seg = dir.join("cache-000000.seg");
+        let mut existing = fs::read_to_string(&seg).unwrap();
+        existing.push_str("not a cache line\n");
+        existing.push_str("deadbeefdeadbeef\tkey\t1\t-\ttext\n");
+        fs::write(&seg, existing).unwrap();
+
+        let mut cache = SolutionCache::open(&dir, 16).unwrap();
+        assert_eq!(cache.len(), 1, "good line replayed, corrupt lines skipped");
+        let (rep, s) = cache.solve(&inst, &Budget::unlimited());
+        assert_eq!(s, CacheStatus::Hit);
+        assert_eq!(rep.cost, cold_cost);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_and_insert_report_round_trip() {
+        let mut cache = SolutionCache::in_memory(16);
+        let inst = inst_with_weights([4, 3, 2, 1]);
+        assert!(cache.lookup_report(&inst).is_none());
+        let report = tt_core::solver::engine::lookup("seq")
+            .unwrap()
+            .solve(&inst);
+        cache.insert_report(&inst, &report);
+        let hit = cache.lookup_report(&inst).expect("inserted");
+        assert_eq!(hit.cost, report.cost);
+        let tree = hit.tree.unwrap();
+        tree.validate(&inst).unwrap();
+        assert_eq!(tree.expected_cost(&inst), report.cost);
+        // A rescaled variant hits the same entry.
+        let hit2 = cache.lookup_report(&inst_with_weights([8, 6, 4, 2])).unwrap();
+        assert_eq!(hit2.cost, Cost::new(report.cost.0 * 2));
+    }
+}

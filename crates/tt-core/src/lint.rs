@@ -277,6 +277,45 @@ fn count_unreachable(inst: &TtInstance) -> usize {
     (1..size).filter(|&s| !reachable[s]).count()
 }
 
+/// The dominance reduction together with its action mapping — the one
+/// code path `ttcheck` and the `tt-cache` canonicalizer share instead
+/// of each re-deriving which actions survived.
+///
+/// Wraps [`preprocess::reduce`] and lints the reduced instance, so a
+/// consumer gets the equivalence-class collapse, the index map back to
+/// the caller's numbering, and the post-reduction findings in one call.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The reduced (equivalent-optimum) instance.
+    pub instance: TtInstance,
+    /// `surviving[i]` = index the reduced action `i` had in the input.
+    pub surviving: Vec<usize>,
+    /// How many actions the equivalence-class collapse removed.
+    pub removed: usize,
+    /// [`lint`] findings on the reduced instance.
+    pub report: LintReport,
+}
+
+impl Reduction {
+    /// Applies dominance reduction to `inst` and lints the result.
+    pub fn of(inst: &TtInstance) -> Reduction {
+        let red = preprocess::reduce(inst);
+        let report = lint(&red.instance);
+        Reduction {
+            instance: red.instance,
+            surviving: red.original_index,
+            removed: red.removed,
+            report,
+        }
+    }
+}
+
+/// Computes the dominance [`Reduction`] of an instance (mapping
+/// included). Shorthand for [`Reduction::of`].
+pub fn reduction(inst: &TtInstance) -> Reduction {
+    Reduction::of(inst)
+}
+
 /// Convenience: lint after dominance reduction — what [`lint`] would say
 /// about the instance [`preprocess::reduce`] produces. Same-class
 /// dominance findings (duplicates, complement-equivalent tests)
@@ -286,7 +325,7 @@ fn count_unreachable(inst: &TtInstance) -> usize {
 /// are preserved (reduction never removes the last treatment covering
 /// an object).
 pub fn lint_reduced(inst: &TtInstance) -> LintReport {
-    lint(&preprocess::reduce(inst).instance)
+    reduction(inst).report
 }
 
 #[cfg(test)]
@@ -460,6 +499,31 @@ mod tests {
             .find(|d| d.code == LintCode::UnreachableSubsets)
             .expect("unreachable finding");
         assert!(d.message.contains("6 of 7"), "{}", d.message);
+    }
+
+    #[test]
+    fn reduction_exposes_surviving_indices_and_report() {
+        let inst = TtInstanceBuilder::new(3)
+            .weights([1, 1, 1])
+            .test(Subset::from_iter([0]), 2)
+            .test(Subset::from_iter([1, 2]), 4) // complement of {0}: dropped
+            .treatment(Subset::universe(3), 5)
+            .treatment(Subset::universe(3), 7) // duplicate: dropped
+            .build()
+            .unwrap();
+        let red = reduction(&inst);
+        assert_eq!(red.removed, 2);
+        assert_eq!(red.surviving, vec![0, 2]);
+        for (new_i, &old_i) in red.surviving.iter().enumerate() {
+            assert_eq!(red.instance.action(new_i), inst.action(old_i));
+        }
+        // The shared report is exactly lint() of the reduced instance.
+        assert_eq!(
+            codes(&red.report),
+            codes(&lint(&red.instance)),
+            "reduction report must be the reduced instance's lint"
+        );
+        assert_eq!(codes(&lint_reduced(&inst)), codes(&red.report));
     }
 
     #[test]

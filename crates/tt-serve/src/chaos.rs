@@ -230,6 +230,7 @@ fn reference_hash(spec: &str) -> Option<u64> {
                 lower: None,
                 reason: None,
                 recovered: false,
+                cached: false,
                 failovers: 0,
                 retries: 0,
                 wall_us: 0,
@@ -440,7 +441,8 @@ pub fn run(opts: &ChaosOptions) -> io::Result<ChaosReport> {
             + counter_value(&metrics_text, "ttserve_degraded_total")
             + counter_value(&metrics_text, "ttserve_shed_total")
             + counter_value(&metrics_text, "ttserve_faulted_total")
-            + counter_value(&metrics_text, "ttserve_recovered_total");
+            + counter_value(&metrics_text, "ttserve_recovered_total")
+            + counter_value(&metrics_text, "ttserve_cached_total");
         report.final_balanced = accepted == settled;
         if !report.final_balanced {
             fail(

@@ -755,6 +755,7 @@ mod tests {
             lower: None,
             reason: None,
             recovered: false,
+            cached: false,
             failovers: 0,
             retries: 0,
             wall_us: 10,

@@ -398,6 +398,9 @@ pub struct SolveResult {
     /// request's idempotency key had already completed) rather than
     /// executed fresh.
     pub recovered: bool,
+    /// This answer came from the content-addressed solution cache
+    /// (exact canonical-form hit) — no solve was dispatched.
+    pub cached: bool,
     /// Engines abandoned by supervision before the answer.
     pub failovers: u64,
     /// Retries across the chain.
@@ -472,6 +475,9 @@ impl Response {
                 if r.recovered {
                     s.push_str(",\"recovered\":true");
                 }
+                if r.cached {
+                    s.push_str(",\"cached\":true");
+                }
                 let _ = write!(
                     s,
                     ",\"failovers\":{},\"retries\":{},\"wall_us\":{}}}",
@@ -492,6 +498,7 @@ impl Response {
     pub fn terminal_class(&self) -> Option<&'static str> {
         match self {
             Response::Solved(r) if r.recovered => Some("recovered"),
+            Response::Solved(r) if r.cached => Some("cached"),
             Response::Solved(r) if r.complete => Some("completed"),
             Response::Solved(_) => Some("degraded"),
             Response::Error {
@@ -567,6 +574,7 @@ impl Response {
                 lower: field_u64("lower")?,
                 reason: v.get("reason").and_then(Json::as_str).map(str::to_string),
                 recovered: v.get("recovered").and_then(Json::as_bool).unwrap_or(false),
+                cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
                 failovers: field_u64("failovers")?.unwrap_or(0),
                 retries: field_u64("retries")?.unwrap_or(0),
                 wall_us: field_u64("wall_us")?.unwrap_or(0),
@@ -708,6 +716,7 @@ mod tests {
                 lower: None,
                 reason: None,
                 recovered: false,
+                cached: false,
                 failovers: 0,
                 retries: 1,
                 wall_us: 1234,
@@ -721,6 +730,7 @@ mod tests {
                 lower: Some(17),
                 reason: Some("deadline exceeded".to_string()),
                 recovered: false,
+                cached: false,
                 failovers: 2,
                 retries: 3,
                 wall_us: 77,
@@ -734,6 +744,7 @@ mod tests {
                 lower: None,
                 reason: None,
                 recovered: true,
+                cached: false,
                 failovers: 0,
                 retries: 0,
                 wall_us: 9,
@@ -742,6 +753,34 @@ mod tests {
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()), Ok(resp));
         }
+    }
+
+    #[test]
+    fn cached_results_roundtrip_and_have_their_own_terminal_class() {
+        let r = SolveResult {
+            id: Some("warm-1".to_string()),
+            engine: "cache".to_string(),
+            complete: true,
+            cost: Some(42),
+            upper: None,
+            lower: None,
+            reason: None,
+            recovered: false,
+            cached: true,
+            failovers: 0,
+            retries: 0,
+            wall_us: 3,
+        };
+        let resp = Response::Solved(r.clone());
+        // `cached` is encoded only when true (wire stays byte-identical
+        // for non-cached results) and decodes back.
+        assert!(resp.encode().contains(r#""cached":true"#));
+        assert_eq!(Response::decode(&resp.encode()), Ok(resp.clone()));
+        assert_eq!(resp.terminal_class(), Some("cached"));
+        let mut cold = r;
+        cold.cached = false;
+        assert!(!Response::Solved(cold.clone()).encode().contains("cached"));
+        assert_eq!(Response::Solved(cold).terminal_class(), Some("completed"));
     }
 
     #[test]
@@ -755,6 +794,7 @@ mod tests {
             lower: None,
             reason: None,
             recovered: true,
+            cached: false,
             failovers: 0,
             retries: 0,
             wall_us: 1,

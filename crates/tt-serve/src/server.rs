@@ -36,10 +36,17 @@
 //!   recovery jobs that resume from their newest level-boundary
 //!   checkpoint. A SIGKILL therefore costs wall-clock, never answers.
 //!
+//! * **Caching.** With a cache enabled ([`ServerOptions::cache_capacity`]
+//!   / [`ServerOptions::cache_dir`]), an unkeyed solve first consults
+//!   the cross-solve solution cache (`tt-cache`): an exact
+//!   canonical-form hit answers immediately with `cached: true` and
+//!   never touches an engine; completed solves on every path populate
+//!   the cache.
+//!
 //! Accounting invariant, checked by the integration tests and the CI
 //! smoke job: `accepted == completed + degraded + shed + faulted +
-//! recovered`. Every unit of work that enters the system leaves
-//! through exactly one of those five doors, and the identity holds
+//! recovered + cached`. Every unit of work that enters the system
+//! leaves through exactly one of those six doors, and the identity holds
 //! *per process life* — a crashed in-flight solve settled nothing, so
 //! its re-execution (settled in the next life) and its client's dedup
 //! retry (settled as `recovered`) keep every life balanced.
@@ -90,7 +97,18 @@ pub struct ServerOptions {
     /// Rotate (compact) the active journal segment once it exceeds
     /// this many bytes.
     pub journal_rotate_bytes: u64,
+    /// Entries the content-addressed solution cache may hold. `0`
+    /// disables the cache entirely (unless [`cache_dir`](ServerOptions::cache_dir)
+    /// is set, which enables it at a default capacity).
+    pub cache_capacity: usize,
+    /// Directory for the cache's on-disk segments (warm restarts).
+    /// `None` keeps an enabled cache purely in memory.
+    pub cache_dir: Option<PathBuf>,
 }
+
+/// Capacity used when a cache directory is given without an explicit
+/// capacity.
+const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 impl Default for ServerOptions {
     // `Duration::from_mins` would trip MSRV 1.85.
@@ -106,6 +124,8 @@ impl Default for ServerOptions {
             drain_window: Duration::from_secs(5),
             journal_dir: None,
             journal_rotate_bytes: 1 << 20,
+            cache_capacity: 0,
+            cache_dir: None,
         }
     }
 }
@@ -122,6 +142,7 @@ struct Stats {
     shed: AtomicU64,
     faulted: AtomicU64,
     recovered: AtomicU64,
+    cached: AtomicU64,
     panics: AtomicU64,
     queue_len: AtomicU64,
     queue_peak: AtomicU64,
@@ -148,6 +169,9 @@ pub struct StatsSnapshot {
     /// Keyed retries answered from the write-ahead journal instead of
     /// executed again.
     pub recovered: u64,
+    /// Solves answered from the content-addressed solution cache (an
+    /// exact canonical-form hit) instead of dispatched to an engine.
+    pub cached: u64,
     /// Solve panics contained by `catch_unwind` (a subset of
     /// `faulted`).
     pub panics: u64,
@@ -165,7 +189,13 @@ impl StatsSnapshot {
     /// The conservation law: every accepted unit left through exactly
     /// one terminal counter.
     pub fn balanced(&self) -> bool {
-        self.accepted == self.completed + self.degraded + self.shed + self.faulted + self.recovered
+        self.accepted
+            == self.completed
+                + self.degraded
+                + self.shed
+                + self.faulted
+                + self.recovered
+                + self.cached
     }
 }
 
@@ -206,6 +236,9 @@ struct Inner {
     /// Set when drain begins: the instant the degrade window closes.
     drain_deadline: Mutex<Option<Instant>>,
     durability: Option<Durability>,
+    /// The cross-solve solution cache: exact canonical-form hits answer
+    /// before any engine dispatch; completed solves populate it.
+    cache: Option<Mutex<tt_cache::SolutionCache>>,
 }
 
 impl Inner {
@@ -236,6 +269,7 @@ impl Inner {
             shed: s.shed.load(Ordering::SeqCst),
             faulted: s.faulted.load(Ordering::SeqCst),
             recovered: s.recovered.load(Ordering::SeqCst),
+            cached: s.cached.load(Ordering::SeqCst),
             panics: s.panics.load(Ordering::SeqCst),
             queue_len: s.queue_len.load(Ordering::SeqCst),
             queue_peak: s.queue_peak.load(Ordering::SeqCst),
@@ -257,6 +291,7 @@ enum Terminal {
     Shed,
     Faulted,
     Recovered,
+    Cached,
 }
 
 fn settle(inner: &Inner, t: &Terminal) {
@@ -268,6 +303,7 @@ fn settle(inner: &Inner, t: &Terminal) {
         Terminal::Shed => (&inner.stats.shed, "ttserve_shed_total"),
         Terminal::Faulted => (&inner.stats.faulted, "ttserve_faulted_total"),
         Terminal::Recovered => (&inner.stats.recovered, "ttserve_recovered_total"),
+        Terminal::Cached => (&inner.stats.cached, "ttserve_cached_total"),
     };
     counter.fetch_add(1, Ordering::SeqCst);
     tt_obs::metrics::counter(name).inc();
@@ -337,6 +373,14 @@ pub fn start(addr: &str, opts: ServerOptions) -> io::Result<ServerHandle> {
             })
         }
     };
+    let cache = match (&opts.cache_dir, opts.cache_capacity) {
+        (None, 0) => None,
+        (None, cap) => Some(Mutex::new(tt_cache::SolutionCache::in_memory(cap))),
+        (Some(dir), cap) => {
+            let cap = if cap == 0 { DEFAULT_CACHE_CAPACITY } else { cap };
+            Some(Mutex::new(tt_cache::SolutionCache::open(dir, cap)?))
+        }
+    };
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -347,6 +391,7 @@ pub fn start(addr: &str, opts: ServerOptions) -> io::Result<ServerHandle> {
         drain_cancel: CancelToken::new(),
         drain_deadline: Mutex::new(None),
         durability,
+        cache,
     });
     let workers = opts.workers.max(1);
     let (tx, rx) = mpsc::sync_channel::<TcpStream>(opts.queue_depth.max(1));
@@ -763,7 +808,40 @@ fn run_solve(inner: &Inner, params: SolveParams) -> (Response, Terminal) {
     if let Some(shed) = drain_shed(inner) {
         return shed;
     }
+    if let Some(hit) = cache_lookup(inner, &params) {
+        return hit;
+    }
     execute_solve(inner, &params, None, &mut |_| {})
+}
+
+/// Consults the solution cache before any engine dispatch: an exact
+/// canonical-form hit is answered immediately (`cached: true`,
+/// `engine: "cache"`), settling the `cached` terminal. Misses — and
+/// unparseable instances, which the solve path will refuse with a
+/// proper typed error — return `None`. Only the *unkeyed* path looks
+/// up: keyed requests belong to the journal's exactly-once contract,
+/// where a dedup replay must return the journaled bytes, not a
+/// cache-translated equivalent (they still populate the cache when
+/// they complete).
+fn cache_lookup(inner: &Inner, params: &SolveParams) -> Option<(Response, Terminal)> {
+    let cache = inner.cache.as_ref()?;
+    let inst = load_instance(params).ok()?;
+    let report = lock(cache).lookup_report(&inst)?;
+    let result = SolveResult {
+        id: params.id.clone(),
+        engine: "cache".to_string(),
+        complete: true,
+        cost: report.cost.finite(),
+        upper: None,
+        lower: None,
+        reason: None,
+        recovered: false,
+        cached: true,
+        failovers: 0,
+        retries: 0,
+        wall_us: u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),
+    };
+    Some((Response::Solved(result), Terminal::Cached))
 }
 
 /// The solve execution core shared by the plain, keyed, and recovery
@@ -796,6 +874,12 @@ fn execute_solve(
         let sup = supervise::supervise_with_sink(&inst, &chain, &budget, &opts, on_ckpt);
         drop(timer);
         let report = &sup.report;
+        if let Some(cache) = &inner.cache {
+            // Completed solves feed the cache regardless of path
+            // (plain, keyed, recovery); `insert_report` ignores
+            // degraded answers itself.
+            lock(cache).insert_report(&inst, report);
+        }
         let cost = report.cost.is_finite().then_some(report.cost.0);
         let (complete, upper, lower, reason) = match report.outcome {
             SolveOutcome::Complete => (true, None, None, None),
@@ -819,6 +903,7 @@ fn execute_solve(
             lower,
             reason,
             recovered: false,
+            cached: false,
             failovers: u64::from(sup.failovers),
             retries: u64::from(sup.retries),
             wall_us: u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),

@@ -238,6 +238,23 @@ fn check_instance(inst: &TtInstance, opts: &Opts) -> i32 {
         println!("infeasible instance: skipping machine passes");
         return EXIT_FINDINGS;
     }
+    // Dominance reduction through the shared lint::Reduction path (the
+    // same mapping the tt-cache canonicalizer consumes): report what
+    // the equivalence-class collapse removes and what survives it.
+    let red = lint::reduction(inst);
+    if red.removed > 0 {
+        println!(
+            "-- reduction: {} dominated action(s) removed, {} survive (original indices {:?})",
+            red.removed,
+            red.surviving.len(),
+            red.surviving
+        );
+        for d in &red.report.diagnostics {
+            if d.code == lint::LintCode::DominatedAction {
+                println!("post-reduction {d}");
+            }
+        }
+    }
 
     // Pass 2: record the BVM TT solve and verify the microcode.
     if opts.microcode {

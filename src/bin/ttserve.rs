@@ -6,6 +6,7 @@
 //!                 [--read-timeout-ms <ms>] [--default-timeout-ms <ms>]
 //!                 [--max-timeout-ms <ms>] [--drain-ms <ms>]
 //!                 [--journal <dir>] [--journal-rotate-bytes <n>]
+//!                 [--cache <dir>] [--cache-capacity <n>]
 //!   ttserve bench [--addr <host:port>] [--clients <n>] [--faults <n>]
 //!                 [--duration-ms <ms>] [--spec <domain:k:seed>]
 //!                 [--timeout-ms <ms>] [--open-ms <ms>] [--retries <n>]
@@ -38,6 +39,13 @@
 //! checkpoint, and the journal compacts via atomic segment rotation.
 //! A journal that fails to replay exits 16 — the server refuses to
 //! serve from durable state it cannot trust.
+//!
+//! With `--cache <dir>` (or `--cache-capacity <n>` alone for a purely
+//! in-memory cache), unkeyed solves are answered from the
+//! content-addressed solution cache when their canonical form has been
+//! solved before: the response carries `"cached":true` and settles
+//! under the `cached` accounting term. The directory holds journal-style
+//! cache segments replayed on restart for a warm start.
 //!
 //! `bench --chaos` spawns its *own* `ttserve serve --journal` child on
 //! `--addr`, SIGKILLs and restarts it `--cycles` times at jittered
@@ -83,6 +91,7 @@ fn usage() -> ! {
          \x20                    [--read-timeout-ms <ms>] [--default-timeout-ms <ms>]\n\
          \x20                    [--max-timeout-ms <ms>] [--drain-ms <ms>]\n\
          \x20                    [--journal <dir>] [--journal-rotate-bytes <n>]\n\
+         \x20                    [--cache <dir>] [--cache-capacity <n>]\n\
          \x20      ttserve bench [--addr <host:port>] [--clients <n>] [--faults <n>]\n\
          \x20                    [--duration-ms <ms>] [--spec <domain:k:seed>]\n\
          \x20                    [--timeout-ms <ms>] [--open-ms <ms>] [--retries <n>]\n\
@@ -173,6 +182,14 @@ fn cmd_serve(args: &[String]) -> ! {
             "--journal-rotate-bytes" => {
                 opts.journal_rotate_bytes = parse_number("--journal-rotate-bytes", it.next());
             }
+            "--cache" => {
+                opts.cache_dir = Some(std::path::PathBuf::from(
+                    it.next().cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = parse_number("--cache-capacity", it.next());
+            }
             _ => usage(),
         }
     }
@@ -202,13 +219,14 @@ fn cmd_serve(args: &[String]) -> ! {
     let s = outcome.stats;
     eprintln!(
         "ttserve: drained accepted={} completed={} degraded={} shed={} faulted={} \
-         recovered={} queue_peak={} leaked_workers={}",
+         recovered={} cached={} queue_peak={} leaked_workers={}",
         s.accepted,
         s.completed,
         s.degraded,
         s.shed,
         s.faulted,
         s.recovered,
+        s.cached,
         s.queue_peak,
         outcome.leaked_workers
     );

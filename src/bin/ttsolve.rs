@@ -5,6 +5,7 @@
 //!   ttsolve <file.tt> [--solver <engine>] [--tree] [--dot] [--reduce] [--stats]
 //!           [--timeout <ms>] [--max-candidates <n>] [--faults <spec>]
 //!           [--supervise] [--checkpoint <file>] [--resume <file>]
+//!           [--cache <dir>]
 //!   ttsolve --demo <domain> [k] [seed] [--solver <engine>] [--tree] [--dot] [--stats]
 //!           (domains: random, medical, faults, biology, lab)
 //!   ttsolve --emit <domain> [k] [seed]   # print a generated instance
@@ -65,6 +66,18 @@
 //! record) and `--summary <file>` writes the totals trailer via temp
 //! file + atomic rename.
 //!
+//! `--cache <dir>` routes the solve through the content-addressed
+//! solution cache (`tt_cache`): the instance is canonicalized (object
+//! relabelling, weight gcd-rescale, dominance reduction), looked up by
+//! content hash, and on a miss solved by the frontier engine — possibly
+//! warm-started from a cached superset instance's DP tables (a partial
+//! hit) — then stored, both in memory and as journal-style segments in
+//! `<dir>` that are replayed on the next run. The printed `cache:` line
+//! says which of hit/partial/miss happened; `--metrics` exposes the
+//! same as `ttcache_hits`/`ttcache_misses`/`ttcache_partial_hits`.
+//! Cache mode solves on its own engine, so it conflicts with
+//! `--solver`, `--supervise`, `--faults`, `--checkpoint`, `--resume`.
+//!
 //! Observability (see the README's "Observability" section for the
 //! schemas): `--trace <file>` captures the solve's span/instant event
 //! stream and writes it as JSON lines; `--metrics` prints a Prometheus
@@ -119,7 +132,7 @@ fn usage() -> ! {
         "usage: ttsolve <file.tt> [--solver <engine>|auto] [--tree] [--dot] [--reduce] [--stats]\n\
          \x20                    [--timeout <ms>] [--max-candidates <n>] [--faults <spec>] [--check]\n\
          \x20                    [--supervise] [--checkpoint <file>] [--resume <file>]\n\
-         \x20                    [--trace <file>] [--metrics] [--profile]\n\
+         \x20                    [--trace <file>] [--metrics] [--profile] [--cache <dir>]\n\
          \x20      ttsolve --demo <random|medical|faults|biology|lab> [k] [seed] [flags]\n\
          \x20      ttsolve --emit <random|medical|faults|biology|lab> [k] [seed]\n\
          \x20      ttsolve --batch <manifest> [--records <file>] [--summary <file>]\n\
@@ -165,6 +178,7 @@ struct Opts {
     trace: Option<String>,
     metrics: bool,
     profile: bool,
+    cache: Option<String>,
 }
 
 impl Opts {
@@ -209,6 +223,7 @@ fn parse_flags<'a>(args: impl Iterator<Item = &'a String>, allow_reduce: bool) -
             "--trace" => opts.trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--metrics" => opts.metrics = true,
             "--profile" => opts.profile = true,
+            "--cache" => opts.cache = Some(it.next().cloned().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -510,6 +525,25 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
             exit(EXIT_LINT);
         }
     }
+    if let Some(dir) = &opts.cache {
+        // Cache mode has its own engine (the frontier solver on the
+        // canonical form) and its own warm-start story, so combining
+        // it with another solve pipeline would silently ignore flags.
+        if opts.solver.is_some()
+            || opts.supervise
+            || opts.faults.is_some()
+            || opts.checkpoint.is_some()
+            || opts.resume.is_some()
+        {
+            eprintln!(
+                "--cache conflicts with --solver/--supervise/--faults/--checkpoint/--resume"
+            );
+            exit(EXIT_USAGE);
+        }
+        let code = solve_cached(inst, opts, dir);
+        emit_observability(opts);
+        exit(code);
+    }
     let resume = opts
         .resume
         .as_deref()
@@ -577,6 +611,33 @@ fn solve_and_report(inst: &TtInstance, opts: &Opts) {
     let code = print_result(inst, opts, &report, engine.kind().is_exact());
     emit_observability(opts);
     exit(code)
+}
+
+/// `--cache <dir>`: solve through the content-addressed solution
+/// cache. An exact canonical-form hit answers without solving; a
+/// partial hit warm-starts the frontier DP from a cached superset's
+/// tables; a miss solves cold. Either way the result (de-canonicalized
+/// back to this instance's labels and weight scale) is printed exactly
+/// like a plain solve, and the cache directory gains a segment line
+/// for the next run to replay.
+fn solve_cached(inst: &TtInstance, opts: &Opts, dir: &str) -> i32 {
+    let mut cache = match tt_cache::SolutionCache::open(Path::new(dir), 1024) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache directory {dir}: {e}");
+            exit(EXIT_READ)
+        }
+    };
+    print_instance_line(inst);
+    let (report, status) = cache.solve(inst, &opts.budget());
+    println!("cache: {} ({} entries)", status.label(), cache.len());
+    if opts.stats {
+        println!("engine: cache");
+    }
+    if opts.profile {
+        print_profile(&report);
+    }
+    print_result(inst, opts, &report, true)
 }
 
 // ---------------------------------------------------------------------

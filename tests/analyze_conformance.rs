@@ -63,6 +63,8 @@ fn real_outcome(workers: usize, queue: usize, good: usize, bad: usize) -> Outcom
             drain_window: Duration::from_secs(10),
             journal_dir: None,
             journal_rotate_bytes: 1 << 20,
+            cache_capacity: 0,
+            cache_dir: None,
         },
     )
     .expect("bind an ephemeral port");

@@ -1,0 +1,155 @@
+//! Property tests for `tt_cache` canonicalization: solving an instance
+//! and then presenting any relabelled, rescaled, duplicate-padded
+//! variant of it must hit the cache, and the de-canonicalized answer
+//! must be exactly the optimum the engines compute directly on the
+//! variant.
+//!
+//! Weights are kept pairwise distinct so the canonical object order is
+//! unique: equal-weight objects with equal signatures may legitimately
+//! canonicalize in either order (a missed hit, never a wrong one), and
+//! the property here is the strict form.
+
+use proptest::prelude::*;
+use tt_core::instance::{ActionKind, TtInstance, TtInstanceBuilder};
+use tt_core::solver::budget::Budget;
+use tt_core::solver::engine;
+use tt_core::subset::Subset;
+use tt_cache::{canonicalize, CacheStatus, SolutionCache};
+
+/// Pairwise-distinct weights from raw entropy: `(raw % 50) * 6` spreads
+/// values at least 6 apart whenever the raw values differ, and the
+/// `+ i` offset separates positions even when they collide — so any two
+/// indices get distinct weights.
+fn distinct_weights(raw: &[u64], k: usize) -> Vec<u64> {
+    (0..k).map(|i| (raw[i] % 50) * 6 + i as u64 + 1).collect()
+}
+
+/// Builds an instance from `k` distinct weights plus a list of
+/// (mask-seed, cost, is-test) actions. Masks are taken modulo the
+/// universe; a universe treatment is always appended so the instance is
+/// adequate and has a finite optimum.
+fn build(weights: &[u64], actions: &[(u32, u64, bool)]) -> TtInstance {
+    let k = weights.len();
+    let universe = Subset::universe(k);
+    let mut b = TtInstanceBuilder::new(k).weights(weights.iter().copied());
+    for &(mask, cost, is_test) in actions {
+        let set = Subset(mask & universe.0);
+        if set == Subset::EMPTY || (is_test && set == universe) {
+            continue; // trivial action; the canonicalizer drops these anyway
+        }
+        if is_test {
+            b = b.test(set, cost);
+        } else {
+            b = b.treatment(set, cost);
+        }
+    }
+    b.treatment(universe, 25)
+        .build()
+        .expect("generated instance is well-formed")
+}
+
+/// The same instance with object labels permuted (`new = perm[old]`),
+/// every weight multiplied by `scale`, `dups` extra copies of existing
+/// actions appended, and the action list rotated.
+fn transform(inst: &TtInstance, perm: &[usize], scale: u64, dups: &[usize], rot: usize) -> TtInstance {
+    let k = inst.k();
+    let remap = |s: Subset| Subset::from_iter(s.iter().map(|i| perm[i]));
+    let mut weights = vec![0u64; k];
+    for i in 0..k {
+        weights[perm[i]] = inst.weight(i) * scale;
+    }
+    let mut actions: Vec<_> = inst.actions().to_vec();
+    for &d in dups {
+        actions.push(actions[d % actions.len()]);
+    }
+    let n = actions.len();
+    actions.rotate_left(rot % n);
+    let mut b = TtInstanceBuilder::new(k).weights(weights);
+    for a in actions {
+        match a.kind {
+            ActionKind::Test => b = b.test(remap(a.set), a.cost),
+            ActionKind::Treatment => b = b.treatment(remap(a.set), a.cost),
+        }
+    }
+    b.build().expect("transformed instance is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalization is invariant under object relabelling, uniform
+    /// weight rescaling, duplicate actions, and action order: the
+    /// canonical text — and therefore the content-hash cache key — is
+    /// identical, so the variant is an exact cache hit.
+    #[test]
+    fn canonical_form_is_invariant(
+        k in 3usize..=6,
+        raw in proptest::collection::vec(any::<u64>(), 6),
+        actions in proptest::collection::vec((1u32..64, 1u64..=20, any::<bool>()), 1usize..=7),
+        perm_seed in any::<u64>(),
+        scale in 1u64..=5,
+        dups in proptest::collection::vec(0usize..16, 0usize..=3),
+        rot in 0usize..8,
+    ) {
+        let inst = build(&distinct_weights(&raw, k), &actions);
+        let k = inst.k();
+        // A seeded Fisher–Yates permutation of 0..k.
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..k).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let variant = transform(&inst, &perm, scale, &dups, rot);
+
+        let a = canonicalize(&inst);
+        let b = canonicalize(&variant);
+        prop_assert_eq!(&a.form.text, &b.form.text);
+        prop_assert_eq!(&a.form.key, &b.form.key);
+    }
+
+    /// Solving through the cache and then asking for a transformed
+    /// variant returns a HIT whose de-canonicalized report carries the
+    /// exact optimum: the same cost both `seq` and `seq-frontier`
+    /// compute directly on the variant, and a tree that validates on
+    /// the variant and evaluates to that cost.
+    #[test]
+    fn cached_answers_are_exact_after_decanonicalization(
+        k in 3usize..=6,
+        raw in proptest::collection::vec(any::<u64>(), 6),
+        actions in proptest::collection::vec((1u32..64, 1u64..=20, any::<bool>()), 1usize..=7),
+        perm_seed in any::<u64>(),
+        scale in 1u64..=5,
+        dups in proptest::collection::vec(0usize..16, 0usize..=3),
+        rot in 0usize..8,
+    ) {
+        let inst = build(&distinct_weights(&raw, k), &actions);
+        let k = inst.k();
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..k).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let variant = transform(&inst, &perm, scale, &dups, rot);
+
+        let mut cache = SolutionCache::in_memory(64);
+        let (_, status) = cache.solve(&inst, &Budget::unlimited());
+        prop_assert_eq!(status, CacheStatus::Miss);
+        let (report, status) = cache.solve(&variant, &Budget::unlimited());
+        prop_assert_eq!(status, CacheStatus::Hit);
+        prop_assert!(report.outcome.is_complete());
+
+        let seq = engine::lookup("seq").unwrap().solve(&variant);
+        let frontier = engine::lookup("seq-frontier").unwrap().solve_with(
+            &variant,
+            &Budget::unlimited(),
+        );
+        prop_assert_eq!(report.cost, seq.cost);
+        prop_assert_eq!(report.cost, frontier.cost);
+
+        let tree = report.tree.expect("adequate instance: cached hit carries a tree");
+        prop_assert!(tree.validate(&variant).is_ok());
+        prop_assert_eq!(tree.expected_cost(&variant), report.cost);
+    }
+}

@@ -35,6 +35,8 @@ fn opts(dir: &Path) -> ServerOptions {
         drain_window: Duration::from_secs(10),
         journal_dir: Some(dir.to_path_buf()),
         journal_rotate_bytes: 1 << 20,
+        cache_capacity: 0,
+        cache_dir: None,
     }
 }
 

@@ -47,6 +47,8 @@ fn tiny_server() -> tt_serve::server::ServerHandle {
             drain_window: Duration::from_secs(10),
             journal_dir: None,
             journal_rotate_bytes: 1 << 20,
+            cache_capacity: 0,
+            cache_dir: None,
         },
     )
     .expect("bind an ephemeral port")
@@ -272,6 +274,8 @@ fn bench_accounts_for_every_request() {
             drain_window: Duration::from_secs(10),
             journal_dir: None,
             journal_rotate_bytes: 1 << 20,
+            cache_capacity: 0,
+            cache_dir: None,
         },
     )
     .expect("bind");

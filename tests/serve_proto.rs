@@ -147,6 +147,7 @@ proptest! {
             retries: cost % 3,
             wall_us: cost % 1_000_000,
             recovered: complete && cost % 2 == 0,
+            cached: complete && cost % 3 == 0,
         });
         prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
     }
